@@ -1,0 +1,243 @@
+//! Chunks: the unit of storage, I/O, and placement.
+//!
+//! A [`Chunk`] holds the non-empty cells of one n-dimensional subarray,
+//! vertically partitioned into one [`AttributeColumn`] per attribute.
+//! A [`ChunkDescriptor`] is the metadata view — coordinates, byte size,
+//! cell count — that partitioners and the cluster simulator reason about.
+//! At paper scale (hundreds of GB) only descriptors are materialized;
+//! tests and examples materialize full chunks.
+
+use crate::coords::ChunkCoords;
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+use crate::value::{AttributeColumn, ScalarValue};
+use serde::{Deserialize, Serialize};
+
+/// Identifier for an array within a catalog/cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+impl std::fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "array#{}", self.0)
+    }
+}
+
+/// Globally unique chunk key: which array, which chunk position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkKey {
+    /// Owning array.
+    pub array: ArrayId,
+    /// Chunk position within the array.
+    pub coords: ChunkCoords,
+}
+
+impl ChunkKey {
+    /// Construct a key.
+    pub fn new(array: ArrayId, coords: ChunkCoords) -> Self {
+        ChunkKey { array, coords }
+    }
+}
+
+impl std::fmt::Display for ChunkKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.array, self.coords)
+    }
+}
+
+/// Metadata describing one stored chunk — everything data placement needs.
+///
+/// Physical chunk size is variable: it reflects the number of non-empty
+/// cells actually stored, not the declared chunk volume (§2). Skew shows
+/// up as high variance in `bytes` across descriptors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkDescriptor {
+    /// Chunk identity.
+    pub key: ChunkKey,
+    /// Total stored bytes across all attribute columns.
+    pub bytes: u64,
+    /// Number of non-empty cells.
+    pub cells: u64,
+}
+
+impl ChunkDescriptor {
+    /// Construct a descriptor.
+    pub fn new(key: ChunkKey, bytes: u64, cells: u64) -> Self {
+        ChunkDescriptor { key, bytes, cells }
+    }
+}
+
+/// A materialized chunk: sparse cells stored as a coordinate list plus one
+/// column per attribute, all in insertion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Chunk position within its array.
+    pub coords: ChunkCoords,
+    /// Cell coordinates of each stored cell (row-major insertion order).
+    cell_coords: Vec<Vec<i64>>,
+    /// One column per schema attribute.
+    columns: Vec<AttributeColumn>,
+}
+
+impl Chunk {
+    /// An empty chunk at `coords` shaped by `schema`'s attributes.
+    pub fn new(schema: &ArraySchema, coords: ChunkCoords) -> Self {
+        Chunk {
+            coords,
+            cell_coords: Vec::new(),
+            columns: schema.attributes.iter().map(|a| AttributeColumn::new(a.ty)).collect(),
+        }
+    }
+
+    /// Append one cell. The caller is responsible for having routed the
+    /// cell to the right chunk (see [`crate::coords::chunk_of`]).
+    pub fn push_cell(
+        &mut self,
+        schema: &ArraySchema,
+        cell: Vec<i64>,
+        values: Vec<ScalarValue>,
+    ) -> Result<()> {
+        if cell.len() != schema.ndims() {
+            return Err(ArrayError::Arity { expected: schema.ndims(), got: cell.len() });
+        }
+        if values.len() != schema.attributes.len() {
+            return Err(ArrayError::Arity { expected: schema.attributes.len(), got: values.len() });
+        }
+        // Validate types before mutating any column, so a failed push
+        // leaves the chunk consistent.
+        for (attr, value) in schema.attributes.iter().zip(&values) {
+            if attr.ty != value.value_type() {
+                return Err(ArrayError::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    expected: attr.ty.name(),
+                    got: value.value_type().name(),
+                });
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(values) {
+            col.push(value).expect("types were validated above");
+        }
+        self.cell_coords.push(cell);
+        Ok(())
+    }
+
+    /// Number of stored (non-empty) cells.
+    pub fn cell_count(&self) -> u64 {
+        self.cell_coords.len() as u64
+    }
+
+    /// True when the chunk stores no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cell_coords.is_empty()
+    }
+
+    /// Stored bytes across all columns plus the coordinate list.
+    pub fn byte_size(&self) -> u64 {
+        let coord_bytes: u64 = self.cell_coords.iter().map(|c| (c.len() * 8) as u64).sum();
+        coord_bytes + self.columns.iter().map(AttributeColumn::byte_size).sum::<u64>()
+    }
+
+    /// The coordinates of cell `idx`.
+    pub fn cell(&self, idx: usize) -> Option<&[i64]> {
+        self.cell_coords.get(idx).map(Vec::as_slice)
+    }
+
+    /// The column for attribute index `attr`.
+    pub fn column(&self, attr: usize) -> Option<&AttributeColumn> {
+        self.columns.get(attr)
+    }
+
+    /// Iterate `(cell_coords, row_index)` pairs.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&[i64], usize)> {
+        self.cell_coords.iter().enumerate().map(|(i, c)| (c.as_slice(), i))
+    }
+
+    /// Metadata descriptor for this chunk.
+    pub fn descriptor(&self, array: ArrayId) -> ChunkDescriptor {
+        ChunkDescriptor {
+            key: ChunkKey::new(array, self.coords.clone()),
+            bytes: self.byte_size(),
+            cells: self.cell_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, DimensionDef};
+    use crate::value::AttributeType;
+
+    fn schema() -> ArraySchema {
+        ArraySchema::new(
+            "A",
+            vec![
+                AttributeDef::new("i", AttributeType::Int32),
+                AttributeDef::new("j", AttributeType::Float),
+            ],
+            vec![DimensionDef::bounded("x", 1, 4, 2), DimensionDef::bounded("y", 1, 4, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_read_cells() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.3)])
+            .unwrap();
+        c.push_cell(&s, vec![2, 2], vec![ScalarValue::Int32(9), ScalarValue::Float(2.7)])
+            .unwrap();
+        assert_eq!(c.cell_count(), 2);
+        assert_eq!(c.cell(0), Some(&[1i64, 1][..]));
+        assert_eq!(c.column(0).unwrap().get(1), Some(ScalarValue::Int32(9)));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn byte_size_reflects_payload() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        assert_eq!(c.byte_size(), 0);
+        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.0)])
+            .unwrap();
+        // 2 coords * 8 bytes + 4 (int32) + 4 (float)
+        assert_eq!(c.byte_size(), 16 + 8);
+    }
+
+    #[test]
+    fn type_mismatch_leaves_chunk_unchanged() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        let err = c
+            .push_cell(&s, vec![1, 1], vec![ScalarValue::Float(1.0), ScalarValue::Float(1.0)])
+            .unwrap_err();
+        assert!(matches!(err, ArrayError::TypeMismatch { .. }));
+        assert_eq!(c.cell_count(), 0);
+        assert!(c.column(0).unwrap().is_empty());
+        assert!(c.column(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arity_checks() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        assert!(c
+            .push_cell(&s, vec![1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.0)])
+            .is_err());
+        assert!(c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1)]).is_err());
+    }
+
+    #[test]
+    fn descriptor_matches_contents() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords(vec![1, 0]));
+        c.push_cell(&s, vec![3, 1], vec![ScalarValue::Int32(4), ScalarValue::Float(4.2)])
+            .unwrap();
+        let d = c.descriptor(ArrayId(7));
+        assert_eq!(d.key.array, ArrayId(7));
+        assert_eq!(d.key.coords, ChunkCoords(vec![1, 0]));
+        assert_eq!(d.cells, 1);
+        assert_eq!(d.bytes, c.byte_size());
+    }
+}

@@ -1,0 +1,295 @@
+//! Cell and chunk coordinates, and the mappings between them.
+//!
+//! A *cell* lives at an n-dimensional coordinate in array space. A *chunk*
+//! is an n-dimensional subarray identified by the vector of per-dimension
+//! chunk indices (each `(coord - start) / chunk_interval`). Chunks are the
+//! unit of I/O, placement, and movement throughout the system.
+
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coordinates of one cell in array space.
+pub type CellCoords = Vec<i64>;
+
+/// Identifier of a chunk: the per-dimension chunk indices.
+///
+/// Ordered lexicographically (row-major), which gives the "insert order"
+/// that the Append partitioner relies on when the first dimension is time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkCoords(pub Vec<i64>);
+
+impl ChunkCoords {
+    /// Construct from raw indices.
+    pub fn new(indices: Vec<i64>) -> Self {
+        ChunkCoords(indices)
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The index along dimension `d`.
+    pub fn index(&self, d: usize) -> i64 {
+        self.0[d]
+    }
+
+    /// All chunks at L∞ distance 1 (the 3^n − 1 surrounding chunks),
+    /// clipped to non-negative indices and to the schema's bounds.
+    ///
+    /// Spatial operators (windowed aggregates, kNN) exchange halo data with
+    /// exactly these neighbours; placements that keep them on one node pay
+    /// no network cost for that exchange.
+    #[allow(clippy::needless_range_loop)] // odometer indexes two arrays in lockstep
+    pub fn neighbors(&self, schema: &ArraySchema) -> Vec<ChunkCoords> {
+        let n = self.ndims();
+        let mut out = Vec::new();
+        let mut offsets = vec![-1i64; n];
+        loop {
+            if offsets.iter().any(|&o| o != 0) {
+                let mut cand = Vec::with_capacity(n);
+                let mut ok = true;
+                for d in 0..n {
+                    let idx = self.0[d] + offsets[d];
+                    if idx < 0 {
+                        ok = false;
+                        break;
+                    }
+                    if let Some(count) = schema.dimensions[d].chunk_count() {
+                        if idx >= count {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    cand.push(idx);
+                }
+                if ok {
+                    out.push(ChunkCoords(cand));
+                }
+            }
+            // advance odometer over {-1,0,1}^n
+            let mut d = 0;
+            loop {
+                if d == n {
+                    return out;
+                }
+                offsets[d] += 1;
+                if offsets[d] <= 1 {
+                    break;
+                }
+                offsets[d] = -1;
+                d += 1;
+            }
+        }
+    }
+
+    /// Chebyshev (L∞) distance between two chunk coordinates.
+    pub fn chebyshev(&self, other: &ChunkCoords) -> i64 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b).abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for ChunkCoords {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Map a cell coordinate to the chunk containing it, validating bounds.
+pub fn chunk_of(schema: &ArraySchema, cell: &[i64]) -> Result<ChunkCoords> {
+    if cell.len() != schema.ndims() {
+        return Err(ArrayError::Arity { expected: schema.ndims(), got: cell.len() });
+    }
+    let mut idx = Vec::with_capacity(cell.len());
+    for (dim, &coord) in schema.dimensions.iter().zip(cell) {
+        if !dim.contains(coord) {
+            return Err(ArrayError::OutOfBounds { dimension: dim.name.clone(), coordinate: coord });
+        }
+        idx.push(dim.chunk_index(coord));
+    }
+    Ok(ChunkCoords(idx))
+}
+
+/// An axis-aligned rectangular region of array space, in cell coordinates
+/// (both bounds inclusive). Queries subset arrays with these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Inclusive lower corner, one entry per dimension.
+    pub low: Vec<i64>,
+    /// Inclusive upper corner, one entry per dimension.
+    pub high: Vec<i64>,
+}
+
+impl Region {
+    /// Build a region; panics if the corners disagree in arity.
+    pub fn new(low: Vec<i64>, high: Vec<i64>) -> Self {
+        assert_eq!(low.len(), high.len(), "region corners must share arity");
+        Region { low, high }
+    }
+
+    /// The full declared space of a bounded schema.
+    pub fn full(schema: &ArraySchema) -> Option<Region> {
+        let mut low = Vec::new();
+        let mut high = Vec::new();
+        for d in &schema.dimensions {
+            low.push(d.start);
+            high.push(d.end?);
+        }
+        Some(Region { low, high })
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.low.len()
+    }
+
+    /// Does the region contain the cell coordinate?
+    pub fn contains_cell(&self, cell: &[i64]) -> bool {
+        cell.len() == self.ndims()
+            && cell
+                .iter()
+                .enumerate()
+                .all(|(d, &c)| c >= self.low[d] && c <= self.high[d])
+    }
+
+    /// Does the region intersect the given chunk of `schema`?
+    pub fn intersects_chunk(&self, schema: &ArraySchema, chunk: &ChunkCoords) -> bool {
+        schema.dimensions.iter().enumerate().all(|(d, dim)| {
+            let (lo, hi) = dim.chunk_range(chunk.index(d));
+            lo <= self.high[d] && hi >= self.low[d]
+        })
+    }
+
+    /// Number of cells in the region (logical, not stored).
+    pub fn cell_volume(&self) -> u128 {
+        self.low
+            .iter()
+            .zip(&self.high)
+            .map(|(lo, hi)| (hi - lo + 1).max(0) as u128)
+            .product()
+    }
+}
+
+/// Iterate over every chunk coordinate of a bounded schema in row-major
+/// order. Returns `None` if any dimension is unbounded.
+pub fn all_chunks(schema: &ArraySchema) -> Option<Vec<ChunkCoords>> {
+    let counts: Option<Vec<i64>> =
+        schema.dimensions.iter().map(|d| d.chunk_count()).collect();
+    let counts = counts?;
+    let mut out = Vec::new();
+    let n = counts.len();
+    let mut cur = vec![0i64; n];
+    loop {
+        out.push(ChunkCoords(cur.clone()));
+        let mut d = n;
+        loop {
+            if d == 0 {
+                return Some(out);
+            }
+            d -= 1;
+            cur[d] += 1;
+            if cur[d] < counts[d] {
+                break;
+            }
+            cur[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, DimensionDef};
+    use crate::value::AttributeType;
+
+    fn schema_2d() -> ArraySchema {
+        ArraySchema::new(
+            "A",
+            vec![AttributeDef::new("v", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 1, 4, 2), DimensionDef::bounded("y", 1, 4, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cell_to_chunk_mapping() {
+        let s = schema_2d();
+        assert_eq!(chunk_of(&s, &[1, 1]).unwrap(), ChunkCoords(vec![0, 0]));
+        assert_eq!(chunk_of(&s, &[4, 3]).unwrap(), ChunkCoords(vec![1, 1]));
+        assert!(matches!(chunk_of(&s, &[5, 1]), Err(ArrayError::OutOfBounds { .. })));
+        assert!(matches!(chunk_of(&s, &[1]), Err(ArrayError::Arity { .. })));
+    }
+
+    #[test]
+    fn all_chunks_row_major() {
+        let s = schema_2d();
+        let chunks = all_chunks(&s).unwrap();
+        assert_eq!(
+            chunks,
+            vec![
+                ChunkCoords(vec![0, 0]),
+                ChunkCoords(vec![0, 1]),
+                ChunkCoords(vec![1, 0]),
+                ChunkCoords(vec![1, 1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn neighbors_clip_to_bounds() {
+        let s = schema_2d();
+        let corner = ChunkCoords(vec![0, 0]);
+        let n = corner.neighbors(&s);
+        assert_eq!(n.len(), 3); // (0,1), (1,0), (1,1)
+        let center_schema = ArraySchema::new(
+            "B",
+            vec![AttributeDef::new("v", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 0, 8, 1), DimensionDef::bounded("y", 0, 8, 1)],
+        )
+        .unwrap();
+        let mid = ChunkCoords(vec![4, 4]);
+        assert_eq!(mid.neighbors(&center_schema).len(), 8);
+    }
+
+    #[test]
+    fn region_chunk_intersection() {
+        let s = schema_2d();
+        let r = Region::new(vec![1, 1], vec![2, 2]); // exactly chunk (0,0)
+        assert!(r.intersects_chunk(&s, &ChunkCoords(vec![0, 0])));
+        assert!(!r.intersects_chunk(&s, &ChunkCoords(vec![1, 1])));
+        assert!(r.contains_cell(&[2, 2]));
+        assert!(!r.contains_cell(&[3, 2]));
+        assert_eq!(r.cell_volume(), 4);
+    }
+
+    #[test]
+    fn region_full_of_bounded_schema() {
+        let s = schema_2d();
+        let r = Region::full(&s).unwrap();
+        assert_eq!(r.low, vec![1, 1]);
+        assert_eq!(r.high, vec![4, 4]);
+        assert_eq!(r.cell_volume(), 16);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let a = ChunkCoords(vec![0, 0, 0]);
+        let b = ChunkCoords(vec![2, -1, 1]);
+        assert_eq!(a.chebyshev(&b), 2);
+        assert_eq!(a.chebyshev(&a), 0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Array schemas: named dimensions with chunk intervals plus typed attributes.
+//!
+//! A schema such as
+//!
+//! ```text
+//! A<i:int32, j:float>[x=1:4,2, y=1:4,2]
+//! ```
+//!
+//! declares a 4×4 array with 2×2 chunks and two attributes (paper, Fig. 1).
+//! Unbounded dimensions (`time=0:*,1440`) grow with the data, which is how
+//! the paper's no-overwrite stores expand monotonically.
+
+use crate::error::{ArrayError, Result};
+use crate::value::AttributeType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One named dimension of an array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimensionDef {
+    /// Dimension name (`x`, `latitude`, ...).
+    pub name: String,
+    /// Inclusive lower bound of the coordinate range.
+    pub start: i64,
+    /// Inclusive upper bound, or `None` for an unbounded dimension
+    /// (written `*` in schema text).
+    pub end: Option<i64>,
+    /// Chunk interval (stride): the length of a chunk along this dimension,
+    /// in logical cells. Always ≥ 1.
+    pub chunk_interval: i64,
+}
+
+impl DimensionDef {
+    /// A bounded dimension `name=start:end,chunk_interval`.
+    pub fn bounded(name: impl Into<String>, start: i64, end: i64, chunk_interval: i64) -> Self {
+        DimensionDef { name: name.into(), start, end: Some(end), chunk_interval }
+    }
+
+    /// An unbounded dimension `name=start:*,chunk_interval`.
+    pub fn unbounded(name: impl Into<String>, start: i64, chunk_interval: i64) -> Self {
+        DimensionDef { name: name.into(), start, end: None, chunk_interval }
+    }
+
+    /// Chunk index that the cell coordinate `coord` falls into.
+    ///
+    /// Chunks are numbered from 0 at `start`; coordinates below `start`
+    /// are rejected by validation before this is called.
+    pub fn chunk_index(&self, coord: i64) -> i64 {
+        (coord - self.start).div_euclid(self.chunk_interval)
+    }
+
+    /// The inclusive cell-coordinate range covered by chunk `idx`.
+    /// The high end is clamped to the dimension bound when one exists.
+    pub fn chunk_range(&self, idx: i64) -> (i64, i64) {
+        let lo = self.start + idx * self.chunk_interval;
+        let hi = lo + self.chunk_interval - 1;
+        match self.end {
+            Some(end) => (lo, hi.min(end)),
+            None => (lo, hi),
+        }
+    }
+
+    /// Number of chunks along this dimension, when bounded.
+    pub fn chunk_count(&self) -> Option<i64> {
+        self.end.map(|end| (end - self.start) / self.chunk_interval + 1)
+    }
+
+    /// True when `coord` lies inside the declared range.
+    pub fn contains(&self, coord: i64) -> bool {
+        coord >= self.start && self.end.is_none_or(|end| coord <= end)
+    }
+}
+
+impl fmt::Display for DimensionDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(end) => write!(f, "{}={}:{},{}", self.name, self.start, end, self.chunk_interval),
+            None => write!(f, "{}={}:*,{}", self.name, self.start, self.chunk_interval),
+        }
+    }
+}
+
+/// One named, typed attribute of an array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Attribute name.
+    pub name: String,
+    /// Scalar type.
+    pub ty: AttributeType,
+}
+
+impl AttributeDef {
+    /// Construct an attribute definition.
+    pub fn new(name: impl Into<String>, ty: AttributeType) -> Self {
+        AttributeDef { name: name.into(), ty }
+    }
+}
+
+impl fmt::Display for AttributeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.ty)
+    }
+}
+
+/// A complete array schema: name, attributes, and dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArraySchema {
+    /// Array name.
+    pub name: String,
+    /// Attribute declarations, in storage order.
+    pub attributes: Vec<AttributeDef>,
+    /// Dimension declarations, in coordinate order.
+    pub dimensions: Vec<DimensionDef>,
+}
+
+impl ArraySchema {
+    /// Build and validate a schema.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<AttributeDef>,
+        dimensions: Vec<DimensionDef>,
+    ) -> Result<Self> {
+        let schema = ArraySchema { name: name.into(), attributes, dimensions };
+        schema.validate()?;
+        Ok(schema)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(ArrayError::InvalidSchema("array name is empty".into()));
+        }
+        if self.dimensions.is_empty() {
+            return Err(ArrayError::InvalidSchema("at least one dimension required".into()));
+        }
+        if self.attributes.is_empty() {
+            return Err(ArrayError::InvalidSchema("at least one attribute required".into()));
+        }
+        let mut names: Vec<&str> = self
+            .dimensions
+            .iter()
+            .map(|d| d.name.as_str())
+            .chain(self.attributes.iter().map(|a| a.name.as_str()))
+            .collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ArrayError::InvalidSchema("duplicate dimension/attribute name".into()));
+        }
+        for dim in &self.dimensions {
+            if dim.chunk_interval < 1 {
+                return Err(ArrayError::InvalidSchema(format!(
+                    "dimension `{}` has non-positive chunk interval",
+                    dim.name
+                )));
+            }
+            if let Some(end) = dim.end {
+                if end < dim.start {
+                    return Err(ArrayError::InvalidSchema(format!(
+                        "dimension `{}` has end < start",
+                        dim.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Position of the named dimension.
+    pub fn dimension_index(&self, name: &str) -> Result<usize> {
+        self.dimensions
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| ArrayError::UnknownName(name.to_string()))
+    }
+
+    /// Position of the named attribute.
+    pub fn attribute_index(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| ArrayError::UnknownName(name.to_string()))
+    }
+
+    /// Bytes one cell occupies across all attribute columns (fixed-width
+    /// estimate; used for synthetic sizing, not for materialized chunks).
+    pub fn estimated_cell_bytes(&self) -> u64 {
+        self.attributes.iter().map(|a| a.ty.fixed_width() as u64).sum()
+    }
+
+    /// Total number of chunk positions in the declared space, when every
+    /// dimension is bounded.
+    pub fn total_chunk_positions(&self) -> Option<u64> {
+        self.dimensions
+            .iter()
+            .map(|d| d.chunk_count().map(|c| c as u64))
+            .try_fold(1u64, |acc, c| c.map(|c| acc * c))
+    }
+
+    /// Parse a SciDB-style schema string, e.g.
+    /// `A<i:int32,j:float>[x=1:4,2, y=1:4,2]`.
+    pub fn parse(text: &str) -> Result<Self> {
+        let text = text.trim();
+        let lt = text.find('<').ok_or_else(|| parse_err("missing `<`"))?;
+        let gt = text.find('>').ok_or_else(|| parse_err("missing `>`"))?;
+        let lb = text.find('[').ok_or_else(|| parse_err("missing `[`"))?;
+        let rb = text.rfind(']').ok_or_else(|| parse_err("missing `]`"))?;
+        if !(lt < gt && gt < lb && lb < rb) {
+            return Err(parse_err("malformed bracket structure"));
+        }
+        let name = text[..lt].trim();
+        let attrs_text = &text[lt + 1..gt];
+        let dims_text = &text[lb + 1..rb];
+
+        let mut attributes = Vec::new();
+        for part in attrs_text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (aname, aty) =
+                part.split_once(':').ok_or_else(|| parse_err("attribute missing `:`"))?;
+            let ty = AttributeType::parse(aty.trim())
+                .ok_or_else(|| parse_err(&format!("unknown type `{}`", aty.trim())))?;
+            attributes.push(AttributeDef::new(aname.trim(), ty));
+        }
+
+        // Dimensions are `name=lo:hi,interval` separated by commas; the comma
+        // inside each dimension (before the interval) means we must group
+        // tokens in pairs.
+        let mut dimensions = Vec::new();
+        let tokens: Vec<&str> = dims_text.split(',').map(str::trim).collect();
+        if !tokens.len().is_multiple_of(2) {
+            return Err(parse_err("dimension list must be `name=lo:hi,interval` groups"));
+        }
+        for pair in tokens.chunks(2) {
+            let (spec, interval) = (pair[0], pair[1]);
+            let (dname, range) =
+                spec.split_once('=').ok_or_else(|| parse_err("dimension missing `=`"))?;
+            let (lo, hi) =
+                range.split_once(':').ok_or_else(|| parse_err("dimension missing `:`"))?;
+            let start: i64 =
+                lo.trim().parse().map_err(|_| parse_err(&format!("bad bound `{lo}`")))?;
+            let end = match hi.trim() {
+                "*" => None,
+                v => Some(v.parse::<i64>().map_err(|_| parse_err(&format!("bad bound `{v}`")))?),
+            };
+            let chunk_interval: i64 =
+                interval.parse().map_err(|_| parse_err(&format!("bad interval `{interval}`")))?;
+            dimensions.push(DimensionDef { name: dname.trim().to_string(), start, end, chunk_interval });
+        }
+
+        ArraySchema::new(name, attributes, dimensions)
+    }
+}
+
+fn parse_err(msg: &str) -> ArrayError {
+    ArrayError::Parse(msg.to_string())
+}
+
+impl fmt::Display for ArraySchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(">[")?;
+        for (i, d) in self.dimensions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_schema() -> ArraySchema {
+        ArraySchema::parse("A<i:int32, j:float>[x=1:4,2, y=1:4,2]").unwrap()
+    }
+
+    #[test]
+    fn parses_figure1_example() {
+        let s = figure1_schema();
+        assert_eq!(s.name, "A");
+        assert_eq!(s.attributes.len(), 2);
+        assert_eq!(s.attributes[0].ty, AttributeType::Int32);
+        assert_eq!(s.dimensions.len(), 2);
+        assert_eq!(s.dimensions[0].chunk_interval, 2);
+        assert_eq!(s.total_chunk_positions(), Some(4));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = figure1_schema();
+        let printed = s.to_string();
+        let reparsed = ArraySchema::parse(&printed).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn parses_unbounded_time_dimension() {
+        let s = ArraySchema::parse(
+            "Band<si_value:int, radiance:double>[time=0:*,1440, longitude=-180:180,12, latitude=-90:90,12]",
+        )
+        .unwrap();
+        assert_eq!(s.dimensions[0].end, None);
+        assert_eq!(s.dimensions[1].chunk_count(), Some(31));
+        assert_eq!(s.total_chunk_positions(), None);
+    }
+
+    #[test]
+    fn chunk_index_and_range() {
+        let d = DimensionDef::bounded("x", 1, 4, 2);
+        assert_eq!(d.chunk_index(1), 0);
+        assert_eq!(d.chunk_index(2), 0);
+        assert_eq!(d.chunk_index(3), 1);
+        assert_eq!(d.chunk_range(1), (3, 4));
+        assert_eq!(d.chunk_count(), Some(2));
+        let neg = DimensionDef::bounded("lon", -180, 180, 12);
+        assert_eq!(neg.chunk_index(-180), 0);
+        assert_eq!(neg.chunk_index(-169), 0);
+        assert_eq!(neg.chunk_index(-168), 1);
+        assert_eq!(neg.chunk_range(0), (-180, -169));
+    }
+
+    #[test]
+    fn validation_rejects_bad_schemas() {
+        assert!(ArraySchema::new("", vec![AttributeDef::new("a", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 0, 1, 1)]).is_err());
+        assert!(ArraySchema::new("A", vec![], vec![DimensionDef::bounded("x", 0, 1, 1)]).is_err());
+        assert!(ArraySchema::new("A", vec![AttributeDef::new("a", AttributeType::Int32)], vec![]).is_err());
+        // zero chunk interval
+        assert!(ArraySchema::new(
+            "A",
+            vec![AttributeDef::new("a", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 0, 1, 0)]
+        )
+        .is_err());
+        // duplicate names across dims and attrs
+        assert!(ArraySchema::new(
+            "A",
+            vec![AttributeDef::new("x", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 0, 1, 1)]
+        )
+        .is_err());
+        // inverted range
+        assert!(ArraySchema::new(
+            "A",
+            vec![AttributeDef::new("a", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 5, 2, 1)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn name_lookups() {
+        let s = figure1_schema();
+        assert_eq!(s.dimension_index("y").unwrap(), 1);
+        assert_eq!(s.attribute_index("j").unwrap(), 1);
+        assert!(s.dimension_index("z").is_err());
+        assert!(s.attribute_index("z").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "A[x=1:4,2]",                 // missing attrs
+            "A<i:int32>",                 // missing dims
+            "A<i:bogus>[x=1:4,2]",        // unknown type
+            "A<i:int32>[x=1:4]",          // missing interval
+            "A<i:int32>[x=1,2]",          // missing range colon
+            "A<iint32>[x=1:4,2]",         // missing attr colon
+        ] {
+            assert!(ArraySchema::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Scalar attribute values and vertically-partitioned column storage.
+//!
+//! SciDB stores each attribute of a chunk in its own physical column
+//! ("vertical partitioning", §2 of the paper). [`AttributeColumn`] mirrors
+//! that: one typed, densely packed vector per attribute per chunk.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar types an attribute may declare.
+///
+/// The set mirrors the types used by the paper's two schemas (`int`,
+/// `double`, `float`, `char`, `string`) plus 64-bit integers, which the
+/// AIS `ship_id`/`voyageId` values need at scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeType {
+    /// 32-bit signed integer (`int32` / `int`).
+    Int32,
+    /// 64-bit signed integer (`int64`).
+    Int64,
+    /// 32-bit IEEE float (`float`).
+    Float,
+    /// 64-bit IEEE float (`double`).
+    Double,
+    /// Single byte character (`char`).
+    Char,
+    /// Variable-length UTF-8 string (`string`).
+    Str,
+}
+
+impl AttributeType {
+    /// Canonical lower-case name, as written in schema text.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributeType::Int32 => "int32",
+            AttributeType::Int64 => "int64",
+            AttributeType::Float => "float",
+            AttributeType::Double => "double",
+            AttributeType::Char => "char",
+            AttributeType::Str => "string",
+        }
+    }
+
+    /// Parse a schema type token. Accepts SciDB-style aliases (`int`).
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "int32" | "int" => Some(AttributeType::Int32),
+            "int64" | "long" => Some(AttributeType::Int64),
+            "float" => Some(AttributeType::Float),
+            "double" => Some(AttributeType::Double),
+            "char" => Some(AttributeType::Char),
+            "string" => Some(AttributeType::Str),
+            _ => None,
+        }
+    }
+
+    /// Width in bytes of one value of this type as stored on disk.
+    /// Strings report an average payload width; the actual footprint of a
+    /// column is computed from its contents.
+    pub fn fixed_width(self) -> usize {
+        match self {
+            AttributeType::Int32 | AttributeType::Float => 4,
+            AttributeType::Int64 | AttributeType::Double => 8,
+            AttributeType::Char => 1,
+            AttributeType::Str => 16,
+        }
+    }
+}
+
+impl fmt::Display for AttributeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scalar attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalarValue {
+    /// 32-bit signed integer.
+    Int32(i32),
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 32-bit float.
+    Float(f32),
+    /// 64-bit float.
+    Double(f64),
+    /// Single byte character.
+    Char(u8),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl ScalarValue {
+    /// The type of this value.
+    pub fn value_type(&self) -> AttributeType {
+        match self {
+            ScalarValue::Int32(_) => AttributeType::Int32,
+            ScalarValue::Int64(_) => AttributeType::Int64,
+            ScalarValue::Float(_) => AttributeType::Float,
+            ScalarValue::Double(_) => AttributeType::Double,
+            ScalarValue::Char(_) => AttributeType::Char,
+            ScalarValue::Str(_) => AttributeType::Str,
+        }
+    }
+
+    /// Best-effort numeric view; strings and chars return `None`.
+    /// Used by aggregation operators that treat attributes as measures.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ScalarValue::Int32(v) => Some(f64::from(*v)),
+            ScalarValue::Int64(v) => Some(*v as f64),
+            ScalarValue::Float(v) => Some(f64::from(*v)),
+            ScalarValue::Double(v) => Some(*v),
+            ScalarValue::Char(_) | ScalarValue::Str(_) => None,
+        }
+    }
+
+    /// Integer view for key attributes (joins, distinct); floats refuse.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ScalarValue::Int32(v) => Some(i64::from(*v)),
+            ScalarValue::Int64(v) => Some(*v),
+            ScalarValue::Char(v) => Some(i64::from(*v)),
+            ScalarValue::Float(_) | ScalarValue::Double(_) | ScalarValue::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ScalarValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarValue::Int32(v) => write!(f, "{v}"),
+            ScalarValue::Int64(v) => write!(f, "{v}"),
+            ScalarValue::Float(v) => write!(f, "{v}"),
+            ScalarValue::Double(v) => write!(f, "{v}"),
+            ScalarValue::Char(v) => write!(f, "{}", *v as char),
+            ScalarValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// A typed column holding the values of one attribute for every non-empty
+/// cell of a chunk, in cell insertion order.
+///
+/// This is the unit of vertical partitioning: each column's bytes are
+/// accounted separately, and queries that touch a subset of attributes
+/// scan only those columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeColumn {
+    /// Column of `int32` values.
+    Int32(Vec<i32>),
+    /// Column of `int64` values.
+    Int64(Vec<i64>),
+    /// Column of `float` values.
+    Float(Vec<f32>),
+    /// Column of `double` values.
+    Double(Vec<f64>),
+    /// Column of `char` values.
+    Char(Vec<u8>),
+    /// Column of `string` values.
+    Str(Vec<String>),
+}
+
+impl AttributeColumn {
+    /// An empty column of the given type.
+    pub fn new(ty: AttributeType) -> Self {
+        match ty {
+            AttributeType::Int32 => AttributeColumn::Int32(Vec::new()),
+            AttributeType::Int64 => AttributeColumn::Int64(Vec::new()),
+            AttributeType::Float => AttributeColumn::Float(Vec::new()),
+            AttributeType::Double => AttributeColumn::Double(Vec::new()),
+            AttributeType::Char => AttributeColumn::Char(Vec::new()),
+            AttributeType::Str => AttributeColumn::Str(Vec::new()),
+        }
+    }
+
+    /// The declared type of the column.
+    pub fn column_type(&self) -> AttributeType {
+        match self {
+            AttributeColumn::Int32(_) => AttributeType::Int32,
+            AttributeColumn::Int64(_) => AttributeType::Int64,
+            AttributeColumn::Float(_) => AttributeType::Float,
+            AttributeColumn::Double(_) => AttributeType::Double,
+            AttributeColumn::Char(_) => AttributeType::Char,
+            AttributeColumn::Str(_) => AttributeType::Str,
+        }
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            AttributeColumn::Int32(v) => v.len(),
+            AttributeColumn::Int64(v) => v.len(),
+            AttributeColumn::Float(v) => v.len(),
+            AttributeColumn::Double(v) => v.len(),
+            AttributeColumn::Char(v) => v.len(),
+            AttributeColumn::Str(v) => v.len(),
+        }
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one value. Fails on type mismatch.
+    pub fn push(&mut self, value: ScalarValue) -> Result<(), (AttributeType, AttributeType)> {
+        match (self, value) {
+            (AttributeColumn::Int32(v), ScalarValue::Int32(x)) => v.push(x),
+            (AttributeColumn::Int64(v), ScalarValue::Int64(x)) => v.push(x),
+            (AttributeColumn::Float(v), ScalarValue::Float(x)) => v.push(x),
+            (AttributeColumn::Double(v), ScalarValue::Double(x)) => v.push(x),
+            (AttributeColumn::Char(v), ScalarValue::Char(x)) => v.push(x),
+            (AttributeColumn::Str(v), ScalarValue::Str(x)) => v.push(x),
+            (col, value) => return Err((col.column_type(), value.value_type())),
+        }
+        Ok(())
+    }
+
+    /// The value at `idx`, boxed back into a [`ScalarValue`].
+    pub fn get(&self, idx: usize) -> Option<ScalarValue> {
+        match self {
+            AttributeColumn::Int32(v) => v.get(idx).copied().map(ScalarValue::Int32),
+            AttributeColumn::Int64(v) => v.get(idx).copied().map(ScalarValue::Int64),
+            AttributeColumn::Float(v) => v.get(idx).copied().map(ScalarValue::Float),
+            AttributeColumn::Double(v) => v.get(idx).copied().map(ScalarValue::Double),
+            AttributeColumn::Char(v) => v.get(idx).copied().map(ScalarValue::Char),
+            AttributeColumn::Str(v) => v.get(idx).cloned().map(ScalarValue::Str),
+        }
+    }
+
+    /// Numeric view of the value at `idx` (see [`ScalarValue::as_f64`]).
+    pub fn get_f64(&self, idx: usize) -> Option<f64> {
+        match self {
+            AttributeColumn::Int32(v) => v.get(idx).map(|x| f64::from(*x)),
+            AttributeColumn::Int64(v) => v.get(idx).map(|x| *x as f64),
+            AttributeColumn::Float(v) => v.get(idx).map(|x| f64::from(*x)),
+            AttributeColumn::Double(v) => v.get(idx).copied(),
+            AttributeColumn::Char(_) | AttributeColumn::Str(_) => None,
+        }
+    }
+
+    /// On-disk footprint of the column in bytes.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            AttributeColumn::Int32(v) => (v.len() * 4) as u64,
+            AttributeColumn::Int64(v) => (v.len() * 8) as u64,
+            AttributeColumn::Float(v) => (v.len() * 4) as u64,
+            AttributeColumn::Double(v) => (v.len() * 8) as u64,
+            AttributeColumn::Char(v) => v.len() as u64,
+            AttributeColumn::Str(v) => v.iter().map(|s| s.len() as u64 + 4).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parse_roundtrip() {
+        for ty in [
+            AttributeType::Int32,
+            AttributeType::Int64,
+            AttributeType::Float,
+            AttributeType::Double,
+            AttributeType::Char,
+            AttributeType::Str,
+        ] {
+            assert_eq!(AttributeType::parse(ty.name()), Some(ty));
+        }
+        assert_eq!(AttributeType::parse("int"), Some(AttributeType::Int32));
+        assert_eq!(AttributeType::parse("bogus"), None);
+    }
+
+    #[test]
+    fn column_push_and_get() {
+        let mut col = AttributeColumn::new(AttributeType::Double);
+        col.push(ScalarValue::Double(1.5)).unwrap();
+        col.push(ScalarValue::Double(-2.0)).unwrap();
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.get(1), Some(ScalarValue::Double(-2.0)));
+        assert_eq!(col.get_f64(0), Some(1.5));
+        assert_eq!(col.get(2), None);
+    }
+
+    #[test]
+    fn column_rejects_type_mismatch() {
+        let mut col = AttributeColumn::new(AttributeType::Int32);
+        let err = col.push(ScalarValue::Double(1.0)).unwrap_err();
+        assert_eq!(err, (AttributeType::Int32, AttributeType::Double));
+        assert!(col.is_empty());
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        let mut col = AttributeColumn::new(AttributeType::Str);
+        col.push(ScalarValue::Str("port".into())).unwrap();
+        assert_eq!(col.byte_size(), 4 + 4);
+        let mut ints = AttributeColumn::new(AttributeType::Int64);
+        ints.push(ScalarValue::Int64(7)).unwrap();
+        assert_eq!(ints.byte_size(), 8);
+    }
+
+    #[test]
+    fn scalar_numeric_views() {
+        assert_eq!(ScalarValue::Int32(3).as_f64(), Some(3.0));
+        assert_eq!(ScalarValue::Str("x".into()).as_f64(), None);
+        assert_eq!(ScalarValue::Int64(9).as_i64(), Some(9));
+        assert_eq!(ScalarValue::Double(1.0).as_i64(), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the array substrate: schema text round-trips,
+//! cell→chunk mapping consistency, and space-filling-curve invariants.
+
+use array_model::{
+    chunk_of, gilbert2d, hilbert_coords, hilbert_index, ArraySchema, AttributeDef, AttributeType,
+    DimensionDef,
+};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = AttributeType> {
+    prop_oneof![
+        Just(AttributeType::Int32),
+        Just(AttributeType::Int64),
+        Just(AttributeType::Float),
+        Just(AttributeType::Double),
+        Just(AttributeType::Char),
+        Just(AttributeType::Str),
+    ]
+}
+
+prop_compose! {
+    fn arb_dimension(idx: usize)(
+        start in -1000i64..1000,
+        len in 0i64..500,
+        interval in 1i64..64,
+        bounded in any::<bool>(),
+    ) -> DimensionDef {
+        let name = format!("d{idx}");
+        if bounded {
+            DimensionDef::bounded(name, start, start + len, interval)
+        } else {
+            DimensionDef::unbounded(name, start, interval)
+        }
+    }
+}
+
+fn arb_schema() -> impl Strategy<Value = ArraySchema> {
+    let dims = (1usize..4).prop_flat_map(|n| {
+        (0..n).map(arb_dimension).collect::<Vec<_>>()
+    });
+    let attrs = proptest::collection::vec(arb_type(), 1..5).prop_map(|types| {
+        types
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| AttributeDef::new(format!("a{i}"), ty))
+            .collect::<Vec<_>>()
+    });
+    (dims, attrs).prop_map(|(dimensions, attributes)| {
+        ArraySchema::new("T", attributes, dimensions).expect("generated schema is valid")
+    })
+}
+
+proptest! {
+    /// `Display` output must parse back to an identical schema.
+    #[test]
+    fn schema_text_roundtrips(schema in arb_schema()) {
+        let printed = schema.to_string();
+        let reparsed = ArraySchema::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(schema, reparsed);
+    }
+
+    /// Every in-bounds cell maps to a chunk whose range contains it.
+    #[test]
+    fn cell_lands_inside_its_chunk(
+        schema in arb_schema(),
+        offsets in proptest::collection::vec(0i64..400, 3),
+    ) {
+        let cell: Vec<i64> = schema
+            .dimensions
+            .iter()
+            .zip(&offsets)
+            .map(|(d, &o)| {
+                let span = d.end.map(|e| e - d.start + 1).unwrap_or(i64::MAX / 4);
+                d.start + o.min(span - 1)
+            })
+            .collect();
+        let chunk = chunk_of(&schema, &cell).expect("cell is in bounds");
+        for (d, dim) in schema.dimensions.iter().enumerate() {
+            let (lo, hi) = dim.chunk_range(chunk.index(d));
+            prop_assert!(cell[d] >= lo && cell[d] <= hi,
+                "cell {:?} outside chunk range [{lo}, {hi}] on dim {d}", cell);
+        }
+    }
+
+    /// Hilbert index/coords are mutually inverse for arbitrary points.
+    #[test]
+    fn hilbert_roundtrips(
+        ndims in 1usize..5,
+        bits in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let side = 1u64 << bits;
+        let coords: Vec<u64> = (0..ndims)
+            .map(|d| (seed.rotate_left(13 * d as u32) % side))
+            .collect();
+        let h = hilbert_index(&coords, bits);
+        prop_assert!(h < (1u128 << (bits as usize * ndims)));
+        prop_assert_eq!(hilbert_coords(h, bits, ndims), coords);
+    }
+
+    /// The generalized pseudo-Hilbert scan covers any rectangle exactly
+    /// once; every step is Chebyshev-adjacent and at most one step per
+    /// rectangle is diagonal (the paper's citation [32] permits the same).
+    #[test]
+    fn gilbert_covers_any_rectangle(w in 1i64..40, h in 1i64..40) {
+        let path = gilbert2d(w, h);
+        prop_assert_eq!(path.len() as i64, w * h);
+        let mut seen = std::collections::HashSet::new();
+        for &(x, y) in &path {
+            prop_assert!(x >= 0 && x < w && y >= 0 && y < h);
+            prop_assert!(seen.insert((x, y)), "repeated point ({x},{y})");
+        }
+        let mut diagonals = 0;
+        for pair in path.windows(2) {
+            let dx = (pair[0].0 - pair[1].0).abs();
+            let dy = (pair[0].1 - pair[1].1).abs();
+            prop_assert_eq!(dx.max(dy), 1,
+                "curve jumped between {:?} and {:?}", pair[0], pair[1]);
+            if dx + dy == 2 {
+                diagonals += 1;
+            }
+        }
+        prop_assert!(diagonals <= 1, "{} diagonal steps in {}x{}", diagonals, w, h);
+    }
+
+    /// Region/chunk intersection agrees with brute-force cell membership.
+    #[test]
+    fn region_intersection_is_sound(
+        lo0 in 0i64..20, len0 in 0i64..20,
+        lo1 in 0i64..20, len1 in 0i64..20,
+    ) {
+        let schema = ArraySchema::new(
+            "R",
+            vec![AttributeDef::new("v", AttributeType::Int32)],
+            vec![
+                DimensionDef::bounded("x", 0, 19, 3),
+                DimensionDef::bounded("y", 0, 19, 4),
+            ],
+        ).unwrap();
+        let region = array_model::Region::new(
+            vec![lo0, lo1],
+            vec![(lo0 + len0).min(19), (lo1 + len1).min(19)],
+        );
+        for chunk in array_model::all_chunks(&schema).unwrap() {
+            let brute = (0..20).any(|x| (0..20).any(|y| {
+                region.contains_cell(&[x, y])
+                    && chunk_of(&schema, &[x, y]).unwrap() == chunk
+            }));
+            prop_assert_eq!(
+                region.intersects_chunk(&schema, &chunk),
+                brute,
+                "chunk {:?} vs region {:?}", chunk, region
+            );
+        }
+    }
+}

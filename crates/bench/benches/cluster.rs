@@ -1,0 +1,41 @@
+//! Microbenchmarks for the cluster substrate: the byte-flow contention
+//! solver and rebalance application.
+
+use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, CostModel, FlowSet, NodeId, RebalancePlan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_flow_solver(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let mut flows = FlowSet::new();
+    for i in 0..10_000u32 {
+        flows.push(NodeId(i % 8), NodeId((i + 3) % 8), 50_000_000);
+    }
+    c.bench_function("flow_solver_10k_flows", |b| {
+        b.iter(|| black_box(flows.elapsed_secs(&cost)))
+    });
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    c.bench_function("apply_rebalance_2000_moves", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = Cluster::new(8, u64::MAX, CostModel::default()).unwrap();
+                let mut plan = RebalancePlan::empty();
+                for i in 0..2000i64 {
+                    let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i]));
+                    let desc = ChunkDescriptor::new(key.clone(), 1_000_000, 100);
+                    cluster.place(desc, NodeId((i % 4) as u32)).unwrap();
+                    plan.push(key, NodeId((i % 4) as u32), NodeId(4 + (i % 4) as u32), 1_000_000);
+                }
+                (cluster, plan)
+            },
+            |(mut cluster, plan)| black_box(cluster.apply_rebalance(&plan).unwrap().total_bytes()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_flow_solver, bench_rebalance);
+criterion_main!(benches);

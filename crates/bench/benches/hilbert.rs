@@ -1,0 +1,55 @@
+//! Microbenchmarks for the Hilbert-curve substrate.
+
+use array_model::{gilbert2d, hilbert_coords, hilbert_index};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert_index");
+    for (ndims, bits) in [(2usize, 8u32), (3, 8), (4, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ndims}d_{bits}bits")),
+            &(ndims, bits),
+            |b, &(ndims, bits)| {
+                let coords: Vec<Vec<u64>> = (0..256)
+                    .map(|i| (0..ndims).map(|d| ((i * 31 + d * 7) % (1 << bits)) as u64).collect())
+                    .collect();
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for c in &coords {
+                        acc ^= hilbert_index(c, bits);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    c.bench_function("hilbert_coords_3d_8bits_x256", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for h in 0..256u128 {
+                acc ^= hilbert_coords(h * 65_537, 8, 3)[0];
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_gilbert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gilbert2d");
+    for (w, h) in [(30i64, 23i64), (128, 128), (500, 300)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &(w, h),
+            |b, &(w, h)| b.iter(|| black_box(gilbert2d(w, h).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index, bench_inverse, bench_gilbert);
+criterion_main!(benches);

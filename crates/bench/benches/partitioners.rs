@@ -1,0 +1,112 @@
+//! Microbenchmarks for the elastic partitioners: placement throughput,
+//! lookup latency, and scale-out planning.
+
+use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::{build_partitioner, GridHint, PartitionerConfig, PartitionerKind};
+use std::hint::black_box;
+
+fn grid() -> GridHint {
+    GridHint::new(vec![40, 29, 23]).with_split_priority(vec![1, 2]).with_curve_dims(vec![1, 2])
+}
+
+fn descriptors(n: usize) -> Vec<ChunkDescriptor> {
+    (0..n)
+        .map(|i| {
+            let t = (i / 667) as i64;
+            let lon = ((i % 667) / 23) as i64;
+            let lat = (i % 23) as i64;
+            ChunkDescriptor::new(
+                ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, lon, lat])),
+                1_000_000 + (i as u64 * 37) % 5_000_000,
+                1_000,
+            )
+        })
+        .collect()
+}
+
+fn bench_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place_1000_chunks");
+    group.sample_size(20);
+    let descs = descriptors(1000);
+    for kind in PartitionerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter_batched(
+                || {
+                    let cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+                    let p = build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
+                    (cluster, p)
+                },
+                |(mut cluster, mut p)| {
+                    for d in &descs {
+                        let n = p.place(d, &cluster);
+                        cluster.place(d.clone(), n).unwrap();
+                    }
+                    black_box(cluster.total_used())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locate_1000_chunks");
+    group.sample_size(20);
+    let descs = descriptors(1000);
+    for kind in PartitionerKind::ALL {
+        let cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+        let mut cluster = cluster;
+        let mut p = build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
+        for d in &descs {
+            let n = p.place(d, &cluster);
+            cluster.place(d.clone(), n).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for d in &descs {
+                    if p.locate(&d.key).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_out(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_out_planning_5000_chunks");
+    group.sample_size(10);
+    let descs = descriptors(5000);
+    for kind in PartitionerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter_batched(
+                || {
+                    let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+                    let mut p =
+                        build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
+                    for d in &descs {
+                        let n = p.place(d, &cluster);
+                        cluster.place(d.clone(), n).unwrap();
+                    }
+                    (cluster, p)
+                },
+                |(mut cluster, mut p)| {
+                    let new = cluster.add_nodes(2, u64::MAX);
+                    let plan = p.scale_out(&cluster, &new);
+                    black_box(plan.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_place, bench_locate, bench_scale_out);
+criterion_main!(benches);

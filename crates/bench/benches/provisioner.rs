@@ -1,0 +1,44 @@
+//! Microbenchmarks for the leading-staircase provisioner and its tuners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_core::provision::{estimate_cost, ClusterSnapshot, CostModelParams};
+use elastic_core::{tune_samples, StaircaseConfig, StaircaseProvisioner};
+use std::hint::black_box;
+
+fn bench_decide(c: &mut Criterion) {
+    let mut p = StaircaseProvisioner::new(StaircaseConfig::paper_defaults());
+    for i in 0..1000 {
+        p.observe(45.0 * i as f64);
+    }
+    c.bench_function("staircase_decide", |b| {
+        b.iter(|| black_box(p.decide(8, 45_600.0)))
+    });
+}
+
+fn bench_tune_samples(c: &mut Criterion) {
+    let history: Vec<f64> = (0..1000).map(|i| 45.0 * i as f64 + (i % 7) as f64).collect();
+    c.bench_function("tune_samples_psi8_1000cycles", |b| {
+        b.iter(|| black_box(tune_samples(&history, 8).best))
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let snap = ClusterSnapshot {
+        nodes: 4,
+        load_gb: 400.0,
+        insert_rate_gb: 45.0,
+        last_query_secs: 900.0,
+    };
+    let params = CostModelParams {
+        node_capacity_gb: 100.0,
+        delta_secs_per_gb: 8.0,
+        t_secs_per_gb: 12.0,
+        horizon: 64,
+    };
+    c.bench_function("estimate_cost_horizon64", |b| {
+        b.iter(|| black_box(estimate_cost(3, &snap, &params).node_hours))
+    });
+}
+
+criterion_group!(benches, bench_decide, bench_tune_samples, bench_cost_model);
+criterion_main!(benches);

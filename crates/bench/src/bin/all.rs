@@ -1,0 +1,14 @@
+//! Run every reproduction target in sequence (Table 1 .. Table 3).
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3"];
+    for bin in bins {
+        println!("\n=============================== {bin} ===============================");
+        let status = Command::new(std::env::current_exe().unwrap().with_file_name(bin))
+            .status()
+            .expect("sibling binary exists");
+        assert!(status.success(), "{bin} failed");
+    }
+}

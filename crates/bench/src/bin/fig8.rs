@@ -1,0 +1,31 @@
+//! Reproduce Figure 8: the MODIS leading staircase under provisioner set
+//! points p = 1, 3, 6 (Consistent Hash, s = 4, 100 GB nodes).
+
+use bench_harness::experiments::fig8_trace;
+use bench_harness::table::{out_dir, TextTable};
+
+fn main() {
+    let traces: Vec<_> = [1usize, 3, 6].iter().map(|&p| fig8_trace(p)).collect();
+    let cycles = traces[0].nodes.len();
+    let mut header: Vec<String> = vec!["Cycle".into(), "Demand (nodes)".into()];
+    header.extend(traces.iter().map(|t| format!("p = {}", t.plan_ahead)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&header_refs);
+    for c in 0..cycles {
+        let mut cells = vec![
+            format!("{}", c + 1),
+            format!("{:.2}", traces[0].demand_gb[c] / 100.0),
+        ];
+        cells.extend(traces.iter().map(|tr| tr.nodes[c].to_string()));
+        t.row(cells);
+    }
+    println!("Figure 8: MODIS staircase with varying provisioner configurations.");
+    println!("(demand expressed in node-equivalents of 100 GB)\n");
+    print!("{}", t.render());
+    for tr in &traces {
+        println!("p = {}: {} scale-out events", tr.plan_ahead, tr.reorgs);
+    }
+    if let Some(path) = t.write_csv(&out_dir(), "fig8") {
+        println!("\ncsv: {}", path.display());
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduce Table 1: the taxonomy of array partitioners.
+
+use bench_harness::table::{out_dir, TextTable};
+use elastic_core::PartitionerKind;
+
+fn main() {
+    let mut t = TextTable::new(&[
+        "Partitioner",
+        "Incremental Scale Out",
+        "Fine-Grained Partitioning",
+        "Skew-Aware",
+        "n-Dimensional Clustering",
+    ]);
+    let mark = |b: bool| if b { "X".to_string() } else { String::new() };
+    for kind in PartitionerKind::ALL {
+        let f = kind.features();
+        t.row(vec![
+            kind.label().to_string(),
+            mark(f.incremental_scale_out),
+            mark(f.fine_grained),
+            mark(f.skew_aware),
+            mark(f.n_dimensional_clustering),
+        ]);
+    }
+    println!("Table 1: Taxonomy of array partitioners.\n");
+    print!("{}", t.render());
+    if let Some(path) = t.write_csv(&out_dir(), "table1") {
+        println!("\ncsv: {}", path.display());
+    }
+}

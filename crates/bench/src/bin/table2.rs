@@ -1,0 +1,29 @@
+//! Reproduce Table 2: demand-prediction error rates (GB) for sampling
+//! windows s = 1..4, on training and held-out demand history.
+
+use bench_harness::experiments::table2_data;
+use bench_harness::table::{out_dir, TextTable};
+
+fn main() {
+    let (ais, modis) = table2_data();
+    let mut t = TextTable::new(&["Samples (s)", "1", "2", "3", "4"]);
+    let fmt = |v: &[f64]| v.iter().map(|e| format!("{e:.1}")).collect::<Vec<_>>();
+    let mut row = vec!["AIS Train".to_string()];
+    row.extend(fmt(&ais.train));
+    t.row(row);
+    let mut row = vec!["AIS Test".to_string()];
+    row.extend(fmt(&ais.test));
+    t.row(row);
+    let mut row = vec!["MODIS Train".to_string()];
+    row.extend(fmt(&modis.train));
+    t.row(row);
+    let mut row = vec!["MODIS Test".to_string()];
+    row.extend(fmt(&modis.test));
+    t.row(row);
+    println!("Table 2: demand prediction error rates (GB) per sampling window.\n");
+    print!("{}", t.render());
+    println!("\ntuner picks: AIS s = {}, MODIS s = {} (paper: 1 and 4)", ais.best, modis.best);
+    if let Some(path) = t.write_csv(&out_dir(), "table2") {
+        println!("csv: {}", path.display());
+    }
+}

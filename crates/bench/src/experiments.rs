@@ -1,0 +1,321 @@
+//! The paper's evaluation (§6), one function per table/figure.
+//!
+//! Every function is deterministic and returns plain data that the repro
+//! binaries render as text tables / series (and CSV). Paper-scale runs
+//! (hundreds of simulated GB) complete in seconds of host time because
+//! only chunk metadata flows through the simulator.
+
+use elastic_core::provision::{
+    estimate_cost, tune_plan_ahead, ClusterSnapshot, CostEstimate, CostModelParams,
+};
+use elastic_core::{prediction_error, PartitionerKind, StaircaseConfig};
+use workloads::{
+    AisWorkload, ModisWorkload, RunReport, RunnerConfig, ScalingPolicy, Workload, WorkloadRunner,
+};
+
+/// Default experiment seeds (fixed for reproducibility).
+pub const MODIS_SEED: u64 = 0x5eed_0001;
+/// Seed for the AIS generator.
+pub const AIS_SEED: u64 = 0x5eed_0002;
+
+/// Run one workload under the §6.2 schedule with the given partitioner.
+pub fn section62_run(kind: PartitionerKind, workload: &dyn Workload, queries: bool) -> RunReport {
+    let mut config = RunnerConfig::paper_section62(kind);
+    config.run_queries = queries;
+    WorkloadRunner::new(workload, config).run_all()
+}
+
+/// One Figure 4 bar: insert and reorg minutes plus the RSD balance label.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Partitioning scheme.
+    pub kind: PartitionerKind,
+    /// Total insert minutes across the run.
+    pub insert_mins: f64,
+    /// Total reorganization minutes across the run.
+    pub reorg_mins: f64,
+    /// Mean relative standard deviation of node loads (the bar label).
+    pub rsd: f64,
+    /// Total bytes relocated by scale-outs.
+    pub moved_gb: f64,
+}
+
+/// Figure 4 data for one workload.
+pub fn fig4_rows(workload: &dyn Workload) -> Vec<Fig4Row> {
+    PartitionerKind::ALL
+        .iter()
+        .map(|&kind| {
+            let report = section62_run(kind, workload, false);
+            let totals = report.phase_totals();
+            Fig4Row {
+                kind,
+                insert_mins: totals.insert_secs / 60.0,
+                reorg_mins: totals.reorg_secs / 60.0,
+                rsd: report.mean_rsd(),
+                moved_gb: report.cycles.iter().map(|c| c.moved_bytes).sum::<u64>() as f64 / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 5 bar: benchmark minutes per suite.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Partitioning scheme.
+    pub kind: PartitionerKind,
+    /// Science-suite minutes.
+    pub science_mins: f64,
+    /// SPJ-suite minutes.
+    pub spj_mins: f64,
+}
+
+/// Figure 5 data for one workload (full §6.2 runs with queries).
+pub fn fig5_rows(workload: &dyn Workload) -> Vec<Fig5Row> {
+    PartitionerKind::ALL
+        .iter()
+        .map(|&kind| {
+            let report = section62_run(kind, workload, true);
+            Fig5Row {
+                kind,
+                science_mins: report.science_secs() / 60.0,
+                spj_mins: report.spj_secs() / 60.0,
+            }
+        })
+        .collect()
+}
+
+/// Per-cycle series of one query for every scheme (Figures 6 and 7).
+#[derive(Debug, Clone)]
+pub struct SeriesRow {
+    /// Partitioning scheme.
+    pub kind: PartitionerKind,
+    /// Elapsed minutes per workload cycle.
+    pub mins_per_cycle: Vec<f64>,
+}
+
+/// Figure 6: MODIS vegetation-index join duration per cycle.
+pub fn fig6_series() -> Vec<SeriesRow> {
+    let workload = ModisWorkload::with_seed(MODIS_SEED);
+    query_series(&workload, "spj/join")
+}
+
+/// Figure 7: AIS k-nearest-neighbour duration per cycle.
+pub fn fig7_series() -> Vec<SeriesRow> {
+    let workload = AisWorkload::with_seed(AIS_SEED);
+    query_series(&workload, "science/modeling")
+}
+
+fn query_series(workload: &dyn Workload, query: &str) -> Vec<SeriesRow> {
+    PartitionerKind::ALL
+        .iter()
+        .map(|&kind| {
+            let report = section62_run(kind, workload, true);
+            SeriesRow {
+                kind,
+                mins_per_cycle: report
+                    .query_series(query)
+                    .into_iter()
+                    .map(|s| s / 60.0)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: the staircase under one planning horizon.
+#[derive(Debug, Clone)]
+pub struct StaircaseTrace {
+    /// Planning horizon p.
+    pub plan_ahead: usize,
+    /// Nodes provisioned at each cycle.
+    pub nodes: Vec<usize>,
+    /// Storage demand (GB) at each cycle.
+    pub demand_gb: Vec<f64>,
+    /// Number of scale-out events.
+    pub reorgs: usize,
+    /// The full run (node-hour accounting for Table 3).
+    pub report: RunReport,
+}
+
+/// Run the Figure 8 experiment: MODIS on Consistent Hash (per §6.3),
+/// staircase-provisioned with `s = 4` and the given `p`.
+pub fn fig8_trace(plan_ahead: usize) -> StaircaseTrace {
+    let workload = ModisWorkload::with_seed(MODIS_SEED);
+    let mut config = RunnerConfig::paper_section62(PartitionerKind::ConsistentHash);
+    config.initial_nodes = 1;
+    config.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+        node_capacity_gb: 100.0,
+        samples: 4,
+        plan_ahead,
+        trigger: 1.0,
+    });
+    config.run_queries = true;
+    let report = WorkloadRunner::new(&workload, config).run_all();
+    StaircaseTrace {
+        plan_ahead,
+        nodes: report.cycles.iter().map(|c| c.nodes).collect(),
+        demand_gb: report.cycles.iter().map(|c| c.demand_gb).collect(),
+        reorgs: report.cycles.iter().filter(|c| c.added_nodes > 0).count(),
+        report,
+    }
+}
+
+/// Table 2: prediction errors for each sampling window, train vs test.
+#[derive(Debug, Clone)]
+pub struct Table2Data {
+    /// Mean |predicted − observed| demand change, GB, for s = 1..=4,
+    /// on the training prefix of the demand history.
+    pub train: Vec<f64>,
+    /// Same, on the held-out remainder.
+    pub test: Vec<f64>,
+    /// The winning window on the training data.
+    pub best: usize,
+}
+
+/// Evaluate Algorithm 1 on a demand history split at `train_len`.
+pub fn table2_eval(history: &[f64], train_len: usize, psi: usize) -> Table2Data {
+    let train_hist = &history[..train_len.min(history.len())];
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for s in 1..=psi {
+        train.push(prediction_error(train_hist, s).unwrap_or(f64::NAN));
+        // Test: evaluate predictions over the held-out region only, using
+        // the same sliding-window estimator.
+        test.push(holdout_error(history, train_len, s).unwrap_or(f64::NAN));
+    }
+    let best = train
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.is_nan())
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, _)| i + 1)
+        .unwrap_or(1);
+    Table2Data { train, test, best }
+}
+
+/// Mean |Δ − Δest| over predictions made inside the held-out suffix.
+fn holdout_error(history: &[f64], train_len: usize, s: usize) -> Option<f64> {
+    let d = history.len();
+    if d < train_len + 2 || train_len < s {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in train_len.max(s)..d - 1 {
+        let delta_est = (history[i] - history[i - s]) / s as f64;
+        let delta_actual = history[i + 1] - history[i];
+        total += (delta_actual - delta_est).abs();
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+/// Table 2 for both workloads: AIS on monthly demand (40 samples, train on
+/// the first third as the paper does), MODIS on daily demand (14 samples,
+/// train on the first two thirds — the paper's one-third prefix of a
+/// 14-cycle history cannot even evaluate s = 4; see EXPERIMENTS.md).
+pub fn table2_data() -> (Table2Data, Table2Data) {
+    let ais = AisWorkload::with_seed(AIS_SEED);
+    let modis = ModisWorkload::with_seed(MODIS_SEED);
+    let ais_hist = ais.monthly_demand_history();
+    let modis_hist = modis.daily_demand_history();
+    let ais_data = table2_eval(&ais_hist, ais_hist.len() / 3, 4);
+    let modis_data = table2_eval(&modis_hist, modis_hist.len() * 2 / 3, 4);
+    (ais_data, modis_data)
+}
+
+/// Table 3: analytical estimate vs measured node-hours for one horizon.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Planning horizon p.
+    pub plan_ahead: usize,
+    /// Eq. 9 estimate over the projection window, node-hours.
+    pub estimated: f64,
+    /// Measured node-hours over the same cycles of the real (simulated)
+    /// run.
+    pub measured: f64,
+}
+
+/// Table 3: model cycles `window` (0-based, inclusive) of the MODIS
+/// staircase runs for p ∈ {1, 3, 6}. All estimates project from the *same*
+/// cluster snapshot — the state of the lazy (p = 1) run just before the
+/// window, which is where the paper's tuner sits when it compares set
+/// points. Returns the rows plus the tuner's pick.
+pub fn table3_data(window: (usize, usize)) -> (Vec<Table3Row>, usize) {
+    let (start, end) = window;
+    assert!(end >= start);
+    let horizon = end - start + 1;
+    let params = CostModelParams {
+        node_capacity_gb: 100.0,
+        delta_secs_per_gb: 8.0,
+        t_secs_per_gb: 12.0,
+        horizon,
+    };
+
+    // Common snapshot from the lazy baseline run.
+    let baseline = fig8_trace(1);
+    let cycles = &baseline.report.cycles;
+    let snap_cycle = &cycles[start.saturating_sub(1)];
+    let mu = if start >= 5 {
+        (cycles[start - 1].demand_gb - cycles[start - 5].demand_gb) / 4.0
+    } else {
+        snap_cycle.demand_gb / start.max(1) as f64
+    };
+    let snap = ClusterSnapshot {
+        nodes: snap_cycle.nodes,
+        load_gb: snap_cycle.demand_gb,
+        insert_rate_gb: mu,
+        last_query_secs: snap_cycle.phases.query_secs,
+    };
+
+    let mut rows = Vec::new();
+    for p in [1usize, 3, 6] {
+        let est: CostEstimate = estimate_cost(p, &snap, &params);
+        // Measured: Eq. 1 over the same window of the actual p-run.
+        let trace = if p == 1 { baseline.clone() } else { fig8_trace(p) };
+        let measured: f64 = trace.report.cycles[start..=end.min(trace.report.cycles.len() - 1)]
+            .iter()
+            .map(|c| c.nodes as f64 * c.phases.total_secs())
+            .sum::<f64>()
+            / 3600.0;
+        rows.push(Table3Row { plan_ahead: p, estimated: est.node_hours, measured });
+    }
+    let best = tune_plan_ahead(&[1, 3, 6], &snap, &params).best;
+    (rows, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_match_the_paper() {
+        let (ais, modis) = table2_data();
+        // AIS: trending demand -> smallest window wins, and error grows
+        // monotonically with the window (paper: 1.6, 1.8, 2.0, 2.2).
+        assert_eq!(ais.best, 1, "AIS should tune to s=1: {:?}", ais.train);
+        for w in ais.train.windows(2) {
+            assert!(w[0] <= w[1], "AIS train errors should grow in s: {:?}", ais.train);
+        }
+        // MODIS: periodic + anti-correlated daily volume -> the widest
+        // window wins (paper: 2.7, 1.8, 2.0, 1.6 with s=4 best).
+        assert_eq!(modis.best, 4, "MODIS should tune to s=4: {:?}", modis.train);
+        assert!(modis.train[3] < modis.train[0]);
+        // Test errors correlate with train: same winner side.
+        assert!(ais.test[0] <= ais.test[3]);
+        assert!(modis.test[3] <= modis.test[0]);
+    }
+
+    #[test]
+    fn holdout_error_requires_enough_history() {
+        let hist: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(holdout_error(&hist, 3, 1).is_some());
+        assert!(holdout_error(&hist, 9, 1).is_none());
+        // Perfect linear growth -> zero error.
+        assert!(holdout_error(&hist, 3, 2).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,10 @@
+//! # bench-harness
+//!
+//! The reproduction harness for the paper's evaluation (§6): one function
+//! per table/figure in [`experiments`], rendered by the `fig4`…`table3`
+//! binaries, plus criterion microbenchmarks under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,264 @@
+//! The simulated shared-nothing cluster: node roster plus chunk placement.
+
+use crate::cost::CostModel;
+use crate::error::{ClusterError, Result};
+use crate::node::{Node, NodeId};
+use crate::rebalance::RebalancePlan;
+use crate::transfer::FlowSet;
+use array_model::{ChunkDescriptor, ChunkKey};
+use std::collections::BTreeMap;
+
+/// The cluster: an append-only roster of nodes and the authoritative
+/// chunk→node placement map.
+///
+/// The first node doubles as the **coordinator** (§3.4: "inserts are
+/// submitted to a coordinator node, and it distributes the incoming chunks
+/// over the entire cluster").
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    placement: BTreeMap<ChunkKey, NodeId>,
+    cost: CostModel,
+}
+
+impl Cluster {
+    /// A cluster of `node_count` empty nodes of equal `capacity_bytes`.
+    pub fn new(node_count: usize, capacity_bytes: u64, cost: CostModel) -> Result<Self> {
+        if node_count == 0 {
+            return Err(ClusterError::EmptyCluster);
+        }
+        let nodes = (0..node_count as u32)
+            .map(|i| Node::new(NodeId(i), capacity_bytes))
+            .collect();
+        Ok(Cluster { nodes, placement: BTreeMap::new(), cost })
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The coordinator node (always the first).
+    pub fn coordinator(&self) -> NodeId {
+        self.nodes[0].id
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node ids in join order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0 as usize).ok_or(ClusterError::UnknownNode(id.0))
+    }
+
+    /// Iterate all nodes in join order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Append `count` fresh nodes; returns their ids.
+    pub fn add_nodes(&mut self, count: usize, capacity_bytes: u64) -> Vec<NodeId> {
+        let mut added = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Node::new(id, capacity_bytes));
+            added.push(id);
+        }
+        added
+    }
+
+    /// Where a chunk lives, if resident.
+    pub fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
+        self.placement.get(key).copied()
+    }
+
+    /// Place a brand-new chunk on `node`.
+    pub fn place(&mut self, desc: ChunkDescriptor, node: NodeId) -> Result<()> {
+        if self.placement.contains_key(&desc.key) {
+            return Err(ClusterError::DuplicateChunk(desc.key));
+        }
+        let n = self
+            .nodes
+            .get_mut(node.0 as usize)
+            .ok_or(ClusterError::UnknownNode(node.0))?;
+        self.placement.insert(desc.key.clone(), node);
+        n.admit(desc);
+        Ok(())
+    }
+
+    /// Execute a rebalance plan, validating each move against the actual
+    /// placement, and return the flow set that timed it.
+    pub fn apply_rebalance(&mut self, plan: &RebalancePlan) -> Result<FlowSet> {
+        // Validate first so a bad plan leaves the cluster untouched.
+        for m in &plan.moves {
+            let actual = self
+                .placement
+                .get(&m.key)
+                .copied()
+                .ok_or_else(|| ClusterError::MissingChunk(m.key.clone()))?;
+            if actual != m.from {
+                return Err(ClusterError::WrongSource {
+                    key: m.key.clone(),
+                    claimed: m.from.0,
+                    actual: actual.0,
+                });
+            }
+            if m.to.0 as usize >= self.nodes.len() {
+                return Err(ClusterError::UnknownNode(m.to.0));
+            }
+        }
+        let mut flows = FlowSet::new();
+        for m in &plan.moves {
+            let desc = self.nodes[m.from.0 as usize]
+                .evict(&m.key)
+                .expect("validated above");
+            flows.push(m.from, m.to, desc.bytes);
+            self.placement.insert(m.key.clone(), m.to);
+            self.nodes[m.to.0 as usize].admit(desc);
+        }
+        Ok(flows)
+    }
+
+    /// Per-node stored bytes, in join order. The input to every balance
+    /// metric and to the skew-aware partitioners.
+    pub fn loads(&self) -> Vec<u64> {
+        self.nodes.iter().map(Node::used_bytes).collect()
+    }
+
+    /// Per-node chunk counts, in join order.
+    pub fn chunk_counts(&self) -> Vec<usize> {
+        self.nodes.iter().map(Node::chunk_count).collect()
+    }
+
+    /// Total bytes stored across the cluster.
+    pub fn total_used(&self) -> u64 {
+        self.nodes.iter().map(Node::used_bytes).sum()
+    }
+
+    /// Total capacity across the cluster (N × c).
+    pub fn total_capacity(&self) -> u64 {
+        self.nodes.iter().map(|n| n.capacity_bytes).sum()
+    }
+
+    /// The most loaded node (by bytes); ties break toward the lower id.
+    pub fn most_loaded(&self) -> NodeId {
+        self.nodes
+            .iter()
+            .max_by(|a, b| {
+                a.used_bytes()
+                    .cmp(&b.used_bytes())
+                    .then(b.id.0.cmp(&a.id.0))
+            })
+            .expect("cluster is never empty")
+            .id
+    }
+
+    /// Number of resident chunks cluster-wide.
+    pub fn total_chunks(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Iterate every `(key, node)` placement in deterministic key order.
+    pub fn placements(&self) -> impl Iterator<Item = (&ChunkKey, NodeId)> {
+        self.placement.iter().map(|(k, n)| (k, *n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+
+    fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, 1_000, CostModel::default()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_cluster() {
+        assert!(Cluster::new(0, 1_000, CostModel::default()).is_err());
+    }
+
+    #[test]
+    fn place_and_locate() {
+        let mut c = cluster(2);
+        c.place(desc(1, 100), NodeId(1)).unwrap();
+        assert_eq!(c.locate(&desc(1, 0).key), Some(NodeId(1)));
+        assert_eq!(c.loads(), vec![0, 100]);
+        assert!(matches!(
+            c.place(desc(1, 100), NodeId(0)),
+            Err(ClusterError::DuplicateChunk(_))
+        ));
+        assert!(matches!(
+            c.place(desc(2, 100), NodeId(9)),
+            Err(ClusterError::UnknownNode(9))
+        ));
+    }
+
+    #[test]
+    fn add_nodes_assigns_sequential_ids() {
+        let mut c = cluster(2);
+        let added = c.add_nodes(2, 1_000);
+        assert_eq!(added, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.total_capacity(), 4_000);
+    }
+
+    #[test]
+    fn rebalance_moves_and_validates() {
+        let mut c = cluster(3);
+        c.place(desc(1, 100), NodeId(0)).unwrap();
+        c.place(desc(2, 50), NodeId(0)).unwrap();
+
+        let mut plan = RebalancePlan::empty();
+        plan.push(desc(1, 100).key, NodeId(0), NodeId(2), 100);
+        let flows = c.apply_rebalance(&plan).unwrap();
+        assert_eq!(flows.network_bytes(), 100);
+        assert_eq!(c.locate(&desc(1, 0).key), Some(NodeId(2)));
+        assert_eq!(c.loads(), vec![50, 0, 100]);
+
+        // Wrong source is rejected and leaves state intact.
+        let mut bad = RebalancePlan::empty();
+        bad.push(desc(2, 50).key, NodeId(1), NodeId(2), 50);
+        assert!(matches!(c.apply_rebalance(&bad), Err(ClusterError::WrongSource { .. })));
+        assert_eq!(c.locate(&desc(2, 0).key), Some(NodeId(0)));
+
+        // Missing chunk is rejected.
+        let mut missing = RebalancePlan::empty();
+        missing.push(desc(9, 1).key, NodeId(0), NodeId(1), 1);
+        assert!(matches!(c.apply_rebalance(&missing), Err(ClusterError::MissingChunk(_))));
+    }
+
+    #[test]
+    fn most_loaded_breaks_ties_low() {
+        let mut c = cluster(3);
+        c.place(desc(1, 100), NodeId(1)).unwrap();
+        c.place(desc(2, 100), NodeId(2)).unwrap();
+        assert_eq!(c.most_loaded(), NodeId(1));
+        c.place(desc(3, 1), NodeId(2)).unwrap();
+        assert_eq!(c.most_loaded(), NodeId(2));
+    }
+
+    #[test]
+    fn atomic_validation_prevents_partial_application() {
+        let mut c = cluster(3);
+        c.place(desc(1, 10), NodeId(0)).unwrap();
+        c.place(desc(2, 10), NodeId(1)).unwrap();
+        let mut plan = RebalancePlan::empty();
+        plan.push(desc(1, 10).key, NodeId(0), NodeId(2), 10); // fine
+        plan.push(desc(2, 10).key, NodeId(0), NodeId(2), 10); // wrong source
+        assert!(c.apply_rebalance(&plan).is_err());
+        // first move must NOT have been applied
+        assert_eq!(c.locate(&desc(1, 0).key), Some(NodeId(0)));
+    }
+}

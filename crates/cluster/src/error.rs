@@ -1,0 +1,45 @@
+//! Error type for cluster simulation.
+
+use array_model::ChunkKey;
+use std::fmt;
+
+/// Errors raised by cluster state transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Referenced a node that does not exist.
+    UnknownNode(u32),
+    /// Placed a chunk that is already resident somewhere.
+    DuplicateChunk(ChunkKey),
+    /// Moved or looked up a chunk that is not resident.
+    MissingChunk(ChunkKey),
+    /// A move's `from` node disagrees with the chunk's actual location.
+    WrongSource {
+        /// The chunk being moved.
+        key: ChunkKey,
+        /// Where the plan claimed it was.
+        claimed: u32,
+        /// Where it actually is.
+        actual: u32,
+    },
+    /// The cluster must keep at least one node.
+    EmptyCluster,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ClusterError::DuplicateChunk(key) => write!(f, "chunk {key} already placed"),
+            ClusterError::MissingChunk(key) => write!(f, "chunk {key} is not resident"),
+            ClusterError::WrongSource { key, claimed, actual } => {
+                write!(f, "move of {key} claims source node {claimed} but it lives on {actual}")
+            }
+            ClusterError::EmptyCluster => write!(f, "cluster requires at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,36 @@
+//! # cluster-sim
+//!
+//! A deterministic shared-nothing cluster simulator: the substrate that
+//! stands in for the paper's 8-node SciDB testbed. Nodes hold chunk
+//! descriptors against a storage budget; all data movement (insert
+//! distribution, rebalances, query shuffles) reduces to [`FlowSet`]s whose
+//! elapsed time comes from an explicit byte-flow cost model with
+//! half-duplex endpoints and a fabric bisection floor.
+//!
+//! ```
+//! use cluster_sim::{Cluster, CostModel, NodeId};
+//! use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, ChunkKey};
+//!
+//! let mut cluster = Cluster::new(2, 100_000_000_000, CostModel::default()).unwrap();
+//! let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![0, 0]));
+//! cluster.place(ChunkDescriptor::new(key.clone(), 50_000_000, 1_000), NodeId(1)).unwrap();
+//! assert_eq!(cluster.locate(&key), Some(NodeId(1)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod cost;
+mod error;
+mod metrics;
+mod node;
+mod rebalance;
+mod transfer;
+
+pub use cluster::Cluster;
+pub use cost::{gb, CostModel, BYTES_PER_GB};
+pub use error::{ClusterError, Result};
+pub use metrics::{relative_std_dev, NodeHoursLedger, PhaseBreakdown};
+pub use node::{Node, NodeId};
+pub use rebalance::{ChunkMove, RebalancePlan};
+pub use transfer::{Flow, FlowSet};

@@ -1,0 +1,114 @@
+//! Simulated shared-nothing cluster nodes.
+
+use array_model::{ChunkDescriptor, ChunkKey};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a cluster node. Nodes are numbered in join order and are
+/// never removed — the paper's clusters grow monotonically (§5.1: "the
+/// system never coalesces nodes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node: a storage budget plus the chunks resident on it.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// Storage capacity in bytes (`c` in the paper; 100 GB per node in §6.1).
+    pub capacity_bytes: u64,
+    used_bytes: u64,
+    chunks: BTreeMap<ChunkKey, ChunkDescriptor>,
+}
+
+impl Node {
+    /// A fresh, empty node.
+    pub fn new(id: NodeId, capacity_bytes: u64) -> Self {
+        Node { id, capacity_bytes, used_bytes: 0, chunks: BTreeMap::new() }
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of resident chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Fraction of capacity in use (may exceed 1.0 under overload).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            return 0.0;
+        }
+        self.used_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Is the chunk resident here?
+    pub fn holds(&self, key: &ChunkKey) -> bool {
+        self.chunks.contains_key(key)
+    }
+
+    /// The resident descriptor for `key`, if any.
+    pub fn descriptor(&self, key: &ChunkKey) -> Option<&ChunkDescriptor> {
+        self.chunks.get(key)
+    }
+
+    /// Iterate resident chunks in deterministic (key) order.
+    pub fn descriptors(&self) -> impl Iterator<Item = &ChunkDescriptor> {
+        self.chunks.values()
+    }
+
+    pub(crate) fn admit(&mut self, desc: ChunkDescriptor) {
+        self.used_bytes += desc.bytes;
+        self.chunks.insert(desc.key.clone(), desc);
+    }
+
+    pub(crate) fn evict(&mut self, key: &ChunkKey) -> Option<ChunkDescriptor> {
+        let desc = self.chunks.remove(key)?;
+        self.used_bytes -= desc.bytes;
+        Some(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+
+    fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+    }
+
+    #[test]
+    fn admit_and_evict_track_usage() {
+        let mut n = Node::new(NodeId(0), 1000);
+        n.admit(desc(1, 300));
+        n.admit(desc(2, 200));
+        assert_eq!(n.used_bytes(), 500);
+        assert_eq!(n.chunk_count(), 2);
+        assert!((n.utilization() - 0.5).abs() < 1e-12);
+        let evicted = n.evict(&desc(1, 300).key).unwrap();
+        assert_eq!(evicted.bytes, 300);
+        assert_eq!(n.used_bytes(), 200);
+        assert!(n.evict(&desc(9, 0).key).is_none());
+    }
+
+    #[test]
+    fn holds_and_descriptor_lookup() {
+        let mut n = Node::new(NodeId(1), 1000);
+        let d = desc(5, 42);
+        n.admit(d.clone());
+        assert!(n.holds(&d.key));
+        assert_eq!(n.descriptor(&d.key), Some(&d));
+        assert!(!n.holds(&desc(6, 0).key));
+    }
+}

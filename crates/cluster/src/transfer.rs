@@ -1,0 +1,238 @@
+//! Byte-flow contention solver.
+//!
+//! Inserts, rebalances, and query shuffles all reduce to a set of
+//! point-to-point byte flows. [`FlowSet::elapsed_secs`] converts the set
+//! into simulated wall-clock time under three constraints:
+//!
+//! 1. each endpoint is half-duplex: it is busy for its egress time plus
+//!    its ingress time;
+//! 2. ingress must also be written to disk (the slower of net/disk wins);
+//! 3. the switch fabric carries a bounded aggregate rate, so total moved
+//!    bytes impose a floor.
+//!
+//! The elapsed time is the largest of the per-endpoint busy times and the
+//! fabric floor, plus a small per-chunk scheduling overhead amortized over
+//! the destinations working in parallel.
+
+use crate::cost::{gb, CostModel};
+use crate::node::NodeId;
+use std::collections::BTreeMap;
+
+/// One directed transfer of `bytes` from `src` to `dst`.
+///
+/// `src == dst` models a purely local write (e.g. the coordinator keeping
+/// its own share of an insert): it costs disk time only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// A batch of flows that execute concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct FlowSet {
+    flows: Vec<Flow>,
+    chunk_count: u64,
+}
+
+impl FlowSet {
+    /// An empty flow set.
+    pub fn new() -> Self {
+        FlowSet::default()
+    }
+
+    /// Add one chunk-sized flow.
+    pub fn push(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
+        self.flows.push(Flow { src, dst, bytes });
+        self.chunk_count += 1;
+    }
+
+    /// Number of chunk transfers recorded.
+    pub fn chunk_count(&self) -> u64 {
+        self.chunk_count
+    }
+
+    /// Total payload bytes (local and remote).
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Bytes that actually cross the network.
+    pub fn network_bytes(&self) -> u64 {
+        self.flows.iter().filter(|f| f.src != f.dst).map(|f| f.bytes).sum()
+    }
+
+    /// True when nothing moves.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Naive serial estimate: every byte moves one after another at the
+    /// network rate (local bytes at the disk rate). This is what a model
+    /// *without* endpoint parallelism would predict; the ablation bench
+    /// compares it against the contention solver to show why Round
+    /// Robin's wide reshuffles still finish in bounded time (the paper's
+    /// remark that its "circular addressing parallelizes the transfer").
+    pub fn elapsed_secs_serial(&self, cost: &CostModel) -> f64 {
+        let mut secs = 0.0;
+        for f in &self.flows {
+            secs += if f.src == f.dst {
+                cost.local_write_secs(f.bytes)
+            } else {
+                cost.egress_secs(f.bytes)
+            };
+        }
+        secs + cost.per_chunk_overhead_secs * self.chunk_count as f64
+    }
+
+    /// Simulated elapsed seconds for the whole batch.
+    pub fn elapsed_secs(&self, cost: &CostModel) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        // Per-endpoint ingress/egress byte tallies.
+        let mut egress: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut ingress: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut local: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut destinations: BTreeMap<NodeId, ()> = BTreeMap::new();
+        for f in &self.flows {
+            destinations.insert(f.dst, ());
+            if f.src == f.dst {
+                *local.entry(f.src).or_default() += f.bytes;
+            } else {
+                *egress.entry(f.src).or_default() += f.bytes;
+                *ingress.entry(f.dst).or_default() += f.bytes;
+            }
+        }
+
+        let mut busiest: f64 = 0.0;
+        let mut endpoints: Vec<NodeId> = Vec::new();
+        endpoints.extend(egress.keys().copied());
+        endpoints.extend(ingress.keys().copied());
+        endpoints.extend(local.keys().copied());
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        for ep in endpoints {
+            let out = egress.get(&ep).copied().unwrap_or(0);
+            let inb = ingress.get(&ep).copied().unwrap_or(0);
+            let loc = local.get(&ep).copied().unwrap_or(0);
+            let busy = cost.egress_secs(out)
+                + cost.remote_ingest_secs(inb)
+                + cost.local_write_secs(loc);
+            busiest = busiest.max(busy);
+        }
+
+        let fabric = gb(self.network_bytes()) * cost.fabric_secs_per_gb;
+        let overhead = cost.per_chunk_overhead_secs * self.chunk_count as f64
+            / destinations.len().max(1) as f64;
+        busiest.max(fabric) + overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel {
+            disk_secs_per_gb: 8.0,
+            net_secs_per_gb: 12.0,
+            fabric_secs_per_gb: 12.0 / 2.5,
+            per_chunk_overhead_secs: 0.0,
+            cpu_secs_per_gb: 0.0,
+            net_latency_secs: 0.0,
+        }
+    }
+
+    const GB: u64 = 1_000_000_000;
+
+    #[test]
+    fn empty_set_costs_nothing() {
+        assert_eq!(FlowSet::new().elapsed_secs(&model()), 0.0);
+    }
+
+    #[test]
+    fn local_write_is_disk_only() {
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(0), GB);
+        assert!((fs.elapsed_secs(&model()) - 8.0).abs() < 1e-9);
+        assert_eq!(fs.network_bytes(), 0);
+    }
+
+    #[test]
+    fn single_remote_flow_pays_network_rate() {
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), GB);
+        // src busy 12s; dst busy max(12,8)=12s; fabric 4.8s -> 12s.
+        assert!((fs.elapsed_secs(&model()) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_duplex_sums_in_and_out() {
+        // Node 1 both sheds and receives 1 GB: its busy time is 12 + 12.
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(1), NodeId(2), GB);
+        fs.push(NodeId(0), NodeId(1), GB);
+        assert!((fs.elapsed_secs(&model()) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fabric_floor_binds_wide_reshuffles() {
+        // 8 disjoint pairs moving 1 GB each: every endpoint is busy only
+        // 12 s, but 8 GB cross the fabric at 4.8 s/GB = 38.4 s.
+        let mut fs = FlowSet::new();
+        for i in 0..8u32 {
+            fs.push(NodeId(i), NodeId(100 + i), GB);
+        }
+        assert!((fs.elapsed_secs(&model()) - 38.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_fanout_beats_serial_fanin() {
+        // One source feeding two sinks is bounded by source egress;
+        // two sources feeding one sink is bounded by sink ingest.
+        let m = model();
+        let mut fanout = FlowSet::new();
+        fanout.push(NodeId(0), NodeId(1), GB);
+        fanout.push(NodeId(0), NodeId(2), GB);
+        let mut fanin = FlowSet::new();
+        fanin.push(NodeId(1), NodeId(0), GB);
+        fanin.push(NodeId(2), NodeId(0), GB);
+        assert!((fanout.elapsed_secs(&m) - 24.0).abs() < 1e-9);
+        assert!((fanin.elapsed_secs(&m) - 24.0).abs() < 1e-9);
+        // but splitting across distinct pairs is genuinely parallel
+        let mut pairs = FlowSet::new();
+        pairs.push(NodeId(0), NodeId(1), GB);
+        pairs.push(NodeId(2), NodeId(3), GB);
+        assert!(pairs.elapsed_secs(&m) < 24.0);
+    }
+
+    #[test]
+    fn serial_estimate_upper_bounds_the_solver() {
+        let m = model();
+        let mut fs = FlowSet::new();
+        for i in 0..6u32 {
+            fs.push(NodeId(i), NodeId(10 + i), GB);
+        }
+        assert!(fs.elapsed_secs_serial(&m) > fs.elapsed_secs(&m));
+        // Serial = 6 GB * 12 s/GB.
+        assert!((fs.elapsed_secs_serial(&m) - 72.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_amortizes_over_destinations() {
+        let mut m = model();
+        m.per_chunk_overhead_secs = 1.0;
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), 0);
+        fs.push(NodeId(0), NodeId(2), 0);
+        fs.push(NodeId(0), NodeId(2), 0);
+        fs.push(NodeId(0), NodeId(1), 0);
+        // 4 chunks over 2 destinations -> 2 s of overhead.
+        assert!((fs.elapsed_secs(&m) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic, dependency-free hashing for the hash partitioners.
+//!
+//! Placement must be reproducible across runs and platforms, so the hash
+//! partitioners use an in-tree FNV-1a (for byte streams) and SplitMix64
+//! (for integer mixing) instead of `std`'s randomized `DefaultHasher`.
+
+use array_model::ChunkKey;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates sequential integers.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a chunk key to 64 bits.
+///
+/// Deliberately hashes the chunk **coordinates only**, not the array
+/// identity: SciDB assigns chunks to instances by hashing their position,
+/// so equally-shaped arrays (e.g. the two MODIS bands) co-locate their
+/// join partners. The hash partitioners inherit that behaviour.
+pub fn hash_chunk_key(key: &ChunkKey) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(key.coords.0.len() as u64);
+    for &c in &key.coords.0 {
+        eat(c as u64);
+    }
+    splitmix64(h)
+}
+
+/// Hash a (node, replica) pair onto the consistent-hash ring.
+pub fn hash_ring_point(node: u32, replica: u32) -> u64 {
+    splitmix64((u64::from(node) << 32) | u64::from(replica))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunk_key_hash_is_stable_and_sensitive() {
+        let k1 = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 2, 3]));
+        let k2 = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 2, 4]));
+        assert_eq!(hash_chunk_key(&k1), hash_chunk_key(&k1));
+        assert_ne!(hash_chunk_key(&k1), hash_chunk_key(&k2));
+    }
+
+    #[test]
+    fn equal_coords_colocate_across_arrays() {
+        // SciDB-style: the two MODIS bands hash identically at the same
+        // chunk position, keeping the vegetation-index join local.
+        let band1 = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 2, 3]));
+        let band2 = ChunkKey::new(ArrayId(1), ChunkCoords::new(vec![1, 2, 3]));
+        assert_eq!(hash_chunk_key(&band1), hash_chunk_key(&band2));
+    }
+
+    #[test]
+    fn ring_points_spread() {
+        // 4 nodes x 64 replicas should produce 256 distinct points.
+        let mut pts: Vec<u64> = (0..4)
+            .flat_map(|n| (0..64).map(move |r| hash_ring_point(n, r)))
+            .collect();
+        pts.sort_unstable();
+        pts.dedup();
+        assert_eq!(pts.len(), 256);
+    }
+
+    #[test]
+    fn splitmix_decorrelates() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

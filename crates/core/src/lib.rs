@@ -1,0 +1,34 @@
+//! # elastic-core
+//!
+//! The primary contribution of *Incremental Elasticity for Array Databases*
+//! (Duggan & Stonebraker, SIGMOD 2014), reimplemented in Rust:
+//!
+//! * **Elastic partitioners** (§4) — eight data-placement schemes for
+//!   n-dimensional array chunks on an expanding shared-nothing cluster,
+//!   classified by Table 1's four traits (incremental scale-out,
+//!   fine-grained partitioning, skew-awareness, n-dimensional clustering).
+//! * **The leading staircase provisioner** (§5) — a proportional-derivative
+//!   control loop that decides *when* to add nodes and *how many*, plus the
+//!   what-if tuner for its sampling window `s` (Algorithm 1) and the
+//!   analytical node-hour cost model for its planning horizon `p`
+//!   (Equations 5–9).
+//! * **Chunk affinity analysis** (§8's future work) — co-access
+//!   observations ranked into co-location advice under a balance cap.
+
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod hashing;
+pub mod partition;
+pub mod provision;
+
+pub use affinity::{AffinityAnalyzer, AffinityEdge, PairStats};
+pub use partition::{
+    build_partitioner, Append, ConsistentHash, ExtendibleHash, GridHint, HilbertCurve,
+    IncrementalQuadtree, KdTree, Partitioner, PartitionerConfig, PartitionerFeatures,
+    PartitionerKind, RoundRobin, UniformRange,
+};
+pub use provision::{
+    prediction_error, tune_plan_ahead, tune_samples, CostModelParams, PlanAheadReport,
+    ProvisionDecision, SampleTuningReport, StaircaseConfig, StaircaseProvisioner,
+};

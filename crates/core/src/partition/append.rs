@@ -1,0 +1,168 @@
+//! Append: spill-over range partitioning by insert order (paper §4.2).
+//!
+//! New chunks go to the first node that is not yet at its fill target;
+//! when the current target fills, the coordinator spills to the next node
+//! in join order. The partitioning table is a list of insert-sequence
+//! ranges, one per node, so adding a node is O(1) and scale-out moves no
+//! data at all — at the price of poor balance and no dimensional locality.
+
+use super::{Partitioner, PartitionerKind};
+use array_model::{ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, NodeId, RebalancePlan};
+use std::collections::BTreeMap;
+
+/// Append partitioner state.
+#[derive(Debug, Clone)]
+pub struct Append {
+    /// Nodes in join order; `cursor` indexes the current fill target.
+    nodes: Vec<NodeId>,
+    cursor: usize,
+    /// Fraction of capacity filled before spilling to the next node.
+    fill: f64,
+    /// Insert sequence counter.
+    next_seq: u64,
+    /// The range table: `(first_seq, node)` entries, ascending by seq.
+    ranges: Vec<(u64, NodeId)>,
+    /// Sequence number of every placed chunk (for lookups).
+    seq_of: BTreeMap<ChunkKey, u64>,
+}
+
+impl Append {
+    /// Build for the cluster's initial nodes. `fill` ∈ (0, 1] is the
+    /// fraction of a node's capacity used before spilling.
+    pub fn new(nodes: &[NodeId], fill: f64) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert!(fill > 0.0 && fill <= 1.0, "fill must be in (0, 1]");
+        Append {
+            nodes: nodes.to_vec(),
+            cursor: 0,
+            fill,
+            next_seq: 0,
+            ranges: Vec::new(),
+            seq_of: BTreeMap::new(),
+        }
+    }
+
+    fn current_target(&mut self, cluster: &Cluster) -> NodeId {
+        // Advance past nodes that have reached their fill target. The last
+        // node absorbs overflow (the provisioner should have scaled out).
+        while self.cursor + 1 < self.nodes.len() {
+            let node = self.nodes[self.cursor];
+            let n = cluster.node(node).expect("append tracks live nodes");
+            let target = (n.capacity_bytes as f64 * self.fill) as u64;
+            if n.used_bytes() < target {
+                break;
+            }
+            self.cursor += 1;
+        }
+        self.nodes[self.cursor]
+    }
+}
+
+impl Partitioner for Append {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::Append
+    }
+
+    fn place(&mut self, desc: &ChunkDescriptor, cluster: &Cluster) -> NodeId {
+        let node = self.current_target(cluster);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Open a new range entry on a node's first write.
+        match self.ranges.last() {
+            Some(&(_, last_node)) if last_node == node => {}
+            _ => self.ranges.push((seq, node)),
+        }
+        self.seq_of.insert(desc.key.clone(), seq);
+        node
+    }
+
+    fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
+        let seq = *self.seq_of.get(key)?;
+        // Binary search the range table: the entry with the largest
+        // first_seq <= seq owns the chunk.
+        let idx = self.ranges.partition_point(|&(start, _)| start <= seq);
+        debug_assert!(idx > 0, "placed chunk must fall in some range");
+        Some(self.ranges[idx - 1].1)
+    }
+
+    fn scale_out(&mut self, _cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan {
+        // Constant-time: append the new nodes to the roster; they become
+        // fill targets when their predecessors fill. No data moves.
+        self.nodes.extend_from_slice(new_nodes);
+        RebalancePlan::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+    use cluster_sim::CostModel;
+
+    fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+    }
+
+    fn run(p: &mut Append, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
+        for i in start..start + count {
+            let d = desc(i, bytes);
+            let n = p.place(&d, cluster);
+            cluster.place(d, n).unwrap();
+        }
+    }
+
+    #[test]
+    fn fills_nodes_in_join_order() {
+        let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
+        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        run(&mut p, &mut cluster, 0, 4, 30); // 120 bytes total
+        // Node 0 takes 30+30+30 (90 < 100), the 4th lands on node 0 too
+        // (90 < 100 still true before placement), then spills.
+        assert_eq!(cluster.loads()[0], 120);
+        run(&mut p, &mut cluster, 4, 2, 30);
+        assert_eq!(cluster.loads(), vec![120, 60]);
+    }
+
+    #[test]
+    fn scale_out_moves_nothing() {
+        let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
+        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        run(&mut p, &mut cluster, 0, 8, 30);
+        let new = cluster.add_nodes(2, 100);
+        let plan = p.scale_out(&cluster, &new);
+        assert!(plan.is_empty());
+        // New nodes are used once earlier ones fill.
+        run(&mut p, &mut cluster, 8, 4, 60);
+        assert!(cluster.loads()[2] > 0);
+    }
+
+    #[test]
+    fn locate_agrees_with_cluster() {
+        let mut cluster = Cluster::new(3, 100, CostModel::default()).unwrap();
+        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        run(&mut p, &mut cluster, 0, 10, 40);
+        for (key, node) in cluster.placements() {
+            assert_eq!(p.locate(key), Some(node), "mismatch for {key}");
+        }
+        assert_eq!(p.locate(&desc(99, 0).key), None);
+    }
+
+    #[test]
+    fn last_node_absorbs_overflow() {
+        let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
+        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        run(&mut p, &mut cluster, 0, 10, 100); // way past total capacity
+        assert_eq!(cluster.loads()[0], 100);
+        assert_eq!(cluster.loads()[1], 900);
+    }
+
+    #[test]
+    fn fill_factor_spills_early() {
+        let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
+        let mut p = Append::new(&cluster.node_ids(), 0.5);
+        run(&mut p, &mut cluster, 0, 4, 25);
+        // Node 0 reaches 50 (its 0.5 target) after two chunks.
+        assert_eq!(cluster.loads(), vec![50, 50]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Extendible Hash (paper §4.2, citing Fagin et al. [19]).
+//!
+//! Chunks hash to 64 bits; a node owns one or more *buckets*, each a
+//! `(pattern, depth)` pair matching every hash whose low `depth` bits
+//! equal `pattern`. The buckets always form a complete prefix cover of
+//! the hash space. At scale-out the partitioner finds the most heavily
+//! loaded node (skew-awareness), picks its heaviest bucket, and splits it
+//! on the next more significant bit — the half with the new bit set moves
+//! to the new node.
+
+use super::{Partitioner, PartitionerKind};
+use crate::hashing::hash_chunk_key;
+use array_model::{ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, NodeId, RebalancePlan};
+use std::collections::BTreeMap;
+
+/// A bucket: owns hashes `h` with `h & mask(depth) == pattern`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Bucket {
+    depth: u32,
+    pattern: u64,
+}
+
+impl Bucket {
+    fn mask(depth: u32) -> u64 {
+        if depth >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << depth) - 1
+        }
+    }
+
+    fn matches(&self, hash: u64) -> bool {
+        hash & Self::mask(self.depth) == self.pattern
+    }
+}
+
+/// Extendible-hash partitioner state.
+#[derive(Debug, Clone)]
+pub struct ExtendibleHash {
+    /// Complete prefix cover of the hash space.
+    buckets: BTreeMap<Bucket, NodeId>,
+}
+
+impl ExtendibleHash {
+    /// Build with one bucket per initial node (padding the cover by
+    /// splitting round-robin when the node count is not a power of two).
+    pub fn new(nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        // Start with the root bucket and split until we have one bucket
+        // per node, always splitting the shallowest bucket — this yields
+        // the most uniform initial cover.
+        let mut buckets: Vec<Bucket> = vec![Bucket { depth: 0, pattern: 0 }];
+        while buckets.len() < nodes.len() {
+            buckets.sort_unstable();
+            let victim = buckets
+                .iter()
+                .copied()
+                .min_by_key(|b| b.depth)
+                .expect("non-empty");
+            buckets.retain(|b| *b != victim);
+            let (a, b) = split_bucket(victim);
+            buckets.push(a);
+            buckets.push(b);
+        }
+        buckets.sort_unstable();
+        let map = buckets
+            .into_iter()
+            .zip(nodes.iter().copied())
+            .collect::<BTreeMap<_, _>>();
+        ExtendibleHash { buckets: map }
+    }
+
+    fn owner(&self, hash: u64) -> NodeId {
+        // The cover is complete and prefix-free: exactly one bucket matches.
+        for (bucket, &node) in &self.buckets {
+            if bucket.matches(hash) {
+                return node;
+            }
+        }
+        unreachable!("bucket cover must be complete")
+    }
+
+    /// Buckets held by `node`.
+    fn buckets_of(&self, node: NodeId) -> Vec<Bucket> {
+        self.buckets
+            .iter()
+            .filter(|(_, &n)| n == node)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// Number of buckets (for tests/ablation).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+fn split_bucket(b: Bucket) -> (Bucket, Bucket) {
+    assert!(b.depth < 63, "bucket depth exhausted");
+    let low = Bucket { depth: b.depth + 1, pattern: b.pattern };
+    let high = Bucket { depth: b.depth + 1, pattern: b.pattern | (1u64 << b.depth) };
+    (low, high)
+}
+
+impl Partitioner for ExtendibleHash {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::ExtendibleHash
+    }
+
+    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+        self.owner(hash_chunk_key(&desc.key))
+    }
+
+    fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
+        Some(self.owner(hash_chunk_key(key)))
+    }
+
+    fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan {
+        let mut plan = RebalancePlan::empty();
+        // Track per-node byte loads locally so consecutive splits within
+        // one scale-out see the effect of earlier splits.
+        let mut loads: BTreeMap<NodeId, u64> = cluster
+            .nodes()
+            .map(|n| (n.id, n.used_bytes()))
+            .collect();
+        for &fresh in new_nodes {
+            // Skew-aware victim choice: the most loaded preexisting node.
+            // New nodes are never victims, so data flows only old -> new.
+            let victim = *loads
+                .iter()
+                .filter(|(n, _)| !new_nodes.contains(n))
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0 .0.cmp(&a.0 .0)))
+                .expect("cluster has nodes")
+                .0;
+            // Weigh the victim's buckets by resident bytes.
+            let victim_buckets = self.buckets_of(victim);
+            debug_assert!(!victim_buckets.is_empty());
+            let mut bucket_bytes: BTreeMap<Bucket, u64> =
+                victim_buckets.iter().map(|&b| (b, 0)).collect();
+            let mut chunk_homes: Vec<(ChunkKey, u64, Bucket)> = Vec::new();
+            let moved_keys: std::collections::HashSet<&ChunkKey> =
+                plan.moves.iter().map(|m| &m.key).collect();
+            if let Ok(node) = cluster.node(victim) {
+                for d in node.descriptors() {
+                    // Skip chunks already re-routed by an earlier split in
+                    // this same scale-out.
+                    if moved_keys.contains(&d.key) {
+                        continue;
+                    }
+                    let h = hash_chunk_key(&d.key);
+                    if let Some(&b) = victim_buckets.iter().find(|b| b.matches(h)) {
+                        *bucket_bytes.entry(b).or_default() += d.bytes;
+                        chunk_homes.push((d.key.clone(), d.bytes, b));
+                    }
+                }
+            }
+            // Split the heaviest bucket on its next significant bit.
+            let (&heavy, _) = bucket_bytes
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .expect("victim owns at least one bucket");
+            let (low, high) = split_bucket(heavy);
+            self.buckets.remove(&heavy);
+            self.buckets.insert(low, victim);
+            self.buckets.insert(high, fresh);
+            // Chunks matching the high half migrate to the new node.
+            let mut moved = 0u64;
+            for (key, bytes, home) in &chunk_homes {
+                if *home == heavy {
+                    let h = hash_chunk_key(key);
+                    if high.matches(h) {
+                        plan.push(key.clone(), victim, fresh, *bytes);
+                        moved += bytes;
+                    }
+                }
+            }
+            *loads.entry(victim).or_default() -= moved;
+            *loads.entry(fresh).or_default() += moved;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+    use cluster_sim::CostModel;
+
+    fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+    }
+
+    fn run(p: &mut ExtendibleHash, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
+        for i in start..start + count {
+            let d = desc(i, bytes);
+            let n = p.place(&d, cluster);
+            cluster.place(d, n).unwrap();
+        }
+    }
+
+    #[test]
+    fn initial_cover_is_complete() {
+        for n in 1..=8usize {
+            let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            let p = ExtendibleHash::new(&nodes);
+            assert_eq!(p.bucket_count(), n);
+            // Every hash must resolve.
+            for h in [0u64, 1, u64::MAX, 0xdead_beef] {
+                let _ = p.owner(h);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_out_splits_most_loaded_and_stays_incremental() {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = ExtendibleHash::new(&cluster.node_ids());
+        run(&mut p, &mut cluster, 0, 400, 10);
+        let before = cluster.loads();
+        let heavy = if before[0] >= before[1] { NodeId(0) } else { NodeId(1) };
+        let new = cluster.add_nodes(1, u64::MAX);
+        let plan = p.scale_out(&cluster, &new);
+        assert!(plan.is_incremental(&new));
+        assert!(plan.moves.iter().all(|m| m.from == heavy), "splits the most loaded node");
+        cluster.apply_rebalance(&plan).unwrap();
+        for (key, node) in cluster.placements() {
+            assert_eq!(p.locate(key), Some(node));
+        }
+        // Victim shed roughly half its bytes.
+        let after = cluster.loads();
+        let shed = before[heavy.0 as usize] - after[heavy.0 as usize];
+        let frac = shed as f64 / before[heavy.0 as usize] as f64;
+        assert!(frac > 0.2 && frac < 0.8, "split fraction {frac}");
+    }
+
+    #[test]
+    fn repeated_scale_outs_keep_lookup_consistent() {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = ExtendibleHash::new(&cluster.node_ids());
+        let mut next = 0i64;
+        for round in 0..3 {
+            run(&mut p, &mut cluster, next, 200, 10);
+            next += 200;
+            let new = cluster.add_nodes(2, u64::MAX);
+            let plan = p.scale_out(&cluster, &new);
+            assert!(plan.is_incremental(&new), "round {round}");
+            cluster.apply_rebalance(&plan).unwrap();
+            for (key, node) in cluster.placements() {
+                assert_eq!(p.locate(key), Some(node));
+            }
+        }
+        assert_eq!(cluster.node_count(), 8);
+        assert!(cluster.chunk_counts().iter().all(|&c| c > 0), "every node got data");
+    }
+
+    #[test]
+    fn skewed_bytes_drive_victim_choice() {
+        // Put massive chunks wherever node 0's bucket matches; the first
+        // split must target node 0's space even though chunk counts are even.
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = ExtendibleHash::new(&cluster.node_ids());
+        for i in 0..100 {
+            let d0 = desc(i, 1);
+            let owner = p.place(&d0, &cluster);
+            let bytes = if owner == NodeId(0) { 1000 } else { 1 };
+            let d = ChunkDescriptor::new(d0.key.clone(), bytes, 1);
+            cluster.place(d, owner).unwrap();
+        }
+        let new = cluster.add_nodes(1, u64::MAX);
+        let plan = p.scale_out(&cluster, &new);
+        assert!(plan.moves.iter().all(|m| m.from == NodeId(0)));
+        assert!(plan.moved_bytes() > 0);
+    }
+}

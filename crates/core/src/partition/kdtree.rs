@@ -1,0 +1,413 @@
+//! K-d Tree partitioner (paper §4.2, citing Bentley [9]).
+//!
+//! The partitioning table is a binary tree over chunk-index space: leaves
+//! are hosts, internal nodes are split planes. When a machine joins, the
+//! most heavily loaded host splits at the **byte-weighted median** of its
+//! chunks along the next dimension in the cycle, handing the upper half to
+//! the newcomer. Lookup is a logarithmic tree descent (Figure 2).
+
+use super::{GridHint, Partitioner, PartitionerKind};
+use array_model::{ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, NodeId, RebalancePlan};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf {
+        host: NodeId,
+        depth: u32,
+        lo: Vec<i64>,
+        hi: Vec<i64>, // exclusive, in chunk-index space
+    },
+    Internal {
+        dim: usize,
+        split: i64, // coords[dim] < split -> left
+        left: Box<Tree>,
+        right: Box<Tree>,
+    },
+}
+
+/// K-d tree partitioner state.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    root: Tree,
+    /// Dimension-cycling order for splits (see [`GridHint::split_priority`]).
+    priority: Vec<usize>,
+}
+
+impl KdTree {
+    /// Build for the initial nodes by midpoint splits (no data yet),
+    /// cycling dimensions exactly as later skew-aware splits will.
+    pub fn new(nodes: &[NodeId], grid: &GridHint) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        let ndims = grid.ndims();
+        let lo = vec![0i64; ndims];
+        let hi = grid.chunk_counts.clone();
+        let mut tree = KdTree {
+            root: Tree::Leaf { host: nodes[0], depth: 0, lo, hi },
+            priority: grid.split_priority.clone(),
+        };
+        for &fresh in &nodes[1..] {
+            // Before data arrives, split the shallowest (largest) leaf at
+            // its midpoint.
+            let victim = tree.shallowest_leaf_host();
+            tree.split_leaf_midpoint(victim, fresh);
+        }
+        tree
+    }
+
+    fn descend(&self, coords: &[i64]) -> NodeId {
+        let mut cur = &self.root;
+        loop {
+            match cur {
+                Tree::Leaf { host, .. } => return *host,
+                Tree::Internal { dim, split, left, right } => {
+                    cur = if coords[*dim] < *split { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn shallowest_leaf_host(&self) -> NodeId {
+        fn walk(t: &Tree, best: &mut Option<(u32, NodeId)>) {
+            match t {
+                Tree::Leaf { host, depth, .. } => {
+                    if best.is_none() || depth < &best.unwrap().0 {
+                        *best = Some((*depth, *host));
+                    }
+                }
+                Tree::Internal { left, right, .. } => {
+                    walk(left, best);
+                    walk(right, best);
+                }
+            }
+        }
+        let mut best = None;
+        walk(&self.root, &mut best);
+        best.expect("tree has leaves").1
+    }
+
+    /// Find the (unique) leaf owned by `host` and split it at the midpoint
+    /// of the cycling dimension. Used during bootstrap and as the fallback
+    /// when a victim holds no data.
+    fn split_leaf_midpoint(&mut self, host: NodeId, fresh: NodeId) -> bool {
+        fn walk(t: &mut Tree, host: NodeId, fresh: NodeId, priority: &[usize]) -> bool {
+            match t {
+                Tree::Leaf { host: h, depth, lo, hi } if *h == host => {
+                    // Pick the first cycling dimension with room to split.
+                    for probe in 0..priority.len() {
+                        let dim = priority[(*depth as usize + probe) % priority.len()];
+                        if hi[dim] - lo[dim] >= 2 {
+                            let split = lo[dim] + (hi[dim] - lo[dim]) / 2;
+                            replace_with_split(t, dim, split, fresh);
+                            return true;
+                        }
+                    }
+                    false
+                }
+                Tree::Leaf { .. } => false,
+                Tree::Internal { left, right, .. } => {
+                    walk(left, host, fresh, priority) || walk(right, host, fresh, priority)
+                }
+            }
+        }
+        let priority = self.priority.clone();
+        walk(&mut self.root, host, fresh, &priority)
+    }
+
+    /// Split `host`'s leaf at `split` along `dim` (data-driven path).
+    fn split_leaf_at(&mut self, host: NodeId, dim: usize, split: i64, fresh: NodeId) -> bool {
+        fn walk(t: &mut Tree, host: NodeId, dim: usize, split: i64, fresh: NodeId) -> bool {
+            match t {
+                Tree::Leaf { host: h, lo, hi, .. } if *h == host => {
+                    if split <= lo[dim] || split >= hi[dim] {
+                        return false;
+                    }
+                    replace_with_split(t, dim, split, fresh);
+                    true
+                }
+                Tree::Leaf { .. } => false,
+                Tree::Internal { left, right, .. } => {
+                    walk(left, host, dim, split, fresh) || walk(right, host, dim, split, fresh)
+                }
+            }
+        }
+        walk(&mut self.root, host, dim, split, fresh)
+    }
+
+    fn leaf_info(&self, host: NodeId) -> Option<(u32, Vec<i64>, Vec<i64>)> {
+        fn walk(t: &Tree, host: NodeId) -> Option<(u32, Vec<i64>, Vec<i64>)> {
+            match t {
+                Tree::Leaf { host: h, depth, lo, hi } if *h == host => {
+                    Some((*depth, lo.clone(), hi.clone()))
+                }
+                Tree::Leaf { .. } => None,
+                Tree::Internal { left, right, .. } => {
+                    walk(left, host).or_else(|| walk(right, host))
+                }
+            }
+        }
+        walk(&self.root, host)
+    }
+
+    /// Tree depth of the deepest leaf — lookups are O(depth).
+    pub fn depth(&self) -> u32 {
+        fn walk(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf { depth, .. } => *depth,
+                Tree::Internal { left, right, .. } => walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+
+    fn clamp(&self, coords: &array_model::ChunkCoords) -> Vec<i64> {
+        // Negative coordinates cannot occur (chunk indices are >= 0), but
+        // indices beyond the grid hint must still route deterministically;
+        // the tree's rightmost leaves have open upper bounds in effect
+        // because descent only compares against split planes.
+        coords.0.clone()
+    }
+}
+
+fn replace_with_split(t: &mut Tree, dim: usize, split: i64, fresh: NodeId) {
+    if let Tree::Leaf { host, depth, lo, hi } = t {
+        let mut left_hi = hi.clone();
+        left_hi[dim] = split;
+        let mut right_lo = lo.clone();
+        right_lo[dim] = split;
+        let left = Tree::Leaf { host: *host, depth: *depth + 1, lo: lo.clone(), hi: left_hi };
+        let right = Tree::Leaf { host: fresh, depth: *depth + 1, lo: right_lo, hi: hi.clone() };
+        *t = Tree::Internal { dim, split, left: Box::new(left), right: Box::new(right) };
+    } else {
+        unreachable!("only leaves are replaced");
+    }
+}
+
+impl Partitioner for KdTree {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::KdTree
+    }
+
+    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+        self.descend(&self.clamp(&desc.key.coords))
+    }
+
+    fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
+        Some(self.descend(&self.clamp(&key.coords)))
+    }
+
+    fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan {
+        let mut plan = RebalancePlan::empty();
+        let mut loads: BTreeMap<NodeId, u64> =
+            cluster.nodes().map(|n| (n.id, n.used_bytes())).collect();
+        for &fresh in new_nodes {
+            let victim = *loads
+                .iter()
+                .filter(|(n, _)| !new_nodes.contains(n))
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0 .0.cmp(&a.0 .0)))
+                .expect("cluster has preexisting nodes")
+                .0;
+            let Some((depth, lo, hi)) = self.leaf_info(victim) else {
+                continue;
+            };
+            // Victim's chunks, net of earlier planned moves.
+            let moved_keys: std::collections::HashSet<&ChunkKey> =
+                plan.moves.iter().map(|m| &m.key).collect();
+            let resident: Vec<(Vec<i64>, u64, ChunkKey)> = cluster
+                .node(victim)
+                .ok()
+                .map(|node| {
+                    node.descriptors()
+                        .filter(|d| !moved_keys.contains(&d.key))
+                        .map(|d| (d.key.coords.0.clone(), d.bytes, d.key.clone()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let total: u64 = resident.iter().map(|(_, b, _)| *b).sum();
+
+            // Cycle dimensions starting at depth % ndims until one admits a
+            // byte-weighted median split.
+            let mut done = false;
+            if total > 0 && resident.len() >= 2 {
+                for probe in 0..self.priority.len() {
+                    let dim = self.priority[(depth as usize + probe) % self.priority.len()];
+                    let mut coords_sorted: Vec<(i64, u64)> =
+                        resident.iter().map(|(c, b, _)| (c[dim], *b)).collect();
+                    coords_sorted.sort_unstable();
+                    let first = coords_sorted[0].0;
+                    let mut acc = 0u64;
+                    let mut split = None;
+                    for &(coord, bytes) in &coords_sorted {
+                        if acc * 2 >= total && coord > first {
+                            split = Some(coord);
+                            break;
+                        }
+                        acc += bytes;
+                    }
+                    if split.is_none() {
+                        split = coords_sorted
+                            .iter()
+                            .rev()
+                            .map(|&(c, _)| c)
+                            .find(|&c| c > first);
+                    }
+                    let Some(split) = split else { continue };
+                    // The split must be interior to the leaf's box on this
+                    // dimension (hint overflow can put chunks outside).
+                    if split <= lo[dim] || (hi[dim] > lo[dim] && split >= hi[dim]) {
+                        continue;
+                    }
+                    if !self.split_leaf_at(victim, dim, split, fresh) {
+                        continue;
+                    }
+                    let mut moved = 0u64;
+                    for (coords, bytes, key) in &resident {
+                        if coords[dim] >= split {
+                            plan.push(key.clone(), victim, fresh, *bytes);
+                            moved += bytes;
+                        }
+                    }
+                    *loads.entry(victim).or_default() -= moved;
+                    *loads.entry(fresh).or_default() += moved;
+                    done = true;
+                    break;
+                }
+            }
+            if !done && self.split_leaf_midpoint(victim, fresh) {
+                // No byte-weighted median existed (e.g. the victim holds a
+                // single chunk), so the leaf split at its midpoint. Any
+                // resident chunk that now descends to the fresh leaf must
+                // still move — the table and the placement may never
+                // disagree.
+                let mut moved = 0u64;
+                for (coords, bytes, key) in &resident {
+                    if self.descend(coords) == fresh {
+                        plan.push(key.clone(), victim, fresh, *bytes);
+                        moved += bytes;
+                    }
+                }
+                *loads.entry(victim).or_default() -= moved;
+                *loads.entry(fresh).or_default() += moved;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+    use cluster_sim::CostModel;
+
+    fn desc(x: i64, y: i64, bytes: u64) -> ChunkDescriptor {
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![x, y])), bytes, 1)
+    }
+
+    fn grid() -> GridHint {
+        GridHint::new(vec![10, 10])
+    }
+
+    fn insert_grid(p: &mut KdTree, cluster: &mut Cluster, weight: impl Fn(i64, i64) -> u64) {
+        for x in 0..10 {
+            for y in 0..10 {
+                let w = weight(x, y);
+                if w == 0 {
+                    continue;
+                }
+                let d = desc(x, y, w);
+                let n = p.place(&d, cluster);
+                cluster.place(d, n).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_style_initial_split() {
+        // Two nodes: the domain splits on dim 0 at its midpoint, like the
+        // x < 5 root split of Figure 2.
+        let cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let p = KdTree::new(&cluster.node_ids(), &grid());
+        let left = p.locate(&desc(0, 0, 0).key).unwrap();
+        let right = p.locate(&desc(9, 0, 0).key).unwrap();
+        assert_ne!(left, right);
+        assert_eq!(p.locate(&desc(4, 9, 0).key), Some(left));
+        assert_eq!(p.locate(&desc(5, 0, 0).key), Some(right));
+    }
+
+    #[test]
+    fn skew_aware_split_halves_the_loaded_host() {
+        // Left half holds all the weight; adding a node must split the
+        // left host, not the right one.
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = KdTree::new(&cluster.node_ids(), &grid());
+        insert_grid(&mut p, &mut cluster, |x, _| if x < 5 { 100 } else { 1 });
+        let left_host = p.locate(&desc(0, 0, 0).key).unwrap();
+        let before = cluster.node(left_host).unwrap().used_bytes();
+
+        let new = cluster.add_nodes(1, u64::MAX);
+        let plan = p.scale_out(&cluster, &new);
+        assert!(plan.is_incremental(&new));
+        assert!(plan.moves.iter().all(|m| m.from == left_host));
+        cluster.apply_rebalance(&plan).unwrap();
+        let after = cluster.node(left_host).unwrap().used_bytes();
+        let frac = (before - after) as f64 / before as f64;
+        assert!(frac > 0.3 && frac < 0.7, "moved fraction {frac}");
+        for (key, node) in cluster.placements() {
+            assert_eq!(p.locate(key), Some(node));
+        }
+    }
+
+    #[test]
+    fn splits_cycle_dimensions() {
+        // After the root x-split, splitting a host must cut on y (Figure 2's
+        // second split).
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = KdTree::new(&cluster.node_ids(), &grid());
+        insert_grid(&mut p, &mut cluster, |x, _| if x < 5 { 100 } else { 1 });
+        let new = cluster.add_nodes(1, u64::MAX);
+        let plan = p.scale_out(&cluster, &new);
+        cluster.apply_rebalance(&plan).unwrap();
+        // The left half is now split by y: two x<5 chunks with different y
+        // can land on different hosts.
+        let a = p.locate(&desc(0, 0, 0).key).unwrap();
+        let b = p.locate(&desc(0, 9, 0).key).unwrap();
+        assert_ne!(a, b, "second split should cut the y dimension");
+    }
+
+    #[test]
+    fn empty_victim_falls_back_to_midpoint() {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = KdTree::new(&cluster.node_ids(), &grid());
+        let new = cluster.add_nodes(2, u64::MAX);
+        let plan = p.scale_out(&cluster, &new);
+        assert!(plan.is_empty());
+        // All four nodes should own disjoint regions.
+        let mut owners = std::collections::BTreeSet::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                owners.insert(p.locate(&desc(x, y, 0).key).unwrap());
+            }
+        }
+        assert_eq!(owners.len(), 4);
+    }
+
+    #[test]
+    fn lookup_depth_is_logarithmic() {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let mut p = KdTree::new(&cluster.node_ids(), &grid());
+        insert_grid(&mut p, &mut cluster, |_, _| 10);
+        for _ in 0..3 {
+            let new = cluster.add_nodes(2, u64::MAX);
+            let plan = p.scale_out(&cluster, &new);
+            cluster.apply_rebalance(&plan).unwrap();
+        }
+        assert_eq!(cluster.node_count(), 8);
+        // 8 hosts: a balanced k-d tree has depth ~3; allow slack for skew.
+        assert!(p.depth() <= 6, "depth {} too deep for 8 hosts", p.depth());
+        for (key, node) in cluster.placements() {
+            assert_eq!(p.locate(key), Some(node));
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Elastic partitioners for scientific arrays (paper §4).
+//!
+//! A [`Partitioner`] owns the chunk→node assignment policy for a growing
+//! cluster. The driver protocol is:
+//!
+//! 1. for each incoming chunk: `let node = p.place(&desc, &cluster);`
+//!    followed immediately by `cluster.place(desc, node)` — partitioners
+//!    may read fresh node loads between placements (Append depends on it);
+//! 2. when the cluster scales out: `cluster.add_nodes(..)`, then
+//!    `let plan = p.scale_out(&cluster, &new_nodes);` followed by
+//!    `cluster.apply_rebalance(&plan)`.
+//!
+//! [`Partitioner::locate`] answers chunk lookups from the partitioner's own
+//! table (ring walk, directory probe, tree descent, ...) and must agree
+//! with the cluster's placement map at all times — the test suites assert
+//! this invariant for every scheme.
+
+mod append;
+mod consistent_hash;
+mod extendible_hash;
+mod hilbert_part;
+mod kdtree;
+mod quadtree;
+mod round_robin;
+mod uniform_range;
+
+pub use append::Append;
+pub use consistent_hash::ConsistentHash;
+pub use extendible_hash::ExtendibleHash;
+pub use hilbert_part::HilbertCurve;
+pub use kdtree::KdTree;
+pub use quadtree::IncrementalQuadtree;
+pub use round_robin::RoundRobin;
+pub use uniform_range::UniformRange;
+
+use array_model::{ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, NodeId, RebalancePlan};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four traits of elastic data placement (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionerFeatures {
+    /// Scale-out only transfers data from preexisting nodes to new ones.
+    pub incremental_scale_out: bool,
+    /// Assigns one chunk at a time rather than subdividing planes.
+    pub fine_grained: bool,
+    /// Uses the observed data distribution to drive repartitioning.
+    pub skew_aware: bool,
+    /// Keeps contiguous array regions on the same host.
+    pub n_dimensional_clustering: bool,
+}
+
+/// Which partitioning scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PartitionerKind {
+    /// Spill-over range partitioning by insert order.
+    Append,
+    /// Consistent hashing on a ring of virtual nodes.
+    ConsistentHash,
+    /// Extendible hashing with bit-suffix buckets.
+    ExtendibleHash,
+    /// Ranges over the Hilbert space-filling curve.
+    HilbertCurve,
+    /// The incremental quadtree of §4.2.
+    IncrementalQuadtree,
+    /// K-d tree with byte-weighted median splits.
+    KdTree,
+    /// The paper's baseline: chunk i → node i mod k.
+    RoundRobin,
+    /// Static tall binary tree with l/n leaf blocks.
+    UniformRange,
+}
+
+impl PartitionerKind {
+    /// All schemes, in the order the paper's figures list them.
+    pub const ALL: [PartitionerKind; 8] = [
+        PartitionerKind::Append,
+        PartitionerKind::ConsistentHash,
+        PartitionerKind::ExtendibleHash,
+        PartitionerKind::HilbertCurve,
+        PartitionerKind::IncrementalQuadtree,
+        PartitionerKind::KdTree,
+        PartitionerKind::RoundRobin,
+        PartitionerKind::UniformRange,
+    ];
+
+    /// Table 1's feature matrix.
+    pub fn features(self) -> PartitionerFeatures {
+        use PartitionerKind::*;
+        match self {
+            Append => PartitionerFeatures {
+                incremental_scale_out: true,
+                fine_grained: true,
+                skew_aware: false,
+                n_dimensional_clustering: false,
+            },
+            ConsistentHash => PartitionerFeatures {
+                incremental_scale_out: true,
+                fine_grained: true,
+                skew_aware: false,
+                n_dimensional_clustering: false,
+            },
+            ExtendibleHash => PartitionerFeatures {
+                incremental_scale_out: true,
+                fine_grained: true,
+                skew_aware: true,
+                n_dimensional_clustering: false,
+            },
+            HilbertCurve => PartitionerFeatures {
+                incremental_scale_out: true,
+                fine_grained: true,
+                skew_aware: true,
+                n_dimensional_clustering: true,
+            },
+            IncrementalQuadtree => PartitionerFeatures {
+                incremental_scale_out: true,
+                fine_grained: false,
+                skew_aware: true,
+                n_dimensional_clustering: true,
+            },
+            KdTree => PartitionerFeatures {
+                incremental_scale_out: true,
+                fine_grained: false,
+                skew_aware: true,
+                n_dimensional_clustering: true,
+            },
+            RoundRobin => PartitionerFeatures {
+                incremental_scale_out: false,
+                fine_grained: true,
+                skew_aware: false,
+                n_dimensional_clustering: false,
+            },
+            UniformRange => PartitionerFeatures {
+                incremental_scale_out: false,
+                fine_grained: false,
+                skew_aware: false,
+                n_dimensional_clustering: true,
+            },
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        use PartitionerKind::*;
+        match self {
+            Append => "Append",
+            ConsistentHash => "Cons. Hash",
+            ExtendibleHash => "Extend. Hash",
+            HilbertCurve => "Hilbert Curve",
+            IncrementalQuadtree => "Incr. Quadtree",
+            KdTree => "K-d Tree",
+            RoundRobin => "Round Robin",
+            UniformRange => "Uniform Range",
+        }
+    }
+}
+
+impl fmt::Display for PartitionerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Describes the chunk grid that range partitioners subdivide: the number
+/// of chunks along each dimension. Unbounded dimensions supply an expected
+/// extent (e.g. days of data anticipated); exceeding the hint degrades
+/// balance but never correctness.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridHint {
+    /// Chunk count (or expected chunk count) per dimension.
+    pub chunk_counts: Vec<i64>,
+    /// The order in which tree-structured partitioners (K-d Tree, Uniform
+    /// Range) cycle dimensions when splitting. Defaults to declaration
+    /// order; workloads with an unbounded, monotonically-growing dimension
+    /// (time) should list their bounded spatial dimensions first —
+    /// splitting an append-only dimension at its midpoint strands every
+    /// *future* insert on one side of the plane.
+    pub split_priority: Vec<usize>,
+    /// The dimensions the Hilbert partitioner serializes. Defaults to all
+    /// dimensions; workloads with an append-only time dimension should
+    /// restrict the curve to the spatial dimensions, so that every insert
+    /// batch spreads across the whole curve instead of landing in the
+    /// "new time" corner of the embedding cube.
+    pub curve_dims: Vec<usize>,
+}
+
+impl GridHint {
+    /// Build a hint; every dimension needs at least one chunk.
+    pub fn new(chunk_counts: Vec<i64>) -> Self {
+        assert!(!chunk_counts.is_empty(), "grid needs at least one dimension");
+        assert!(chunk_counts.iter().all(|&c| c >= 1), "chunk counts must be >= 1");
+        let split_priority = (0..chunk_counts.len()).collect();
+        let curve_dims = (0..chunk_counts.len()).collect();
+        GridHint { chunk_counts, split_priority, curve_dims }
+    }
+
+    /// Restrict the Hilbert curve to a subset of dimensions.
+    pub fn with_curve_dims(mut self, dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "curve needs at least one dimension");
+        assert!(dims.iter().all(|&d| d < self.chunk_counts.len()), "curve dim out of range");
+        self.curve_dims = dims;
+        self
+    }
+
+    /// Override the dimension-cycling order for splits. May list a
+    /// *subset* of dimensions: an append-only time dimension is usually
+    /// omitted, because any split plane through it strands all future
+    /// inserts on one side.
+    pub fn with_split_priority(mut self, priority: Vec<usize>) -> Self {
+        assert!(!priority.is_empty(), "priority must list at least one dim");
+        assert!(priority.iter().all(|&d| d < self.chunk_counts.len()), "priority dim out of range");
+        let mut sorted = priority.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), priority.len(), "priority must not repeat dims");
+        self.split_priority = priority;
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.chunk_counts.len()
+    }
+
+    /// The dimension to split at tree depth `depth`.
+    pub fn split_dim(&self, depth: usize) -> usize {
+        self.split_priority[depth % self.split_priority.len()]
+    }
+}
+
+/// Tuning knobs shared by the partitioner constructors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionerConfig {
+    /// Virtual nodes per host on the consistent-hash ring.
+    pub virtual_nodes: u32,
+    /// Height of Uniform Range's static tree (l = 2^h leaves).
+    pub uniform_height: u32,
+    /// The two dimensions the quadtree quarters (defaults to the last two,
+    /// which are the spatial lon/lat dims in both of the paper's schemas).
+    pub quad_plane: Option<(usize, usize)>,
+    /// Fraction of a node Append fills before spilling to the next.
+    pub append_fill: f64,
+}
+
+impl Default for PartitionerConfig {
+    fn default() -> Self {
+        PartitionerConfig {
+            virtual_nodes: 64,
+            uniform_height: 9,
+            quad_plane: None,
+            append_fill: 1.0,
+        }
+    }
+}
+
+/// The elastic partitioner interface (see module docs for the protocol).
+pub trait Partitioner: Send {
+    /// Which scheme this is.
+    fn kind(&self) -> PartitionerKind;
+
+    /// Table 1 feature set.
+    fn features(&self) -> PartitionerFeatures {
+        self.kind().features()
+    }
+
+    /// Choose the destination node for a new chunk.
+    fn place(&mut self, desc: &ChunkDescriptor, cluster: &Cluster) -> NodeId;
+
+    /// Answer a chunk lookup from the partitioner's own table.
+    fn locate(&self, key: &ChunkKey) -> Option<NodeId>;
+
+    /// React to freshly added nodes with a rebalance plan. Called after
+    /// `cluster.add_nodes`; the caller applies the returned plan.
+    fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan;
+}
+
+/// Construct a partitioner of `kind` for a cluster's current nodes.
+pub fn build_partitioner(
+    kind: PartitionerKind,
+    cluster: &Cluster,
+    grid: &GridHint,
+    config: &PartitionerConfig,
+) -> Box<dyn Partitioner> {
+    let nodes = cluster.node_ids();
+    match kind {
+        PartitionerKind::Append => Box::new(Append::new(&nodes, config.append_fill)),
+        PartitionerKind::ConsistentHash => {
+            Box::new(ConsistentHash::new(&nodes, config.virtual_nodes))
+        }
+        PartitionerKind::ExtendibleHash => Box::new(ExtendibleHash::new(&nodes)),
+        PartitionerKind::HilbertCurve => Box::new(HilbertCurve::new(&nodes, grid)),
+        PartitionerKind::IncrementalQuadtree => {
+            let plane = config.quad_plane.unwrap_or_else(|| default_plane(grid));
+            Box::new(IncrementalQuadtree::new(&nodes, grid, plane))
+        }
+        PartitionerKind::KdTree => Box::new(KdTree::new(&nodes, grid)),
+        PartitionerKind::RoundRobin => Box::new(RoundRobin::new(&nodes)),
+        PartitionerKind::UniformRange => {
+            Box::new(UniformRange::new(&nodes, grid, config.uniform_height))
+        }
+    }
+}
+
+/// The default quadtree plane: the last two dimensions (lon/lat in the
+/// paper's schemas, where time comes first).
+fn default_plane(grid: &GridHint) -> (usize, usize) {
+    let n = grid.ndims();
+    if n >= 2 {
+        (n - 2, n - 1)
+    } else {
+        (0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_feature_matrix_matches_paper() {
+        use PartitionerKind::*;
+        // Row by row from Table 1.
+        let t = |k: PartitionerKind| k.features();
+        assert_eq!(
+            (t(Append).incremental_scale_out, t(Append).fine_grained,
+             t(Append).skew_aware, t(Append).n_dimensional_clustering),
+            (true, true, false, false)
+        );
+        assert_eq!(
+            (t(ConsistentHash).incremental_scale_out, t(ConsistentHash).fine_grained,
+             t(ConsistentHash).skew_aware, t(ConsistentHash).n_dimensional_clustering),
+            (true, true, false, false)
+        );
+        assert_eq!(
+            (t(ExtendibleHash).incremental_scale_out, t(ExtendibleHash).fine_grained,
+             t(ExtendibleHash).skew_aware, t(ExtendibleHash).n_dimensional_clustering),
+            (true, true, true, false)
+        );
+        assert_eq!(
+            (t(HilbertCurve).incremental_scale_out, t(HilbertCurve).fine_grained,
+             t(HilbertCurve).skew_aware, t(HilbertCurve).n_dimensional_clustering),
+            (true, true, true, true)
+        );
+        assert_eq!(
+            (t(IncrementalQuadtree).incremental_scale_out, t(IncrementalQuadtree).fine_grained,
+             t(IncrementalQuadtree).skew_aware, t(IncrementalQuadtree).n_dimensional_clustering),
+            (true, false, true, true)
+        );
+        assert_eq!(
+            (t(KdTree).incremental_scale_out, t(KdTree).fine_grained,
+             t(KdTree).skew_aware, t(KdTree).n_dimensional_clustering),
+            (true, false, true, true)
+        );
+        assert_eq!(
+            (t(UniformRange).incremental_scale_out, t(UniformRange).fine_grained,
+             t(UniformRange).skew_aware, t(UniformRange).n_dimensional_clustering),
+            (false, false, false, true)
+        );
+        assert!(!t(RoundRobin).incremental_scale_out);
+        assert!(!t(RoundRobin).skew_aware);
+    }
+
+    #[test]
+    fn grid_hint_validates() {
+        let g = GridHint::new(vec![14, 30, 15]);
+        assert_eq!(g.ndims(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk counts")]
+    fn grid_hint_rejects_zero() {
+        let _ = GridHint::new(vec![0, 3]);
+    }
+
+    #[test]
+    fn default_plane_is_spatial_dims() {
+        assert_eq!(default_plane(&GridHint::new(vec![14, 30, 15])), (1, 2));
+        assert_eq!(default_plane(&GridHint::new(vec![8, 8])), (0, 1));
+    }
+}

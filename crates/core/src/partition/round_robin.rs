@@ -1,0 +1,126 @@
+//! Round Robin: the paper's baseline (§6.1).
+//!
+//! Chunk `i` (by arrival order) lives on node `i mod k`. Every node gets
+//! an equal share of chunks, but scale-out changes `k` and therefore the
+//! home of most chunks — a *global* reorganization that may ship data
+//! between preexisting nodes.
+
+use super::{Partitioner, PartitionerKind};
+use array_model::{ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, NodeId, RebalancePlan};
+use std::collections::BTreeMap;
+
+/// Round Robin partitioner state.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    nodes: Vec<NodeId>,
+    next_seq: u64,
+    seq_of: BTreeMap<ChunkKey, u64>,
+}
+
+impl RoundRobin {
+    /// Build for the cluster's initial nodes.
+    pub fn new(nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        RoundRobin { nodes: nodes.to_vec(), next_seq: 0, seq_of: BTreeMap::new() }
+    }
+
+    fn home(&self, seq: u64) -> NodeId {
+        self.nodes[(seq % self.nodes.len() as u64) as usize]
+    }
+}
+
+impl Partitioner for RoundRobin {
+    fn kind(&self) -> PartitionerKind {
+        PartitionerKind::RoundRobin
+    }
+
+    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq_of.insert(desc.key.clone(), seq);
+        self.home(seq)
+    }
+
+    fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
+        self.seq_of.get(key).map(|&seq| self.home(seq))
+    }
+
+    fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan {
+        self.nodes.extend_from_slice(new_nodes);
+        // Recompute i mod k for every resident chunk; emit the diff.
+        let mut plan = RebalancePlan::empty();
+        for (key, current) in cluster.placements() {
+            let seq = *self.seq_of.get(key).expect("round robin saw every placement");
+            let target = self.home(seq);
+            if target != current {
+                let bytes = cluster
+                    .node(current)
+                    .expect("placement points at live node")
+                    .descriptor(key)
+                    .expect("placement is authoritative")
+                    .bytes;
+                plan.push(key.clone(), current, target, bytes);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::{ArrayId, ChunkCoords};
+    use cluster_sim::CostModel;
+
+    fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+    }
+
+    fn run(p: &mut RoundRobin, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
+        for i in start..start + count {
+            let d = desc(i, bytes);
+            let n = p.place(&d, cluster);
+            cluster.place(d, n).unwrap();
+        }
+    }
+
+    #[test]
+    fn equal_chunk_counts() {
+        let mut cluster = Cluster::new(4, 1000, CostModel::default()).unwrap();
+        let mut p = RoundRobin::new(&cluster.node_ids());
+        run(&mut p, &mut cluster, 0, 20, 10);
+        assert_eq!(cluster.chunk_counts(), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn scale_out_is_global() {
+        let mut cluster = Cluster::new(2, 1000, CostModel::default()).unwrap();
+        let mut p = RoundRobin::new(&cluster.node_ids());
+        run(&mut p, &mut cluster, 0, 12, 10);
+        let new = cluster.add_nodes(1, 1000);
+        let plan = p.scale_out(&cluster, &new);
+        // chunks keep home only when i mod 2 == i mod 3, i.e. i mod 6 in {0,1}:
+        // 4 of 12 stay, 8 move.
+        assert_eq!(plan.len(), 8);
+        assert!(!plan.is_incremental(&new), "round robin reshuffles globally");
+        cluster.apply_rebalance(&plan).unwrap();
+        assert_eq!(cluster.chunk_counts(), vec![4, 4, 4]);
+        for (key, node) in cluster.placements() {
+            assert_eq!(p.locate(key), Some(node));
+        }
+    }
+
+    #[test]
+    fn locate_tracks_reassignment() {
+        let mut cluster = Cluster::new(2, 1000, CostModel::default()).unwrap();
+        let mut p = RoundRobin::new(&cluster.node_ids());
+        run(&mut p, &mut cluster, 0, 6, 10);
+        let before = p.locate(&desc(3, 0).key).unwrap();
+        assert_eq!(before, NodeId(1)); // 3 mod 2
+        let new = cluster.add_nodes(2, 1000);
+        let plan = p.scale_out(&cluster, &new);
+        cluster.apply_rebalance(&plan).unwrap();
+        assert_eq!(p.locate(&desc(3, 0).key), Some(NodeId(3))); // 3 mod 4
+    }
+}

@@ -1,0 +1,19 @@
+//! Elastic provisioning for array databases (paper §5).
+//!
+//! * [`StaircaseProvisioner`] — the leading-staircase PD control loop that
+//!   decides when and by how much to scale out (Equations 2–4, Figure 3).
+//! * [`tune_samples`] — the what-if analysis of Algorithm 1, fitting the
+//!   derivative window `s` to a workload's demand history.
+//! * [`tune_plan_ahead`] — the analytical cost model of Equations 5–9,
+//!   choosing the planning horizon `p` that minimizes node-hours.
+
+mod cost_model;
+mod staircase;
+mod tuning;
+
+pub use cost_model::{
+    estimate_cost, tune_plan_ahead, ClusterSnapshot, CostEstimate, CostModelParams,
+    CycleEstimate, PlanAheadReport,
+};
+pub use staircase::{ProvisionDecision, StaircaseConfig, StaircaseProvisioner};
+pub use tuning::{prediction_error, tune_samples, SampleTuningReport};

@@ -1,0 +1,268 @@
+//! The leading staircase: a PD control loop for cluster scale-out
+//! (paper §5.1, Figure 3).
+//!
+//! At each batch of inserts the controller compares demand against
+//! capacity. Its **proportional** term is the provisioning error
+//! `p_i = l_i − N·c` (Eq. 2); its **derivative** term is the demand slope
+//! over the last `s` workload cycles, `Δ = (l_i − l_{i−s}) / s` (Eq. 3).
+//! When the cluster is over capacity it provisions
+//! `k = ⌈(p_i + pΔ) / c⌉` new nodes (Eq. 4), raising capacity to serve the
+//! next `p` workload iterations. The staircase only ever climbs: scientific
+//! stores grow monotonically, so nodes are never coalesced.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaircaseConfig {
+    /// Per-node storage capacity `c` in GB (paper §6.1 uses 100 GB).
+    pub node_capacity_gb: f64,
+    /// Derivative window `s`: how many past cycles the slope looks at.
+    pub samples: usize,
+    /// Planning horizon `p`: how many future cycles each step provisions.
+    pub plan_ahead: usize,
+    /// Capacity fraction at which the proportional term trips. 1.0 is the
+    /// paper's behaviour (scale exactly when demand exceeds capacity);
+    /// lower values scale out with headroom to spare.
+    pub trigger: f64,
+}
+
+impl StaircaseConfig {
+    /// The paper's experimental defaults (c = 100 GB, s = 4, p = 3).
+    pub fn paper_defaults() -> Self {
+        StaircaseConfig { node_capacity_gb: 100.0, samples: 4, plan_ahead: 3, trigger: 1.0 }
+    }
+}
+
+/// The controller's verdict for one insert batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProvisionDecision {
+    /// Capacity suffices; no change.
+    Stay,
+    /// Add this many nodes before ingesting.
+    ScaleOut {
+        /// Number of nodes to provision (k in Eq. 4).
+        add_nodes: usize,
+    },
+}
+
+/// Leading-staircase provisioner state: the demand history plus config.
+#[derive(Debug, Clone)]
+pub struct StaircaseProvisioner {
+    config: StaircaseConfig,
+    /// Observed storage demand l_1..l_i (GB), one entry per workload cycle.
+    history: Vec<f64>,
+}
+
+impl StaircaseProvisioner {
+    /// Create a controller with the given configuration.
+    pub fn new(config: StaircaseConfig) -> Self {
+        assert!(config.node_capacity_gb > 0.0, "capacity must be positive");
+        assert!(config.samples >= 1, "derivative needs at least one sample");
+        assert!(config.trigger > 0.0, "trigger must be positive");
+        StaircaseProvisioner { config, history: Vec::new() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StaircaseConfig {
+        &self.config
+    }
+
+    /// Retune the derivative window (e.g. after running Algorithm 1).
+    pub fn set_samples(&mut self, samples: usize) {
+        assert!(samples >= 1);
+        self.config.samples = samples;
+    }
+
+    /// Retune the planning horizon (e.g. after running the cost model).
+    pub fn set_plan_ahead(&mut self, plan_ahead: usize) {
+        self.config.plan_ahead = plan_ahead;
+    }
+
+    /// Record the observed storage demand after a workload cycle completes.
+    pub fn observe(&mut self, load_gb: f64) {
+        self.history.push(load_gb);
+    }
+
+    /// Demand history so far (for tuning).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The derivative term Δ (Eq. 3) for a prospective demand `load_gb`,
+    /// using at most the configured window (shrinks while history is
+    /// short).
+    pub fn derivative(&self, load_gb: f64) -> f64 {
+        if self.history.is_empty() {
+            // First cycle: the whole load arrived in one step.
+            return load_gb.max(0.0);
+        }
+        let s = self.config.samples.min(self.history.len());
+        let past = self.history[self.history.len() - s];
+        (load_gb - past) / s as f64
+    }
+
+    /// Evaluate the control loop (Eqs. 2–4) for the demand `load_gb` that
+    /// the incoming insert will produce on a cluster of `current_nodes`.
+    pub fn decide(&self, current_nodes: usize, load_gb: f64) -> ProvisionDecision {
+        let c = self.config.node_capacity_gb;
+        let homogeneous = vec![c; current_nodes];
+        self.decide_heterogeneous(&homogeneous, c, load_gb)
+    }
+
+    /// The paper's §5.1 generalization: "this approach easily generalizes
+    /// to a heterogeneous cluster by assigning individual capacities to
+    /// the nodes." The proportional term compares demand against the sum
+    /// of the existing nodes' capacities; the step is sized in units of
+    /// the capacity new nodes will arrive with.
+    pub fn decide_heterogeneous(
+        &self,
+        node_capacities_gb: &[f64],
+        new_node_capacity_gb: f64,
+        load_gb: f64,
+    ) -> ProvisionDecision {
+        assert!(new_node_capacity_gb > 0.0, "new nodes must have capacity");
+        // Eq. 2: proportional term, against the (possibly derated) capacity.
+        let capacity: f64 = node_capacities_gb.iter().sum::<f64>() * self.config.trigger;
+        let p_i = load_gb - capacity;
+        if p_i <= 0.0 {
+            return ProvisionDecision::Stay;
+        }
+        // Eq. 3: derivative over the last s cycles.
+        let delta = self.derivative(load_gb).max(0.0);
+        // Eq. 4: nodes to add, covering the error plus p cycles of growth.
+        let k = ((p_i + self.config.plan_ahead as f64 * delta) / new_node_capacity_gb).ceil();
+        ProvisionDecision::ScaleOut { add_nodes: (k as usize).max(1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provisioner(s: usize, p: usize) -> StaircaseProvisioner {
+        StaircaseProvisioner::new(StaircaseConfig {
+            node_capacity_gb: 100.0,
+            samples: s,
+            plan_ahead: p,
+            trigger: 1.0,
+        })
+    }
+
+    #[test]
+    fn stays_under_capacity() {
+        let mut pv = provisioner(2, 1);
+        pv.observe(50.0);
+        assert_eq!(pv.decide(2, 150.0), ProvisionDecision::Stay);
+        assert_eq!(pv.decide(2, 200.0), ProvisionDecision::Stay); // exactly at capacity
+    }
+
+    #[test]
+    fn proportional_term_covers_excess() {
+        // 2 nodes (200 GB), demand 250 GB, flat history (Δ from window):
+        // history 210, 230 -> s=2: Δ = (250-210)/2 = 20; p=0 -> k = ceil(50/100)=1
+        let mut pv = provisioner(2, 0);
+        pv.observe(210.0);
+        pv.observe(230.0);
+        assert_eq!(pv.decide(2, 250.0), ProvisionDecision::ScaleOut { add_nodes: 1 });
+    }
+
+    #[test]
+    fn derivative_term_scales_with_plan_ahead() {
+        // Same state, growing demand 40 GB/cycle; p=6 -> k = ceil((50 + 6*20)/100)=2
+        let mut lazy = provisioner(2, 0);
+        let mut eager = provisioner(2, 6);
+        for pv in [&mut lazy, &mut eager] {
+            pv.observe(210.0);
+            pv.observe(230.0);
+        }
+        let ProvisionDecision::ScaleOut { add_nodes: k_lazy } = lazy.decide(2, 250.0) else {
+            panic!("must scale")
+        };
+        let ProvisionDecision::ScaleOut { add_nodes: k_eager } = eager.decide(2, 250.0) else {
+            panic!("must scale")
+        };
+        assert!(k_eager > k_lazy, "eager {k_eager} vs lazy {k_lazy}");
+        assert_eq!(k_eager, 2);
+    }
+
+    #[test]
+    fn eq4_matches_hand_computation() {
+        // N=4 (400 GB), l=470, history window s=3 with l_{i-3}=350:
+        // Δ = 40, p = 3: k = ceil((70 + 120)/100) = 2.
+        let mut pv = provisioner(3, 3);
+        for l in [350.0, 390.0, 430.0] {
+            pv.observe(l);
+        }
+        assert_eq!(pv.decide(4, 470.0), ProvisionDecision::ScaleOut { add_nodes: 2 });
+    }
+
+    #[test]
+    fn short_history_shrinks_the_window() {
+        let mut pv = provisioner(4, 1);
+        pv.observe(100.0);
+        // Only one sample: Δ = (260 - 100) / 1
+        assert!((pv.derivative(260.0) - 160.0).abs() < 1e-12);
+        // No history at all: Δ = the incoming load
+        let fresh = provisioner(4, 1);
+        assert!((fresh.derivative(50.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trigger_derates_capacity() {
+        let mut pv = StaircaseProvisioner::new(StaircaseConfig {
+            node_capacity_gb: 100.0,
+            samples: 1,
+            plan_ahead: 0,
+            trigger: 0.8,
+        });
+        pv.observe(150.0);
+        // 2 nodes * 100 GB * 0.8 = 160 GB effective capacity.
+        assert!(matches!(pv.decide(2, 170.0), ProvisionDecision::ScaleOut { .. }));
+        assert_eq!(pv.decide(2, 155.0), ProvisionDecision::Stay);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_sum_into_the_proportional_term() {
+        let mut pv = provisioner(1, 0);
+        pv.observe(100.0);
+        // 50 + 150 + 100 = 300 GB of mixed capacity.
+        let caps = vec![50.0, 150.0, 100.0];
+        assert_eq!(
+            pv.decide_heterogeneous(&caps, 100.0, 290.0),
+            ProvisionDecision::Stay
+        );
+        // 310 GB demand: 10 GB over; new nodes come in 25 GB units ->
+        // ceil((10 + 0)/25) = 1.
+        assert_eq!(
+            pv.decide_heterogeneous(&caps, 25.0, 310.0),
+            ProvisionDecision::ScaleOut { add_nodes: 1 }
+        );
+        // Big deficit with small new nodes: ceil(60/25) = 3.
+        assert_eq!(
+            pv.decide_heterogeneous(&caps, 25.0, 360.0),
+            ProvisionDecision::ScaleOut { add_nodes: 3 }
+        );
+    }
+
+    #[test]
+    fn homogeneous_decide_matches_heterogeneous_equivalent() {
+        let mut pv = provisioner(2, 3);
+        for l in [350.0, 390.0, 430.0] {
+            pv.observe(l);
+        }
+        let direct = pv.decide(4, 470.0);
+        let via_hetero = pv.decide_heterogeneous(&[100.0; 4], 100.0, 470.0);
+        assert_eq!(direct, via_hetero);
+    }
+
+    #[test]
+    fn staircase_never_asks_to_shrink() {
+        let mut pv = provisioner(2, 3);
+        for l in [100.0, 90.0, 80.0] {
+            pv.observe(l);
+        }
+        // Demand falling but under capacity: Stay, never negative.
+        assert_eq!(pv.decide(4, 70.0), ProvisionDecision::Stay);
+    }
+}

@@ -1,0 +1,159 @@
+//! The catalog: which arrays exist, their schemas, chunk metadata, and —
+//! when running at test scale — their materialized cells.
+
+use crate::error::{QueryError, Result};
+use array_model::{Array, ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey};
+use std::collections::BTreeMap;
+
+/// One array registered with the engine.
+///
+/// `descriptors` always carries the byte/cell metadata every operator's
+/// cost accounting needs. `data` optionally materializes the cells so the
+/// same operators can produce real answers (tests, examples, small runs).
+/// `replicated` marks small dimension arrays (the paper's 25 MB Vessel
+/// array) that live in full on every node, so reads are always local.
+#[derive(Debug, Clone)]
+pub struct StoredArray {
+    /// The array's identity.
+    pub id: ArrayId,
+    /// Schema (dimensions, attributes).
+    pub schema: ArraySchema,
+    /// Chunk metadata, keyed by chunk position.
+    pub descriptors: BTreeMap<ChunkCoords, ChunkDescriptor>,
+    /// Materialized cells, when running at a scale that permits it.
+    pub data: Option<Array>,
+    /// Replicated to every node instead of partitioned.
+    pub replicated: bool,
+}
+
+impl StoredArray {
+    /// A partitioned array with metadata only.
+    pub fn from_descriptors(
+        id: ArrayId,
+        schema: ArraySchema,
+        descriptors: impl IntoIterator<Item = ChunkDescriptor>,
+    ) -> Self {
+        let map = descriptors
+            .into_iter()
+            .map(|d| (d.key.coords.clone(), d))
+            .collect();
+        StoredArray { id, schema, descriptors: map, data: None, replicated: false }
+    }
+
+    /// A partitioned array with materialized cells; descriptors are
+    /// derived from the data.
+    pub fn from_array(array: Array) -> Self {
+        let descriptors = array
+            .descriptors()
+            .into_iter()
+            .map(|d| (d.key.coords.clone(), d))
+            .collect();
+        StoredArray {
+            id: array.id,
+            schema: array.schema.clone(),
+            descriptors,
+            data: Some(array),
+            replicated: false,
+        }
+    }
+
+    /// Mark the array as replicated on every node.
+    pub fn replicated(mut self) -> Self {
+        self.replicated = true;
+        self
+    }
+
+    /// Total stored bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.descriptors.values().map(|d| d.bytes).sum()
+    }
+
+    /// Key for a chunk of this array.
+    pub fn key_for(&self, coords: &ChunkCoords) -> ChunkKey {
+        ChunkKey::new(self.id, coords.clone())
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn attribute_index(&self, name: &str) -> Result<usize> {
+        self.schema
+            .attribute_index(name)
+            .map_err(|_| QueryError::UnknownAttribute(name.to_string()))
+    }
+}
+
+/// All arrays known to the engine.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    arrays: BTreeMap<ArrayId, StoredArray>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) an array.
+    pub fn register(&mut self, array: StoredArray) {
+        self.arrays.insert(array.id, array);
+    }
+
+    /// Fetch an array.
+    pub fn array(&self, id: ArrayId) -> Result<&StoredArray> {
+        self.arrays.get(&id).ok_or(QueryError::UnknownArray(id))
+    }
+
+    /// Mutable fetch (workload drivers append chunks between cycles).
+    pub fn array_mut(&mut self, id: ArrayId) -> Result<&mut StoredArray> {
+        self.arrays.get_mut(&id).ok_or(QueryError::UnknownArray(id))
+    }
+
+    /// Iterate registered arrays.
+    pub fn arrays(&self) -> impl Iterator<Item = &StoredArray> {
+        self.arrays.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_model::ScalarValue;
+
+    fn small_array() -> Array {
+        let schema = ArraySchema::parse("A<v:int32>[x=0:7,2, y=0:7,2]").unwrap();
+        let mut a = Array::new(ArrayId(3), schema);
+        for x in 0..8 {
+            for y in 0..8 {
+                a.insert_cell(vec![x, y], vec![ScalarValue::Int32((x * 8 + y) as i32)]).unwrap();
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn from_array_derives_descriptors() {
+        let stored = StoredArray::from_array(small_array());
+        assert_eq!(stored.descriptors.len(), 16);
+        assert_eq!(stored.byte_size(), stored.data.as_ref().unwrap().byte_size());
+        assert!(!stored.replicated);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut cat = Catalog::new();
+        cat.register(StoredArray::from_array(small_array()));
+        assert!(cat.array(ArrayId(3)).is_ok());
+        assert!(matches!(cat.array(ArrayId(9)), Err(QueryError::UnknownArray(_))));
+        assert_eq!(cat.arrays().count(), 1);
+    }
+
+    #[test]
+    fn attribute_lookup_errors_are_named() {
+        let stored = StoredArray::from_array(small_array());
+        assert_eq!(stored.attribute_index("v").unwrap(), 0);
+        assert!(matches!(
+            stored.attribute_index("w"),
+            Err(QueryError::UnknownAttribute(_))
+        ));
+    }
+}

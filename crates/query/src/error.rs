@@ -1,0 +1,44 @@
+//! Error type for query execution.
+
+use array_model::ArrayId;
+use std::fmt;
+
+/// Errors raised by the query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The catalog has no array with this id.
+    UnknownArray(ArrayId),
+    /// The named attribute does not exist on the array.
+    UnknownAttribute(String),
+    /// The region's arity does not match the array's dimensionality.
+    RegionArity {
+        /// Dimensions the array declares.
+        expected: usize,
+        /// Dimensions the region supplied.
+        got: usize,
+    },
+    /// A chunk is resident in the catalog but missing from the cluster
+    /// placement (catalog/cluster desynchronization).
+    Unplaced(String),
+    /// Operator-specific invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownArray(id) => write!(f, "unknown array {id}"),
+            QueryError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            QueryError::RegionArity { expected, got } => {
+                write!(f, "region has {got} dimensions, array has {expected}")
+            }
+            QueryError::Unplaced(key) => write!(f, "chunk {key} is not placed on any node"),
+            QueryError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

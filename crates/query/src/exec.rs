@@ -1,0 +1,168 @@
+//! Execution context: the cluster + catalog pair every operator runs
+//! against, plus shared helpers (chunk routing, attribute byte fractions).
+
+use crate::catalog::{Catalog, StoredArray};
+use crate::error::{QueryError, Result};
+use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, Region};
+use cluster_sim::{Cluster, CostModel, NodeId};
+
+/// Everything an operator needs to run.
+#[derive(Debug)]
+pub struct ExecutionContext<'a> {
+    /// The cluster whose placement is being queried.
+    pub cluster: &'a Cluster,
+    /// The arrays.
+    pub catalog: &'a Catalog,
+}
+
+impl<'a> ExecutionContext<'a> {
+    /// Bundle a cluster and catalog.
+    pub fn new(cluster: &'a Cluster, catalog: &'a Catalog) -> Self {
+        ExecutionContext { cluster, catalog }
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        self.cluster.cost_model()
+    }
+
+    /// Which node holds this chunk. Replicated arrays are "held" by every
+    /// node; callers pass the node that wants to read, and get it back.
+    pub fn node_of(
+        &self,
+        array: &StoredArray,
+        coords: &ChunkCoords,
+        reader: Option<NodeId>,
+    ) -> Result<NodeId> {
+        if array.replicated {
+            return Ok(reader.unwrap_or_else(|| self.cluster.coordinator()));
+        }
+        let key = array.key_for(coords);
+        self.cluster
+            .locate(&key)
+            .ok_or_else(|| QueryError::Unplaced(key.to_string()))
+    }
+
+    /// Chunks of `array` intersecting `region` (all chunks when `None`),
+    /// with their resident nodes.
+    pub fn chunks_in(
+        &self,
+        array_id: ArrayId,
+        region: Option<&Region>,
+    ) -> Result<Vec<(ChunkDescriptor, NodeId)>> {
+        let array = self.catalog.array(array_id)?;
+        if let Some(r) = region {
+            if r.ndims() != array.schema.ndims() {
+                return Err(QueryError::RegionArity {
+                    expected: array.schema.ndims(),
+                    got: r.ndims(),
+                });
+            }
+        }
+        let mut out = Vec::new();
+        for (coords, desc) in &array.descriptors {
+            if region.is_none_or(|r| r.intersects_chunk(&array.schema, coords)) {
+                let node = self.node_of(array, coords, None)?;
+                out.push((desc.clone(), node));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The byte fraction of a chunk occupied by the named attributes —
+    /// vertical partitioning means an operator reading two of seven
+    /// attributes scans only their columns. Coordinates always come along
+    /// (they are the chunk's positional index).
+    pub fn attr_fraction(&self, array: &StoredArray, attrs: &[&str]) -> Result<f64> {
+        let coord_bytes = (array.schema.ndims() * 8) as f64;
+        let total: f64 = coord_bytes
+            + array
+                .schema
+                .attributes
+                .iter()
+                .map(|a| a.ty.fixed_width() as f64)
+                .sum::<f64>();
+        let mut wanted = coord_bytes;
+        for name in attrs {
+            let idx = array.attribute_index(name)?;
+            wanted += array.schema.attributes[idx].ty.fixed_width() as f64;
+        }
+        Ok((wanted / total).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::StoredArray;
+    use array_model::{Array, ArraySchema, ScalarValue};
+    use cluster_sim::CostModel;
+
+    fn setup() -> (Cluster, Catalog) {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("A<v:int32, w:double>[x=0:7,2, y=0:7,2]").unwrap();
+        let mut a = Array::new(ArrayId(0), schema);
+        for x in 0..8 {
+            for y in 0..8 {
+                a.insert_cell(
+                    vec![x, y],
+                    vec![ScalarValue::Int32(1), ScalarValue::Double(0.5)],
+                )
+                .unwrap();
+            }
+        }
+        let stored = StoredArray::from_array(a);
+        // Alternate chunks across the two nodes.
+        for (i, d) in stored.descriptors.values().enumerate() {
+            cluster.place(d.clone(), NodeId((i % 2) as u32)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        (cluster, cat)
+    }
+
+    #[test]
+    fn chunks_in_region_filters_and_locates() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let all = ctx.chunks_in(ArrayId(0), None).unwrap();
+        assert_eq!(all.len(), 16);
+        let corner = Region::new(vec![0, 0], vec![1, 1]);
+        let some = ctx.chunks_in(ArrayId(0), Some(&corner)).unwrap();
+        assert_eq!(some.len(), 1);
+        let bad = Region::new(vec![0], vec![1]);
+        assert!(matches!(
+            ctx.chunks_in(ArrayId(0), Some(&bad)),
+            Err(QueryError::RegionArity { .. })
+        ));
+    }
+
+    #[test]
+    fn attr_fraction_reflects_vertical_partitioning() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let array = cat.array(ArrayId(0)).unwrap();
+        // coords 16B + int32 4B + double 8B = 28B total
+        let just_v = ctx.attr_fraction(array, &["v"]).unwrap();
+        assert!((just_v - 20.0 / 28.0).abs() < 1e-9);
+        let both = ctx.attr_fraction(array, &["v", "w"]).unwrap();
+        assert!((both - 1.0).abs() < 1e-9);
+        assert!(ctx.attr_fraction(array, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn replicated_arrays_read_locally() {
+        let mut cluster = Cluster::new(3, u64::MAX, CostModel::default()).unwrap();
+        cluster.add_nodes(0, 0);
+        let schema = ArraySchema::parse("V<t:int32>[id=0:9,10]").unwrap();
+        let a = Array::new(ArrayId(7), schema);
+        let stored = StoredArray::from_array(a).replicated();
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let arr = cat.array(ArrayId(7)).unwrap();
+        let coords = ChunkCoords::new(vec![0]);
+        assert_eq!(ctx.node_of(arr, &coords, Some(NodeId(2))).unwrap(), NodeId(2));
+        assert_eq!(ctx.node_of(arr, &coords, None).unwrap(), cluster.coordinator());
+    }
+}

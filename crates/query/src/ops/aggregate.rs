@@ -1,0 +1,340 @@
+//! Group-by aggregation over dimension space (paper §3.3.2 "Statistics").
+//!
+//! The MODIS rolling average and the AIS track-count map both group cells
+//! by a projection of the dimensions (e.g. collapse time, coarsen
+//! lat/lon). Each node aggregates its chunks locally, then partial states
+//! are exchanged so each group is finalized on one node. When contiguous
+//! chunks are co-located (n-dimensional clustering), most groups have a
+//! single contributor and the exchange disappears — the clustered
+//! partitioners' advantage on the Science benchmarks.
+
+use crate::error::{QueryError, Result};
+use crate::exec::ExecutionContext;
+use crate::stats::{QueryStats, WorkTracker};
+use array_model::{ArrayId, Region};
+use cluster_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which aggregate to compute per group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Count non-empty cells.
+    Count,
+    /// Sum the attribute.
+    Sum,
+    /// Average the attribute.
+    Avg,
+    /// Maximum of the attribute.
+    Max,
+}
+
+/// How to map cells to groups: keep `dims`, dividing each kept dimension's
+/// cell coordinate by the matching `coarsen` factor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// Dimension indices retained in the group key.
+    pub dims: Vec<usize>,
+    /// Per-retained-dimension coarsening divisor (≥ 1).
+    pub coarsen: Vec<i64>,
+}
+
+impl GroupSpec {
+    /// Keep `dims` at full resolution.
+    pub fn by_dims(dims: Vec<usize>) -> Self {
+        let coarsen = vec![1; dims.len()];
+        GroupSpec { dims, coarsen }
+    }
+
+    /// Keep `dims`, coarsened by the paired factors.
+    pub fn coarsened(dims: Vec<usize>, coarsen: Vec<i64>) -> Self {
+        assert_eq!(dims.len(), coarsen.len());
+        assert!(coarsen.iter().all(|&c| c >= 1));
+        GroupSpec { dims, coarsen }
+    }
+
+    fn key_of_cell(&self, cell: &[i64]) -> Vec<i64> {
+        self.dims
+            .iter()
+            .zip(&self.coarsen)
+            .map(|(&d, &c)| cell[d].div_euclid(c))
+            .collect()
+    }
+}
+
+/// One output group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupRow {
+    /// The (possibly coarsened) retained-dimension coordinates.
+    pub key: Vec<i64>,
+    /// Aggregate value (`count` as f64 for `AggFn::Count`).
+    pub value: f64,
+    /// Cells that contributed.
+    pub cells: u64,
+}
+
+/// Group-by aggregate of `attr` over `region` under `spec`.
+///
+/// Plain aggregation; see [`rolling_aggregate`] for window-over-a-dimension
+/// semantics (the MODIS rolling average).
+pub fn grid_aggregate(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: Option<&Region>,
+    attr: &str,
+    spec: &GroupSpec,
+    agg: AggFn,
+) -> Result<(Vec<GroupRow>, QueryStats)> {
+    grid_aggregate_impl(ctx, array_id, region, attr, spec, agg, None)
+}
+
+/// Group-by aggregate whose value at each position is a *rolling* window
+/// along `rolling_dim` (e.g. "average of the last several days"): every
+/// chunk needs its predecessor along that dimension, so placements that
+/// co-locate the dimension's columns (the n-dimensionally clustered
+/// schemes with the rolling dimension outside their split plane) answer
+/// locally, while scattered placements pay a latency-bearing fetch per
+/// chunk.
+pub fn rolling_aggregate(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: Option<&Region>,
+    attr: &str,
+    spec: &GroupSpec,
+    agg: AggFn,
+    rolling_dim: usize,
+) -> Result<(Vec<GroupRow>, QueryStats)> {
+    grid_aggregate_impl(ctx, array_id, region, attr, spec, agg, Some(rolling_dim))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grid_aggregate_impl(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: Option<&Region>,
+    attr: &str,
+    spec: &GroupSpec,
+    agg: AggFn,
+    rolling_dim: Option<usize>,
+) -> Result<(Vec<GroupRow>, QueryStats)> {
+    let array = ctx.catalog.array(array_id)?;
+    for &d in &spec.dims {
+        if d >= array.schema.ndims() {
+            return Err(QueryError::InvalidArgument(format!(
+                "group dimension {d} out of range"
+            )));
+        }
+    }
+    let fraction = ctx.attr_fraction(array, &[attr])?;
+    let attr_idx = array.attribute_index(attr)?;
+    let mut tracker = WorkTracker::new(ctx.cost());
+
+    // --- cost: local partial aggregation, then exchange per group ---
+    // Bin chunks by their *chunk-level* group key (the group key of the
+    // chunk's low corner, coarsened in chunk units) to find how many nodes
+    // contribute to each group region.
+    let mut group_nodes: BTreeMap<Vec<i64>, BTreeMap<NodeId, u64>> = BTreeMap::new();
+    let placed = ctx.chunks_in(array_id, region)?;
+    let homes: BTreeMap<&array_model::ChunkCoords, (u64, NodeId)> =
+        placed.iter().map(|(d, n)| (&d.key.coords, (d.bytes, *n))).collect();
+    for (desc, node) in &placed {
+        let (desc, node) = (desc, *node);
+        let scan_bytes = (desc.bytes as f64 * fraction) as u64;
+        tracker.scan_chunk(node, scan_bytes);
+        // Rolling windows pull the predecessor chunk along the rolling
+        // dimension; co-located columns answer from local disk.
+        if let Some(rd) = rolling_dim {
+            let mut prev = desc.key.coords.clone();
+            prev.0[rd] -= 1;
+            if let Some(&(pbytes, pnode)) = homes.get(&prev) {
+                tracker.remote_fetch(node, pnode, (pbytes as f64 * fraction) as u64);
+            }
+        }
+        let chunk_group: Vec<i64> = spec
+            .dims
+            .iter()
+            .zip(&spec.coarsen)
+            .map(|(&d, &c)| {
+                let (cell_lo, _) = array.schema.dimensions[d].chunk_range(desc.key.coords.index(d));
+                cell_lo.div_euclid(c * array.schema.dimensions[d].chunk_interval.max(1))
+            })
+            .collect();
+        *group_nodes.entry(chunk_group).or_default().entry(node).or_default() += scan_bytes;
+    }
+    // Exchange: every non-owner contributor ships its partial state
+    // (aggregation compresses the scanned bytes heavily) to the group
+    // owner — the contributor with the most bytes.
+    const STATE_FRACTION: f64 = 0.25;
+    for contributors in group_nodes.values() {
+        if contributors.len() <= 1 {
+            continue;
+        }
+        let owner = *contributors
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0 .0.cmp(&a.0 .0)))
+            .expect("non-empty")
+            .0;
+        for (&node, &bytes) in contributors {
+            if node != owner {
+                tracker.shuffle(node, owner, (bytes as f64 * STATE_FRACTION) as u64);
+            }
+        }
+    }
+
+    // --- materialized answer ---
+    let mut groups: BTreeMap<Vec<i64>, (f64, u64, f64)> = BTreeMap::new(); // (sum, count, max)
+    if let Some(data) = &array.data {
+        for (coords, chunk) in data.chunks() {
+            if let Some(r) = region {
+                if !r.intersects_chunk(&array.schema, coords) {
+                    continue;
+                }
+            }
+            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
+            for (cell, row) in chunk.iter_cells() {
+                if region.is_none_or(|r| r.contains_cell(cell)) {
+                    let v = col.get_f64(row).unwrap_or(0.0);
+                    let entry = groups.entry(spec.key_of_cell(cell)).or_insert((0.0, 0, f64::MIN));
+                    entry.0 += v;
+                    entry.1 += 1;
+                    entry.2 = entry.2.max(v);
+                }
+            }
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|(key, (sum, count, max))| {
+            let value = match agg {
+                AggFn::Count => count as f64,
+                AggFn::Sum => sum,
+                AggFn::Avg => {
+                    if count > 0 {
+                        sum / count as f64
+                    } else {
+                        0.0
+                    }
+                }
+                AggFn::Max => max,
+            };
+            GroupRow { key, value, cells: count }
+        })
+        .collect();
+    Ok((rows, tracker.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, StoredArray};
+    use array_model::{Array, ArraySchema, ScalarValue};
+    use cluster_sim::{Cluster, CostModel};
+
+    /// 3-D (t, x, y) array, 2 time steps; placement controlled by caller.
+    fn setup(place: impl Fn(usize) -> NodeId) -> (Cluster, Catalog) {
+        let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("S<v:double>[t=0:1,1, x=0:3,2, y=0:3,2]").unwrap();
+        let mut a = Array::new(ArrayId(0), schema);
+        for t in 0..2 {
+            for x in 0..4 {
+                for y in 0..4 {
+                    a.insert_cell(
+                        vec![t, x, y],
+                        vec![ScalarValue::Double((t * 100 + x * 10 + y) as f64)],
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let stored = StoredArray::from_array(a);
+        for (i, d) in stored.descriptors.values().enumerate() {
+            cluster.place(d.clone(), place(i)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        (cluster, cat)
+    }
+
+    #[test]
+    fn rolling_average_over_time_matches_naive() {
+        let (cluster, cat) = setup(|i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        // Group by (x, y), averaging across time: value = avg(t*100) + x*10 + y = 50 + ...
+        let spec = GroupSpec::by_dims(vec![1, 2]);
+        let (rows, _) = grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Avg).unwrap();
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            let expect = 50.0 + (row.key[0] * 10 + row.key[1]) as f64;
+            assert!((row.value - expect).abs() < 1e-9, "{row:?}");
+            assert_eq!(row.cells, 2);
+        }
+    }
+
+    #[test]
+    fn coarsened_count_map() {
+        let (cluster, cat) = setup(|i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        // Coarse 2x2 map over (x, y): 4 groups of 2*4=8 cells.
+        let spec = GroupSpec::coarsened(vec![1, 2], vec![2, 2]);
+        let (rows, _) = grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Count).unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.cells, 8);
+            assert_eq!(row.value, 8.0);
+        }
+    }
+
+    #[test]
+    fn clustering_avoids_the_exchange() {
+        // Time-colocated placement: both time chunks of each (x,y) block on
+        // one node -> grouping by (x,y) needs no shuffle. Chunk order is
+        // (t,x,y) row-major: 8 chunks, (0,a,b) at i and (1,a,b) at i+4.
+        let clustered = setup(|i| NodeId((i % 4) as u32)); // i and i+4 -> same node
+        let scattered = setup(|i| NodeId((i % 2 + 2 * (i / 4)) as u32)); // t splits nodes
+        let spec = GroupSpec::by_dims(vec![1, 2]);
+        let (_, s1) = grid_aggregate(
+            &ExecutionContext::new(&clustered.0, &clustered.1),
+            ArrayId(0),
+            None,
+            "v",
+            &spec,
+            AggFn::Avg,
+        )
+        .unwrap();
+        let (_, s2) = grid_aggregate(
+            &ExecutionContext::new(&scattered.0, &scattered.1),
+            ArrayId(0),
+            None,
+            "v",
+            &spec,
+            AggFn::Avg,
+        )
+        .unwrap();
+        assert_eq!(s1.bytes_shuffled, 0, "clustered grouping is exchange-free");
+        assert!(s2.bytes_shuffled > 0, "scattered grouping must exchange partials");
+    }
+
+    #[test]
+    fn sum_and_max_aggregate_functions() {
+        let (cluster, cat) = setup(|i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let spec = GroupSpec::by_dims(vec![0]); // group by time
+        let (sums, _) = grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Sum).unwrap();
+        // t=0: sum over x,y of (10x + y), 4x4 grid = 16 cells
+        let t0: f64 = (0..4).flat_map(|x| (0..4).map(move |y| (x * 10 + y) as f64)).sum();
+        assert!((sums[0].value - t0).abs() < 1e-9);
+        let (maxs, _) = grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Max).unwrap();
+        assert_eq!(maxs[1].value, 133.0);
+    }
+
+    #[test]
+    fn bad_group_dimension_is_rejected() {
+        let (cluster, cat) = setup(|i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let spec = GroupSpec::by_dims(vec![9]);
+        assert!(matches!(
+            grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Avg),
+            Err(QueryError::InvalidArgument(_))
+        ));
+    }
+}

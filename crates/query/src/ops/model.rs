@@ -1,0 +1,492 @@
+//! Modeling operators (paper §3.3.2): k-means clustering, k-nearest
+//! neighbours, and trajectory projection (collision prediction).
+//!
+//! These are the queries most sensitive to spatial arrangement:
+//!
+//! * k-means sweeps the whole region every iteration — balance wins;
+//! * kNN explores chunks around each query point — every candidate chunk
+//!   on a different node costs a latency-bearing remote hop, so clustered
+//!   placements halve the latency (the paper's Figure 7);
+//! * trajectory projection hands ships off across chunk boundaries, a
+//!   halo-like exchange.
+
+use crate::error::{QueryError, Result};
+use crate::exec::ExecutionContext;
+use crate::stats::{QueryStats, WorkTracker};
+use array_model::{chunk_of, ArrayId, ChunkCoords, Region};
+use cluster_sim::gb;
+use std::collections::BTreeMap;
+
+/// k-means output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids in feature space `(dims..., attr)`, scaled to cell
+    /// coordinates. Empty when metadata-only.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Cells clustered.
+    pub points: u64,
+}
+
+/// Lloyd's k-means over the cells of `region`, using the cell coordinates
+/// plus `attr` as the feature vector.
+pub fn kmeans(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: &Region,
+    attr: &str,
+    k: usize,
+    iterations: usize,
+) -> Result<(KMeansResult, QueryStats)> {
+    if k == 0 {
+        return Err(QueryError::InvalidArgument("k must be positive".into()));
+    }
+    let array = ctx.catalog.array(array_id)?;
+    let fraction = ctx.attr_fraction(array, &[attr])?;
+    let attr_idx = array.attribute_index(attr)?;
+    let mut tracker = WorkTracker::new(ctx.cost());
+
+    // Cost: the first iteration reads the region from disk; the working
+    // set then stays buffer-pool resident, so further iterations are pure
+    // CPU. Every round ends with a small centroid exchange.
+    let chunks = ctx.chunks_in(array_id, Some(region))?;
+    let coordinator = ctx.cluster.coordinator();
+    for iter in 0..iterations.max(1) {
+        for (desc, node) in &chunks {
+            let bytes = (desc.bytes as f64 * fraction) as u64;
+            if iter == 0 {
+                tracker.scan_chunk(*node, bytes);
+            } else {
+                tracker.compute(*node, ctx.cost().cpu_secs(bytes));
+            }
+        }
+        for (_, node) in &chunks {
+            tracker.shuffle(*node, coordinator, (k * (array.schema.ndims() + 1) * 8) as u64);
+        }
+    }
+
+    // Materialized answer: standard Lloyd iterations.
+    let mut result = KMeansResult::default();
+    if let Some(data) = &array.data {
+        let mut points: Vec<Vec<f64>> = Vec::new();
+        for (_, chunk) in data.chunks_in_region(region) {
+            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
+            for (cell, row) in chunk.iter_cells() {
+                if region.contains_cell(cell) {
+                    let mut p: Vec<f64> = cell.iter().map(|&c| c as f64).collect();
+                    p.push(col.get_f64(row).unwrap_or(0.0));
+                    points.push(p);
+                }
+            }
+        }
+        result.points = points.len() as u64;
+        if !points.is_empty() {
+            let dims = points[0].len();
+            let k = k.min(points.len());
+            // Deterministic init: evenly strided points.
+            let mut centroids: Vec<Vec<f64>> =
+                (0..k).map(|i| points[i * points.len() / k].clone()).collect();
+            let mut assign = vec![0usize; points.len()];
+            for _ in 0..iterations.max(1) {
+                for (pi, p) in points.iter().enumerate() {
+                    let mut best = (f64::MAX, 0usize);
+                    for (ci, c) in centroids.iter().enumerate() {
+                        let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                        if d < best.0 {
+                            best = (d, ci);
+                        }
+                    }
+                    assign[pi] = best.1;
+                }
+                let mut sums = vec![vec![0.0; dims]; k];
+                let mut counts = vec![0u64; k];
+                for (pi, p) in points.iter().enumerate() {
+                    counts[assign[pi]] += 1;
+                    for (d, v) in p.iter().enumerate() {
+                        sums[assign[pi]][d] += v;
+                    }
+                }
+                for ci in 0..k {
+                    if counts[ci] > 0 {
+                        for d in 0..dims {
+                            centroids[ci][d] = sums[ci][d] / counts[ci] as f64;
+                        }
+                    }
+                }
+            }
+            result.inertia = points
+                .iter()
+                .zip(&assign)
+                .map(|(p, &ci)| {
+                    p.iter().zip(&centroids[ci]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                })
+                .sum();
+            result.centroids = centroids;
+        }
+    }
+    Ok((result, tracker.finish()))
+}
+
+/// One kNN answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnAnswer {
+    /// The query point.
+    pub query: Vec<i64>,
+    /// Squared Euclidean distances of the k nearest stored cells
+    /// (ascending). Empty when metadata-only.
+    pub neighbor_dist2: Vec<f64>,
+}
+
+/// k-nearest-neighbour search for each query point, by expanding-ring
+/// exploration of the chunk grid.
+pub fn knn(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    queries: &[Vec<i64>],
+    k: usize,
+) -> Result<(Vec<KnnAnswer>, QueryStats)> {
+    if k == 0 {
+        return Err(QueryError::InvalidArgument("k must be positive".into()));
+    }
+    let array = ctx.catalog.array(array_id)?;
+    // Positions only: vertical partitioning means kNN reads no measure columns.
+    let fraction = ctx.attr_fraction(array, &[])?;
+    let mut tracker = WorkTracker::new(ctx.cost());
+    let mut answers = Vec::with_capacity(queries.len());
+
+    const MAX_RING: i64 = 3;
+    const OVERSAMPLE: u64 = 3;
+    // Buffer-pool semantics: once a node has read (or fetched) a chunk, a
+    // later query running on the same node probes it from memory. Port-
+    // concentrated query batches hit the same chunks over and over, which
+    // is exactly where clustered placements save their latency.
+    let mut warm: std::collections::HashSet<(cluster_sim::NodeId, ChunkCoords)> =
+        std::collections::HashSet::new();
+    for q in queries {
+        if q.len() != array.schema.ndims() {
+            return Err(QueryError::RegionArity { expected: array.schema.ndims(), got: q.len() });
+        }
+        let home = chunk_of(&array.schema, q).map_err(|e| {
+            QueryError::InvalidArgument(format!("query point out of bounds: {e}"))
+        })?;
+        // The query executes on the node holding the home chunk (or the
+        // coordinator if that position is empty).
+        let home_node = ctx
+            .cluster
+            .locate(&array.key_for(&home))
+            .unwrap_or_else(|| ctx.cluster.coordinator());
+
+        let mut cells_found = 0u64;
+        let mut visited: Vec<ChunkCoords> = Vec::new();
+        'rings: for r in 0..=MAX_RING {
+            let ring = chunks_at_ring(&home, r);
+            let mut any = false;
+            for coords in ring {
+                if let Some(desc) = array.descriptors.get(&coords) {
+                    let holder = ctx
+                        .cluster
+                        .locate(&desc.key)
+                        .unwrap_or(home_node);
+                    let bytes = (desc.bytes as f64 * fraction) as u64;
+                    if warm.insert((home_node, coords.clone())) {
+                        tracker.remote_fetch(home_node, holder, bytes);
+                    } else {
+                        // In-memory spatial-index probe of an already-warm
+                        // chunk: touches a small fraction of its pages.
+                        tracker.compute(home_node, ctx.cost().cpu_secs(bytes / 50) + 0.001);
+                    }
+                    cells_found += desc.cells;
+                    visited.push(coords);
+                    any = true;
+                }
+            }
+            // Stop once we have enough candidates and looked at least one
+            // ring beyond the first hit (so the true neighbours cannot
+            // hide in an unvisited adjacent chunk).
+            if cells_found >= k as u64 * OVERSAMPLE && r >= 1 {
+                break 'rings;
+            }
+            let _ = any;
+        }
+
+        // Materialized answer: distances within the visited chunks.
+        let mut dists: Vec<f64> = Vec::new();
+        if let Some(data) = &array.data {
+            for coords in &visited {
+                if let Some(chunk) = data.chunk(coords) {
+                    for (cell, _) in chunk.iter_cells() {
+                        let d2: f64 = cell
+                            .iter()
+                            .zip(q)
+                            .map(|(a, b)| (*a - *b) as f64 * (*a - *b) as f64)
+                            .sum();
+                        dists.push(d2);
+                    }
+                }
+            }
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            dists.truncate(k);
+        }
+        answers.push(KnnAnswer { query: q.clone(), neighbor_dist2: dists });
+    }
+    Ok((answers, tracker.finish()))
+}
+
+/// Chunk coordinates at exactly Chebyshev distance `r` from `home`,
+/// clipped to non-negative indices.
+#[allow(clippy::needless_range_loop)] // odometer indexes two arrays in lockstep
+fn chunks_at_ring(home: &ChunkCoords, r: i64) -> Vec<ChunkCoords> {
+    if r == 0 {
+        return vec![home.clone()];
+    }
+    let n = home.ndims();
+    let mut out = Vec::new();
+    let mut offsets = vec![-r; n];
+    'outer: loop {
+        if offsets.iter().any(|&o| o.abs() == r) {
+            let mut cand = Vec::with_capacity(n);
+            let mut ok = true;
+            for d in 0..n {
+                let idx = home.0[d] + offsets[d];
+                if idx < 0 {
+                    ok = false;
+                    break;
+                }
+                cand.push(idx);
+            }
+            if ok {
+                out.push(ChunkCoords::new(cand));
+            }
+        }
+        let mut d = 0;
+        loop {
+            if d == n {
+                break 'outer;
+            }
+            offsets[d] += 1;
+            if offsets[d] <= r {
+                break;
+            }
+            offsets[d] = -r;
+            d += 1;
+        }
+    }
+    out
+}
+
+/// Trajectory projection output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrajectoryResult {
+    /// Ships projected.
+    pub projected: u64,
+    /// Pairs of ships whose projected positions land in the same cell —
+    /// collision candidates. Zero when metadata-only.
+    pub collision_candidates: u64,
+}
+
+/// Project each cell's object forward: its new position shifts by
+/// `(speed * horizon)` along the heading derived from `course_attr`
+/// (degrees, 2-D plane = the last two dimensions). Cost: scan plus a
+/// cross-node handoff for every chunk-boundary crossing.
+pub fn trajectory(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: &Region,
+    speed_attr: &str,
+    course_attr: &str,
+    horizon: f64,
+) -> Result<(TrajectoryResult, QueryStats)> {
+    let array = ctx.catalog.array(array_id)?;
+    let ndims = array.schema.ndims();
+    if ndims < 2 {
+        return Err(QueryError::InvalidArgument("trajectory needs a 2-D plane".into()));
+    }
+    let (dx, dy) = (ndims - 2, ndims - 1);
+    let fraction = ctx.attr_fraction(array, &[speed_attr, course_attr])?;
+    let sp_idx = array.attribute_index(speed_attr)?;
+    let co_idx = array.attribute_index(course_attr)?;
+    let mut tracker = WorkTracker::new(ctx.cost());
+
+    let chunks = ctx.chunks_in(array_id, Some(region))?;
+    let homes: BTreeMap<&ChunkCoords, _> =
+        chunks.iter().map(|(d, n)| (&d.key.coords, *n)).collect();
+    for (desc, node) in &chunks {
+        tracker.scan_chunk(*node, (desc.bytes as f64 * fraction) as u64);
+        // Handoff: projected objects that exit the chunk go to the planar
+        // face neighbours; remote neighbours cost a latency-bearing push of
+        // a small manifest.
+        for dim in [dx, dy] {
+            for delta in [-1i64, 1] {
+                let mut ncoords = desc.key.coords.clone();
+                ncoords.0[dim] += delta;
+                if let Some(&nnode) = homes.get(&ncoords) {
+                    if nnode != *node {
+                        tracker.remote_fetch(*node, nnode, desc.bytes / 50);
+                    }
+                }
+            }
+        }
+    }
+    // Collision matching is a cheap local pass over projected manifests.
+    tracker.coordinator(gb(chunks.iter().map(|(d, _)| d.bytes / 50).sum::<u64>())
+        * ctx.cost().cpu_secs_per_gb);
+
+    // Materialized answer.
+    let mut result = TrajectoryResult::default();
+    if let Some(data) = &array.data {
+        let mut landing: BTreeMap<Vec<i64>, u64> = BTreeMap::new();
+        for (_, chunk) in data.chunks_in_region(region) {
+            let speeds = chunk.column(sp_idx).expect("schema-shaped chunk");
+            let courses = chunk.column(co_idx).expect("schema-shaped chunk");
+            for (cell, row) in chunk.iter_cells() {
+                if !region.contains_cell(cell) {
+                    continue;
+                }
+                let speed = speeds.get_f64(row).unwrap_or(0.0);
+                let course = courses.get_f64(row).unwrap_or(0.0).to_radians();
+                let mut dest = cell.to_vec();
+                dest[dx] += (speed * horizon * course.cos()).round() as i64;
+                dest[dy] += (speed * horizon * course.sin()).round() as i64;
+                result.projected += 1;
+                *landing.entry(dest).or_default() += 1;
+            }
+        }
+        result.collision_candidates = landing
+            .values()
+            .map(|&c| if c >= 2 { c * (c - 1) / 2 } else { 0 })
+            .sum();
+    }
+    Ok((result, tracker.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, StoredArray};
+    use array_model::{Array, ArraySchema, ScalarValue};
+    use cluster_sim::{Cluster, CostModel, NodeId};
+
+    fn two_cluster_array() -> Array {
+        // Two tight blobs of cells: one near (2,2), one near (13,13).
+        // Chunk interval 2 so each blob spans a 2x2 block of chunks and
+        // kNN ring searches cross chunk (and potentially node) boundaries.
+        let schema = ArraySchema::parse("P<v:double>[x=0:15,2, y=0:15,2]").unwrap();
+        let mut a = Array::new(ArrayId(0), schema);
+        for (cx, cy) in [(2i64, 2i64), (13, 13)] {
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    a.insert_cell(vec![cx + dx, cy + dy], vec![ScalarValue::Double(0.0)])
+                        .unwrap();
+                }
+            }
+        }
+        a
+    }
+
+    fn setup(array: Array, place: impl Fn(usize) -> NodeId) -> (Cluster, Catalog) {
+        let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+        let stored = StoredArray::from_array(array);
+        for (i, d) in stored.descriptors.values().enumerate() {
+            cluster.place(d.clone(), place(i)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        (cluster, cat)
+    }
+
+    #[test]
+    fn kmeans_finds_the_two_blobs() {
+        let (cluster, cat) = setup(two_cluster_array(), |i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let region = Region::new(vec![0, 0], vec![15, 15]);
+        let (result, stats) = kmeans(&ctx, ArrayId(0), &region, "v", 2, 10).unwrap();
+        assert_eq!(result.points, 18);
+        assert_eq!(result.centroids.len(), 2);
+        let mut xs: Vec<f64> = result.centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 2.0).abs() < 0.75, "blob 1 centroid x={}", xs[0]);
+        assert!((xs[1] - 13.0).abs() < 0.75, "blob 2 centroid x={}", xs[1]);
+        assert!(result.inertia < 40.0);
+        assert!(stats.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn kmeans_rejects_k_zero() {
+        let (cluster, cat) = setup(two_cluster_array(), |_| NodeId(0));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let region = Region::new(vec![0, 0], vec![15, 15]);
+        assert!(kmeans(&ctx, ArrayId(0), &region, "v", 0, 5).is_err());
+    }
+
+    #[test]
+    fn knn_returns_true_nearest_distances() {
+        let (cluster, cat) = setup(two_cluster_array(), |i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let (answers, _) = knn(&ctx, ArrayId(0), &[vec![2, 2]], 3).unwrap();
+        assert_eq!(answers.len(), 1);
+        // Nearest to (2,2): itself (0), then 4 side neighbours (1,1,...)
+        assert_eq!(answers[0].neighbor_dist2.len(), 3);
+        assert_eq!(answers[0].neighbor_dist2[0], 0.0);
+        assert_eq!(answers[0].neighbor_dist2[1], 1.0);
+        assert_eq!(answers[0].neighbor_dist2[2], 1.0);
+    }
+
+    #[test]
+    fn knn_clustered_placement_avoids_remote_hops() {
+        // All chunks on one node vs scattered: the scattered run must pay
+        // remote fetches.
+        let local = setup(two_cluster_array(), |_| NodeId(0));
+        let scattered = setup(two_cluster_array(), |i| NodeId((i % 4) as u32));
+        let queries = vec![vec![2i64, 2], vec![13, 13]];
+        let (_, s_local) = knn(
+            &ExecutionContext::new(&local.0, &local.1),
+            ArrayId(0),
+            &queries,
+            3,
+        )
+        .unwrap();
+        let (_, s_scat) = knn(
+            &ExecutionContext::new(&scattered.0, &scattered.1),
+            ArrayId(0),
+            &queries,
+            3,
+        )
+        .unwrap();
+        assert_eq!(s_local.remote_fetches, 0);
+        assert!(s_scat.remote_fetches > 0);
+        assert!(s_scat.elapsed_secs > s_local.elapsed_secs);
+    }
+
+    #[test]
+    fn trajectory_detects_head_on_collision() {
+        // Two ships one cell apart heading toward the same spot.
+        let schema =
+            ArraySchema::parse("B<speed:double, course:double>[x=0:15,4, y=0:15,4]").unwrap();
+        let mut a = Array::new(ArrayId(0), schema);
+        // Ship A at (4,4) heading east (0 deg) at speed 2.
+        a.insert_cell(vec![4, 4], vec![ScalarValue::Double(2.0), ScalarValue::Double(0.0)])
+            .unwrap();
+        // Ship B at (8,4) heading west (180 deg) at speed 2.
+        a.insert_cell(vec![8, 4], vec![ScalarValue::Double(2.0), ScalarValue::Double(180.0)])
+            .unwrap();
+        let (cluster, cat) = setup(a, |_| NodeId(0));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let region = Region::new(vec![0, 0], vec![15, 15]);
+        let (result, _) = trajectory(&ctx, ArrayId(0), &region, "speed", "course", 1.0).unwrap();
+        // Both project to (6,4): one collision pair.
+        assert_eq!(result.projected, 2);
+        assert_eq!(result.collision_candidates, 1);
+    }
+
+    #[test]
+    fn ring_enumeration_counts_match() {
+        let home = ChunkCoords::new(vec![5, 5]);
+        assert_eq!(chunks_at_ring(&home, 0).len(), 1);
+        assert_eq!(chunks_at_ring(&home, 1).len(), 8);
+        assert_eq!(chunks_at_ring(&home, 2).len(), 16);
+        // Clipping at the array origin:
+        let corner = ChunkCoords::new(vec![0, 0]);
+        assert_eq!(chunks_at_ring(&corner, 1).len(), 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Sort-flavoured operators: sampled quantiles and sorted distinct values
+//! (the paper's SPJ "Sort" benchmarks, §3.3.1).
+//!
+//! Both run a parallel local pass, ship compact per-node summaries to the
+//! coordinator, and finish with a serial merge — "non-trivial aggregation"
+//! whose cost follows the balance of the scan plus a small serial tail.
+
+use crate::error::Result;
+use crate::exec::ExecutionContext;
+use crate::stats::{QueryStats, WorkTracker};
+use array_model::{ArrayId, Region};
+use cluster_sim::gb;
+use std::collections::BTreeSet;
+
+/// A sampled quantile estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileResult {
+    /// The estimated quantile value (`None` when metadata-only).
+    pub value: Option<f64>,
+    /// Cells that contributed to the sample.
+    pub sampled_cells: u64,
+}
+
+/// Estimate quantile `q` (0..=1) of `attr` over `region` from a uniform
+/// sample of `sample_fraction` of the cells.
+pub fn quantile(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: Option<&Region>,
+    attr: &str,
+    q: f64,
+    sample_fraction: f64,
+) -> Result<(QuantileResult, QueryStats)> {
+    let array = ctx.catalog.array(array_id)?;
+    let fraction = ctx.attr_fraction(array, &[attr])?;
+    let attr_idx = array.attribute_index(attr)?;
+    let mut tracker = WorkTracker::new(ctx.cost());
+    let coordinator = ctx.cluster.coordinator();
+
+    let mut sample_bytes_total = 0u64;
+    for (desc, node) in ctx.chunks_in(array_id, region)? {
+        let col_bytes = (desc.bytes as f64 * fraction) as u64;
+        // Sampling pushes down into the scan: only the sampled pages are
+        // read, then each node ships its sample to the coordinator.
+        let sample_bytes = (col_bytes as f64 * sample_fraction.clamp(0.0, 1.0)) as u64;
+        tracker.scan_chunk(node, sample_bytes);
+        tracker.shuffle(node, coordinator, sample_bytes);
+        sample_bytes_total += sample_bytes;
+    }
+    // Serial sort of the sample at the coordinator: n log n over the
+    // sampled bytes, priced as CPU work.
+    let n = (sample_bytes_total / 8).max(1) as f64;
+    tracker.coordinator(gb(sample_bytes_total) * ctx.cost().cpu_secs_per_gb * n.log2().max(1.0) / 8.0);
+
+    // Materialized answer: deterministic "sample" = every ceil(1/f)-th cell.
+    let mut value = None;
+    let mut sampled_cells = 0u64;
+    if let Some(data) = &array.data {
+        let stride = (1.0 / sample_fraction.clamp(1e-6, 1.0)).round().max(1.0) as usize;
+        let mut sample: Vec<f64> = Vec::new();
+        let mut i = 0usize;
+        for (coords, chunk) in data.chunks() {
+            if let Some(r) = region {
+                if !r.intersects_chunk(&array.schema, coords) {
+                    continue;
+                }
+            }
+            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
+            for (cell, row) in chunk.iter_cells() {
+                if region.is_none_or(|r| r.contains_cell(cell)) {
+                    if i.is_multiple_of(stride) {
+                        if let Some(v) = col.get_f64(row) {
+                            sample.push(v);
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        sampled_cells = sample.len() as u64;
+        if !sample.is_empty() {
+            sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+            let idx = ((sample.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+            value = Some(sample[idx]);
+        }
+    }
+    Ok((QuantileResult { value, sampled_cells }, tracker.finish()))
+}
+
+/// Sorted distinct integer values of `attr` over `region` (the AIS
+/// "sorted log of distinct ship identifiers").
+pub fn distinct_sorted(
+    ctx: &ExecutionContext<'_>,
+    array_id: ArrayId,
+    region: Option<&Region>,
+    attr: &str,
+) -> Result<(Vec<i64>, QueryStats)> {
+    let array = ctx.catalog.array(array_id)?;
+    let fraction = ctx.attr_fraction(array, &[attr])?;
+    let attr_idx = array.attribute_index(attr)?;
+    let mut tracker = WorkTracker::new(ctx.cost());
+    let coordinator = ctx.cluster.coordinator();
+
+    for (desc, node) in ctx.chunks_in(array_id, region)? {
+        let col_bytes = (desc.bytes as f64 * fraction) as u64;
+        tracker.scan_chunk(node, col_bytes);
+        // Local distinct compresses heavily before the exchange.
+        tracker.shuffle(node, coordinator, col_bytes / 20);
+    }
+    tracker.coordinator(0.5); // final merge of per-node distinct sets
+
+    let mut out: BTreeSet<i64> = BTreeSet::new();
+    if let Some(data) = &array.data {
+        for (coords, chunk) in data.chunks() {
+            if let Some(r) = region {
+                if !r.intersects_chunk(&array.schema, coords) {
+                    continue;
+                }
+            }
+            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
+            for (cell, row) in chunk.iter_cells() {
+                if region.is_none_or(|r| r.contains_cell(cell)) {
+                    if let Some(v) = col.get(row).and_then(|v| v.as_i64()) {
+                        out.insert(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok((out.into_iter().collect(), tracker.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, StoredArray};
+    use array_model::{Array, ArraySchema, ScalarValue};
+    use cluster_sim::{Cluster, CostModel, NodeId};
+
+    fn setup() -> (Cluster, Catalog) {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("A<v:double, id:int64>[x=0:9,2, y=0:9,2]").unwrap();
+        let mut a = Array::new(ArrayId(0), schema);
+        for x in 0..10 {
+            for y in 0..10 {
+                a.insert_cell(
+                    vec![x, y],
+                    vec![
+                        ScalarValue::Double((x * 10 + y) as f64),
+                        ScalarValue::Int64(x % 3),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+        let stored = StoredArray::from_array(a);
+        for (i, d) in stored.descriptors.values().enumerate() {
+            cluster.place(d.clone(), NodeId((i % 2) as u32)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        (cluster, cat)
+    }
+
+    #[test]
+    fn full_sample_median_is_exact() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let (result, stats) = quantile(&ctx, ArrayId(0), None, "v", 0.5, 1.0).unwrap();
+        // Values are 0..=99; the median is 49 or 50 depending on rounding.
+        let v = result.value.unwrap();
+        assert!((49.0..=50.0).contains(&v), "median {v}");
+        assert_eq!(result.sampled_cells, 100);
+        assert!(stats.bytes_shuffled > 0, "sample must travel to the coordinator");
+    }
+
+    #[test]
+    fn sparse_sample_still_approximates() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let (result, _) = quantile(&ctx, ArrayId(0), None, "v", 0.5, 0.25).unwrap();
+        let v = result.value.unwrap();
+        assert!((30.0..=70.0).contains(&v), "rough median {v}");
+        assert!(result.sampled_cells < 100);
+    }
+
+    #[test]
+    fn extremes_hit_min_and_max() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let (lo, _) = quantile(&ctx, ArrayId(0), None, "v", 0.0, 1.0).unwrap();
+        let (hi, _) = quantile(&ctx, ArrayId(0), None, "v", 1.0, 1.0).unwrap();
+        assert_eq!(lo.value, Some(0.0));
+        assert_eq!(hi.value, Some(99.0));
+    }
+
+    #[test]
+    fn distinct_matches_naive() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let (values, stats) = distinct_sorted(&ctx, ArrayId(0), None, "id").unwrap();
+        assert_eq!(values, vec![0, 1, 2]);
+        assert!(stats.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn region_restricts_both_operators() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let region = Region::new(vec![0, 0], vec![0, 9]); // x == 0 only -> id == 0
+        let (values, _) = distinct_sorted(&ctx, ArrayId(0), Some(&region), "id").unwrap();
+        assert_eq!(values, vec![0]);
+        let (q, _) = quantile(&ctx, ArrayId(0), Some(&region), "v", 1.0, 1.0).unwrap();
+        assert_eq!(q.value, Some(9.0));
+    }
+}

@@ -1,0 +1,421 @@
+//! The AIS marine-traffic workload (paper §3.2).
+//!
+//! One 3-D broadcast array (time × longitude × latitude, chunked 30 days ×
+//! 4° × 4°) plus a small replicated Vessel array (25 MB). Ships congregate
+//! around ports, so chunk sizes are extremely skewed: the generator drives
+//! them from a port-kernel weight field calibrated to the paper's numbers
+//! (≈85 % of the bytes in 5 % of the chunks, median chunk under a few KB,
+//! ≈400 GB over three-plus years). Insert volume follows a slope random
+//! walk — commercial shipping's trending, seasonal demand — which is why
+//! Algorithm 1 tunes AIS toward the *smallest* sampling window.
+
+use crate::rand_util::{lognormal, rng_for, standard_normal, zipf_weight};
+use crate::spec::{SuiteReport, Workload};
+use array_model::{ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region};
+use elastic_core::GridHint;
+use query_engine::{ops, Catalog, ExecutionContext, StoredArray};
+
+/// The AIS broadcast array.
+pub const BROADCAST: ArrayId = ArrayId(10);
+/// The replicated vessel-metadata array.
+pub const VESSEL: ArrayId = ArrayId(11);
+/// Derived data products (density maps, voyage models).
+pub const DERIVED: ArrayId = ArrayId(12);
+
+const LON_CHUNKS: i64 = 29; // (-180..-66) / 4°
+const LAT_CHUNKS: i64 = 23; // (0..90) / 4°
+const MINUTES_PER_TC: i64 = 43_200; // 30-day time chunks
+const TCS_PER_CYCLE: i64 = 4; // 120-day workload cycles
+
+/// `(lon chunk, lat chunk, relative strength rank)` for the major ports
+/// that anchor the skew. Houston leads, matching the paper's selection
+/// benchmark on "a densely trafficked area around the port of Houston".
+const PORTS: [(i64, i64); 18] = [
+    (21, 7),  // Houston
+    (26, 10), // New York
+    (15, 8),  // Los Angeles
+    (25, 8),  // Miami
+    (22, 7),  // New Orleans
+    (26, 9),  // Norfolk
+    (14, 9),  // San Francisco
+    (24, 8),  // Savannah
+    (13, 11), // Seattle
+    (27, 10), // Boston
+    (20, 6),  // Corpus Christi
+    (23, 6),  // Tampa
+    (25, 9),  // Charleston
+    (16, 8),  // San Diego
+    (26, 11), // Portland ME
+    (12, 12), // Vancouver approaches
+    (24, 10), // Baltimore
+    (22, 9),  // Memphis river traffic
+];
+
+/// The AIS workload generator.
+#[derive(Debug, Clone)]
+pub struct AisWorkload {
+    /// Number of 120-day cycles (the paper models 3 years quarterly).
+    pub cycles: usize,
+    /// Byte-scale factor (1.0 = paper scale, ≈400 GB raw).
+    pub scale: f64,
+    /// Seed for all synthesis.
+    pub seed: u64,
+}
+
+impl Default for AisWorkload {
+    fn default() -> Self {
+        AisWorkload { cycles: 10, scale: 1.0, seed: 0x5eed_0002 }
+    }
+}
+
+impl AisWorkload {
+    /// Paper-scale workload with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        AisWorkload { seed, ..Default::default() }
+    }
+
+    /// The broadcast schema from §3.2.
+    pub fn broadcast_schema() -> ArraySchema {
+        ArraySchema::parse(&format!(
+            "Broadcast<speed:int32, course:int32, heading:int32, rot:int32, \
+             status:int32, voyage_id:int64, ship_id:int64, receiver_type:char, \
+             receiver_id:string, provenance:string>[time=0:*,{MINUTES_PER_TC}, \
+             longitude=-180:-66,4, latitude=0:90,4]"
+        ))
+        .expect("broadcast schema is valid")
+    }
+
+    /// Insert volume (bytes) of one 30-day reporting month: a slope random
+    /// walk around ≈10 GB — commercial shipping trends rather than
+    /// white-noising, which is exactly why Table 2 tunes AIS to s = 1.
+    pub fn month_insert_bytes(&self, month: usize) -> u64 {
+        let mut level: f64 = 9.0;
+        let mut slope: f64 = 0.4;
+        for m in 0..=month {
+            let mut rng = rng_for(self.seed, &[500, m as i64]);
+            slope += 0.75 * standard_normal(&mut rng);
+            slope = slope.clamp(-1.6, 2.0);
+            if m > 0 {
+                level = (level + slope).clamp(6.5, 14.0);
+            }
+        }
+        (level * 1e9 * self.scale) as u64
+    }
+
+    /// Insert volume (bytes) for one 120-day cycle: its four months.
+    pub fn cycle_insert_bytes(&self, cycle: usize) -> u64 {
+        (0..TCS_PER_CYCLE as usize)
+            .map(|i| self.month_insert_bytes(cycle * TCS_PER_CYCLE as usize + i))
+            .sum()
+    }
+
+    /// Cumulative storage demand (GB) after each monthly insert — the
+    /// demand history NOAA's 30-day reporting produces, which the what-if
+    /// tuner (Table 2) trains on.
+    pub fn monthly_demand_history(&self) -> Vec<f64> {
+        let months = self.cycles * TCS_PER_CYCLE as usize;
+        let mut cum = 0.0;
+        (0..months)
+            .map(|m| {
+                cum += self.month_insert_bytes(m) as f64 / 1e9;
+                cum
+            })
+            .collect()
+    }
+
+    /// The spatial weight of cell `(lon, lat)` in chunk units: port
+    /// kernels plus a heavy-tailed trickle of open-water traffic.
+    fn cell_weight(&self, tc: i64, lon: i64, lat: i64) -> f64 {
+        let mut w = 0.0;
+        for (rank, &(plon, plat)) in PORTS.iter().enumerate() {
+            let strength = zipf_weight(rank as u64 + 1, 0.7);
+            let d2 = ((lon - plon).pow(2) + (lat - plat).pow(2)) as f64;
+            // A sharp kernel (σ ≈ 0.45 chunks) keeps ~3/4 of a port's mass
+            // in its own 4°×4° chunk — that is what produces the paper's
+            // "85 % of the data in 5 % of the chunks".
+            w += strength * (-d2 / (2.0 * 0.45 * 0.45)).exp();
+        }
+        let mut rng = rng_for(self.seed, &[600, tc, lon, lat]);
+        w + 1.0e-5 * lognormal(&mut rng, 1.0, 2.5)
+    }
+
+    fn tc_chunks(&self, tc: i64, tc_bytes: u64) -> Vec<ChunkDescriptor> {
+        let mut weights = Vec::with_capacity((LON_CHUNKS * LAT_CHUNKS) as usize);
+        let mut total = 0.0;
+        for lon in 0..LON_CHUNKS {
+            for lat in 0..LAT_CHUNKS {
+                let w = self.cell_weight(tc, lon, lat);
+                weights.push((lon, lat, w));
+                total += w;
+            }
+        }
+        weights
+            .into_iter()
+            .map(|(lon, lat, w)| {
+                let bytes = (tc_bytes as f64 * w / total) as u64;
+                ChunkDescriptor::new(
+                    ChunkKey::new(BROADCAST, ChunkCoords::new(vec![tc, lon, lat])),
+                    bytes,
+                    bytes / 90, // ≈90 B per broadcast row
+                )
+            })
+            .collect()
+    }
+
+    /// Cell-coordinate region covering the cycle's four time chunks.
+    pub fn cycle_region(cycle: usize) -> Region {
+        let c = cycle as i64;
+        Region::new(
+            vec![c * TCS_PER_CYCLE * MINUTES_PER_TC, -180, 0],
+            vec![(c + 1) * TCS_PER_CYCLE * MINUTES_PER_TC - 1, -66, 90],
+        )
+    }
+
+    /// The Houston selection region: a dense 4°-wide box around the port
+    /// over the two most recent cycles (the benchmarks "refer to the
+    /// newest data more frequently", §3.3).
+    pub fn houston_region(cycle: usize) -> Region {
+        let c = cycle as i64;
+        Region::new(
+            vec![(c - 1).max(0) * TCS_PER_CYCLE * MINUTES_PER_TC, -96, 28],
+            vec![(c + 1) * TCS_PER_CYCLE * MINUTES_PER_TC - 1, -93, 31],
+        )
+    }
+
+    /// Query points for the kNN benchmark: ship positions sampled near the
+    /// busiest ports in the newest time chunk (uniform over *ships* means
+    /// concentrated at ports).
+    pub fn knn_queries(&self, cycle: usize, count: usize) -> Vec<Vec<i64>> {
+        let tc = (cycle as i64 + 1) * TCS_PER_CYCLE - 1;
+        let t = tc * MINUTES_PER_TC + MINUTES_PER_TC / 2;
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let (plon, plat) = PORTS[i % 8]; // the heavy ports
+            let mut rng = rng_for(self.seed, &[700, cycle as i64, i as i64]);
+            let jlon = (standard_normal(&mut rng) * 1.5).round() as i64;
+            let jlat = (standard_normal(&mut rng) * 1.5).round() as i64;
+            // chunk index -> degrees at the chunk's center
+            let lon = (-180 + plon * 4 + 2 + jlon).clamp(-180, -66);
+            let lat = (plat * 4 + 2 + jlat).clamp(0, 90);
+            out.push(vec![t, lon, lat]);
+        }
+        out
+    }
+}
+
+impl Workload for AisWorkload {
+    fn name(&self) -> &'static str {
+        "AIS"
+    }
+
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        catalog.register(StoredArray::from_descriptors(
+            BROADCAST,
+            Self::broadcast_schema(),
+            [],
+        ));
+        // The 25 MB vessel array, replicated over all cluster nodes (§3.2).
+        let vessel_schema = ArraySchema::parse(
+            "Vessel<ship_type:int32, length:int32, width:int32, hazmat:int32>\
+             [vessel_id=0:999999,100000]",
+        )
+        .expect("vessel schema is valid");
+        let vessel_chunks = (0..10).map(|i| {
+            ChunkDescriptor::new(
+                ChunkKey::new(VESSEL, ChunkCoords::new(vec![i])),
+                2_500_000,
+                2_500_000 / 16,
+            )
+        });
+        catalog.register(
+            StoredArray::from_descriptors(VESSEL, vessel_schema, vessel_chunks).replicated(),
+        );
+        let derived_schema = ArraySchema::parse(&format!(
+            "AisDerived<density:double>[time=0:*,{MINUTES_PER_TC}, longitude=-180:-66,4, \
+             latitude=0:90,4]"
+        ))
+        .expect("derived schema is valid");
+        catalog.register(StoredArray::from_descriptors(DERIVED, derived_schema, []));
+    }
+
+    fn insert_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
+        let mut out = Vec::new();
+        for i in 0..TCS_PER_CYCLE {
+            let tc = cycle as i64 * TCS_PER_CYCLE + i;
+            let tc_bytes = self.month_insert_bytes(tc as usize);
+            out.extend(self.tc_chunks(tc, tc_bytes));
+        }
+        out
+    }
+
+    fn derived_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
+        // The BOEM studies store density maps and voyage models: ~15 % of
+        // the cycle's insert volume, concentrated near the ports.
+        let total = (self.cycle_insert_bytes(cycle) as f64 * 0.15) as u64;
+        let per_chunk = total / 16;
+        (0..16usize)
+            .map(|i| {
+                let (lon, lat) = PORTS[i]; // 16 distinct ports
+                let tc = cycle as i64 * TCS_PER_CYCLE + (i as i64 % TCS_PER_CYCLE);
+                ChunkDescriptor::new(
+                    ChunkKey::new(DERIVED, ChunkCoords::new(vec![tc, lon, lat])),
+                    per_chunk,
+                    per_chunk / 16,
+                )
+            })
+            .collect()
+    }
+
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![self.cycles as i64 * TCS_PER_CYCLE, LON_CHUNKS, LAT_CHUNKS]).with_split_priority(vec![1, 2]).with_curve_dims(vec![1, 2])
+    }
+
+    fn run_suites(&self, ctx: &ExecutionContext<'_>, cycle: usize) -> SuiteReport {
+        let mut report = SuiteReport::default();
+
+        // --- SPJ (§3.3.1) ---
+        // Selection: the dense Houston box (skew stress test).
+        if let Ok((_, stats)) =
+            ops::subarray(ctx, BROADCAST, &Self::houston_region(cycle), &["speed", "status"])
+        {
+            report.push("spj/selection", stats);
+        }
+        // Sort: up-to-date sorted log of distinct ship identifiers over
+        // the newest data (the benchmarks "refer to the newest data more
+        // frequently", §3.3).
+        if let Ok((_, stats)) =
+            ops::distinct_sorted(ctx, BROADCAST, Some(&Self::cycle_region(cycle)), "ship_id")
+        {
+            report.push("spj/sort", stats);
+        }
+        // Join: recent ships joined with the replicated vessel array.
+        if let Ok((_, stats)) = ops::lookup_join(
+            ctx,
+            BROADCAST,
+            VESSEL,
+            Some(&Self::cycle_region(cycle)),
+            "ship_id",
+            "ship_type",
+        ) {
+            report.push("spj/join", stats);
+        }
+
+        // --- Science (§3.3.2) ---
+        // Statistics: coarse map of track counts (coast-erosion study).
+        let spec = ops::GroupSpec::coarsened(vec![1, 2], vec![8, 8]);
+        if let Ok((_, stats)) = ops::grid_aggregate(
+            ctx,
+            BROADCAST,
+            Some(&Self::cycle_region(cycle)),
+            "speed",
+            &spec,
+            ops::AggFn::Count,
+        ) {
+            report.push("science/statistics", stats);
+        }
+        // Modeling: kNN density estimation for sampled ships.
+        let queries = self.knn_queries(cycle, 96);
+        if let Ok((_, stats)) = ops::knn(ctx, BROADCAST, &queries, 10) {
+            report.push("science/modeling", stats);
+        }
+        // Complex projection: collision prediction over the newest chunk.
+        let c = cycle as i64;
+        let newest_tc = Region::new(
+            vec![((c + 1) * TCS_PER_CYCLE - 1) * MINUTES_PER_TC, -180, 0],
+            vec![(c + 1) * TCS_PER_CYCLE * MINUTES_PER_TC - 1, -66, 90],
+        );
+        if let Ok((_, stats)) =
+            ops::trajectory(ctx, BROADCAST, &newest_tc, "speed", "course", 0.25)
+        {
+            report.push("science/projection", stats);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_volume_is_paper_scale() {
+        let w = AisWorkload::default();
+        let total_gb: f64 = (0..w.cycles())
+            .map(|c| w.cycle_insert_bytes(c) as f64 / 1e9)
+            .sum();
+        assert!((300.0..480.0).contains(&total_gb), "total {total_gb} GB");
+    }
+
+    #[test]
+    fn skew_matches_the_paper() {
+        let w = AisWorkload::default();
+        let mut sizes: Vec<u64> = (0..3)
+            .flat_map(|c| w.insert_batch(c))
+            .map(|d| d.bytes)
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sizes.iter().sum();
+        let top5: u64 = sizes[..sizes.len() / 20].iter().sum();
+        let share = top5 as f64 / total as f64;
+        assert!(
+            (0.75..0.95).contains(&share),
+            "top-5% share {share} should be near the paper's 85%"
+        );
+        // Median chunk is tiny (the paper reports 924 bytes).
+        let median = sizes[sizes.len() / 2];
+        assert!(median < 20_000, "median {median} bytes");
+    }
+
+    #[test]
+    fn houston_is_hot() {
+        let w = AisWorkload::default();
+        let batch = w.insert_batch(0);
+        let houston: u64 = batch
+            .iter()
+            .filter(|d| d.key.coords.index(1) == 21 && d.key.coords.index(2) == 7)
+            .map(|d| d.bytes)
+            .sum();
+        let total: u64 = batch.iter().map(|d| d.bytes).sum();
+        assert!(
+            houston as f64 / total as f64 > 0.05,
+            "houston share {}",
+            houston as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn insert_volume_trends_not_white_noise() {
+        // Consecutive deltas should correlate (slope random walk):
+        // the sign of the change persists more often than it flips.
+        let w = AisWorkload::default();
+        let vols: Vec<f64> = (0..w.cycles()).map(|c| w.cycle_insert_bytes(c) as f64).collect();
+        let deltas: Vec<f64> = vols.windows(2).map(|p| p[1] - p[0]).collect();
+        assert!(deltas.iter().any(|d| d.abs() > 1e9), "volume must actually move");
+        // Determinism.
+        let again: Vec<f64> =
+            (0..w.cycles()).map(|c| AisWorkload::default().cycle_insert_bytes(c) as f64).collect();
+        assert_eq!(vols, again);
+    }
+
+    #[test]
+    fn knn_queries_sit_in_declared_space() {
+        let w = AisWorkload::default();
+        let schema = AisWorkload::broadcast_schema();
+        for q in w.knn_queries(3, 48) {
+            assert!(array_model::chunk_of(&schema, &q).is_ok(), "query {q:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn batch_covers_four_time_chunks() {
+        let w = AisWorkload::default();
+        let batch = w.insert_batch(2);
+        let tcs: std::collections::BTreeSet<i64> =
+            batch.iter().map(|d| d.key.coords.index(0)).collect();
+        assert_eq!(tcs, (8..12).collect());
+    }
+}

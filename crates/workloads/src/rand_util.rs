@@ -1,0 +1,87 @@
+//! Deterministic random helpers for workload synthesis.
+//!
+//! Workload generation must be exactly reproducible across runs and
+//! platforms, so every chunk's size is derived from a seed that mixes the
+//! workload seed with the chunk's coordinates — never from generator call
+//! order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mix a workload seed with coordinates into a per-chunk RNG.
+pub fn rng_for(seed: u64, salt: &[i64]) -> StdRng {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for &s in salt {
+        h ^= s as u64;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Standard normal via Box–Muller (rand 0.8 ships no Normal distribution
+/// and `rand_distr` is outside the sanctioned dependency set).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Log-normal sample with the given log-space sigma, scaled so the
+/// distribution's mean is `mean`.
+pub fn lognormal(rng: &mut impl Rng, mean: f64, sigma: f64) -> f64 {
+    // mean of lognormal(mu, sigma) = exp(mu + sigma^2/2)
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Truncated Zipf weight for 1-based `rank` with exponent `s`.
+pub fn zipf_weight(rank: u64, s: f64) -> f64 {
+    (rank as f64).powf(-s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_salt_sensitive() {
+        let a: u64 = rng_for(7, &[1, 2, 3]).gen();
+        let b: u64 = rng_for(7, &[1, 2, 3]).gen();
+        let c: u64 = rng_for(7, &[1, 2, 4]).gen();
+        let d: u64 = rng_for(8, &[1, 2, 3]).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = rng_for(42, &[0]);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_is_calibrated() {
+        let mut rng = rng_for(42, &[1]);
+        let n = 20_000;
+        let mean = (0..n).map(|_| lognormal(&mut rng, 50.0, 0.36)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        assert!(zipf_weight(1, 1.4) > zipf_weight(2, 1.4));
+        assert!(zipf_weight(10, 1.4) > zipf_weight(100, 1.4));
+        assert!((zipf_weight(1, 1.4) - 1.0).abs() < 1e-12);
+    }
+}

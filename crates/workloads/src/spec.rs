@@ -1,0 +1,94 @@
+//! The workload abstraction: what the cycle driver and the reproduction
+//! harness need from a use case (§3 of the paper).
+
+use array_model::ChunkDescriptor;
+use elastic_core::GridHint;
+use query_engine::{Catalog, ExecutionContext, QueryStats};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark query's name and cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Query name (e.g. `"spj/selection"`).
+    pub name: String,
+    /// Its simulated cost.
+    pub stats: QueryStats,
+}
+
+/// The per-cycle benchmark outcome: the SPJ suite and the Science suite
+/// of §3.3, measured separately as in Figure 5.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Every query, in execution order.
+    pub queries: Vec<QueryRecord>,
+}
+
+impl SuiteReport {
+    /// Record one query.
+    pub fn push(&mut self, name: impl Into<String>, stats: QueryStats) {
+        self.queries.push(QueryRecord { name: name.into(), stats });
+    }
+
+    /// Total seconds of queries whose name starts with `prefix`.
+    pub fn secs_with_prefix(&self, prefix: &str) -> f64 {
+        self.queries
+            .iter()
+            .filter(|q| q.name.starts_with(prefix))
+            .map(|q| q.stats.elapsed_secs)
+            .sum()
+    }
+
+    /// Seconds spent in the SPJ suite.
+    pub fn spj_secs(&self) -> f64 {
+        self.secs_with_prefix("spj/")
+    }
+
+    /// Seconds spent in the Science suite.
+    pub fn science_secs(&self) -> f64 {
+        self.secs_with_prefix("science/")
+    }
+
+    /// Total benchmark seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.queries.iter().map(|q| q.stats.elapsed_secs).sum()
+    }
+
+    /// The stats of a single named query, if it ran.
+    pub fn query(&self, name: &str) -> Option<&QueryStats> {
+        self.queries.iter().find(|q| q.name == name).map(|q| &q.stats)
+    }
+}
+
+/// A reproducible, cyclic workload (§3.4): per-cycle insert batches,
+/// derived-result storage, and the benchmark suites.
+pub trait Workload {
+    /// Display name ("MODIS", "AIS").
+    fn name(&self) -> &'static str;
+
+    /// Number of workload cycles.
+    fn cycles(&self) -> usize;
+
+    /// Register the workload's arrays (schemas + empty chunk sets) with a
+    /// catalog. Called once before cycle 0.
+    fn register_arrays(&self, catalog: &mut Catalog);
+
+    /// The chunks inserted by cycle `cycle` (0-based). Deterministic.
+    fn insert_batch(&self, cycle: usize) -> Vec<ChunkDescriptor>;
+
+    /// The derived-result chunks the query phase stores at the end of
+    /// `cycle` ("they may store their findings for future reference",
+    /// §3.4). May be empty.
+    fn derived_batch(&self, cycle: usize) -> Vec<ChunkDescriptor>;
+
+    /// Chunk-grid shape for the range partitioners.
+    fn grid_hint(&self) -> GridHint;
+
+    /// The two dimensions the quadtree quarters (lon/lat).
+    fn quad_plane(&self) -> (usize, usize) {
+        (1, 2)
+    }
+
+    /// Run both §3.3 benchmark suites for `cycle` against the current
+    /// placement and return per-query costs.
+    fn run_suites(&self, ctx: &ExecutionContext<'_>, cycle: usize) -> SuiteReport;
+}

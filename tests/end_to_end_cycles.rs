@@ -1,0 +1,143 @@
+//! End-to-end integration: the full §3.4 workload cycle (ingest →
+//! provision/reorganize → query) across every crate, for both use cases
+//! and all eight partitioners at reduced scale.
+
+use elastic_array_db::prelude::*;
+
+fn mini_modis() -> ModisWorkload {
+    ModisWorkload { days: 6, scale: 0.2, seed: 11 }
+}
+
+fn mini_ais() -> AisWorkload {
+    AisWorkload { cycles: 5, scale: 0.2, seed: 12 }
+}
+
+fn mini_config(kind: PartitionerKind) -> RunnerConfig {
+    let mut config = RunnerConfig::paper_section62(kind);
+    config.node_capacity = 20_000_000_000; // 20 GB nodes at 0.2 scale
+    config
+}
+
+#[test]
+fn every_partitioner_completes_both_workloads() {
+    let modis = mini_modis();
+    let ais = mini_ais();
+    for kind in PartitionerKind::ALL {
+        for (name, report) in [
+            ("modis", WorkloadRunner::new(&modis, mini_config(kind)).run_all()),
+            ("ais", WorkloadRunner::new(&ais, mini_config(kind)).run_all()),
+        ] {
+            assert!(!report.cycles.is_empty(), "{kind}/{name}: no cycles");
+            // Demand grows monotonically (no-overwrite storage).
+            for w in report.cycles.windows(2) {
+                assert!(
+                    w[1].demand_gb >= w[0].demand_gb,
+                    "{kind}/{name}: demand shrank"
+                );
+                assert!(w[1].nodes >= w[0].nodes, "{kind}/{name}: cluster shrank");
+            }
+            // All three phases accumulate simulated time.
+            let phases = report.phase_totals();
+            assert!(phases.insert_secs > 0.0, "{kind}/{name}: no insert time");
+            assert!(phases.query_secs > 0.0, "{kind}/{name}: no query time");
+            assert!(report.node_hours() > 0.0, "{kind}/{name}: no cost");
+            // Suites ran every cycle and produced all six queries.
+            for c in &report.cycles {
+                let suites = c.suites.as_ref().expect("queries enabled");
+                assert!(
+                    suites.queries.len() >= 6,
+                    "{kind}/{name} cycle {}: only {} queries",
+                    c.cycle,
+                    suites.queries.len()
+                );
+                assert!(suites.spj_secs() > 0.0);
+                assert!(suites.science_secs() > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_schemes_move_less_than_global_ones() {
+    let modis = mini_modis();
+    let moved = |kind: PartitionerKind| -> u64 {
+        WorkloadRunner::new(&modis, mini_config(kind))
+            .run_all()
+            .cycles
+            .iter()
+            .map(|c| c.moved_bytes)
+            .sum()
+    };
+    let incremental = moved(PartitionerKind::ConsistentHash);
+    let global = moved(PartitionerKind::RoundRobin);
+    assert!(
+        global > incremental,
+        "global reshuffles must move more: RR {global} vs CH {incremental}"
+    );
+    assert_eq!(moved(PartitionerKind::Append), 0, "append never moves data");
+}
+
+#[test]
+fn reorganization_happens_before_ingest() {
+    // §3.4: under-provisioning is resolved before the insert lands, so no
+    // cycle may end with demand above capacity when scaling is enabled
+    // with a trigger below 1.
+    let modis = mini_modis();
+    let report = WorkloadRunner::new(&modis, mini_config(PartitionerKind::HilbertCurve)).run_all();
+    for c in &report.cycles {
+        let capacity_gb = c.nodes as f64 * 20.0;
+        assert!(
+            c.demand_gb <= capacity_gb,
+            "cycle {}: demand {:.1} GB exceeds capacity {:.1} GB",
+            c.cycle,
+            c.demand_gb,
+            capacity_gb
+        );
+    }
+}
+
+#[test]
+fn skew_separates_the_schemes_on_ais() {
+    let ais = mini_ais();
+    let rsd = |kind: PartitionerKind| -> f64 {
+        WorkloadRunner::new(&ais, mini_config(kind)).run_all().mean_rsd()
+    };
+    let round_robin = rsd(PartitionerKind::RoundRobin);
+    let uniform_range = rsd(PartitionerKind::UniformRange);
+    let append = rsd(PartitionerKind::Append);
+    assert!(
+        round_robin < 0.15,
+        "round robin should stay balanced under skew: {round_robin}"
+    );
+    assert!(
+        uniform_range > 3.0 * round_robin,
+        "uniform range must be brittle to skew: UR {uniform_range} vs RR {round_robin}"
+    );
+    assert!(append > 0.3, "append's balance is poor by design: {append}");
+}
+
+#[test]
+fn staircase_and_fixed_step_agree_on_final_scale() {
+    // Both policies must provision enough for the workload's total demand;
+    // the staircase may land slightly differently but in the same regime.
+    let modis = mini_modis();
+    let fixed = WorkloadRunner::new(&modis, mini_config(PartitionerKind::ConsistentHash))
+        .run_all()
+        .cycles
+        .last()
+        .unwrap()
+        .nodes;
+    let mut cfg = mini_config(PartitionerKind::ConsistentHash);
+    cfg.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+        node_capacity_gb: 20.0,
+        samples: 2,
+        plan_ahead: 2,
+        trigger: 1.0,
+    });
+    let staircase = WorkloadRunner::new(&modis, cfg).run_all().cycles.last().unwrap().nodes;
+    let diff = fixed.abs_diff(staircase);
+    assert!(
+        diff <= 2,
+        "policies diverge: fixed-step ended at {fixed}, staircase at {staircase}"
+    );
+}

@@ -1,0 +1,174 @@
+//! Cross-crate property tests: the paper's Table-1 invariants must hold
+//! for every partitioner over arbitrary chunk streams and scale-out
+//! schedules.
+
+use elastic_array_db::prelude::*;
+use proptest::prelude::*;
+
+/// Drive a partitioner over a chunk stream with interleaved scale-outs.
+/// Returns the cluster for post-conditions.
+fn drive(
+    kind: PartitionerKind,
+    chunks: &[(i64, i64, i64, u64)],
+    scale_points: &[usize],
+) -> (Cluster, Box<dyn Partitioner>) {
+    let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+    let grid = GridHint::new(vec![64, 32, 32]);
+    let mut partitioner = build_partitioner(kind, &cluster, &grid, &PartitionerConfig::default());
+    for (i, &(t, x, y, bytes)) in chunks.iter().enumerate() {
+        if scale_points.contains(&i) && cluster.node_count() < 10 {
+            let new = cluster.add_nodes(2, u64::MAX);
+            let plan = partitioner.scale_out(&cluster, &new);
+            if kind.features().incremental_scale_out {
+                assert!(
+                    plan.is_incremental(&new),
+                    "{kind}: plan must only move data to new nodes"
+                );
+            }
+            cluster.apply_rebalance(&plan).expect("plan applies cleanly");
+        }
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, x, y]));
+        if cluster.locate(&key).is_some() {
+            continue; // duplicate coordinate in the random stream
+        }
+        let desc = ChunkDescriptor::new(key, bytes, bytes / 64 + 1);
+        let node = partitioner.place(&desc, &cluster);
+        cluster.place(desc, node).expect("placement is fresh");
+    }
+    (cluster, partitioner)
+}
+
+fn chunk_stream() -> impl Strategy<Value = Vec<(i64, i64, i64, u64)>> {
+    proptest::collection::vec(
+        (0i64..64, 0i64..32, 0i64..32, 1u64..100_000_000),
+        20..200,
+    )
+}
+
+fn scale_points() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..200, 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The partitioner's own lookup structure must agree with the cluster's
+    /// authoritative placement for every resident chunk, for every scheme.
+    #[test]
+    fn locate_agrees_with_placement(
+        chunks in chunk_stream(),
+        scales in scale_points(),
+    ) {
+        for kind in PartitionerKind::ALL {
+            let (cluster, partitioner) = drive(kind, &chunks, &scales);
+            for (key, node) in cluster.placements() {
+                prop_assert_eq!(
+                    partitioner.locate(key),
+                    Some(node),
+                    "{} disagrees on {}", kind, key
+                );
+            }
+        }
+    }
+
+    /// No bytes are created or destroyed by placement and rebalancing.
+    #[test]
+    fn bytes_are_conserved(
+        chunks in chunk_stream(),
+        scales in scale_points(),
+    ) {
+        for kind in PartitionerKind::ALL {
+            let (cluster, _) = drive(kind, &chunks, &scales);
+            let per_node: u64 = cluster.loads().iter().sum();
+            prop_assert_eq!(per_node, cluster.total_used(), "{} ledger mismatch", kind);
+        }
+    }
+
+    /// Incremental schemes never touch data on preexisting nodes during
+    /// scale-out (asserted inside `drive`), and every scheme keeps serving
+    /// lookups afterwards.
+    #[test]
+    fn scale_out_preserves_service(
+        chunks in chunk_stream(),
+    ) {
+        // Scale out exactly once, halfway through.
+        let scales = vec![chunks.len() / 2];
+        for kind in PartitionerKind::ALL {
+            let (cluster, partitioner) = drive(kind, &chunks, &scales);
+            prop_assert!(cluster.node_count() >= 2);
+            for (key, _) in cluster.placements() {
+                prop_assert!(partitioner.locate(key).is_some(), "{} lost {}", kind, key);
+            }
+        }
+    }
+
+    /// Fine-grained schemes balance a uniform chunk stream well; Table 1's
+    /// trait has observable consequences.
+    #[test]
+    fn fine_grained_schemes_balance_uniform_streams(
+        seed in 0u64..1000,
+    ) {
+        // A deterministic uniform stream derived from the seed.
+        let chunks: Vec<(i64, i64, i64, u64)> = (0..256)
+            .map(|i| {
+                let v = seed.wrapping_mul(6364136223846793005).wrapping_add(i);
+                ((i % 16) as i64, ((v >> 8) % 32) as i64, ((v >> 16) % 32) as i64, 1_000_000)
+            })
+            .collect();
+        for kind in [
+            PartitionerKind::RoundRobin,
+            PartitionerKind::ConsistentHash,
+            PartitionerKind::ExtendibleHash,
+        ] {
+            let (cluster, _) = drive(kind, &chunks, &[]);
+            let rsd = relative_std_dev(&cluster.loads());
+            prop_assert!(rsd < 0.6, "{} unbalanced on uniform stream: {}", kind, rsd);
+        }
+    }
+}
+
+/// Append is special-cased: the plan is always empty.
+#[test]
+fn append_scale_out_is_free() {
+    // (t, x) pairs are unique for i < 256, so no duplicate coordinates.
+    let chunks: Vec<(i64, i64, i64, u64)> =
+        (0..100).map(|i| (i % 16, i / 16, (i * 7) % 32, 10_000_000)).collect();
+    let mut cluster = Cluster::new(2, 400_000_000, CostModel::default()).unwrap();
+    let grid = GridHint::new(vec![64, 32, 32]);
+    let mut p = build_partitioner(
+        PartitionerKind::Append,
+        &cluster,
+        &grid,
+        &PartitionerConfig::default(),
+    );
+    for &(t, x, y, bytes) in &chunks[..50] {
+        let desc = ChunkDescriptor::new(
+            ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, x, y])),
+            bytes,
+            1,
+        );
+        let node = p.place(&desc, &cluster);
+        cluster.place(desc, node).unwrap();
+    }
+    let new = cluster.add_nodes(2, 400_000_000);
+    let plan = p.scale_out(&cluster, &new);
+    assert!(plan.is_empty());
+    assert_eq!(plan.moved_bytes(), 0);
+}
+
+/// Global schemes must converge to near-perfect chunk-count balance after
+/// a rebalance, whatever happened before (their defining property).
+#[test]
+fn global_schemes_rebalance_globally() {
+    // Spread the stream across the whole hinted grid so the static
+    // uniform-range tree actually has occupied leaves everywhere.
+    let chunks: Vec<(i64, i64, i64, u64)> =
+        (0..240).map(|i| ((i % 16) * 4, ((i / 16) * 2) % 32, (i * 13) % 32, 1_000_000)).collect();
+    for kind in [PartitionerKind::RoundRobin, PartitionerKind::UniformRange] {
+        let (cluster, _) = drive(kind, &chunks, &[120]);
+        let counts = cluster.chunk_counts();
+        let loads: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+        let rsd = relative_std_dev(&loads);
+        assert!(rsd < 0.5, "{kind} failed to rebalance: {counts:?}");
+    }
+}

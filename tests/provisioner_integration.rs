@@ -1,0 +1,180 @@
+//! Integration tests for the leading-staircase provisioner driving a live
+//! simulated cluster, plus cross-checks of the tuning machinery against
+//! hand-computed scenarios.
+
+use elastic_array_db::elastic::provision::{
+    estimate_cost, tune_plan_ahead, ClusterSnapshot, CostModelParams,
+};
+use elastic_array_db::elastic::{prediction_error, tune_samples};
+use elastic_array_db::prelude::*;
+
+/// A synthetic workload with an exactly linear demand ramp.
+struct LinearWorkload {
+    cycles: usize,
+    gb_per_cycle: f64,
+}
+
+impl Workload for LinearWorkload {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        let schema = ArraySchema::parse("L<v:double>[t=0:*,1, x=0:31,1]").unwrap();
+        catalog.register(StoredArray::from_descriptors(ArrayId(0), schema, []));
+    }
+    fn insert_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
+        let per_chunk = (self.gb_per_cycle * 1e9 / 32.0) as u64;
+        (0..32)
+            .map(|x| {
+                ChunkDescriptor::new(
+                    ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![cycle as i64, x])),
+                    per_chunk,
+                    per_chunk / 64,
+                )
+            })
+            .collect()
+    }
+    fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![self.cycles as i64, 32]).with_split_priority(vec![1])
+    }
+    fn quad_plane(&self) -> (usize, usize) {
+        (0, 1)
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
+fn staircase_config(p: usize) -> RunnerConfig {
+    RunnerConfig {
+        node_capacity: 10_000_000_000,
+        initial_nodes: 1,
+        partitioner: PartitionerKind::ConsistentHash,
+        partitioner_config: PartitionerConfig::default(),
+        scaling: ScalingPolicy::Staircase(StaircaseConfig {
+            node_capacity_gb: 10.0,
+            samples: 2,
+            plan_ahead: p,
+            trigger: 1.0,
+        }),
+        cost: CostModel::default(),
+        run_queries: false,
+    }
+}
+
+#[test]
+fn staircase_always_covers_demand() {
+    let workload = LinearWorkload { cycles: 12, gb_per_cycle: 4.0 };
+    for p in [1usize, 3, 6] {
+        let mut cfg = staircase_config(p);
+        cfg.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+            node_capacity_gb: 10.0,
+            samples: 2,
+            plan_ahead: p,
+            trigger: 1.0,
+        });
+        let report = WorkloadRunner::new(&workload, cfg).run_all();
+        for c in &report.cycles {
+            assert!(
+                c.demand_gb <= c.nodes as f64 * 10.0 + 1e-9,
+                "p={p} cycle {}: demand {:.1} over capacity ({} nodes)",
+                c.cycle,
+                c.demand_gb,
+                c.nodes
+            );
+        }
+    }
+}
+
+#[test]
+fn eager_horizons_step_larger_and_less_often() {
+    let workload = LinearWorkload { cycles: 12, gb_per_cycle: 4.0 };
+    let run = |p: usize| {
+        let report = WorkloadRunner::new(&workload, staircase_config(p)).run_all();
+        let events = report.cycles.iter().filter(|c| c.added_nodes > 0).count();
+        let max_step = report.cycles.iter().map(|c| c.added_nodes).max().unwrap();
+        (events, max_step)
+    };
+    let (lazy_events, lazy_step) = run(1);
+    let (eager_events, eager_step) = run(6);
+    assert!(lazy_events > eager_events, "lazy {lazy_events} vs eager {eager_events}");
+    assert!(eager_step > lazy_step, "eager steps {eager_step} vs lazy {lazy_step}");
+}
+
+#[test]
+fn linear_demand_makes_every_window_exact() {
+    // On a perfect ramp, Eq. 3's derivative is exact for every s, so the
+    // staircase under any window provisions identically.
+    let history: Vec<f64> = (1..=20).map(|i| 4.0 * i as f64).collect();
+    for s in 1..=4 {
+        assert!(prediction_error(&history, s).unwrap() < 1e-9);
+    }
+    let report = tune_samples(&history, 4);
+    assert!(report.errors.iter().all(|e| *e < 1e-9));
+}
+
+#[test]
+fn cost_model_penalizes_gross_overprovisioning() {
+    let snap = ClusterSnapshot {
+        nodes: 2,
+        load_gb: 19.0,
+        insert_rate_gb: 4.0,
+        last_query_secs: 60.0,
+    };
+    let params = CostModelParams {
+        node_capacity_gb: 10.0,
+        delta_secs_per_gb: 8.0,
+        t_secs_per_gb: 12.0,
+        horizon: 10,
+    };
+    let report = tune_plan_ahead(&[1, 20], &snap, &params);
+    let lazy = &report.estimates[0];
+    let absurd = &report.estimates[1];
+    assert!(
+        absurd.node_hours > lazy.node_hours,
+        "p=20 ({:.1} nh) must cost more than p=1 ({:.1} nh)",
+        absurd.node_hours,
+        lazy.node_hours
+    );
+    assert_eq!(report.best, 1);
+}
+
+#[test]
+fn estimates_scale_with_the_horizon() {
+    let snap = ClusterSnapshot {
+        nodes: 2,
+        load_gb: 19.0,
+        insert_rate_gb: 4.0,
+        last_query_secs: 60.0,
+    };
+    let mk = |m: usize| CostModelParams {
+        node_capacity_gb: 10.0,
+        delta_secs_per_gb: 8.0,
+        t_secs_per_gb: 12.0,
+        horizon: m,
+    };
+    let short = estimate_cost(2, &snap, &mk(4)).node_hours;
+    let long = estimate_cost(2, &snap, &mk(12)).node_hours;
+    assert!(long > short * 2.0, "horizon must accumulate cost: {short} vs {long}");
+}
+
+#[test]
+fn provisioner_history_feeds_tuning_mid_run() {
+    // Run half the workload, tune s from the controller's own history,
+    // then confirm the tuner returns a usable window.
+    let workload = LinearWorkload { cycles: 12, gb_per_cycle: 4.0 };
+    let mut runner = WorkloadRunner::new(&workload, staircase_config(2));
+    for c in 0..6 {
+        runner.run_cycle(c);
+    }
+    let history = runner.provisioner().unwrap().history().to_vec();
+    assert_eq!(history.len(), 6);
+    let report = tune_samples(&history, 4);
+    assert!(report.best >= 1 && report.best <= 4);
+}
