@@ -92,7 +92,7 @@ proptest! {
     ) {
         let side = 1u64 << bits;
         let coords: Vec<u64> = (0..ndims)
-            .map(|d| (seed.rotate_left(13 * d as u32) % side))
+            .map(|d| seed.rotate_left(13 * d as u32) % side)
             .collect();
         let h = hilbert_index(&coords, bits);
         prop_assert!(h < (1u128 << (bits as usize * ndims)));

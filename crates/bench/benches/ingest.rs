@@ -1,0 +1,2 @@
+//! Placeholder: replaced below in this PR by the end-to-end ingest bench.
+fn main() {}

@@ -1,0 +1,371 @@
+//! Minimal in-tree stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `black_box`, and the two entry macros —
+//! with adaptive wall-clock measurement. Results print as
+//! `name  median ns/iter (min .. max over N samples)` and, when the
+//! `CRITERION_JSON` environment variable names a path, are also appended
+//! to that file as JSON lines (used by the `ingest` bench to produce
+//! `BENCH_ingest.json`).
+//!
+//! Invoke bench binaries with an optional substring filter argument, as
+//! with real criterion: `cargo bench --bench ingest -- route_place`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Fully qualified benchmark name (`group/param` or bare name).
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark harness root.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    target_time: Duration,
+    results: Vec<Sample>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 12,
+            target_time: Duration::from_millis(60),
+            results: Vec::new(),
+            json_path: std::env::var("CRITERION_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI args (`<bin> [filter-substring]`); `--bench`-style
+    /// flags are ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter, ..Criterion::default() }
+    }
+
+    /// Set samples per benchmark (also accepted on groups).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the per-sample time budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.skipped(name) {
+            return self;
+        }
+        let sample = run_bench(name, self.sample_size, self.target_time, &mut f);
+        self.report(sample);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+
+    /// Print the final summary (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        eprintln!("benchmarks complete: {} measured", self.results.len());
+        if let (Some(path), true) = (&self.json_path, !self.results.is_empty()) {
+            if let Err(e) = write_json(path, &self.results) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    fn skipped(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    fn report(&mut self, sample: Sample) {
+        eprintln!(
+            "{:<52} {:>14} ns/iter (min {:.0} .. max {:.0}, {} samples x {} iters)",
+            sample.name,
+            format!("{:.1}", sample.median_ns),
+            sample.min_ns,
+            sample.max_ns,
+            sample.samples,
+            sample.iters_per_sample,
+        );
+        self.results.push(sample);
+    }
+}
+
+fn write_json(path: &str, results: &[Sample]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = String::from("[\n");
+    for (i, s) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            s.name.replace('"', "'"),
+            s.median_ns,
+            s.min_ns,
+            s.max_ns,
+            s.samples,
+            s.iters_per_sample,
+        ));
+    }
+    out.push_str("\n]\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Set the per-sample time budget (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        if !self.parent.skipped(&name) {
+            let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+            let sample = run_bench(&name, samples, self.parent.target_time, &mut f);
+            self.parent.report(sample);
+        }
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify by function name and parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identify by parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the stub always runs one setup per routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+enum Mode {
+    /// Calibrating: count how many routine calls fit the time budget.
+    Calibrate { calls: u64, elapsed: Duration },
+    /// Measuring: run a fixed number of calls and record the wall time.
+    Measure { calls: u64, elapsed: Duration },
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::Calibrate { calls, elapsed } => {
+                let start = Instant::now();
+                black_box(routine());
+                *elapsed += start.elapsed();
+                *calls += 1;
+            }
+            Mode::Measure { calls, elapsed } => {
+                let n = *calls;
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+
+    /// Measure `routine` with a fresh, untimed `setup` product per call.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match &mut self.mode {
+            Mode::Calibrate { calls, elapsed } => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                *elapsed += start.elapsed();
+                *calls += 1;
+            }
+            Mode::Measure { calls, elapsed } => {
+                let n = *calls;
+                let mut total = Duration::ZERO;
+                for _ in 0..n {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                *elapsed = total;
+            }
+        }
+    }
+
+    /// Like `iter_batched`, timing the routine per batch.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        setup: S,
+        mut routine: R,
+        size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut i| routine(&mut i), size)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    target: Duration,
+    f: &mut F,
+) -> Sample {
+    // Calibration: call the routine once at a time until the time budget
+    // or a call cap is reached, to pick the per-sample iteration count.
+    let mut calls = 0u64;
+    let mut spent = Duration::ZERO;
+    while spent < target && calls < 10_000 {
+        let mut b = Bencher { mode: Mode::Calibrate { calls: 0, elapsed: Duration::ZERO } };
+        f(&mut b);
+        if let Mode::Calibrate { calls: c, elapsed } = b.mode {
+            if c == 0 {
+                break; // routine never ran; avoid an infinite loop
+            }
+            calls += c;
+            spent += elapsed;
+        }
+    }
+    let per_iter = spent.as_nanos().max(1) / u128::from(calls.max(1));
+    let iters = (target.as_nanos() / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut per_sample_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { mode: Mode::Measure { calls: iters, elapsed: Duration::ZERO } };
+        f(&mut b);
+        if let Mode::Measure { elapsed, .. } = b.mode {
+            per_sample_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+    per_sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = per_sample_ns[per_sample_ns.len() / 2];
+    Sample {
+        name: name.to_string(),
+        median_ns: median,
+        min_ns: per_sample_ns.first().copied().unwrap_or(0.0),
+        max_ns: per_sample_ns.last().copied().unwrap_or(0.0),
+        samples,
+        iters_per_sample: iters,
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! Minimal in-tree stand-in for `serde_derive`.
+//!
+//! Emits empty marker-trait impls for the stub `serde` crate. Parses the
+//! derive input by hand (no `syn`): it finds the `struct`/`enum` keyword,
+//! takes the following identifier as the type name, and rejects generic
+//! types (none of the workspace's derived types are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum a derive is attached to.
+fn type_name(input: TokenStream) -> (String, bool) {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.next(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return (name.to_string(), generic);
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find type name in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generic) = type_name(input);
+    assert!(!generic, "serde_derive stub does not support generic types (deriving {name})");
+    format!("impl serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generic) = type_name(input);
+    assert!(!generic, "serde_derive stub does not support generic types (deriving {name})");
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
