@@ -30,10 +30,7 @@ impl Array {
     /// Insert one cell, routing it to (and creating, if needed) its chunk.
     pub fn insert_cell(&mut self, cell: Vec<i64>, values: Vec<ScalarValue>) -> Result<ChunkCoords> {
         let coords = chunk_of(&self.schema, &cell)?;
-        let chunk = self
-            .chunks
-            .entry(coords.clone())
-            .or_insert_with(|| Chunk::new(&self.schema, coords.clone()));
+        let chunk = self.chunks.entry(coords).or_insert_with(|| Chunk::new(&self.schema, coords));
         chunk.push_cell(&self.schema, cell, values)?;
         Ok(coords)
     }
@@ -73,14 +70,12 @@ impl Array {
         &'a self,
         region: &'a Region,
     ) -> impl Iterator<Item = (&'a ChunkCoords, &'a Chunk)> + 'a {
-        self.chunks
-            .iter()
-            .filter(move |(coords, _)| region.intersects_chunk(&self.schema, coords))
+        self.chunks.iter().filter(move |(coords, _)| region.intersects_chunk(&self.schema, coords))
     }
 
     /// The key a chunk at `coords` would have.
     pub fn key_for(&self, coords: &ChunkCoords) -> ChunkKey {
-        ChunkKey::new(self.id, coords.clone())
+        ChunkKey::new(self.id, *coords)
     }
 }
 
@@ -103,8 +98,7 @@ mod tests {
             (3, 4, 7, 7.2),
         ];
         for (x, y, i, j) in cells {
-            a.insert_cell(vec![x, y], vec![ScalarValue::Int32(i), ScalarValue::Float(j)])
-                .unwrap();
+            a.insert_cell(vec![x, y], vec![ScalarValue::Int32(i), ScalarValue::Float(j)]).unwrap();
         }
         a
     }
@@ -125,7 +119,7 @@ mod tests {
         let coords = a
             .insert_cell(vec![4, 4], vec![ScalarValue::Int32(5), ScalarValue::Float(0.5)])
             .unwrap();
-        assert_eq!(coords, ChunkCoords(vec![1, 1]));
+        assert_eq!(coords, ChunkCoords::new([1, 1]));
         assert!(a.chunk(&coords).unwrap().cell_count() >= 1);
     }
 
@@ -133,9 +127,9 @@ mod tests {
     fn region_scan_finds_only_intersecting_chunks() {
         let a = figure1_array();
         let region = Region::new(vec![1, 1], vec![2, 2]);
-        let hits: Vec<_> = a.chunks_in_region(&region).map(|(c, _)| c.clone()).collect();
-        assert!(hits.contains(&ChunkCoords(vec![0, 0])));
-        assert!(!hits.contains(&ChunkCoords(vec![1, 1])));
+        let hits: Vec<_> = a.chunks_in_region(&region).map(|(c, _)| *c).collect();
+        assert!(hits.contains(&ChunkCoords::new([0, 0])));
+        assert!(!hits.contains(&ChunkCoords::new([1, 1])));
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl std::fmt::Display for ArrayId {
 }
 
 /// Globally unique chunk key: which array, which chunk position.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// `Copy` since the coordinate vector is stored inline: keys move through
+/// the placement hot path by value, with no heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ChunkKey {
     /// Owning array.
     pub array: ArrayId,
@@ -50,7 +53,7 @@ impl std::fmt::Display for ChunkKey {
 /// Physical chunk size is variable: it reflects the number of non-empty
 /// cells actually stored, not the declared chunk volume (§2). Skew shows
 /// up as high variance in `bytes` across descriptors.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChunkDescriptor {
     /// Chunk identity.
     pub key: ChunkKey,
@@ -155,7 +158,7 @@ impl Chunk {
     /// Metadata descriptor for this chunk.
     pub fn descriptor(&self, array: ArrayId) -> ChunkDescriptor {
         ChunkDescriptor {
-            key: ChunkKey::new(array, self.coords.clone()),
+            key: ChunkKey::new(array, self.coords),
             bytes: self.byte_size(),
             cells: self.cell_count(),
         }
@@ -183,11 +186,9 @@ mod tests {
     #[test]
     fn push_and_read_cells() {
         let s = schema();
-        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
-        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.3)])
-            .unwrap();
-        c.push_cell(&s, vec![2, 2], vec![ScalarValue::Int32(9), ScalarValue::Float(2.7)])
-            .unwrap();
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
+        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.3)]).unwrap();
+        c.push_cell(&s, vec![2, 2], vec![ScalarValue::Int32(9), ScalarValue::Float(2.7)]).unwrap();
         assert_eq!(c.cell_count(), 2);
         assert_eq!(c.cell(0), Some(&[1i64, 1][..]));
         assert_eq!(c.column(0).unwrap().get(1), Some(ScalarValue::Int32(9)));
@@ -197,10 +198,9 @@ mod tests {
     #[test]
     fn byte_size_reflects_payload() {
         let s = schema();
-        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
         assert_eq!(c.byte_size(), 0);
-        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.0)])
-            .unwrap();
+        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.0)]).unwrap();
         // 2 coords * 8 bytes + 4 (int32) + 4 (float)
         assert_eq!(c.byte_size(), 16 + 8);
     }
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn type_mismatch_leaves_chunk_unchanged() {
         let s = schema();
-        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
         let err = c
             .push_cell(&s, vec![1, 1], vec![ScalarValue::Float(1.0), ScalarValue::Float(1.0)])
             .unwrap_err();
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn arity_checks() {
         let s = schema();
-        let mut c = Chunk::new(&s, ChunkCoords(vec![0, 0]));
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
         assert!(c
             .push_cell(&s, vec![1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.0)])
             .is_err());
@@ -231,12 +231,11 @@ mod tests {
     #[test]
     fn descriptor_matches_contents() {
         let s = schema();
-        let mut c = Chunk::new(&s, ChunkCoords(vec![1, 0]));
-        c.push_cell(&s, vec![3, 1], vec![ScalarValue::Int32(4), ScalarValue::Float(4.2)])
-            .unwrap();
+        let mut c = Chunk::new(&s, ChunkCoords::new([1, 0]));
+        c.push_cell(&s, vec![3, 1], vec![ScalarValue::Int32(4), ScalarValue::Float(4.2)]).unwrap();
         let d = c.descriptor(ArrayId(7));
         assert_eq!(d.key.array, ArrayId(7));
-        assert_eq!(d.key.coords, ChunkCoords(vec![1, 0]));
+        assert_eq!(d.key.coords, ChunkCoords::new([1, 0]));
         assert_eq!(d.cells, 1);
         assert_eq!(d.bytes, c.byte_size());
     }

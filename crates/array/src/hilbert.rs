@@ -25,7 +25,16 @@ fn max_bits_for(ndims: usize) -> u32 {
     (128 / ndims.max(1) as u32).min(32)
 }
 
+/// Scratch capacity covering every practical dimensionality without heap
+/// allocation. `bits * n <= 128` with `bits >= 2` bounds `n` at 64; the
+/// degenerate `bits == 1` case can reach 128 dimensions and falls back to
+/// a heap buffer.
+const INLINE_DIMS: usize = 16;
+
 /// Map `coords` in a `[0, 2^bits)^n` cube to its Hilbert index.
+///
+/// Allocation-free for up to [`MAX_DIMS`](crate::coords::MAX_DIMS) (and
+/// beyond, up to 16) dimensions: the working copy lives on the stack.
 ///
 /// Panics if `bits * coords.len() > 128` or any coordinate overflows the
 /// cube — callers clamp first (see [`HilbertOrder`]).
@@ -36,7 +45,15 @@ pub fn hilbert_index(coords: &[u64], bits: u32) -> u128 {
     for &c in coords {
         assert!(bits == 64 || c < (1u64 << bits), "coordinate outside cube");
     }
-    let mut x: Vec<u64> = coords.to_vec();
+    let mut stack = [0u64; INLINE_DIMS];
+    let mut heap: Vec<u64>;
+    let x: &mut [u64] = if n <= INLINE_DIMS {
+        stack[..n].copy_from_slice(coords);
+        &mut stack[..n]
+    } else {
+        heap = coords.to_vec();
+        &mut heap
+    };
 
     // --- Skilling: axes -> transposed Hilbert coordinates ---
     if bits >= 2 {
@@ -83,8 +100,8 @@ pub fn hilbert_index(coords: &[u64], bits: u32) -> u128 {
 
 /// Inverse of [`hilbert_index`]: recover coordinates from an index.
 pub fn hilbert_coords(index: u128, bits: u32, ndims: usize) -> Vec<u64> {
-    assert!(ndims >= 1);
-    assert!(bits as usize * ndims <= 128);
+    assert!(ndims >= 1, "need at least one coordinate");
+    assert!(bits as usize * ndims <= 128, "index would overflow u128");
     // de-interleave into transposed form
     let mut x = vec![0u64; ndims];
     let total = bits as usize * ndims;
@@ -96,16 +113,17 @@ pub fn hilbert_coords(index: u128, bits: u32, ndims: usize) -> Vec<u64> {
     }
 
     if bits >= 2 {
-        let n_top: u64 = 1u64 << bits; // 2 << (bits-1)
         // Gray decode
         let t = x[ndims - 1] >> 1;
         for i in (1..ndims).rev() {
             x[i] ^= x[i - 1];
         }
         x[0] ^= t;
-        // Undo excess work
+        // Undo excess work: q = 2, 4, ..., 2^(bits-1). A counted loop with
+        // a wrapping shift, because the former `while q != 1 << bits` exit
+        // test overflowed the shift at bits == 64 (the full-width cube).
         let mut q: u64 = 2;
-        while q != n_top {
+        for _ in 0..bits - 1 {
             let p = q - 1;
             for i in (0..ndims).rev() {
                 if x[i] & q != 0 {
@@ -116,7 +134,7 @@ pub fn hilbert_coords(index: u128, bits: u32, ndims: usize) -> Vec<u64> {
                     x[i] ^= t;
                 }
             }
-            q <<= 1;
+            q = q.wrapping_shl(1);
         }
     }
     x
@@ -241,13 +259,15 @@ impl HilbertOrder {
 
     /// The Hilbert index of a chunk coordinate. Coordinates beyond the
     /// embedding cube are clamped to its face — orders remain total and
-    /// deterministic even if the hint was exceeded.
+    /// deterministic even if the hint was exceeded. Allocation-free.
     pub fn index_of(&self, coords: &ChunkCoords) -> u128 {
         debug_assert_eq!(coords.ndims(), self.ndims);
         let limit = if self.bits == 64 { u64::MAX } else { (1u64 << self.bits) - 1 };
-        let cube: Vec<u64> =
-            coords.0.iter().map(|&c| (c.max(0) as u64).min(limit)).collect();
-        hilbert_index(&cube, self.bits)
+        let mut cube = [0u64; crate::coords::MAX_DIMS];
+        for (slot, &c) in cube.iter_mut().zip(coords.iter()) {
+            *slot = (c.max(0) as u64).min(limit);
+        }
+        hilbert_index(&cube[..coords.ndims()], self.bits)
     }
 }
 
@@ -294,11 +314,8 @@ mod tests {
             for h in 0..total {
                 let c = hilbert_coords(h, bits, ndims);
                 if let Some(p) = prev {
-                    let dist: i64 = c
-                        .iter()
-                        .zip(&p)
-                        .map(|(a, b)| (*a as i64 - *b as i64).abs())
-                        .sum();
+                    let dist: i64 =
+                        c.iter().zip(&p).map(|(a, b)| (*a as i64 - *b as i64).abs()).sum();
                     assert_eq!(dist, 1, "curve jumped at h={h}");
                 }
                 prev = Some(c);
@@ -362,11 +379,67 @@ mod tests {
         .unwrap();
         let order = HilbertOrder::for_schema(&schema, 64);
         assert!(order.bits() >= 6); // lon has 31 chunks -> needs >= 5 bits; hint 64 -> 6
-        let a = order.index_of(&ChunkCoords(vec![0, 0, 0]));
-        let b = order.index_of(&ChunkCoords(vec![0, 0, 1]));
+        let a = order.index_of(&ChunkCoords::new([0, 0, 0]));
+        let b = order.index_of(&ChunkCoords::new([0, 0, 1]));
         assert_ne!(a, b);
         // Clamping: a huge time index must not panic.
-        let _ = order.index_of(&ChunkCoords(vec![1 << 40, 3, 3]));
+        let _ = order.index_of(&ChunkCoords::new([1 << 40, 3, 3]));
+    }
+
+    #[test]
+    fn sixty_four_bit_cube_accepts_full_range_coordinates() {
+        // bits == 64 is the special case in the input validation: the
+        // `c < (1 << bits)` guard would shift by the full width, so it is
+        // bypassed — every u64 coordinate is inside a 2^64 cube.
+        for &c in &[0u64, 1, u64::MAX / 2, u64::MAX] {
+            let h = hilbert_index(&[c], 64);
+            assert_eq!(hilbert_coords(h, 64, 1), vec![c]);
+        }
+        // Two dimensions at 64 bits exactly fills u128 (64 * 2 == 128).
+        let h = hilbert_index(&[u64::MAX, u64::MAX], 64);
+        assert_eq!(hilbert_coords(h, 64, 2), vec![u64::MAX, u64::MAX]);
+        // The curve must still be bijective near the top of the range.
+        let a = hilbert_index(&[u64::MAX, 0], 64);
+        let b = hilbert_index(&[0, u64::MAX], 64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow u128")]
+    fn index_wider_than_u128_is_rejected() {
+        // 64 bits x 3 dims = 192 > 128.
+        let _ = hilbert_index(&[0, 0, 0], 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow u128")]
+    fn inverse_wider_than_u128_is_rejected() {
+        let _ = hilbert_coords(0, 33, 4); // 132 > 128
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate outside cube")]
+    fn coordinate_beyond_cube_is_rejected() {
+        let _ = hilbert_index(&[4, 0], 2); // 4 >= 2^2
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coordinate")]
+    fn empty_coordinates_are_rejected() {
+        let _ = hilbert_index(&[], 4);
+    }
+
+    #[test]
+    fn boundary_bits_times_dims_exactly_128_is_accepted() {
+        // 32 bits x 4 dims == 128: legal, and must round-trip.
+        let coords = [1u64 << 31, 7, (1 << 32) - 1, 12345];
+        let h = hilbert_index(&coords, 32);
+        assert_eq!(hilbert_coords(h, 32, 4), coords.to_vec());
+        // 1 bit x 128 dims == 128: the degenerate wide case still works
+        // (exercises the heap fallback past the inline scratch).
+        let wide = vec![1u64; 128];
+        let h = hilbert_index(&wide, 1);
+        assert_eq!(hilbert_coords(h, 1, 128), wide);
     }
 
     #[test]

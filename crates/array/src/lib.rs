@@ -32,7 +32,7 @@ mod value;
 
 pub use array::Array;
 pub use chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
-pub use coords::{all_chunks, chunk_of, CellCoords, ChunkCoords, Region};
+pub use coords::{all_chunks, chunk_of, CellCoords, ChunkCoords, Region, MAX_DIMS};
 pub use error::{ArrayError, Result};
 pub use hilbert::{gilbert2d, hilbert_coords, hilbert_index, HilbertOrder};
 pub use schema::{ArraySchema, AttributeDef, DimensionDef};

@@ -132,6 +132,13 @@ impl ArraySchema {
         if self.dimensions.is_empty() {
             return Err(ArrayError::InvalidSchema("at least one dimension required".into()));
         }
+        if self.dimensions.len() > crate::coords::MAX_DIMS {
+            return Err(ArrayError::InvalidSchema(format!(
+                "at most {} dimensions supported, got {}",
+                crate::coords::MAX_DIMS,
+                self.dimensions.len()
+            )));
+        }
         if self.attributes.is_empty() {
             return Err(ArrayError::InvalidSchema("at least one attribute required".into()));
         }
@@ -250,7 +257,12 @@ impl ArraySchema {
             };
             let chunk_interval: i64 =
                 interval.parse().map_err(|_| parse_err(&format!("bad interval `{interval}`")))?;
-            dimensions.push(DimensionDef { name: dname.trim().to_string(), start, end, chunk_interval });
+            dimensions.push(DimensionDef {
+                name: dname.trim().to_string(),
+                start,
+                end,
+                chunk_interval,
+            });
         }
 
         ArraySchema::new(name, attributes, dimensions)
@@ -336,10 +348,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_schemas() {
-        assert!(ArraySchema::new("", vec![AttributeDef::new("a", AttributeType::Int32)],
-            vec![DimensionDef::bounded("x", 0, 1, 1)]).is_err());
+        assert!(ArraySchema::new(
+            "",
+            vec![AttributeDef::new("a", AttributeType::Int32)],
+            vec![DimensionDef::bounded("x", 0, 1, 1)]
+        )
+        .is_err());
         assert!(ArraySchema::new("A", vec![], vec![DimensionDef::bounded("x", 0, 1, 1)]).is_err());
-        assert!(ArraySchema::new("A", vec![AttributeDef::new("a", AttributeType::Int32)], vec![]).is_err());
+        assert!(ArraySchema::new("A", vec![AttributeDef::new("a", AttributeType::Int32)], vec![])
+            .is_err());
         // zero chunk interval
         assert!(ArraySchema::new(
             "A",
@@ -375,12 +392,12 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         for bad in [
-            "A[x=1:4,2]",                 // missing attrs
-            "A<i:int32>",                 // missing dims
-            "A<i:bogus>[x=1:4,2]",        // unknown type
-            "A<i:int32>[x=1:4]",          // missing interval
-            "A<i:int32>[x=1,2]",          // missing range colon
-            "A<iint32>[x=1:4,2]",         // missing attr colon
+            "A[x=1:4,2]",          // missing attrs
+            "A<i:int32>",          // missing dims
+            "A<i:bogus>[x=1:4,2]", // unknown type
+            "A<i:int32>[x=1:4]",   // missing interval
+            "A<i:int32>[x=1,2]",   // missing range colon
+            "A<iint32>[x=1:4,2]",  // missing attr colon
         ] {
             assert!(ArraySchema::parse(bad).is_err(), "{bad} should fail");
         }

@@ -3,7 +3,7 @@
 
 use array_model::{
     chunk_of, gilbert2d, hilbert_coords, hilbert_index, ArraySchema, AttributeDef, AttributeType,
-    DimensionDef,
+    ChunkCoords, DimensionDef, MAX_DIMS,
 };
 use proptest::prelude::*;
 
@@ -35,9 +35,7 @@ prop_compose! {
 }
 
 fn arb_schema() -> impl Strategy<Value = ArraySchema> {
-    let dims = (1usize..4).prop_flat_map(|n| {
-        (0..n).map(arb_dimension).collect::<Vec<_>>()
-    });
+    let dims = (1usize..4).prop_flat_map(|n| (0..n).map(arb_dimension).collect::<Vec<_>>());
     let attrs = proptest::collection::vec(arb_type(), 1..5).prop_map(|types| {
         types
             .into_iter()
@@ -122,6 +120,56 @@ proptest! {
             }
         }
         prop_assert!(diagonals <= 1, "{} diagonal steps in {}x{}", diagonals, w, h);
+    }
+
+    /// The inline `ChunkCoords` must be observationally equivalent to the
+    /// old `Vec<i64>` representation: identical equality, ordering,
+    /// hash-based deduplication, and a lossless round trip through the
+    /// serialized (`Vec<i64>`) form.
+    #[test]
+    fn inline_coords_match_vec_model(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, 1..MAX_DIMS + 1),
+            2..20,
+        ),
+    ) {
+        use std::collections::{BTreeSet, HashSet};
+        let inline: Vec<ChunkCoords> =
+            vecs.iter().map(|v| ChunkCoords::new(v.as_slice())).collect();
+
+        // Round trip through the wire form (the old representation's
+        // serde payload was exactly this Vec<i64>).
+        for (v, c) in vecs.iter().zip(&inline) {
+            prop_assert_eq!(&c.to_vec(), v);
+            prop_assert_eq!(ChunkCoords::new(c.to_vec()), *c);
+            prop_assert_eq!(c.ndims(), v.len());
+            for (d, &x) in v.iter().enumerate() {
+                prop_assert_eq!(c.index(d), x);
+            }
+        }
+
+        // Pairwise comparisons must match the Vec model exactly.
+        for (va, ca) in vecs.iter().zip(&inline) {
+            for (vb, cb) in vecs.iter().zip(&inline) {
+                prop_assert_eq!(va == vb, ca == cb);
+                prop_assert_eq!(va.cmp(vb), ca.cmp(cb));
+            }
+        }
+
+        // Hash/ord containers dedup identically.
+        let vec_set: BTreeSet<_> = vecs.iter().cloned().collect();
+        let ord_set: BTreeSet<_> = inline.iter().copied().collect();
+        let hash_set: HashSet<_> = inline.iter().copied().collect();
+        prop_assert_eq!(ord_set.len(), vec_set.len());
+        prop_assert_eq!(hash_set.len(), vec_set.len());
+
+        // Sorted order is the Vec order.
+        let mut sorted_vecs = vecs.clone();
+        sorted_vecs.sort();
+        let mut sorted_inline = inline.clone();
+        sorted_inline.sort();
+        let as_vecs: Vec<Vec<i64>> = sorted_inline.iter().map(|c| c.to_vec()).collect();
+        prop_assert_eq!(as_vecs, sorted_vecs);
     }
 
     /// Region/chunk intersection agrees with brute-force cell membership.

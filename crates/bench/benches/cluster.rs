@@ -12,9 +12,7 @@ fn bench_flow_solver(c: &mut Criterion) {
     for i in 0..10_000u32 {
         flows.push(NodeId(i % 8), NodeId((i + 3) % 8), 50_000_000);
     }
-    c.bench_function("flow_solver_10k_flows", |b| {
-        b.iter(|| black_box(flows.elapsed_secs(&cost)))
-    });
+    c.bench_function("flow_solver_10k_flows", |b| b.iter(|| black_box(flows.elapsed_secs(&cost))));
 }
 
 fn bench_rebalance(c: &mut Criterion) {
@@ -24,8 +22,8 @@ fn bench_rebalance(c: &mut Criterion) {
                 let mut cluster = Cluster::new(8, u64::MAX, CostModel::default()).unwrap();
                 let mut plan = RebalancePlan::empty();
                 for i in 0..2000i64 {
-                    let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i]));
-                    let desc = ChunkDescriptor::new(key.clone(), 1_000_000, 100);
+                    let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([i]));
+                    let desc = ChunkDescriptor::new(key, 1_000_000, 100);
                     cluster.place(desc, NodeId((i % 4) as u32)).unwrap();
                     plan.push(key, NodeId((i % 4) as u32), NodeId(4 + (i % 4) as u32), 1_000_000);
                 }

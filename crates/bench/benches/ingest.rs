@@ -1,2 +1,144 @@
-//! Placeholder: replaced below in this PR by the end-to-end ingest bench.
-fn main() {}
+//! End-to-end ingest hot path: route chunk → place → census balance.
+//!
+//! This is the loop the paper's experiments execute millions of times per
+//! workload cycle (§6): every arriving chunk is routed to its coordinates,
+//! assigned a node by the partitioner, recorded in the cluster's placement
+//! map, and followed by a balance census of every host. The bench drives
+//! that loop for ~1M synthetic chunks across all 8 partitioner kinds.
+//!
+//! Set `INGEST_CHUNKS` to override the stream length, and `CRITERION_JSON`
+//! to record results (see `BENCH_ingest.json` at the repo root for the
+//! tracked before/after numbers).
+
+use array_model::{
+    chunk_of, ArrayId, ArraySchema, AttributeDef, AttributeType, ChunkCoords, ChunkDescriptor,
+    ChunkKey, DimensionDef,
+};
+use cluster_sim::{relative_std_dev, Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::hashing::splitmix64 as splitmix;
+use elastic_core::{build_partitioner, GridHint, PartitionerConfig, PartitionerKind};
+use std::hint::black_box;
+
+const NODES: usize = 8;
+/// Grid: 1024 time chunks x 32 x 32 spatial chunks = ~1M distinct chunks.
+const GRID: [i64; 3] = [1024, 32, 32];
+
+fn stream_len() -> usize {
+    let volume = (GRID[0] * GRID[1] * GRID[2]) as usize;
+    let n: usize =
+        std::env::var("INGEST_CHUNKS").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
+    if n > volume {
+        eprintln!("INGEST_CHUNKS={n} exceeds the {volume}-chunk grid; clamping");
+    }
+    n.min(volume)
+}
+
+/// The synthetic stream: every chunk of the grid exactly once, in a
+/// time-major order with shuffled spatial cells and skewed sizes.
+/// `(t, x, y, bytes)` tuples; coordinates are unique across the stream.
+fn chunk_stream(n: usize) -> Vec<(i64, i64, i64, u64)> {
+    let spatial = (GRID[1] * GRID[2]) as usize;
+    (0..n)
+        .map(|i| {
+            let t = (i / spatial) as i64;
+            // Bijective per-slice shuffle: odd multiplier + per-slice
+            // offset modulo the power-of-two spatial extent.
+            let salt = splitmix(t as u64) as usize;
+            let s = ((i % spatial) * 421 + salt) % spatial;
+            let (x, y) = ((s / GRID[2] as usize) as i64, (s % GRID[2] as usize) as i64);
+            // Skewed sizes: a few MB-scale chunks, a long tail of small ones.
+            let r = splitmix(i as u64 ^ 0xdead_beef);
+            let bytes = 1_000 + (r % 65_536) * (r % 7) * (r % 5);
+            (t, x, y, bytes)
+        })
+        .collect()
+}
+
+fn ingest_schema() -> ArraySchema {
+    ArraySchema::new(
+        "Ingest",
+        vec![AttributeDef::new("v", AttributeType::Double)],
+        vec![
+            DimensionDef::bounded("t", 0, GRID[0] * 16 - 1, 16),
+            DimensionDef::bounded("x", 0, GRID[1] * 16 - 1, 16),
+            DimensionDef::bounded("y", 0, GRID[2] * 16 - 1, 16),
+        ],
+    )
+    .expect("bench schema is valid")
+}
+
+/// The full hot path for one partitioner kind: route every chunk from its
+/// cell coordinates, place it, and census the balance after each insert.
+/// Returns a checksum so the optimizer cannot elide the loop.
+fn ingest_loop(kind: PartitionerKind, stream: &[(i64, i64, i64, u64)]) -> f64 {
+    let schema = ingest_schema();
+    let cluster_cost = CostModel::default();
+    let mut cluster = Cluster::new(NODES, u64::MAX, cluster_cost).expect("nodes > 0");
+    // Dense O(1) placement index for the bench array.
+    assert!(cluster.register_array(ArrayId(0), &GRID));
+    let grid = GridHint::new(GRID.to_vec());
+    let mut partitioner = build_partitioner(kind, &cluster, &grid, &PartitionerConfig::default());
+
+    let mut census_acc = 0.0;
+    for &(t, x, y, bytes) in stream {
+        // Route: cell coordinates -> owning chunk.
+        let cell = [t * 16, x * 16, y * 16];
+        let coords = chunk_of(&schema, &cell).expect("stream stays in bounds");
+        debug_assert_eq!(coords, ChunkCoords::new([t, x, y]));
+        let key = ChunkKey::new(ArrayId(0), coords);
+        let desc = ChunkDescriptor::new(key, bytes, bytes / 64 + 1);
+        // Place: partitioner decision + authoritative placement map.
+        let node = partitioner.place(&desc, &cluster);
+        cluster.place(desc, node).expect("stream has no duplicates");
+        // Census: the paper's per-insert balance probe — O(1) incremental.
+        census_acc += cluster.balance_rsd();
+    }
+    census_acc
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let stream = chunk_stream(stream_len());
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(3);
+    for kind in PartitionerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| black_box(ingest_loop(kind, &stream)))
+        });
+    }
+    group.finish();
+}
+
+/// Routing only: cell -> chunk coordinates -> chunk key, no placement.
+fn bench_route(c: &mut Criterion) {
+    let schema = ingest_schema();
+    let stream = chunk_stream(100_000);
+    c.bench_function("route_only_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(t, x, y, _) in &stream {
+                let cell = [t * 16, x * 16, y * 16];
+                let coords = chunk_of(&schema, &cell).expect("in bounds");
+                acc = acc.wrapping_add(coords.index(0) ^ coords.index(2));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Census only: the balance probe against a fixed 8-node load vector.
+fn bench_census(c: &mut Criterion) {
+    let mut cluster = Cluster::new(NODES, u64::MAX, CostModel::default()).expect("nodes > 0");
+    for (i, &(t, x, y, bytes)) in chunk_stream(10_000).iter().enumerate() {
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([t, x, y]));
+        let desc = ChunkDescriptor::new(key, bytes, 1);
+        cluster.place(desc, cluster_sim::NodeId((i % NODES) as u32)).expect("unique coords");
+    }
+    c.bench_function("census_8_nodes_rescan", |b| {
+        b.iter(|| black_box(relative_std_dev(&cluster.loads())))
+    });
+    c.bench_function("census_8_nodes_incremental", |b| b.iter(|| black_box(cluster.balance_rsd())));
+}
+
+criterion_group!(benches, bench_ingest, bench_route, bench_census);
+criterion_main!(benches);

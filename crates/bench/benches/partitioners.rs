@@ -18,7 +18,7 @@ fn descriptors(n: usize) -> Vec<ChunkDescriptor> {
             let lon = ((i % 667) / 23) as i64;
             let lat = (i % 23) as i64;
             ChunkDescriptor::new(
-                ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, lon, lat])),
+                ChunkKey::new(ArrayId(0), ChunkCoords::new([t, lon, lat])),
                 1_000_000 + (i as u64 * 37) % 5_000_000,
                 1_000,
             )
@@ -35,13 +35,14 @@ fn bench_place(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
-                    let p = build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
+                    let p =
+                        build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
                     (cluster, p)
                 },
                 |(mut cluster, mut p)| {
                     for d in &descs {
                         let n = p.place(d, &cluster);
-                        cluster.place(d.clone(), n).unwrap();
+                        cluster.place(*d, n).unwrap();
                     }
                     black_box(cluster.total_used())
                 },
@@ -62,7 +63,7 @@ fn bench_locate(c: &mut Criterion) {
         let mut p = build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
         for d in &descs {
             let n = p.place(d, &cluster);
-            cluster.place(d.clone(), n).unwrap();
+            cluster.place(*d, n).unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
             b.iter(|| {
@@ -92,7 +93,7 @@ fn bench_scale_out(c: &mut Criterion) {
                         build_partitioner(kind, &cluster, &grid(), &PartitionerConfig::default());
                     for d in &descs {
                         let n = p.place(d, &cluster);
-                        cluster.place(d.clone(), n).unwrap();
+                        cluster.place(*d, n).unwrap();
                     }
                     (cluster, p)
                 },

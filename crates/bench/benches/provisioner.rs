@@ -10,9 +10,7 @@ fn bench_decide(c: &mut Criterion) {
     for i in 0..1000 {
         p.observe(45.0 * i as f64);
     }
-    c.bench_function("staircase_decide", |b| {
-        b.iter(|| black_box(p.decide(8, 45_600.0)))
-    });
+    c.bench_function("staircase_decide", |b| b.iter(|| black_box(p.decide(8, 45_600.0))));
 }
 
 fn bench_tune_samples(c: &mut Criterion) {
@@ -23,12 +21,8 @@ fn bench_tune_samples(c: &mut Criterion) {
 }
 
 fn bench_cost_model(c: &mut Criterion) {
-    let snap = ClusterSnapshot {
-        nodes: 4,
-        load_gb: 400.0,
-        insert_rate_gb: 45.0,
-        last_query_secs: 900.0,
-    };
+    let snap =
+        ClusterSnapshot { nodes: 4, load_gb: 400.0, insert_rate_gb: 45.0, last_query_secs: 900.0 };
     let params = CostModelParams {
         node_capacity_gb: 100.0,
         delta_secs_per_gb: 8.0,

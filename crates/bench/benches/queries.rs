@@ -13,7 +13,13 @@ fn bench_modis_cycle(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let w = ModisWorkload::with_seed(MODIS_SEED);
-                (w.clone(), WorkloadRunner::new_owned(w, RunnerConfig::paper_section62(PartitionerKind::ConsistentHash)))
+                (
+                    w.clone(),
+                    WorkloadRunner::new_owned(
+                        w,
+                        RunnerConfig::paper_section62(PartitionerKind::ConsistentHash),
+                    ),
+                )
             },
             |(_, mut runner)| black_box(runner.run_cycle(0).phases.total_secs()),
             criterion::BatchSize::SmallInput,

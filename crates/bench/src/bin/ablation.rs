@@ -33,7 +33,8 @@ fn ablate_virtual_nodes(ais: &AisWorkload) {
     let mut t = TextTable::new(&["vnodes", "mean RSD", "reorg (min)", "moved (GB)"]);
     for vnodes in [1u32, 4, 16, 64, 256] {
         let report = run_with(ais, PartitionerKind::ConsistentHash, |c| {
-            c.partitioner_config = PartitionerConfig { virtual_nodes: vnodes, ..Default::default() };
+            c.partitioner_config =
+                PartitionerConfig { virtual_nodes: vnodes, ..Default::default() };
         });
         t.row(vec![
             vnodes.to_string(),

@@ -40,12 +40,12 @@ fn main() {
         .zip(&ais)
         .filter(|(m, _)| m.kind.features().incremental_scale_out && m.reorg_mins > 0.0)
         .collect();
-    let glob: Vec<_> = modis
-        .iter()
-        .zip(&ais)
-        .filter(|(m, _)| !m.kind.features().incremental_scale_out)
-        .collect();
-    let mean = |rows: &[(&bench_harness::experiments::Fig4Row, &bench_harness::experiments::Fig4Row)]| {
+    let glob: Vec<_> =
+        modis.iter().zip(&ais).filter(|(m, _)| !m.kind.features().incremental_scale_out).collect();
+    let mean = |rows: &[(
+        &bench_harness::experiments::Fig4Row,
+        &bench_harness::experiments::Fig4Row,
+    )]| {
         rows.iter().map(|(m, a)| m.reorg_mins + a.reorg_mins).sum::<f64>() / rows.len() as f64
     };
     println!(

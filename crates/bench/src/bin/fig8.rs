@@ -12,10 +12,8 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = TextTable::new(&header_refs);
     for c in 0..cycles {
-        let mut cells = vec![
-            format!("{}", c + 1),
-            format!("{:.2}", traces[0].demand_gb[c] / 100.0),
-        ];
+        let mut cells =
+            vec![format!("{}", c + 1), format!("{:.2}", traces[0].demand_gb[c] / 100.0)];
         cells.extend(traces.iter().map(|tr| tr.nodes[c].to_string()));
         t.row(cells);
     }

@@ -113,11 +113,7 @@ fn query_series(workload: &dyn Workload, query: &str) -> Vec<SeriesRow> {
             let report = section62_run(kind, workload, true);
             SeriesRow {
                 kind,
-                mins_per_cycle: report
-                    .query_series(query)
-                    .into_iter()
-                    .map(|s| s / 60.0)
-                    .collect(),
+                mins_per_cycle: report.query_series(query).into_iter().map(|s| s / 60.0).collect(),
             }
         })
         .collect()

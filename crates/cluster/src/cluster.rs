@@ -3,10 +3,44 @@
 use crate::cost::CostModel;
 use crate::error::{ClusterError, Result};
 use crate::node::{Node, NodeId};
+use crate::placement::PlacementIndex;
 use crate::rebalance::RebalancePlan;
 use crate::transfer::FlowSet;
-use array_model::{ChunkDescriptor, ChunkKey};
-use std::collections::BTreeMap;
+use array_model::{ArrayId, ChunkDescriptor, ChunkKey};
+
+/// Running moments of the per-node byte loads, maintained incrementally so
+/// the balance census after every insert is O(1) instead of a rescan of
+/// every host (the paper's per-insert RSD probe, made cheap).
+///
+/// Exact in integers: with total stored bytes below 2^64 (guaranteed by
+/// the `u64` byte ledgers), `n·Σx² − (Σx)²` fits in `u128`, so uniform
+/// loads yield exactly zero variance — no floating-point cancellation.
+#[derive(Debug, Clone, Copy, Default)]
+struct BalanceStats {
+    /// Σ load over nodes.
+    sum: u128,
+    /// Σ load² over nodes.
+    sumsq: u128,
+}
+
+impl BalanceStats {
+    #[inline]
+    fn on_change(&mut self, old: u64, new: u64) {
+        self.sum = self.sum - u128::from(old) + u128::from(new);
+        self.sumsq =
+            self.sumsq - u128::from(old) * u128::from(old) + u128::from(new) * u128::from(new);
+    }
+
+    /// Population relative standard deviation over `n` nodes.
+    fn rsd(&self, n: usize) -> f64 {
+        if n == 0 || self.sum == 0 {
+            return 0.0;
+        }
+        // rsd = sqrt(var)/mean = sqrt(n·Σx² − (Σx)²) / Σx.
+        let num = (n as u128 * self.sumsq).saturating_sub(self.sum * self.sum);
+        (num as f64).sqrt() / self.sum as f64
+    }
+}
 
 /// The cluster: an append-only roster of nodes and the authoritative
 /// chunk→node placement map.
@@ -14,11 +48,17 @@ use std::collections::BTreeMap;
 /// The first node doubles as the **coordinator** (§3.4: "inserts are
 /// submitted to a coordinator node, and it distributes the incoming chunks
 /// over the entire cluster").
+///
+/// Placement lookups and inserts are O(1) and allocation-free for arrays
+/// registered via [`Cluster::register_array`]; unregistered arrays fall
+/// back to hashing. The per-insert balance census ([`Cluster::balance_rsd`])
+/// is O(1) thanks to incrementally maintained load moments.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
-    placement: BTreeMap<ChunkKey, NodeId>,
+    placement: PlacementIndex,
     cost: CostModel,
+    balance: BalanceStats,
 }
 
 impl Cluster {
@@ -27,10 +67,22 @@ impl Cluster {
         if node_count == 0 {
             return Err(ClusterError::EmptyCluster);
         }
-        let nodes = (0..node_count as u32)
-            .map(|i| Node::new(NodeId(i), capacity_bytes))
-            .collect();
-        Ok(Cluster { nodes, placement: BTreeMap::new(), cost })
+        let nodes = (0..node_count as u32).map(|i| Node::new(NodeId(i), capacity_bytes)).collect();
+        Ok(Cluster {
+            nodes,
+            placement: PlacementIndex::new(),
+            cost,
+            balance: BalanceStats::default(),
+        })
+    }
+
+    /// Register the chunk-grid extents of an array so its placements use
+    /// the dense O(1) index. Optional — unregistered arrays work through a
+    /// hash fallback — and a performance hint only: coordinates beyond the
+    /// extents (unbounded dimensions outgrowing the hint) spill to a hash
+    /// map transparently. Returns whether the dense grid was installed.
+    pub fn register_array(&mut self, array: ArrayId, chunk_extents: &[i64]) -> bool {
+        self.placement.register_dense(array, chunk_extents)
     }
 
     /// The cost model in force.
@@ -71,25 +123,27 @@ impl Cluster {
             self.nodes.push(Node::new(id, capacity_bytes));
             added.push(id);
         }
+        // New nodes carry zero load: Σx and Σx² are unchanged.
         added
     }
 
-    /// Where a chunk lives, if resident.
+    /// Where a chunk lives, if resident. O(1).
     pub fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
-        self.placement.get(key).copied()
+        self.placement.get(key)
     }
 
-    /// Place a brand-new chunk on `node`.
+    /// Place a brand-new chunk on `node`. O(1) and allocation-free for
+    /// registered arrays.
     pub fn place(&mut self, desc: ChunkDescriptor, node: NodeId) -> Result<()> {
-        if self.placement.contains_key(&desc.key) {
+        let n = self.nodes.get_mut(node.0 as usize).ok_or(ClusterError::UnknownNode(node.0))?;
+        if self.placement.get(&desc.key).is_some() {
             return Err(ClusterError::DuplicateChunk(desc.key));
         }
-        let n = self
-            .nodes
-            .get_mut(node.0 as usize)
-            .ok_or(ClusterError::UnknownNode(node.0))?;
-        self.placement.insert(desc.key.clone(), node);
+        self.placement.insert(desc.key, node);
+        let old = n.used_bytes();
         n.admit(desc);
+        let new = n.used_bytes();
+        self.balance.on_change(old, new);
         Ok(())
     }
 
@@ -98,14 +152,10 @@ impl Cluster {
     pub fn apply_rebalance(&mut self, plan: &RebalancePlan) -> Result<FlowSet> {
         // Validate first so a bad plan leaves the cluster untouched.
         for m in &plan.moves {
-            let actual = self
-                .placement
-                .get(&m.key)
-                .copied()
-                .ok_or_else(|| ClusterError::MissingChunk(m.key.clone()))?;
+            let actual = self.placement.get(&m.key).ok_or(ClusterError::MissingChunk(m.key))?;
             if actual != m.from {
                 return Err(ClusterError::WrongSource {
-                    key: m.key.clone(),
+                    key: m.key,
                     claimed: m.from.0,
                     actual: actual.0,
                 });
@@ -116,12 +166,16 @@ impl Cluster {
         }
         let mut flows = FlowSet::new();
         for m in &plan.moves {
-            let desc = self.nodes[m.from.0 as usize]
-                .evict(&m.key)
-                .expect("validated above");
+            let src = &mut self.nodes[m.from.0 as usize];
+            let src_old = src.used_bytes();
+            let desc = src.evict(&m.key).expect("validated above");
+            self.balance.on_change(src_old, src.used_bytes());
             flows.push(m.from, m.to, desc.bytes);
-            self.placement.insert(m.key.clone(), m.to);
-            self.nodes[m.to.0 as usize].admit(desc);
+            self.placement.insert(m.key, m.to);
+            let dst = &mut self.nodes[m.to.0 as usize];
+            let dst_old = dst.used_bytes();
+            dst.admit(desc);
+            self.balance.on_change(dst_old, dst.used_bytes());
         }
         Ok(flows)
     }
@@ -137,9 +191,9 @@ impl Cluster {
         self.nodes.iter().map(Node::chunk_count).collect()
     }
 
-    /// Total bytes stored across the cluster.
+    /// Total bytes stored across the cluster. O(1).
     pub fn total_used(&self) -> u64 {
-        self.nodes.iter().map(Node::used_bytes).sum()
+        self.balance.sum as u64
     }
 
     /// Total capacity across the cluster (N × c).
@@ -147,37 +201,46 @@ impl Cluster {
         self.nodes.iter().map(|n| n.capacity_bytes).sum()
     }
 
+    /// The paper's balance census: relative standard deviation of per-node
+    /// stored bytes. O(1) — maintained incrementally across placements and
+    /// rebalances, so probing it after every insert costs nothing.
+    /// Agrees exactly with [`crate::metrics::relative_std_dev`] over
+    /// [`Cluster::loads`].
+    pub fn balance_rsd(&self) -> f64 {
+        self.balance.rsd(self.nodes.len())
+    }
+
     /// The most loaded node (by bytes); ties break toward the lower id.
     pub fn most_loaded(&self) -> NodeId {
         self.nodes
             .iter()
-            .max_by(|a, b| {
-                a.used_bytes()
-                    .cmp(&b.used_bytes())
-                    .then(b.id.0.cmp(&a.id.0))
-            })
+            .max_by(|a, b| a.used_bytes().cmp(&b.used_bytes()).then(b.id.0.cmp(&a.id.0)))
             .expect("cluster is never empty")
             .id
     }
 
-    /// Number of resident chunks cluster-wide.
+    /// Number of resident chunks cluster-wide. O(1).
     pub fn total_chunks(&self) -> usize {
         self.placement.len()
     }
 
-    /// Iterate every `(key, node)` placement in deterministic key order.
-    pub fn placements(&self) -> impl Iterator<Item = (&ChunkKey, NodeId)> {
-        self.placement.iter().map(|(k, n)| (k, *n))
+    /// Every `(key, node)` placement in deterministic (ascending key)
+    /// order. Materializes a sorted snapshot — O(n) over dense-indexed
+    /// arrays — so it belongs in reorganization and reporting paths, not
+    /// per-chunk loops.
+    pub fn placements(&self) -> impl Iterator<Item = (ChunkKey, NodeId)> {
+        self.placement.collect_sorted().into_iter()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::relative_std_dev;
     use array_model::{ArrayId, ChunkCoords};
 
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
 
     fn cluster(n: usize) -> Cluster {
@@ -195,14 +258,8 @@ mod tests {
         c.place(desc(1, 100), NodeId(1)).unwrap();
         assert_eq!(c.locate(&desc(1, 0).key), Some(NodeId(1)));
         assert_eq!(c.loads(), vec![0, 100]);
-        assert!(matches!(
-            c.place(desc(1, 100), NodeId(0)),
-            Err(ClusterError::DuplicateChunk(_))
-        ));
-        assert!(matches!(
-            c.place(desc(2, 100), NodeId(9)),
-            Err(ClusterError::UnknownNode(9))
-        ));
+        assert!(matches!(c.place(desc(1, 100), NodeId(0)), Err(ClusterError::DuplicateChunk(_))));
+        assert!(matches!(c.place(desc(2, 100), NodeId(9)), Err(ClusterError::UnknownNode(9))));
     }
 
     #[test]
@@ -260,5 +317,57 @@ mod tests {
         assert!(c.apply_rebalance(&plan).is_err());
         // first move must NOT have been applied
         assert_eq!(c.locate(&desc(1, 0).key), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn registered_arrays_use_the_dense_index_transparently() {
+        let mut c = cluster(3);
+        assert!(c.register_array(ArrayId(0), &[64]));
+        for i in 0..64 {
+            c.place(desc(i, 10), NodeId((i % 3) as u32)).unwrap();
+        }
+        // Beyond the hint: spills, still correct.
+        c.place(desc(1000, 10), NodeId(0)).unwrap();
+        assert_eq!(c.total_chunks(), 65);
+        for i in 0..64 {
+            assert_eq!(c.locate(&desc(i, 0).key), Some(NodeId((i % 3) as u32)));
+        }
+        assert_eq!(c.locate(&desc(1000, 0).key), Some(NodeId(0)));
+        // Duplicate detection also works densely.
+        assert!(matches!(c.place(desc(5, 1), NodeId(0)), Err(ClusterError::DuplicateChunk(_))));
+        // placements() stays sorted.
+        let keys: Vec<ChunkKey> = c.placements().map(|(k, _)| k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn incremental_rsd_matches_full_rescan() {
+        let mut c = cluster(4);
+        assert_eq!(c.balance_rsd(), 0.0);
+        for i in 0..100 {
+            let bytes = 1 + (i as u64 * 37) % 1000;
+            c.place(desc(i, bytes), NodeId((i % 4) as u32)).unwrap();
+            let expected = relative_std_dev(&c.loads());
+            let got = c.balance_rsd();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "after insert {i}: incremental {got} vs rescan {expected}"
+            );
+        }
+        // And across a rebalance.
+        let mut plan = RebalancePlan::empty();
+        plan.push(desc(0, 0).key, NodeId(0), NodeId(3), 1);
+        c.apply_rebalance(&plan).unwrap();
+        assert!((c.balance_rsd() - relative_std_dev(&c.loads())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_loads_census_to_exactly_zero() {
+        let mut c = cluster(4);
+        for i in 0..16 {
+            c.place(desc(i, 250), NodeId((i % 4) as u32)).unwrap();
+        }
+        assert_eq!(c.balance_rsd(), 0.0);
+        assert_eq!(c.total_used(), 4_000);
     }
 }

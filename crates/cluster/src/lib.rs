@@ -12,8 +12,8 @@
 //! use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, ChunkKey};
 //!
 //! let mut cluster = Cluster::new(2, 100_000_000_000, CostModel::default()).unwrap();
-//! let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![0, 0]));
-//! cluster.place(ChunkDescriptor::new(key.clone(), 50_000_000, 1_000), NodeId(1)).unwrap();
+//! let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([0, 0]));
+//! cluster.place(ChunkDescriptor::new(key, 50_000_000, 1_000), NodeId(1)).unwrap();
 //! assert_eq!(cluster.locate(&key), Some(NodeId(1)));
 //! ```
 
@@ -24,6 +24,7 @@ mod cost;
 mod error;
 mod metrics;
 mod node;
+mod placement;
 mod rebalance;
 mod transfer;
 

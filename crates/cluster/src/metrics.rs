@@ -75,11 +75,7 @@ impl NodeHoursLedger {
 
     /// Equation 1: Σ N_i (I_i + r_i + w_i), in node-hours.
     pub fn node_hours(&self) -> f64 {
-        self.cycles
-            .iter()
-            .map(|(n, p)| *n as f64 * p.total_secs())
-            .sum::<f64>()
-            / 3600.0
+        self.cycles.iter().map(|(n, p)| *n as f64 * p.total_secs()).sum::<f64>() / 3600.0
     }
 
     /// Total elapsed seconds regardless of node count.
@@ -133,15 +129,10 @@ mod tests {
     fn ledger_computes_equation_one() {
         let mut ledger = NodeHoursLedger::new();
         // 2 nodes busy for 1800 s each phase sum -> 1 node-hour
-        ledger.record(
-            2,
-            PhaseBreakdown { insert_secs: 600.0, reorg_secs: 600.0, query_secs: 600.0 },
-        );
+        ledger
+            .record(2, PhaseBreakdown { insert_secs: 600.0, reorg_secs: 600.0, query_secs: 600.0 });
         assert!((ledger.node_hours() - 1.0).abs() < 1e-12);
-        ledger.record(
-            4,
-            PhaseBreakdown { insert_secs: 900.0, reorg_secs: 0.0, query_secs: 900.0 },
-        );
+        ledger.record(4, PhaseBreakdown { insert_secs: 900.0, reorg_secs: 0.0, query_secs: 900.0 });
         assert!((ledger.node_hours() - 3.0).abs() < 1e-12);
         assert_eq!(ledger.cycle_count(), 2);
         let totals = ledger.phase_totals();

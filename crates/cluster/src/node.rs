@@ -69,7 +69,7 @@ impl Node {
 
     pub(crate) fn admit(&mut self, desc: ChunkDescriptor) {
         self.used_bytes += desc.bytes;
-        self.chunks.insert(desc.key.clone(), desc);
+        self.chunks.insert(desc.key, desc);
     }
 
     pub(crate) fn evict(&mut self, key: &ChunkKey) -> Option<ChunkDescriptor> {
@@ -85,7 +85,7 @@ mod tests {
     use array_model::{ArrayId, ChunkCoords};
 
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
 
     #[test]
@@ -106,7 +106,7 @@ mod tests {
     fn holds_and_descriptor_lookup() {
         let mut n = Node::new(NodeId(1), 1000);
         let d = desc(5, 42);
-        n.admit(d.clone());
+        n.admit(d);
         assert!(n.holds(&d.key));
         assert_eq!(n.descriptor(&d.key), Some(&d));
         assert!(!n.holds(&desc(6, 0).key));

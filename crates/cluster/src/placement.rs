@@ -1,0 +1,358 @@
+//! The cluster's chunk→node placement index.
+//!
+//! The previous implementation was a single `BTreeMap<ChunkKey, NodeId>`:
+//! every insert paid a tree descent, key copies, and amortized node
+//! splits — on the ingest hot path, once per chunk. This module replaces
+//! it with a **per-array dense grid index**: once an array's chunk-grid
+//! extents are registered ([`PlacementIndex::register_dense`]), its
+//! placements live in a flat row-major `Vec<u32>` (`NodeId` or a vacancy
+//! sentinel), making insert and lookup O(1) array reads with no per-chunk
+//! allocation. Chunks outside the registered extents (unbounded
+//! dimensions growing past the hint) and arrays that never register fall
+//! back to hash maps, so correctness never depends on the hint.
+
+use crate::node::NodeId;
+use array_model::{ArrayId, ChunkCoords, ChunkKey, MAX_DIMS};
+use std::collections::HashMap;
+
+/// Vacant-slot sentinel in dense grids (`NodeId`s are join-order indices
+/// and can never reach it: clusters hold well under 4 billion nodes).
+const VACANT: u32 = u32::MAX;
+
+/// Largest dense grid we will allocate, in slots (16M slots = 64 MB).
+/// Bigger registrations silently stay sparse.
+const DENSE_SLOT_CAP: u128 = 1 << 24;
+
+/// Highest `ArrayId` that gets its own indexed slot; stranger ids share
+/// one sparse overflow map.
+const ARRAY_ID_CAP: u32 = 4096;
+
+/// A dense row-major placement grid for one array.
+#[derive(Debug, Clone)]
+struct DenseGrid {
+    /// Chunk-count extents per dimension.
+    extents: [i64; MAX_DIMS],
+    ndims: u8,
+    /// Row-major `NodeId.0` per chunk coordinate, or [`VACANT`].
+    slots: Vec<u32>,
+    /// Number of occupied entries in `slots`.
+    resident: usize,
+    /// Chunks whose coordinates fall outside `extents`.
+    spill: HashMap<ChunkCoords, NodeId>,
+}
+
+impl DenseGrid {
+    /// Row-major linearization of `coords`, or `None` when outside the
+    /// registered extents.
+    #[inline]
+    fn linearize(&self, coords: &ChunkCoords) -> Option<usize> {
+        if coords.ndims() != self.ndims as usize {
+            return None;
+        }
+        let mut lin: usize = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            let extent = self.extents[d];
+            if c < 0 || c >= extent {
+                return None;
+            }
+            lin = lin * extent as usize + c as usize;
+        }
+        Some(lin)
+    }
+
+    fn get(&self, coords: &ChunkCoords) -> Option<NodeId> {
+        match self.linearize(coords) {
+            Some(lin) => match self.slots[lin] {
+                VACANT => None,
+                id => Some(NodeId(id)),
+            },
+            None => self.spill.get(coords).copied(),
+        }
+    }
+
+    /// Insert or overwrite; returns the previous occupant.
+    fn insert(&mut self, coords: ChunkCoords, node: NodeId) -> Option<NodeId> {
+        match self.linearize(&coords) {
+            Some(lin) => {
+                let prev = self.slots[lin];
+                self.slots[lin] = node.0;
+                if prev == VACANT {
+                    self.resident += 1;
+                    None
+                } else {
+                    Some(NodeId(prev))
+                }
+            }
+            None => self.spill.insert(coords, node),
+        }
+    }
+
+    /// Visit the occupied dense slots in ascending coordinate order
+    /// (ascending row-major linear index *is* ascending lexicographic
+    /// coordinate order). Stops as soon as all `resident` entries have
+    /// been seen, so time-clustered occupancy scans only a prefix of the
+    /// grid rather than its full registered volume.
+    fn for_each_dense(&self, array: ArrayId, mut visit: impl FnMut((ChunkKey, NodeId))) {
+        if self.resident == 0 {
+            return;
+        }
+        let ndims = self.ndims as usize;
+        let mut cur = ChunkCoords::zeros(ndims);
+        let mut remaining = self.resident;
+        for &slot in &self.slots {
+            if slot != VACANT {
+                visit((ChunkKey::new(array, cur), NodeId(slot)));
+                remaining -= 1;
+                if remaining == 0 {
+                    return;
+                }
+            }
+            // Odometer over the extents, row-major.
+            for d in (0..ndims).rev() {
+                cur[d] += 1;
+                if cur[d] < self.extents[d] {
+                    break;
+                }
+                cur[d] = 0;
+            }
+        }
+    }
+
+    /// Append every `(coords, node)` pair in ascending coordinate order.
+    fn collect_sorted(&self, array: ArrayId, out: &mut Vec<(ChunkKey, NodeId)>) {
+        if self.spill.is_empty() {
+            out.reserve(self.resident);
+            self.for_each_dense(array, |kv| out.push(kv));
+            return;
+        }
+        let mut dense: Vec<(ChunkKey, NodeId)> = Vec::with_capacity(self.resident);
+        self.for_each_dense(array, |kv| dense.push(kv));
+        let mut spill: Vec<(ChunkKey, NodeId)> =
+            self.spill.iter().map(|(&c, &n)| (ChunkKey::new(array, c), n)).collect();
+        spill.sort_unstable_by_key(|a| a.0);
+        // Merge the two sorted runs.
+        let (mut di, mut si) = (0, 0);
+        while di < dense.len() && si < spill.len() {
+            if dense[di].0 <= spill[si].0 {
+                out.push(dense[di]);
+                di += 1;
+            } else {
+                out.push(spill[si]);
+                si += 1;
+            }
+        }
+        out.extend_from_slice(&dense[di..]);
+        out.extend_from_slice(&spill[si..]);
+    }
+}
+
+/// Per-array placement storage: sparse until registered dense.
+#[derive(Debug, Clone)]
+enum ArraySlot {
+    Sparse(HashMap<ChunkCoords, NodeId>),
+    Dense(DenseGrid),
+}
+
+impl ArraySlot {
+    fn empty() -> Self {
+        ArraySlot::Sparse(HashMap::new())
+    }
+}
+
+/// The authoritative chunk→node map across all arrays.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlacementIndex {
+    /// Indexed by `ArrayId.0` for ids below [`ARRAY_ID_CAP`].
+    slots: Vec<ArraySlot>,
+    /// Shared fallback for out-of-range array ids.
+    overflow: HashMap<ChunkKey, NodeId>,
+    len: usize,
+}
+
+impl PlacementIndex {
+    pub(crate) fn new() -> Self {
+        PlacementIndex::default()
+    }
+
+    /// Register the chunk-grid extents of `array`, switching it to the
+    /// dense O(1) representation. Returns `true` when the dense grid was
+    /// installed (extent product within the allocation cap, id in range).
+    /// Existing placements are migrated. Unbounded dimensions should pass
+    /// their expected chunk-count hint; coordinates beyond it spill to a
+    /// hash map, so the hint affects only performance.
+    pub(crate) fn register_dense(&mut self, array: ArrayId, extents: &[i64]) -> bool {
+        assert!(
+            !extents.is_empty() && extents.len() <= MAX_DIMS,
+            "extents must cover 1..={MAX_DIMS} dimensions"
+        );
+        assert!(extents.iter().all(|&e| e >= 1), "extents must be positive");
+        if array.0 >= ARRAY_ID_CAP {
+            return false;
+        }
+        let volume: u128 = extents.iter().map(|&e| e as u128).product();
+        if volume > DENSE_SLOT_CAP {
+            return false;
+        }
+        let mut ext = [1i64; MAX_DIMS];
+        ext[..extents.len()].copy_from_slice(extents);
+        let mut grid = DenseGrid {
+            extents: ext,
+            ndims: extents.len() as u8,
+            slots: vec![VACANT; volume as usize],
+            resident: 0,
+            spill: HashMap::new(),
+        };
+        let slot = self.slot_mut(array);
+        if let ArraySlot::Sparse(existing) = slot {
+            for (coords, node) in existing.drain() {
+                grid.insert(coords, node);
+            }
+            *slot = ArraySlot::Dense(grid);
+            true
+        } else {
+            // Already dense: keep the existing grid (re-registration with
+            // different extents would have to re-linearize; no caller
+            // needs that).
+            false
+        }
+    }
+
+    fn slot_mut(&mut self, array: ArrayId) -> &mut ArraySlot {
+        let idx = array.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, ArraySlot::empty);
+        }
+        &mut self.slots[idx]
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, key: &ChunkKey) -> Option<NodeId> {
+        if key.array.0 >= ARRAY_ID_CAP {
+            return self.overflow.get(key).copied();
+        }
+        match self.slots.get(key.array.0 as usize)? {
+            ArraySlot::Sparse(map) => map.get(&key.coords).copied(),
+            ArraySlot::Dense(grid) => grid.get(&key.coords),
+        }
+    }
+
+    /// Insert or overwrite; returns the previous occupant.
+    #[inline]
+    pub(crate) fn insert(&mut self, key: ChunkKey, node: NodeId) -> Option<NodeId> {
+        let prev = if key.array.0 >= ARRAY_ID_CAP {
+            self.overflow.insert(key, node)
+        } else {
+            match self.slot_mut(key.array) {
+                ArraySlot::Sparse(map) => map.insert(key.coords, node),
+                ArraySlot::Dense(grid) => grid.insert(key.coords, node),
+            }
+        };
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Every `(key, node)` pair in ascending key order — the same
+    /// deterministic order the old `BTreeMap` iteration produced.
+    /// O(n) for registered (dense) arrays plus O(s log s) over sparse
+    /// entries; intended for reorganization and reporting, not the
+    /// per-chunk hot path.
+    pub(crate) fn collect_sorted(&self) -> Vec<(ChunkKey, NodeId)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let array = ArrayId(idx as u32);
+            match slot {
+                ArraySlot::Sparse(map) => {
+                    let start = out.len();
+                    out.extend(map.iter().map(|(&c, &n)| (ChunkKey::new(array, c), n)));
+                    out[start..].sort_unstable_by_key(|a| a.0);
+                }
+                ArraySlot::Dense(grid) => grid.collect_sorted(array, &mut out),
+            }
+        }
+        if !self.overflow.is_empty() {
+            let start = out.len();
+            out.extend(self.overflow.iter().map(|(&k, &n)| (k, n)));
+            out[start..].sort_unstable_by_key(|a| a.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(array: u32, coords: &[i64]) -> ChunkKey {
+        ChunkKey::new(ArrayId(array), ChunkCoords::new(coords))
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut idx = PlacementIndex::new();
+        assert_eq!(idx.get(&key(0, &[1, 2])), None);
+        assert_eq!(idx.insert(key(0, &[1, 2]), NodeId(3)), None);
+        assert_eq!(idx.get(&key(0, &[1, 2])), Some(NodeId(3)));
+        assert_eq!(idx.insert(key(0, &[1, 2]), NodeId(5)), Some(NodeId(3)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn dense_registration_migrates_existing_entries() {
+        let mut idx = PlacementIndex::new();
+        idx.insert(key(0, &[1, 1]), NodeId(7));
+        assert!(idx.register_dense(ArrayId(0), &[4, 4]));
+        assert_eq!(idx.get(&key(0, &[1, 1])), Some(NodeId(7)));
+        idx.insert(key(0, &[3, 2]), NodeId(1));
+        assert_eq!(idx.get(&key(0, &[3, 2])), Some(NodeId(1)));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn dense_spills_beyond_extents() {
+        let mut idx = PlacementIndex::new();
+        assert!(idx.register_dense(ArrayId(1), &[4, 4]));
+        idx.insert(key(1, &[100, 0]), NodeId(2)); // beyond the hint
+        idx.insert(key(1, &[-1, 0]), NodeId(4)); // negative -> spill
+        assert_eq!(idx.get(&key(1, &[100, 0])), Some(NodeId(2)));
+        assert_eq!(idx.get(&key(1, &[-1, 0])), Some(NodeId(4)));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn oversized_grids_stay_sparse() {
+        let mut idx = PlacementIndex::new();
+        assert!(!idx.register_dense(ArrayId(0), &[1 << 20, 1 << 20]));
+        idx.insert(key(0, &[9, 9]), NodeId(0));
+        assert_eq!(idx.get(&key(0, &[9, 9])), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn huge_array_ids_use_the_overflow_map() {
+        let mut idx = PlacementIndex::new();
+        let k = key(u32::MAX - 1, &[0]);
+        assert!(!idx.register_dense(ArrayId(u32::MAX - 1), &[8]));
+        assert_eq!(idx.insert(k, NodeId(1)), None);
+        assert_eq!(idx.get(&k), Some(NodeId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn collect_sorted_is_globally_ordered() {
+        let mut idx = PlacementIndex::new();
+        idx.register_dense(ArrayId(1), &[4, 4]);
+        idx.insert(key(1, &[2, 1]), NodeId(0));
+        idx.insert(key(1, &[0, 3]), NodeId(1));
+        idx.insert(key(1, &[9, 9]), NodeId(2)); // spill
+        idx.insert(key(0, &[5]), NodeId(3)); // sparse array
+        idx.insert(key(u32::MAX - 1, &[1]), NodeId(4)); // overflow id
+        let all = idx.collect_sorted();
+        assert_eq!(all.len(), idx.len());
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "unsorted: {all:?}");
+    }
+}

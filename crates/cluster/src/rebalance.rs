@@ -84,7 +84,7 @@ mod tests {
     use array_model::{ArrayId, ChunkCoords};
 
     fn key(i: i64) -> ChunkKey {
-        ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i]))
+        ChunkKey::new(ArrayId(0), ChunkCoords::new([i]))
     }
 
     #[test]

@@ -120,9 +120,8 @@ impl FlowSet {
             let out = egress.get(&ep).copied().unwrap_or(0);
             let inb = ingress.get(&ep).copied().unwrap_or(0);
             let loc = local.get(&ep).copied().unwrap_or(0);
-            let busy = cost.egress_secs(out)
-                + cost.remote_ingest_secs(inb)
-                + cost.local_write_secs(loc);
+            let busy =
+                cost.egress_secs(out) + cost.remote_ingest_secs(inb) + cost.local_write_secs(loc);
             busiest = busiest.max(busy);
         }
 

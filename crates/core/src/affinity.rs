@@ -50,11 +50,12 @@ impl AffinityAnalyzer {
 
     /// Record one co-access of `a` and `b` that shipped `bytes` between
     /// their hosts. Order does not matter; self-pairs are ignored.
+    /// Allocation-free apart from map growth: keys are `Copy`.
     pub fn observe(&mut self, a: &ChunkKey, b: &ChunkKey, bytes: u64) {
         if a == b {
             return;
         }
-        let key = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        let key = if a <= b { (*a, *b) } else { (*b, *a) };
         let entry = self.edges.entry(key).or_default();
         entry.count += 1;
         entry.bytes += bytes;
@@ -70,7 +71,7 @@ impl AffinityAnalyzer {
         let mut edges: Vec<AffinityEdge> = self
             .edges
             .iter()
-            .map(|((a, b), stats)| AffinityEdge { a: a.clone(), b: b.clone(), stats: *stats })
+            .map(|(&(a, b), stats)| AffinityEdge { a, b, stats: *stats })
             .collect();
         edges.sort_by(|x, y| {
             y.stats
@@ -95,8 +96,7 @@ impl AffinityAnalyzer {
         max_moves: usize,
     ) -> RebalancePlan {
         assert!(max_load_factor >= 1.0, "cap below the mean forbids every move");
-        let mean_load =
-            cluster.total_used() as f64 / cluster.node_count().max(1) as f64;
+        let mean_load = cluster.total_used() as f64 / cluster.node_count().max(1) as f64;
         let cap = (mean_load * max_load_factor) as u64;
 
         // Working copies so successive moves see each other's effects.
@@ -129,11 +129,8 @@ impl AffinityAnalyzer {
                 sizes.get(&edge.a).copied().unwrap_or(0),
                 sizes.get(&edge.b).copied().unwrap_or(0),
             );
-            let (key, from, to, bytes) = if sa <= sb {
-                (edge.a.clone(), na, nb, sa)
-            } else {
-                (edge.b.clone(), nb, na, sb)
-            };
+            let (key, from, to, bytes) =
+                if sa <= sb { (edge.a, na, nb, sa) } else { (edge.b, nb, na, sb) };
             if moved.contains_key(&key) {
                 continue; // each chunk moves at most once per proposal
             }
@@ -143,7 +140,7 @@ impl AffinityAnalyzer {
             }
             *loads.entry(from).or_default() -= bytes;
             *loads.entry(to).or_default() += bytes;
-            moved.insert(key.clone(), to);
+            moved.insert(key, to);
             plan.push(key, from, to, bytes);
         }
         plan
@@ -159,10 +156,9 @@ impl AffinityAnalyzer {
         cost: &CostModel,
     ) -> f64 {
         // Final locations after the plan.
-        let mut location: BTreeMap<ChunkKey, NodeId> =
-            cluster.placements().map(|(k, n)| (k.clone(), n)).collect();
+        let mut location: BTreeMap<ChunkKey, NodeId> = cluster.placements().collect();
         for m in &plan.moves {
-            location.insert(m.key.clone(), m.to);
+            location.insert(m.key, m.to);
         }
         let mut saved = 0.0;
         for ((a, b), stats) in &self.edges {
@@ -186,15 +182,13 @@ mod tests {
     use cluster_sim::CostModel;
 
     fn key(i: i64) -> ChunkKey {
-        ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i]))
+        ChunkKey::new(ArrayId(0), ChunkCoords::new([i]))
     }
 
     fn cluster_with(pairs: &[(i64, u64, u32)]) -> Cluster {
         let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
         for &(i, bytes, node) in pairs {
-            cluster
-                .place(ChunkDescriptor::new(key(i), bytes, 1), NodeId(node))
-                .unwrap();
+            cluster.place(ChunkDescriptor::new(key(i), bytes, 1), NodeId(node)).unwrap();
         }
         cluster
     }

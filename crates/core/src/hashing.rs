@@ -42,8 +42,8 @@ pub fn hash_chunk_key(key: &ChunkKey) -> u64 {
             h = h.wrapping_mul(FNV_PRIME);
         }
     };
-    eat(key.coords.0.len() as u64);
-    for &c in &key.coords.0 {
+    eat(key.coords.ndims() as u64);
+    for &c in key.coords.as_slice() {
         eat(c as u64);
     }
     splitmix64(h)
@@ -69,8 +69,8 @@ mod tests {
 
     #[test]
     fn chunk_key_hash_is_stable_and_sensitive() {
-        let k1 = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 2, 3]));
-        let k2 = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 2, 4]));
+        let k1 = ChunkKey::new(ArrayId(0), ChunkCoords::new([1, 2, 3]));
+        let k2 = ChunkKey::new(ArrayId(0), ChunkCoords::new([1, 2, 4]));
         assert_eq!(hash_chunk_key(&k1), hash_chunk_key(&k1));
         assert_ne!(hash_chunk_key(&k1), hash_chunk_key(&k2));
     }
@@ -79,17 +79,16 @@ mod tests {
     fn equal_coords_colocate_across_arrays() {
         // SciDB-style: the two MODIS bands hash identically at the same
         // chunk position, keeping the vegetation-index join local.
-        let band1 = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 2, 3]));
-        let band2 = ChunkKey::new(ArrayId(1), ChunkCoords::new(vec![1, 2, 3]));
+        let band1 = ChunkKey::new(ArrayId(0), ChunkCoords::new([1, 2, 3]));
+        let band2 = ChunkKey::new(ArrayId(1), ChunkCoords::new([1, 2, 3]));
         assert_eq!(hash_chunk_key(&band1), hash_chunk_key(&band2));
     }
 
     #[test]
     fn ring_points_spread() {
         // 4 nodes x 64 replicas should produce 256 distinct points.
-        let mut pts: Vec<u64> = (0..4)
-            .flat_map(|n| (0..64).map(move |r| hash_ring_point(n, r)))
-            .collect();
+        let mut pts: Vec<u64> =
+            (0..4).flat_map(|n| (0..64).map(move |r| hash_ring_point(n, r))).collect();
         pts.sort_unstable();
         pts.dedup();
         assert_eq!(pts.len(), 256);

@@ -73,7 +73,7 @@ impl Partitioner for Append {
             Some(&(_, last_node)) if last_node == node => {}
             _ => self.ranges.push((seq, node)),
         }
-        self.seq_of.insert(desc.key.clone(), seq);
+        self.seq_of.insert(desc.key, seq);
         node
     }
 
@@ -101,7 +101,7 @@ mod tests {
     use cluster_sim::CostModel;
 
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
 
     fn run(p: &mut Append, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
@@ -117,8 +117,8 @@ mod tests {
         let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
         let mut p = Append::new(&cluster.node_ids(), 1.0);
         run(&mut p, &mut cluster, 0, 4, 30); // 120 bytes total
-        // Node 0 takes 30+30+30 (90 < 100), the 4th lands on node 0 too
-        // (90 < 100 still true before placement), then spills.
+                                             // Node 0 takes 30+30+30 (90 < 100), the 4th lands on node 0 too
+                                             // (90 < 100 still true before placement), then spills.
         assert_eq!(cluster.loads()[0], 120);
         run(&mut p, &mut cluster, 4, 2, 30);
         assert_eq!(cluster.loads(), vec![120, 60]);
@@ -143,7 +143,7 @@ mod tests {
         let mut p = Append::new(&cluster.node_ids(), 1.0);
         run(&mut p, &mut cluster, 0, 10, 40);
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node), "mismatch for {key}");
+            assert_eq!(p.locate(&key), Some(node), "mismatch for {key}");
         }
         assert_eq!(p.locate(&desc(99, 0).key), None);
     }

@@ -74,15 +74,15 @@ impl Partitioner for ConsistentHash {
         // moved to a new node, so the plan is incremental by construction.
         let mut plan = RebalancePlan::empty();
         for (key, current) in cluster.placements() {
-            let target = self.owner(hash_chunk_key(key));
+            let target = self.owner(hash_chunk_key(&key));
             if target != current {
                 let bytes = cluster
                     .node(current)
                     .expect("placement points at live node")
-                    .descriptor(key)
+                    .descriptor(&key)
                     .expect("placement is authoritative")
                     .bytes;
-                plan.push(key.clone(), current, target, bytes);
+                plan.push(key, current, target, bytes);
             }
         }
         plan
@@ -96,7 +96,7 @@ mod tests {
     use cluster_sim::{relative_std_dev, CostModel};
 
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
 
     fn run(p: &mut ConsistentHash, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
@@ -128,7 +128,7 @@ mod tests {
         assert!(plan.is_incremental(&new), "consistent hashing only moves to new nodes");
         cluster.apply_rebalance(&plan).unwrap();
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
         // Roughly half the data should have moved to the two new nodes.
         let moved: f64 = plan.moved_bytes() as f64 / 5000.0;

@@ -53,21 +53,14 @@ impl ExtendibleHash {
         let mut buckets: Vec<Bucket> = vec![Bucket { depth: 0, pattern: 0 }];
         while buckets.len() < nodes.len() {
             buckets.sort_unstable();
-            let victim = buckets
-                .iter()
-                .copied()
-                .min_by_key(|b| b.depth)
-                .expect("non-empty");
+            let victim = buckets.iter().copied().min_by_key(|b| b.depth).expect("non-empty");
             buckets.retain(|b| *b != victim);
             let (a, b) = split_bucket(victim);
             buckets.push(a);
             buckets.push(b);
         }
         buckets.sort_unstable();
-        let map = buckets
-            .into_iter()
-            .zip(nodes.iter().copied())
-            .collect::<BTreeMap<_, _>>();
+        let map = buckets.into_iter().zip(nodes.iter().copied()).collect::<BTreeMap<_, _>>();
         ExtendibleHash { buckets: map }
     }
 
@@ -83,11 +76,7 @@ impl ExtendibleHash {
 
     /// Buckets held by `node`.
     fn buckets_of(&self, node: NodeId) -> Vec<Bucket> {
-        self.buckets
-            .iter()
-            .filter(|(_, &n)| n == node)
-            .map(|(b, _)| *b)
-            .collect()
+        self.buckets.iter().filter(|(_, &n)| n == node).map(|(b, _)| *b).collect()
     }
 
     /// Number of buckets (for tests/ablation).
@@ -120,10 +109,8 @@ impl Partitioner for ExtendibleHash {
         let mut plan = RebalancePlan::empty();
         // Track per-node byte loads locally so consecutive splits within
         // one scale-out see the effect of earlier splits.
-        let mut loads: BTreeMap<NodeId, u64> = cluster
-            .nodes()
-            .map(|n| (n.id, n.used_bytes()))
-            .collect();
+        let mut loads: BTreeMap<NodeId, u64> =
+            cluster.nodes().map(|n| (n.id, n.used_bytes())).collect();
         for &fresh in new_nodes {
             // Skew-aware victim choice: the most loaded preexisting node.
             // New nodes are never victims, so data flows only old -> new.
@@ -151,7 +138,7 @@ impl Partitioner for ExtendibleHash {
                     let h = hash_chunk_key(&d.key);
                     if let Some(&b) = victim_buckets.iter().find(|b| b.matches(h)) {
                         *bucket_bytes.entry(b).or_default() += d.bytes;
-                        chunk_homes.push((d.key.clone(), d.bytes, b));
+                        chunk_homes.push((d.key, d.bytes, b));
                     }
                 }
             }
@@ -170,7 +157,7 @@ impl Partitioner for ExtendibleHash {
                 if *home == heavy {
                     let h = hash_chunk_key(key);
                     if high.matches(h) {
-                        plan.push(key.clone(), victim, fresh, *bytes);
+                        plan.push(*key, victim, fresh, *bytes);
                         moved += bytes;
                     }
                 }
@@ -189,7 +176,7 @@ mod tests {
     use cluster_sim::CostModel;
 
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
 
     fn run(p: &mut ExtendibleHash, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
@@ -226,7 +213,7 @@ mod tests {
         assert!(plan.moves.iter().all(|m| m.from == heavy), "splits the most loaded node");
         cluster.apply_rebalance(&plan).unwrap();
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
         // Victim shed roughly half its bytes.
         let after = cluster.loads();
@@ -248,7 +235,7 @@ mod tests {
             assert!(plan.is_incremental(&new), "round {round}");
             cluster.apply_rebalance(&plan).unwrap();
             for (key, node) in cluster.placements() {
-                assert_eq!(p.locate(key), Some(node));
+                assert_eq!(p.locate(&key), Some(node));
             }
         }
         assert_eq!(cluster.node_count(), 8);
@@ -265,7 +252,7 @@ mod tests {
             let d0 = desc(i, 1);
             let owner = p.place(&d0, &cluster);
             let bytes = if owner == NodeId(0) { 1000 } else { 1 };
-            let d = ChunkDescriptor::new(d0.key.clone(), bytes, 1);
+            let d = ChunkDescriptor::new(d0.key, bytes, 1);
             cluster.place(d, owner).unwrap();
         }
         let new = cluster.add_nodes(1, u64::MAX);

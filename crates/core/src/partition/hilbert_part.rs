@@ -55,11 +55,13 @@ impl HilbertCurve {
     /// The curve index of a chunk key: its curve-dimension coordinates
     /// serialized along the Hilbert curve. Chunks at the same curve
     /// position (e.g. one lon/lat cell across time) share an index, so
-    /// they stay co-located.
+    /// they stay co-located. Allocation-free: the projection is built
+    /// inline.
     fn index_of(&self, key: &ChunkKey) -> u128 {
-        let projected = array_model::ChunkCoords::new(
-            self.curve_dims.iter().map(|&d| key.coords.index(d)).collect(),
-        );
+        let mut projected = array_model::ChunkCoords::zeros(self.curve_dims.len());
+        for (slot, &d) in projected.as_mut_slice().iter_mut().zip(&self.curve_dims) {
+            *slot = key.coords.index(d);
+        }
         self.order.index_of(&projected)
     }
 
@@ -122,7 +124,7 @@ impl Partitioner for HilbertCurve {
                 .map(|node| {
                     node.descriptors()
                         .filter(|d| !moved_keys.contains(&d.key))
-                        .map(|d| (self.index_of(&d.key), d.bytes, d.key.clone()))
+                        .map(|d| (self.index_of(&d.key), d.bytes, d.key))
                         .collect()
                 })
                 .unwrap_or_default();
@@ -193,7 +195,7 @@ mod tests {
     }
 
     fn desc(x: i64, y: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![x, y])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([x, y])), bytes, 1)
     }
 
     fn insert_grid(p: &mut HilbertCurve, cluster: &mut Cluster, weight: impl Fn(i64, i64) -> u64) {
@@ -213,7 +215,7 @@ mod tests {
         assert_eq!(p.range_count(), 3);
         // Every corner of the grid must resolve to some node.
         for (x, y) in [(0i64, 0i64), (15, 0), (0, 15), (15, 15)] {
-            let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![x, y]));
+            let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([x, y]));
             assert!(p.locate(&key).is_some());
         }
     }
@@ -236,7 +238,7 @@ mod tests {
         let frac = shed as f64 / before[heavy] as f64;
         assert!(frac > 0.25 && frac < 0.75, "shed fraction {frac}");
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
     }
 
@@ -251,10 +253,8 @@ mod tests {
         let plan = p.scale_out(&cluster, &new);
         cluster.apply_rebalance(&plan).unwrap();
 
-        let mut assignments: Vec<(u128, NodeId)> = cluster
-            .placements()
-            .map(|(k, n)| (p.index_of(k), n))
-            .collect();
+        let mut assignments: Vec<(u128, NodeId)> =
+            cluster.placements().map(|(k, n)| (p.index_of(&k), n)).collect();
         assignments.sort();
         let mut seen = Vec::new();
         for (_, n) in assignments {
@@ -283,8 +283,8 @@ mod tests {
         let p = HilbertCurve::new(&cluster.node_ids(), &grid());
         for x in 0..16 {
             for y in 0..16 {
-                let a = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![x, y]));
-                let b = ChunkKey::new(ArrayId(1), ChunkCoords::new(vec![x, y]));
+                let a = ChunkKey::new(ArrayId(0), ChunkCoords::new([x, y]));
+                let b = ChunkKey::new(ArrayId(1), ChunkCoords::new([x, y]));
                 assert_eq!(p.locate(&a), p.locate(&b));
             }
         }

@@ -7,7 +7,7 @@
 //! the newcomer. Lookup is a logarithmic tree descent (Figure 2).
 
 use super::{GridHint, Partitioner, PartitionerKind};
-use array_model::{ChunkDescriptor, ChunkKey};
+use array_model::{ChunkCoords, ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
 use std::collections::BTreeMap;
 
@@ -160,14 +160,6 @@ impl KdTree {
         }
         walk(&self.root)
     }
-
-    fn clamp(&self, coords: &array_model::ChunkCoords) -> Vec<i64> {
-        // Negative coordinates cannot occur (chunk indices are >= 0), but
-        // indices beyond the grid hint must still route deterministically;
-        // the tree's rightmost leaves have open upper bounds in effect
-        // because descent only compares against split planes.
-        coords.0.clone()
-    }
 }
 
 fn replace_with_split(t: &mut Tree, dim: usize, split: i64, fresh: NodeId) {
@@ -190,11 +182,14 @@ impl Partitioner for KdTree {
     }
 
     fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
-        self.descend(&self.clamp(&desc.key.coords))
+        // Indices beyond the grid hint still route deterministically: the
+        // tree's rightmost leaves have open upper bounds in effect because
+        // descent only compares against split planes.
+        self.descend(desc.key.coords.as_slice())
     }
 
     fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
-        Some(self.descend(&self.clamp(&key.coords)))
+        Some(self.descend(key.coords.as_slice()))
     }
 
     fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan {
@@ -214,13 +209,13 @@ impl Partitioner for KdTree {
             // Victim's chunks, net of earlier planned moves.
             let moved_keys: std::collections::HashSet<&ChunkKey> =
                 plan.moves.iter().map(|m| &m.key).collect();
-            let resident: Vec<(Vec<i64>, u64, ChunkKey)> = cluster
+            let resident: Vec<(ChunkCoords, u64, ChunkKey)> = cluster
                 .node(victim)
                 .ok()
                 .map(|node| {
                     node.descriptors()
                         .filter(|d| !moved_keys.contains(&d.key))
-                        .map(|d| (d.key.coords.0.clone(), d.bytes, d.key.clone()))
+                        .map(|d| (d.key.coords, d.bytes, d.key))
                         .collect()
                 })
                 .unwrap_or_default();
@@ -246,11 +241,7 @@ impl Partitioner for KdTree {
                         acc += bytes;
                     }
                     if split.is_none() {
-                        split = coords_sorted
-                            .iter()
-                            .rev()
-                            .map(|&(c, _)| c)
-                            .find(|&c| c > first);
+                        split = coords_sorted.iter().rev().map(|&(c, _)| c).find(|&c| c > first);
                     }
                     let Some(split) = split else { continue };
                     // The split must be interior to the leaf's box on this
@@ -264,7 +255,7 @@ impl Partitioner for KdTree {
                     let mut moved = 0u64;
                     for (coords, bytes, key) in &resident {
                         if coords[dim] >= split {
-                            plan.push(key.clone(), victim, fresh, *bytes);
+                            plan.push(*key, victim, fresh, *bytes);
                             moved += bytes;
                         }
                     }
@@ -282,8 +273,8 @@ impl Partitioner for KdTree {
                 // disagree.
                 let mut moved = 0u64;
                 for (coords, bytes, key) in &resident {
-                    if self.descend(coords) == fresh {
-                        plan.push(key.clone(), victim, fresh, *bytes);
+                    if self.descend(coords.as_slice()) == fresh {
+                        plan.push(*key, victim, fresh, *bytes);
                         moved += bytes;
                     }
                 }
@@ -302,7 +293,7 @@ mod tests {
     use cluster_sim::CostModel;
 
     fn desc(x: i64, y: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![x, y])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([x, y])), bytes, 1)
     }
 
     fn grid() -> GridHint {
@@ -355,7 +346,7 @@ mod tests {
         let frac = (before - after) as f64 / before as f64;
         assert!(frac > 0.3 && frac < 0.7, "moved fraction {frac}");
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
     }
 
@@ -407,7 +398,7 @@ mod tests {
         // 8 hosts: a balanced k-d tree has depth ~3; allow slack for skew.
         assert!(p.depth() <= 6, "depth {} too deep for 8 hosts", p.depth());
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
     }
 }

@@ -323,38 +323,66 @@ mod tests {
         // Row by row from Table 1.
         let t = |k: PartitionerKind| k.features();
         assert_eq!(
-            (t(Append).incremental_scale_out, t(Append).fine_grained,
-             t(Append).skew_aware, t(Append).n_dimensional_clustering),
+            (
+                t(Append).incremental_scale_out,
+                t(Append).fine_grained,
+                t(Append).skew_aware,
+                t(Append).n_dimensional_clustering
+            ),
             (true, true, false, false)
         );
         assert_eq!(
-            (t(ConsistentHash).incremental_scale_out, t(ConsistentHash).fine_grained,
-             t(ConsistentHash).skew_aware, t(ConsistentHash).n_dimensional_clustering),
+            (
+                t(ConsistentHash).incremental_scale_out,
+                t(ConsistentHash).fine_grained,
+                t(ConsistentHash).skew_aware,
+                t(ConsistentHash).n_dimensional_clustering
+            ),
             (true, true, false, false)
         );
         assert_eq!(
-            (t(ExtendibleHash).incremental_scale_out, t(ExtendibleHash).fine_grained,
-             t(ExtendibleHash).skew_aware, t(ExtendibleHash).n_dimensional_clustering),
+            (
+                t(ExtendibleHash).incremental_scale_out,
+                t(ExtendibleHash).fine_grained,
+                t(ExtendibleHash).skew_aware,
+                t(ExtendibleHash).n_dimensional_clustering
+            ),
             (true, true, true, false)
         );
         assert_eq!(
-            (t(HilbertCurve).incremental_scale_out, t(HilbertCurve).fine_grained,
-             t(HilbertCurve).skew_aware, t(HilbertCurve).n_dimensional_clustering),
+            (
+                t(HilbertCurve).incremental_scale_out,
+                t(HilbertCurve).fine_grained,
+                t(HilbertCurve).skew_aware,
+                t(HilbertCurve).n_dimensional_clustering
+            ),
             (true, true, true, true)
         );
         assert_eq!(
-            (t(IncrementalQuadtree).incremental_scale_out, t(IncrementalQuadtree).fine_grained,
-             t(IncrementalQuadtree).skew_aware, t(IncrementalQuadtree).n_dimensional_clustering),
+            (
+                t(IncrementalQuadtree).incremental_scale_out,
+                t(IncrementalQuadtree).fine_grained,
+                t(IncrementalQuadtree).skew_aware,
+                t(IncrementalQuadtree).n_dimensional_clustering
+            ),
             (true, false, true, true)
         );
         assert_eq!(
-            (t(KdTree).incremental_scale_out, t(KdTree).fine_grained,
-             t(KdTree).skew_aware, t(KdTree).n_dimensional_clustering),
+            (
+                t(KdTree).incremental_scale_out,
+                t(KdTree).fine_grained,
+                t(KdTree).skew_aware,
+                t(KdTree).n_dimensional_clustering
+            ),
             (true, false, true, true)
         );
         assert_eq!(
-            (t(UniformRange).incremental_scale_out, t(UniformRange).fine_grained,
-             t(UniformRange).skew_aware, t(UniformRange).n_dimensional_clustering),
+            (
+                t(UniformRange).incremental_scale_out,
+                t(UniformRange).fine_grained,
+                t(UniformRange).skew_aware,
+                t(UniformRange).n_dimensional_clustering
+            ),
             (false, false, false, true)
         );
         assert!(!t(RoundRobin).incremental_scale_out);

@@ -48,8 +48,7 @@ impl QuadRegion {
 
     /// Edge adjacency at equal level.
     fn adjacent(&self, other: &QuadRegion) -> bool {
-        self.level == other.level
-            && self.x.abs_diff(other.x) + self.y.abs_diff(other.y) == 1
+        self.level == other.level && self.x.abs_diff(other.x) + self.y.abs_diff(other.y) == 1
     }
 }
 
@@ -135,11 +134,7 @@ impl IncrementalQuadtree {
         for (r, n) in &self.regions {
             *area.entry(*n).or_default() += self.occupied_area(r);
         }
-        *area
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0 .0.cmp(&a.0 .0)))
-            .expect("regions exist")
-            .0
+        *area.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0 .0.cmp(&a.0 .0))).expect("regions exist").0
     }
 
     /// Split `victim`, moving the chosen regions to `fresh`. `chunks` are
@@ -292,7 +287,7 @@ impl Partitioner for IncrementalQuadtree {
                 .map(|node| {
                     node.descriptors()
                         .filter(|d| !moved_keys.contains(&d.key))
-                        .map(|d| (d.key.clone(), d.bytes))
+                        .map(|d| (d.key, d.bytes))
                         .collect()
                 })
                 .unwrap_or_default();
@@ -339,11 +334,7 @@ mod tests {
     }
 
     fn desc(t: i64, x: i64, y: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(
-            ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, x, y])),
-            bytes,
-            1,
-        )
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([t, x, y])), bytes, 1)
     }
 
     fn insert_grid(
@@ -403,7 +394,7 @@ mod tests {
             assert!(plan.is_incremental(&new), "round {round}");
             cluster.apply_rebalance(&plan).unwrap();
             for (key, node) in cluster.placements() {
-                assert_eq!(p.locate(key), Some(node));
+                assert_eq!(p.locate(&key), Some(node));
             }
             if round == 0 {
                 // The refinement loop zooms straight into the hotspot: the
@@ -444,11 +435,7 @@ mod tests {
                 continue;
             }
             let level = regions[0].level;
-            assert!(
-                regions.iter().all(|r| r.level == level),
-                "host {} spans levels",
-                node.id
-            );
+            assert!(regions.iter().all(|r| r.level == level), "host {} spans levels", node.id);
         }
     }
 

@@ -38,7 +38,7 @@ impl Partitioner for RoundRobin {
     fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.seq_of.insert(desc.key.clone(), seq);
+        self.seq_of.insert(desc.key, seq);
         self.home(seq)
     }
 
@@ -51,16 +51,16 @@ impl Partitioner for RoundRobin {
         // Recompute i mod k for every resident chunk; emit the diff.
         let mut plan = RebalancePlan::empty();
         for (key, current) in cluster.placements() {
-            let seq = *self.seq_of.get(key).expect("round robin saw every placement");
+            let seq = *self.seq_of.get(&key).expect("round robin saw every placement");
             let target = self.home(seq);
             if target != current {
                 let bytes = cluster
                     .node(current)
                     .expect("placement points at live node")
-                    .descriptor(key)
+                    .descriptor(&key)
                     .expect("placement is authoritative")
                     .bytes;
-                plan.push(key.clone(), current, target, bytes);
+                plan.push(key, current, target, bytes);
             }
         }
         plan
@@ -74,7 +74,7 @@ mod tests {
     use cluster_sim::CostModel;
 
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![i])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
 
     fn run(p: &mut RoundRobin, cluster: &mut Cluster, start: i64, count: i64, bytes: u64) {
@@ -107,7 +107,7 @@ mod tests {
         cluster.apply_rebalance(&plan).unwrap();
         assert_eq!(cluster.chunk_counts(), vec![4, 4, 4]);
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
     }
 

@@ -42,8 +42,13 @@ impl UniformRange {
     /// level. Leaf indices accumulate the descent bits, so consecutive
     /// leaf indices are traversal-order neighbours in array space.
     fn leaf_of(&self, coords: &[i64]) -> u64 {
-        let mut lo = vec![0i64; self.grid.ndims()];
-        let mut hi = self.grid.chunk_counts.clone();
+        // Stack scratch: the active range per dimension. Allocation-free —
+        // this runs once per placed chunk.
+        let ndims = self.grid.ndims();
+        debug_assert!(ndims <= array_model::MAX_DIMS);
+        let mut lo = [0i64; array_model::MAX_DIMS];
+        let mut hi = [0i64; array_model::MAX_DIMS];
+        hi[..ndims].copy_from_slice(&self.grid.chunk_counts);
         let mut leaf: u64 = 0;
         for depth in 0..self.height {
             let dim = self.grid.split_dim(depth as usize);
@@ -74,7 +79,7 @@ impl UniformRange {
     }
 
     fn home(&self, key: &ChunkKey) -> NodeId {
-        self.node_of_leaf(self.leaf_of(&key.coords.0))
+        self.node_of_leaf(self.leaf_of(key.coords.as_slice()))
     }
 }
 
@@ -97,15 +102,15 @@ impl Partitioner for UniformRange {
         // whose leaf block changed owner moves (possibly old -> old).
         let mut plan = RebalancePlan::empty();
         for (key, current) in cluster.placements() {
-            let target = self.home(key);
+            let target = self.home(&key);
             if target != current {
                 let bytes = cluster
                     .node(current)
                     .expect("placement points at live node")
-                    .descriptor(key)
+                    .descriptor(&key)
                     .expect("placement is authoritative")
                     .bytes;
-                plan.push(key.clone(), current, target, bytes);
+                plan.push(key, current, target, bytes);
             }
         }
         plan
@@ -123,7 +128,7 @@ mod tests {
     }
 
     fn desc(x: i64, y: i64, bytes: u64) -> ChunkDescriptor {
-        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![x, y])), bytes, 1)
+        ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([x, y])), bytes, 1)
     }
 
     fn insert_grid(p: &mut UniformRange, cluster: &mut Cluster, weight: impl Fn(i64, i64) -> u64) {
@@ -167,7 +172,7 @@ mod tests {
         let rsd = relative_std_dev(&cluster.loads());
         assert!(rsd < 0.05, "rebalance restores uniform balance: {rsd}");
         for (key, node) in cluster.placements() {
-            assert_eq!(p.locate(key), Some(node));
+            assert_eq!(p.locate(&key), Some(node));
         }
     }
 
@@ -201,7 +206,7 @@ mod tests {
         let cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
         let p = UniformRange::new(&cluster.node_ids(), &grid(), 8);
         // Far beyond the 16-chunk hint: must still resolve deterministically.
-        let far = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1000, 1000]));
+        let far = ChunkKey::new(ArrayId(0), ChunkCoords::new([1000, 1000]));
         assert!(p.locate(&far).is_some());
     }
 }

@@ -66,11 +66,7 @@ pub struct CostEstimate {
 }
 
 /// Project `m` cycles under planning horizon `p` (Eqs. 5–9).
-pub fn estimate_cost(
-    p: usize,
-    snap: &ClusterSnapshot,
-    params: &CostModelParams,
-) -> CostEstimate {
+pub fn estimate_cost(p: usize, snap: &ClusterSnapshot, params: &CostModelParams) -> CostEstimate {
     assert!(snap.nodes >= 1, "cluster has at least one node");
     assert!(params.node_capacity_gb > 0.0);
     let c = params.node_capacity_gb;
@@ -158,20 +154,19 @@ mod tests {
     }
 
     fn snapshot() -> ClusterSnapshot {
-        ClusterSnapshot {
-            nodes: 2,
-            load_gb: 200.0,
-            insert_rate_gb: 45.0,
-            last_query_secs: 1200.0,
-        }
+        ClusterSnapshot { nodes: 2, load_gb: 200.0, insert_rate_gb: 45.0, last_query_secs: 1200.0 }
     }
 
     #[test]
     fn lazy_horizon_reorganizes_more_often() {
         let lazy = estimate_cost(1, &snapshot(), &params());
         let eager = estimate_cost(6, &snapshot(), &params());
-        assert!(lazy.reorg_count > eager.reorg_count,
-            "lazy {} vs eager {}", lazy.reorg_count, eager.reorg_count);
+        assert!(
+            lazy.reorg_count > eager.reorg_count,
+            "lazy {} vs eager {}",
+            lazy.reorg_count,
+            eager.reorg_count
+        );
     }
 
     #[test]
@@ -220,11 +215,7 @@ mod tests {
         // we at least require the tuner to be consistent with its own
         // estimates.
         let report = tune_plan_ahead(&[1, 3, 6], &snapshot(), &params());
-        let best_est = report
-            .estimates
-            .iter()
-            .find(|e| e.plan_ahead == report.best)
-            .unwrap();
+        let best_est = report.estimates.iter().find(|e| e.plan_ahead == report.best).unwrap();
         for e in &report.estimates {
             assert!(best_est.node_hours <= e.node_hours + 1e-9);
         }

@@ -12,8 +12,8 @@ mod staircase;
 mod tuning;
 
 pub use cost_model::{
-    estimate_cost, tune_plan_ahead, ClusterSnapshot, CostEstimate, CostModelParams,
-    CycleEstimate, PlanAheadReport,
+    estimate_cost, tune_plan_ahead, ClusterSnapshot, CostEstimate, CostModelParams, CycleEstimate,
+    PlanAheadReport,
 };
 pub use staircase::{ProvisionDecision, StaircaseConfig, StaircaseProvisioner};
 pub use tuning::{prediction_error, tune_samples, SampleTuningReport};

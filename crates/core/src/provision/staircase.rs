@@ -228,10 +228,7 @@ mod tests {
         pv.observe(100.0);
         // 50 + 150 + 100 = 300 GB of mixed capacity.
         let caps = vec![50.0, 150.0, 100.0];
-        assert_eq!(
-            pv.decide_heterogeneous(&caps, 100.0, 290.0),
-            ProvisionDecision::Stay
-        );
+        assert_eq!(pv.decide_heterogeneous(&caps, 100.0, 290.0), ProvisionDecision::Stay);
         // 310 GB demand: 10 GB over; new nodes come in 25 GB units ->
         // ceil((10 + 0)/25) = 1.
         assert_eq!(

@@ -47,9 +47,8 @@ pub fn prediction_error(history: &[f64], s: usize) -> Option<f64> {
 /// support score `NaN` and are never selected.
 pub fn tune_samples(history: &[f64], psi: usize) -> SampleTuningReport {
     assert!(psi >= 1, "must explore at least s = 1");
-    let errors: Vec<f64> = (1..=psi)
-        .map(|s| prediction_error(history, s).unwrap_or(f64::NAN))
-        .collect();
+    let errors: Vec<f64> =
+        (1..=psi).map(|s| prediction_error(history, s).unwrap_or(f64::NAN)).collect();
     let best = errors
         .iter()
         .enumerate()

@@ -33,21 +33,14 @@ impl StoredArray {
         schema: ArraySchema,
         descriptors: impl IntoIterator<Item = ChunkDescriptor>,
     ) -> Self {
-        let map = descriptors
-            .into_iter()
-            .map(|d| (d.key.coords.clone(), d))
-            .collect();
+        let map = descriptors.into_iter().map(|d| (d.key.coords, d)).collect();
         StoredArray { id, schema, descriptors: map, data: None, replicated: false }
     }
 
     /// A partitioned array with materialized cells; descriptors are
     /// derived from the data.
     pub fn from_array(array: Array) -> Self {
-        let descriptors = array
-            .descriptors()
-            .into_iter()
-            .map(|d| (d.key.coords.clone(), d))
-            .collect();
+        let descriptors = array.descriptors().into_iter().map(|d| (d.key.coords, d)).collect();
         StoredArray {
             id: array.id,
             schema: array.schema.clone(),
@@ -70,7 +63,7 @@ impl StoredArray {
 
     /// Key for a chunk of this array.
     pub fn key_for(&self, coords: &ChunkCoords) -> ChunkKey {
-        ChunkKey::new(self.id, coords.clone())
+        ChunkKey::new(self.id, *coords)
     }
 
     /// Resolve an attribute name to its index.
@@ -151,9 +144,6 @@ mod tests {
     fn attribute_lookup_errors_are_named() {
         let stored = StoredArray::from_array(small_array());
         assert_eq!(stored.attribute_index("v").unwrap(), 0);
-        assert!(matches!(
-            stored.attribute_index("w"),
-            Err(QueryError::UnknownAttribute(_))
-        ));
+        assert!(matches!(stored.attribute_index("w"), Err(QueryError::UnknownAttribute(_))));
     }
 }

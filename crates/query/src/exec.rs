@@ -38,9 +38,7 @@ impl<'a> ExecutionContext<'a> {
             return Ok(reader.unwrap_or_else(|| self.cluster.coordinator()));
         }
         let key = array.key_for(coords);
-        self.cluster
-            .locate(&key)
-            .ok_or_else(|| QueryError::Unplaced(key.to_string()))
+        self.cluster.locate(&key).ok_or_else(|| QueryError::Unplaced(key.to_string()))
     }
 
     /// Chunks of `array` intersecting `region` (all chunks when `None`),
@@ -63,7 +61,7 @@ impl<'a> ExecutionContext<'a> {
         for (coords, desc) in &array.descriptors {
             if region.is_none_or(|r| r.intersects_chunk(&array.schema, coords)) {
                 let node = self.node_of(array, coords, None)?;
-                out.push((desc.clone(), node));
+                out.push((*desc, node));
             }
         }
         Ok(out)
@@ -76,12 +74,7 @@ impl<'a> ExecutionContext<'a> {
     pub fn attr_fraction(&self, array: &StoredArray, attrs: &[&str]) -> Result<f64> {
         let coord_bytes = (array.schema.ndims() * 8) as f64;
         let total: f64 = coord_bytes
-            + array
-                .schema
-                .attributes
-                .iter()
-                .map(|a| a.ty.fixed_width() as f64)
-                .sum::<f64>();
+            + array.schema.attributes.iter().map(|a| a.ty.fixed_width() as f64).sum::<f64>();
         let mut wanted = coord_bytes;
         for name in attrs {
             let idx = array.attribute_index(name)?;
@@ -104,17 +97,14 @@ mod tests {
         let mut a = Array::new(ArrayId(0), schema);
         for x in 0..8 {
             for y in 0..8 {
-                a.insert_cell(
-                    vec![x, y],
-                    vec![ScalarValue::Int32(1), ScalarValue::Double(0.5)],
-                )
-                .unwrap();
+                a.insert_cell(vec![x, y], vec![ScalarValue::Int32(1), ScalarValue::Double(0.5)])
+                    .unwrap();
             }
         }
         let stored = StoredArray::from_array(a);
         // Alternate chunks across the two nodes.
         for (i, d) in stored.descriptors.values().enumerate() {
-            cluster.place(d.clone(), NodeId((i % 2) as u32)).unwrap();
+            cluster.place(*d, NodeId((i % 2) as u32)).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);
@@ -161,7 +151,7 @@ mod tests {
         cat.register(stored);
         let ctx = ExecutionContext::new(&cluster, &cat);
         let arr = cat.array(ArrayId(7)).unwrap();
-        let coords = ChunkCoords::new(vec![0]);
+        let coords = ChunkCoords::new([0]);
         assert_eq!(ctx.node_of(arr, &coords, Some(NodeId(2))).unwrap(), NodeId(2));
         assert_eq!(ctx.node_of(arr, &coords, None).unwrap(), cluster.coordinator());
     }

@@ -54,11 +54,7 @@ impl GroupSpec {
     }
 
     fn key_of_cell(&self, cell: &[i64]) -> Vec<i64> {
-        self.dims
-            .iter()
-            .zip(&self.coarsen)
-            .map(|(&d, &c)| cell[d].div_euclid(c))
-            .collect()
+        self.dims.iter().zip(&self.coarsen).map(|(&d, &c)| cell[d].div_euclid(c)).collect()
     }
 }
 
@@ -120,9 +116,7 @@ fn grid_aggregate_impl(
     let array = ctx.catalog.array(array_id)?;
     for &d in &spec.dims {
         if d >= array.schema.ndims() {
-            return Err(QueryError::InvalidArgument(format!(
-                "group dimension {d} out of range"
-            )));
+            return Err(QueryError::InvalidArgument(format!("group dimension {d} out of range")));
         }
     }
     let fraction = ctx.attr_fraction(array, &[attr])?;
@@ -144,8 +138,8 @@ fn grid_aggregate_impl(
         // Rolling windows pull the predecessor chunk along the rolling
         // dimension; co-located columns answer from local disk.
         if let Some(rd) = rolling_dim {
-            let mut prev = desc.key.coords.clone();
-            prev.0[rd] -= 1;
+            let mut prev = desc.key.coords;
+            prev[rd] -= 1;
             if let Some(&(pbytes, pnode)) = homes.get(&prev) {
                 tracker.remote_fetch(node, pnode, (pbytes as f64 * fraction) as u64);
             }
@@ -248,7 +242,7 @@ mod tests {
         }
         let stored = StoredArray::from_array(a);
         for (i, d) in stored.descriptors.values().enumerate() {
-            cluster.place(d.clone(), place(i)).unwrap();
+            cluster.place(*d, place(i)).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);

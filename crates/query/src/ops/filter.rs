@@ -52,17 +52,20 @@ pub fn subarray(
         let attr_idx: Vec<usize> = if attrs.is_empty() {
             (0..array.schema.attributes.len()).collect()
         } else {
-            attrs
-                .iter()
-                .map(|a| array.attribute_index(a))
-                .collect::<Result<Vec<_>>>()?
+            attrs.iter().map(|a| array.attribute_index(a)).collect::<Result<Vec<_>>>()?
         };
         for (_, chunk) in data.chunks_in_region(region) {
             for (cell, row) in chunk.iter_cells() {
                 if region.contains_cell(cell) {
                     let values = attr_idx
                         .iter()
-                        .map(|&i| chunk.column(i).expect("schema-shaped chunk").get(row).expect("row exists"))
+                        .map(|&i| {
+                            chunk
+                                .column(i)
+                                .expect("schema-shaped chunk")
+                                .get(row)
+                                .expect("row exists")
+                        })
                         .collect();
                     out.cells.push((cell.to_vec(), values));
                 }
@@ -127,7 +130,7 @@ mod tests {
         let stored = StoredArray::from_array(a);
         for (i, d) in stored.descriptors.values().enumerate() {
             let node = if spread { NodeId((i % 4) as u32) } else { NodeId(0) };
-            cluster.place(d.clone(), node).unwrap();
+            cluster.place(*d, node).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);
@@ -155,10 +158,11 @@ mod tests {
         let region = Region::new(vec![0, 0], vec![7, 7]);
         let (c_spread, cat_spread) = setup(true);
         let (c_skew, cat_skew) = setup(false);
-        let t_spread = subarray(&ExecutionContext::new(&c_spread, &cat_spread), ArrayId(0), &region, &[])
-            .unwrap()
-            .1
-            .elapsed_secs;
+        let t_spread =
+            subarray(&ExecutionContext::new(&c_spread, &cat_spread), ArrayId(0), &region, &[])
+                .unwrap()
+                .1
+                .elapsed_secs;
         let t_skew = subarray(&ExecutionContext::new(&c_skew, &cat_skew), ArrayId(0), &region, &[])
             .unwrap()
             .1

@@ -52,7 +52,7 @@ pub fn positional_join(
     let left_chunks: BTreeMap<_, _> = ctx
         .chunks_in(left, Some(region))?
         .into_iter()
-        .map(|(d, n)| (d.key.coords.clone(), (d, n)))
+        .map(|(d, n)| (d.key.coords, (d, n)))
         .collect();
     for (rdesc, rnode) in ctx.chunks_in(right, Some(region))? {
         let Some((ldesc, lnode)) = left_chunks.get(&rdesc.key.coords) else {
@@ -194,7 +194,7 @@ mod tests {
                 } else {
                     NodeId(((i + id as usize) % 4) as u32)
                 };
-                cluster.place(d.clone(), node).unwrap();
+                cluster.place(*d, node).unwrap();
             }
             cat.register(stored);
         }
@@ -207,8 +207,7 @@ mod tests {
         let ctx = ExecutionContext::new(&cluster, &cat);
         let region = Region::new(vec![0, 0], vec![7, 7]);
         let (result, _) =
-            positional_join(&ctx, ArrayId(0), ArrayId(1), &region, "r", "r", |a, b| b - a)
-                .unwrap();
+            positional_join(&ctx, ArrayId(0), ArrayId(1), &region, "r", "r", |a, b| b - a).unwrap();
         // band2 has cells only on even x: 4 * 8 = 32 matches, each b-a = 1.
         assert_eq!(result.matches, 32);
         assert!((result.combined_sum - 32.0).abs() < 1e-9);
@@ -220,8 +219,7 @@ mod tests {
         let (cluster, cat) = setup(true);
         let ctx = ExecutionContext::new(&cluster, &cat);
         let (_, stats) =
-            positional_join(&ctx, ArrayId(0), ArrayId(1), &region, "r", "r", |a, b| b - a)
-                .unwrap();
+            positional_join(&ctx, ArrayId(0), ArrayId(1), &region, "r", "r", |a, b| b - a).unwrap();
         assert_eq!(stats.bytes_shuffled, 0);
 
         let (cluster2, cat2) = setup(false);
@@ -245,7 +243,7 @@ mod tests {
         }
         let stored = StoredArray::from_array(probe);
         for (i, d) in stored.descriptors.values().enumerate() {
-            cluster.place(d.clone(), NodeId((i % 2) as u32)).unwrap();
+            cluster.place(*d, NodeId((i % 2) as u32)).unwrap();
         }
         cat.register(stored);
         // Build (replicated): keys 1,2,2 -> key 2 has multiplicity 2.
@@ -257,8 +255,7 @@ mod tests {
         cat.register(StoredArray::from_array(build).replicated());
 
         let ctx = ExecutionContext::new(&cluster, &cat);
-        let (result, stats) =
-            lookup_join(&ctx, ArrayId(0), ArrayId(1), None, "k", "id").unwrap();
+        let (result, stats) = lookup_join(&ctx, ArrayId(0), ArrayId(1), None, "k", "id").unwrap();
         // probes: 1->1, 1->1, 2->2 (multiplicity 2), 3->0 = 1+1+2 = 4
         assert_eq!(result.matches, 4);
         assert_eq!(stats.bytes_shuffled, 0, "replicated build side never ships");
@@ -274,9 +271,9 @@ mod tests {
         extra.insert_cell(vec![9, 9], vec![ScalarValue::Double(1.0)]).unwrap();
         let stored = StoredArray::from_array(extra);
         for d in stored.descriptors.values() {
-            cluster.place(d.clone(), NodeId(0)).unwrap();
+            cluster.place(*d, NodeId(0)).unwrap();
         }
-        assert_eq!(stored.descriptors.keys().next(), Some(&ChunkCoords::new(vec![4, 4])));
+        assert_eq!(stored.descriptors.keys().next(), Some(&ChunkCoords::new([4, 4])));
         cat.register(stored);
         let ctx = ExecutionContext::new(&cluster, &cat);
         let region = Region::new(vec![8, 8], vec![9, 9]);

@@ -167,15 +167,12 @@ pub fn knn(
         if q.len() != array.schema.ndims() {
             return Err(QueryError::RegionArity { expected: array.schema.ndims(), got: q.len() });
         }
-        let home = chunk_of(&array.schema, q).map_err(|e| {
-            QueryError::InvalidArgument(format!("query point out of bounds: {e}"))
-        })?;
+        let home = chunk_of(&array.schema, q)
+            .map_err(|e| QueryError::InvalidArgument(format!("query point out of bounds: {e}")))?;
         // The query executes on the node holding the home chunk (or the
         // coordinator if that position is empty).
-        let home_node = ctx
-            .cluster
-            .locate(&array.key_for(&home))
-            .unwrap_or_else(|| ctx.cluster.coordinator());
+        let home_node =
+            ctx.cluster.locate(&array.key_for(&home)).unwrap_or_else(|| ctx.cluster.coordinator());
 
         let mut cells_found = 0u64;
         let mut visited: Vec<ChunkCoords> = Vec::new();
@@ -184,12 +181,9 @@ pub fn knn(
             let mut any = false;
             for coords in ring {
                 if let Some(desc) = array.descriptors.get(&coords) {
-                    let holder = ctx
-                        .cluster
-                        .locate(&desc.key)
-                        .unwrap_or(home_node);
+                    let holder = ctx.cluster.locate(&desc.key).unwrap_or(home_node);
                     let bytes = (desc.bytes as f64 * fraction) as u64;
-                    if warm.insert((home_node, coords.clone())) {
+                    if warm.insert((home_node, coords)) {
                         tracker.remote_fetch(home_node, holder, bytes);
                     } else {
                         // In-memory spatial-index probe of an already-warm
@@ -238,7 +232,7 @@ pub fn knn(
 #[allow(clippy::needless_range_loop)] // odometer indexes two arrays in lockstep
 fn chunks_at_ring(home: &ChunkCoords, r: i64) -> Vec<ChunkCoords> {
     if r == 0 {
-        return vec![home.clone()];
+        return vec![*home];
     }
     let n = home.ndims();
     let mut out = Vec::new();
@@ -248,7 +242,7 @@ fn chunks_at_ring(home: &ChunkCoords, r: i64) -> Vec<ChunkCoords> {
             let mut cand = Vec::with_capacity(n);
             let mut ok = true;
             for d in 0..n {
-                let idx = home.0[d] + offsets[d];
+                let idx = home[d] + offsets[d];
                 if idx < 0 {
                     ok = false;
                     break;
@@ -318,8 +312,8 @@ pub fn trajectory(
         // a small manifest.
         for dim in [dx, dy] {
             for delta in [-1i64, 1] {
-                let mut ncoords = desc.key.coords.clone();
-                ncoords.0[dim] += delta;
+                let mut ncoords = desc.key.coords;
+                ncoords[dim] += delta;
                 if let Some(&nnode) = homes.get(&ncoords) {
                     if nnode != *node {
                         tracker.remote_fetch(*node, nnode, desc.bytes / 50);
@@ -329,8 +323,9 @@ pub fn trajectory(
         }
     }
     // Collision matching is a cheap local pass over projected manifests.
-    tracker.coordinator(gb(chunks.iter().map(|(d, _)| d.bytes / 50).sum::<u64>())
-        * ctx.cost().cpu_secs_per_gb);
+    tracker.coordinator(
+        gb(chunks.iter().map(|(d, _)| d.bytes / 50).sum::<u64>()) * ctx.cost().cpu_secs_per_gb,
+    );
 
     // Materialized answer.
     let mut result = TrajectoryResult::default();
@@ -352,10 +347,8 @@ pub fn trajectory(
                 *landing.entry(dest).or_default() += 1;
             }
         }
-        result.collision_candidates = landing
-            .values()
-            .map(|&c| if c >= 2 { c * (c - 1) / 2 } else { 0 })
-            .sum();
+        result.collision_candidates =
+            landing.values().map(|&c| if c >= 2 { c * (c - 1) / 2 } else { 0 }).sum();
     }
     Ok((result, tracker.finish()))
 }
@@ -376,8 +369,7 @@ mod tests {
         for (cx, cy) in [(2i64, 2i64), (13, 13)] {
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    a.insert_cell(vec![cx + dx, cy + dy], vec![ScalarValue::Double(0.0)])
-                        .unwrap();
+                    a.insert_cell(vec![cx + dx, cy + dy], vec![ScalarValue::Double(0.0)]).unwrap();
                 }
             }
         }
@@ -388,7 +380,7 @@ mod tests {
         let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
         let stored = StoredArray::from_array(array);
         for (i, d) in stored.descriptors.values().enumerate() {
-            cluster.place(d.clone(), place(i)).unwrap();
+            cluster.place(*d, place(i)).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);
@@ -439,20 +431,11 @@ mod tests {
         let local = setup(two_cluster_array(), |_| NodeId(0));
         let scattered = setup(two_cluster_array(), |i| NodeId((i % 4) as u32));
         let queries = vec![vec![2i64, 2], vec![13, 13]];
-        let (_, s_local) = knn(
-            &ExecutionContext::new(&local.0, &local.1),
-            ArrayId(0),
-            &queries,
-            3,
-        )
-        .unwrap();
-        let (_, s_scat) = knn(
-            &ExecutionContext::new(&scattered.0, &scattered.1),
-            ArrayId(0),
-            &queries,
-            3,
-        )
-        .unwrap();
+        let (_, s_local) =
+            knn(&ExecutionContext::new(&local.0, &local.1), ArrayId(0), &queries, 3).unwrap();
+        let (_, s_scat) =
+            knn(&ExecutionContext::new(&scattered.0, &scattered.1), ArrayId(0), &queries, 3)
+                .unwrap();
         assert_eq!(s_local.remote_fetches, 0);
         assert!(s_scat.remote_fetches > 0);
         assert!(s_scat.elapsed_secs > s_local.elapsed_secs);
@@ -481,12 +464,12 @@ mod tests {
 
     #[test]
     fn ring_enumeration_counts_match() {
-        let home = ChunkCoords::new(vec![5, 5]);
+        let home = ChunkCoords::new([5, 5]);
         assert_eq!(chunks_at_ring(&home, 0).len(), 1);
         assert_eq!(chunks_at_ring(&home, 1).len(), 8);
         assert_eq!(chunks_at_ring(&home, 2).len(), 16);
         // Clipping at the array origin:
-        let corner = ChunkCoords::new(vec![0, 0]);
+        let corner = ChunkCoords::new([0, 0]);
         assert_eq!(chunks_at_ring(&corner, 1).len(), 3);
     }
 }

@@ -50,7 +50,8 @@ pub fn quantile(
     // Serial sort of the sample at the coordinator: n log n over the
     // sampled bytes, priced as CPU work.
     let n = (sample_bytes_total / 8).max(1) as f64;
-    tracker.coordinator(gb(sample_bytes_total) * ctx.cost().cpu_secs_per_gb * n.log2().max(1.0) / 8.0);
+    tracker
+        .coordinator(gb(sample_bytes_total) * ctx.cost().cpu_secs_per_gb * n.log2().max(1.0) / 8.0);
 
     // Materialized answer: deterministic "sample" = every ceil(1/f)-th cell.
     let mut value = None;
@@ -145,17 +146,14 @@ mod tests {
             for y in 0..10 {
                 a.insert_cell(
                     vec![x, y],
-                    vec![
-                        ScalarValue::Double((x * 10 + y) as f64),
-                        ScalarValue::Int64(x % 3),
-                    ],
+                    vec![ScalarValue::Double((x * 10 + y) as f64), ScalarValue::Int64(x % 3)],
                 )
                 .unwrap();
             }
         }
         let stored = StoredArray::from_array(a);
         for (i, d) in stored.descriptors.values().enumerate() {
-            cluster.place(d.clone(), NodeId((i % 2) as u32)).unwrap();
+            cluster.place(*d, NodeId((i % 2) as u32)).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);

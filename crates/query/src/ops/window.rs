@@ -56,8 +56,8 @@ pub fn window_aggregate(
             let slab_fraction =
                 (1.5 * radius as f64 / dimension.chunk_interval.max(1) as f64).min(1.0) * fraction;
             for delta in [-1i64, 1] {
-                let mut ncoords = desc.key.coords.clone();
-                ncoords.0[dim] += delta;
+                let mut ncoords = desc.key.coords;
+                ncoords[dim] += delta;
                 if let Some((ndesc, nnode)) = homes.get(&ncoords) {
                     let slab = (ndesc.bytes as f64 * slab_fraction) as u64;
                     tracker.remote_fetch(*node, *nnode, slab);
@@ -153,7 +153,7 @@ mod tests {
         }
         let stored = StoredArray::from_array(a);
         for (i, d) in stored.descriptors.values().enumerate() {
-            cluster.place(d.clone(), place(i)).unwrap();
+            cluster.place(*d, place(i)).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);
@@ -215,7 +215,7 @@ mod tests {
         }
         let stored = StoredArray::from_array(a);
         for d in stored.descriptors.values() {
-            cluster.place(d.clone(), NodeId(0)).unwrap();
+            cluster.place(*d, NodeId(0)).unwrap();
         }
         let mut cat = Catalog::new();
         cat.register(stored);

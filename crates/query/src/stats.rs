@@ -108,10 +108,7 @@ impl<'a> WorkTracker<'a> {
     /// Fold everything into elapsed time:
     /// `max(per-node busy) + shuffle + coordinator`.
     pub fn finish(self) -> QueryStats {
-        let parallel = self
-            .busy
-            .values()
-            .fold(0.0f64, |acc, &s| acc.max(s));
+        let parallel = self.busy.values().fold(0.0f64, |acc, &s| acc.max(s));
         let shuffle_secs = self.shuffle.elapsed_secs(self.cost);
         let mut stats = self.stats;
         stats.elapsed_secs = parallel + shuffle_secs + self.coordinator_secs;

@@ -158,7 +158,7 @@ impl AisWorkload {
             .map(|(lon, lat, w)| {
                 let bytes = (tc_bytes as f64 * w / total) as u64;
                 ChunkDescriptor::new(
-                    ChunkKey::new(BROADCAST, ChunkCoords::new(vec![tc, lon, lat])),
+                    ChunkKey::new(BROADCAST, ChunkCoords::new([tc, lon, lat])),
                     bytes,
                     bytes / 90, // ≈90 B per broadcast row
                 )
@@ -217,11 +217,7 @@ impl Workload for AisWorkload {
     }
 
     fn register_arrays(&self, catalog: &mut Catalog) {
-        catalog.register(StoredArray::from_descriptors(
-            BROADCAST,
-            Self::broadcast_schema(),
-            [],
-        ));
+        catalog.register(StoredArray::from_descriptors(BROADCAST, Self::broadcast_schema(), []));
         // The 25 MB vessel array, replicated over all cluster nodes (§3.2).
         let vessel_schema = ArraySchema::parse(
             "Vessel<ship_type:int32, length:int32, width:int32, hazmat:int32>\
@@ -230,7 +226,7 @@ impl Workload for AisWorkload {
         .expect("vessel schema is valid");
         let vessel_chunks = (0..10).map(|i| {
             ChunkDescriptor::new(
-                ChunkKey::new(VESSEL, ChunkCoords::new(vec![i])),
+                ChunkKey::new(VESSEL, ChunkCoords::new([i])),
                 2_500_000,
                 2_500_000 / 16,
             )
@@ -266,7 +262,7 @@ impl Workload for AisWorkload {
                 let (lon, lat) = PORTS[i]; // 16 distinct ports
                 let tc = cycle as i64 * TCS_PER_CYCLE + (i as i64 % TCS_PER_CYCLE);
                 ChunkDescriptor::new(
-                    ChunkKey::new(DERIVED, ChunkCoords::new(vec![tc, lon, lat])),
+                    ChunkKey::new(DERIVED, ChunkCoords::new([tc, lon, lat])),
                     per_chunk,
                     per_chunk / 16,
                 )
@@ -275,7 +271,9 @@ impl Workload for AisWorkload {
     }
 
     fn grid_hint(&self) -> GridHint {
-        GridHint::new(vec![self.cycles as i64 * TCS_PER_CYCLE, LON_CHUNKS, LAT_CHUNKS]).with_split_priority(vec![1, 2]).with_curve_dims(vec![1, 2])
+        GridHint::new(vec![self.cycles as i64 * TCS_PER_CYCLE, LON_CHUNKS, LAT_CHUNKS])
+            .with_split_priority(vec![1, 2])
+            .with_curve_dims(vec![1, 2])
     }
 
     fn run_suites(&self, ctx: &ExecutionContext<'_>, cycle: usize) -> SuiteReport {
@@ -332,8 +330,7 @@ impl Workload for AisWorkload {
             vec![((c + 1) * TCS_PER_CYCLE - 1) * MINUTES_PER_TC, -180, 0],
             vec![(c + 1) * TCS_PER_CYCLE * MINUTES_PER_TC - 1, -66, 90],
         );
-        if let Ok((_, stats)) =
-            ops::trajectory(ctx, BROADCAST, &newest_tc, "speed", "course", 0.25)
+        if let Ok((_, stats)) = ops::trajectory(ctx, BROADCAST, &newest_tc, "speed", "course", 0.25)
         {
             report.push("science/projection", stats);
         }
@@ -348,19 +345,14 @@ mod tests {
     #[test]
     fn total_volume_is_paper_scale() {
         let w = AisWorkload::default();
-        let total_gb: f64 = (0..w.cycles())
-            .map(|c| w.cycle_insert_bytes(c) as f64 / 1e9)
-            .sum();
+        let total_gb: f64 = (0..w.cycles()).map(|c| w.cycle_insert_bytes(c) as f64 / 1e9).sum();
         assert!((300.0..480.0).contains(&total_gb), "total {total_gb} GB");
     }
 
     #[test]
     fn skew_matches_the_paper() {
         let w = AisWorkload::default();
-        let mut sizes: Vec<u64> = (0..3)
-            .flat_map(|c| w.insert_batch(c))
-            .map(|d| d.bytes)
-            .collect();
+        let mut sizes: Vec<u64> = (0..3).flat_map(|c| w.insert_batch(c)).map(|d| d.bytes).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = sizes.iter().sum();
         let top5: u64 = sizes[..sizes.len() / 20].iter().sum();

@@ -10,9 +10,7 @@
 //! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
 
 use crate::spec::{SuiteReport, Workload};
-use cluster_sim::{
-    gb, relative_std_dev, Cluster, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown,
-};
+use cluster_sim::{gb, Cluster, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
 use elastic_core::{
     build_partitioner, Partitioner, PartitionerConfig, PartitionerKind, ProvisionDecision,
     StaircaseConfig, StaircaseProvisioner,
@@ -139,12 +137,7 @@ impl RunReport {
     pub fn query_series(&self, name: &str) -> Vec<f64> {
         self.cycles
             .iter()
-            .map(|c| {
-                c.suites
-                    .as_ref()
-                    .and_then(|s| s.query(name))
-                    .map_or(0.0, |q| q.elapsed_secs)
-            })
+            .map(|c| c.suites.as_ref().and_then(|s| s.query(name)).map_or(0.0, |q| q.elapsed_secs))
             .collect()
     }
 
@@ -191,25 +184,47 @@ impl<'w> WorkloadRunner<'w> {
 
     /// Like [`WorkloadRunner::new`] but taking ownership of the workload
     /// (useful where a borrow cannot outlive its scope).
-    pub fn new_owned(workload: impl Workload + 'static, config: RunnerConfig) -> WorkloadRunner<'static> {
+    pub fn new_owned(
+        workload: impl Workload + 'static,
+        config: RunnerConfig,
+    ) -> WorkloadRunner<'static> {
         WorkloadRunner::build(WorkloadRef::Owned(Box::new(workload)), config)
     }
 
     fn build(workload: WorkloadRef<'_>, config: RunnerConfig) -> WorkloadRunner<'_> {
-        let cluster = Cluster::new(config.initial_nodes, config.node_capacity, config.cost.clone())
-            .expect("initial node count is positive");
+        let mut cluster =
+            Cluster::new(config.initial_nodes, config.node_capacity, config.cost.clone())
+                .expect("initial node count is positive");
         let mut catalog = Catalog::new();
         workload.get().register_arrays(&mut catalog);
+        // Register every array's chunk-grid extents so the cluster's
+        // placement index runs dense (O(1), allocation-free) instead of
+        // hashing. Unbounded dimensions take the workload's grid hint as
+        // their expected extent — exceeding it only spills to a hash map.
+        let hint = workload.get().grid_hint();
+        for stored in catalog.arrays() {
+            let extents: Vec<i64> = stored
+                .schema
+                .dimensions
+                .iter()
+                .enumerate()
+                .map(|(d, dim)| {
+                    dim.chunk_count()
+                        .or_else(|| {
+                            (stored.schema.ndims() == hint.ndims()).then(|| hint.chunk_counts[d])
+                        })
+                        .unwrap_or(1024)
+                        .max(1)
+                })
+                .collect();
+            cluster.register_array(stored.id, &extents);
+        }
         let mut pconfig = config.partitioner_config.clone();
         if pconfig.quad_plane.is_none() {
             pconfig.quad_plane = Some(workload.get().quad_plane());
         }
-        let partitioner = build_partitioner(
-            config.partitioner,
-            &cluster,
-            &workload.get().grid_hint(),
-            &pconfig,
-        );
+        let partitioner =
+            build_partitioner(config.partitioner, &cluster, &workload.get().grid_hint(), &pconfig);
         let provisioner = match &config.scaling {
             ScalingPolicy::Staircase(cfg) => Some(StaircaseProvisioner::new(*cfg)),
             _ => None,
@@ -270,12 +285,10 @@ impl<'w> WorkloadRunner<'w> {
         let mut flows = FlowSet::new();
         for desc in batch {
             let node = self.partitioner.place(desc, &self.cluster);
-            self.cluster
-                .place(desc.clone(), node)
-                .expect("workload batches never duplicate chunks");
+            self.cluster.place(*desc, node).expect("workload batches never duplicate chunks");
             flows.push(coordinator, node, desc.bytes);
             if let Ok(array) = self.catalog.array_mut(desc.key.array) {
-                array.descriptors.insert(desc.key.coords.clone(), desc.clone());
+                array.descriptors.insert(desc.key.coords, *desc);
             }
         }
         flows
@@ -307,7 +320,8 @@ impl<'w> WorkloadRunner<'w> {
         // Ingest.
         let insert_flows = self.place_batch(&batch);
         let insert_secs = insert_flows.elapsed_secs(&self.config.cost);
-        let rsd_after_insert = relative_std_dev(&self.cluster.loads());
+        // O(1): the cluster maintains its load moments incrementally.
+        let rsd_after_insert = self.cluster.balance_rsd();
 
         // Query phase, plus storing derived findings.
         let mut query_secs = 0.0;
@@ -389,10 +403,8 @@ mod tests {
     #[test]
     fn append_reorganizes_for_free_but_balances_poorly() {
         let w = mini_modis();
-        let append =
-            WorkloadRunner::new(&w, config(PartitionerKind::Append)).run_all();
-        let rr =
-            WorkloadRunner::new(&w, config(PartitionerKind::RoundRobin)).run_all();
+        let append = WorkloadRunner::new(&w, config(PartitionerKind::Append)).run_all();
+        let rr = WorkloadRunner::new(&w, config(PartitionerKind::RoundRobin)).run_all();
         assert_eq!(append.phase_totals().reorg_secs, 0.0, "append never moves data");
         assert!(rr.phase_totals().reorg_secs > 0.0, "round robin reshuffles");
         assert!(append.mean_rsd() > rr.mean_rsd() * 2.0, "append must balance worse");

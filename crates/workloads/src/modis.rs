@@ -98,7 +98,7 @@ impl ModisWorkload {
                 let bytes = self.chunk_bytes(band_id.0, day, lon, lat);
                 let cells = bytes / 60; // ≈60 B per stored cell
                 out.push(ChunkDescriptor::new(
-                    ChunkKey::new(band_id, ChunkCoords::new(vec![day, lon, lat])),
+                    ChunkKey::new(band_id, ChunkCoords::new([day, lon, lat])),
                     bytes,
                     cells,
                 ));
@@ -113,8 +113,7 @@ impl ModisWorkload {
         let mut cum = 0.0;
         (0..self.days)
             .map(|d| {
-                let day_bytes: u64 =
-                    self.insert_batch(d).iter().map(|desc| desc.bytes).sum();
+                let day_bytes: u64 = self.insert_batch(d).iter().map(|desc| desc.bytes).sum();
                 cum += day_bytes as f64 / 1e9;
                 cum
             })
@@ -140,16 +139,8 @@ impl Workload for ModisWorkload {
     }
 
     fn register_arrays(&self, catalog: &mut Catalog) {
-        catalog.register(StoredArray::from_descriptors(
-            BAND1,
-            Self::band_schema("Band1"),
-            [],
-        ));
-        catalog.register(StoredArray::from_descriptors(
-            BAND2,
-            Self::band_schema("Band2"),
-            [],
-        ));
+        catalog.register(StoredArray::from_descriptors(BAND1, Self::band_schema("Band1"), []));
+        catalog.register(StoredArray::from_descriptors(BAND2, Self::band_schema("Band2"), []));
         // Derived products: one summary attribute, same spatial layout.
         let derived_schema = ArraySchema::parse(&format!(
             "Derived<ndvi:double>[time=0:*,{MINUTES_PER_DAY}, longitude=-180:180,12, \
@@ -178,7 +169,7 @@ impl Workload for ModisWorkload {
                 let lat = (i * 5 + day * 2) % LAT_CHUNKS;
                 let bytes = lognormal(&mut rng, per_chunk, 0.3) as u64;
                 ChunkDescriptor::new(
-                    ChunkKey::new(DERIVED, ChunkCoords::new(vec![day, lon, lat])),
+                    ChunkKey::new(DERIVED, ChunkCoords::new([day, lon, lat])),
                     bytes,
                     bytes / 32,
                 )
@@ -187,7 +178,9 @@ impl Workload for ModisWorkload {
     }
 
     fn grid_hint(&self) -> GridHint {
-        GridHint::new(vec![self.days as i64, LON_CHUNKS, LAT_CHUNKS]).with_split_priority(vec![1, 2]).with_curve_dims(vec![1, 2])
+        GridHint::new(vec![self.days as i64, LON_CHUNKS, LAT_CHUNKS])
+            .with_split_priority(vec![1, 2])
+            .with_curve_dims(vec![1, 2])
     }
 
     fn run_suites(&self, ctx: &ExecutionContext<'_>, cycle: usize) -> SuiteReport {
@@ -213,15 +206,11 @@ impl Workload for ModisWorkload {
         }
         // Join: vegetation index over the most recent day.
         let newest = Self::day_region(day, day);
-        if let Ok((_, stats)) = ops::positional_join(
-            ctx,
-            BAND1,
-            BAND2,
-            &newest,
-            "radiance",
-            "radiance",
-            |b1, b2| (b2 - b1) / (b2 + b1 + 1e-9),
-        ) {
+        if let Ok((_, stats)) =
+            ops::positional_join(ctx, BAND1, BAND2, &newest, "radiance", "radiance", |b1, b2| {
+                (b2 - b1) / (b2 + b1 + 1e-9)
+            })
+        {
             report.push("spj/join", stats);
         }
 
@@ -234,18 +223,18 @@ impl Workload for ModisWorkload {
             vec![(day + 1) * MINUTES_PER_DAY - 1, 180, 90],
         );
         let spec = ops::GroupSpec::by_dims(vec![1, 2]);
-        if let Ok((_, stats)) = ops::rolling_aggregate(
-            ctx, BAND1, Some(&polar), "si_value", &spec, ops::AggFn::Avg, 0,
-        ) {
+        if let Ok((_, stats)) =
+            ops::rolling_aggregate(ctx, BAND1, Some(&polar), "si_value", &spec, ops::AggFn::Avg, 0)
+        {
             report.push("science/statistics-north", stats);
         }
         let south = Region::new(
             vec![week_start * MINUTES_PER_DAY, -180, -90],
             vec![(day + 1) * MINUTES_PER_DAY - 1, 180, -66],
         );
-        if let Ok((_, stats)) = ops::rolling_aggregate(
-            ctx, BAND1, Some(&south), "si_value", &spec, ops::AggFn::Avg, 0,
-        ) {
+        if let Ok((_, stats)) =
+            ops::rolling_aggregate(ctx, BAND1, Some(&south), "si_value", &spec, ops::AggFn::Avg, 0)
+        {
             report.push("science/statistics-south", stats);
         }
         // Modeling: k-means over the Amazon rainforest on the newest day.
@@ -285,10 +274,7 @@ mod tests {
     #[test]
     fn skew_is_mild_like_the_paper() {
         let w = ModisWorkload::default();
-        let mut sizes: Vec<u64> = (0..4)
-            .flat_map(|c| w.insert_batch(c))
-            .map(|d| d.bytes)
-            .collect();
+        let mut sizes: Vec<u64> = (0..4).flat_map(|c| w.insert_batch(c)).map(|d| d.bytes).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = sizes.iter().sum();
         let top5: u64 = sizes[..sizes.len() / 20].iter().sum();
@@ -309,7 +295,8 @@ mod tests {
             for d in w.insert_batch(c) {
                 let lon = d.key.coords.index(1);
                 let lat = d.key.coords.index(2);
-                let oct = ((lon * 4 / LON_CHUNKS).min(3) * 2 + (lat * 2 / LAT_CHUNKS).min(1)) as usize;
+                let oct =
+                    ((lon * 4 / LON_CHUNKS).min(3) * 2 + (lat * 2 / LAT_CHUNKS).min(1)) as usize;
                 octant_bytes[oct] += d.bytes;
             }
         }

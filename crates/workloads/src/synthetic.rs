@@ -125,7 +125,7 @@ impl Workload for SyntheticWorkload {
             .map(|(x, y, w)| {
                 let bytes = (volume * w / total) as u64;
                 ChunkDescriptor::new(
-                    ChunkKey::new(SYNTHETIC, ChunkCoords::new(vec![cycle as i64, x, y])),
+                    ChunkKey::new(SYNTHETIC, ChunkCoords::new([cycle as i64, x, y])),
                     bytes,
                     bytes / 64 + 1,
                 )
@@ -239,9 +239,8 @@ mod tests {
             distribution: SpatialDistribution::Zipf { hotspots: 6, exponent: 1.5 },
             ..Default::default()
         };
-        let rsd = |w: &SyntheticWorkload, kind| {
-            WorkloadRunner::new(w, config(kind)).run_all().mean_rsd()
-        };
+        let rsd =
+            |w: &SyntheticWorkload, kind| WorkloadRunner::new(w, config(kind)).run_all().mean_rsd();
         // Uniform Range handles the uniform mode fine but collapses on the
         // skewed one (its static tree cannot react to hotspots). A
         // skew-aware splitter copes far better with the same input.

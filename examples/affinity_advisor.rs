@@ -20,7 +20,8 @@ use query_engine::ops;
 fn trajectory_stats(cluster: &Cluster, catalog: &QueryCatalog, cycle: usize) -> QueryStats {
     let ctx = ExecutionContext::new(cluster, catalog);
     let c = cycle as i64;
-    let region = Region::new(vec![c * 4 * 43_200, -180, 0], vec![(c + 1) * 4 * 43_200 - 1, -66, 90]);
+    let region =
+        Region::new(vec![c * 4 * 43_200, -180, 0], vec![(c + 1) * 4 * 43_200 - 1, -66, 90]);
     ops::trajectory(&ctx, workloads::ais::BROADCAST, &region, "speed", "course", 0.25)
         .map(|(_, stats)| stats)
         .unwrap_or_default()
@@ -55,12 +56,8 @@ fn main() {
     for cycle in 0..3 {
         for desc in workload.insert_batch(cycle) {
             let node = partitioner.place(&desc, &cluster);
-            cluster.place(desc.clone(), node).unwrap();
-            catalog
-                .array_mut(desc.key.array)
-                .unwrap()
-                .descriptors
-                .insert(desc.key.coords.clone(), desc);
+            cluster.place(desc, node).unwrap();
+            catalog.array_mut(desc.key.array).unwrap().descriptors.insert(desc.key.coords, desc);
         }
     }
 
@@ -79,8 +76,8 @@ fn main() {
         let node = cluster.locate(&desc.key).unwrap();
         for dim in [1usize, 2] {
             for delta in [-1i64, 1] {
-                let mut ncoords = coords.clone();
-                ncoords.0[dim] += delta;
+                let mut ncoords = *coords;
+                ncoords[dim] += delta;
                 if let Some(ndesc) = broadcast.descriptors.get(&ncoords) {
                     if cluster.locate(&ndesc.key) != Some(node) {
                         advisor.observe(&desc.key, &ndesc.key, ndesc.bytes / 50);

@@ -13,7 +13,8 @@ fn main() {
     let workload = AisWorkload::default();
 
     // First, show the raw skew the generator produces.
-    let mut sizes: Vec<u64> = (0..3).flat_map(|c| workload.insert_batch(c)).map(|d| d.bytes).collect();
+    let mut sizes: Vec<u64> =
+        (0..3).flat_map(|c| workload.insert_batch(c)).map(|d| d.bytes).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     let total: u64 = sizes.iter().sum();
     let top5: u64 = sizes[..sizes.len() / 20].iter().sum();

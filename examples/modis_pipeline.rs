@@ -20,7 +20,10 @@ fn main() {
         trigger: 1.0,
     });
 
-    println!("MODIS pipeline: {} daily cycles, staircase provisioner (s=4, p=3)\n", workload.cycles());
+    println!(
+        "MODIS pipeline: {} daily cycles, staircase provisioner (s=4, p=3)\n",
+        workload.cycles()
+    );
     println!(
         "{:>5} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9} {:>7}",
         "cycle", "nodes", "demand", "insert", "reorg", "queries", "balance", "moved"

@@ -33,12 +33,8 @@ fn main() {
 
     // --- Equations 5-9: pick the planning horizon p. ---
     // Snapshot a mid-run MODIS cluster: 3 nodes, 229 GB, growing 45 GB/cycle.
-    let snapshot = ClusterSnapshot {
-        nodes: 3,
-        load_gb: 229.0,
-        insert_rate_gb: 45.6,
-        last_query_secs: 420.0,
-    };
+    let snapshot =
+        ClusterSnapshot { nodes: 3, load_gb: 229.0, insert_rate_gb: 45.6, last_query_secs: 420.0 };
     let params = CostModelParams {
         node_capacity_gb: 100.0,
         delta_secs_per_gb: 8.0,

@@ -39,17 +39,13 @@ fn main() {
     // --- 2. A 2-node cluster and a skew-aware elastic partitioner. ---
     let mut cluster = Cluster::new(2, 1 << 20, CostModel::default()).unwrap();
     let grid = GridHint::new(vec![16, 16]);
-    let mut partitioner = build_partitioner(
-        PartitionerKind::KdTree,
-        &cluster,
-        &grid,
-        &PartitionerConfig::default(),
-    );
+    let mut partitioner =
+        build_partitioner(PartitionerKind::KdTree, &cluster, &grid, &PartitionerConfig::default());
 
     let stored = StoredArray::from_array(array);
     for desc in stored.descriptors.values() {
         let node = partitioner.place(desc, &cluster);
-        cluster.place(desc.clone(), node).unwrap();
+        cluster.place(*desc, node).unwrap();
     }
     println!(
         "initial placement on 2 nodes: loads = {:?}, balance RSD = {:.0}%",
@@ -88,7 +84,7 @@ fn main() {
     );
 
     // Lookups still resolve through the partitioning table.
-    let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![1, 1]));
+    let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([1, 1]));
     println!(
         "chunk {key} lives on {} (partitioner) == {} (cluster)",
         partitioner.locate(&key).unwrap(),

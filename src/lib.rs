@@ -30,7 +30,7 @@
 //!     build_partitioner(PartitionerKind::KdTree, &cluster, &grid, &PartitionerConfig::default());
 //!
 //! // Place a chunk, then scale out incrementally.
-//! let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![3, 4]));
+//! let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([3, 4]));
 //! let desc = ChunkDescriptor::new(key.clone(), 500_000, 100);
 //! let node = partitioner.place(&desc, &cluster);
 //! cluster.place(desc, node).unwrap();
@@ -64,7 +64,7 @@ pub mod prelude {
     };
     pub use query_engine::{ops, Catalog, ExecutionContext, QueryStats, StoredArray};
     pub use workloads::{
-        AisWorkload, ModisWorkload, RunReport, RunnerConfig, ScalingPolicy, SuiteReport,
-        Workload, WorkloadRunner,
+        AisWorkload, ModisWorkload, RunReport, RunnerConfig, ScalingPolicy, SuiteReport, Workload,
+        WorkloadRunner,
     };
 }

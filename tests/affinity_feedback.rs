@@ -13,15 +13,13 @@ fn scattered_setup() -> (Cluster, Catalog) {
     let mut array = Array::new(ArrayId(0), schema);
     for x in 0..12i64 {
         for y in 0..12i64 {
-            array
-                .insert_cell(vec![x, y], vec![ScalarValue::Double((x + y) as f64)])
-                .unwrap();
+            array.insert_cell(vec![x, y], vec![ScalarValue::Double((x + y) as f64)]).unwrap();
         }
     }
     let stored = StoredArray::from_array(array);
     let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
     for (i, desc) in stored.descriptors.values().enumerate() {
-        cluster.place(desc.clone(), NodeId((i % 4) as u32)).unwrap();
+        cluster.place(*desc, NodeId((i % 4) as u32)).unwrap();
     }
     let mut catalog = Catalog::new();
     catalog.register(stored);
@@ -36,8 +34,8 @@ fn observe_halo_traffic(cluster: &Cluster, catalog: &Catalog, analyzer: &mut Aff
         let node = cluster.locate(&desc.key).unwrap();
         for dim in 0..2 {
             for delta in [-1i64, 1] {
-                let mut ncoords = coords.clone();
-                ncoords.0[dim] += delta;
+                let mut ncoords = *coords;
+                ncoords[dim] += delta;
                 if let Some(ndesc) = array.descriptors.get(&ncoords) {
                     let nnode = cluster.locate(&ndesc.key).unwrap();
                     if nnode != node {
@@ -54,9 +52,14 @@ fn affinity_moves_reduce_window_cost() {
     let (mut cluster, catalog) = scattered_setup();
     let region = Region::new(vec![0, 0], vec![11, 11]);
 
-    let (before_result, before) =
-        ops::window_aggregate(&ExecutionContext::new(&cluster, &catalog), ArrayId(0), &region, "v", 1)
-            .unwrap();
+    let (before_result, before) = ops::window_aggregate(
+        &ExecutionContext::new(&cluster, &catalog),
+        ArrayId(0),
+        &region,
+        "v",
+        1,
+    )
+    .unwrap();
     assert!(before.remote_fetches > 0, "scattered placement must pay halo fetches");
 
     // Observe, propose, apply.
@@ -68,9 +71,14 @@ fn affinity_moves_reduce_window_cost() {
     let savings = analyzer.estimated_savings(&cluster, &plan, &cluster.cost_model().clone());
     cluster.apply_rebalance(&plan).unwrap();
 
-    let (after_result, after) =
-        ops::window_aggregate(&ExecutionContext::new(&cluster, &catalog), ArrayId(0), &region, "v", 1)
-            .unwrap();
+    let (after_result, after) = ops::window_aggregate(
+        &ExecutionContext::new(&cluster, &catalog),
+        ArrayId(0),
+        &region,
+        "v",
+        1,
+    )
+    .unwrap();
 
     // The answer is unchanged; the cost is lower.
     assert_eq!(before_result.mean, after_result.mean, "co-location must not change answers");

@@ -30,10 +30,7 @@ fn every_partitioner_completes_both_workloads() {
             assert!(!report.cycles.is_empty(), "{kind}/{name}: no cycles");
             // Demand grows monotonically (no-overwrite storage).
             for w in report.cycles.windows(2) {
-                assert!(
-                    w[1].demand_gb >= w[0].demand_gb,
-                    "{kind}/{name}: demand shrank"
-                );
+                assert!(w[1].demand_gb >= w[0].demand_gb, "{kind}/{name}: demand shrank");
                 assert!(w[1].nodes >= w[0].nodes, "{kind}/{name}: cluster shrank");
             }
             // All three phases accumulate simulated time.
@@ -105,10 +102,7 @@ fn skew_separates_the_schemes_on_ais() {
     let round_robin = rsd(PartitionerKind::RoundRobin);
     let uniform_range = rsd(PartitionerKind::UniformRange);
     let append = rsd(PartitionerKind::Append);
-    assert!(
-        round_robin < 0.15,
-        "round robin should stay balanced under skew: {round_robin}"
-    );
+    assert!(round_robin < 0.15, "round robin should stay balanced under skew: {round_robin}");
     assert!(
         uniform_range > 3.0 * round_robin,
         "uniform range must be brittle to skew: UR {uniform_range} vs RR {round_robin}"
@@ -136,8 +130,5 @@ fn staircase_and_fixed_step_agree_on_final_scale() {
     });
     let staircase = WorkloadRunner::new(&modis, cfg).run_all().cycles.last().unwrap().nodes;
     let diff = fixed.abs_diff(staircase);
-    assert!(
-        diff <= 2,
-        "policies diverge: fixed-step ended at {fixed}, staircase at {staircase}"
-    );
+    assert!(diff <= 2, "policies diverge: fixed-step ended at {fixed}, staircase at {staircase}");
 }

@@ -20,14 +20,11 @@ fn drive(
             let new = cluster.add_nodes(2, u64::MAX);
             let plan = partitioner.scale_out(&cluster, &new);
             if kind.features().incremental_scale_out {
-                assert!(
-                    plan.is_incremental(&new),
-                    "{kind}: plan must only move data to new nodes"
-                );
+                assert!(plan.is_incremental(&new), "{kind}: plan must only move data to new nodes");
             }
             cluster.apply_rebalance(&plan).expect("plan applies cleanly");
         }
-        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, x, y]));
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([t, x, y]));
         if cluster.locate(&key).is_some() {
             continue; // duplicate coordinate in the random stream
         }
@@ -39,10 +36,7 @@ fn drive(
 }
 
 fn chunk_stream() -> impl Strategy<Value = Vec<(i64, i64, i64, u64)>> {
-    proptest::collection::vec(
-        (0i64..64, 0i64..32, 0i64..32, 1u64..100_000_000),
-        20..200,
-    )
+    proptest::collection::vec((0i64..64, 0i64..32, 0i64..32, 1u64..100_000_000), 20..200)
 }
 
 fn scale_points() -> impl Strategy<Value = Vec<usize>> {
@@ -63,7 +57,7 @@ proptest! {
             let (cluster, partitioner) = drive(kind, &chunks, &scales);
             for (key, node) in cluster.placements() {
                 prop_assert_eq!(
-                    partitioner.locate(key),
+                    partitioner.locate(&key),
                     Some(node),
                     "{} disagrees on {}", kind, key
                 );
@@ -97,7 +91,7 @@ proptest! {
             let (cluster, partitioner) = drive(kind, &chunks, &scales);
             prop_assert!(cluster.node_count() >= 2);
             for (key, _) in cluster.placements() {
-                prop_assert!(partitioner.locate(key).is_some(), "{} lost {}", kind, key);
+                prop_assert!(partitioner.locate(&key).is_some(), "{} lost {}", kind, key);
             }
         }
     }
@@ -135,18 +129,11 @@ fn append_scale_out_is_free() {
         (0..100).map(|i| (i % 16, i / 16, (i * 7) % 32, 10_000_000)).collect();
     let mut cluster = Cluster::new(2, 400_000_000, CostModel::default()).unwrap();
     let grid = GridHint::new(vec![64, 32, 32]);
-    let mut p = build_partitioner(
-        PartitionerKind::Append,
-        &cluster,
-        &grid,
-        &PartitionerConfig::default(),
-    );
+    let mut p =
+        build_partitioner(PartitionerKind::Append, &cluster, &grid, &PartitionerConfig::default());
     for &(t, x, y, bytes) in &chunks[..50] {
-        let desc = ChunkDescriptor::new(
-            ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![t, x, y])),
-            bytes,
-            1,
-        );
+        let desc =
+            ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([t, x, y])), bytes, 1);
         let node = p.place(&desc, &cluster);
         cluster.place(desc, node).unwrap();
     }

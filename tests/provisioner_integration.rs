@@ -30,7 +30,7 @@ impl Workload for LinearWorkload {
         (0..32)
             .map(|x| {
                 ChunkDescriptor::new(
-                    ChunkKey::new(ArrayId(0), ChunkCoords::new(vec![cycle as i64, x])),
+                    ChunkKey::new(ArrayId(0), ChunkCoords::new([cycle as i64, x])),
                     per_chunk,
                     per_chunk / 64,
                 )
@@ -121,12 +121,8 @@ fn linear_demand_makes_every_window_exact() {
 
 #[test]
 fn cost_model_penalizes_gross_overprovisioning() {
-    let snap = ClusterSnapshot {
-        nodes: 2,
-        load_gb: 19.0,
-        insert_rate_gb: 4.0,
-        last_query_secs: 60.0,
-    };
+    let snap =
+        ClusterSnapshot { nodes: 2, load_gb: 19.0, insert_rate_gb: 4.0, last_query_secs: 60.0 };
     let params = CostModelParams {
         node_capacity_gb: 10.0,
         delta_secs_per_gb: 8.0,
@@ -147,12 +143,8 @@ fn cost_model_penalizes_gross_overprovisioning() {
 
 #[test]
 fn estimates_scale_with_the_horizon() {
-    let snap = ClusterSnapshot {
-        nodes: 2,
-        load_gb: 19.0,
-        insert_rate_gb: 4.0,
-        last_query_secs: 60.0,
-    };
+    let snap =
+        ClusterSnapshot { nodes: 2, load_gb: 19.0, insert_rate_gb: 4.0, last_query_secs: 60.0 };
     let mk = |m: usize| CostModelParams {
         node_capacity_gb: 10.0,
         delta_secs_per_gb: 8.0,

@@ -20,10 +20,7 @@ fn setup(kind: PartitionerKind) -> (Cluster, Catalog) {
             array
                 .insert_cell(
                     vec![x, y],
-                    vec![
-                        ScalarValue::Double((x * 16 + y) as f64),
-                        ScalarValue::Int64(x % 4),
-                    ],
+                    vec![ScalarValue::Double((x * 16 + y) as f64), ScalarValue::Int64(x % 4)],
                 )
                 .unwrap();
         }
@@ -34,7 +31,7 @@ fn setup(kind: PartitionerKind) -> (Cluster, Catalog) {
     let mut partitioner = build_partitioner(kind, &cluster, &grid, &PartitionerConfig::default());
     for desc in stored.descriptors.values() {
         let node = partitioner.place(desc, &cluster);
-        cluster.place(desc.clone(), node).unwrap();
+        cluster.place(*desc, node).unwrap();
     }
     let mut catalog = Catalog::new();
     catalog.register(stored);
@@ -80,10 +77,7 @@ fn quantile_and_distinct_are_placement_invariant() {
         let ctx = ExecutionContext::new(&cluster, &catalog);
         let (q, _) = ops::quantile(&ctx, ArrayId(0), None, "v", 0.5, 1.0).unwrap();
         let got = q.value.unwrap();
-        assert!(
-            (got - naive_median).abs() <= 1.0,
-            "{kind}: median {got} vs naive {naive_median}"
-        );
+        assert!((got - naive_median).abs() <= 1.0, "{kind}: median {got} vs naive {naive_median}");
         let (ids, _) = ops::distinct_sorted(&ctx, ArrayId(0), None, "id").unwrap();
         assert_eq!(ids, vec![0, 1, 2, 3], "{kind}: distinct ids wrong");
     }
@@ -100,10 +94,7 @@ fn aggregates_are_placement_invariant() {
             ops::grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, ops::AggFn::Sum).unwrap();
         assert_eq!(rows.len(), 4, "{kind}: 16/4 = 4 groups");
         let total: f64 = rows.iter().map(|r| r.value).sum();
-        assert!(
-            (total - naive_total).abs() < 1e-9,
-            "{kind}: sum {total} vs naive {naive_total}"
-        );
+        assert!((total - naive_total).abs() < 1e-9, "{kind}: sum {total} vs naive {naive_total}");
     }
 }
 
@@ -147,14 +138,11 @@ fn join_answers_are_placement_invariant() {
             build_partitioner(kind, &cluster, &grid, &PartitionerConfig::default());
         for desc in stored.descriptors.values() {
             let node = partitioner.place(desc, &cluster);
-            cluster.place(desc.clone(), node).unwrap();
+            cluster.place(*desc, node).unwrap();
         }
         catalog.register(stored);
 
-        let expected: u64 = naive_cells()
-            .iter()
-            .filter(|(x, _, _, _)| x % 2 == 0)
-            .count() as u64;
+        let expected: u64 = naive_cells().iter().filter(|(x, _, _, _)| x % 2 == 0).count() as u64;
         let ctx = ExecutionContext::new(&cluster, &catalog);
         let region = Region::new(vec![0, 0], vec![15, 15]);
         let (result, _) =

@@ -58,10 +58,8 @@ impl Criterion {
     /// Build from CLI args (`<bin> [filter-substring]`); `--bench`-style
     /// flags are ignored.
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'))
-            .filter(|a| !a.is_empty());
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
         Criterion { filter, ..Criterion::default() }
     }
 
@@ -167,7 +165,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark in this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
         let id = id.into();
         let name = format!("{}/{}", self.name, id.0);
         if !self.parent.skipped(&name) {

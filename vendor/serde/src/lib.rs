@@ -6,7 +6,9 @@
 //! Nothing in the workspace performs actual serialization through serde —
 //! artifacts that need persistence (bench JSON, report tables) write their
 //! formats by hand. Replacing this stub with real serde requires no source
-//! changes in the workspace.
+//! changes for derived types; the handful of hand-written marker impls
+//! (e.g. `ChunkCoords` in `array-model`, which must keep the `Vec<i64>`
+//! sequence wire format) document the real impls they need.
 
 pub use serde_derive::{Deserialize, Serialize};
 
