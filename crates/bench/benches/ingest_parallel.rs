@@ -1,0 +1,99 @@
+//! Thread-scaling ingest: the sharded route → place_batch → commit
+//! pipeline at 1/2/4/8 threads, for all 8 partitioner kinds.
+//!
+//! The stream and cluster mirror `benches/ingest.rs` (1M distinct chunks
+//! over a 1024×32×32 grid, skewed sizes, shuffled spatial order, 8
+//! nodes), but chunks arrive in batches: each batch is routed read-only
+//! against one epoch snapshot, placed shard-parallel, then committed to
+//! the partitioning table sequentially. The differential suite in
+//! `tests/parallel_ingest.rs` proves the result is bit-identical to the
+//! sequential path at every thread count — this bench measures only the
+//! wall-clock. Recorded medians live in `BENCH_ingest_parallel.json` at
+//! the repo root. NOTE: thread counts above the machine's core count
+//! measure overhead, not speedup; the tracked container exposes a single
+//! core.
+//!
+//! Set `INGEST_CHUNKS` to override the stream length and `CRITERION_JSON`
+//! to record results.
+
+use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, ChunkKey};
+use cluster_sim::{Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::hashing::splitmix64 as splitmix;
+use elastic_core::{
+    batch_prefix_bytes, build_partitioner, route_batch, GridHint, PartitionerConfig,
+    PartitionerKind, RouteEpoch,
+};
+use std::hint::black_box;
+
+const NODES: usize = 8;
+/// Grid: 1024 time chunks x 32 x 32 spatial chunks = ~1M distinct chunks.
+const GRID: [i64; 3] = [1024, 32, 32];
+/// Chunks per routed batch (a simulated ingest epoch).
+const BATCH: usize = 65_536;
+
+fn stream_len() -> usize {
+    let volume = (GRID[0] * GRID[1] * GRID[2]) as usize;
+    let n: usize =
+        std::env::var("INGEST_CHUNKS").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
+    if n > volume {
+        eprintln!("INGEST_CHUNKS={n} exceeds the {volume}-chunk grid; clamping");
+    }
+    n.min(volume)
+}
+
+/// The synthetic stream: every chunk of the grid exactly once, in a
+/// time-major order with shuffled spatial cells and skewed sizes —
+/// identical to `benches/ingest.rs`, pre-materialized as descriptors.
+fn chunk_stream(n: usize) -> Vec<ChunkDescriptor> {
+    let spatial = (GRID[1] * GRID[2]) as usize;
+    (0..n)
+        .map(|i| {
+            let t = (i / spatial) as i64;
+            let salt = splitmix(t as u64) as usize;
+            let s = ((i % spatial) * 421 + salt) % spatial;
+            let (x, y) = ((s / GRID[2] as usize) as i64, (s % GRID[2] as usize) as i64);
+            let r = splitmix(i as u64 ^ 0xdead_beef);
+            let bytes = 1_000 + (r % 65_536) * (r % 7) * (r % 5);
+            let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([t, x, y]));
+            ChunkDescriptor::new(key, bytes, bytes / 64 + 1)
+        })
+        .collect()
+}
+
+/// One full ingest of the stream at the given thread count. Returns the
+/// final census so the optimizer cannot elide the loop.
+fn ingest_parallel(kind: PartitionerKind, stream: &[ChunkDescriptor], threads: usize) -> f64 {
+    let mut cluster = Cluster::new(NODES, u64::MAX, CostModel::default()).expect("nodes > 0");
+    assert!(cluster.register_array(ArrayId(0), &GRID));
+    let grid = GridHint::new(GRID.to_vec());
+    let mut partitioner = build_partitioner(kind, &cluster, &grid, &PartitionerConfig::default());
+    let mut census_acc = 0.0;
+    for batch in stream.chunks(BATCH) {
+        let prefix = batch_prefix_bytes(batch);
+        let epoch = RouteEpoch::for_batch(&cluster, &prefix);
+        let routes = route_batch(partitioner.as_ref(), batch, &epoch, threads);
+        cluster.place_batch(batch, &routes, threads).expect("stream has no duplicates");
+        partitioner.commit(batch, &routes);
+        census_acc += cluster.balance_rsd();
+    }
+    census_acc
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let stream = chunk_stream(stream_len());
+    let mut group = c.benchmark_group("ingest_parallel");
+    group.sample_size(3);
+    for kind in PartitionerKind::ALL {
+        for threads in [1usize, 2, 4, 8] {
+            let id = BenchmarkId::new(kind.label().replace(' ', "_"), threads);
+            group.bench_with_input(id, &(kind, threads), |b, &(kind, threads)| {
+                b.iter(|| black_box(ingest_parallel(kind, &stream, threads)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

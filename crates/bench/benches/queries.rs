@@ -21,7 +21,7 @@ fn bench_modis_cycle(c: &mut Criterion) {
                     ),
                 )
             },
-            |(_, mut runner)| black_box(runner.run_cycle(0).phases.total_secs()),
+            |(_, mut runner)| black_box(runner.run_cycle(0).unwrap().phases.total_secs()),
             criterion::BatchSize::SmallInput,
         )
     });
@@ -34,7 +34,7 @@ fn bench_ais_knn_suite(c: &mut Criterion) {
     let mut runner =
         WorkloadRunner::new_owned(w, RunnerConfig::paper_section62(PartitionerKind::KdTree));
     for cycle in 0..3 {
-        let _ = runner.run_cycle(cycle);
+        let _ = runner.run_cycle(cycle).unwrap();
     }
     c.bench_function("ais_benchmark_suites_cycle3", |b| {
         b.iter(|| black_box(runner.run_suites_only(3).total_secs()))

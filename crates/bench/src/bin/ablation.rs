@@ -25,7 +25,7 @@ fn run_with(
     let mut config = RunnerConfig::paper_section62(kind);
     config.run_queries = false;
     tweak(&mut config);
-    WorkloadRunner::new(workload, config).run_all()
+    WorkloadRunner::new(workload, config).run_all().expect("paper workloads are collision-free")
 }
 
 fn ablate_virtual_nodes(ais: &AisWorkload) {

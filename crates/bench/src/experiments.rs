@@ -23,7 +23,7 @@ pub const AIS_SEED: u64 = 0x5eed_000f;
 pub fn section62_run(kind: PartitionerKind, workload: &dyn Workload, queries: bool) -> RunReport {
     let mut config = RunnerConfig::paper_section62(kind);
     config.run_queries = queries;
-    WorkloadRunner::new(workload, config).run_all()
+    WorkloadRunner::new(workload, config).run_all().expect("paper workloads are collision-free")
 }
 
 /// One Figure 4 bar: insert and reorg minutes plus the RSD balance label.
@@ -147,7 +147,7 @@ pub fn fig8_trace(plan_ahead: usize) -> StaircaseTrace {
         trigger: 1.0,
     });
     config.run_queries = true;
-    let report = WorkloadRunner::new(&workload, config).run_all();
+    let report = WorkloadRunner::new(&workload, config).run_all().expect("MODIS is collision-free");
     StaircaseTrace {
         plan_ahead,
         nodes: report.cycles.iter().map(|c| c.nodes).collect(),

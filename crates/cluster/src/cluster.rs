@@ -3,7 +3,7 @@
 use crate::cost::CostModel;
 use crate::error::{ClusterError, Result};
 use crate::node::{Node, NodeId};
-use crate::placement::PlacementIndex;
+use crate::placement::{DenseMeta, PlacementIndex, PlacementShard, SHARD_COUNT};
 use crate::rebalance::RebalancePlan;
 use crate::transfer::FlowSet;
 use array_model::{ArrayId, ChunkDescriptor, ChunkKey};
@@ -39,6 +39,79 @@ impl BalanceStats {
         // rsd = sqrt(var)/mean = sqrt(n·Σx² − (Σx)²) / Σx.
         let num = (n as u128 * self.sumsq).saturating_sub(self.sum * self.sum);
         (num as f64).sqrt() / self.sum as f64
+    }
+}
+
+/// What one shard-phase worker reports back from a parallel batch.
+struct ShardWorkerOut {
+    /// Per-node byte deltas contributed by this worker's shards — the
+    /// mergeable census moments of the sharded ingest path.
+    deltas: Vec<u64>,
+    /// Chunks inserted by this worker.
+    inserted: usize,
+    /// `(shard index, completed inserts)` per processed shard, for
+    /// duplicate rollback.
+    progress: Vec<(usize, usize)>,
+    /// Lowest batch index whose key was already resident, if any.
+    duplicate: Option<usize>,
+}
+
+/// Shard-phase worker: writes the placement slabs / spill maps of the
+/// shards it exclusively owns. On a duplicate it stops that shard (later
+/// entries stay uninserted) and records the batch index; other shards
+/// still complete so the rollback bookkeeping stays uniform.
+fn place_shards(
+    dense: &[Option<DenseMeta>],
+    batch: &[ChunkDescriptor],
+    routes: &[NodeId],
+    buckets: &[Vec<u32>],
+    shards: Vec<(usize, &mut PlacementShard)>,
+    node_count: usize,
+) -> ShardWorkerOut {
+    let mut out = ShardWorkerOut {
+        deltas: vec![0; node_count],
+        inserted: 0,
+        progress: Vec::with_capacity(shards.len()),
+        duplicate: None,
+    };
+    for (s, shard) in shards {
+        let mut done = 0usize;
+        for &i in &buckets[s] {
+            let i = i as usize;
+            let desc = &batch[i];
+            match shard.try_insert(dense, desc.key, routes[i]) {
+                Ok(()) => {
+                    done += 1;
+                    out.deltas[routes[i].0 as usize] += desc.bytes;
+                }
+                Err(_occupant) => {
+                    // Bucket order follows batch order, so the first hit
+                    // per shard is that shard's earliest duplicate; the
+                    // minimum across shards is the batch's earliest.
+                    out.duplicate = Some(out.duplicate.map_or(i, |d| d.min(i)));
+                    break;
+                }
+            }
+        }
+        out.inserted += done;
+        out.progress.push((s, done));
+    }
+    out
+}
+
+/// Node-phase worker: admit the descriptors at `indices` (all routed into
+/// `group`'s contiguous node-id range starting at `lo`). Byte loads are
+/// NOT applied here — the census merge folds them in afterwards.
+fn admit_group(
+    batch: &[ChunkDescriptor],
+    routes: &[NodeId],
+    indices: &[u32],
+    group: &mut [Node],
+    lo: usize,
+) {
+    for &i in indices {
+        let i = i as usize;
+        group[routes[i].0 as usize - lo].admit_descriptor(batch[i]);
     }
 }
 
@@ -144,6 +217,131 @@ impl Cluster {
         n.admit(desc);
         let new = n.used_bytes();
         self.balance.on_change(old, new);
+        Ok(())
+    }
+
+    /// Number of coordinate-range shards the placement index maintains —
+    /// the upper bound on useful `place_batch` parallelism.
+    pub fn ingest_shard_count(&self) -> usize {
+        SHARD_COUNT
+    }
+
+    /// Place a whole routed batch (`batch[i]` → `routes[i]`), fanning the
+    /// work out over up to `threads` OS threads.
+    ///
+    /// The batch is partitioned by placement shard (a pure function of
+    /// each chunk key, see [`crate::placement::PlacementIndex::shard_of`])
+    /// and executed in three phases:
+    ///
+    /// 1. **shard phase** — one worker per shard group writes the dense
+    ///    slabs / spill maps it exclusively owns and accumulates per-shard
+    ///    per-node byte deltas;
+    /// 2. **node phase** — workers over disjoint node ranges admit the
+    ///    descriptors into each node's store;
+    /// 3. **census merge** — the per-shard deltas fold into the byte
+    ///    ledgers and the incremental balance moments in
+    ///    O(shards × nodes), exactly (integer moments), so
+    ///    [`Cluster::balance_rsd`] stays O(1) and bit-identical to the
+    ///    sequential path.
+    ///
+    /// `threads == 1` runs the same phases inline, producing bit-identical
+    /// state to per-chunk [`Cluster::place`] calls over the batch.
+    ///
+    /// On a duplicate chunk the batch is **rolled back** entirely and the
+    /// first (lowest-index) offending key is returned, leaving the cluster
+    /// unchanged.
+    pub fn place_batch(
+        &mut self,
+        batch: &[ChunkDescriptor],
+        routes: &[NodeId],
+        threads: usize,
+    ) -> Result<()> {
+        assert_eq!(batch.len(), routes.len(), "each chunk needs exactly one route");
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let node_count = self.nodes.len();
+        if let Some(bad) = routes.iter().find(|r| r.0 as usize >= node_count) {
+            return Err(ClusterError::UnknownNode(bad.0));
+        }
+        // Bucket batch indices by owning shard (pure in the key, so the
+        // partition is identical whatever the thread count).
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); SHARD_COUNT];
+        for (i, desc) in batch.iter().enumerate() {
+            buckets[self.placement.shard_of(&desc.key)].push(i as u32);
+        }
+        let workers = threads.clamp(1, SHARD_COUNT);
+
+        // Phase 1: single-writer shard workers.
+        let (dense, shards) = self.placement.parts_mut();
+        let outs: Vec<ShardWorkerOut> = if workers == 1 {
+            let all: Vec<(usize, &mut PlacementShard)> = shards.iter_mut().enumerate().collect();
+            vec![place_shards(dense, batch, routes, &buckets, all, node_count)]
+        } else {
+            let mut assign: Vec<Vec<(usize, &mut PlacementShard)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (s, shard) in shards.iter_mut().enumerate() {
+                assign[s % workers].push((s, shard));
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = assign
+                    .into_iter()
+                    .map(|set| {
+                        let buckets = &buckets;
+                        scope.spawn(move || {
+                            place_shards(dense, batch, routes, buckets, set, node_count)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            })
+        };
+        if let Some(dup) = outs.iter().filter_map(|o| o.duplicate).min() {
+            let progress: Vec<(usize, usize)> =
+                outs.iter().flat_map(|o| o.progress.iter().copied()).collect();
+            let keys: Vec<ChunkKey> = batch.iter().map(|d| d.key).collect();
+            self.placement.rollback(&keys, &buckets, &progress);
+            return Err(ClusterError::DuplicateChunk(batch[dup].key));
+        }
+        let inserted: usize = outs.iter().map(|o| o.inserted).sum();
+        debug_assert_eq!(inserted, batch.len(), "every fresh chunk inserts exactly once");
+        self.placement.add_len(inserted);
+
+        // Phase 2: descriptor admission over disjoint node ranges.
+        if workers == 1 || node_count == 1 {
+            for (desc, node) in batch.iter().zip(routes) {
+                self.nodes[node.0 as usize].admit_descriptor(*desc);
+            }
+        } else {
+            // One bucketing pass keeps total work O(batch + nodes): each
+            // worker walks only the indices routed into its node group.
+            let group_size = node_count.div_ceil(workers);
+            let mut node_buckets: Vec<Vec<u32>> = vec![Vec::new(); node_count.div_ceil(group_size)];
+            for (i, node) in routes.iter().enumerate() {
+                node_buckets[node.0 as usize / group_size].push(i as u32);
+            }
+            std::thread::scope(|scope| {
+                for ((g, group), indices) in
+                    self.nodes.chunks_mut(group_size).enumerate().zip(&node_buckets)
+                {
+                    scope.spawn(move || admit_group(batch, routes, indices, group, g * group_size));
+                }
+            });
+        }
+
+        // Phase 3: census merge — fold the per-shard per-node deltas into
+        // the byte ledgers and the incremental balance moments. Integer
+        // sums commute, so the final moments are bit-identical to what
+        // per-chunk sequential placement would have produced.
+        for idx in 0..node_count {
+            let delta: u64 = outs.iter().map(|o| o.deltas[idx]).sum();
+            if delta > 0 {
+                let node = &mut self.nodes[idx];
+                let old = node.used_bytes();
+                node.add_load(delta);
+                self.balance.on_change(old, node.used_bytes());
+            }
+        }
         Ok(())
     }
 
@@ -359,6 +557,68 @@ mod tests {
         plan.push(desc(0, 0).key, NodeId(0), NodeId(3), 1);
         c.apply_rebalance(&plan).unwrap();
         assert!((c.balance_rsd() - relative_std_dev(&c.loads())).abs() < 1e-12);
+    }
+
+    /// Drive the same stream through per-chunk `place` and through
+    /// `place_batch` at several thread counts; every observable (sorted
+    /// placements, loads, census bits) must agree.
+    #[test]
+    fn place_batch_is_bit_identical_to_sequential_place() {
+        let stream: Vec<(i64, u64, u32)> =
+            (0..500).map(|i| (i, 1 + (i as u64 * 37) % 977, (i % 3) as u32)).collect();
+        let mut seq = cluster(3);
+        assert!(seq.register_array(ArrayId(0), &[400])); // tail of stream spills
+        for &(i, bytes, node) in &stream {
+            seq.place(desc(i, bytes), NodeId(node)).unwrap();
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = cluster(3);
+            assert!(par.register_array(ArrayId(0), &[400]));
+            let batch: Vec<ChunkDescriptor> =
+                stream.iter().map(|&(i, bytes, _)| desc(i, bytes)).collect();
+            let routes: Vec<NodeId> = stream.iter().map(|&(_, _, n)| NodeId(n)).collect();
+            par.place_batch(&batch, &routes, threads).unwrap();
+            assert_eq!(par.loads(), seq.loads(), "threads={threads}");
+            assert_eq!(par.total_chunks(), seq.total_chunks(), "threads={threads}");
+            assert_eq!(
+                par.balance_rsd().to_bits(),
+                seq.balance_rsd().to_bits(),
+                "threads={threads}: census must be bit-identical"
+            );
+            let a: Vec<_> = par.placements().collect();
+            let b: Vec<_> = seq.placements().collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn place_batch_rolls_back_on_duplicates() {
+        let mut c = cluster(2);
+        assert!(c.register_array(ArrayId(0), &[64]));
+        c.place(desc(5, 10), NodeId(0)).unwrap();
+        let snapshot_loads = c.loads();
+        // Batch with an in-batch duplicate AND a collision with chunk 5.
+        let batch = vec![desc(1, 10), desc(2, 10), desc(5, 10), desc(2, 10)];
+        let routes = vec![NodeId(0); 4];
+        let err = c.place_batch(&batch, &routes, 2).unwrap_err();
+        assert!(matches!(err, ClusterError::DuplicateChunk(k) if k == desc(5, 0).key
+            || k == desc(2, 0).key));
+        // Everything rolled back: only the preexisting chunk remains.
+        assert_eq!(c.total_chunks(), 1);
+        assert_eq!(c.loads(), snapshot_loads);
+        assert_eq!(c.locate(&desc(5, 0).key), Some(NodeId(0)));
+        assert_eq!(c.locate(&desc(1, 0).key), None);
+        // The cluster still accepts a clean batch afterwards.
+        c.place_batch(&[desc(1, 10), desc(2, 10)], &[NodeId(0), NodeId(1)], 2).unwrap();
+        assert_eq!(c.total_chunks(), 3);
+    }
+
+    #[test]
+    fn place_batch_validates_routes() {
+        let mut c = cluster(2);
+        let err = c.place_batch(&[desc(1, 1)], &[NodeId(7)], 1).unwrap_err();
+        assert!(matches!(err, ClusterError::UnknownNode(7)));
+        assert_eq!(c.total_chunks(), 0);
     }
 
     #[test]

@@ -72,6 +72,19 @@ impl Node {
         self.chunks.insert(desc.key, desc);
     }
 
+    /// Store a descriptor without touching the byte ledger. The parallel
+    /// batch-placement path admits descriptors from per-node workers and
+    /// applies the byte loads afterwards from the merged per-shard deltas
+    /// (see `Cluster::place_batch`); the pair must always be used together.
+    pub(crate) fn admit_descriptor(&mut self, desc: ChunkDescriptor) {
+        self.chunks.insert(desc.key, desc);
+    }
+
+    /// Apply a byte-load delta accumulated by [`Node::admit_descriptor`].
+    pub(crate) fn add_load(&mut self, bytes: u64) {
+        self.used_bytes += bytes;
+    }
+
     pub(crate) fn evict(&mut self, key: &ChunkKey) -> Option<ChunkDescriptor> {
         let desc = self.chunks.remove(key)?;
         self.used_bytes -= desc.bytes;

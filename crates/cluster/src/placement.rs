@@ -1,21 +1,27 @@
-//! The cluster's chunk→node placement index.
+//! The cluster's chunk→node placement index, sharded for parallel ingest.
 //!
-//! The previous implementation was a single `BTreeMap<ChunkKey, NodeId>`:
-//! every insert paid a tree descent, key copies, and amortized node
-//! splits — on the ingest hot path, once per chunk. This module replaces
-//! it with a **per-array dense grid index**: once an array's chunk-grid
-//! extents are registered ([`PlacementIndex::register_dense`]), its
-//! placements live in a flat row-major `Vec<u32>` (`NodeId` or a vacancy
-//! sentinel), making insert and lookup O(1) array reads with no per-chunk
-//! allocation. Chunks outside the registered extents (unbounded
-//! dimensions growing past the hint) and arrays that never register fall
-//! back to hash maps, so correctness never depends on the hint.
+//! PR 1 replaced the original `BTreeMap<ChunkKey, NodeId>` with a
+//! per-array dense grid (flat row-major `Vec<u32>`), making insert and
+//! lookup O(1). This revision splits every dense grid into
+//! **coordinate-range shards**: shard `s` owns the disjoint row-major
+//! slab `[s << slab_shift, (s+1) << slab_shift)` of the slot vector,
+//! plus its own spill map for everything that cannot live in a slab
+//! (coordinates past the registered extents, unregistered arrays, and
+//! array ids beyond the indexed range, which hash onto a shard).
+//!
+//! Because a chunk's shard is a pure function of its key
+//! ([`PlacementIndex::shard_of`]), a batch of placements can be
+//! partitioned by shard and executed by one thread per shard group with
+//! no synchronization: every write lands in shard-owned state. The
+//! sequential API (`get`/`insert`) is unchanged and routes through the
+//! same shards, so single-chunk and batched placement see one
+//! authoritative map.
 
 use crate::node::NodeId;
 use array_model::{ArrayId, ChunkCoords, ChunkKey, MAX_DIMS};
 use std::collections::HashMap;
 
-/// Vacant-slot sentinel in dense grids (`NodeId`s are join-order indices
+/// Vacant-slot sentinel in dense slabs (`NodeId`s are join-order indices
 /// and can never reach it: clusters hold well under 4 billion nodes).
 const VACANT: u32 = u32::MAX;
 
@@ -24,24 +30,45 @@ const VACANT: u32 = u32::MAX;
 const DENSE_SLOT_CAP: u128 = 1 << 24;
 
 /// Highest `ArrayId` that gets its own indexed slot; stranger ids share
-/// one sparse overflow map.
+/// the sharded spill maps.
 const ARRAY_ID_CAP: u32 = 4096;
 
-/// A dense row-major placement grid for one array.
-#[derive(Debug, Clone)]
-struct DenseGrid {
+/// Number of coordinate-range shards. A power of two so spill hashing is
+/// a mask; also the upper bound on useful placement-phase parallelism.
+pub(crate) const SHARD_COUNT: usize = 16;
+
+/// SplitMix64 finalizer, local so `cluster-sim` stays dependency-free.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic shard hash for keys with no dense slab.
+#[inline]
+fn spill_shard(key: &ChunkKey) -> usize {
+    let mut h = splitmix64(u64::from(key.array.0) ^ (key.coords.ndims() as u64) << 32);
+    for &c in key.coords.as_slice() {
+        h = splitmix64(h ^ c as u64);
+    }
+    (h as usize) & (SHARD_COUNT - 1)
+}
+
+/// Registered dense-grid geometry for one array. Immutable after
+/// registration, so the parallel phase shares it read-only.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DenseMeta {
     /// Chunk-count extents per dimension.
     extents: [i64; MAX_DIMS],
     ndims: u8,
-    /// Row-major `NodeId.0` per chunk coordinate, or [`VACANT`].
-    slots: Vec<u32>,
-    /// Number of occupied entries in `slots`.
-    resident: usize,
-    /// Chunks whose coordinates fall outside `extents`.
-    spill: HashMap<ChunkCoords, NodeId>,
+    /// Shard `s` owns linear slots `[s << slab_shift, (s+1) << slab_shift)`.
+    slab_shift: u32,
 }
 
-impl DenseGrid {
+impl DenseMeta {
     /// Row-major linearization of `coords`, or `None` when outside the
     /// registered extents.
     #[inline]
@@ -60,113 +87,124 @@ impl DenseGrid {
         Some(lin)
     }
 
-    fn get(&self, coords: &ChunkCoords) -> Option<NodeId> {
-        match self.linearize(coords) {
-            Some(lin) => match self.slots[lin] {
-                VACANT => None,
-                id => Some(NodeId(id)),
-            },
-            None => self.spill.get(coords).copied(),
-        }
-    }
-
-    /// Insert or overwrite; returns the previous occupant.
-    fn insert(&mut self, coords: ChunkCoords, node: NodeId) -> Option<NodeId> {
-        match self.linearize(&coords) {
-            Some(lin) => {
-                let prev = self.slots[lin];
-                self.slots[lin] = node.0;
-                if prev == VACANT {
-                    self.resident += 1;
-                    None
-                } else {
-                    Some(NodeId(prev))
-                }
-            }
-            None => self.spill.insert(coords, node),
-        }
-    }
-
-    /// Visit the occupied dense slots in ascending coordinate order
-    /// (ascending row-major linear index *is* ascending lexicographic
-    /// coordinate order). Stops as soon as all `resident` entries have
-    /// been seen, so time-clustered occupancy scans only a prefix of the
-    /// grid rather than its full registered volume.
-    fn for_each_dense(&self, array: ArrayId, mut visit: impl FnMut((ChunkKey, NodeId))) {
-        if self.resident == 0 {
-            return;
-        }
+    /// Inverse of [`DenseMeta::linearize`] (reporting paths only).
+    fn delinearize(&self, mut lin: usize) -> ChunkCoords {
         let ndims = self.ndims as usize;
-        let mut cur = ChunkCoords::zeros(ndims);
-        let mut remaining = self.resident;
-        for &slot in &self.slots {
-            if slot != VACANT {
-                visit((ChunkKey::new(array, cur), NodeId(slot)));
-                remaining -= 1;
-                if remaining == 0 {
-                    return;
-                }
-            }
-            // Odometer over the extents, row-major.
-            for d in (0..ndims).rev() {
-                cur[d] += 1;
-                if cur[d] < self.extents[d] {
-                    break;
-                }
-                cur[d] = 0;
-            }
+        let mut out = ChunkCoords::zeros(ndims);
+        for d in (0..ndims).rev() {
+            let extent = self.extents[d] as usize;
+            out[d] = (lin % extent) as i64;
+            lin /= extent;
         }
+        out
     }
 
-    /// Append every `(coords, node)` pair in ascending coordinate order.
-    fn collect_sorted(&self, array: ArrayId, out: &mut Vec<(ChunkKey, NodeId)>) {
-        if self.spill.is_empty() {
-            out.reserve(self.resident);
-            self.for_each_dense(array, |kv| out.push(kv));
-            return;
-        }
-        let mut dense: Vec<(ChunkKey, NodeId)> = Vec::with_capacity(self.resident);
-        self.for_each_dense(array, |kv| dense.push(kv));
-        let mut spill: Vec<(ChunkKey, NodeId)> =
-            self.spill.iter().map(|(&c, &n)| (ChunkKey::new(array, c), n)).collect();
-        spill.sort_unstable_by_key(|a| a.0);
-        // Merge the two sorted runs.
-        let (mut di, mut si) = (0, 0);
-        while di < dense.len() && si < spill.len() {
-            if dense[di].0 <= spill[si].0 {
-                out.push(dense[di]);
-                di += 1;
-            } else {
-                out.push(spill[si]);
-                si += 1;
-            }
-        }
-        out.extend_from_slice(&dense[di..]);
-        out.extend_from_slice(&spill[si..]);
+    #[inline]
+    fn shard_of_lin(&self, lin: usize) -> usize {
+        lin >> self.slab_shift
+    }
+
+    #[inline]
+    fn slab_offset(&self, lin: usize) -> usize {
+        lin & ((1usize << self.slab_shift) - 1)
     }
 }
 
-/// Per-array placement storage: sparse until registered dense.
+/// One shard's slab of an array's row-major slot vector.
 #[derive(Debug, Clone)]
-enum ArraySlot {
-    Sparse(HashMap<ChunkCoords, NodeId>),
-    Dense(DenseGrid),
+struct Slab {
+    /// `NodeId.0` per owned slot, or [`VACANT`].
+    slots: Vec<u32>,
+    /// Occupied entries in `slots`.
+    resident: usize,
 }
 
-impl ArraySlot {
-    fn empty() -> Self {
-        ArraySlot::Sparse(HashMap::new())
+/// One coordinate-range shard: disjoint slabs of every registered dense
+/// grid plus a spill map for sparse keys hashed here. A shard is the unit
+/// of single-writer ownership during parallel batch placement.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlacementShard {
+    /// Slab per array id; present iff the array is registered dense and
+    /// this shard's slot range intersects its volume.
+    slabs: Vec<Option<Slab>>,
+    /// Sparse entries hashed to this shard.
+    spill: HashMap<ChunkKey, NodeId>,
+}
+
+impl PlacementShard {
+    fn slab_mut(&mut self, array: ArrayId) -> Option<&mut Slab> {
+        self.slabs.get_mut(array.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Check-then-insert for batch placement: never overwrites, so a
+    /// duplicate leaves the original untouched. `Err` reports the prior
+    /// occupant. The caller guarantees this shard owns `key`.
+    #[inline]
+    pub(crate) fn try_insert(
+        &mut self,
+        dense: &[Option<DenseMeta>],
+        key: ChunkKey,
+        node: NodeId,
+    ) -> Result<(), NodeId> {
+        if let Some(meta) = dense.get(key.array.0 as usize).and_then(Option::as_ref) {
+            if let Some(lin) = meta.linearize(&key.coords) {
+                let off = meta.slab_offset(lin);
+                let slab = self.slab_mut(key.array).expect("dense meta implies a slab");
+                let prev = slab.slots[off];
+                if prev != VACANT {
+                    return Err(NodeId(prev));
+                }
+                slab.slots[off] = node.0;
+                slab.resident += 1;
+                return Ok(());
+            }
+        }
+        match self.spill.get(&key) {
+            Some(&prev) => Err(prev),
+            None => {
+                self.spill.insert(key, node);
+                Ok(())
+            }
+        }
+    }
+
+    /// Undo a [`PlacementShard::try_insert`] (duplicate-rollback path).
+    fn remove(&mut self, dense: &[Option<DenseMeta>], key: &ChunkKey) {
+        if let Some(meta) = dense.get(key.array.0 as usize).and_then(Option::as_ref) {
+            if let Some(lin) = meta.linearize(&key.coords) {
+                let off = meta.slab_offset(lin);
+                let slab = self.slab_mut(key.array).expect("dense meta implies a slab");
+                if slab.slots[off] != VACANT {
+                    slab.slots[off] = VACANT;
+                    slab.resident -= 1;
+                }
+                return;
+            }
+        }
+        self.spill.remove(key);
     }
 }
 
-/// The authoritative chunk→node map across all arrays.
-#[derive(Debug, Clone, Default)]
+/// The authoritative chunk→node map across all arrays, sharded by
+/// coordinate range.
+#[derive(Debug, Clone)]
 pub(crate) struct PlacementIndex {
-    /// Indexed by `ArrayId.0` for ids below [`ARRAY_ID_CAP`].
-    slots: Vec<ArraySlot>,
-    /// Shared fallback for out-of-range array ids.
-    overflow: HashMap<ChunkKey, NodeId>,
+    /// Dense geometry per array id below [`ARRAY_ID_CAP`]; `None` for
+    /// unregistered (sparse) arrays.
+    dense: Vec<Option<DenseMeta>>,
+    /// The coordinate-range shards ([`SHARD_COUNT`] of them).
+    shards: Vec<PlacementShard>,
     len: usize,
+}
+
+impl Default for PlacementIndex {
+    fn default() -> Self {
+        PlacementIndex {
+            dense: Vec::new(),
+            shards: (0..SHARD_COUNT).map(|_| PlacementShard::default()).collect(),
+            len: 0,
+        }
+    }
 }
 
 impl PlacementIndex {
@@ -174,8 +212,12 @@ impl PlacementIndex {
         PlacementIndex::default()
     }
 
+    fn meta(&self, array: ArrayId) -> Option<&DenseMeta> {
+        self.dense.get(array.0 as usize).and_then(Option::as_ref)
+    }
+
     /// Register the chunk-grid extents of `array`, switching it to the
-    /// dense O(1) representation. Returns `true` when the dense grid was
+    /// sharded dense representation. Returns `true` when the slabs were
     /// installed (extent product within the allocation cap, id in range).
     /// Existing placements are migrated. Unbounded dimensions should pass
     /// their expected chunk-count hint; coordinates beyond it spill to a
@@ -193,59 +235,135 @@ impl PlacementIndex {
         if volume > DENSE_SLOT_CAP {
             return false;
         }
-        let mut ext = [1i64; MAX_DIMS];
-        ext[..extents.len()].copy_from_slice(extents);
-        let mut grid = DenseGrid {
-            extents: ext,
-            ndims: extents.len() as u8,
-            slots: vec![VACANT; volume as usize],
-            resident: 0,
-            spill: HashMap::new(),
-        };
-        let slot = self.slot_mut(array);
-        if let ArraySlot::Sparse(existing) = slot {
-            for (coords, node) in existing.drain() {
-                grid.insert(coords, node);
-            }
-            *slot = ArraySlot::Dense(grid);
-            true
-        } else {
-            // Already dense: keep the existing grid (re-registration with
+        if self.meta(array).is_some() {
+            // Already dense: keep the existing slabs (re-registration with
             // different extents would have to re-linearize; no caller
             // needs that).
-            false
+            return false;
+        }
+        let volume = volume as usize;
+        let mut ext = [1i64; MAX_DIMS];
+        ext[..extents.len()].copy_from_slice(extents);
+        // Slab size: the smallest power of two that covers the volume in
+        // at most SHARD_COUNT slabs (so every shard owns one contiguous
+        // coordinate range and spill hashing stays a mask).
+        let slab_shift = volume.div_ceil(SHARD_COUNT).next_power_of_two().trailing_zeros();
+        let meta = DenseMeta { extents: ext, ndims: extents.len() as u8, slab_shift };
+        let idx = array.0 as usize;
+        if idx >= self.dense.len() {
+            self.dense.resize(idx + 1, None);
+        }
+        self.dense[idx] = Some(meta);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let start = s << slab_shift;
+            if start >= volume {
+                break;
+            }
+            let len = (volume - start).min(1usize << slab_shift);
+            if idx >= shard.slabs.len() {
+                shard.slabs.resize(idx + 1, None);
+            }
+            shard.slabs[idx] = Some(Slab { slots: vec![VACANT; len], resident: 0 });
+        }
+        // Migrate sparse entries of this array out of the spill maps: the
+        // in-extent ones move to their slab (and possibly to a different
+        // shard, since sparse placement hashes while dense slices).
+        let mut migrate: Vec<(ChunkKey, NodeId)> = Vec::new();
+        for shard in &mut self.shards {
+            shard.spill.retain(|key, node| {
+                if key.array == array && meta.linearize(&key.coords).is_some() {
+                    migrate.push((*key, *node));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for (key, node) in migrate {
+            self.len -= 1; // insert() re-counts it
+            let prev = self.insert(key, node);
+            debug_assert!(prev.is_none(), "migration cannot collide");
+        }
+        true
+    }
+
+    /// The shard that owns `key`: its row-major slab for registered
+    /// in-extent coordinates, a deterministic hash shard otherwise. Pure
+    /// in `key`, so batches can be partitioned by shard up front.
+    #[inline]
+    pub(crate) fn shard_of(&self, key: &ChunkKey) -> usize {
+        match self.meta(key.array).and_then(|m| m.linearize(&key.coords).map(|l| (m, l))) {
+            Some((meta, lin)) => meta.shard_of_lin(lin),
+            None => spill_shard(key),
         }
     }
 
-    fn slot_mut(&mut self, array: ArrayId) -> &mut ArraySlot {
-        let idx = array.0 as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize_with(idx + 1, ArraySlot::empty);
+    /// Split borrow for the parallel placement phase: read-only dense
+    /// geometry plus single-writer access to each shard.
+    pub(crate) fn parts_mut(&mut self) -> (&[Option<DenseMeta>], &mut [PlacementShard]) {
+        (&self.dense, &mut self.shards)
+    }
+
+    /// Account for `n` entries inserted through [`PlacementShard`]s.
+    pub(crate) fn add_len(&mut self, n: usize) {
+        self.len += n;
+    }
+
+    /// Undo the first `done` insertions of each listed shard's `bucket`
+    /// (indices into `batch`) after a failed parallel batch.
+    pub(crate) fn rollback(
+        &mut self,
+        keys: &[ChunkKey],
+        buckets: &[Vec<u32>],
+        progress: &[(usize, usize)],
+    ) {
+        for &(s, done) in progress {
+            for &i in &buckets[s][..done] {
+                let key = keys[i as usize];
+                debug_assert_eq!(self.shard_of(&key), s);
+                let (dense, shards) = self.parts_mut();
+                shards[s].remove(dense, &key);
+            }
         }
-        &mut self.slots[idx]
     }
 
     #[inline]
     pub(crate) fn get(&self, key: &ChunkKey) -> Option<NodeId> {
-        if key.array.0 >= ARRAY_ID_CAP {
-            return self.overflow.get(key).copied();
-        }
-        match self.slots.get(key.array.0 as usize)? {
-            ArraySlot::Sparse(map) => map.get(&key.coords).copied(),
-            ArraySlot::Dense(grid) => grid.get(&key.coords),
+        match self.meta(key.array).and_then(|m| m.linearize(&key.coords).map(|l| (m, l))) {
+            Some((meta, lin)) => {
+                let shard = &self.shards[meta.shard_of_lin(lin)];
+                let slab = shard.slabs[key.array.0 as usize].as_ref()?;
+                match slab.slots[meta.slab_offset(lin)] {
+                    VACANT => None,
+                    id => Some(NodeId(id)),
+                }
+            }
+            None => self.shards[spill_shard(key)].spill.get(key).copied(),
         }
     }
 
-    /// Insert or overwrite; returns the previous occupant.
+    /// Insert or overwrite; returns the previous occupant. The sequential
+    /// path — batches go through the shards directly.
     #[inline]
     pub(crate) fn insert(&mut self, key: ChunkKey, node: NodeId) -> Option<NodeId> {
-        let prev = if key.array.0 >= ARRAY_ID_CAP {
-            self.overflow.insert(key, node)
-        } else {
-            match self.slot_mut(key.array) {
-                ArraySlot::Sparse(map) => map.insert(key.coords, node),
-                ArraySlot::Dense(grid) => grid.insert(key.coords, node),
+        let prev = match self
+            .meta(key.array)
+            .and_then(|m| m.linearize(&key.coords).map(|l| (m.shard_of_lin(l), m.slab_offset(l))))
+        {
+            Some((shard_idx, off)) => {
+                let slab = self.shards[shard_idx].slabs[key.array.0 as usize]
+                    .as_mut()
+                    .expect("dense meta implies a slab");
+                let prev = slab.slots[off];
+                slab.slots[off] = node.0;
+                if prev == VACANT {
+                    slab.resident += 1;
+                    None
+                } else {
+                    Some(NodeId(prev))
+                }
             }
+            None => self.shards[spill_shard(&key)].spill.insert(key, node),
         };
         if prev.is_none() {
             self.len += 1;
@@ -258,28 +376,73 @@ impl PlacementIndex {
     }
 
     /// Every `(key, node)` pair in ascending key order — the same
-    /// deterministic order the old `BTreeMap` iteration produced.
-    /// O(n) for registered (dense) arrays plus O(s log s) over sparse
-    /// entries; intended for reorganization and reporting, not the
-    /// per-chunk hot path.
+    /// deterministic order the original `BTreeMap` iteration produced.
+    /// O(n) over dense slabs plus O(s log s) over sparse entries; intended
+    /// for reorganization and reporting, not the per-chunk hot path.
     pub(crate) fn collect_sorted(&self) -> Vec<(ChunkKey, NodeId)> {
-        let mut out = Vec::with_capacity(self.len);
-        for (idx, slot) in self.slots.iter().enumerate() {
+        // Dense arrays in id order, slabs in shard order: ascending
+        // row-major linear index is ascending lexicographic coordinates.
+        let mut dense_out: Vec<(ChunkKey, NodeId)> = Vec::new();
+        for (idx, meta) in self.dense.iter().enumerate() {
+            let Some(meta) = meta else { continue };
             let array = ArrayId(idx as u32);
-            match slot {
-                ArraySlot::Sparse(map) => {
-                    let start = out.len();
-                    out.extend(map.iter().map(|(&c, &n)| (ChunkKey::new(array, c), n)));
-                    out[start..].sort_unstable_by_key(|a| a.0);
+            let mut remaining: usize = self
+                .shards
+                .iter()
+                .filter_map(|s| s.slabs.get(idx)?.as_ref())
+                .map(|s| s.resident)
+                .sum();
+            if remaining == 0 {
+                continue;
+            }
+            dense_out.reserve(remaining);
+            'slabs: for (s, shard) in self.shards.iter().enumerate() {
+                let Some(Some(slab)) = shard.slabs.get(idx) else { continue };
+                if slab.resident == 0 {
+                    continue;
                 }
-                ArraySlot::Dense(grid) => grid.collect_sorted(array, &mut out),
+                let start = s << meta.slab_shift;
+                let mut cur = meta.delinearize(start);
+                let ndims = meta.ndims as usize;
+                for &slot in &slab.slots {
+                    if slot != VACANT {
+                        dense_out.push((ChunkKey::new(array, cur), NodeId(slot)));
+                        remaining -= 1;
+                        if remaining == 0 {
+                            break 'slabs;
+                        }
+                    }
+                    // Odometer over the extents, row-major.
+                    for d in (0..ndims).rev() {
+                        cur[d] += 1;
+                        if cur[d] < meta.extents[d] {
+                            break;
+                        }
+                        cur[d] = 0;
+                    }
+                }
             }
         }
-        if !self.overflow.is_empty() {
-            let start = out.len();
-            out.extend(self.overflow.iter().map(|(&k, &n)| (k, n)));
-            out[start..].sort_unstable_by_key(|a| a.0);
+        // Sparse entries from every shard, sorted, then a two-run merge.
+        let mut sparse: Vec<(ChunkKey, NodeId)> =
+            self.shards.iter().flat_map(|s| s.spill.iter().map(|(&k, &n)| (k, n))).collect();
+        if sparse.is_empty() {
+            return dense_out;
         }
+        sparse.sort_unstable_by_key(|e| e.0);
+        let mut out = Vec::with_capacity(self.len);
+        let (mut di, mut si) = (0, 0);
+        while di < dense_out.len() && si < sparse.len() {
+            if dense_out[di].0 <= sparse[si].0 {
+                out.push(dense_out[di]);
+                di += 1;
+            } else {
+                out.push(sparse[si]);
+                si += 1;
+            }
+        }
+        out.extend_from_slice(&dense_out[di..]);
+        out.extend_from_slice(&sparse[si..]);
         out
     }
 }
@@ -333,7 +496,7 @@ mod tests {
     }
 
     #[test]
-    fn huge_array_ids_use_the_overflow_map() {
+    fn huge_array_ids_use_the_spill_maps() {
         let mut idx = PlacementIndex::new();
         let k = key(u32::MAX - 1, &[0]);
         assert!(!idx.register_dense(ArrayId(u32::MAX - 1), &[8]));
@@ -354,5 +517,48 @@ mod tests {
         let all = idx.collect_sorted();
         assert_eq!(all.len(), idx.len());
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "unsorted: {all:?}");
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_partitions_dense_grids_by_range() {
+        let mut idx = PlacementIndex::new();
+        assert!(idx.register_dense(ArrayId(0), &[64, 64])); // 4096 slots
+                                                            // Row-major slabs: consecutive linear indices share shards, and
+                                                            // shards are visited in ascending order.
+        let mut last = 0usize;
+        for x in 0..64 {
+            let s = idx.shard_of(&key(0, &[x, 0]));
+            assert!(s >= last, "shards must ascend with row-major order");
+            last = s;
+        }
+        assert_eq!(last, SHARD_COUNT - 1, "a full grid uses every shard");
+        // Sparse keys hash deterministically.
+        let k = key(7, &[3, 3]);
+        assert_eq!(idx.shard_of(&k), idx.shard_of(&k));
+        assert!(idx.shard_of(&k) < SHARD_COUNT);
+    }
+
+    #[test]
+    fn try_insert_reports_duplicates_and_rollback_restores() {
+        let mut idx = PlacementIndex::new();
+        assert!(idx.register_dense(ArrayId(0), &[8, 8]));
+        idx.insert(key(0, &[1, 1]), NodeId(9));
+        let keys = [key(0, &[1, 2]), key(0, &[1, 1]), key(0, &[1, 3])];
+        let shard = idx.shard_of(&keys[0]);
+        let buckets: Vec<Vec<u32>> = {
+            let mut b = vec![Vec::new(); SHARD_COUNT];
+            for (i, k) in keys.iter().enumerate() {
+                b[idx.shard_of(k)].push(i as u32);
+            }
+            b
+        };
+        // All three land in the same slab shard (same row).
+        assert!(buckets[shard].len() == 3);
+        let (dense, shards) = idx.parts_mut();
+        assert!(shards[shard].try_insert(dense, keys[0], NodeId(1)).is_ok());
+        assert_eq!(shards[shard].try_insert(dense, keys[1], NodeId(1)), Err(NodeId(9)));
+        idx.rollback(&keys, &buckets, &[(shard, 1)]);
+        assert_eq!(idx.get(&keys[0]), None, "rolled back");
+        assert_eq!(idx.get(&keys[1]), Some(NodeId(9)), "original survives");
     }
 }

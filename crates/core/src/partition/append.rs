@@ -5,11 +5,23 @@
 //! in join order. The partitioning table is a list of insert-sequence
 //! ranges, one per node, so adding a node is O(1) and scale-out moves no
 //! data at all — at the price of poor balance and no dimensional locality.
+//!
+//! Routing is order-sensitive, so the read-only [`Partitioner::route`]
+//! phase reconstructs the batch's fill state from the epoch instead of
+//! watching live loads: node quotas form a *staircase* of remaining
+//! capacities (from the cursor onward, against epoch-start loads), and a
+//! chunk preceded by `P` batch bytes lands on the first step whose
+//! cumulative quota exceeds `P`. A chunk that straddles a step boundary
+//! overflows its node and correspondingly reduces the next node's share —
+//! the batched analogue of the old live-load spill — and the last node
+//! absorbs everything past the staircase. For one-chunk epochs (`P = 0`)
+//! this degenerates exactly to the classic "first node under its fill
+//! target" walk.
 
-use super::{Partitioner, PartitionerKind};
+use super::{GridHint, Partitioner, PartitionerKind, RouteEpoch};
+use crate::partition::seq_index::SeqIndex;
 use array_model::{ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
-use std::collections::BTreeMap;
 
 /// Append partitioner state.
 #[derive(Debug, Clone)]
@@ -23,14 +35,16 @@ pub struct Append {
     next_seq: u64,
     /// The range table: `(first_seq, node)` entries, ascending by seq.
     ranges: Vec<(u64, NodeId)>,
-    /// Sequence number of every placed chunk (for lookups).
-    seq_of: BTreeMap<ChunkKey, u64>,
+    /// Sequence number of every placed chunk (for lookups): dense
+    /// per-array grids with hash spill, O(1) on the hot path.
+    seq_of: SeqIndex,
 }
 
 impl Append {
     /// Build for the cluster's initial nodes. `fill` ∈ (0, 1] is the
-    /// fraction of a node's capacity used before spilling.
-    pub fn new(nodes: &[NodeId], fill: f64) -> Self {
+    /// fraction of a node's capacity used before spilling; `grid` sizes
+    /// the dense sequence index.
+    pub fn new(nodes: &[NodeId], fill: f64, grid: &GridHint) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
         assert!(fill > 0.0 && fill <= 1.0, "fill must be in (0, 1]");
         Append {
@@ -39,23 +53,14 @@ impl Append {
             fill,
             next_seq: 0,
             ranges: Vec::new(),
-            seq_of: BTreeMap::new(),
+            seq_of: SeqIndex::new(&grid.chunk_counts),
         }
     }
 
-    fn current_target(&mut self, cluster: &Cluster) -> NodeId {
-        // Advance past nodes that have reached their fill target. The last
-        // node absorbs overflow (the provisioner should have scaled out).
-        while self.cursor + 1 < self.nodes.len() {
-            let node = self.nodes[self.cursor];
-            let n = cluster.node(node).expect("append tracks live nodes");
-            let target = (n.capacity_bytes as f64 * self.fill) as u64;
-            if n.used_bytes() < target {
-                break;
-            }
-            self.cursor += 1;
-        }
-        self.nodes[self.cursor]
+    /// A node's fill target in bytes.
+    fn target(&self, cluster: &Cluster, node: NodeId) -> u64 {
+        let n = cluster.node(node).expect("append tracks live nodes");
+        (n.capacity_bytes as f64 * self.fill) as u64
     }
 }
 
@@ -64,21 +69,53 @@ impl Partitioner for Append {
         PartitionerKind::Append
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, cluster: &Cluster) -> NodeId {
-        let node = self.current_target(cluster);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        // Open a new range entry on a node's first write.
-        match self.ranges.last() {
-            Some(&(_, last_node)) if last_node == node => {}
-            _ => self.ranges.push((seq, node)),
+    fn route(&self, desc: &ChunkDescriptor, ordinal: usize, epoch: &RouteEpoch<'_>) -> NodeId {
+        let _ = desc;
+        let cluster = epoch.cluster();
+        let prefix = epoch.prefix_bytes(ordinal);
+        // Walk the staircase of remaining quotas from the cursor; the
+        // last node absorbs overflow (the provisioner should have scaled
+        // out). Allocation-free, O(nodes) worst case, and usually one
+        // step: the batch's prefix lands on the current fill target.
+        let mut cum = 0u64;
+        let mut i = self.cursor.min(self.nodes.len() - 1);
+        loop {
+            if i + 1 >= self.nodes.len() {
+                return self.nodes[i];
+            }
+            let node = self.nodes[i];
+            let n = cluster.node(node).expect("append tracks live nodes");
+            let remaining = self.target(cluster, node).saturating_sub(n.used_bytes());
+            cum = cum.saturating_add(remaining);
+            if prefix < cum {
+                return node;
+            }
+            i += 1;
         }
-        self.seq_of.insert(desc.key, seq);
-        node
+    }
+
+    fn commit(&mut self, batch: &[ChunkDescriptor], routes: &[NodeId]) {
+        for (desc, &node) in batch.iter().zip(routes) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Open a new range entry on a node's first write.
+            match self.ranges.last() {
+                Some(&(_, last_node)) if last_node == node => {}
+                _ => self.ranges.push((seq, node)),
+            }
+            self.seq_of.insert(desc.key, seq);
+        }
+        // Routes walk the roster monotonically, so the last route is the
+        // furthest fill target reached; persist it as the new cursor.
+        if let Some(last) = routes.last() {
+            if let Some(pos) = self.nodes.iter().position(|n| n == last) {
+                self.cursor = self.cursor.max(pos);
+            }
+        }
     }
 
     fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
-        let seq = *self.seq_of.get(key)?;
+        let seq = self.seq_of.get(key)?;
         // Binary search the range table: the entry with the largest
         // first_seq <= seq owns the chunk.
         let idx = self.ranges.partition_point(|&(start, _)| start <= seq);
@@ -100,6 +137,10 @@ mod tests {
     use array_model::{ArrayId, ChunkCoords};
     use cluster_sim::CostModel;
 
+    fn grid() -> GridHint {
+        GridHint::new(vec![64])
+    }
+
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
         ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
@@ -115,7 +156,7 @@ mod tests {
     #[test]
     fn fills_nodes_in_join_order() {
         let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
-        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        let mut p = Append::new(&cluster.node_ids(), 1.0, &grid());
         run(&mut p, &mut cluster, 0, 4, 30); // 120 bytes total
                                              // Node 0 takes 30+30+30 (90 < 100), the 4th lands on node 0 too
                                              // (90 < 100 still true before placement), then spills.
@@ -127,7 +168,7 @@ mod tests {
     #[test]
     fn scale_out_moves_nothing() {
         let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
-        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        let mut p = Append::new(&cluster.node_ids(), 1.0, &grid());
         run(&mut p, &mut cluster, 0, 8, 30);
         let new = cluster.add_nodes(2, 100);
         let plan = p.scale_out(&cluster, &new);
@@ -140,7 +181,7 @@ mod tests {
     #[test]
     fn locate_agrees_with_cluster() {
         let mut cluster = Cluster::new(3, 100, CostModel::default()).unwrap();
-        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        let mut p = Append::new(&cluster.node_ids(), 1.0, &grid());
         run(&mut p, &mut cluster, 0, 10, 40);
         for (key, node) in cluster.placements() {
             assert_eq!(p.locate(&key), Some(node), "mismatch for {key}");
@@ -151,7 +192,7 @@ mod tests {
     #[test]
     fn last_node_absorbs_overflow() {
         let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
-        let mut p = Append::new(&cluster.node_ids(), 1.0);
+        let mut p = Append::new(&cluster.node_ids(), 1.0, &grid());
         run(&mut p, &mut cluster, 0, 10, 100); // way past total capacity
         assert_eq!(cluster.loads()[0], 100);
         assert_eq!(cluster.loads()[1], 900);
@@ -160,9 +201,38 @@ mod tests {
     #[test]
     fn fill_factor_spills_early() {
         let mut cluster = Cluster::new(2, 100, CostModel::default()).unwrap();
-        let mut p = Append::new(&cluster.node_ids(), 0.5);
+        let mut p = Append::new(&cluster.node_ids(), 0.5, &grid());
         run(&mut p, &mut cluster, 0, 4, 25);
         // Node 0 reaches 50 (its 0.5 target) after two chunks.
         assert_eq!(cluster.loads(), vec![50, 50]);
+    }
+
+    #[test]
+    fn batch_routing_walks_the_quota_staircase() {
+        // Routed as one epoch: the prefix sums alone must spill the batch
+        // across nodes exactly like live sequential fills would.
+        let mut cluster = Cluster::new(3, 100, CostModel::default()).unwrap();
+        let mut p = Append::new(&cluster.node_ids(), 1.0, &grid());
+        let batch: Vec<ChunkDescriptor> = (0..6).map(|i| desc(i, 40)).collect();
+        let prefix = super::super::batch_prefix_bytes(&batch);
+        let epoch = RouteEpoch::for_batch(&cluster, &prefix);
+        let routes: Vec<NodeId> =
+            batch.iter().enumerate().map(|(i, d)| p.route(d, i, &epoch)).collect();
+        // Quotas of 100 per node: prefixes 0,40,80 -> n0; 120,160 -> n1
+        // (40 of overflow from chunk 2 eats into n1's share); 200 -> n2.
+        assert_eq!(
+            routes,
+            vec![NodeId(0); 3]
+                .into_iter()
+                .chain([NodeId(1), NodeId(1), NodeId(2)])
+                .collect::<Vec<_>>()
+        );
+        cluster.place_batch(&batch, &routes, 1).unwrap();
+        p.commit(&batch, &routes);
+        // Cursor persisted: the next single placement continues on node 2.
+        assert_eq!(p.place(&desc(10, 10), &cluster), NodeId(2));
+        for (key, node) in cluster.placements() {
+            assert_eq!(p.locate(&key), Some(node));
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! sizes and array space, so the scheme is neither skew-aware nor
 //! clustered.
 
-use super::{Partitioner, PartitionerKind};
+use super::{Partitioner, PartitionerKind, RouteEpoch};
 use crate::hashing::{hash_chunk_key, hash_ring_point};
 use array_model::{ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
@@ -58,7 +58,7 @@ impl Partitioner for ConsistentHash {
         PartitionerKind::ConsistentHash
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+    fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner(hash_chunk_key(&desc.key))
     }
 

@@ -8,7 +8,7 @@
 //! on the next more significant bit — the half with the new bit set moves
 //! to the new node.
 
-use super::{Partitioner, PartitionerKind};
+use super::{Partitioner, PartitionerKind, RouteEpoch};
 use crate::hashing::hash_chunk_key;
 use array_model::{ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
@@ -97,7 +97,7 @@ impl Partitioner for ExtendibleHash {
         PartitionerKind::ExtendibleHash
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+    fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner(hash_chunk_key(&desc.key))
     }
 

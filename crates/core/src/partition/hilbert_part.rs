@@ -7,7 +7,7 @@
 //! chunk-granularity, skew-aware split that keeps curve (and therefore
 //! spatial) neighbours together.
 
-use super::{GridHint, Partitioner, PartitionerKind};
+use super::{GridHint, Partitioner, PartitionerKind, RouteEpoch};
 use array_model::{ChunkDescriptor, ChunkKey, HilbertOrder};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
 use std::collections::BTreeMap;
@@ -87,7 +87,7 @@ impl Partitioner for HilbertCurve {
         PartitionerKind::HilbertCurve
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+    fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner_of_index(self.index_of(&desc.key))
     }
 

@@ -6,7 +6,7 @@
 //! chunks along the next dimension in the cycle, handing the upper half to
 //! the newcomer. Lookup is a logarithmic tree descent (Figure 2).
 
-use super::{GridHint, Partitioner, PartitionerKind};
+use super::{GridHint, Partitioner, PartitionerKind, RouteEpoch};
 use array_model::{ChunkCoords, ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
 use std::collections::BTreeMap;
@@ -181,7 +181,7 @@ impl Partitioner for KdTree {
         PartitionerKind::KdTree
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+    fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         // Indices beyond the grid hint still route deterministically: the
         // tree's rightmost leaves have open upper bounds in effect because
         // descent only compares against split planes.

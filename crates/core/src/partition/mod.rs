@@ -1,14 +1,35 @@
 //! Elastic partitioners for scientific arrays (paper §4).
 //!
 //! A [`Partitioner`] owns the chunk→node assignment policy for a growing
-//! cluster. The driver protocol is:
+//! cluster. Placement is split into two phases so batches can be routed
+//! from many threads:
+//!
+//! * **routing** — [`Partitioner::route`] is read-only (`&self`, and the
+//!   trait requires `Send + Sync`): it answers "which node?" for one chunk
+//!   against an **epoch snapshot** of the partitioning table and the
+//!   cluster ([`RouteEpoch`]). Within a batch, every chunk routes against
+//!   the same epoch; order-sensitive schemes receive the chunk's batch
+//!   `ordinal` and the epoch's byte prefix sums instead of observing live
+//!   state.
+//! * **commit** — [`Partitioner::commit`] applies the batch's table
+//!   mutations (sequence-map inserts, cursor advances) sequentially, once
+//!   the cluster has durably placed the batch. Table-structural changes
+//!   (tree splits, directory doublings, ring arcs) only ever happen in
+//!   [`Partitioner::scale_out`], which remains sequential.
+//!
+//! The single-chunk driver protocol still works — [`Partitioner::place`]
+//! is a provided method that routes a one-chunk epoch and commits it
+//! immediately:
 //!
 //! 1. for each incoming chunk: `let node = p.place(&desc, &cluster);`
-//!    followed immediately by `cluster.place(desc, node)` — partitioners
-//!    may read fresh node loads between placements (Append depends on it);
+//!    followed immediately by `cluster.place(desc, node)`;
 //! 2. when the cluster scales out: `cluster.add_nodes(..)`, then
 //!    `let plan = p.scale_out(&cluster, &new_nodes);` followed by
 //!    `cluster.apply_rebalance(&plan)`.
+//!
+//! Batch drivers instead call [`route_batch`] (optionally fanning routing
+//! across threads), then `Cluster::place_batch`, then
+//! [`Partitioner::commit`].
 //!
 //! [`Partitioner::locate`] answers chunk lookups from the partitioner's own
 //! table (ring walk, directory probe, tree descent, ...) and must agree
@@ -22,6 +43,7 @@ mod hilbert_part;
 mod kdtree;
 mod quadtree;
 mod round_robin;
+mod seq_index;
 mod uniform_range;
 
 pub use append::Append;
@@ -254,8 +276,92 @@ impl Default for PartitionerConfig {
     }
 }
 
+/// The epoch snapshot a batch routes against: the cluster at batch start
+/// plus the batch's byte prefix sums.
+///
+/// Routing is read-only, so every thread of a fan-out shares one epoch.
+/// Order-sensitive schemes (Append) reconstruct "how many bytes arrived
+/// before me" from `prefix_bytes` instead of watching live node loads —
+/// which makes their decisions a pure function of (table, epoch, ordinal)
+/// and therefore identical whatever the thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteEpoch<'a> {
+    cluster: &'a Cluster,
+    /// `prefix_bytes[i]` = Σ bytes of batch chunks `0..i`. Empty for
+    /// single-chunk epochs (prefix 0).
+    prefix_bytes: &'a [u64],
+}
+
+impl<'a> RouteEpoch<'a> {
+    /// Epoch for a single-chunk placement (prefix 0), allocation-free.
+    pub fn single(cluster: &'a Cluster) -> Self {
+        RouteEpoch { cluster, prefix_bytes: &[] }
+    }
+
+    /// Epoch for a whole batch; `prefix_bytes` from [`batch_prefix_bytes`].
+    pub fn for_batch(cluster: &'a Cluster, prefix_bytes: &'a [u64]) -> Self {
+        RouteEpoch { cluster, prefix_bytes }
+    }
+
+    /// The cluster as of the epoch (loads exclude the in-flight batch).
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// Bytes of the batch that precede `ordinal` in arrival order.
+    #[inline]
+    pub fn prefix_bytes(&self, ordinal: usize) -> u64 {
+        self.prefix_bytes.get(ordinal).copied().unwrap_or(0)
+    }
+}
+
+/// Exclusive byte prefix sums of a batch: `out[i]` = Σ `batch[0..i].bytes`.
+pub fn batch_prefix_bytes(batch: &[ChunkDescriptor]) -> Vec<u64> {
+    let mut acc = 0u64;
+    batch
+        .iter()
+        .map(|d| {
+            let p = acc;
+            acc = acc.saturating_add(d.bytes);
+            p
+        })
+        .collect()
+}
+
+/// Route a whole batch, writing `out[i] = p.route(batch[i], i, epoch)`,
+/// fanning out over up to `threads` OS threads (contiguous slices of the
+/// batch). The result is independent of `threads` because routing is a
+/// pure function of (table, epoch, ordinal).
+pub fn route_batch(
+    p: &dyn Partitioner,
+    batch: &[ChunkDescriptor],
+    epoch: &RouteEpoch<'_>,
+    threads: usize,
+) -> Vec<NodeId> {
+    let mut out = vec![NodeId(0); batch.len()];
+    let threads = threads.max(1);
+    if threads == 1 || batch.len() < 2 * threads {
+        for (i, (d, slot)) in batch.iter().zip(out.iter_mut()).enumerate() {
+            *slot = p.route(d, i, epoch);
+        }
+        return out;
+    }
+    let stride = batch.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, (bs, os)) in batch.chunks(stride).zip(out.chunks_mut(stride)).enumerate() {
+            let base = ci * stride;
+            scope.spawn(move || {
+                for (j, d) in bs.iter().enumerate() {
+                    os[j] = p.route(d, base + j, epoch);
+                }
+            });
+        }
+    });
+    out
+}
+
 /// The elastic partitioner interface (see module docs for the protocol).
-pub trait Partitioner: Send {
+pub trait Partitioner: Send + Sync {
     /// Which scheme this is.
     fn kind(&self) -> PartitionerKind;
 
@@ -264,8 +370,28 @@ pub trait Partitioner: Send {
         self.kind().features()
     }
 
-    /// Choose the destination node for a new chunk.
-    fn place(&mut self, desc: &ChunkDescriptor, cluster: &Cluster) -> NodeId;
+    /// Choose the destination node for the chunk at position `ordinal` of
+    /// the current batch, against `epoch`. Read-only: callable from many
+    /// threads at once; must be a pure function of (table, epoch,
+    /// ordinal, desc).
+    fn route(&self, desc: &ChunkDescriptor, ordinal: usize, epoch: &RouteEpoch<'_>) -> NodeId;
+
+    /// Sequentially fold one routed batch's table mutations (sequence
+    /// maps, cursor advances) into the partitioning table. Stateless
+    /// schemes need nothing. Called once per batch, after the cluster has
+    /// placed it; `routes` are the values [`Partitioner::route`] produced.
+    fn commit(&mut self, batch: &[ChunkDescriptor], routes: &[NodeId]) {
+        let _ = (batch, routes);
+    }
+
+    /// Single-chunk placement: route a one-chunk epoch and commit it.
+    /// The classic sequential driver loop uses this.
+    fn place(&mut self, desc: &ChunkDescriptor, cluster: &Cluster) -> NodeId {
+        let epoch = RouteEpoch::single(cluster);
+        let node = self.route(desc, 0, &epoch);
+        self.commit(std::slice::from_ref(desc), std::slice::from_ref(&node));
+        node
+    }
 
     /// Answer a chunk lookup from the partitioner's own table.
     fn locate(&self, key: &ChunkKey) -> Option<NodeId>;
@@ -284,7 +410,7 @@ pub fn build_partitioner(
 ) -> Box<dyn Partitioner> {
     let nodes = cluster.node_ids();
     match kind {
-        PartitionerKind::Append => Box::new(Append::new(&nodes, config.append_fill)),
+        PartitionerKind::Append => Box::new(Append::new(&nodes, config.append_fill, grid)),
         PartitionerKind::ConsistentHash => {
             Box::new(ConsistentHash::new(&nodes, config.virtual_nodes))
         }
@@ -295,7 +421,7 @@ pub fn build_partitioner(
             Box::new(IncrementalQuadtree::new(&nodes, grid, plane))
         }
         PartitionerKind::KdTree => Box::new(KdTree::new(&nodes, grid)),
-        PartitionerKind::RoundRobin => Box::new(RoundRobin::new(&nodes)),
+        PartitionerKind::RoundRobin => Box::new(RoundRobin::new(&nodes, grid)),
         PartitionerKind::UniformRange => {
             Box::new(UniformRange::new(&nodes, grid, config.uniform_height))
         }

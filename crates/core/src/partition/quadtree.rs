@@ -13,7 +13,7 @@
 //!   single quarter) closest to halving its storage moves instead, with no
 //!   further subdivision.
 
-use super::{GridHint, Partitioner, PartitionerKind};
+use super::{GridHint, Partitioner, PartitionerKind, RouteEpoch};
 use array_model::{ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
 use std::collections::BTreeMap;
@@ -258,7 +258,7 @@ impl Partitioner for IncrementalQuadtree {
         PartitionerKind::IncrementalQuadtree
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+    fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner_of(&desc.key)
     }
 

@@ -4,25 +4,34 @@
 //! an equal share of chunks, but scale-out changes `k` and therefore the
 //! home of most chunks — a *global* reorganization that may ship data
 //! between preexisting nodes.
+//!
+//! Routing is order-sensitive but pure: the chunk's batch ordinal plus
+//! the table's sequence counter determine its home, so many threads can
+//! route one batch concurrently; [`Partitioner::commit`] then advances
+//! the counter and records the sequence numbers.
 
-use super::{Partitioner, PartitionerKind};
+use super::{Partitioner, PartitionerKind, RouteEpoch};
+use crate::partition::seq_index::SeqIndex;
+use crate::partition::GridHint;
 use array_model::{ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
-use std::collections::BTreeMap;
 
 /// Round Robin partitioner state.
 #[derive(Debug, Clone)]
 pub struct RoundRobin {
     nodes: Vec<NodeId>,
     next_seq: u64,
-    seq_of: BTreeMap<ChunkKey, u64>,
+    /// Sequence number of every placed chunk: dense per-array grids with
+    /// hash spill, O(1) on the hot path.
+    seq_of: SeqIndex,
 }
 
 impl RoundRobin {
-    /// Build for the cluster's initial nodes.
-    pub fn new(nodes: &[NodeId]) -> Self {
+    /// Build for the cluster's initial nodes; `grid` sizes the dense
+    /// sequence index.
+    pub fn new(nodes: &[NodeId], grid: &GridHint) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
-        RoundRobin { nodes: nodes.to_vec(), next_seq: 0, seq_of: BTreeMap::new() }
+        RoundRobin { nodes: nodes.to_vec(), next_seq: 0, seq_of: SeqIndex::new(&grid.chunk_counts) }
     }
 
     fn home(&self, seq: u64) -> NodeId {
@@ -35,15 +44,19 @@ impl Partitioner for RoundRobin {
         PartitionerKind::RoundRobin
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.seq_of.insert(desc.key, seq);
-        self.home(seq)
+    fn route(&self, _desc: &ChunkDescriptor, ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
+        self.home(self.next_seq + ordinal as u64)
+    }
+
+    fn commit(&mut self, batch: &[ChunkDescriptor], _routes: &[NodeId]) {
+        for desc in batch {
+            self.seq_of.insert(desc.key, self.next_seq);
+            self.next_seq += 1;
+        }
     }
 
     fn locate(&self, key: &ChunkKey) -> Option<NodeId> {
-        self.seq_of.get(key).map(|&seq| self.home(seq))
+        self.seq_of.get(key).map(|seq| self.home(seq))
     }
 
     fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan {
@@ -51,7 +64,7 @@ impl Partitioner for RoundRobin {
         // Recompute i mod k for every resident chunk; emit the diff.
         let mut plan = RebalancePlan::empty();
         for (key, current) in cluster.placements() {
-            let seq = *self.seq_of.get(&key).expect("round robin saw every placement");
+            let seq = self.seq_of.get(&key).expect("round robin saw every placement");
             let target = self.home(seq);
             if target != current {
                 let bytes = cluster
@@ -73,6 +86,10 @@ mod tests {
     use array_model::{ArrayId, ChunkCoords};
     use cluster_sim::CostModel;
 
+    fn grid() -> GridHint {
+        GridHint::new(vec![64])
+    }
+
     fn desc(i: i64, bytes: u64) -> ChunkDescriptor {
         ChunkDescriptor::new(ChunkKey::new(ArrayId(0), ChunkCoords::new([i])), bytes, 1)
     }
@@ -88,7 +105,7 @@ mod tests {
     #[test]
     fn equal_chunk_counts() {
         let mut cluster = Cluster::new(4, 1000, CostModel::default()).unwrap();
-        let mut p = RoundRobin::new(&cluster.node_ids());
+        let mut p = RoundRobin::new(&cluster.node_ids(), &grid());
         run(&mut p, &mut cluster, 0, 20, 10);
         assert_eq!(cluster.chunk_counts(), vec![5, 5, 5, 5]);
     }
@@ -96,7 +113,7 @@ mod tests {
     #[test]
     fn scale_out_is_global() {
         let mut cluster = Cluster::new(2, 1000, CostModel::default()).unwrap();
-        let mut p = RoundRobin::new(&cluster.node_ids());
+        let mut p = RoundRobin::new(&cluster.node_ids(), &grid());
         run(&mut p, &mut cluster, 0, 12, 10);
         let new = cluster.add_nodes(1, 1000);
         let plan = p.scale_out(&cluster, &new);
@@ -114,7 +131,7 @@ mod tests {
     #[test]
     fn locate_tracks_reassignment() {
         let mut cluster = Cluster::new(2, 1000, CostModel::default()).unwrap();
-        let mut p = RoundRobin::new(&cluster.node_ids());
+        let mut p = RoundRobin::new(&cluster.node_ids(), &grid());
         run(&mut p, &mut cluster, 0, 6, 10);
         let before = p.locate(&desc(3, 0).key).unwrap();
         assert_eq!(before, NodeId(1)); // 3 mod 2
@@ -122,5 +139,23 @@ mod tests {
         let plan = p.scale_out(&cluster, &new);
         cluster.apply_rebalance(&plan).unwrap();
         assert_eq!(p.locate(&desc(3, 0).key), Some(NodeId(3))); // 3 mod 4
+    }
+
+    #[test]
+    fn batch_ordinals_continue_the_sequence() {
+        // Routing a batch against one epoch must produce the same homes
+        // as placing its chunks one at a time.
+        let cluster = Cluster::new(3, 1000, CostModel::default()).unwrap();
+        let mut a = RoundRobin::new(&cluster.node_ids(), &grid());
+        let mut b = RoundRobin::new(&cluster.node_ids(), &grid());
+        let batch: Vec<ChunkDescriptor> = (0..10).map(|i| desc(i, 10)).collect();
+        let epoch = RouteEpoch::single(&cluster);
+        let routes: Vec<NodeId> =
+            batch.iter().enumerate().map(|(i, d)| a.route(d, i, &epoch)).collect();
+        a.commit(&batch, &routes);
+        let singles: Vec<NodeId> = batch.iter().map(|d| b.place(d, &cluster)).collect();
+        assert_eq!(routes, singles);
+        // And a second batch continues where the first stopped.
+        assert_eq!(a.route(&desc(10, 1), 0, &epoch), b.place(&desc(10, 1), &cluster));
     }
 }

@@ -12,7 +12,7 @@
 //! skew: a hot leaf cannot be subdivided further (the paper's AIS results
 //! show exactly this failure mode).
 
-use super::{GridHint, Partitioner, PartitionerKind};
+use super::{GridHint, Partitioner, PartitionerKind, RouteEpoch};
 use array_model::{ChunkDescriptor, ChunkKey};
 use cluster_sim::{Cluster, NodeId, RebalancePlan};
 
@@ -88,7 +88,7 @@ impl Partitioner for UniformRange {
         PartitionerKind::UniformRange
     }
 
-    fn place(&mut self, desc: &ChunkDescriptor, _cluster: &Cluster) -> NodeId {
+    fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.home(&desc.key)
     }
 

@@ -10,13 +10,70 @@
 //! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
 
 use crate::spec::{SuiteReport, Workload};
-use cluster_sim::{gb, Cluster, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
+use cluster_sim::{gb, Cluster, ClusterError, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
 use elastic_core::{
-    build_partitioner, Partitioner, PartitionerConfig, PartitionerKind, ProvisionDecision,
-    StaircaseConfig, StaircaseProvisioner,
+    batch_prefix_bytes, build_partitioner, route_batch, Partitioner, PartitionerConfig,
+    PartitionerKind, ProvisionDecision, RouteEpoch, StaircaseConfig, StaircaseProvisioner,
 };
 use query_engine::{Catalog, ExecutionContext};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What went wrong while driving a cycle. Workload batches are supposed to
+/// be collision-free, but a buggy (or adversarial) generator that re-emits
+/// a chunk key — e.g. a derived batch overlapping an earlier cycle's
+/// products — now surfaces here instead of panicking the driver; the
+/// cluster itself rolls the offending batch back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CycleError {
+    /// The insert batch failed to place.
+    Ingest {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying cluster rejection (typically a duplicate chunk).
+        source: ClusterError,
+    },
+    /// The derived (query-product) batch failed to place.
+    Derived {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying cluster rejection.
+        source: ClusterError,
+    },
+    /// A scale-out rebalance plan was inconsistent with the placement.
+    Reorg {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying cluster rejection.
+        source: ClusterError,
+    },
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleError::Ingest { cycle, source } => {
+                write!(f, "cycle {cycle}: insert batch rejected: {source}")
+            }
+            CycleError::Derived { cycle, source } => {
+                write!(f, "cycle {cycle}: derived batch rejected: {source}")
+            }
+            CycleError::Reorg { cycle, source } => {
+                write!(f, "cycle {cycle}: rebalance plan rejected: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CycleError::Ingest { source, .. }
+            | CycleError::Derived { source, .. }
+            | CycleError::Reorg { source, .. } => Some(source),
+        }
+    }
+}
 
 /// When and how the cluster grows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +110,9 @@ pub struct RunnerConfig {
     pub cost: CostModel,
     /// Run the query suites each cycle (disable for placement-only runs).
     pub run_queries: bool,
+    /// OS threads for the sharded ingest fan-out (routing + placement).
+    /// `1` runs the same phases inline; results are identical either way.
+    pub ingest_threads: usize,
 }
 
 impl RunnerConfig {
@@ -67,6 +127,7 @@ impl RunnerConfig {
             scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
             cost: CostModel::default(),
             run_queries: true,
+            ingest_threads: 1,
         }
     }
 }
@@ -90,6 +151,10 @@ pub struct CycleReport {
     pub moved_bytes: u64,
     /// Bytes ingested.
     pub insert_bytes: u64,
+    /// True when the scaling policy wanted more nodes than its per-cycle
+    /// safety cap allows: demand exceeded the trigger level even after
+    /// this cycle's scale-out. Previously this was dropped silently.
+    pub scale_saturated: bool,
     /// Per-query benchmark results (when queries ran).
     pub suites: Option<SuiteReport>,
 }
@@ -249,61 +314,99 @@ impl<'w> WorkloadRunner<'w> {
         self.provisioner.as_ref()
     }
 
-    /// Decide how many nodes to add for a projected demand (GB).
-    fn scale_decision(&self, demand_gb: f64) -> usize {
+    /// Most nodes a FixedStep policy will add in one cycle. Generous — the
+    /// paper's schedules add 2 — but finite, so a runaway demand signal
+    /// cannot allocate an unbounded roster; hitting the cap is surfaced
+    /// through [`CycleReport::scale_saturated`] rather than dropped.
+    const MAX_FIXED_STEP_ADD: u64 = 4096;
+
+    /// Decide how many nodes to add for a projected `demand_bytes`, and
+    /// whether the decision saturated the per-cycle cap.
+    ///
+    /// FixedStep is closed-form integer arithmetic: the smallest multiple
+    /// of `add` that brings `trigger × capacity` back above demand. (The
+    /// old implementation looped in f64 GB and silently stopped after 64
+    /// extra nodes, under-provisioning any cycle that needed more.)
+    fn scale_decision(&self, demand_bytes: u64) -> (usize, bool) {
         match &self.config.scaling {
-            ScalingPolicy::Fixed => 0,
+            ScalingPolicy::Fixed => (0, false),
             ScalingPolicy::FixedStep { add, trigger } => {
-                let mut extra = 0usize;
-                loop {
-                    let nodes = self.cluster.node_count() + extra;
-                    let capacity_gb = gb(nodes as u64 * self.config.node_capacity);
-                    if demand_gb <= trigger * capacity_gb || extra > 64 {
-                        break;
-                    }
-                    extra += (*add).max(1);
+                // Usable bytes per node under the trigger fraction. The one
+                // f64 rounding happens here, floor-ward, which can only
+                // over-provision by at most one step — never under.
+                let usable = (trigger * self.config.node_capacity as f64) as u64;
+                if usable == 0 {
+                    // Degenerate policy (zero trigger or capacity): no node
+                    // count can ever satisfy demand.
+                    return (0, demand_bytes > 0);
                 }
-                extra
+                let needed = demand_bytes.div_ceil(usable);
+                let have = self.cluster.node_count() as u64;
+                if needed <= have {
+                    return (0, false);
+                }
+                let step = (*add).max(1) as u64;
+                let extra = (needed - have).div_ceil(step) * step;
+                if extra > Self::MAX_FIXED_STEP_ADD {
+                    (Self::MAX_FIXED_STEP_ADD as usize, true)
+                } else {
+                    (extra as usize, false)
+                }
             }
             ScalingPolicy::Staircase(_) => {
-                match self
+                let add = match self
                     .provisioner
                     .as_ref()
                     .expect("staircase policy keeps a provisioner")
-                    .decide(self.cluster.node_count(), demand_gb)
+                    .decide(self.cluster.node_count(), gb(demand_bytes))
                 {
                     ProvisionDecision::Stay => 0,
                     ProvisionDecision::ScaleOut { add_nodes } => add_nodes,
-                }
+                };
+                (add, false)
             }
         }
     }
 
-    /// Place a batch of chunks, returning the coordinator-fed flow set.
-    fn place_batch(&mut self, batch: &[array_model::ChunkDescriptor]) -> FlowSet {
+    /// Place a batch of chunks through the sharded route → place → commit
+    /// pipeline, returning the coordinator-fed flow set. With
+    /// `ingest_threads > 1` both routing and placement fan out over scoped
+    /// threads; the resulting placements, loads, and census are identical
+    /// to the single-threaded path.
+    fn place_batch(
+        &mut self,
+        batch: &[array_model::ChunkDescriptor],
+    ) -> Result<FlowSet, ClusterError> {
         let coordinator = self.cluster.coordinator();
+        let threads = self.config.ingest_threads.max(1);
+        // Route the whole batch against one epoch snapshot...
+        let prefix = batch_prefix_bytes(batch);
+        let epoch = RouteEpoch::for_batch(&self.cluster, &prefix);
+        let routes = route_batch(self.partitioner.as_ref(), batch, &epoch, threads);
+        // ...place it shard-parallel (rolls back wholesale on duplicates)...
+        self.cluster.place_batch(batch, &routes, threads)?;
+        // ...then commit the partitioner's table mutations sequentially.
+        self.partitioner.commit(batch, &routes);
         let mut flows = FlowSet::new();
-        for desc in batch {
-            let node = self.partitioner.place(desc, &self.cluster);
-            self.cluster.place(*desc, node).expect("workload batches never duplicate chunks");
+        for (desc, &node) in batch.iter().zip(&routes) {
             flows.push(coordinator, node, desc.bytes);
             if let Ok(array) = self.catalog.array_mut(desc.key.array) {
                 array.descriptors.insert(desc.key.coords, *desc);
             }
         }
-        flows
+        Ok(flows)
     }
 
     /// Execute one workload cycle.
-    pub fn run_cycle(&mut self, cycle: usize) -> CycleReport {
+    pub fn run_cycle(&mut self, cycle: usize) -> Result<CycleReport, CycleError> {
         let batch = self.workload.get().insert_batch(cycle);
         let insert_bytes: u64 = batch.iter().map(|d| d.bytes).sum();
-        let projected_gb = gb(self.cluster.total_used() + insert_bytes);
+        let projected_bytes = self.cluster.total_used().saturating_add(insert_bytes);
 
         // Provision + reorganize BEFORE ingesting (§3.4: the database
         // "redistributes the preexisting chunks, and finally inserts the
         // new ones").
-        let added = self.scale_decision(projected_gb);
+        let (added, scale_saturated) = self.scale_decision(projected_bytes);
         let mut reorg_secs = 0.0;
         let mut moved_bytes = 0u64;
         if added > 0 {
@@ -313,12 +416,13 @@ impl<'w> WorkloadRunner<'w> {
             let flows = self
                 .cluster
                 .apply_rebalance(&plan)
-                .expect("partitioner plans are consistent with placement");
+                .map_err(|source| CycleError::Reorg { cycle, source })?;
             reorg_secs = flows.elapsed_secs(&self.config.cost);
         }
 
         // Ingest.
-        let insert_flows = self.place_batch(&batch);
+        let insert_flows =
+            self.place_batch(&batch).map_err(|source| CycleError::Ingest { cycle, source })?;
         let insert_secs = insert_flows.elapsed_secs(&self.config.cost);
         // O(1): the cluster maintains its load moments incrementally.
         let rsd_after_insert = self.cluster.balance_rsd();
@@ -335,7 +439,9 @@ impl<'w> WorkloadRunner<'w> {
         };
         let derived = self.workload.get().derived_batch(cycle);
         if !derived.is_empty() {
-            let derived_flows = self.place_batch(&derived);
+            let derived_flows = self
+                .place_batch(&derived)
+                .map_err(|source| CycleError::Derived { cycle, source })?;
             query_secs += derived_flows.elapsed_secs(&self.config.cost);
         }
 
@@ -344,7 +450,7 @@ impl<'w> WorkloadRunner<'w> {
             p.observe(gb(self.cluster.total_used()));
         }
 
-        CycleReport {
+        Ok(CycleReport {
             cycle,
             nodes: self.cluster.node_count(),
             added_nodes: added,
@@ -353,14 +459,18 @@ impl<'w> WorkloadRunner<'w> {
             rsd_after_insert,
             moved_bytes,
             insert_bytes,
+            scale_saturated,
             suites,
-        }
+        })
     }
 
-    /// Run every cycle of the workload.
-    pub fn run_all(&mut self) -> RunReport {
-        let cycles = (0..self.workload.get().cycles()).map(|c| self.run_cycle(c)).collect();
-        RunReport { partitioner: self.config.partitioner, cycles }
+    /// Run every cycle of the workload, stopping at the first failure.
+    pub fn run_all(&mut self) -> Result<RunReport, CycleError> {
+        let mut cycles = Vec::with_capacity(self.workload.get().cycles());
+        for c in 0..self.workload.get().cycles() {
+            cycles.push(self.run_cycle(c)?);
+        }
+        Ok(RunReport { partitioner: self.config.partitioner, cycles })
     }
 }
 
@@ -383,6 +493,7 @@ mod tests {
             scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
             cost: CostModel::default(),
             run_queries: true,
+            ingest_threads: 1,
         }
     }
 
@@ -390,12 +501,13 @@ mod tests {
     fn cluster_grows_and_phases_are_positive() {
         let w = mini_modis();
         let mut runner = WorkloadRunner::new(&w, config(PartitionerKind::ConsistentHash));
-        let report = runner.run_all();
+        let report = runner.run_all().expect("collision-free workload");
         assert_eq!(report.cycles.len(), 6);
         assert!(report.cycles.last().unwrap().nodes > 2, "cluster must scale out");
         for c in &report.cycles {
             assert!(c.phases.insert_secs > 0.0, "cycle {} no insert time", c.cycle);
             assert!(c.phases.query_secs > 0.0, "cycle {} no query time", c.cycle);
+            assert!(!c.scale_saturated, "cycle {} saturated the scale cap", c.cycle);
         }
         assert!(report.node_hours() > 0.0);
     }
@@ -403,8 +515,10 @@ mod tests {
     #[test]
     fn append_reorganizes_for_free_but_balances_poorly() {
         let w = mini_modis();
-        let append = WorkloadRunner::new(&w, config(PartitionerKind::Append)).run_all();
-        let rr = WorkloadRunner::new(&w, config(PartitionerKind::RoundRobin)).run_all();
+        let append =
+            WorkloadRunner::new(&w, config(PartitionerKind::Append)).run_all().expect("runs");
+        let rr =
+            WorkloadRunner::new(&w, config(PartitionerKind::RoundRobin)).run_all().expect("runs");
         assert_eq!(append.phase_totals().reorg_secs, 0.0, "append never moves data");
         assert!(rr.phase_totals().reorg_secs > 0.0, "round robin reshuffles");
         assert!(append.mean_rsd() > rr.mean_rsd() * 2.0, "append must balance worse");
@@ -415,7 +529,7 @@ mod tests {
         let w = mini_modis();
         for kind in elastic_core::PartitionerKind::ALL {
             let mut runner = WorkloadRunner::new(&w, config(kind));
-            let _ = runner.run_all();
+            runner.run_all().expect("collision-free workload");
             // Spot-check agreement on every placed chunk.
             // (The partitioner is consumed internally; verify through a
             // fresh placement probe is impossible here, so assert the
@@ -437,7 +551,7 @@ mod tests {
             trigger: 1.0,
         });
         let mut runner = WorkloadRunner::new(&w, cfg);
-        let report = runner.run_all();
+        let report = runner.run_all().expect("collision-free workload");
         assert!(report.cycles.last().unwrap().nodes > 2);
         // The provisioner saw every cycle's demand.
         assert_eq!(runner.provisioner().unwrap().history().len(), 6);
@@ -448,8 +562,30 @@ mod tests {
         let w = mini_modis();
         let mut cfg = config(PartitionerKind::RoundRobin);
         cfg.scaling = ScalingPolicy::Fixed;
-        let report = WorkloadRunner::new(&w, cfg).run_all();
+        let report = WorkloadRunner::new(&w, cfg).run_all().expect("collision-free workload");
         assert!(report.cycles.iter().all(|c| c.nodes == 2));
         assert!(report.cycles.iter().all(|c| c.added_nodes == 0));
+    }
+
+    #[test]
+    fn threaded_ingest_matches_sequential_run_exactly() {
+        let w = mini_modis();
+        let base =
+            WorkloadRunner::new(&w, config(PartitionerKind::HilbertCurve)).run_all().expect("runs");
+        let mut cfg = config(PartitionerKind::HilbertCurve);
+        cfg.ingest_threads = 4;
+        let mut runner = WorkloadRunner::new(&w, cfg);
+        let threaded = runner.run_all().expect("runs");
+        for (a, b) in base.cycles.iter().zip(&threaded.cycles) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.insert_bytes, b.insert_bytes);
+            assert_eq!(a.moved_bytes, b.moved_bytes);
+            assert_eq!(
+                a.rsd_after_insert.to_bits(),
+                b.rsd_after_insert.to_bits(),
+                "cycle {}: census must be bit-identical",
+                a.cycle
+            );
+        }
     }
 }

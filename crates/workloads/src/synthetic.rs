@@ -177,6 +177,7 @@ mod tests {
             scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
             cost: CostModel::default(),
             run_queries: true,
+            ingest_threads: 1,
         }
     }
 
@@ -222,7 +223,8 @@ mod tests {
     #[test]
     fn runs_end_to_end_with_the_driver() {
         let w = SyntheticWorkload { cycles: 5, ..Default::default() };
-        let report = WorkloadRunner::new(&w, config(PartitionerKind::HilbertCurve)).run_all();
+        let report =
+            WorkloadRunner::new(&w, config(PartitionerKind::HilbertCurve)).run_all().unwrap();
         assert_eq!(report.cycles.len(), 5);
         assert!(report.cycles.last().unwrap().nodes > 2, "must scale out");
         for c in &report.cycles {
@@ -239,8 +241,9 @@ mod tests {
             distribution: SpatialDistribution::Zipf { hotspots: 6, exponent: 1.5 },
             ..Default::default()
         };
-        let rsd =
-            |w: &SyntheticWorkload, kind| WorkloadRunner::new(w, config(kind)).run_all().mean_rsd();
+        let rsd = |w: &SyntheticWorkload, kind| {
+            WorkloadRunner::new(w, config(kind)).run_all().unwrap().mean_rsd()
+        };
         // Uniform Range handles the uniform mode fine but collapses on the
         // skewed one (its static tree cannot react to hotspots). A
         // skew-aware splitter copes far better with the same input.

@@ -35,7 +35,7 @@ fn main() {
         RunnerConfig::paper_section62(PartitionerKind::ConsistentHash),
     );
     for cycle in 0..3 {
-        runner.run_cycle(cycle);
+        runner.run_cycle(cycle).expect("MODIS batches are collision-free");
     }
 
     // Re-derive cluster + catalog state for direct experimentation: run the

@@ -35,7 +35,9 @@ fn main() {
 
     for kind in PartitionerKind::ALL {
         let config = RunnerConfig::paper_section62(kind);
-        let report = WorkloadRunner::new(&workload, config).run_all();
+        let report = WorkloadRunner::new(&workload, config)
+            .run_all()
+            .expect("AIS batches are collision-free");
         let phases = report.phase_totals();
         println!(
             "{:<16} {:>8.1} {:>7.0}% {:>9.1} {:>9.1} {:>9.1} {:>9.0}",

@@ -36,7 +36,7 @@ fn main() {
     let mut runner = WorkloadRunner::new(&workload, config);
     let mut total_node_hours = 0.0;
     for cycle in 0..workload.cycles() {
-        let report = runner.run_cycle(cycle);
+        let report = runner.run_cycle(cycle).expect("MODIS batches are collision-free");
         total_node_hours += report.nodes as f64 * report.phases.total_secs() / 3600.0;
         println!(
             "{:>5} {:>5}{} {:>9.0} {:>10.1} {:>9.1} {:>9.1} {:>8.0}% {:>7.0}",

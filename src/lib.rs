@@ -59,12 +59,13 @@ pub mod prelude {
         gb, relative_std_dev, Cluster, CostModel, NodeId, PhaseBreakdown, RebalancePlan,
     };
     pub use elastic_core::{
-        build_partitioner, GridHint, Partitioner, PartitionerConfig, PartitionerKind,
-        ProvisionDecision, StaircaseConfig, StaircaseProvisioner,
+        batch_prefix_bytes, build_partitioner, route_batch, GridHint, Partitioner,
+        PartitionerConfig, PartitionerKind, ProvisionDecision, RouteEpoch, StaircaseConfig,
+        StaircaseProvisioner,
     };
     pub use query_engine::{ops, Catalog, ExecutionContext, QueryStats, StoredArray};
     pub use workloads::{
-        AisWorkload, ModisWorkload, RunReport, RunnerConfig, ScalingPolicy, SuiteReport, Workload,
-        WorkloadRunner,
+        AisWorkload, CycleError, ModisWorkload, RunReport, RunnerConfig, ScalingPolicy,
+        SuiteReport, Workload, WorkloadRunner,
     };
 }

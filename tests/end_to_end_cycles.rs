@@ -24,8 +24,8 @@ fn every_partitioner_completes_both_workloads() {
     let ais = mini_ais();
     for kind in PartitionerKind::ALL {
         for (name, report) in [
-            ("modis", WorkloadRunner::new(&modis, mini_config(kind)).run_all()),
-            ("ais", WorkloadRunner::new(&ais, mini_config(kind)).run_all()),
+            ("modis", WorkloadRunner::new(&modis, mini_config(kind)).run_all().unwrap()),
+            ("ais", WorkloadRunner::new(&ais, mini_config(kind)).run_all().unwrap()),
         ] {
             assert!(!report.cycles.is_empty(), "{kind}/{name}: no cycles");
             // Demand grows monotonically (no-overwrite storage).
@@ -60,6 +60,7 @@ fn incremental_schemes_move_less_than_global_ones() {
     let moved = |kind: PartitionerKind| -> u64 {
         WorkloadRunner::new(&modis, mini_config(kind))
             .run_all()
+            .unwrap()
             .cycles
             .iter()
             .map(|c| c.moved_bytes)
@@ -80,7 +81,8 @@ fn reorganization_happens_before_ingest() {
     // cycle may end with demand above capacity when scaling is enabled
     // with a trigger below 1.
     let modis = mini_modis();
-    let report = WorkloadRunner::new(&modis, mini_config(PartitionerKind::HilbertCurve)).run_all();
+    let report =
+        WorkloadRunner::new(&modis, mini_config(PartitionerKind::HilbertCurve)).run_all().unwrap();
     for c in &report.cycles {
         let capacity_gb = c.nodes as f64 * 20.0;
         assert!(
@@ -97,7 +99,7 @@ fn reorganization_happens_before_ingest() {
 fn skew_separates_the_schemes_on_ais() {
     let ais = mini_ais();
     let rsd = |kind: PartitionerKind| -> f64 {
-        WorkloadRunner::new(&ais, mini_config(kind)).run_all().mean_rsd()
+        WorkloadRunner::new(&ais, mini_config(kind)).run_all().unwrap().mean_rsd()
     };
     let round_robin = rsd(PartitionerKind::RoundRobin);
     let uniform_range = rsd(PartitionerKind::UniformRange);
@@ -117,6 +119,7 @@ fn staircase_and_fixed_step_agree_on_final_scale() {
     let modis = mini_modis();
     let fixed = WorkloadRunner::new(&modis, mini_config(PartitionerKind::ConsistentHash))
         .run_all()
+        .unwrap()
         .cycles
         .last()
         .unwrap()
@@ -128,7 +131,8 @@ fn staircase_and_fixed_step_agree_on_final_scale() {
         plan_ahead: 2,
         trigger: 1.0,
     });
-    let staircase = WorkloadRunner::new(&modis, cfg).run_all().cycles.last().unwrap().nodes;
+    let staircase =
+        WorkloadRunner::new(&modis, cfg).run_all().unwrap().cycles.last().unwrap().nodes;
     let diff = fixed.abs_diff(staircase);
     assert!(diff <= 2, "policies diverge: fixed-step ended at {fixed}, staircase at {staircase}");
 }

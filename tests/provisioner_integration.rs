@@ -65,6 +65,7 @@ fn staircase_config(p: usize) -> RunnerConfig {
         }),
         cost: CostModel::default(),
         run_queries: false,
+        ingest_threads: 1,
     }
 }
 
@@ -79,7 +80,7 @@ fn staircase_always_covers_demand() {
             plan_ahead: p,
             trigger: 1.0,
         });
-        let report = WorkloadRunner::new(&workload, cfg).run_all();
+        let report = WorkloadRunner::new(&workload, cfg).run_all().unwrap();
         for c in &report.cycles {
             assert!(
                 c.demand_gb <= c.nodes as f64 * 10.0 + 1e-9,
@@ -96,7 +97,7 @@ fn staircase_always_covers_demand() {
 fn eager_horizons_step_larger_and_less_often() {
     let workload = LinearWorkload { cycles: 12, gb_per_cycle: 4.0 };
     let run = |p: usize| {
-        let report = WorkloadRunner::new(&workload, staircase_config(p)).run_all();
+        let report = WorkloadRunner::new(&workload, staircase_config(p)).run_all().unwrap();
         let events = report.cycles.iter().filter(|c| c.added_nodes > 0).count();
         let max_step = report.cycles.iter().map(|c| c.added_nodes).max().unwrap();
         (events, max_step)
@@ -163,7 +164,7 @@ fn provisioner_history_feeds_tuning_mid_run() {
     let workload = LinearWorkload { cycles: 12, gb_per_cycle: 4.0 };
     let mut runner = WorkloadRunner::new(&workload, staircase_config(2));
     for c in 0..6 {
-        runner.run_cycle(c);
+        runner.run_cycle(c).unwrap();
     }
     let history = runner.provisioner().unwrap().history().to_vec();
     assert_eq!(history.len(), 6);
