@@ -1,8 +1,8 @@
 //! Arrays: a schema plus the (sparse) set of chunks that hold its cells.
 
 use crate::chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
-use crate::coords::{chunk_of, ChunkCoords, Region};
-use crate::error::Result;
+use crate::coords::{chunk_of, ChunkCoords};
+use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
 use crate::value::ScalarValue;
 use std::collections::BTreeMap;
@@ -35,6 +35,33 @@ impl Array {
         Ok(coords)
     }
 
+    /// Consume the array, yielding its chunks in row-major order.
+    pub fn into_chunks(self) -> impl Iterator<Item = (ChunkCoords, Chunk)> {
+        self.chunks.into_iter()
+    }
+
+    /// Move every chunk of `other` into this array. The schemas must be
+    /// identical — checked once up front, which is all the validation a
+    /// wholesale move needs: cells only ever enter an `Array` through
+    /// `insert_cell`'s per-cell checks (or, inductively, through this
+    /// method), so `other`'s chunks are already schema-valid and only
+    /// occupancy can conflict. All-or-nothing: every position is checked
+    /// before any chunk moves, so an occupied position leaves `self`
+    /// untouched instead of half-merged.
+    pub fn absorb(&mut self, other: Array) -> Result<()> {
+        if other.schema != self.schema {
+            return Err(ArrayError::InvalidSchema(format!(
+                "cannot absorb `{}` into `{}`: schemas differ",
+                other.schema.name, self.schema.name
+            )));
+        }
+        if let Some(dup) = other.chunks.keys().find(|c| self.chunks.contains_key(c)) {
+            return Err(ArrayError::ChunkOccupied(dup.to_string()));
+        }
+        self.chunks.extend(other.chunks);
+        Ok(())
+    }
+
     /// Number of non-empty chunks.
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
@@ -63,14 +90,6 @@ impl Array {
     /// Metadata descriptors for every chunk, in deterministic order.
     pub fn descriptors(&self) -> Vec<ChunkDescriptor> {
         self.chunks.values().map(|c| c.descriptor(self.id)).collect()
-    }
-
-    /// The chunks whose extents intersect `region`.
-    pub fn chunks_in_region<'a>(
-        &'a self,
-        region: &'a Region,
-    ) -> impl Iterator<Item = (&'a ChunkCoords, &'a Chunk)> + 'a {
-        self.chunks.iter().filter(move |(coords, _)| region.intersects_chunk(&self.schema, coords))
     }
 
     /// The key a chunk at `coords` would have.
@@ -124,15 +143,6 @@ mod tests {
     }
 
     #[test]
-    fn region_scan_finds_only_intersecting_chunks() {
-        let a = figure1_array();
-        let region = Region::new(vec![1, 1], vec![2, 2]);
-        let hits: Vec<_> = a.chunks_in_region(&region).map(|(c, _)| *c).collect();
-        assert!(hits.contains(&ChunkCoords::new([0, 0])));
-        assert!(!hits.contains(&ChunkCoords::new([1, 1])));
-    }
-
-    #[test]
     fn descriptors_cover_all_chunks() {
         let a = figure1_array();
         let descs = a.descriptors();
@@ -142,6 +152,38 @@ mod tests {
         for d in &descs {
             assert_eq!(d.key.array, a.id);
         }
+    }
+
+    #[test]
+    fn absorb_moves_arrays_wholesale() {
+        let src = figure1_array();
+        let mut dst = Array::new(src.id, src.schema.clone());
+        dst.absorb(src.clone()).unwrap();
+        assert_eq!(dst.cell_count(), src.cell_count());
+        assert_eq!(dst.byte_size(), src.byte_size());
+        // Absorbing the same chunks again collides on the first position.
+        assert!(matches!(dst.absorb(src.clone()), Err(ArrayError::ChunkOccupied(_))));
+        // A different schema is rejected outright.
+        let other = ArraySchema::parse("Z<i:int32>[x=1:4,2]").unwrap();
+        let foreign = Array::new(ArrayId(1), other);
+        assert!(matches!(dst.absorb(foreign), Err(ArrayError::InvalidSchema(_))));
+
+        // All-or-nothing: a collision at a *later* position must leave the
+        // destination untouched — no chunks from before the collision
+        // point may have moved in.
+        let mut tail = Array::new(src.id, src.schema.clone());
+        tail.insert_cell(vec![4, 4], vec![ScalarValue::Int32(5), ScalarValue::Float(0.5)]).unwrap(); // chunk (1,1): occupied in dst, sorts after (0,0)
+        let mut incoming = Array::new(src.id, src.schema.clone());
+        incoming
+            .insert_cell(vec![1, 1], vec![ScalarValue::Int32(2), ScalarValue::Float(0.1)])
+            .unwrap(); // chunk (0,0): free in tail
+        incoming
+            .insert_cell(vec![3, 3], vec![ScalarValue::Int32(3), ScalarValue::Float(0.2)])
+            .unwrap(); // chunk (1,1): collides
+        let before = tail.cell_count();
+        assert!(matches!(tail.absorb(incoming), Err(ArrayError::ChunkOccupied(_))));
+        assert_eq!(tail.cell_count(), before, "failed absorb must not half-merge");
+        assert!(tail.chunk(&ChunkCoords::new([0, 0])).is_none());
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum ArrayError {
     },
     /// Lookup of an unknown dimension or attribute name.
     UnknownName(String),
+    /// Absorbed a chunk into a position that already holds one.
+    ChunkOccupied(String),
 }
 
 impl fmt::Display for ArrayError {
@@ -52,6 +54,9 @@ impl fmt::Display for ArrayError {
                 write!(f, "attribute `{attribute}` expects {expected}, got {got}")
             }
             ArrayError::UnknownName(name) => write!(f, "unknown dimension or attribute `{name}`"),
+            ArrayError::ChunkOccupied(coords) => {
+                write!(f, "chunk position {coords} already holds a chunk")
+            }
         }
     }
 }

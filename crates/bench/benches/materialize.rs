@@ -1,0 +1,92 @@
+//! Materialized (cell-level) ingest vs the metadata-only path.
+//!
+//! Both sides place the *same* chunk set through the same partitioner:
+//! the metadata path places pre-derived descriptors (what the 1M-chunk
+//! ingest benches exercise), while the materialized path starts from raw
+//! `(coords, values)` rows — chunk building, descriptor derivation from
+//! real payloads, placement, and per-node payload attachment. The ratio
+//! is the cost of carrying actual cells, tracked in ROADMAP.md.
+//!
+//! Set `MATERIALIZE_CELLS` to override the row count.
+
+use array_model::{Array, ChunkKey};
+use cluster_sim::{Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_core::{build_partitioner, PartitionerConfig, PartitionerKind};
+use std::hint::black_box;
+use workloads::ais::{AisWorkload, BROADCAST};
+use workloads::Workload;
+
+const NODES: usize = 8;
+
+fn cell_count() -> u64 {
+    std::env::var("MATERIALIZE_CELLS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
+}
+
+fn bench(c: &mut Criterion) {
+    let n = cell_count();
+    let w = AisWorkload { cycles: 1, scale: 1.0, seed: 7, cells_per_cycle: n };
+    let cells = w.cell_batch(0).expect("materialized mode").remove(0).cells;
+    let schema = AisWorkload::broadcast_schema();
+    // Pre-derive the metadata twin: identical chunks, sampled-free sizes.
+    let mut prebuilt = Array::new(BROADCAST, schema.clone());
+    for (cell, values) in &cells {
+        prebuilt.insert_cell(cell.clone(), values.clone()).expect("in bounds");
+    }
+    let descriptors = prebuilt.descriptors();
+    let rows = cells.len() as u64;
+    let chunks = descriptors.len() as u64;
+    eprintln!("materialize: {rows} rows -> {chunks} chunks");
+
+    let fresh_cluster = || {
+        let mut cluster = Cluster::new(NODES, u64::MAX, CostModel::default()).unwrap();
+        let hint = w.grid_hint();
+        cluster.register_array(BROADCAST, &hint.chunk_counts);
+        let partitioner = build_partitioner(
+            PartitionerKind::HilbertCurve,
+            &cluster,
+            &hint,
+            &PartitionerConfig::default(),
+        );
+        (cluster, partitioner)
+    };
+
+    let mut group = c.benchmark_group("materialize");
+    group.sample_size(10);
+
+    // Metadata-only: route + place the descriptor stream.
+    group.bench_function(format!("metadata/{chunks}-chunks"), |b| {
+        b.iter(|| {
+            let (mut cluster, mut partitioner) = fresh_cluster();
+            for desc in &descriptors {
+                let node = partitioner.place(desc, &cluster);
+                cluster.place(*desc, node).expect("unique");
+            }
+            black_box(cluster.total_chunks())
+        })
+    });
+
+    // Materialized: rows -> chunk builder -> derived descriptors ->
+    // place -> payload attachment (what `WorkloadRunner` runs per cycle).
+    group.bench_function(format!("cells/{rows}-rows"), |b| {
+        b.iter(|| {
+            let (mut cluster, mut partitioner) = fresh_cluster();
+            let mut array = Array::new(BROADCAST, schema.clone());
+            for (cell, values) in &cells {
+                array.insert_cell(cell.clone(), values.clone()).expect("in bounds");
+            }
+            for desc in array.descriptors() {
+                let node = partitioner.place(&desc, &cluster);
+                cluster.place(desc, node).expect("unique");
+            }
+            for (coords, chunk) in array.into_chunks() {
+                cluster.attach_payload(ChunkKey::new(BROADCAST, coords), chunk).expect("placed");
+            }
+            black_box(cluster.payload_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use crate::node::{Node, NodeId};
 use crate::placement::{DenseMeta, PlacementIndex, PlacementShard, SHARD_COUNT};
 use crate::rebalance::RebalancePlan;
 use crate::transfer::FlowSet;
-use array_model::{ArrayId, ChunkDescriptor, ChunkKey};
+use array_model::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
 
 /// Running moments of the per-node byte loads, maintained incrementally so
 /// the balance census after every insert is O(1) instead of a rescan of
@@ -345,6 +345,41 @@ impl Cluster {
         Ok(())
     }
 
+    /// Attach the materialized payload of an already-placed chunk to its
+    /// resident node. The payload then follows the descriptor through
+    /// every rebalance move. Fails when the chunk is not placed, or when
+    /// the payload's actual [`Chunk::byte_size`] / [`Chunk::cell_count`]
+    /// disagree with what the placed descriptor declares — the
+    /// materialized ingest path derives descriptors *from* payloads, so a
+    /// mismatch means the metadata model and the cells drifted apart.
+    pub fn attach_payload(&mut self, key: ChunkKey, chunk: Chunk) -> Result<()> {
+        let node = self.placement.get(&key).ok_or(ClusterError::MissingChunk(key))?;
+        let holder = &mut self.nodes[node.0 as usize];
+        let desc = holder.descriptor(&key).expect("placement and node stores agree");
+        if desc.bytes != chunk.byte_size() || desc.cells != chunk.cell_count() {
+            return Err(ClusterError::PayloadMismatch(Box::new(crate::error::PayloadMismatch {
+                key,
+                descriptor_bytes: desc.bytes,
+                payload_bytes: chunk.byte_size(),
+                descriptor_cells: desc.cells,
+                payload_cells: chunk.cell_count(),
+            })));
+        }
+        holder.store_payload(key, chunk);
+        Ok(())
+    }
+
+    /// The materialized payload of a chunk, read from its resident node.
+    pub fn payload(&self, key: &ChunkKey) -> Option<&Chunk> {
+        let node = self.placement.get(key)?;
+        self.nodes[node.0 as usize].payload(key)
+    }
+
+    /// Number of chunks cluster-wide carrying a materialized payload.
+    pub fn payload_count(&self) -> usize {
+        self.nodes.iter().map(Node::payload_count).sum()
+    }
+
     /// Execute a rebalance plan, validating each move against the actual
     /// placement, and return the flow set that timed it.
     pub fn apply_rebalance(&mut self, plan: &RebalancePlan) -> Result<FlowSet> {
@@ -366,13 +401,19 @@ impl Cluster {
         for m in &plan.moves {
             let src = &mut self.nodes[m.from.0 as usize];
             let src_old = src.used_bytes();
-            let desc = src.evict(&m.key).expect("validated above");
+            let (desc, payload) = src.evict(&m.key).expect("validated above");
             self.balance.on_change(src_old, src.used_bytes());
-            flows.push(m.from, m.to, desc.bytes);
+            // Materialized chunks time the wire transfer off the payload's
+            // actual size (identical to desc.bytes by the attach-time
+            // invariant, but read from the cells to keep the flow honest).
+            flows.push(m.from, m.to, payload.as_ref().map_or(desc.bytes, Chunk::byte_size));
             self.placement.insert(m.key, m.to);
             let dst = &mut self.nodes[m.to.0 as usize];
             let dst_old = dst.used_bytes();
             dst.admit(desc);
+            if let Some(chunk) = payload {
+                dst.store_payload(m.key, chunk);
+            }
             self.balance.on_change(dst_old, dst.used_bytes());
         }
         Ok(flows)
@@ -619,6 +660,50 @@ mod tests {
         let err = c.place_batch(&[desc(1, 1)], &[NodeId(7)], 1).unwrap_err();
         assert!(matches!(err, ClusterError::UnknownNode(7)));
         assert_eq!(c.total_chunks(), 0);
+    }
+
+    #[test]
+    fn payloads_follow_rebalance_moves() {
+        use array_model::{ArraySchema, Chunk, ScalarValue};
+        let schema = ArraySchema::parse("A<v:double>[x=0:7,2]").unwrap();
+        let mut chunk = Chunk::new(&schema, ChunkCoords::new([0]));
+        chunk.push_cell(&schema, vec![1], vec![ScalarValue::Double(2.5)]).unwrap();
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([0]));
+        let desc = ChunkDescriptor::new(key, chunk.byte_size(), chunk.cell_count());
+        let mut c = cluster(2);
+        // Attaching to an unplaced chunk is rejected.
+        assert!(matches!(c.attach_payload(key, chunk.clone()), Err(ClusterError::MissingChunk(_))));
+        c.place(desc, NodeId(0)).unwrap();
+        // A payload whose cells disagree with the descriptor is rejected.
+        let mut fat = chunk.clone();
+        fat.push_cell(&schema, vec![0], vec![ScalarValue::Double(1.0)]).unwrap();
+        assert!(matches!(c.attach_payload(key, fat), Err(ClusterError::PayloadMismatch(_))));
+        c.attach_payload(key, chunk.clone()).unwrap();
+        assert_eq!(c.payload_count(), 1);
+        assert_eq!(c.payload(&key).unwrap().cell_count(), 1);
+        // A rebalance move carries the payload and times the flow off the
+        // cells' actual bytes.
+        let mut plan = RebalancePlan::empty();
+        plan.push(key, NodeId(0), NodeId(1), desc.bytes);
+        let flows = c.apply_rebalance(&plan).unwrap();
+        assert_eq!(flows.network_bytes(), chunk.byte_size());
+        assert_eq!(c.node(NodeId(0)).unwrap().payload_count(), 0);
+        assert_eq!(c.node(NodeId(1)).unwrap().payload(&key), Some(&chunk));
+        assert_eq!(c.payload(&key), Some(&chunk));
+
+        // Equal bytes but a different cell count is still a drift: one
+        // 12-char string weighs exactly as much as two empty ones.
+        let sschema = ArraySchema::parse("S<s:string>[x=0:7,8]").unwrap();
+        let mut one = Chunk::new(&sschema, ChunkCoords::new([0]));
+        one.push_cell(&sschema, vec![0], vec![ScalarValue::Str("abcdefghijkl".into())]).unwrap();
+        let mut two = Chunk::new(&sschema, ChunkCoords::new([0]));
+        two.push_cell(&sschema, vec![1], vec![ScalarValue::Str(String::new())]).unwrap();
+        two.push_cell(&sschema, vec![2], vec![ScalarValue::Str(String::new())]).unwrap();
+        assert_eq!(one.byte_size(), two.byte_size());
+        let key2 = ChunkKey::new(ArrayId(1), ChunkCoords::new([0]));
+        c.place(ChunkDescriptor::new(key2, one.byte_size(), one.cell_count()), NodeId(0)).unwrap();
+        assert!(matches!(c.attach_payload(key2, two), Err(ClusterError::PayloadMismatch(_))));
+        c.attach_payload(key2, one).unwrap();
     }
 
     #[test]

@@ -23,6 +23,26 @@ pub enum ClusterError {
     },
     /// The cluster must keep at least one node.
     EmptyCluster,
+    /// A materialized payload disagreed with the placed descriptor's
+    /// byte or cell count (the metadata model and the cells drifted
+    /// apart). Boxed: the detail is error-path-only and would otherwise
+    /// fatten every `Result` on the ingest path.
+    PayloadMismatch(Box<PayloadMismatch>),
+}
+
+/// How a payload drifted from its placed descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PayloadMismatch {
+    /// The chunk whose payload was attached.
+    pub key: ChunkKey,
+    /// Bytes the resident descriptor declares.
+    pub descriptor_bytes: u64,
+    /// Bytes the payload actually stores.
+    pub payload_bytes: u64,
+    /// Cells the resident descriptor declares.
+    pub descriptor_cells: u64,
+    /// Cells the payload actually stores.
+    pub payload_cells: u64,
 }
 
 impl fmt::Display for ClusterError {
@@ -35,6 +55,12 @@ impl fmt::Display for ClusterError {
                 write!(f, "move of {key} claims source node {claimed} but it lives on {actual}")
             }
             ClusterError::EmptyCluster => write!(f, "cluster requires at least one node"),
+            ClusterError::PayloadMismatch(m) => write!(
+                f,
+                "payload of {} stores {} bytes / {} cells but its descriptor declares \
+                 {} bytes / {} cells",
+                m.key, m.payload_bytes, m.payload_cells, m.descriptor_bytes, m.descriptor_cells
+            ),
         }
     }
 }

@@ -30,7 +30,7 @@ mod transfer;
 
 pub use cluster::Cluster;
 pub use cost::{gb, CostModel, BYTES_PER_GB};
-pub use error::{ClusterError, Result};
+pub use error::{ClusterError, PayloadMismatch, Result};
 pub use metrics::{relative_std_dev, NodeHoursLedger, PhaseBreakdown};
 pub use node::{Node, NodeId};
 pub use rebalance::{ChunkMove, RebalancePlan};

@@ -1,6 +1,6 @@
 //! Simulated shared-nothing cluster nodes.
 
-use array_model::{ChunkDescriptor, ChunkKey};
+use array_model::{Chunk, ChunkDescriptor, ChunkKey};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -18,6 +18,10 @@ impl fmt::Display for NodeId {
 }
 
 /// One node: a storage budget plus the chunks resident on it.
+///
+/// Descriptors are always tracked; materialized runs additionally attach
+/// each chunk's cell payload, which then travels with the descriptor
+/// through rebalance moves.
 #[derive(Debug, Clone)]
 pub struct Node {
     /// This node's identifier.
@@ -26,12 +30,19 @@ pub struct Node {
     pub capacity_bytes: u64,
     used_bytes: u64,
     chunks: BTreeMap<ChunkKey, ChunkDescriptor>,
+    payloads: BTreeMap<ChunkKey, Chunk>,
 }
 
 impl Node {
     /// A fresh, empty node.
     pub fn new(id: NodeId, capacity_bytes: u64) -> Self {
-        Node { id, capacity_bytes, used_bytes: 0, chunks: BTreeMap::new() }
+        Node {
+            id,
+            capacity_bytes,
+            used_bytes: 0,
+            chunks: BTreeMap::new(),
+            payloads: BTreeMap::new(),
+        }
     }
 
     /// Bytes currently stored.
@@ -85,10 +96,27 @@ impl Node {
         self.used_bytes += bytes;
     }
 
-    pub(crate) fn evict(&mut self, key: &ChunkKey) -> Option<ChunkDescriptor> {
+    /// Remove a chunk and whatever payload it carries, keeping the
+    /// descriptor/payload pair structurally inseparable: no eviction path
+    /// can strand an orphaned payload on the node.
+    pub(crate) fn evict(&mut self, key: &ChunkKey) -> Option<(ChunkDescriptor, Option<Chunk>)> {
         let desc = self.chunks.remove(key)?;
         self.used_bytes -= desc.bytes;
-        Some(desc)
+        Some((desc, self.payloads.remove(key)))
+    }
+
+    /// The materialized payload of a resident chunk, when one is stored.
+    pub fn payload(&self, key: &ChunkKey) -> Option<&Chunk> {
+        self.payloads.get(key)
+    }
+
+    /// Number of resident chunks carrying a materialized payload.
+    pub fn payload_count(&self) -> usize {
+        self.payloads.len()
+    }
+
+    pub(crate) fn store_payload(&mut self, key: ChunkKey, chunk: Chunk) {
+        self.payloads.insert(key, chunk);
     }
 }
 
@@ -109,8 +137,9 @@ mod tests {
         assert_eq!(n.used_bytes(), 500);
         assert_eq!(n.chunk_count(), 2);
         assert!((n.utilization() - 0.5).abs() < 1e-12);
-        let evicted = n.evict(&desc(1, 300).key).unwrap();
+        let (evicted, payload) = n.evict(&desc(1, 300).key).unwrap();
         assert_eq!(evicted.bytes, 300);
+        assert!(payload.is_none(), "no payload was attached");
         assert_eq!(n.used_bytes(), 200);
         assert!(n.evict(&desc(9, 0).key).is_none());
     }

@@ -223,6 +223,58 @@ mod tests {
     }
 
     #[test]
+    fn empty_set_reports_empty_everywhere() {
+        let fs = FlowSet::new();
+        assert!(fs.is_empty());
+        assert_eq!(fs.chunk_count(), 0);
+        assert_eq!(fs.total_bytes(), 0);
+        assert_eq!(fs.network_bytes(), 0);
+        assert_eq!(fs.elapsed_secs(&model()), 0.0);
+        // The serial estimate agrees: nothing moves, nothing costs.
+        assert_eq!(fs.elapsed_secs_serial(&model()), 0.0);
+    }
+
+    #[test]
+    fn all_local_flows_are_disk_parallel_across_nodes() {
+        // Four nodes each writing 1 GB locally: disks spin in parallel, so
+        // the batch takes one node's disk time (8 s), not four (32 s) —
+        // and nothing touches the network or the fabric floor.
+        let m = model();
+        let mut fs = FlowSet::new();
+        for i in 0..4u32 {
+            fs.push(NodeId(i), NodeId(i), GB);
+        }
+        assert_eq!(fs.network_bytes(), 0);
+        assert!((fs.elapsed_secs(&m) - 8.0).abs() < 1e-9);
+        // Same node writing all four: the disk serializes them.
+        let mut stacked = FlowSet::new();
+        for _ in 0..4 {
+            stacked.push(NodeId(0), NodeId(0), GB);
+        }
+        assert!((stacked.elapsed_secs(&m) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_endpoint_beats_fabric_floor_until_width_flips_it() {
+        let m = model();
+        // One source fanning 4 GB out to four sinks: egress binds at
+        // 4 x 12 = 48 s, far above the fabric floor of 4 x 4.8 = 19.2 s.
+        let mut fanout = FlowSet::new();
+        for i in 1..=4u32 {
+            fanout.push(NodeId(0), NodeId(i), GB);
+        }
+        assert!((fanout.elapsed_secs(&m) - 48.0).abs() < 1e-9);
+        // The same 4 GB split across disjoint pairs: every endpoint is
+        // busy only 12 s, so the fabric floor (19.2 s) takes over as the
+        // binding constraint of the three-way max.
+        let mut wide = FlowSet::new();
+        for i in 0..4u32 {
+            wide.push(NodeId(i), NodeId(10 + i), GB);
+        }
+        assert!((wide.elapsed_secs(&m) - 19.2).abs() < 1e-9);
+    }
+
+    #[test]
     fn overhead_amortizes_over_destinations() {
         let mut m = model();
         m.per_chunk_overhead_secs = 1.0;

@@ -1,6 +1,6 @@
 //! Error type for query execution.
 
-use array_model::ArrayId;
+use array_model::{ArrayId, ChunkKey};
 use std::fmt;
 
 /// Errors raised by the query engine.
@@ -18,8 +18,11 @@ pub enum QueryError {
         got: usize,
     },
     /// A chunk is resident in the catalog but missing from the cluster
-    /// placement (catalog/cluster desynchronization).
-    Unplaced(String),
+    /// placement (catalog/cluster desynchronization). Carries the `Copy`
+    /// key itself — the error text is rendered only when displayed, so
+    /// constructing (let alone not taking) the miss branch never
+    /// allocates on the per-chunk lookup path.
+    Unplaced(ChunkKey),
     /// Operator-specific invalid argument.
     InvalidArgument(String),
 }

@@ -3,7 +3,7 @@
 
 use crate::catalog::{Catalog, StoredArray};
 use crate::error::{QueryError, Result};
-use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, Region};
+use array_model::{ArrayId, Chunk, ChunkCoords, ChunkDescriptor, Region};
 use cluster_sim::{Cluster, CostModel, NodeId};
 
 /// Everything an operator needs to run.
@@ -38,7 +38,77 @@ impl<'a> ExecutionContext<'a> {
             return Ok(reader.unwrap_or_else(|| self.cluster.coordinator()));
         }
         let key = array.key_for(coords);
-        self.cluster.locate(&key).ok_or_else(|| QueryError::Unplaced(key.to_string()))
+        // `ChunkKey` is `Copy`, so even the miss branch builds no string —
+        // the error renders itself lazily at display time. This lookup
+        // runs once per chunk per operator; it must stay allocation-free
+        // (pinned by `tests/alloc_free_routing.rs`).
+        self.cluster.locate(&key).ok_or(QueryError::Unplaced(key))
+    }
+
+    /// The materialized cells of one chunk, wherever they live: the
+    /// resident node's chunk store first (cell-level ingest attaches
+    /// payloads there, and rebalances move them), the catalog's
+    /// whole-array storage as the fallback (tests and examples that
+    /// materialize without a cluster store). `None` when the chunk is
+    /// metadata-only.
+    pub fn chunk_payload(&self, array: &'a StoredArray, coords: &ChunkCoords) -> Option<&'a Chunk> {
+        let key = array.key_for(coords);
+        if let Some(node) = self.cluster.locate(&key) {
+            if let Ok(n) = self.cluster.node(node) {
+                if let Some(chunk) = n.payload(&key) {
+                    return Some(chunk);
+                }
+            }
+        }
+        array.data.as_ref()?.chunk(coords)
+    }
+
+    /// Whether cell-exact execution is possible for `array`: *every*
+    /// placed chunk must be readable, from the cluster's node stores or
+    /// the catalog's whole-array copy. Operators use this to decide
+    /// between returning real answers and returning cost-model-only
+    /// estimates — a partially materialized array (say, one cycle
+    /// ingested as cells, the next as bare descriptors) fails the gate
+    /// and falls back to the model path rather than silently answering
+    /// over a subset of its cells. On the common path — the ingest
+    /// pipeline mirrors every placed chunk into the catalog's whole-array
+    /// copy — the gate is one linear scan: both chunk sets live in sorted
+    /// maps, so a zipped key comparison proves full coverage without
+    /// per-key lookups or any cluster locate/node machinery. Store-only
+    /// or mixed materializations fall through to an exact per-chunk probe
+    /// (catalog copy first, node store second — existence in either
+    /// source satisfies the gate).
+    pub fn cells_available(&self, array: &StoredArray) -> bool {
+        if array.descriptors.is_empty() {
+            return false;
+        }
+        if array
+            .data
+            .as_ref()
+            .is_some_and(|d| d.chunks().map(|(c, _)| c).eq(array.descriptors.keys()))
+        {
+            return true;
+        }
+        array.descriptors.keys().all(|coords| {
+            array.data.as_ref().is_some_and(|d| d.chunk(coords).is_some())
+                || self.chunk_payload(array, coords).is_some()
+        })
+    }
+
+    /// Iterate the materialized chunks of `array` that intersect `region`
+    /// (all chunks when `None`), in row-major chunk order. Chunks whose
+    /// payload is unavailable are skipped — callers gate on
+    /// [`ExecutionContext::cells_available`] first.
+    pub fn payload_chunks(
+        &'a self,
+        array: &'a StoredArray,
+        region: Option<&'a Region>,
+    ) -> impl Iterator<Item = (&'a ChunkCoords, &'a Chunk)> + 'a {
+        array
+            .descriptors
+            .keys()
+            .filter(move |coords| region.is_none_or(|r| r.intersects_chunk(&array.schema, coords)))
+            .filter_map(move |coords| self.chunk_payload(array, coords).map(|c| (coords, c)))
     }
 
     /// Chunks of `array` intersecting `region` (all chunks when `None`),
@@ -125,6 +195,41 @@ mod tests {
             ctx.chunks_in(ArrayId(0), Some(&bad)),
             Err(QueryError::RegionArity { .. })
         ));
+    }
+
+    #[test]
+    fn partially_materialized_arrays_fail_the_cells_gate() {
+        let mut cluster = Cluster::new(1, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("P<v:int32>[x=0:7,2]").unwrap();
+        let mk = |x: i64| {
+            let mut c = Chunk::new(&schema, ChunkCoords::new([x / 2]));
+            c.push_cell(&schema, vec![x], vec![ScalarValue::Int32(x as i32)]).unwrap();
+            c
+        };
+        let (c0, c1) = (mk(0), mk(2));
+        let (d0, d1) = (c0.descriptor(ArrayId(5)), c1.descriptor(ArrayId(5)));
+        cluster.place(d0, NodeId(0)).unwrap();
+        cluster.place(d1, NodeId(0)).unwrap();
+        // Only the first chunk gets its payload: the gate must close so
+        // operators fall back to model-only answers instead of silently
+        // computing over half the cells.
+        cluster.attach_payload(d0.key, c0).unwrap();
+        let mut cat = Catalog::new();
+        cat.register(StoredArray::from_descriptors(ArrayId(5), schema.clone(), [d0, d1]));
+        {
+            let ctx = ExecutionContext::new(&cluster, &cat);
+            let array = cat.array(ArrayId(5)).unwrap();
+            assert!(ctx.chunk_payload(array, &ChunkCoords::new([0])).is_some());
+            assert!(ctx.chunk_payload(array, &ChunkCoords::new([1])).is_none());
+            assert!(!ctx.cells_available(array), "half-materialized must fail the gate");
+            assert_eq!(ctx.payload_chunks(array, None).count(), 1);
+        }
+        // Attaching the missing payload opens the gate.
+        cluster.attach_payload(d1.key, c1).unwrap();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let array = cat.array(ArrayId(5)).unwrap();
+        assert!(ctx.cells_available(array));
+        assert_eq!(ctx.payload_chunks(array, None).count(), 2);
     }
 
     #[test]

@@ -177,13 +177,8 @@ fn grid_aggregate_impl(
 
     // --- materialized answer ---
     let mut groups: BTreeMap<Vec<i64>, (f64, u64, f64)> = BTreeMap::new(); // (sum, count, max)
-    if let Some(data) = &array.data {
-        for (coords, chunk) in data.chunks() {
-            if let Some(r) = region {
-                if !r.intersects_chunk(&array.schema, coords) {
-                    continue;
-                }
-            }
+    if ctx.cells_available(array) {
+        for (_, chunk) in ctx.payload_chunks(array, region) {
             let col = chunk.column(attr_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if region.is_none_or(|r| r.contains_cell(cell)) {

@@ -46,15 +46,16 @@ pub fn subarray(
         tracker.scan_chunk(node, (desc.bytes as f64 * fraction) as u64);
     }
 
-    // Materialized answer when cells are available.
+    // Materialized answer when cells are available (catalog- or
+    // cluster-stored; `payload_chunks` reads whichever holds them).
     let mut out = CellSet::default();
-    if let Some(data) = &array.data {
+    if ctx.cells_available(array) {
         let attr_idx: Vec<usize> = if attrs.is_empty() {
             (0..array.schema.attributes.len()).collect()
         } else {
             attrs.iter().map(|a| array.attribute_index(a)).collect::<Result<Vec<_>>>()?
         };
-        for (_, chunk) in data.chunks_in_region(region) {
+        for (_, chunk) in ctx.payload_chunks(array, Some(region)) {
             for (cell, row) in chunk.iter_cells() {
                 if region.contains_cell(cell) {
                     let values = attr_idx
@@ -94,8 +95,8 @@ pub fn filter_count(
     }
 
     let mut count = 0u64;
-    if let Some(data) = &array.data {
-        for (_, chunk) in data.chunks_in_region(region) {
+    if ctx.cells_available(array) {
+        for (_, chunk) in ctx.payload_chunks(array, Some(region)) {
             let col = chunk.column(attr_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if region.contains_cell(cell) {

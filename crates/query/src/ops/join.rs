@@ -75,9 +75,9 @@ pub fn positional_join(
 
     // Materialized answer.
     let mut result = JoinResult::default();
-    if let (Some(ldata), Some(rdata)) = (&la.data, &ra.data) {
-        for (coords, lchunk) in ldata.chunks_in_region(region) {
-            let Some(rchunk) = rdata.chunk(coords) else { continue };
+    if ctx.cells_available(la) && ctx.cells_available(ra) {
+        for (coords, lchunk) in ctx.payload_chunks(la, Some(region)) {
+            let Some(rchunk) = ctx.chunk_payload(ra, coords) else { continue };
             // Index the right chunk's cells by coordinates.
             let mut right_cells: BTreeMap<&[i64], usize> = BTreeMap::new();
             for (cell, row) in rchunk.iter_cells() {
@@ -131,9 +131,9 @@ pub fn lookup_join(
 
     // Materialized answer: hash the build side once, probe all cells.
     let mut result = JoinResult::default();
-    if let (Some(pdata), Some(bdata)) = (&pa.data, &ba.data) {
+    if ctx.cells_available(pa) && ctx.cells_available(ba) {
         let mut build_keys: BTreeMap<i64, u64> = BTreeMap::new();
-        for (_, chunk) in bdata.chunks() {
+        for (_, chunk) in ctx.payload_chunks(ba, None) {
             let col = chunk.column(bidx).expect("schema-shaped chunk");
             for (_, row) in chunk.iter_cells() {
                 if let Some(k) = col.get(row).and_then(|v| v.as_i64()) {
@@ -141,12 +141,7 @@ pub fn lookup_join(
                 }
             }
         }
-        for (coords, chunk) in pdata.chunks() {
-            if let Some(r) = region {
-                if !r.intersects_chunk(&pa.schema, coords) {
-                    continue;
-                }
-            }
+        for (_, chunk) in ctx.payload_chunks(pa, region) {
             let col = chunk.column(pidx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if region.is_none_or(|r| r.contains_cell(cell)) {

@@ -68,9 +68,9 @@ pub fn kmeans(
 
     // Materialized answer: standard Lloyd iterations.
     let mut result = KMeansResult::default();
-    if let Some(data) = &array.data {
+    if ctx.cells_available(array) {
         let mut points: Vec<Vec<f64>> = Vec::new();
-        for (_, chunk) in data.chunks_in_region(region) {
+        for (_, chunk) in ctx.payload_chunks(array, Some(region)) {
             let col = chunk.column(attr_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if region.contains_cell(cell) {
@@ -163,6 +163,9 @@ pub fn knn(
     // is exactly where clustered placements save their latency.
     let mut warm: std::collections::HashSet<(cluster_sim::NodeId, ChunkCoords)> =
         std::collections::HashSet::new();
+    // The O(chunks) materialization gate is invariant across the batch;
+    // evaluate it once, not per query.
+    let cells_available = ctx.cells_available(array);
     for q in queries {
         if q.len() != array.schema.ndims() {
             return Err(QueryError::RegionArity { expected: array.schema.ndims(), got: q.len() });
@@ -206,9 +209,9 @@ pub fn knn(
 
         // Materialized answer: distances within the visited chunks.
         let mut dists: Vec<f64> = Vec::new();
-        if let Some(data) = &array.data {
+        if cells_available {
             for coords in &visited {
-                if let Some(chunk) = data.chunk(coords) {
+                if let Some(chunk) = ctx.chunk_payload(array, coords) {
                     for (cell, _) in chunk.iter_cells() {
                         let d2: f64 = cell
                             .iter()
@@ -329,9 +332,9 @@ pub fn trajectory(
 
     // Materialized answer.
     let mut result = TrajectoryResult::default();
-    if let Some(data) = &array.data {
+    if ctx.cells_available(array) {
         let mut landing: BTreeMap<Vec<i64>, u64> = BTreeMap::new();
-        for (_, chunk) in data.chunks_in_region(region) {
+        for (_, chunk) in ctx.payload_chunks(array, Some(region)) {
             let speeds = chunk.column(sp_idx).expect("schema-shaped chunk");
             let courses = chunk.column(co_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {

@@ -56,16 +56,11 @@ pub fn quantile(
     // Materialized answer: deterministic "sample" = every ceil(1/f)-th cell.
     let mut value = None;
     let mut sampled_cells = 0u64;
-    if let Some(data) = &array.data {
+    if ctx.cells_available(array) {
         let stride = (1.0 / sample_fraction.clamp(1e-6, 1.0)).round().max(1.0) as usize;
         let mut sample: Vec<f64> = Vec::new();
         let mut i = 0usize;
-        for (coords, chunk) in data.chunks() {
-            if let Some(r) = region {
-                if !r.intersects_chunk(&array.schema, coords) {
-                    continue;
-                }
-            }
+        for (_, chunk) in ctx.payload_chunks(array, region) {
             let col = chunk.column(attr_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if region.is_none_or(|r| r.contains_cell(cell)) {
@@ -111,13 +106,8 @@ pub fn distinct_sorted(
     tracker.coordinator(0.5); // final merge of per-node distinct sets
 
     let mut out: BTreeSet<i64> = BTreeSet::new();
-    if let Some(data) = &array.data {
-        for (coords, chunk) in data.chunks() {
-            if let Some(r) = region {
-                if !r.intersects_chunk(&array.schema, coords) {
-                    continue;
-                }
-            }
+    if ctx.cells_available(array) {
+        for (_, chunk) in ctx.payload_chunks(array, region) {
             let col = chunk.column(attr_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if region.is_none_or(|r| r.contains_cell(cell)) {

@@ -68,7 +68,7 @@ pub fn window_aggregate(
 
     // Materialized answer: brute-force window average per cell.
     let mut result = WindowResult::default();
-    if let Some(data) = &array.data {
+    if ctx.cells_available(array) {
         // Collect the region's cells into a point map first.
         let mut points: std::collections::BTreeMap<Vec<i64>, f64> =
             std::collections::BTreeMap::new();
@@ -76,7 +76,7 @@ pub fn window_aggregate(
             region.low.iter().map(|v| v - radius).collect(),
             region.high.iter().map(|v| v + radius).collect(),
         );
-        for (_, chunk) in data.chunks_in_region(&grown) {
+        for (_, chunk) in ctx.payload_chunks(array, Some(&grown)) {
             let col = chunk.column(attr_idx).expect("schema-shaped chunk");
             for (cell, row) in chunk.iter_cells() {
                 if grown.contains_cell(cell) {

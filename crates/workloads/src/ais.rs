@@ -10,10 +10,13 @@
 //! Algorithm 1 tunes AIS toward the *smallest* sampling window.
 
 use crate::rand_util::{lognormal, rng_for, standard_normal, zipf_weight};
-use crate::spec::{SuiteReport, Workload};
-use array_model::{ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region};
+use crate::spec::{CellBatch, SuiteReport, Workload};
+use array_model::{
+    ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region, ScalarValue,
+};
 use elastic_core::GridHint;
 use query_engine::{ops, Catalog, ExecutionContext, StoredArray};
+use rand::Rng;
 
 /// The AIS broadcast array.
 pub const BROADCAST: ArrayId = ArrayId(10);
@@ -60,6 +63,10 @@ pub struct AisWorkload {
     pub scale: f64,
     /// Seed for all synthesis.
     pub seed: u64,
+    /// Broadcast rows emitted per cycle by the materialized (cell-level)
+    /// ingest mode; `0` keeps the workload metadata-only. Rows congregate
+    /// around the same port kernels that drive the byte skew.
+    pub cells_per_cycle: u64,
 }
 
 impl Default for AisWorkload {
@@ -68,7 +75,7 @@ impl Default for AisWorkload {
         // paper's demand shape under the in-tree generator: ~400 GB total
         // and a trending (not mean-reverting) monthly history that tunes
         // Algorithm 1 to s = 1 (Table 2).
-        AisWorkload { cycles: 10, scale: 1.0, seed: 0x5eed_000f }
+        AisWorkload { cycles: 10, scale: 1.0, seed: 0x5eed_000f, cells_per_cycle: 0 }
     }
 }
 
@@ -252,10 +259,66 @@ impl Workload for AisWorkload {
         out
     }
 
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        if self.cells_per_cycle == 0 {
+            return None;
+        }
+        // One broadcast row per emitted cell: position sampled around the
+        // port kernels (heavier ranks draw more traffic, mirroring the
+        // byte-weight field), timestamped inside one of the cycle's four
+        // 30-day time chunks, attributes per the §3.2 schema.
+        let mut batch = CellBatch::new(BROADCAST);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..self.cells_per_cycle {
+            let mut rng = rng_for(self.seed, &[800, cycle as i64, i as i64]);
+            let tc =
+                cycle as i64 * TCS_PER_CYCLE + (rng.gen::<u64>() % TCS_PER_CYCLE as u64) as i64;
+            let minute = tc * MINUTES_PER_TC + (rng.gen::<u64>() % MINUTES_PER_TC as u64) as i64;
+            // Biased port pick: u^2.5 over ranks concentrates rows on the
+            // heavy ports without excluding the tail.
+            let rank = ((rng.gen::<f64>().powf(2.5)) * PORTS.len() as f64) as usize % PORTS.len();
+            let (plon, plat) = PORTS[rank];
+            let jlon = (standard_normal(&mut rng) * 1.5).round() as i64;
+            let jlat = (standard_normal(&mut rng) * 1.5).round() as i64;
+            let lon = (-180 + plon * 4 + 2 + jlon).clamp(-180, -66);
+            let lat = (plat * 4 + 2 + jlat).clamp(0, 90);
+            if !seen.insert((minute, lon, lat)) {
+                continue;
+            }
+            let ship_id = (rng.gen::<u64>() % (1 + self.cells_per_cycle / 8)) as i64;
+            batch.push(
+                vec![minute, lon, lat],
+                vec![
+                    ScalarValue::Int32((rng.gen::<u64>() % 25) as i32),
+                    ScalarValue::Int32((rng.gen::<u64>() % 360) as i32),
+                    ScalarValue::Int32((rng.gen::<u64>() % 360) as i32),
+                    ScalarValue::Int32((rng.gen::<u64>() % 9) as i32 - 4),
+                    ScalarValue::Int32((rng.gen::<u64>() % 16) as i32),
+                    ScalarValue::Int64(cycle as i64 * 1_000 + (rng.gen::<u64>() % 1_000) as i64),
+                    ScalarValue::Int64(ship_id),
+                    ScalarValue::Char(b'b'),
+                    ScalarValue::Str(format!("r{:03}", rng.gen::<u64>() % 128)),
+                    ScalarValue::Str("ais-feed".to_string()),
+                ],
+            );
+        }
+        Some(vec![batch])
+    }
+
     fn derived_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
         // The BOEM studies store density maps and voyage models: ~15 % of
-        // the cycle's insert volume, concentrated near the ports.
-        let total = (self.cycle_insert_bytes(cycle) as f64 * 0.15) as u64;
+        // the cycle's insert volume, concentrated near the ports. In
+        // materialized mode the insert volume is modeled off the broadcast
+        // schema's row footprint (inline coords + fixed-width attribute
+        // estimate), so it tracks schema changes instead of freezing a
+        // bytes-per-row constant.
+        let cycle_bytes = if self.cells_per_cycle > 0 {
+            let s = Self::broadcast_schema();
+            self.cells_per_cycle * (s.ndims() as u64 * 8 + s.estimated_cell_bytes())
+        } else {
+            self.cycle_insert_bytes(cycle)
+        };
+        let total = (cycle_bytes as f64 * 0.15) as u64;
         let per_chunk = total / 16;
         (0..16usize)
             .map(|i| {

@@ -9,7 +9,8 @@
 //!   capacity trigger;
 //! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
 
-use crate::spec::{SuiteReport, Workload};
+use crate::spec::{CellBatch, SuiteReport, Workload};
+use array_model::{Array, ArrayError, ArrayId, ChunkDescriptor, ChunkKey};
 use cluster_sim::{gb, Cluster, ClusterError, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
 use elastic_core::{
     batch_prefix_bytes, build_partitioner, route_batch, Partitioner, PartitionerConfig,
@@ -47,6 +48,23 @@ pub enum CycleError {
         /// Underlying cluster rejection.
         source: ClusterError,
     },
+    /// A materialized cell batch could not be built into chunks (cell out
+    /// of the declared space, wrong arity or attribute types, or a chunk
+    /// position revisited across cycles).
+    Materialize {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying array-model rejection.
+        source: ArrayError,
+    },
+    /// A materialized cell batch targeted an array id the workload never
+    /// registered in the catalog.
+    UnknownArray {
+        /// Cycle that failed.
+        cycle: usize,
+        /// The unregistered array id the batch named.
+        array: ArrayId,
+    },
 }
 
 impl fmt::Display for CycleError {
@@ -61,6 +79,12 @@ impl fmt::Display for CycleError {
             CycleError::Reorg { cycle, source } => {
                 write!(f, "cycle {cycle}: rebalance plan rejected: {source}")
             }
+            CycleError::Materialize { cycle, source } => {
+                write!(f, "cycle {cycle}: cell batch rejected: {source}")
+            }
+            CycleError::UnknownArray { cycle, array } => {
+                write!(f, "cycle {cycle}: cell batch targets {array}, which is not in the catalog")
+            }
         }
     }
 }
@@ -71,6 +95,8 @@ impl std::error::Error for CycleError {
             CycleError::Ingest { source, .. }
             | CycleError::Derived { source, .. }
             | CycleError::Reorg { source, .. } => Some(source),
+            CycleError::Materialize { source, .. } => Some(source),
+            CycleError::UnknownArray { .. } => None,
         }
     }
 }
@@ -309,6 +335,12 @@ impl<'w> WorkloadRunner<'w> {
         &self.cluster
     }
 
+    /// The catalog (for inspection between cycles — e.g. running operators
+    /// directly against the current placement).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
     /// The provisioner, when the staircase policy is active.
     pub fn provisioner(&self) -> Option<&StaircaseProvisioner> {
         self.provisioner.as_ref()
@@ -368,15 +400,59 @@ impl<'w> WorkloadRunner<'w> {
         }
     }
 
+    /// Build each cell batch into real chunks via the array-model chunk
+    /// builder. The returned arrays hold the cycle's fresh chunks only;
+    /// descriptors derived from them carry actual `byte_size()` /
+    /// `cell_count()` instead of sampled sizes.
+    fn build_cell_arrays(
+        &self,
+        cycle: usize,
+        batches: Vec<CellBatch>,
+    ) -> Result<Vec<Array>, CycleError> {
+        let mut out = Vec::with_capacity(batches.len());
+        for b in batches {
+            let schema = match self.catalog.array(b.array) {
+                Ok(stored) => stored.schema.clone(),
+                Err(_) => return Err(CycleError::UnknownArray { cycle, array: b.array }),
+            };
+            let mut fresh = Array::new(b.array, schema);
+            for (cell, values) in b.cells {
+                fresh
+                    .insert_cell(cell, values)
+                    .map_err(|source| CycleError::Materialize { cycle, source })?;
+            }
+            out.push(fresh);
+        }
+        Ok(out)
+    }
+
+    /// Attach the freshly built chunks to the nodes that just received
+    /// their descriptors, and fold them into the catalog's whole-array
+    /// storage (the oracle the differential suites check against).
+    fn store_cell_arrays(&mut self, cycle: usize, arrays: Vec<Array>) -> Result<(), CycleError> {
+        for fresh in arrays {
+            let id = fresh.id;
+            for (coords, chunk) in fresh.chunks() {
+                self.cluster
+                    .attach_payload(ChunkKey::new(id, *coords), chunk.clone())
+                    .map_err(|source| CycleError::Ingest { cycle, source })?;
+            }
+            let stored = self.catalog.array_mut(id).expect("validated in build_cell_arrays");
+            let data = stored.data.get_or_insert_with(|| Array::new(id, stored.schema.clone()));
+            // `absorb` checks schema identity once and skips per-cell
+            // re-validation: `fresh` was built through `insert_cell`
+            // against this same schema in `build_cell_arrays`.
+            data.absorb(fresh).map_err(|source| CycleError::Materialize { cycle, source })?;
+        }
+        Ok(())
+    }
+
     /// Place a batch of chunks through the sharded route → place → commit
     /// pipeline, returning the coordinator-fed flow set. With
     /// `ingest_threads > 1` both routing and placement fan out over scoped
     /// threads; the resulting placements, loads, and census are identical
     /// to the single-threaded path.
-    fn place_batch(
-        &mut self,
-        batch: &[array_model::ChunkDescriptor],
-    ) -> Result<FlowSet, ClusterError> {
+    fn place_batch(&mut self, batch: &[ChunkDescriptor]) -> Result<FlowSet, ClusterError> {
         let coordinator = self.cluster.coordinator();
         let threads = self.config.ingest_threads.max(1);
         // Route the whole batch against one epoch snapshot...
@@ -399,7 +475,18 @@ impl<'w> WorkloadRunner<'w> {
 
     /// Execute one workload cycle.
     pub fn run_cycle(&mut self, cycle: usize) -> Result<CycleReport, CycleError> {
-        let batch = self.workload.get().insert_batch(cycle);
+        // Materialized workloads stream cells through the chunk builder
+        // and ingest descriptors derived from the real payloads; metadata
+        // workloads place their sampled descriptors directly.
+        let (batch, cell_arrays) = match self.workload.get().cell_batch(cycle) {
+            Some(batches) => {
+                let arrays = self.build_cell_arrays(cycle, batches)?;
+                let descs: Vec<ChunkDescriptor> =
+                    arrays.iter().flat_map(Array::descriptors).collect();
+                (descs, Some(arrays))
+            }
+            None => (self.workload.get().insert_batch(cycle), None),
+        };
         let insert_bytes: u64 = batch.iter().map(|d| d.bytes).sum();
         let projected_bytes = self.cluster.total_used().saturating_add(insert_bytes);
 
@@ -423,6 +510,9 @@ impl<'w> WorkloadRunner<'w> {
         // Ingest.
         let insert_flows =
             self.place_batch(&batch).map_err(|source| CycleError::Ingest { cycle, source })?;
+        if let Some(arrays) = cell_arrays {
+            self.store_cell_arrays(cycle, arrays)?;
+        }
         let insert_secs = insert_flows.elapsed_secs(&self.config.cost);
         // O(1): the cluster maintains its load moments incrementally.
         let rsd_after_insert = self.cluster.balance_rsd();
@@ -481,7 +571,7 @@ mod tests {
 
     fn mini_modis() -> ModisWorkload {
         // 1/16 scale keeps tests fast while preserving distribution shape.
-        ModisWorkload { days: 6, scale: 0.25, seed: 1 }
+        ModisWorkload { days: 6, scale: 0.25, seed: 1, ..Default::default() }
     }
 
     fn config(kind: PartitionerKind) -> RunnerConfig {
@@ -565,6 +655,39 @@ mod tests {
         let report = WorkloadRunner::new(&w, cfg).run_all().expect("collision-free workload");
         assert!(report.cycles.iter().all(|c| c.nodes == 2));
         assert!(report.cycles.iter().all(|c| c.added_nodes == 0));
+    }
+
+    #[test]
+    fn materialized_cycles_attach_payloads_and_keep_books_consistent() {
+        use crate::ais::{AisWorkload, BROADCAST};
+        let w = AisWorkload { cycles: 3, scale: 0.05, seed: 5, cells_per_cycle: 1200 };
+        let mut cfg = config(PartitionerKind::HilbertCurve);
+        // Cells are ~80 B each, so a cycle lands ~100 KB; tiny nodes force
+        // scale-outs (and therefore payload-carrying rebalances) mid-run.
+        cfg.node_capacity = 100_000;
+        let mut runner = WorkloadRunner::new(&w, cfg);
+        let report = runner.run_all().expect("materialized run completes");
+        assert!(report.cycles.last().unwrap().nodes > 2, "must scale out");
+
+        // Every broadcast chunk placed in the cluster carries its payload,
+        // and the payload's real bytes equal the descriptor the placement
+        // and census saw.
+        let broadcast = runner.catalog().array(BROADCAST).unwrap();
+        assert!(!broadcast.descriptors.is_empty());
+        let cluster = runner.cluster();
+        for desc in broadcast.descriptors.values() {
+            let payload = cluster.payload(&desc.key).expect("payload travels with the chunk");
+            assert_eq!(payload.byte_size(), desc.bytes);
+            assert_eq!(payload.cell_count(), desc.cells);
+        }
+        // The catalog keeps the whole-array oracle copy in sync.
+        let data = broadcast.data.as_ref().expect("materialized catalog storage");
+        assert_eq!(data.chunk_count(), broadcast.descriptors.len());
+        assert_eq!(data.byte_size(), broadcast.byte_size());
+        // Derived products stayed metadata-only; only broadcast chunks
+        // carry payloads.
+        assert_eq!(cluster.payload_count(), broadcast.descriptors.len());
+        assert!(cluster.total_chunks() > broadcast.descriptors.len());
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub use ais::AisWorkload;
 pub use cycle::{CycleError, CycleReport, RunReport, RunnerConfig, ScalingPolicy, WorkloadRunner};
 pub use modis::ModisWorkload;
 pub use rand_util::{lognormal, rng_for, standard_normal, zipf_weight};
-pub use spec::{QueryRecord, SuiteReport, Workload};
+pub use spec::{CellBatch, QueryRecord, SuiteReport, Workload};
 pub use synthetic::{SpatialDistribution, SyntheticWorkload};

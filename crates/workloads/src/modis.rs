@@ -9,10 +9,13 @@
 //! which is why Algorithm 1 tunes MODIS toward a *large* sampling window.
 
 use crate::rand_util::{lognormal, rng_for, standard_normal};
-use crate::spec::{SuiteReport, Workload};
-use array_model::{ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region};
+use crate::spec::{CellBatch, SuiteReport, Workload};
+use array_model::{
+    ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region, ScalarValue,
+};
 use elastic_core::GridHint;
 use query_engine::{ops, Catalog, ExecutionContext, StoredArray};
+use rand::Rng;
 
 /// MODIS band 1.
 pub const BAND1: ArrayId = ArrayId(0);
@@ -34,11 +37,16 @@ pub struct ModisWorkload {
     pub scale: f64,
     /// Seed for all synthesis.
     pub seed: u64,
+    /// Pixels emitted per daily cycle by the materialized (cell-level)
+    /// ingest mode; `0` keeps the workload metadata-only. Band 1 receives
+    /// every pixel, band 2 every other one at the same position, so the
+    /// vegetation-index join has real partners.
+    pub cells_per_cycle: u64,
 }
 
 impl Default for ModisWorkload {
     fn default() -> Self {
-        ModisWorkload { days: 14, scale: 1.0, seed: 0x5eed_0001 }
+        ModisWorkload { days: 14, scale: 1.0, seed: 0x5eed_0001, cells_per_cycle: 0 }
     }
 }
 
@@ -157,12 +165,59 @@ impl Workload for ModisWorkload {
         out
     }
 
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        if self.cells_per_cycle == 0 {
+            return None;
+        }
+        let day = cycle as i64;
+        let mut band1 = CellBatch::new(BAND1);
+        let mut band2 = CellBatch::new(BAND2);
+        // Positions are near-uniform over the globe, like the byte field;
+        // a seen-set keeps each (time, lon, lat) pixel unique so both
+        // bands share exact positions for the positional join.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..self.cells_per_cycle {
+            let mut rng = rng_for(self.seed, &[900, day, i as i64]);
+            let minute = day * MINUTES_PER_DAY + (rng.gen::<u64>() % MINUTES_PER_DAY as u64) as i64;
+            let lon = (rng.gen::<u64>() % 361) as i64 - 180;
+            let lat = (rng.gen::<u64>() % 181) as i64 - 90;
+            if !seen.insert((minute, lon, lat)) {
+                continue;
+            }
+            let pixel = |rng: &mut rand::rngs::StdRng| {
+                vec![
+                    ScalarValue::Int32((rng.gen::<u64>() % 10_000) as i32),
+                    ScalarValue::Double(lognormal(rng, 120.0, 0.4)),
+                    ScalarValue::Double(rng.gen::<f64>()),
+                    ScalarValue::Int32((rng.gen::<u64>() % 4) as i32),
+                    ScalarValue::Float((rng.gen::<f64>() * 10.0) as f32),
+                    ScalarValue::Int32(1),
+                    ScalarValue::Int32(500),
+                ]
+            };
+            band1.push(vec![minute, lon, lat], pixel(&mut rng));
+            if i % 2 == 0 {
+                band2.push(vec![minute, lon, lat], pixel(&mut rng));
+            }
+        }
+        Some(vec![band1, band2])
+    }
+
     fn derived_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
         // Scientists store ~5 % of the day's volume as cooked products
-        // (vegetation indexes, regridded images).
+        // (vegetation indexes, regridded images). Materialized runs cook
+        // off the schema-modeled pixel footprint — band1 emits every row,
+        // band2 every other, hence the 3/2 — so the model tracks schema
+        // changes instead of freezing a bytes-per-row constant.
         let day = cycle as i64;
         let mut rng = rng_for(self.seed, &[7_000, day]);
-        let per_chunk = self.mean_chunk_bytes();
+        let per_chunk = if self.cells_per_cycle > 0 {
+            let s = Self::band_schema("b");
+            let row = s.ndims() as u64 * 8 + s.estimated_cell_bytes();
+            (self.cells_per_cycle * row * 3 / 2) as f64 * 0.05 / 25.0
+        } else {
+            self.mean_chunk_bytes()
+        };
         (0..25)
             .map(|i| {
                 let lon = (i * 7 + day * 3) % LON_CHUNKS;

@@ -1,7 +1,7 @@
 //! The workload abstraction: what the cycle driver and the reproduction
 //! harness need from a use case (§3 of the paper).
 
-use array_model::ChunkDescriptor;
+use array_model::{ArrayId, CellCoords, ChunkDescriptor, ScalarValue};
 use elastic_core::GridHint;
 use query_engine::{Catalog, ExecutionContext, QueryStats};
 use serde::{Deserialize, Serialize};
@@ -59,6 +59,30 @@ impl SuiteReport {
     }
 }
 
+/// One cycle's worth of materialized cells for one array: the payload the
+/// cell-level ingest path streams into the chunk builder. Descriptors are
+/// then derived from the built chunks' actual `byte_size()`/`cell_count()`
+/// instead of sampled size distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellBatch {
+    /// The array the cells belong to.
+    pub array: ArrayId,
+    /// `(cell coordinates, attribute values)` rows, in emission order.
+    pub cells: Vec<(CellCoords, Vec<ScalarValue>)>,
+}
+
+impl CellBatch {
+    /// An empty batch for `array`.
+    pub fn new(array: ArrayId) -> Self {
+        CellBatch { array, cells: Vec::new() }
+    }
+
+    /// Record one cell.
+    pub fn push(&mut self, cell: CellCoords, values: Vec<ScalarValue>) {
+        self.cells.push((cell, values));
+    }
+}
+
 /// A reproducible, cyclic workload (§3.4): per-cycle insert batches,
 /// derived-result storage, and the benchmark suites.
 pub trait Workload {
@@ -74,6 +98,17 @@ pub trait Workload {
 
     /// The chunks inserted by cycle `cycle` (0-based). Deterministic.
     fn insert_batch(&self, cycle: usize) -> Vec<ChunkDescriptor>;
+
+    /// Cell-level payload for cycle `cycle`, when the workload runs in
+    /// materialized mode. `None` (the default) keeps the metadata-only
+    /// path: the driver places the sampled descriptors of
+    /// [`Workload::insert_batch`]. `Some` makes the driver build real
+    /// chunks from these cells, derive descriptors from the actual
+    /// payloads, attach the payloads to the nodes that receive them, and
+    /// keep a whole-array oracle copy in the catalog. Deterministic.
+    fn cell_batch(&self, _cycle: usize) -> Option<Vec<CellBatch>> {
+        None
+    }
 
     /// The derived-result chunks the query phase stores at the end of
     /// `cycle` ("they may store their findings for future reference",

@@ -6,8 +6,10 @@
 //! cycle driver and a compact query suite.
 
 use crate::rand_util::{lognormal, rng_for, zipf_weight};
-use crate::spec::{SuiteReport, Workload};
-use array_model::{ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region};
+use crate::spec::{CellBatch, SuiteReport, Workload};
+use array_model::{
+    ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, Region, ScalarValue,
+};
 use elastic_core::GridHint;
 use query_engine::{ops, Catalog, ExecutionContext, StoredArray};
 use serde::{Deserialize, Serialize};
@@ -47,6 +49,11 @@ pub struct SyntheticWorkload {
     pub distribution: SpatialDistribution,
     /// RNG seed.
     pub seed: u64,
+    /// Cells emitted per cycle by the materialized (cell-level) ingest
+    /// mode; `0` keeps the workload metadata-only. The grid's chunk
+    /// interval is 1, so each emitted cell materializes one chunk at the
+    /// heaviest-weighted positions of the cycle's spatial field.
+    pub cells_per_cycle: u64,
 }
 
 impl Default for SyntheticWorkload {
@@ -58,6 +65,7 @@ impl Default for SyntheticWorkload {
             growth: 1.0,
             distribution: SpatialDistribution::Uniform { sigma: 0.3 },
             seed: 7,
+            cells_per_cycle: 0,
         }
     }
 }
@@ -135,6 +143,33 @@ impl Workload for SyntheticWorkload {
 
     fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
         Vec::new()
+    }
+
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        if self.cells_per_cycle == 0 {
+            return None;
+        }
+        // Rank the cycle's spatial positions by the same weight field the
+        // metadata mode samples sizes from, and materialize one cell at
+        // each of the heaviest positions — skew carries over into which
+        // chunks exist and how large the hot region is.
+        let mut weights: Vec<(i64, i64, f64)> = Vec::new();
+        for x in 0..self.grid_side {
+            for y in 0..self.grid_side {
+                weights.push((x, y, self.cell_weight(x, y)));
+            }
+        }
+        weights.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).expect("finite weights").then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        let take = (self.cells_per_cycle as usize).min(weights.len());
+        let mut batch = CellBatch::new(SYNTHETIC);
+        for &(x, y, _) in &weights[..take] {
+            let mut rng = rng_for(self.seed, &[3, cycle as i64, x, y]);
+            let v = lognormal(&mut rng, 100.0, 0.5);
+            batch.push(vec![cycle as i64, x, y], vec![ScalarValue::Double(v)]);
+        }
+        Some(vec![batch])
     }
 
     fn grid_hint(&self) -> GridHint {

@@ -93,6 +93,51 @@ fn routing_path_never_allocates() {
     assert!(sink != u64::MAX, "keep the loop observable");
 }
 
+/// `ExecutionContext::node_of` is the per-chunk lookup every query
+/// operator runs; both its hit path and its miss path (which used to
+/// build the `Unplaced` error string eagerly via `key.to_string()`) must
+/// be allocation-free — the error now carries the `Copy` key and renders
+/// lazily.
+#[test]
+fn query_node_of_lookup_never_allocates() {
+    let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+    assert!(cluster.register_array(ArrayId(0), &[32, 32]));
+    let schema = ArraySchema::parse("A<v:double>[x=0:511,16, y=0:511,16]").unwrap();
+    let mut descs = Vec::new();
+    for x in 0..32i64 {
+        for y in 0..32i64 {
+            let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([x, y]));
+            let desc = ChunkDescriptor::new(key, 100, 1);
+            cluster.place(desc, NodeId(((x + y) % 4) as u32)).unwrap();
+            descs.push(desc);
+        }
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(StoredArray::from_descriptors(ArrayId(0), schema, descs));
+    let ctx = ExecutionContext::new(&cluster, &catalog);
+    let array = catalog.array(ArrayId(0)).unwrap();
+
+    let mut sink = 0u64;
+    for round in 0..2 {
+        let start = allocation_count();
+        for i in 0..10_000i64 {
+            // Hit path: a placed chunk.
+            let hit = ChunkCoords::new([i % 32, (i / 32) % 32]);
+            sink ^= ctx.node_of(array, &hit, None).map_or(0, |n| u64::from(n.0));
+            // Miss path: past the registered extents, never placed.
+            let miss = ChunkCoords::new([64 + (i % 8), 0]);
+            if ctx.node_of(array, &miss, None).is_err() {
+                sink = sink.wrapping_add(1);
+            }
+        }
+        let allocs = allocation_count() - start;
+        if round == 1 {
+            assert_eq!(allocs, 0, "20k node_of lookups allocated {allocs} times");
+        }
+    }
+    assert!(sink != u64::MAX, "keep the loop observable");
+}
+
 #[test]
 fn dense_placement_insert_is_allocation_free_after_warmup() {
     let mut cluster = Cluster::new(8, u64::MAX, CostModel::default()).unwrap();

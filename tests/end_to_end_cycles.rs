@@ -5,11 +5,11 @@
 use elastic_array_db::prelude::*;
 
 fn mini_modis() -> ModisWorkload {
-    ModisWorkload { days: 6, scale: 0.2, seed: 11 }
+    ModisWorkload { days: 6, scale: 0.2, seed: 11, ..Default::default() }
 }
 
 fn mini_ais() -> AisWorkload {
-    AisWorkload { cycles: 5, scale: 0.2, seed: 12 }
+    AisWorkload { cycles: 5, scale: 0.2, seed: 12, ..Default::default() }
 }
 
 fn mini_config(kind: PartitionerKind) -> RunnerConfig {
