@@ -1,24 +1,34 @@
 //! Arrays: a schema plus the (sparse) set of chunks that hold its cells.
 
+use crate::cells::CellBuffer;
 use crate::chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
 use crate::coords::{chunk_of, ChunkCoords};
 use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
 use crate::value::ScalarValue;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A materialized array: schema plus chunk storage.
 ///
 /// Only non-empty chunks exist; the on-disk footprint is a function of the
 /// cells actually stored (§2). Chunks are kept in a `BTreeMap` so iteration
 /// is deterministic (row-major over chunk coordinates).
+///
+/// Chunks are reference-counted (`Arc`): the materialized ingest path
+/// shares each freshly built chunk between a node's payload store and the
+/// catalog's whole-array oracle copy, so attaching a payload is a
+/// refcount bump, never a deep copy. Mutation goes through
+/// [`Arc::make_mut`], which is free while a chunk is unshared (the entire
+/// build phase) and degrades to copy-on-write if a shared chunk is ever
+/// written — aliased stores can never observe each other's edits.
 #[derive(Debug, Clone)]
 pub struct Array {
     /// Identifier within the catalog.
     pub id: ArrayId,
     /// The array's schema.
     pub schema: ArraySchema,
-    chunks: BTreeMap<ChunkCoords, Chunk>,
+    chunks: BTreeMap<ChunkCoords, Arc<Chunk>>,
 }
 
 impl Array {
@@ -30,24 +40,144 @@ impl Array {
     /// Insert one cell, routing it to (and creating, if needed) its chunk.
     pub fn insert_cell(&mut self, cell: Vec<i64>, values: Vec<ScalarValue>) -> Result<ChunkCoords> {
         let coords = chunk_of(&self.schema, &cell)?;
-        let chunk = self.chunks.entry(coords).or_insert_with(|| Chunk::new(&self.schema, coords));
-        chunk.push_cell(&self.schema, cell, values)?;
+        let chunk =
+            self.chunks.entry(coords).or_insert_with(|| Arc::new(Chunk::new(&self.schema, coords)));
+        Arc::make_mut(chunk).push_cell(&self.schema, cell, values)?;
         Ok(coords)
     }
 
-    /// Consume the array, yielding its chunks in row-major order.
-    pub fn into_chunks(self) -> impl Iterator<Item = (ChunkCoords, Chunk)> {
+    /// Insert a whole flat batch of cells, routing each row to (and
+    /// creating, if needed) its chunk.
+    ///
+    /// Bit-identical to calling [`Array::insert_cell`] once per row in
+    /// buffer order, but validated **once per batch** (shape via
+    /// [`CellBuffer::matches`], bounds via [`CellBuffer::route`]) and
+    /// copied column-at-a-time per chunk. All-or-nothing: any invalid row
+    /// fails the whole batch before the array is touched.
+    pub fn insert_batch(&mut self, src: &CellBuffer) -> Result<()> {
+        src.matches(&self.schema)?;
+        let routed = src.route(&self.schema)?;
+        // The whole batch in order: the plain range, so the sweeps pay no
+        // index-vector indirection.
+        let groups = crate::cells::group_rows_by_chunk(&routed, 0..src.len() as u32);
+        let built = Chunk::scatter_cells(
+            &self.schema,
+            crate::chunk::ColumnSet::Shared(src.columns()),
+            src.coords_flat(),
+            0..src.len() as u32,
+            &groups,
+        );
+        self.merge_built(built);
+        Ok(())
+    }
+
+    /// Like [`Array::insert_batch`], but consumes the buffer: fixed-width
+    /// values copy as before, while strings are **moved** into their
+    /// chunks — each one keeps the allocation the generator gave it, so
+    /// the whole batch adds zero per-value allocations. Semantically
+    /// identical to the borrowing form. This is the single-threaded
+    /// ingest hot path; the sharded parallel build borrows instead
+    /// (workers cannot move out of a shared batch).
+    pub fn insert_batch_owned(&mut self, mut src: CellBuffer) -> Result<()> {
+        src.matches(&self.schema)?;
+        let routed = src.route(&self.schema)?;
+        let rows = 0..src.len() as u32;
+        let groups = crate::cells::group_rows_by_chunk(&routed, rows.clone());
+        let (flat, cols) = src.parts_mut();
+        let built = Chunk::scatter_cells(
+            &self.schema,
+            crate::chunk::ColumnSet::Taken(cols),
+            flat,
+            rows,
+            &groups,
+        );
+        self.merge_built(built);
+        Ok(())
+    }
+
+    /// Insert the subset of `src`'s rows listed in `rows` (each `rows[i]`
+    /// indexes both the buffer and `routed`, its pre-computed chunk).
+    ///
+    /// This is the worker half of sharded parallel chunk building: the
+    /// caller routes the batch once, partitions rows by chunk onto
+    /// workers, and each worker builds its disjoint chunk set with this
+    /// method. Rows must be listed in ascending order so in-chunk cell
+    /// order matches the sequential build. Shape is validated once per
+    /// call; `routed` must come from [`CellBuffer::route`] against this
+    /// array's schema (debug-asserted per row — a stale or
+    /// foreign-schema routing would otherwise file cells into chunks
+    /// that do not own them).
+    ///
+    /// # Panics
+    ///
+    /// If a row index is out of range for the buffer or `routed` — an
+    /// index error, as with slice indexing, not a validation error.
+    pub fn insert_routed_rows(
+        &mut self,
+        src: &CellBuffer,
+        routed: &[ChunkCoords],
+        rows: &[u32],
+    ) -> Result<()> {
+        src.matches(&self.schema)?;
+        assert!(
+            rows.iter().all(|&r| (r as usize) < src.len() && (r as usize) < routed.len()),
+            "row index out of range for a {}-row batch",
+            src.len()
+        );
+        #[cfg(debug_assertions)]
+        for &r in rows {
+            debug_assert_eq!(
+                routed[r as usize],
+                crate::coords::chunk_of(&self.schema, src.cell(r as usize))
+                    .expect("routed rows are in bounds"),
+                "routed[{r}] disagrees with chunk_of against this array's schema"
+            );
+        }
+        let groups = crate::cells::group_rows_by_chunk(routed, rows.iter().copied());
+        let built = Chunk::scatter_cells(
+            &self.schema,
+            crate::chunk::ColumnSet::Shared(src.columns()),
+            src.coords_flat(),
+            rows.iter().copied(),
+            &groups,
+        );
+        self.merge_built(built);
+        Ok(())
+    }
+
+    /// Fold freshly scattered chunks into storage: a vacant position
+    /// takes the chunk wholesale; a revisited position appends —
+    /// identical to per-cell insertion order.
+    fn merge_built(&mut self, built: Vec<Chunk>) {
+        for chunk in built {
+            match self.chunks.entry(chunk.coords) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Arc::new(chunk));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    Arc::make_mut(e.get_mut()).append(chunk);
+                }
+            }
+        }
+    }
+
+    /// Consume the array, yielding its chunks in row-major order. Shared
+    /// chunks come out as their `Arc` handle — callers that need owned
+    /// `Chunk`s use `Arc::unwrap_or_clone`, which is a move whenever the
+    /// chunk is unshared.
+    pub fn into_chunks(self) -> impl Iterator<Item = (ChunkCoords, Arc<Chunk>)> {
         self.chunks.into_iter()
     }
 
     /// Move every chunk of `other` into this array. The schemas must be
     /// identical — checked once up front, which is all the validation a
     /// wholesale move needs: cells only ever enter an `Array` through
-    /// `insert_cell`'s per-cell checks (or, inductively, through this
-    /// method), so `other`'s chunks are already schema-valid and only
-    /// occupancy can conflict. All-or-nothing: every position is checked
-    /// before any chunk moves, so an occupied position leaves `self`
-    /// untouched instead of half-merged.
+    /// `insert_cell`'s per-cell checks or the batch inserts' whole-batch
+    /// validation against this same schema (or, inductively, through
+    /// this method), so `other`'s chunks are already schema-valid and
+    /// only occupancy can conflict. All-or-nothing: every position is
+    /// checked before any chunk moves, so an occupied position leaves
+    /// `self` untouched instead of half-merged.
     pub fn absorb(&mut self, other: Array) -> Result<()> {
         if other.schema != self.schema {
             return Err(ArrayError::InvalidSchema(format!(
@@ -67,23 +197,30 @@ impl Array {
         self.chunks.len()
     }
 
-    /// Total stored cells.
+    /// Total stored cells. O(chunks) — each chunk's count is a counter.
     pub fn cell_count(&self) -> u64 {
-        self.chunks.values().map(Chunk::cell_count).sum()
+        self.chunks.values().map(|c| c.cell_count()).sum()
     }
 
-    /// Total stored bytes.
+    /// Total stored bytes. O(chunks) — each chunk's size is a counter.
     pub fn byte_size(&self) -> u64 {
-        self.chunks.values().map(Chunk::byte_size).sum()
+        self.chunks.values().map(|c| c.byte_size()).sum()
     }
 
     /// Fetch a chunk by position.
     pub fn chunk(&self, coords: &ChunkCoords) -> Option<&Chunk> {
-        self.chunks.get(coords)
+        self.chunks.get(coords).map(Arc::as_ref)
     }
 
     /// Iterate chunks in row-major chunk-coordinate order.
     pub fn chunks(&self) -> impl Iterator<Item = (&ChunkCoords, &Chunk)> {
+        self.chunks.iter().map(|(c, a)| (c, a.as_ref()))
+    }
+
+    /// Iterate chunks as their shared (`Arc`) handles, in row-major
+    /// order. The materialized ingest path clones these handles into the
+    /// node payload stores — a refcount bump per chunk, no cell copies.
+    pub fn shared_chunks(&self) -> impl Iterator<Item = (&ChunkCoords, &Arc<Chunk>)> {
         self.chunks.iter()
     }
 

@@ -7,6 +7,7 @@
 //! At paper scale (hundreds of GB) only descriptors are materialized;
 //! tests and examples materialize full chunks.
 
+use crate::cells::{CellBuffer, RowGroups, RowSel};
 use crate::coords::ChunkCoords;
 use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
@@ -70,16 +71,30 @@ impl ChunkDescriptor {
     }
 }
 
-/// A materialized chunk: sparse cells stored as a coordinate list plus one
-/// column per attribute, all in insertion order.
+/// A materialized chunk: sparse cells stored as a **flat** coordinate
+/// buffer (structure-of-arrays, stride = the array's dimensionality) plus
+/// one column per attribute, all in insertion order.
+///
+/// `bytes` and `cells` are running counters maintained on every append,
+/// so [`Chunk::byte_size`], [`Chunk::cell_count`], and
+/// [`Chunk::descriptor`] are O(1) — the materialized ingest path derives
+/// a descriptor from every freshly built chunk, and used to pay a full
+/// rescan of the coordinate list per derivation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Chunk {
     /// Chunk position within its array.
     pub coords: ChunkCoords,
-    /// Cell coordinates of each stored cell (row-major insertion order).
-    cell_coords: Vec<Vec<i64>>,
+    /// Coordinate stride: the owning schema's dimensionality.
+    ndims: u8,
+    /// Cell coordinates, flattened row-major: cell `i` occupies
+    /// `cell_coords[i*ndims .. (i+1)*ndims]`.
+    cell_coords: Vec<i64>,
     /// One column per schema attribute.
     columns: Vec<AttributeColumn>,
+    /// Running stored-byte total (coordinates + columns).
+    bytes: u64,
+    /// Running cell count.
+    cells: u64,
 }
 
 impl Chunk {
@@ -87,8 +102,11 @@ impl Chunk {
     pub fn new(schema: &ArraySchema, coords: ChunkCoords) -> Self {
         Chunk {
             coords,
+            ndims: schema.ndims() as u8,
             cell_coords: Vec::new(),
             columns: schema.attributes.iter().map(|a| AttributeColumn::new(a.ty)).collect(),
+            bytes: 0,
+            cells: 0,
         }
     }
 
@@ -118,31 +136,193 @@ impl Chunk {
             }
         }
         for (col, value) in self.columns.iter_mut().zip(values) {
+            self.bytes += value.stored_bytes();
             col.push(value).expect("types were validated above");
         }
-        self.cell_coords.push(cell);
+        self.bytes += (cell.len() * 8) as u64;
+        self.cell_coords.extend_from_slice(&cell);
+        self.cells += 1;
         Ok(())
     }
 
-    /// Number of stored (non-empty) cells.
+    /// Bulk-append the cells of `src` at the given row indices, in order.
+    ///
+    /// This is the batched counterpart of [`Chunk::push_cell`]: schema
+    /// arity and attribute types are validated **once per call** (the
+    /// buffer's columns are typed, so one column-type comparison covers
+    /// every row), and the copies run column-at-a-time with the type
+    /// dispatch hoisted out of the row loop. On any validation error
+    /// nothing is appended. The caller is responsible for having routed
+    /// every listed row to this chunk.
+    ///
+    /// Convenience API: it scatters into a temporary chunk and appends
+    /// it, paying one extra copy so the copy/byte-accounting code lives
+    /// only in the scatter. The hot paths ([`crate::Array`]'s batch
+    /// inserts) scatter straight into their destination chunks.
+    ///
+    /// # Panics
+    ///
+    /// If a row index is out of range for the buffer — an index error,
+    /// as with slice indexing, not a validation error; checked up front
+    /// so the chunk is untouched.
+    pub fn push_cells(
+        &mut self,
+        schema: &ArraySchema,
+        src: &CellBuffer,
+        rows: &[u32],
+    ) -> Result<()> {
+        src.matches(schema)?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        assert!(
+            rows.iter().all(|&r| (r as usize) < src.len()),
+            "row index out of range for a {}-row batch",
+            src.len()
+        );
+        // One-group scatter, then a wholesale append — the same copy and
+        // byte-accounting code the batch pipeline runs, so the two paths
+        // cannot drift.
+        let groups = RowGroups {
+            coords: vec![self.coords],
+            counts: vec![rows.len() as u32],
+            group_of: vec![0; rows.len()],
+        };
+        let mut built = Chunk::scatter_cells(
+            schema,
+            ColumnSet::Shared(src.columns()),
+            src.coords_flat(),
+            rows.iter().copied(),
+            &groups,
+        );
+        self.append(built.pop().expect("exactly one group"));
+        Ok(())
+    }
+
+    /// Build one chunk per group of `groups`, scattering the listed rows
+    /// of `src` into them in a **column-major sweep**: for the coordinate
+    /// buffer and then for every attribute, one sequential pass over the
+    /// source rows appends each value to its group's chunk. The source
+    /// reads stream (hardware-prefetch friendly) and the append targets
+    /// are one growing tail per group — a working set that stays
+    /// cache-resident — instead of the gather pattern's random reads
+    /// across the whole batch per chunk. Capacities come from the group
+    /// counts, so every buffer is sized exactly once.
+    ///
+    /// `src` distinguishes a borrowed batch (values cloned) from a
+    /// consumed one (variable-width values **moved** out — the hot
+    /// single-threaded ingest path, where a row's strings are allocated
+    /// once by the generator and never re-allocated downstream).
+    ///
+    /// The caller has already validated the batch against `schema`
+    /// ([`crate::CellBuffer::matches`]); row order within each group is
+    /// the listed order, identical to per-cell insertion.
+    pub(crate) fn scatter_cells(
+        schema: &ArraySchema,
+        src: ColumnSet<'_>,
+        flat: &[i64],
+        rows: impl RowSel,
+        groups: &RowGroups,
+    ) -> Vec<Chunk> {
+        let nd = schema.ndims();
+        let mut out: Vec<Chunk> = groups
+            .coords
+            .iter()
+            .zip(&groups.counts)
+            .map(|(&coords, &n)| {
+                let mut chunk = Chunk::new(schema, coords);
+                let n = n as usize;
+                chunk.cell_coords.reserve(n * nd);
+                for col in &mut chunk.columns {
+                    col.reserve(n);
+                }
+                // Cell count and coordinate bytes are known up front; the
+                // column sweeps below add each column's bytes.
+                chunk.cells = n as u64;
+                chunk.bytes = (n * nd * 8) as u64;
+                chunk
+            })
+            .collect();
+        // Specialize the sweep on the (tiny) dimensionality so the inner
+        // copy unrolls to straight-line pushes instead of a per-row
+        // variable-length memcpy.
+        fn sweep<const ND: usize>(
+            out: &mut [Chunk],
+            flat: &[i64],
+            rows: impl RowSel,
+            group_of: &[u32],
+        ) {
+            for (i, r) in rows.enumerate() {
+                let g = group_of[i] as usize;
+                let s: &[i64; ND] = flat[r as usize * ND..r as usize * ND + ND]
+                    .try_into()
+                    .expect("stride-exact slice");
+                out[g].cell_coords.extend_from_slice(s);
+            }
+        }
+        match nd {
+            1 => sweep::<1>(&mut out, flat, rows.clone(), &groups.group_of),
+            2 => sweep::<2>(&mut out, flat, rows.clone(), &groups.group_of),
+            3 => sweep::<3>(&mut out, flat, rows.clone(), &groups.group_of),
+            4 => sweep::<4>(&mut out, flat, rows.clone(), &groups.group_of),
+            _ => {
+                for (i, r) in rows.clone().enumerate() {
+                    let g = groups.group_of[i] as usize;
+                    let r = r as usize;
+                    out[g].cell_coords.extend_from_slice(&flat[r * nd..r * nd + nd]);
+                }
+            }
+        }
+        match src {
+            ColumnSet::Shared(cols) => {
+                for (a, src_col) in cols.iter().enumerate() {
+                    scatter_column(&mut out, a, src_col, rows.clone(), groups);
+                }
+            }
+            ColumnSet::Taken(cols) => {
+                for (a, src_col) in cols.iter_mut().enumerate() {
+                    scatter_column_taking(&mut out, a, src_col, rows.clone(), groups);
+                }
+            }
+        }
+        out
+    }
+
+    /// Move every cell of `other` onto the end of this chunk, preserving
+    /// `other`'s insertion order. Both chunks must have been built
+    /// against the same schema (the callers guarantee it; column arity
+    /// and types are debug-asserted).
+    pub(crate) fn append(&mut self, other: Chunk) {
+        debug_assert_eq!(self.ndims, other.ndims);
+        debug_assert_eq!(self.columns.len(), other.columns.len());
+        self.cell_coords.extend_from_slice(&other.cell_coords);
+        for (dst, src) in self.columns.iter_mut().zip(other.columns) {
+            dst.append(src);
+        }
+        self.bytes += other.bytes;
+        self.cells += other.cells;
+    }
+
+    /// Number of stored (non-empty) cells. O(1).
     pub fn cell_count(&self) -> u64 {
-        self.cell_coords.len() as u64
+        self.cells
     }
 
     /// True when the chunk stores no cells.
     pub fn is_empty(&self) -> bool {
-        self.cell_coords.is_empty()
+        self.cells == 0
     }
 
-    /// Stored bytes across all columns plus the coordinate list.
+    /// Stored bytes across all columns plus the coordinate list. O(1) —
+    /// maintained incrementally on every append.
     pub fn byte_size(&self) -> u64 {
-        let coord_bytes: u64 = self.cell_coords.iter().map(|c| (c.len() * 8) as u64).sum();
-        coord_bytes + self.columns.iter().map(AttributeColumn::byte_size).sum::<u64>()
+        self.bytes
     }
 
     /// The coordinates of cell `idx`.
     pub fn cell(&self, idx: usize) -> Option<&[i64]> {
-        self.cell_coords.get(idx).map(Vec::as_slice)
+        let nd = self.ndims as usize;
+        self.cell_coords.get(idx * nd..(idx + 1) * nd)
     }
 
     /// The column for attribute index `attr`.
@@ -152,16 +332,128 @@ impl Chunk {
 
     /// Iterate `(cell_coords, row_index)` pairs.
     pub fn iter_cells(&self) -> impl Iterator<Item = (&[i64], usize)> {
-        self.cell_coords.iter().enumerate().map(|(i, c)| (c.as_slice(), i))
+        self.cell_coords.chunks_exact((self.ndims as usize).max(1)).enumerate().map(|(i, c)| (c, i))
     }
 
-    /// Metadata descriptor for this chunk.
+    /// Metadata descriptor for this chunk. O(1) — no rescan.
     pub fn descriptor(&self, array: ArrayId) -> ChunkDescriptor {
         ChunkDescriptor {
             key: ChunkKey::new(array, self.coords),
-            bytes: self.byte_size(),
-            cells: self.cell_count(),
+            bytes: self.bytes,
+            cells: self.cells,
         }
+    }
+}
+
+/// How [`Chunk::scatter_cells`] reads the batch's attribute columns:
+/// borrowed (clone each value) or consumed (move variable-width values
+/// out, leaving the spent buffer behind).
+pub(crate) enum ColumnSet<'a> {
+    /// Values are cloned; the batch remains usable.
+    Shared(&'a [AttributeColumn]),
+    /// Variable-width values are moved out; the batch is spent.
+    Taken(&'a mut [AttributeColumn]),
+}
+
+/// One column of [`Chunk::scatter_cells`]'s sweep: append `src`'s value
+/// at every listed row to its group's chunk column. The type dispatch
+/// happens once per column; the inner loops are tight typed scatters.
+fn scatter_column(
+    chunks: &mut [Chunk],
+    attr: usize,
+    src: &AttributeColumn,
+    rows: impl RowSel,
+    groups: &RowGroups,
+) {
+    /// The fixed-width scatter: collect each group's typed column tail,
+    /// sweep the source once, then account `width` bytes per value.
+    fn fixed<T: Copy>(mut dsts: Vec<&mut Vec<T>>, src: &[T], rows: impl RowSel, group_of: &[u32]) {
+        for (i, r) in rows.enumerate() {
+            dsts[group_of[i] as usize].push(src[r as usize]);
+        }
+    }
+    macro_rules! scatter_fixed {
+        ($variant:ident, $width:expr, $src:expr) => {{
+            let dsts = chunks
+                .iter_mut()
+                .map(|c| match &mut c.columns[attr] {
+                    AttributeColumn::$variant(v) => v,
+                    _ => unreachable!("batch was validated against the schema"),
+                })
+                .collect();
+            fixed(dsts, $src, rows.clone(), &groups.group_of);
+            for (chunk, &n) in chunks.iter_mut().zip(&groups.counts) {
+                chunk.bytes += u64::from(n) * $width;
+            }
+        }};
+    }
+    match src {
+        AttributeColumn::Int32(s) => scatter_fixed!(Int32, 4, s),
+        AttributeColumn::Int64(s) => scatter_fixed!(Int64, 8, s),
+        AttributeColumn::Float(s) => scatter_fixed!(Float, 4, s),
+        AttributeColumn::Double(s) => scatter_fixed!(Double, 8, s),
+        AttributeColumn::Char(s) => scatter_fixed!(Char, 1, s),
+        AttributeColumn::Str(s) => {
+            // Strings are variable-width: accumulate per-group bytes
+            // alongside the clones.
+            let mut bytes = vec![0u64; chunks.len()];
+            {
+                let mut dsts: Vec<&mut Vec<String>> = chunks
+                    .iter_mut()
+                    .map(|c| match &mut c.columns[attr] {
+                        AttributeColumn::Str(v) => v,
+                        _ => unreachable!("batch was validated against the schema"),
+                    })
+                    .collect();
+                for (i, r) in rows.enumerate() {
+                    let g = groups.group_of[i] as usize;
+                    let v = &s[r as usize];
+                    bytes[g] += v.len() as u64 + 4;
+                    dsts[g].push(v.clone());
+                }
+            }
+            for (chunk, b) in chunks.iter_mut().zip(bytes) {
+                chunk.bytes += b;
+            }
+        }
+    }
+}
+
+/// The consuming variant of [`scatter_column`]: identical for
+/// fixed-width types (a copy is a copy), but **moves** each string out
+/// of the spent batch instead of cloning it — every row is scattered to
+/// exactly one chunk, so the string allocated by the generator is the
+/// string the chunk stores, with no intermediate allocation.
+fn scatter_column_taking(
+    chunks: &mut [Chunk],
+    attr: usize,
+    src: &mut AttributeColumn,
+    rows: impl RowSel,
+    groups: &RowGroups,
+) {
+    match src {
+        AttributeColumn::Str(s) => {
+            let mut bytes = vec![0u64; chunks.len()];
+            {
+                let mut dsts: Vec<&mut Vec<String>> = chunks
+                    .iter_mut()
+                    .map(|c| match &mut c.columns[attr] {
+                        AttributeColumn::Str(v) => v,
+                        _ => unreachable!("batch was validated against the schema"),
+                    })
+                    .collect();
+                for (i, r) in rows.enumerate() {
+                    let g = groups.group_of[i] as usize;
+                    let v = std::mem::take(&mut s[r as usize]);
+                    bytes[g] += v.len() as u64 + 4;
+                    dsts[g].push(v);
+                }
+            }
+            for (chunk, b) in chunks.iter_mut().zip(bytes) {
+                chunk.bytes += b;
+            }
+        }
+        shared => scatter_column(chunks, attr, shared, rows, groups),
     }
 }
 
@@ -226,6 +518,37 @@ mod tests {
             .push_cell(&s, vec![1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.0)])
             .is_err());
         assert!(c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1)]).is_err());
+    }
+
+    #[test]
+    fn push_cells_equals_per_cell_pushes() {
+        use crate::cells::CellBuffer;
+        let s = schema();
+        let rows: [(i64, i64, i32, f32); 4] =
+            [(1, 1, 1, 1.3), (2, 2, 9, 2.7), (1, 2, 3, 4.2), (2, 1, 6, 2.5)];
+        let mut buf = CellBuffer::new(&s);
+        let mut scratch = Vec::new();
+        let mut per_cell = Chunk::new(&s, ChunkCoords::new([0, 0]));
+        for (x, y, i, j) in rows {
+            per_cell
+                .push_cell(&s, vec![x, y], vec![ScalarValue::Int32(i), ScalarValue::Float(j)])
+                .unwrap();
+            scratch.extend([ScalarValue::Int32(i), ScalarValue::Float(j)]);
+            buf.push_row(&[x, y], &mut scratch).unwrap();
+        }
+        // Bulk in two slices (appends compose), plus an empty no-op.
+        let mut bulk = Chunk::new(&s, ChunkCoords::new([0, 0]));
+        bulk.push_cells(&s, &buf, &[0, 1]).unwrap();
+        bulk.push_cells(&s, &buf, &[2, 3]).unwrap();
+        bulk.push_cells(&s, &buf, &[]).unwrap();
+        assert_eq!(bulk, per_cell);
+        assert_eq!(bulk.byte_size(), per_cell.byte_size());
+        assert_eq!(bulk.descriptor(ArrayId(1)), per_cell.descriptor(ArrayId(1)));
+        // A shape-mismatched buffer is rejected once, before mutation.
+        let other = ArraySchema::parse("Z<i:int32>[x=1:4,2, y=1:4,2]").unwrap();
+        let err = bulk.push_cells(&other, &buf, &[0]).unwrap_err();
+        assert!(matches!(err, ArrayError::Arity { .. }));
+        assert_eq!(bulk.cell_count(), 4);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod array;
+mod cells;
 mod chunk;
 mod coords;
 mod error;
@@ -31,6 +32,7 @@ mod schema;
 mod value;
 
 pub use array::Array;
+pub use cells::CellBuffer;
 pub use chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
 pub use coords::{all_chunks, chunk_of, CellCoords, ChunkCoords, Region, MAX_DIMS};
 pub use error::{ArrayError, Result};

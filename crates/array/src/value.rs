@@ -115,6 +115,19 @@ impl ScalarValue {
         }
     }
 
+    /// On-disk footprint of one value of this type — the per-value
+    /// increment the running chunk byte counters are maintained from.
+    /// Agrees exactly with [`AttributeColumn::byte_size`] summed over a
+    /// column's values.
+    pub fn stored_bytes(&self) -> u64 {
+        match self {
+            ScalarValue::Int32(_) | ScalarValue::Float(_) => 4,
+            ScalarValue::Int64(_) | ScalarValue::Double(_) => 8,
+            ScalarValue::Char(_) => 1,
+            ScalarValue::Str(s) => s.len() as u64 + 4,
+        }
+    }
+
     /// Integer view for key attributes (joins, distinct); floats refuse.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
@@ -237,6 +250,37 @@ impl AttributeColumn {
             AttributeColumn::Float(v) => v.get(idx).map(|x| f64::from(*x)),
             AttributeColumn::Double(v) => v.get(idx).copied(),
             AttributeColumn::Char(_) | AttributeColumn::Str(_) => None,
+        }
+    }
+
+    /// Reserve capacity for `additional` more values.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        match self {
+            AttributeColumn::Int32(v) => v.reserve(additional),
+            AttributeColumn::Int64(v) => v.reserve(additional),
+            AttributeColumn::Float(v) => v.reserve(additional),
+            AttributeColumn::Double(v) => v.reserve(additional),
+            AttributeColumn::Char(v) => v.reserve(additional),
+            AttributeColumn::Str(v) => v.reserve(additional),
+        }
+    }
+
+    /// Move every value of `other` onto the end of this column. Panics
+    /// on a type mismatch — the callers merge columns of chunks built
+    /// against one schema.
+    pub(crate) fn append(&mut self, other: AttributeColumn) {
+        match (self, other) {
+            (AttributeColumn::Int32(d), AttributeColumn::Int32(mut s)) => d.append(&mut s),
+            (AttributeColumn::Int64(d), AttributeColumn::Int64(mut s)) => d.append(&mut s),
+            (AttributeColumn::Float(d), AttributeColumn::Float(mut s)) => d.append(&mut s),
+            (AttributeColumn::Double(d), AttributeColumn::Double(mut s)) => d.append(&mut s),
+            (AttributeColumn::Char(d), AttributeColumn::Char(mut s)) => d.append(&mut s),
+            (AttributeColumn::Str(d), AttributeColumn::Str(mut s)) => d.append(&mut s),
+            (d, s) => panic!(
+                "cannot append a {} column onto a {} column",
+                s.column_type(),
+                d.column_type()
+            ),
         }
     }
 

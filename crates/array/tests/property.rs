@@ -3,7 +3,7 @@
 
 use array_model::{
     chunk_of, gilbert2d, hilbert_coords, hilbert_index, Array, ArrayId, ArraySchema, AttributeDef,
-    AttributeType, ChunkCoords, DimensionDef, ScalarValue, MAX_DIMS,
+    AttributeType, CellBuffer, ChunkCoords, DimensionDef, ScalarValue, MAX_DIMS,
 };
 use proptest::prelude::*;
 
@@ -212,6 +212,87 @@ proptest! {
                 brute,
                 "chunk {:?} vs region {:?}", chunk, region
             );
+        }
+    }
+
+    /// The flat-batch inserts (`insert_batch`, and its consuming twin
+    /// `insert_batch_owned`) must be observationally identical to
+    /// per-cell `insert_cell` over arbitrary schemas and shuffled row
+    /// orders: same chunks (coordinates, per-column payloads, in-chunk
+    /// cell order), same descriptors, same byte sizes.
+    #[test]
+    fn insert_batch_matches_per_cell_inserts(
+        schema in arb_schema(),
+        seed in any::<u64>(),
+        count in 1usize..60,
+    ) {
+        // Deterministic in-bounds rows (duplicates allowed — both paths
+        // must store repeated positions identically).
+        let cells: Vec<(Vec<i64>, Vec<ScalarValue>)> = (0..count)
+            .map(|i| {
+                let s = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64 * 0x0765_4321_0fed);
+                let cell: Vec<i64> = schema
+                    .dimensions
+                    .iter()
+                    .enumerate()
+                    .map(|(d, dim)| {
+                        let span = dim.end.map(|e| e - dim.start + 1).unwrap_or(1 << 18) as u64;
+                        dim.start + (s.rotate_left(9 * d as u32) % span) as i64
+                    })
+                    .collect();
+                let values: Vec<ScalarValue> = schema
+                    .attributes
+                    .iter()
+                    .enumerate()
+                    .map(|(a, attr)| value_for(attr.ty, s.rotate_right(13 * a as u32 + 1)))
+                    .collect();
+                (cell, values)
+            })
+            .collect();
+        // Deterministic Fisher–Yates shuffle off the seed.
+        let mut order: Vec<usize> = (0..count).collect();
+        let mut st = seed | 1;
+        for i in (1..count).rev() {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (st >> 33) as usize % (i + 1));
+        }
+        for rows in [&(0..count).collect::<Vec<_>>(), &order] {
+            let mut per_cell = Array::new(ArrayId(0), schema.clone());
+            let mut buffer = CellBuffer::new(&schema);
+            let mut scratch = Vec::new();
+            for &i in rows {
+                let (cell, values) = &cells[i];
+                per_cell.insert_cell(cell.clone(), values.clone()).expect("in bounds");
+                scratch.extend(values.iter().cloned());
+                buffer.push_row(cell, &mut scratch).expect("schema-shaped");
+            }
+            let mut batched = Array::new(ArrayId(0), schema.clone());
+            batched.insert_batch(&buffer).expect("in bounds");
+            let mut owned = Array::new(ArrayId(0), schema.clone());
+            owned.insert_batch_owned(buffer).expect("in bounds");
+
+            for flat in [&batched, &owned] {
+                prop_assert_eq!(flat.cell_count(), per_cell.cell_count());
+                prop_assert_eq!(flat.byte_size(), per_cell.byte_size());
+                prop_assert_eq!(flat.chunk_count(), per_cell.chunk_count());
+                prop_assert_eq!(flat.descriptors(), per_cell.descriptors());
+                for (coords, chunk) in per_cell.chunks() {
+                    // Full structural equality: coordinates, columns,
+                    // counters, and in-chunk cell order.
+                    prop_assert_eq!(flat.chunk(coords), Some(chunk));
+                    // The running `bytes` counter must equal a rescan of
+                    // the actual stored columns — `byte_size()` no
+                    // longer rescans, so counter drift would otherwise
+                    // stay self-consistent and invisible.
+                    let recomputed: u64 = schema.ndims() as u64 * 8 * chunk.cell_count()
+                        + (0..schema.attributes.len())
+                            .map(|a| chunk.column(a).expect("schema-shaped").byte_size())
+                            .sum::<u64>();
+                    prop_assert_eq!(chunk.byte_size(), recomputed);
+                }
+            }
         }
     }
 

@@ -2,20 +2,22 @@
 //!
 //! Both sides place the *same* chunk set through the same partitioner:
 //! the metadata path places pre-derived descriptors (what the 1M-chunk
-//! ingest benches exercise), while the materialized path starts from raw
-//! `(coords, values)` rows — chunk building, descriptor derivation from
-//! real payloads, placement, and per-node payload attachment. The ratio
-//! is the cost of carrying actual cells, tracked in ROADMAP.md.
+//! ingest benches exercise), while the materialized path starts from the
+//! flat columnar row batch the generators emit — batch routing, sharded
+//! chunk building, descriptor derivation from real payloads, placement,
+//! and zero-copy (`Arc`) payload attachment. The ratio is the cost of
+//! carrying actual cells, tracked in ROADMAP.md and BENCH_materialize.json.
 //!
-//! Set `MATERIALIZE_CELLS` to override the row count.
+//! Set `MATERIALIZE_CELLS` to override the row count and
+//! `MATERIALIZE_THREADS` to override the threaded variant's fan-out.
 
 use array_model::{Array, ChunkKey};
 use cluster_sim::{Cluster, CostModel};
-use criterion::{criterion_group, criterion_main, Criterion};
-use elastic_core::{build_partitioner, PartitionerConfig, PartitionerKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use workloads::ais::{AisWorkload, BROADCAST};
-use workloads::Workload;
+use workloads::{build_cell_array, Workload};
 
 const NODES: usize = 8;
 
@@ -23,18 +25,21 @@ fn cell_count() -> u64 {
     std::env::var("MATERIALIZE_CELLS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
 }
 
+fn thread_count() -> usize {
+    std::env::var("MATERIALIZE_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
 fn bench(c: &mut Criterion) {
     let n = cell_count();
     let w = AisWorkload { cycles: 1, scale: 1.0, seed: 7, cells_per_cycle: n };
-    let cells = w.cell_batch(0).expect("materialized mode").remove(0).cells;
+    let batch = w.cell_batch(0).expect("materialized mode").remove(0);
+    let rows_buf = batch.rows();
     let schema = AisWorkload::broadcast_schema();
     // Pre-derive the metadata twin: identical chunks, sampled-free sizes.
-    let mut prebuilt = Array::new(BROADCAST, schema.clone());
-    for (cell, values) in &cells {
-        prebuilt.insert_cell(cell.clone(), values.clone()).expect("in bounds");
-    }
+    let prebuilt =
+        build_cell_array(BROADCAST, schema.clone(), rows_buf.clone(), 1).expect("in bounds");
     let descriptors = prebuilt.descriptors();
-    let rows = cells.len() as u64;
+    let rows = rows_buf.len() as u64;
     let chunks = descriptors.len() as u64;
     eprintln!("materialize: {rows} rows -> {chunks} chunks");
 
@@ -42,13 +47,30 @@ fn bench(c: &mut Criterion) {
         let mut cluster = Cluster::new(NODES, u64::MAX, CostModel::default()).unwrap();
         let hint = w.grid_hint();
         cluster.register_array(BROADCAST, &hint.chunk_counts);
-        let partitioner = build_partitioner(
-            PartitionerKind::HilbertCurve,
+        let partitioner = elastic_core::build_partitioner(
+            elastic_core::PartitionerKind::HilbertCurve,
             &cluster,
             &hint,
-            &PartitionerConfig::default(),
+            &elastic_core::PartitionerConfig::default(),
         );
         (cluster, partitioner)
+    };
+
+    // The place → attach tail shared by the materialized variants: derive
+    // descriptors from the built chunks, place them, then attach each
+    // payload as a shared handle (refcount bump, no cell copies).
+    let place_and_attach = |cluster: &mut Cluster,
+                            partitioner: &mut Box<dyn elastic_core::Partitioner>,
+                            array: Array| {
+        for desc in array.descriptors() {
+            let node = partitioner.place(&desc, cluster);
+            cluster.place(desc, node).expect("unique");
+        }
+        for (coords, chunk) in array.into_chunks() {
+            cluster
+                .attach_payload(ChunkKey::new(BROADCAST, coords), Arc::clone(&chunk))
+                .expect("placed");
+        }
     };
 
     let mut group = c.benchmark_group("materialize");
@@ -66,24 +88,40 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // Materialized: rows -> chunk builder -> derived descriptors ->
-    // place -> payload attachment (what `WorkloadRunner` runs per cycle).
+    // Materialized, single-thread: flat rows -> batch-validated chunk
+    // build -> derived descriptors -> place -> shared payload attachment
+    // (what `WorkloadRunner` runs per cycle at ingest_threads = 1). The
+    // pipeline consumes the batch (strings move, never re-allocate), so
+    // each timed iteration gets a fresh untimed copy.
     group.bench_function(format!("cells/{rows}-rows"), |b| {
-        b.iter(|| {
-            let (mut cluster, mut partitioner) = fresh_cluster();
-            let mut array = Array::new(BROADCAST, schema.clone());
-            for (cell, values) in &cells {
-                array.insert_cell(cell.clone(), values.clone()).expect("in bounds");
-            }
-            for desc in array.descriptors() {
-                let node = partitioner.place(&desc, &cluster);
-                cluster.place(desc, node).expect("unique");
-            }
-            for (coords, chunk) in array.into_chunks() {
-                cluster.attach_payload(ChunkKey::new(BROADCAST, coords), chunk).expect("placed");
-            }
-            black_box(cluster.payload_count())
-        })
+        b.iter_batched(
+            || rows_buf.clone(),
+            |input| {
+                let (mut cluster, mut partitioner) = fresh_cluster();
+                let array = build_cell_array(BROADCAST, schema.clone(), input, 1).expect("bounds");
+                place_and_attach(&mut cluster, &mut partitioner, array);
+                black_box(cluster.payload_count())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Materialized, sharded fan-out: same pipeline with the chunk build
+    // spread over scoped workers. On a single-CPU container this shows
+    // the fan-out overhead (parity); on multi-core it shows the speedup.
+    let threads = thread_count();
+    group.bench_function(format!("cells-x{threads}/{rows}-rows"), |b| {
+        b.iter_batched(
+            || rows_buf.clone(),
+            |input| {
+                let (mut cluster, mut partitioner) = fresh_cluster();
+                let array =
+                    build_cell_array(BROADCAST, schema.clone(), input, threads).expect("bounds");
+                place_and_attach(&mut cluster, &mut partitioner, array);
+                black_box(cluster.payload_count())
+            },
+            BatchSize::PerIteration,
+        )
     });
     group.finish();
 }

@@ -7,6 +7,7 @@ use crate::placement::{DenseMeta, PlacementIndex, PlacementShard, SHARD_COUNT};
 use crate::rebalance::RebalancePlan;
 use crate::transfer::FlowSet;
 use array_model::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
+use std::sync::Arc;
 
 /// Running moments of the per-node byte loads, maintained incrementally so
 /// the balance census after every insert is O(1) instead of a rescan of
@@ -352,7 +353,12 @@ impl Cluster {
     /// disagree with what the placed descriptor declares — the
     /// materialized ingest path derives descriptors *from* payloads, so a
     /// mismatch means the metadata model and the cells drifted apart.
-    pub fn attach_payload(&mut self, key: ChunkKey, chunk: Chunk) -> Result<()> {
+    ///
+    /// Accepts either an owned `Chunk` or a shared `Arc<Chunk>` handle.
+    /// The ingest pipeline passes the handle the catalog oracle also
+    /// holds, so attaching is a refcount bump — never a cell copy.
+    pub fn attach_payload(&mut self, key: ChunkKey, chunk: impl Into<Arc<Chunk>>) -> Result<()> {
+        let chunk = chunk.into();
         let node = self.placement.get(&key).ok_or(ClusterError::MissingChunk(key))?;
         let holder = &mut self.nodes[node.0 as usize];
         let desc = holder.descriptor(&key).expect("placement and node stores agree");
@@ -373,6 +379,14 @@ impl Cluster {
     pub fn payload(&self, key: &ChunkKey) -> Option<&Chunk> {
         let node = self.placement.get(key)?;
         self.nodes[node.0 as usize].payload(key)
+    }
+
+    /// The shared handle of a chunk's payload, read from its resident
+    /// node — for proving zero-copy sharing with the catalog oracle
+    /// (`Arc::ptr_eq`) or taking a cheap co-owning reference.
+    pub fn payload_shared(&self, key: &ChunkKey) -> Option<&Arc<Chunk>> {
+        let node = self.placement.get(key)?;
+        self.nodes[node.0 as usize].payload_shared(key)
     }
 
     /// Number of chunks cluster-wide carrying a materialized payload.
@@ -406,7 +420,7 @@ impl Cluster {
             // Materialized chunks time the wire transfer off the payload's
             // actual size (identical to desc.bytes by the attach-time
             // invariant, but read from the cells to keep the flow honest).
-            flows.push(m.from, m.to, payload.as_ref().map_or(desc.bytes, Chunk::byte_size));
+            flows.push(m.from, m.to, payload.as_ref().map_or(desc.bytes, |c| c.byte_size()));
             self.placement.insert(m.key, m.to);
             let dst = &mut self.nodes[m.to.0 as usize];
             let dst_old = dst.used_bytes();

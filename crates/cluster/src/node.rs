@@ -4,6 +4,7 @@ use array_model::{Chunk, ChunkDescriptor, ChunkKey};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a cluster node. Nodes are numbered in join order and are
 /// never removed — the paper's clusters grow monotonically (§5.1: "the
@@ -21,7 +22,10 @@ impl fmt::Display for NodeId {
 ///
 /// Descriptors are always tracked; materialized runs additionally attach
 /// each chunk's cell payload, which then travels with the descriptor
-/// through rebalance moves.
+/// through rebalance moves. Payloads are held as shared `Arc<Chunk>`
+/// handles — the same chunk object the catalog's whole-array oracle
+/// copy holds — so attaching one is a refcount bump and a rebalance
+/// moves the handle, never the cells.
 #[derive(Debug, Clone)]
 pub struct Node {
     /// This node's identifier.
@@ -30,7 +34,7 @@ pub struct Node {
     pub capacity_bytes: u64,
     used_bytes: u64,
     chunks: BTreeMap<ChunkKey, ChunkDescriptor>,
-    payloads: BTreeMap<ChunkKey, Chunk>,
+    payloads: BTreeMap<ChunkKey, Arc<Chunk>>,
 }
 
 impl Node {
@@ -99,7 +103,10 @@ impl Node {
     /// Remove a chunk and whatever payload it carries, keeping the
     /// descriptor/payload pair structurally inseparable: no eviction path
     /// can strand an orphaned payload on the node.
-    pub(crate) fn evict(&mut self, key: &ChunkKey) -> Option<(ChunkDescriptor, Option<Chunk>)> {
+    pub(crate) fn evict(
+        &mut self,
+        key: &ChunkKey,
+    ) -> Option<(ChunkDescriptor, Option<Arc<Chunk>>)> {
         let desc = self.chunks.remove(key)?;
         self.used_bytes -= desc.bytes;
         Some((desc, self.payloads.remove(key)))
@@ -107,6 +114,13 @@ impl Node {
 
     /// The materialized payload of a resident chunk, when one is stored.
     pub fn payload(&self, key: &ChunkKey) -> Option<&Chunk> {
+        self.payloads.get(key).map(Arc::as_ref)
+    }
+
+    /// The shared handle of a resident payload, when one is stored —
+    /// lets callers prove zero-copy sharing (`Arc::ptr_eq`) or take a
+    /// cheap co-owning reference.
+    pub fn payload_shared(&self, key: &ChunkKey) -> Option<&Arc<Chunk>> {
         self.payloads.get(key)
     }
 
@@ -115,7 +129,7 @@ impl Node {
         self.payloads.len()
     }
 
-    pub(crate) fn store_payload(&mut self, key: ChunkKey, chunk: Chunk) {
+    pub(crate) fn store_payload(&mut self, key: ChunkKey, chunk: Arc<Chunk>) {
         self.payloads.insert(key, chunk);
     }
 }

@@ -266,8 +266,11 @@ impl Workload for AisWorkload {
         // One broadcast row per emitted cell: position sampled around the
         // port kernels (heavier ranks draw more traffic, mirroring the
         // byte-weight field), timestamped inside one of the cycle's four
-        // 30-day time chunks, attributes per the §3.2 schema.
-        let mut batch = CellBatch::new(BROADCAST);
+        // 30-day time chunks, attributes per the §3.2 schema. Rows are
+        // emitted straight into the batch's columnar buffers through one
+        // reusable scratch — no per-row containers.
+        let mut batch = CellBatch::new(BROADCAST, &Self::broadcast_schema());
+        let mut vals: Vec<ScalarValue> = Vec::with_capacity(10);
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..self.cells_per_cycle {
             let mut rng = rng_for(self.seed, &[800, cycle as i64, i as i64]);
@@ -286,21 +289,19 @@ impl Workload for AisWorkload {
                 continue;
             }
             let ship_id = (rng.gen::<u64>() % (1 + self.cells_per_cycle / 8)) as i64;
-            batch.push(
-                vec![minute, lon, lat],
-                vec![
-                    ScalarValue::Int32((rng.gen::<u64>() % 25) as i32),
-                    ScalarValue::Int32((rng.gen::<u64>() % 360) as i32),
-                    ScalarValue::Int32((rng.gen::<u64>() % 360) as i32),
-                    ScalarValue::Int32((rng.gen::<u64>() % 9) as i32 - 4),
-                    ScalarValue::Int32((rng.gen::<u64>() % 16) as i32),
-                    ScalarValue::Int64(cycle as i64 * 1_000 + (rng.gen::<u64>() % 1_000) as i64),
-                    ScalarValue::Int64(ship_id),
-                    ScalarValue::Char(b'b'),
-                    ScalarValue::Str(format!("r{:03}", rng.gen::<u64>() % 128)),
-                    ScalarValue::Str("ais-feed".to_string()),
-                ],
-            );
+            vals.extend([
+                ScalarValue::Int32((rng.gen::<u64>() % 25) as i32),
+                ScalarValue::Int32((rng.gen::<u64>() % 360) as i32),
+                ScalarValue::Int32((rng.gen::<u64>() % 360) as i32),
+                ScalarValue::Int32((rng.gen::<u64>() % 9) as i32 - 4),
+                ScalarValue::Int32((rng.gen::<u64>() % 16) as i32),
+                ScalarValue::Int64(cycle as i64 * 1_000 + (rng.gen::<u64>() % 1_000) as i64),
+                ScalarValue::Int64(ship_id),
+                ScalarValue::Char(b'b'),
+                ScalarValue::Str(format!("r{:03}", rng.gen::<u64>() % 128)),
+                ScalarValue::Str("ais-feed".to_string()),
+            ]);
+            batch.push(&[minute, lon, lat], &mut vals);
         }
         Some(vec![batch])
     }

@@ -10,7 +10,9 @@
 //! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
 
 use crate::spec::{CellBatch, SuiteReport, Workload};
-use array_model::{Array, ArrayError, ArrayId, ChunkDescriptor, ChunkKey};
+use array_model::{
+    Array, ArrayError, ArrayId, ArraySchema, CellBuffer, ChunkCoords, ChunkDescriptor, ChunkKey,
+};
 use cluster_sim::{gb, Cluster, ClusterError, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
 use elastic_core::{
     batch_prefix_bytes, build_partitioner, route_batch, Partitioner, PartitionerConfig,
@@ -19,6 +21,7 @@ use elastic_core::{
 use query_engine::{Catalog, ExecutionContext};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// What went wrong while driving a cycle. Workload batches are supposed to
 /// be collision-free, but a buggy (or adversarial) generator that re-emits
@@ -242,6 +245,88 @@ impl RunReport {
     }
 }
 
+/// Below this row count a parallel build cannot win: thread spawn and
+/// merge overhead dwarf the copying, so small batches run inline.
+const PARALLEL_BUILD_MIN_ROWS: usize = 4_096;
+
+/// Deterministically assign a chunk to one of `workers` build workers.
+/// Pure in the chunk coordinates, so every row of a chunk lands on the
+/// same worker whatever the row order — a chunk is always built whole by
+/// exactly one thread. Uses the in-tree `splitmix64` fold (the same
+/// deterministic hashing discipline as the hash partitioners) — cheap
+/// enough to run once per row in the serial pre-fan-out pass, unlike a
+/// fresh `DefaultHasher` per coordinate.
+fn build_worker_of(coords: &ChunkCoords, workers: usize) -> usize {
+    let mut h = coords.ndims() as u64;
+    for &c in coords.as_slice() {
+        h = elastic_core::hashing::splitmix64(h ^ c as u64);
+    }
+    (h % workers as u64) as usize
+}
+
+/// Build one flat cell batch into an [`Array`] of real chunks, fanning
+/// the chunk construction out over up to `threads` scoped workers.
+///
+/// The batch is validated once (shape via [`CellBuffer::matches`], bounds
+/// via [`CellBuffer::route`]), then rows are sharded by their owning
+/// chunk (`chunk_of` is pure in the cell) onto workers that build
+/// **disjoint** chunk sets; the per-worker arrays merge through
+/// [`Array::absorb`] into one deterministic, row-major result. Every
+/// chunk receives its rows in batch order regardless of which worker
+/// built it, so the output is **bit-identical** to the sequential build
+/// at every thread count.
+///
+/// The batch is consumed: the single-threaded path moves its
+/// variable-width values straight into the chunks
+/// ([`Array::insert_batch_owned`] — zero per-value allocations), while
+/// the sharded path clones from the shared buffer (workers cannot move
+/// out of a batch they all read) and drops it afterwards.
+pub fn build_cell_array(
+    id: ArrayId,
+    schema: ArraySchema,
+    rows: CellBuffer,
+    threads: usize,
+) -> Result<Array, ArrayError> {
+    let mut fresh = Array::new(id, schema);
+    let workers = threads.max(1);
+    if workers == 1 || rows.len() < PARALLEL_BUILD_MIN_ROWS {
+        // Inline build: one validation + route pass, values moved.
+        fresh.insert_batch_owned(rows)?;
+        return Ok(fresh);
+    }
+    rows.matches(&fresh.schema)?;
+    let routed = rows.route(&fresh.schema)?;
+    // Bucket row indices by owning worker (pure in the chunk), keeping
+    // batch order within each bucket.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); workers];
+    for (r, coords) in routed.iter().enumerate() {
+        buckets[build_worker_of(coords, workers)].push(r as u32);
+    }
+    let parts: Vec<Array> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                let schema = fresh.schema.clone();
+                let routed = &routed;
+                let rows = &rows;
+                scope.spawn(move || {
+                    let mut part = Array::new(id, schema);
+                    part.insert_routed_rows(rows, routed, bucket)
+                        .expect("batch was validated against this same schema");
+                    part
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("build worker panicked")).collect()
+    });
+    for part in parts {
+        // Worker chunk sets are disjoint by construction, so every merge
+        // is a wholesale move of fresh positions.
+        fresh.absorb(part)?;
+    }
+    Ok(fresh)
+}
+
 enum WorkloadRef<'w> {
     Borrowed(&'w dyn Workload),
     Owned(Box<dyn Workload>),
@@ -401,26 +486,25 @@ impl<'w> WorkloadRunner<'w> {
     }
 
     /// Build each cell batch into real chunks via the array-model chunk
-    /// builder. The returned arrays hold the cycle's fresh chunks only;
-    /// descriptors derived from them carry actual `byte_size()` /
-    /// `cell_count()` instead of sampled sizes.
+    /// builder, fanning the chunk construction out over
+    /// `ingest_threads` scoped workers (see [`build_cell_array`]). The
+    /// returned arrays hold the cycle's fresh chunks only; descriptors
+    /// derived from them carry actual `byte_size()` / `cell_count()`
+    /// instead of sampled sizes.
     fn build_cell_arrays(
         &self,
         cycle: usize,
         batches: Vec<CellBatch>,
     ) -> Result<Vec<Array>, CycleError> {
+        let threads = self.config.ingest_threads.max(1);
         let mut out = Vec::with_capacity(batches.len());
         for b in batches {
             let schema = match self.catalog.array(b.array) {
                 Ok(stored) => stored.schema.clone(),
                 Err(_) => return Err(CycleError::UnknownArray { cycle, array: b.array }),
             };
-            let mut fresh = Array::new(b.array, schema);
-            for (cell, values) in b.cells {
-                fresh
-                    .insert_cell(cell, values)
-                    .map_err(|source| CycleError::Materialize { cycle, source })?;
-            }
+            let fresh = build_cell_array(b.array, schema, b.into_rows(), threads)
+                .map_err(|source| CycleError::Materialize { cycle, source })?;
             out.push(fresh);
         }
         Ok(out)
@@ -428,20 +512,24 @@ impl<'w> WorkloadRunner<'w> {
 
     /// Attach the freshly built chunks to the nodes that just received
     /// their descriptors, and fold them into the catalog's whole-array
-    /// storage (the oracle the differential suites check against).
+    /// storage (the oracle the differential suites check against). Both
+    /// stores hold the **same** `Arc<Chunk>` handles: attaching is a
+    /// refcount bump per chunk, and rebalances move the handle — the old
+    /// per-chunk deep clone is gone.
     fn store_cell_arrays(&mut self, cycle: usize, arrays: Vec<Array>) -> Result<(), CycleError> {
         for fresh in arrays {
             let id = fresh.id;
-            for (coords, chunk) in fresh.chunks() {
+            for (coords, chunk) in fresh.shared_chunks() {
                 self.cluster
-                    .attach_payload(ChunkKey::new(id, *coords), chunk.clone())
+                    .attach_payload(ChunkKey::new(id, *coords), Arc::clone(chunk))
                     .map_err(|source| CycleError::Ingest { cycle, source })?;
             }
             let stored = self.catalog.array_mut(id).expect("validated in build_cell_arrays");
             let data = stored.data.get_or_insert_with(|| Array::new(id, stored.schema.clone()));
             // `absorb` checks schema identity once and skips per-cell
-            // re-validation: `fresh` was built through `insert_cell`
-            // against this same schema in `build_cell_arrays`.
+            // re-validation: `fresh` was built against this same schema
+            // in `build_cell_arrays`, and moves its chunk handles in
+            // wholesale.
             data.absorb(fresh).map_err(|source| CycleError::Materialize { cycle, source })?;
         }
         Ok(())

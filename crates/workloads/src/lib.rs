@@ -22,7 +22,10 @@ mod spec;
 pub mod synthetic;
 
 pub use ais::AisWorkload;
-pub use cycle::{CycleError, CycleReport, RunReport, RunnerConfig, ScalingPolicy, WorkloadRunner};
+pub use cycle::{
+    build_cell_array, CycleError, CycleReport, RunReport, RunnerConfig, ScalingPolicy,
+    WorkloadRunner,
+};
 pub use modis::ModisWorkload;
 pub use rand_util::{lognormal, rng_for, standard_normal, zipf_weight};
 pub use spec::{CellBatch, QueryRecord, SuiteReport, Workload};

@@ -170,12 +170,16 @@ impl Workload for ModisWorkload {
             return None;
         }
         let day = cycle as i64;
-        let mut band1 = CellBatch::new(BAND1);
-        let mut band2 = CellBatch::new(BAND2);
+        let schema = Self::band_schema("b");
+        let mut band1 = CellBatch::new(BAND1, &schema);
+        let mut band2 = CellBatch::new(BAND2, &schema);
         // Positions are near-uniform over the globe, like the byte field;
         // a seen-set keeps each (time, lon, lat) pixel unique so both
-        // bands share exact positions for the positional join.
+        // bands share exact positions for the positional join. Rows are
+        // emitted straight into the columnar buffers through one reusable
+        // scratch — no per-row containers.
         let mut seen = std::collections::BTreeSet::new();
+        let mut vals: Vec<ScalarValue> = Vec::with_capacity(7);
         for i in 0..self.cells_per_cycle {
             let mut rng = rng_for(self.seed, &[900, day, i as i64]);
             let minute = day * MINUTES_PER_DAY + (rng.gen::<u64>() % MINUTES_PER_DAY as u64) as i64;
@@ -184,8 +188,8 @@ impl Workload for ModisWorkload {
             if !seen.insert((minute, lon, lat)) {
                 continue;
             }
-            let pixel = |rng: &mut rand::rngs::StdRng| {
-                vec![
+            let pixel = |rng: &mut rand::rngs::StdRng, vals: &mut Vec<ScalarValue>| {
+                vals.extend([
                     ScalarValue::Int32((rng.gen::<u64>() % 10_000) as i32),
                     ScalarValue::Double(lognormal(rng, 120.0, 0.4)),
                     ScalarValue::Double(rng.gen::<f64>()),
@@ -193,11 +197,13 @@ impl Workload for ModisWorkload {
                     ScalarValue::Float((rng.gen::<f64>() * 10.0) as f32),
                     ScalarValue::Int32(1),
                     ScalarValue::Int32(500),
-                ]
+                ]);
             };
-            band1.push(vec![minute, lon, lat], pixel(&mut rng));
+            pixel(&mut rng, &mut vals);
+            band1.push(&[minute, lon, lat], &mut vals);
             if i % 2 == 0 {
-                band2.push(vec![minute, lon, lat], pixel(&mut rng));
+                pixel(&mut rng, &mut vals);
+                band2.push(&[minute, lon, lat], &mut vals);
             }
         }
         Some(vec![band1, band2])

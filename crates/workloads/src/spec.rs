@@ -1,7 +1,7 @@
 //! The workload abstraction: what the cycle driver and the reproduction
 //! harness need from a use case (§3 of the paper).
 
-use array_model::{ArrayId, CellCoords, ChunkDescriptor, ScalarValue};
+use array_model::{ArrayId, ArraySchema, CellBuffer, CellCoords, ChunkDescriptor, ScalarValue};
 use elastic_core::GridHint;
 use query_engine::{Catalog, ExecutionContext, QueryStats};
 use serde::{Deserialize, Serialize};
@@ -63,23 +63,58 @@ impl SuiteReport {
 /// cell-level ingest path streams into the chunk builder. Descriptors are
 /// then derived from the built chunks' actual `byte_size()`/`cell_count()`
 /// instead of sampled size distributions.
+///
+/// Rows live in a flat [`CellBuffer`] — one contiguous coordinate buffer
+/// plus per-attribute columnar value buffers — which the generators emit
+/// into directly, so a batch of `n` rows costs O(1) amortized
+/// allocations per row instead of two `Vec`s per cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellBatch {
     /// The array the cells belong to.
     pub array: ArrayId,
-    /// `(cell coordinates, attribute values)` rows, in emission order.
-    pub cells: Vec<(CellCoords, Vec<ScalarValue>)>,
+    rows: CellBuffer,
 }
 
 impl CellBatch {
-    /// An empty batch for `array`.
-    pub fn new(array: ArrayId) -> Self {
-        CellBatch { array, cells: Vec::new() }
+    /// An empty batch for `array`, shaped by its schema.
+    pub fn new(array: ArrayId, schema: &ArraySchema) -> Self {
+        CellBatch { array, rows: CellBuffer::new(schema) }
     }
 
-    /// Record one cell.
-    pub fn push(&mut self, cell: CellCoords, values: Vec<ScalarValue>) {
-        self.cells.push((cell, values));
+    /// Record one cell, draining `values` into the columnar buffers (the
+    /// caller's scratch `Vec` keeps its capacity across rows). Panics on
+    /// a row that does not fit the schema the batch was created with —
+    /// workload generators are deterministic, so a misshapen row is a
+    /// generator bug, not an input condition.
+    pub fn push(&mut self, cell: &[i64], values: &mut Vec<ScalarValue>) {
+        self.rows.push_row(cell, values).expect("generator emits schema-shaped rows");
+    }
+
+    /// Number of buffered rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The flat row buffer — what the chunk-building pipeline consumes.
+    pub fn rows(&self) -> &CellBuffer {
+        &self.rows
+    }
+
+    /// Take the flat row buffer, consuming the batch — the single-
+    /// threaded chunk build moves values straight out of it.
+    pub fn into_rows(self) -> CellBuffer {
+        self.rows
+    }
+
+    /// Materialize the rows as `(coords, values)` pairs — the shape the
+    /// differential oracles consume. Not for hot paths.
+    pub fn cells(&self) -> Vec<(CellCoords, Vec<ScalarValue>)> {
+        self.rows.rows()
     }
 }
 

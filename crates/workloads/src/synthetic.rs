@@ -163,11 +163,13 @@ impl Workload for SyntheticWorkload {
             b.2.partial_cmp(&a.2).expect("finite weights").then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
         });
         let take = (self.cells_per_cycle as usize).min(weights.len());
-        let mut batch = CellBatch::new(SYNTHETIC);
+        let mut batch = CellBatch::new(SYNTHETIC, &self.schema());
+        let mut vals: Vec<ScalarValue> = Vec::with_capacity(1);
         for &(x, y, _) in &weights[..take] {
             let mut rng = rng_for(self.seed, &[3, cycle as i64, x, y]);
             let v = lognormal(&mut rng, 100.0, 0.5);
-            batch.push(vec![cycle as i64, x, y], vec![ScalarValue::Double(v)]);
+            vals.push(ScalarValue::Double(v));
+            batch.push(&[cycle as i64, x, y], &mut vals);
         }
         Some(vec![batch])
     }

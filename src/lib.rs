@@ -52,8 +52,8 @@ pub use workloads;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use array_model::{
-        Array, ArrayId, ArraySchema, AttributeDef, ChunkCoords, ChunkDescriptor, ChunkKey,
-        DimensionDef, Region, ScalarValue,
+        Array, ArrayId, ArraySchema, AttributeDef, CellBuffer, ChunkCoords, ChunkDescriptor,
+        ChunkKey, DimensionDef, Region, ScalarValue,
     };
     pub use cluster_sim::{
         gb, relative_std_dev, Cluster, CostModel, NodeId, PhaseBreakdown, RebalancePlan,

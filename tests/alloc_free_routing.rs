@@ -138,6 +138,98 @@ fn query_node_of_lookup_never_allocates() {
     assert!(sink != u64::MAX, "keep the loop observable");
 }
 
+/// The materialized (cell-level) ingest path must be allocation-**lean**:
+/// O(1) amortized allocations per *row*. The old pipeline allocated two
+/// `Vec`s per cell (coordinates + values) before a row ever reached its
+/// chunk; the flat-batch path moves columns, so heap traffic scales with
+/// *chunks* (plus amortized buffer growth), not rows. Separately, the
+/// payload-attach phase must do zero chunk deep-copies: attaching is an
+/// `Arc` refcount bump plus one map insert, so its allocation budget is
+/// a small constant per chunk — a deep copy would cost at least one
+/// allocation per column per chunk (here 1 coord buffer + 3 columns) and
+/// blow the bound.
+#[test]
+fn materialized_flat_ingest_allocations_are_amortized_per_row() {
+    use std::sync::Arc;
+
+    let rows_n: i64 = 100_000;
+    // 3 attributes, fixed-width only (strings inherently allocate their
+    // payloads); 16x16 spatial grid over 64-cell time chunks.
+    let schema =
+        ArraySchema::parse("M<v:double, q:int32, flag:char>[t=0:*,64, x=0:255,16, y=0:255,16]")
+            .unwrap();
+    let mut cluster = Cluster::new(8, u64::MAX, CostModel::default()).unwrap();
+    assert!(cluster.register_array(ArrayId(0), &[64, 16, 16]));
+    let grid = GridHint::new(vec![64, 16, 16]);
+    let mut partitioner = build_partitioner(
+        PartitionerKind::HilbertCurve,
+        &cluster,
+        &grid,
+        &PartitionerConfig::default(),
+    );
+
+    // Emit the flat batch (generation may allocate — untracked).
+    let mut batch = CellBuffer::new(&schema);
+    let mut vals: Vec<ScalarValue> = Vec::with_capacity(3);
+    for i in 0..rows_n {
+        let s = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let cell = [(s % 8) as i64 * 64, (i % 256), ((i / 256) % 256)];
+        vals.extend([
+            ScalarValue::Double(i as f64 * 0.5),
+            ScalarValue::Int32(i as i32),
+            ScalarValue::Char(b'a' + (i % 26) as u8),
+        ]);
+        batch.push_row(&cell, &mut vals).expect("schema-shaped row");
+    }
+
+    // Measured: the whole materialized pipeline — batch validation +
+    // routing + sharded chunk build + descriptor derivation + batched
+    // placement + payload attach.
+    let build_start = allocation_count();
+    let mut array = Array::new(ArrayId(0), schema);
+    array.insert_batch_owned(batch).expect("in bounds");
+    let descriptors = array.descriptors();
+    let build_allocs = allocation_count() - build_start;
+
+    let chunks = descriptors.len();
+    assert!(chunks >= 256, "want a real chunk population, got {chunks}");
+    assert_eq!(array.cell_count(), rows_n as u64);
+    assert!(
+        (build_allocs as i64) < rows_n / 4,
+        "building {rows_n} rows into {chunks} chunks allocated {build_allocs} times \
+         — not O(1) amortized per row"
+    );
+
+    let place_start = allocation_count();
+    let prefix = batch_prefix_bytes(&descriptors);
+    let epoch = RouteEpoch::for_batch(&cluster, &prefix);
+    let routes = route_batch(partitioner.as_ref(), &descriptors, &epoch, 1);
+    cluster.place_batch(&descriptors, &routes, 1).expect("unique chunks");
+    partitioner.commit(&descriptors, &routes);
+    let place_allocs = allocation_count() - place_start;
+    assert!(
+        (place_allocs as i64) < rows_n / 4,
+        "placing {chunks} chunk descriptors allocated {place_allocs} times"
+    );
+
+    // Attach phase in isolation: a refcount bump + map insert per chunk.
+    // A deep copy would need >= 4 allocations per chunk (coords + 3
+    // columns) and fail this budget.
+    let attach_start = allocation_count();
+    for (coords, chunk) in array.into_chunks() {
+        cluster
+            .attach_payload(ChunkKey::new(ArrayId(0), coords), Arc::clone(&chunk))
+            .expect("placed above");
+    }
+    let attach_allocs = allocation_count() - attach_start;
+    assert_eq!(cluster.payload_count(), chunks);
+    assert!(
+        attach_allocs < 3 * chunks,
+        "attaching {chunks} payloads allocated {attach_allocs} times — \
+         that is a deep copy, not an Arc share"
+    );
+}
+
 #[test]
 fn dense_placement_insert_is_allocation_free_after_warmup() {
     let mut cluster = Cluster::new(8, u64::MAX, CostModel::default()).unwrap();

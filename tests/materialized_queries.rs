@@ -214,7 +214,7 @@ fn run_ais_differential(cells_per_cycle: u64, cycles: usize) {
     // the 80 % trigger repeatedly and rebalances move stored chunks.
     let node_capacity = cells_per_cycle * 98;
     let batches: Vec<Vec<Row>> =
-        (0..cycles).map(|c| w.cell_batch(c).unwrap().remove(0).cells).collect();
+        (0..cycles).map(|c| w.cell_batch(c).unwrap().remove(0).cells()).collect();
     let all_rows: Vec<Row> = batches.iter().flatten().cloned().collect();
 
     let mut knn_reference: Option<Vec<ops::KnnAnswer>> = None;
@@ -292,8 +292,8 @@ fn modis_rows(w: &ModisWorkload, cycles: usize) -> (Vec<Vec<Row>>, Vec<Vec<Row>>
     let mut band2 = Vec::new();
     for c in 0..cycles {
         let mut batches = w.cell_batch(c).unwrap();
-        band2.push(batches.remove(1).cells);
-        band1.push(batches.remove(0).cells);
+        band2.push(batches.remove(1).cells());
+        band1.push(batches.remove(0).cells());
     }
     (band1, band2)
 }
@@ -460,7 +460,7 @@ fn run_synthetic_differential(cells_per_cycle: u64, cycles: usize) {
     let w = SyntheticWorkload { cycles, cells_per_cycle, ..Default::default() };
     let node_capacity = cells_per_cycle * 40;
     let batches: Vec<Vec<Row>> =
-        (0..cycles).map(|c| w.cell_batch(c).unwrap().remove(0).cells).collect();
+        (0..cycles).map(|c| w.cell_batch(c).unwrap().remove(0).cells()).collect();
 
     for kind in PartitionerKind::ALL {
         let mut runner = WorkloadRunner::new(&w, config(kind, node_capacity));

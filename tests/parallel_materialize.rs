@@ -1,0 +1,190 @@
+//! Differential suite for the sharded materialized (cell-level) ingest
+//! path.
+//!
+//! The contract under test: a materialized workload run must be
+//! **bit-identical** whatever `ingest_threads` is — cycle reports,
+//! placements, node loads, per-node payload stores, and the catalog's
+//! whole-array oracle copy all compare equal across thread counts for
+//! every partitioner. The sharded chunk build assigns whole chunks to
+//! workers (pure in the chunk coordinates) and every chunk receives its
+//! rows in batch order, so parallelism can never reorder or split a
+//! chunk. Also pins the zero-copy payload contract: each placed chunk's
+//! payload is the *same* `Arc` the catalog oracle holds, not a copy.
+
+use elastic_array_db::prelude::*;
+use std::sync::Arc;
+use workloads::ais::{AisWorkload, BROADCAST};
+use workloads::build_cell_array;
+use workloads::modis::{ModisWorkload, BAND1, BAND2};
+use workloads::synthetic::{SyntheticWorkload, SYNTHETIC};
+
+fn config(kind: PartitionerKind, node_capacity: u64, threads: usize) -> RunnerConfig {
+    RunnerConfig {
+        node_capacity,
+        initial_nodes: 2,
+        partitioner: kind,
+        partitioner_config: PartitionerConfig::default(),
+        scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
+        cost: CostModel::default(),
+        run_queries: false,
+        ingest_threads: threads,
+    }
+}
+
+/// Everything observable about a finished materialized run.
+struct Snapshot {
+    cycles: Vec<(usize, usize, u64, u64, u64)>,
+    placements: Vec<(ChunkKey, NodeId)>,
+    loads: Vec<u64>,
+    /// Every placed payload, read from its resident node.
+    payloads: Vec<(ChunkKey, array_model::Chunk)>,
+    /// The catalog oracle's whole-array chunks.
+    oracle: Vec<(ChunkCoords, array_model::Chunk)>,
+}
+
+/// Run `workload` materialized under `kind` at `threads`, snapshot every
+/// observable, and assert the zero-copy payload-sharing invariant.
+fn run_snapshot(
+    workload: &dyn Workload,
+    ids: &[ArrayId],
+    kind: PartitionerKind,
+    node_capacity: u64,
+    threads: usize,
+) -> Snapshot {
+    let mut runner = WorkloadRunner::new(workload, config(kind, node_capacity, threads));
+    let report = runner.run_all().unwrap_or_else(|e| panic!("{kind} x{threads}: {e}"));
+    let cycles = report
+        .cycles
+        .iter()
+        .map(|c| {
+            (c.nodes, c.added_nodes, c.insert_bytes, c.moved_bytes, c.rsd_after_insert.to_bits())
+        })
+        .collect();
+    let cluster = runner.cluster();
+    let mut payloads = Vec::new();
+    let mut oracle = Vec::new();
+    for &id in ids {
+        let stored = runner.catalog().array(id).unwrap();
+        assert!(!stored.descriptors.is_empty(), "{kind} x{threads}: nothing ingested for {id}");
+        let data = stored.data.as_ref().expect("materialized catalog storage");
+        for desc in stored.descriptors.values() {
+            let shared = cluster
+                .payload_shared(&desc.key)
+                .unwrap_or_else(|| panic!("{kind} x{threads}: {} has no payload", desc.key));
+            payloads.push((desc.key, shared.as_ref().clone()));
+            // Zero-copy: the node store and the catalog oracle hold the
+            // SAME chunk object — attach was a refcount bump, and every
+            // rebalance moved the handle, never the cells.
+            let (_, oracle_arc) = data
+                .shared_chunks()
+                .find(|(c, _)| **c == desc.key.coords)
+                .expect("oracle covers every placed chunk");
+            assert!(
+                Arc::ptr_eq(shared, oracle_arc),
+                "{kind} x{threads}: {} was deep-copied between node store and oracle",
+                desc.key
+            );
+        }
+        for (coords, chunk) in data.chunks() {
+            oracle.push((*coords, chunk.clone()));
+        }
+    }
+    Snapshot {
+        cycles,
+        placements: cluster.placements().collect(),
+        loads: cluster.loads(),
+        payloads,
+        oracle,
+    }
+}
+
+fn assert_identical(kind: PartitionerKind, threads: usize, base: &Snapshot, got: &Snapshot) {
+    assert_eq!(got.cycles, base.cycles, "{kind}: cycle reports differ at {threads} threads");
+    assert_eq!(got.loads, base.loads, "{kind}: loads differ at {threads} threads");
+    assert_eq!(got.placements, base.placements, "{kind}: placements differ at {threads} threads");
+    assert_eq!(
+        got.payloads, base.payloads,
+        "{kind}: node payload stores differ at {threads} threads"
+    );
+    assert_eq!(got.oracle, base.oracle, "{kind}: catalog oracle differs at {threads} threads");
+}
+
+/// All 8 partitioners over a materialized AIS run (string attributes,
+/// port skew, scale-outs + payload-carrying rebalances mid-run):
+/// everything must be bit-identical across ingest_threads in {1,2,4,8}.
+#[test]
+fn materialized_runs_are_bit_identical_across_thread_counts() {
+    // > PARALLEL_BUILD_MIN_ROWS per cycle so the sharded build engages.
+    let w = AisWorkload { cycles: 2, scale: 0.05, seed: 11, cells_per_cycle: 6_000 };
+    for kind in PartitionerKind::ALL {
+        let base = run_snapshot(&w, &[BROADCAST], kind, 600_000, 1);
+        for threads in [2usize, 4, 8] {
+            let got = run_snapshot(&w, &[BROADCAST], kind, 600_000, threads);
+            assert_identical(kind, threads, &base, &got);
+        }
+    }
+}
+
+/// The chunk builder itself, differentially: arrays built at any worker
+/// count equal the sequential build chunk-for-chunk (coordinates,
+/// descriptors, payload bytes, and cell order inside each chunk).
+#[test]
+fn build_cell_array_matches_sequential_at_every_thread_count() {
+    let w =
+        SyntheticWorkload { cycles: 1, grid_side: 24, cells_per_cycle: 576, ..Default::default() };
+    let schema = w.schema();
+    let synth = w.cell_batch(0).unwrap().remove(0);
+    let ais = AisWorkload { cycles: 1, scale: 0.05, seed: 3, cells_per_cycle: 9_000 };
+    let ais_batch = ais.cell_batch(0).unwrap().remove(0);
+    let cases: Vec<(ArrayId, ArraySchema, CellBuffer)> = vec![
+        (SYNTHETIC, schema, synth.into_rows()),
+        (BROADCAST, AisWorkload::broadcast_schema(), ais_batch.into_rows()),
+    ];
+    for (id, schema, rows) in cases {
+        let base = build_cell_array(id, schema.clone(), rows.clone(), 1).expect("in bounds");
+        for threads in [2usize, 3, 4, 8] {
+            let built =
+                build_cell_array(id, schema.clone(), rows.clone(), threads).expect("in bounds");
+            assert_eq!(built.chunk_count(), base.chunk_count(), "{id} x{threads}");
+            assert_eq!(built.descriptors(), base.descriptors(), "{id} x{threads}");
+            for (coords, chunk) in base.chunks() {
+                assert_eq!(
+                    built.chunk(coords),
+                    Some(chunk),
+                    "{id} x{threads}: chunk {coords} differs"
+                );
+            }
+        }
+    }
+}
+
+/// Heavier CI smoke: all 8 partitioners, AIS + MODIS + synthetic
+/// materialized, ingest_threads in {1, 4, 8}, with scale-outs forcing
+/// payload-carrying rebalances. Run with
+/// `cargo test --release --test parallel_materialize -- --ignored parallel_materialize_smoke`.
+#[test]
+#[ignore = "CI smoke: heavier differential, run explicitly"]
+fn parallel_materialize_smoke() {
+    let ais = AisWorkload { cycles: 3, scale: 0.05, seed: 5, cells_per_cycle: 12_000 };
+    let modis = ModisWorkload { days: 3, scale: 0.02, seed: 9, cells_per_cycle: 10_000 };
+    let synth = SyntheticWorkload {
+        cycles: 3,
+        grid_side: 64,
+        cells_per_cycle: 4_096,
+        ..Default::default()
+    };
+    let runs: Vec<(&dyn Workload, Vec<ArrayId>, u64)> = vec![
+        (&ais, vec![BROADCAST], 2_000_000),
+        (&modis, vec![BAND1, BAND2], 2_000_000),
+        (&synth, vec![SYNTHETIC], 200_000),
+    ];
+    for (w, ids, capacity) in runs {
+        for kind in PartitionerKind::ALL {
+            let base = run_snapshot(w, &ids, kind, capacity, 1);
+            for threads in [4usize, 8] {
+                let got = run_snapshot(w, &ids, kind, capacity, threads);
+                assert_identical(kind, threads, &base, &got);
+            }
+        }
+    }
+}
