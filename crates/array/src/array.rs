@@ -5,7 +5,7 @@ use crate::chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
 use crate::coords::{chunk_of, ChunkCoords};
 use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
-use crate::value::ScalarValue;
+use crate::value::{ScalarValue, StringEncoding};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -29,19 +29,35 @@ pub struct Array {
     /// The array's schema.
     pub schema: ArraySchema,
     chunks: BTreeMap<ChunkCoords, Arc<Chunk>>,
+    /// Physical representation of string columns in chunks this array
+    /// builds (per-cell inserts and the batch scatter alike).
+    encoding: StringEncoding,
 }
 
 impl Array {
-    /// An empty array.
+    /// An empty array under the default string encoding (dictionary,
+    /// [`crate::DEFAULT_DICT_CAP`]).
     pub fn new(id: ArrayId, schema: ArraySchema) -> Self {
-        Array { id, schema, chunks: BTreeMap::new() }
+        Self::with_encoding(id, schema, StringEncoding::default())
+    }
+
+    /// An empty array whose chunks store string columns under `encoding`.
+    pub fn with_encoding(id: ArrayId, schema: ArraySchema, encoding: StringEncoding) -> Self {
+        Array { id, schema, chunks: BTreeMap::new(), encoding }
+    }
+
+    /// The string encoding this array builds chunks with.
+    pub fn string_encoding(&self) -> StringEncoding {
+        self.encoding
     }
 
     /// Insert one cell, routing it to (and creating, if needed) its chunk.
     pub fn insert_cell(&mut self, cell: Vec<i64>, values: Vec<ScalarValue>) -> Result<ChunkCoords> {
         let coords = chunk_of(&self.schema, &cell)?;
-        let chunk =
-            self.chunks.entry(coords).or_insert_with(|| Arc::new(Chunk::new(&self.schema, coords)));
+        let chunk = self
+            .chunks
+            .entry(coords)
+            .or_insert_with(|| Arc::new(Chunk::with_encoding(&self.schema, coords, self.encoding)));
         Arc::make_mut(chunk).push_cell(&self.schema, cell, values)?;
         Ok(coords)
     }
@@ -66,6 +82,7 @@ impl Array {
             src.coords_flat(),
             0..src.len() as u32,
             &groups,
+            self.encoding,
         );
         self.merge_built(built);
         Ok(())
@@ -90,6 +107,7 @@ impl Array {
             flat,
             rows,
             &groups,
+            self.encoding,
         );
         self.merge_built(built);
         Ok(())
@@ -140,6 +158,7 @@ impl Array {
             src.coords_flat(),
             rows.iter().copied(),
             &groups,
+            self.encoding,
         );
         self.merge_built(built);
         Ok(())

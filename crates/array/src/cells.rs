@@ -9,13 +9,16 @@
 //! columns, not per-cell `Vec`s: routing reads coordinate slices in
 //! place, and chunk building copies column segments with the type
 //! dispatch hoisted out of the row loop (see [`Chunk::push_cells`]).
+//! String values intern into a per-column transport dictionary as they
+//! are emitted, so a buffered string is a `u32` code and the scatter
+//! into dictionary-encoded chunks is a code remap, not a string move.
 //!
 //! [`Chunk::push_cells`]: crate::chunk::Chunk::push_cells
 
 use crate::coords::{chunk_of, ChunkCoords};
 use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
-use crate::value::{AttributeColumn, ScalarValue};
+use crate::value::{AttributeColumn, ScalarValue, StringEncoding};
 
 /// A batch of raw cells in flat columnar form, shaped by one schema.
 ///
@@ -35,11 +38,30 @@ pub struct CellBuffer {
 
 impl CellBuffer {
     /// An empty buffer shaped by `schema`'s dimensions and attributes.
+    ///
+    /// String columns use the **transport** encoding
+    /// ([`StringEncoding::transport`]): generators intern each emitted
+    /// string into an uncapped per-column dictionary, so a buffered row's
+    /// string values are `u32` codes and the whole batch carries each
+    /// distinct string once. The storage-side cardinality cap is applied
+    /// per *chunk* column when the rows are scattered.
     pub fn new(schema: &ArraySchema) -> Self {
+        Self::with_encoding(schema, StringEncoding::transport())
+    }
+
+    /// An empty buffer whose string columns use `encoding` —
+    /// [`StringEncoding::Plain`] reproduces the pre-dictionary pipeline
+    /// (one heap `String` per buffered value, moved into the chunks by
+    /// the consuming insert).
+    pub fn with_encoding(schema: &ArraySchema, encoding: StringEncoding) -> Self {
         CellBuffer {
             ndims: schema.ndims(),
             coords: Vec::new(),
-            columns: schema.attributes.iter().map(|a| AttributeColumn::new(a.ty)).collect(),
+            columns: schema
+                .attributes
+                .iter()
+                .map(|a| AttributeColumn::with_encoding(a.ty, encoding))
+                .collect(),
         }
     }
 

@@ -11,7 +11,7 @@ use crate::cells::{CellBuffer, RowGroups, RowSel};
 use crate::coords::ChunkCoords;
 use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
-use crate::value::{AttributeColumn, ScalarValue};
+use crate::value::{AttributeColumn, DictColumn, ScalarValue, StringEncoding};
 use serde::{Deserialize, Serialize};
 
 /// Identifier for an array within a catalog/cluster.
@@ -98,13 +98,28 @@ pub struct Chunk {
 }
 
 impl Chunk {
-    /// An empty chunk at `coords` shaped by `schema`'s attributes.
+    /// An empty chunk at `coords` shaped by `schema`'s attributes, under
+    /// the default string encoding (dictionary, [`crate::DEFAULT_DICT_CAP`]).
     pub fn new(schema: &ArraySchema, coords: ChunkCoords) -> Self {
+        Self::with_encoding(schema, coords, StringEncoding::default())
+    }
+
+    /// An empty chunk at `coords`; `encoding` selects the physical
+    /// representation of its string columns.
+    pub fn with_encoding(
+        schema: &ArraySchema,
+        coords: ChunkCoords,
+        encoding: StringEncoding,
+    ) -> Self {
         Chunk {
             coords,
             ndims: schema.ndims() as u8,
             cell_coords: Vec::new(),
-            columns: schema.attributes.iter().map(|a| AttributeColumn::new(a.ty)).collect(),
+            columns: schema
+                .attributes
+                .iter()
+                .map(|a| AttributeColumn::with_encoding(a.ty, encoding))
+                .collect(),
             bytes: 0,
             cells: 0,
         }
@@ -136,8 +151,11 @@ impl Chunk {
             }
         }
         for (col, value) in self.columns.iter_mut().zip(values) {
-            self.bytes += value.stored_bytes();
-            col.push(value).expect("types were validated above");
+            // The delta accounts dictionary bytes once per distinct
+            // string plus 4 B per code (and any spill conversion);
+            // plain values cost their full payload.
+            let delta = col.push(value).expect("types were validated above");
+            self.bytes = self.bytes.checked_add_signed(delta).expect("byte counter underflow");
         }
         self.bytes += (cell.len() * 8) as u64;
         self.cell_coords.extend_from_slice(&cell);
@@ -182,7 +200,8 @@ impl Chunk {
         );
         // One-group scatter, then a wholesale append — the same copy and
         // byte-accounting code the batch pipeline runs, so the two paths
-        // cannot drift.
+        // cannot drift. The temporary takes this chunk's own string
+        // encoding; `append` reconciles representations either way.
         let groups = RowGroups {
             coords: vec![self.coords],
             counts: vec![rows.len() as u32],
@@ -194,6 +213,7 @@ impl Chunk {
             src.coords_flat(),
             rows.iter().copied(),
             &groups,
+            self.columns.iter().find_map(AttributeColumn::string_encoding).unwrap_or_default(),
         );
         self.append(built.pop().expect("exactly one group"));
         Ok(())
@@ -213,6 +233,10 @@ impl Chunk {
     /// consumed one (variable-width values **moved** out — the hot
     /// single-threaded ingest path, where a row's strings are allocated
     /// once by the generator and never re-allocated downstream).
+    /// `encoding` is the **storage-side** string representation the built
+    /// chunks should carry; a dictionary-encoded batch scatters into
+    /// dictionary chunks by remapping `u32` codes (no per-row string
+    /// traffic at all), spilling any chunk whose column exceeds the cap.
     ///
     /// The caller has already validated the batch against `schema`
     /// ([`crate::CellBuffer::matches`]); row order within each group is
@@ -223,6 +247,7 @@ impl Chunk {
         flat: &[i64],
         rows: impl RowSel,
         groups: &RowGroups,
+        encoding: StringEncoding,
     ) -> Vec<Chunk> {
         let nd = schema.ndims();
         let mut out: Vec<Chunk> = groups
@@ -230,7 +255,7 @@ impl Chunk {
             .iter()
             .zip(&groups.counts)
             .map(|(&coords, &n)| {
-                let mut chunk = Chunk::new(schema, coords);
+                let mut chunk = Chunk::with_encoding(schema, coords, encoding);
                 let n = n as usize;
                 chunk.cell_coords.reserve(n * nd);
                 for col in &mut chunk.columns {
@@ -291,15 +316,19 @@ impl Chunk {
     /// Move every cell of `other` onto the end of this chunk, preserving
     /// `other`'s insertion order. Both chunks must have been built
     /// against the same schema (the callers guarantee it; column arity
-    /// and types are debug-asserted).
+    /// and types are debug-asserted). Byte accounting folds the
+    /// per-column deltas rather than `other.bytes`: merging two
+    /// dictionary columns counts shared dictionary entries once, so the
+    /// merged size can be smaller than the parts' sum.
     pub(crate) fn append(&mut self, other: Chunk) {
         debug_assert_eq!(self.ndims, other.ndims);
         debug_assert_eq!(self.columns.len(), other.columns.len());
         self.cell_coords.extend_from_slice(&other.cell_coords);
+        let mut delta = other.cell_coords.len() as i64 * 8;
         for (dst, src) in self.columns.iter_mut().zip(other.columns) {
-            dst.append(src);
+            delta += dst.append(src);
         }
-        self.bytes += other.bytes;
+        self.bytes = self.bytes.checked_add_signed(delta).expect("byte counter underflow");
         self.cells += other.cells;
     }
 
@@ -393,9 +422,17 @@ fn scatter_column(
         AttributeColumn::Float(s) => scatter_fixed!(Float, 4, s),
         AttributeColumn::Double(s) => scatter_fixed!(Double, 8, s),
         AttributeColumn::Char(s) => scatter_fixed!(Char, 1, s),
+        AttributeColumn::Dict(s) => scatter_dict_column(chunks, attr, s, rows, groups),
         AttributeColumn::Str(s) => {
-            // Strings are variable-width: accumulate per-group bytes
-            // alongside the clones.
+            if matches!(chunks.first().map(|c| &c.columns[attr]), Some(AttributeColumn::Dict(_))) {
+                // Plain source into dictionary chunks (the compatibility
+                // path — the batch transport is normally dictionary-
+                // encoded): intern row-wise, spill handled per column.
+                scatter_strings_interning(chunks, attr, rows, groups, |r| s[r as usize].clone());
+                return;
+            }
+            // Plain → plain: accumulate per-group bytes alongside the
+            // clones.
             let mut bytes = vec![0u64; chunks.len()];
             {
                 let mut dsts: Vec<&mut Vec<String>> = chunks
@@ -419,8 +456,141 @@ fn scatter_column(
     }
 }
 
+/// The dictionary-source half of the string scatter, serving both
+/// dictionary and plain chunk targets.
+///
+/// For dictionary targets this is the hot path: pass A walks the listed
+/// rows once building a per-group `src code → dst code` remap table and
+/// each group's dictionary in first-seen row order (at most one string
+/// clone per *distinct* value per chunk — never per row), and decides
+/// which groups spill (more distinct strings than the cap; those groups'
+/// columns are replaced with plain storage, exactly the state sequential
+/// insertion would have reached). Pass B then moves one `u32` per row for
+/// dictionary groups and decodes rows only for spilled or plain-target
+/// groups.
+fn scatter_dict_column(
+    chunks: &mut [Chunk],
+    attr: usize,
+    src: &DictColumn,
+    rows: impl RowSel,
+    groups: &RowGroups,
+) {
+    /// Pass-B destination: one tail per group.
+    enum Tail<'a> {
+        Dict(&'a mut Vec<u32>),
+        Plain(&'a mut Vec<String>),
+    }
+    /// Largest `groups × src-dictionary` remap footprint pass A will
+    /// allocate (u32 slots, so 64 MB at the cap). A degenerate batch —
+    /// near-unique strings (the transport dictionary is uncapped) spread
+    /// over many chunks — falls back to the row-wise interning scatter,
+    /// whose memory is proportional to what the chunks actually store
+    /// and whose result is identical (sequential push semantics).
+    const DENSE_REMAP_MAX_SLOTS: usize = 1 << 24;
+    let src_dict = src.dict();
+    let codes = src.codes();
+    let dict_target =
+        matches!(chunks.first().map(|c| &c.columns[attr]), Some(AttributeColumn::Dict(_)));
+    if dict_target && chunks.len().saturating_mul(src_dict.len()) > DENSE_REMAP_MAX_SLOTS {
+        scatter_strings_interning(chunks, attr, rows, groups, |r| {
+            src_dict.get(codes[r as usize]).expect("codes index the dictionary").to_string()
+        });
+        return;
+    }
+    // Pass A: per-group first-seen remap tables. `remap[g][src_code]` is
+    // the destination code (or `u32::MAX` while unseen).
+    let mut remap: Vec<Vec<u32>> = Vec::new();
+    if dict_target {
+        remap = vec![vec![u32::MAX; src_dict.len()]; chunks.len()];
+        // Each group's src codes in first-seen order.
+        let mut orders: Vec<Vec<u32>> = vec![Vec::new(); chunks.len()];
+        for (i, r) in rows.clone().enumerate() {
+            let g = groups.group_of[i] as usize;
+            let code = codes[r as usize] as usize;
+            if remap[g][code] == u32::MAX {
+                remap[g][code] = orders[g].len() as u32;
+                orders[g].push(code as u32);
+            }
+        }
+        // Build each group's dictionary — or spill the group to plain
+        // storage when its cardinality crosses the cap (the column is
+        // still empty here, so the replacement is free).
+        for (g, chunk) in chunks.iter_mut().enumerate() {
+            let AttributeColumn::Dict(dst) = &mut chunk.columns[attr] else {
+                unreachable!("probed as dictionary above")
+            };
+            if orders[g].len() > dst.cap() as usize {
+                chunk.columns[attr] =
+                    AttributeColumn::Str(Vec::with_capacity(groups.counts[g] as usize));
+            } else {
+                let mut dict_bytes = 0u64;
+                for &code in &orders[g] {
+                    let s = src_dict.get(code).expect("codes index the dictionary");
+                    dict_bytes += s.len() as u64 + 4;
+                    dst.intern_in_order(s);
+                }
+                chunk.bytes += dict_bytes;
+            }
+        }
+    }
+    // Pass B: scatter codes (or decoded strings for plain/spilled
+    // groups).
+    let mut bytes = vec![0u64; chunks.len()];
+    {
+        let mut tails: Vec<Tail<'_>> = chunks
+            .iter_mut()
+            .map(|c| match &mut c.columns[attr] {
+                AttributeColumn::Dict(d) => Tail::Dict(d.codes_mut()),
+                AttributeColumn::Str(v) => Tail::Plain(v),
+                _ => unreachable!("batch was validated against the schema"),
+            })
+            .collect();
+        for (i, r) in rows.enumerate() {
+            let g = groups.group_of[i] as usize;
+            let code = codes[r as usize];
+            match &mut tails[g] {
+                Tail::Dict(dst) => {
+                    dst.push(remap[g][code as usize]);
+                    bytes[g] += 4;
+                }
+                Tail::Plain(dst) => {
+                    let s = src_dict.get(code).expect("codes index the dictionary");
+                    bytes[g] += s.len() as u64 + 4;
+                    dst.push(s.to_string());
+                }
+            }
+        }
+    }
+    for (chunk, b) in chunks.iter_mut().zip(bytes) {
+        chunk.bytes += b;
+    }
+}
+
+/// Row-wise interning scatter: push each listed row's string through the
+/// destination column's own `push_str` (dictionary insert with spill, or
+/// plain push), with per-group byte deltas folded into the chunks. Used
+/// where a remap table does not apply — a plain source feeding
+/// dictionary-encoded chunks.
+fn scatter_strings_interning(
+    chunks: &mut [Chunk],
+    attr: usize,
+    rows: impl RowSel,
+    groups: &RowGroups,
+    mut take: impl FnMut(u32) -> String,
+) {
+    let mut bytes = vec![0i64; chunks.len()];
+    for (i, r) in rows.enumerate() {
+        let g = groups.group_of[i] as usize;
+        bytes[g] += chunks[g].columns[attr].push_str(take(r));
+    }
+    for (chunk, b) in chunks.iter_mut().zip(bytes) {
+        chunk.bytes = chunk.bytes.checked_add_signed(b).expect("byte counter underflow");
+    }
+}
+
 /// The consuming variant of [`scatter_column`]: identical for
-/// fixed-width types (a copy is a copy), but **moves** each string out
+/// fixed-width types (a copy is a copy) and for dictionary-encoded
+/// sources (codes copy either way), but **moves** each plain string out
 /// of the spent batch instead of cloning it — every row is scattered to
 /// exactly one chunk, so the string allocated by the generator is the
 /// string the chunk stores, with no intermediate allocation.
@@ -433,6 +603,15 @@ fn scatter_column_taking(
 ) {
     match src {
         AttributeColumn::Str(s) => {
+            if matches!(chunks.first().map(|c| &c.columns[attr]), Some(AttributeColumn::Dict(_))) {
+                // Plain source into dictionary chunks: the moved string
+                // seeds the dictionary on first appearance; duplicates
+                // are dropped.
+                scatter_strings_interning(chunks, attr, rows, groups, |r| {
+                    std::mem::take(&mut s[r as usize])
+                });
+                return;
+            }
             let mut bytes = vec![0u64; chunks.len()];
             {
                 let mut dsts: Vec<&mut Vec<String>> = chunks

@@ -38,4 +38,7 @@ pub use coords::{all_chunks, chunk_of, CellCoords, ChunkCoords, Region, MAX_DIMS
 pub use error::{ArrayError, Result};
 pub use hilbert::{gilbert2d, hilbert_coords, hilbert_index, HilbertOrder};
 pub use schema::{ArraySchema, AttributeDef, DimensionDef};
-pub use value::{AttributeColumn, AttributeType, ScalarValue};
+pub use value::{
+    AttributeColumn, AttributeType, DictColumn, ScalarValue, StringDict, StringEncoding,
+    DEFAULT_DICT_CAP,
+};

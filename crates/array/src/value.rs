@@ -5,6 +5,7 @@
 //! that: one typed, densely packed vector per attribute per chunk.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// The scalar types an attribute may declare.
@@ -55,14 +56,20 @@ impl AttributeType {
     }
 
     /// Width in bytes of one value of this type as stored on disk.
-    /// Strings report an average payload width; the actual footprint of a
-    /// column is computed from its contents.
+    ///
+    /// Strings are dictionary-encoded by default ([`StringEncoding`]),
+    /// so the per-value width is one `u32` code; the dictionary's own
+    /// bytes are stored once per column and amortize toward zero for the
+    /// low-cardinality columns the encoding targets. (Before dictionary
+    /// encoding this reported a 16 B average payload width, which the
+    /// AIS feed's 8–12 B strings already undershot.) The actual footprint
+    /// of a column is always computed from its contents.
     pub fn fixed_width(self) -> usize {
         match self {
             AttributeType::Int32 | AttributeType::Float => 4,
             AttributeType::Int64 | AttributeType::Double => 8,
             AttributeType::Char => 1,
-            AttributeType::Str => 16,
+            AttributeType::Str => 4,
         }
     }
 }
@@ -115,19 +122,6 @@ impl ScalarValue {
         }
     }
 
-    /// On-disk footprint of one value of this type — the per-value
-    /// increment the running chunk byte counters are maintained from.
-    /// Agrees exactly with [`AttributeColumn::byte_size`] summed over a
-    /// column's values.
-    pub fn stored_bytes(&self) -> u64 {
-        match self {
-            ScalarValue::Int32(_) | ScalarValue::Float(_) => 4,
-            ScalarValue::Int64(_) | ScalarValue::Double(_) => 8,
-            ScalarValue::Char(_) => 1,
-            ScalarValue::Str(s) => s.len() as u64 + 4,
-        }
-    }
-
     /// Integer view for key attributes (joins, distinct); floats refuse.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
@@ -152,12 +146,272 @@ impl fmt::Display for ScalarValue {
     }
 }
 
+/// Default cardinality cap for dictionary-encoded **chunk** columns: a
+/// column that accumulates more distinct strings than this spills to
+/// plain per-value storage (`Vec<String>`), where codes would no longer
+/// pay for themselves. Generously above the low-cardinality columns the
+/// encoding targets (AIS carries 128 distinct receiver ids plus one
+/// provenance string).
+pub const DEFAULT_DICT_CAP: u32 = 4096;
+
+/// How string-typed attribute columns are physically stored.
+///
+/// Fixed-width types ignore the encoding; it only selects the
+/// representation of `string` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StringEncoding {
+    /// One heap `String` per value (the pre-dictionary representation).
+    Plain,
+    /// Dictionary encoding: a `u32` code per value plus each distinct
+    /// string stored once, spilling to [`StringEncoding::Plain`] when a
+    /// column exceeds `cap` distinct strings.
+    Dict {
+        /// Cardinality cap: the largest dictionary a column will carry.
+        cap: u32,
+    },
+}
+
+impl Default for StringEncoding {
+    fn default() -> Self {
+        StringEncoding::Dict { cap: DEFAULT_DICT_CAP }
+    }
+}
+
+impl StringEncoding {
+    /// The transport encoding cell *batches* use: dictionary-encoded with
+    /// an effectively unbounded cap. Batches are transient (they exist to
+    /// move rows into chunks), so spilling them would only forfeit the
+    /// fast code-remap scatter; the storage-side cap is applied per chunk
+    /// column when the rows are scattered.
+    pub fn transport() -> Self {
+        StringEncoding::Dict { cap: u32::MAX }
+    }
+}
+
+/// FNV-1a over the string's bytes: the dictionary's deterministic,
+/// allocation-free lookup hash. (64-bit collisions between *different*
+/// strings are handled correctly — see [`StringDict::code_of`] — they
+/// just fall off the O(1) path.)
+fn dict_hash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An order-preserving string interner: code `i` is the `i`-th distinct
+/// string in first-appearance order, so two columns fed the same value
+/// sequence assign identical codes whatever path the rows took.
+///
+/// The reverse index maps the string's 64-bit hash to its code rather
+/// than re-storing the key, so interning `n` distinct strings costs `n`
+/// string allocations (the entries themselves) plus amortized map
+/// growth — pinned by `tests/alloc_free_routing.rs`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StringDict {
+    /// Distinct strings in first-appearance order; `strings[code]` is the
+    /// decoded value of `code`.
+    strings: Vec<String>,
+    /// `hash → first code with that hash`. Derived from `strings`;
+    /// excluded from equality.
+    index: HashMap<u64, u32>,
+    /// Codes whose hash collided with an earlier entry's (vanishingly
+    /// rare); scanned linearly after an index hit that mismatches.
+    collisions: Vec<u32>,
+}
+
+impl PartialEq for StringDict {
+    fn eq(&self, other: &Self) -> bool {
+        // `index`/`collisions` are caches over `strings`.
+        self.strings == other.strings
+    }
+}
+
+impl StringDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        StringDict::default()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Decode one code.
+    pub fn get(&self, code: u32) -> Option<&str> {
+        self.strings.get(code as usize).map(String::as_str)
+    }
+
+    /// The code of `s`, if it has been interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        let &first = self.index.get(&dict_hash(s))?;
+        if self.strings[first as usize] == s {
+            return Some(first);
+        }
+        // A different string owns this hash slot: the one we want, if
+        // present, is in the collision list.
+        self.collisions.iter().copied().find(|&c| self.strings[c as usize] == s)
+    }
+
+    /// Intern `s`, returning its (possibly fresh) code. Clones only on a
+    /// miss.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(code) = self.code_of(s) {
+            return code;
+        }
+        self.intern_new(s.to_string())
+    }
+
+    /// Intern an owned string, consuming it. Drops the allocation when
+    /// the string was already present.
+    pub fn intern_owned(&mut self, s: String) -> u32 {
+        if let Some(code) = self.code_of(&s) {
+            return code;
+        }
+        self.intern_new(s)
+    }
+
+    fn intern_new(&mut self, s: String) -> u32 {
+        let code = self.strings.len() as u32;
+        match self.index.entry(dict_hash(&s)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(code);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => self.collisions.push(code),
+        }
+        self.strings.push(s);
+        code
+    }
+
+    /// The distinct strings, in code order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// Stored bytes of the dictionary itself: each distinct string's
+    /// payload plus a 4 B length prefix, counted **once** per entry.
+    pub fn byte_size(&self) -> u64 {
+        self.strings.iter().map(|s| s.len() as u64 + 4).sum()
+    }
+}
+
+/// A dictionary-encoded string column: one `u32` code per value plus the
+/// column's own [`StringDict`]. Codes are order-preserving (first
+/// appearance wins), so equal value sequences produce structurally equal
+/// columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DictColumn {
+    /// One code per stored value, in insertion order.
+    codes: Vec<u32>,
+    /// The column's dictionary.
+    dict: StringDict,
+    /// Cardinality cap: interning a `cap + 1`-th distinct string spills
+    /// the whole column to plain storage.
+    cap: u32,
+}
+
+impl DictColumn {
+    /// An empty dictionary column with the given cardinality cap.
+    pub fn with_cap(cap: u32) -> Self {
+        DictColumn { codes: Vec::new(), dict: StringDict::new(), cap }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Decode the value at `idx`.
+    pub fn get(&self, idx: usize) -> Option<&str> {
+        self.codes.get(idx).and_then(|&c| self.dict.get(c))
+    }
+
+    /// The raw code column.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The column's dictionary.
+    pub fn dict(&self) -> &StringDict {
+        &self.dict
+    }
+
+    /// The cardinality cap this column spills at.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Stored bytes: the dictionary once plus 4 B per code.
+    pub fn byte_size(&self) -> u64 {
+        self.dict.byte_size() + 4 * self.codes.len() as u64
+    }
+
+    /// Append one value, interning it. `Err` returns the string untouched
+    /// when storing it would exceed the cardinality cap — the caller
+    /// spills the column to plain storage. `Ok` carries the byte delta
+    /// (4 for a repeat, `4 + len + 4` when a dictionary entry was added).
+    fn try_push(&mut self, s: String) -> std::result::Result<i64, String> {
+        if let Some(code) = self.dict.code_of(&s) {
+            self.codes.push(code);
+            return Ok(4);
+        }
+        if self.dict.len() >= self.cap as usize {
+            return Err(s);
+        }
+        let added = s.len() as i64 + 4;
+        let code = self.dict.intern_owned(s);
+        self.codes.push(code);
+        Ok(added + 4)
+    }
+
+    /// Pre-seed the dictionary with a string known to be absent — the
+    /// batch scatter builds each chunk's dictionary in first-seen row
+    /// order before scattering any codes.
+    pub(crate) fn intern_in_order(&mut self, s: &str) {
+        debug_assert!(self.dict.code_of(s).is_none(), "intern_in_order on a present string");
+        self.dict.intern(s);
+    }
+
+    /// Mutable access to the raw code column (the batch scatter appends
+    /// pre-remapped codes directly).
+    pub(crate) fn codes_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.codes
+    }
+
+    /// Decode every value into plain per-value storage (the spill
+    /// conversion).
+    fn decode_all(&self) -> Vec<String> {
+        self.codes
+            .iter()
+            .map(|&c| self.dict.get(c).expect("codes index the dictionary").to_string())
+            .collect()
+    }
+}
+
 /// A typed column holding the values of one attribute for every non-empty
 /// cell of a chunk, in cell insertion order.
 ///
 /// This is the unit of vertical partitioning: each column's bytes are
 /// accounted separately, and queries that touch a subset of attributes
-/// scan only those columns.
+/// scan only those columns. String columns come in two physical
+/// representations (see [`StringEncoding`]): plain per-value storage
+/// ([`AttributeColumn::Str`]) and dictionary encoding
+/// ([`AttributeColumn::Dict`]); both report
+/// [`AttributeType::Str`] as their logical type and decode to identical
+/// [`ScalarValue`]s, so query operators are encoding-blind.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AttributeColumn {
     /// Column of `int32` values.
@@ -170,20 +424,35 @@ pub enum AttributeColumn {
     Double(Vec<f64>),
     /// Column of `char` values.
     Char(Vec<u8>),
-    /// Column of `string` values.
+    /// Column of `string` values, one heap `String` per value (plain
+    /// encoding, and the spill target past the dictionary cap).
     Str(Vec<String>),
+    /// Column of dictionary-encoded `string` values.
+    Dict(DictColumn),
 }
 
 impl AttributeColumn {
-    /// An empty column of the given type.
+    /// An empty column of the given type under the **default** encoding:
+    /// string columns are dictionary-encoded with
+    /// [`DEFAULT_DICT_CAP`].
     pub fn new(ty: AttributeType) -> Self {
+        Self::with_encoding(ty, StringEncoding::default())
+    }
+
+    /// An empty column of the given type; `encoding` selects the physical
+    /// representation of string columns and is ignored for fixed-width
+    /// types.
+    pub fn with_encoding(ty: AttributeType, encoding: StringEncoding) -> Self {
         match ty {
             AttributeType::Int32 => AttributeColumn::Int32(Vec::new()),
             AttributeType::Int64 => AttributeColumn::Int64(Vec::new()),
             AttributeType::Float => AttributeColumn::Float(Vec::new()),
             AttributeType::Double => AttributeColumn::Double(Vec::new()),
             AttributeType::Char => AttributeColumn::Char(Vec::new()),
-            AttributeType::Str => AttributeColumn::Str(Vec::new()),
+            AttributeType::Str => match encoding {
+                StringEncoding::Plain => AttributeColumn::Str(Vec::new()),
+                StringEncoding::Dict { cap } => AttributeColumn::Dict(DictColumn::with_cap(cap)),
+            },
         }
     }
 
@@ -195,7 +464,7 @@ impl AttributeColumn {
             AttributeColumn::Float(_) => AttributeType::Float,
             AttributeColumn::Double(_) => AttributeType::Double,
             AttributeColumn::Char(_) => AttributeType::Char,
-            AttributeColumn::Str(_) => AttributeType::Str,
+            AttributeColumn::Str(_) | AttributeColumn::Dict(_) => AttributeType::Str,
         }
     }
 
@@ -208,6 +477,7 @@ impl AttributeColumn {
             AttributeColumn::Double(v) => v.len(),
             AttributeColumn::Char(v) => v.len(),
             AttributeColumn::Str(v) => v.len(),
+            AttributeColumn::Dict(d) => d.len(),
         }
     }
 
@@ -216,21 +486,82 @@ impl AttributeColumn {
         self.len() == 0
     }
 
-    /// Append one value. Fails on type mismatch.
-    pub fn push(&mut self, value: ScalarValue) -> Result<(), (AttributeType, AttributeType)> {
-        match (self, value) {
-            (AttributeColumn::Int32(v), ScalarValue::Int32(x)) => v.push(x),
-            (AttributeColumn::Int64(v), ScalarValue::Int64(x)) => v.push(x),
-            (AttributeColumn::Float(v), ScalarValue::Float(x)) => v.push(x),
-            (AttributeColumn::Double(v), ScalarValue::Double(x)) => v.push(x),
-            (AttributeColumn::Char(v), ScalarValue::Char(x)) => v.push(x),
-            (AttributeColumn::Str(v), ScalarValue::Str(x)) => v.push(x),
-            (col, value) => return Err((col.column_type(), value.value_type())),
+    /// Append one value. Fails on type mismatch. `Ok` carries the
+    /// column's byte-size delta — the increment the running chunk byte
+    /// counters are maintained from. The delta is negative only when a
+    /// dictionary column spills to plain storage and the dropped
+    /// per-value codes outweighed the duplicated dictionary payloads.
+    pub fn push(&mut self, value: ScalarValue) -> Result<i64, (AttributeType, AttributeType)> {
+        if let ScalarValue::Str(x) = value {
+            return if self.column_type() == AttributeType::Str {
+                Ok(self.push_str(x))
+            } else {
+                Err((self.column_type(), AttributeType::Str))
+            };
         }
-        Ok(())
+        let delta = match (&mut *self, value) {
+            (AttributeColumn::Int32(v), ScalarValue::Int32(x)) => {
+                v.push(x);
+                4
+            }
+            (AttributeColumn::Int64(v), ScalarValue::Int64(x)) => {
+                v.push(x);
+                8
+            }
+            (AttributeColumn::Float(v), ScalarValue::Float(x)) => {
+                v.push(x);
+                4
+            }
+            (AttributeColumn::Double(v), ScalarValue::Double(x)) => {
+                v.push(x);
+                8
+            }
+            (AttributeColumn::Char(v), ScalarValue::Char(x)) => {
+                v.push(x);
+                1
+            }
+            (col, value) => return Err((col.column_type(), value.value_type())),
+        };
+        Ok(delta)
     }
 
-    /// The value at `idx`, boxed back into a [`ScalarValue`].
+    /// Append one string to a string-typed column, interning it when the
+    /// column is dictionary-encoded and spilling the column to plain
+    /// storage when the dictionary would exceed its cardinality cap.
+    /// Returns the column's byte-size delta (which includes the spill
+    /// conversion, when one happens).
+    ///
+    /// # Panics
+    ///
+    /// If the column is not string-typed — callers validate types first.
+    pub(crate) fn push_str(&mut self, s: String) -> i64 {
+        if let AttributeColumn::Dict(d) = self {
+            match d.try_push(s) {
+                Ok(delta) => return delta,
+                Err(s) => {
+                    // Cardinality cap exceeded: decode the whole column
+                    // into plain storage, then store the new value there.
+                    let old = d.byte_size() as i64;
+                    let mut plain = d.decode_all();
+                    plain.push(s);
+                    let new: i64 = plain.iter().map(|x| x.len() as i64 + 4).sum();
+                    *self = AttributeColumn::Str(plain);
+                    return new - old;
+                }
+            }
+        }
+        match self {
+            AttributeColumn::Str(v) => {
+                let delta = s.len() as i64 + 4;
+                v.push(s);
+                delta
+            }
+            _ => panic!("push_str on a {} column", self.column_type()),
+        }
+    }
+
+    /// The value at `idx`, boxed back into a [`ScalarValue`]. Dictionary
+    /// codes decode here — this is the result-boundary accessor.
     pub fn get(&self, idx: usize) -> Option<ScalarValue> {
         match self {
             AttributeColumn::Int32(v) => v.get(idx).copied().map(ScalarValue::Int32),
@@ -239,6 +570,18 @@ impl AttributeColumn {
             AttributeColumn::Double(v) => v.get(idx).copied().map(ScalarValue::Double),
             AttributeColumn::Char(v) => v.get(idx).copied().map(ScalarValue::Char),
             AttributeColumn::Str(v) => v.get(idx).cloned().map(ScalarValue::Str),
+            AttributeColumn::Dict(d) => d.get(idx).map(|s| ScalarValue::Str(s.to_string())),
+        }
+    }
+
+    /// Zero-copy view of the string at `idx`; `None` for non-string
+    /// columns (and out-of-range rows). Operators that scan string
+    /// columns read through this without materializing per-row clones.
+    pub fn get_str(&self, idx: usize) -> Option<&str> {
+        match self {
+            AttributeColumn::Str(v) => v.get(idx).map(String::as_str),
+            AttributeColumn::Dict(d) => d.get(idx),
+            _ => None,
         }
     }
 
@@ -249,7 +592,25 @@ impl AttributeColumn {
             AttributeColumn::Int64(v) => v.get(idx).map(|x| *x as f64),
             AttributeColumn::Float(v) => v.get(idx).map(|x| f64::from(*x)),
             AttributeColumn::Double(v) => v.get(idx).copied(),
-            AttributeColumn::Char(_) | AttributeColumn::Str(_) => None,
+            AttributeColumn::Char(_) | AttributeColumn::Str(_) | AttributeColumn::Dict(_) => None,
+        }
+    }
+
+    /// The physical representation of a string-typed column; `None` for
+    /// fixed-width types.
+    pub fn string_encoding(&self) -> Option<StringEncoding> {
+        match self {
+            AttributeColumn::Str(_) => Some(StringEncoding::Plain),
+            AttributeColumn::Dict(d) => Some(StringEncoding::Dict { cap: d.cap }),
+            _ => None,
+        }
+    }
+
+    /// The dictionary column, when this column is dictionary-encoded.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            AttributeColumn::Dict(d) => Some(d),
+            _ => None,
         }
     }
 
@@ -262,20 +623,66 @@ impl AttributeColumn {
             AttributeColumn::Double(v) => v.reserve(additional),
             AttributeColumn::Char(v) => v.reserve(additional),
             AttributeColumn::Str(v) => v.reserve(additional),
+            AttributeColumn::Dict(d) => d.codes.reserve(additional),
         }
     }
 
-    /// Move every value of `other` onto the end of this column. Panics
-    /// on a type mismatch — the callers merge columns of chunks built
-    /// against one schema.
-    pub(crate) fn append(&mut self, other: AttributeColumn) {
-        match (self, other) {
-            (AttributeColumn::Int32(d), AttributeColumn::Int32(mut s)) => d.append(&mut s),
-            (AttributeColumn::Int64(d), AttributeColumn::Int64(mut s)) => d.append(&mut s),
-            (AttributeColumn::Float(d), AttributeColumn::Float(mut s)) => d.append(&mut s),
-            (AttributeColumn::Double(d), AttributeColumn::Double(mut s)) => d.append(&mut s),
-            (AttributeColumn::Char(d), AttributeColumn::Char(mut s)) => d.append(&mut s),
-            (AttributeColumn::Str(d), AttributeColumn::Str(mut s)) => d.append(&mut s),
+    /// Move every value of `other` onto the end of this column,
+    /// returning this column's byte-size delta. Panics on a type
+    /// mismatch — the callers merge columns of chunks built against one
+    /// schema.
+    ///
+    /// String columns merge across representations: appending a
+    /// dictionary column **remaps its codes** through this column's
+    /// dictionary (row order preserved, so the merged column equals the
+    /// one sequential insertion would have built), spilling to plain if
+    /// the union's cardinality crosses the cap; plain values append into
+    /// a dictionary column by interning, and dictionary values into a
+    /// plain column by decoding.
+    pub(crate) fn append(&mut self, other: AttributeColumn) -> i64 {
+        if self.column_type() == AttributeType::Str && other.column_type() == AttributeType::Str {
+            return match other {
+                AttributeColumn::Str(mut vals) => {
+                    if let AttributeColumn::Str(d) = self {
+                        let delta: i64 = vals.iter().map(|x| x.len() as i64 + 4).sum();
+                        d.append(&mut vals);
+                        delta
+                    } else {
+                        // Plain source into a dictionary column: intern
+                        // row-wise (spill handled by `push_str`).
+                        vals.drain(..).map(|s| self.push_str(s)).sum()
+                    }
+                }
+                AttributeColumn::Dict(src) => self.append_dict(src),
+                _ => unreachable!("column_type() said Str"),
+            };
+        }
+        match (&mut *self, other) {
+            (AttributeColumn::Int32(d), AttributeColumn::Int32(mut s)) => {
+                let delta = (s.len() * 4) as i64;
+                d.append(&mut s);
+                delta
+            }
+            (AttributeColumn::Int64(d), AttributeColumn::Int64(mut s)) => {
+                let delta = (s.len() * 8) as i64;
+                d.append(&mut s);
+                delta
+            }
+            (AttributeColumn::Float(d), AttributeColumn::Float(mut s)) => {
+                let delta = (s.len() * 4) as i64;
+                d.append(&mut s);
+                delta
+            }
+            (AttributeColumn::Double(d), AttributeColumn::Double(mut s)) => {
+                let delta = (s.len() * 8) as i64;
+                d.append(&mut s);
+                delta
+            }
+            (AttributeColumn::Char(d), AttributeColumn::Char(mut s)) => {
+                let delta = s.len() as i64;
+                d.append(&mut s);
+                delta
+            }
             (d, s) => panic!(
                 "cannot append a {} column onto a {} column",
                 s.column_type(),
@@ -284,7 +691,55 @@ impl AttributeColumn {
         }
     }
 
-    /// On-disk footprint of the column in bytes.
+    /// The dictionary-source half of [`AttributeColumn::append`]: remap
+    /// `src`'s codes through this column's dictionary with a flat
+    /// `src code → dst code` table (no per-row hashing while both sides
+    /// stay dictionaries), falling back to row-wise decoded pushes from
+    /// the first row that spills this column — identical to sequential
+    /// insertion either way.
+    fn append_dict(&mut self, src: DictColumn) -> i64 {
+        let mut delta = 0i64;
+        let mut resume = None;
+        if let AttributeColumn::Dict(dst) = &mut *self {
+            let mut remap = vec![u32::MAX; src.dict.len()];
+            for (i, &code) in src.codes.iter().enumerate() {
+                let mapped = remap[code as usize];
+                if mapped != u32::MAX {
+                    dst.codes.push(mapped);
+                    delta += 4;
+                    continue;
+                }
+                let s = src.dict.get(code).expect("codes index the dictionary");
+                if let Some(c) = dst.dict.code_of(s) {
+                    remap[code as usize] = c;
+                    dst.codes.push(c);
+                    delta += 4;
+                } else if dst.dict.len() < dst.cap as usize {
+                    let c = dst.dict.intern(s);
+                    remap[code as usize] = c;
+                    dst.codes.push(c);
+                    delta += 4 + s.len() as i64 + 4;
+                } else {
+                    // The union crosses the cap at this row: spill (via
+                    // push_str below) and finish decoded.
+                    resume = Some(i);
+                    break;
+                }
+            }
+        } else {
+            resume = Some(0);
+        }
+        if let Some(start) = resume {
+            for &code in &src.codes[start..] {
+                let s = src.dict.get(code).expect("codes index the dictionary").to_string();
+                delta += self.push_str(s);
+            }
+        }
+        delta
+    }
+
+    /// On-disk footprint of the column in bytes. Dictionary columns count
+    /// the dictionary once plus 4 B per code.
     pub fn byte_size(&self) -> u64 {
         match self {
             AttributeColumn::Int32(v) => (v.len() * 4) as u64,
@@ -293,6 +748,7 @@ impl AttributeColumn {
             AttributeColumn::Double(v) => (v.len() * 8) as u64,
             AttributeColumn::Char(v) => v.len() as u64,
             AttributeColumn::Str(v) => v.iter().map(|s| s.len() as u64 + 4).sum(),
+            AttributeColumn::Dict(d) => d.byte_size(),
         }
     }
 }
@@ -338,12 +794,110 @@ mod tests {
 
     #[test]
     fn byte_size_counts_payload() {
+        // Default encoding: strings dictionary-encode — each distinct
+        // string once (len + 4) plus a 4 B code per value.
         let mut col = AttributeColumn::new(AttributeType::Str);
-        col.push(ScalarValue::Str("port".into())).unwrap();
-        assert_eq!(col.byte_size(), 4 + 4);
+        assert_eq!(col.push(ScalarValue::Str("port".into())).unwrap(), (4 + 4) + 4);
+        assert_eq!(col.byte_size(), (4 + 4) + 4);
+        assert_eq!(col.push(ScalarValue::Str("port".into())).unwrap(), 4);
+        assert_eq!(col.byte_size(), (4 + 4) + 2 * 4);
+        // Plain encoding: every value stores its own payload.
+        let mut plain = AttributeColumn::with_encoding(AttributeType::Str, StringEncoding::Plain);
+        plain.push(ScalarValue::Str("port".into())).unwrap();
+        plain.push(ScalarValue::Str("port".into())).unwrap();
+        assert_eq!(plain.byte_size(), 2 * (4 + 4));
         let mut ints = AttributeColumn::new(AttributeType::Int64);
-        ints.push(ScalarValue::Int64(7)).unwrap();
+        assert_eq!(ints.push(ScalarValue::Int64(7)).unwrap(), 8);
         assert_eq!(ints.byte_size(), 8);
+    }
+
+    #[test]
+    fn dict_column_interns_and_decodes() {
+        let mut col = AttributeColumn::with_encoding(
+            AttributeType::Str,
+            StringEncoding::Dict { cap: DEFAULT_DICT_CAP },
+        );
+        for s in ["a", "b", "a", "", "b"] {
+            col.push(ScalarValue::Str(s.into())).unwrap();
+        }
+        let d = col.as_dict().expect("under the cap stays dictionary-encoded");
+        assert_eq!(d.codes(), &[0, 1, 0, 2, 1]);
+        assert_eq!(d.dict().strings(), &["a".to_string(), "b".into(), "".into()]);
+        assert_eq!(col.get(3), Some(ScalarValue::Str(String::new())));
+        assert_eq!(col.get_str(4), Some("b"));
+        assert_eq!(col.get(5), None);
+        assert_eq!(col.len(), 5);
+        // Dictionary bytes once (1+4, 1+4, 0+4) plus 4 B per code.
+        assert_eq!(col.byte_size(), (5 + 5 + 4) + 5 * 4);
+    }
+
+    #[test]
+    fn dict_column_spills_past_the_cap() {
+        let mut col =
+            AttributeColumn::with_encoding(AttributeType::Str, StringEncoding::Dict { cap: 2 });
+        col.push(ScalarValue::Str("x".into())).unwrap();
+        col.push(ScalarValue::Str("y".into())).unwrap();
+        col.push(ScalarValue::Str("x".into())).unwrap();
+        let before = col.byte_size() as i64;
+        // The third distinct string crosses cap = 2: the column converts
+        // to plain storage, and the delta accounts for the conversion.
+        let delta = col.push(ScalarValue::Str("z".into())).unwrap();
+        assert!(col.as_dict().is_none(), "column must have spilled to plain");
+        assert_eq!(col.byte_size() as i64, before + delta);
+        assert_eq!(col.byte_size(), 4 * (1 + 4));
+        let got: Vec<_> = (0..4).map(|i| col.get_str(i).unwrap().to_string()).collect();
+        assert_eq!(got, ["x", "y", "x", "z"]);
+        // Further pushes stay plain.
+        assert_eq!(col.push(ScalarValue::Str("w".into())).unwrap(), 1 + 4);
+        assert_eq!(col.len(), 5);
+    }
+
+    #[test]
+    fn append_remaps_codes_across_dictionaries() {
+        let mk = |vals: &[&str], cap: u32| {
+            let mut c =
+                AttributeColumn::with_encoding(AttributeType::Str, StringEncoding::Dict { cap });
+            for v in vals {
+                c.push(ScalarValue::Str((*v).into())).unwrap();
+            }
+            c
+        };
+        // Overlapping dictionaries with different code assignments.
+        let mut dst = mk(&["a", "b"], 16);
+        let src = mk(&["c", "b", "c"], 16);
+        let before = dst.byte_size() as i64;
+        let delta = dst.append(src);
+        assert_eq!(dst.byte_size() as i64, before + delta);
+        let d = dst.as_dict().unwrap();
+        assert_eq!(d.dict().strings(), &["a".to_string(), "b".into(), "c".into()]);
+        assert_eq!(d.codes(), &[0, 1, 2, 1, 2]);
+        // Sequential insertion builds the identical column.
+        assert_eq!(dst, mk(&["a", "b", "c", "b", "c"], 16));
+
+        // A union that crosses the cap spills mid-append, identically to
+        // sequential insertion.
+        let mut tight = mk(&["a", "b"], 2);
+        let delta = tight.append(mk(&["b", "c"], 16));
+        assert!(tight.as_dict().is_none());
+        assert_eq!(tight, {
+            let mut seq = mk(&["a", "b", "b"], 2);
+            seq.push(ScalarValue::Str("c".into())).unwrap();
+            seq
+        });
+        assert_eq!(tight.byte_size() as i64, mk(&["a", "b"], 2).byte_size() as i64 + delta);
+
+        // Cross-representation merges: plain into dict, dict into plain.
+        let mut dict_dst = mk(&["a"], 16);
+        let mut plain = AttributeColumn::with_encoding(AttributeType::Str, StringEncoding::Plain);
+        plain.push(ScalarValue::Str("b".into())).unwrap();
+        dict_dst.append(plain.clone());
+        assert_eq!(dict_dst, mk(&["a", "b"], 16));
+        let pre = plain.byte_size() as i64;
+        let delta = plain.append(mk(&["c", "c"], 16));
+        assert_eq!(plain.byte_size() as i64, pre + delta);
+        assert_eq!(plain.get_str(1), Some("c"));
+        assert_eq!(plain.get_str(2), Some("c"));
+        assert!(plain.as_dict().is_none());
     }
 
     #[test]

@@ -3,9 +3,24 @@
 
 use array_model::{
     chunk_of, gilbert2d, hilbert_coords, hilbert_index, Array, ArrayId, ArraySchema, AttributeDef,
-    AttributeType, CellBuffer, ChunkCoords, DimensionDef, ScalarValue, MAX_DIMS,
+    AttributeType, CellBuffer, ChunkCoords, DimensionDef, ScalarValue, StringEncoding, MAX_DIMS,
 };
 use proptest::prelude::*;
+
+/// A deterministic string from a seed, deliberately covering the nasty
+/// distributions: empty strings, multi-byte unicode, long payloads, and
+/// a numbered tail whose cardinality is high enough to cross small
+/// dictionary caps.
+fn string_for(seed: u64) -> String {
+    match seed % 8 {
+        0 => String::new(),
+        1 => "λ-端口-🚢".to_string(),
+        2 => "port".to_string(),
+        3 => "a-deliberately-long-provenance-string-that-outweighs-its-code".to_string(),
+        4 => "ß".to_string(),
+        _ => format!("s{}", seed % 10_000),
+    }
+}
 
 /// A deterministic scalar of the given type derived from a seed.
 fn value_for(ty: AttributeType, seed: u64) -> ScalarValue {
@@ -15,7 +30,7 @@ fn value_for(ty: AttributeType, seed: u64) -> ScalarValue {
         AttributeType::Float => ScalarValue::Float((seed % 1_000) as f32 / 7.0),
         AttributeType::Double => ScalarValue::Double((seed % 100_000) as f64 / 13.0),
         AttributeType::Char => ScalarValue::Char((seed % 96 + 32) as u8),
-        AttributeType::Str => ScalarValue::Str(format!("s{}", seed % 10_000)),
+        AttributeType::Str => ScalarValue::Str(string_for(seed)),
     }
 }
 
@@ -28,6 +43,42 @@ fn arb_type() -> impl Strategy<Value = AttributeType> {
         Just(AttributeType::Char),
         Just(AttributeType::Str),
     ]
+}
+
+/// A degenerate dict scatter — so many chunks × so many distinct strings
+/// that the dense per-group remap tables would outweigh the data — must
+/// take the row-wise fallback and still build exactly what per-cell
+/// insertion builds (including per-chunk spill decisions).
+#[test]
+fn huge_remap_footprint_falls_back_without_changing_results() {
+    let schema = ArraySchema::new(
+        "W",
+        vec![AttributeDef::new("s", AttributeType::Str)],
+        vec![DimensionDef::bounded("x", 0, 8191, 2)],
+    )
+    .unwrap();
+    // 8192 rows → 4096 chunks; ~4200 distinct strings pushes the
+    // chunks × dictionary product past the dense-remap cap (1 << 24).
+    let rows: Vec<(Vec<i64>, Vec<ScalarValue>)> = (0..8192i64)
+        .map(|x| (vec![x], vec![ScalarValue::Str(format!("u{}", (x * 11) % 4200))]))
+        .collect();
+    let mut buffer = CellBuffer::new(&schema);
+    let mut scratch = Vec::new();
+    let mut per_cell = Array::new(ArrayId(0), schema.clone());
+    for (cell, values) in &rows {
+        per_cell.insert_cell(cell.clone(), values.clone()).expect("in bounds");
+        scratch.extend(values.iter().cloned());
+        buffer.push_row(cell, &mut scratch).expect("schema-shaped");
+    }
+    assert!(buffer.columns()[0].as_dict().expect("transport dict").dict().len() > 4096);
+    let mut batched = Array::new(ArrayId(0), schema.clone());
+    batched.insert_batch(&buffer).expect("in bounds");
+    assert_eq!(batched.chunk_count(), 4096);
+    assert_eq!(batched.byte_size(), per_cell.byte_size());
+    assert_eq!(batched.descriptors(), per_cell.descriptors());
+    for (coords, chunk) in per_cell.chunks() {
+        assert_eq!(batched.chunk(coords), Some(chunk), "chunk {coords} differs");
+    }
 }
 
 prop_compose! {
@@ -383,6 +434,170 @@ proptest! {
                     prop_assert_eq!(chunk.column(ai).expect("schema-shaped").get(row),
                         Some(v.clone()));
                 }
+            }
+        }
+    }
+
+    /// Dictionary encode → decode round-trips over arbitrary string
+    /// distributions (empty, unicode, long payloads, high-cardinality
+    /// tails) and arbitrary caps: every value reads back intact, the
+    /// byte size equals both the incremental deltas and an independent
+    /// recomputation, and the column spills to plain storage exactly
+    /// when the distinct count crosses the cap.
+    #[test]
+    fn dict_column_round_trips_and_spills_at_the_cap(
+        seeds in proptest::collection::vec(any::<u64>(), 1..120),
+        cap in 1u32..12,
+    ) {
+        use array_model::AttributeColumn;
+        let values: Vec<String> = seeds.iter().map(|&s| string_for(s)).collect();
+        let mut col = AttributeColumn::with_encoding(
+            AttributeType::Str,
+            StringEncoding::Dict { cap },
+        );
+        let mut delta_sum = 0i64;
+        for v in &values {
+            delta_sum += col.push(ScalarValue::Str(v.clone())).expect("string column");
+        }
+        prop_assert_eq!(col.len(), values.len());
+        // Round trip, through both accessors.
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(col.get_str(i), Some(v.as_str()));
+            prop_assert_eq!(col.get(i), Some(ScalarValue::Str(v.clone())));
+        }
+        // Spill iff the distinct count crossed the cap.
+        let distinct: std::collections::BTreeSet<&str> =
+            values.iter().map(String::as_str).collect();
+        prop_assert_eq!(
+            col.as_dict().is_none(),
+            distinct.len() > cap as usize,
+            "cap {} with {} distinct strings", cap, distinct.len()
+        );
+        // Bytes: incremental deltas == byte_size() == independent model.
+        prop_assert_eq!(col.byte_size() as i64, delta_sum);
+        let expected: u64 = match col.as_dict() {
+            Some(d) => {
+                // Codes are first-seen order — check against a naive model.
+                let mut model: Vec<&str> = Vec::new();
+                let codes: Vec<u32> = values
+                    .iter()
+                    .map(|v| {
+                        match model.iter().position(|m| m == v) {
+                            Some(p) => p as u32,
+                            None => {
+                                model.push(v);
+                                (model.len() - 1) as u32
+                            }
+                        }
+                    })
+                    .collect();
+                prop_assert_eq!(d.codes(), &codes[..]);
+                let dict: Vec<&str> = d.dict().strings().iter().map(String::as_str).collect();
+                prop_assert_eq!(dict, model.clone());
+                model.iter().map(|s| s.len() as u64 + 4).sum::<u64>()
+                    + 4 * values.len() as u64
+            }
+            None => values.iter().map(|s| s.len() as u64 + 4).sum(),
+        };
+        prop_assert_eq!(col.byte_size(), expected);
+    }
+
+    /// Batched inserts, incremental two-batch merges (the append path
+    /// that remaps codes across dictionaries), and `absorb` of disjoint
+    /// chunk sets are all **structurally identical** to the per-cell
+    /// insert path over dictionary-encoded columns — including when a
+    /// small cap forces mid-stream spills to plain storage.
+    #[test]
+    fn dict_batches_merges_and_absorb_match_per_cell_path(
+        seed in any::<u64>(),
+        count in 2usize..60,
+        cap in 1u32..8,
+        split_pct in 0u64..100,
+    ) {
+        let schema = ArraySchema::new(
+            "D",
+            vec![
+                AttributeDef::new("s", AttributeType::Str),
+                AttributeDef::new("v", AttributeType::Int32),
+                AttributeDef::new("t", AttributeType::Str),
+            ],
+            vec![
+                DimensionDef::bounded("x", 0, 63, 8),
+                DimensionDef::bounded("y", 0, 63, 8),
+            ],
+        ).unwrap();
+        let encoding = StringEncoding::Dict { cap };
+        let cells: Vec<(Vec<i64>, Vec<ScalarValue>)> = (0..count)
+            .map(|i| {
+                let s = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64 * 0x0fed_cba9_8765);
+                let cell = vec![(s % 64) as i64, (s.rotate_left(17) % 64) as i64];
+                let values = vec![
+                    ScalarValue::Str(string_for(s)),
+                    ScalarValue::Int32(s as i32),
+                    ScalarValue::Str(string_for(s.rotate_right(23))),
+                ];
+                (cell, values)
+            })
+            .collect();
+
+        // Reference: per-cell inserts under the same (tiny) cap.
+        let mut per_cell = Array::with_encoding(ArrayId(0), schema.clone(), encoding);
+        for (cell, values) in &cells {
+            per_cell.insert_cell(cell.clone(), values.clone()).expect("in bounds");
+        }
+
+        // One-shot batch.
+        let mut buffer = CellBuffer::new(&schema);
+        let mut scratch = Vec::new();
+        for (cell, values) in &cells {
+            scratch.extend(values.iter().cloned());
+            buffer.push_row(cell, &mut scratch).expect("schema-shaped");
+        }
+        let mut one_shot = Array::with_encoding(ArrayId(0), schema.clone(), encoding);
+        one_shot.insert_batch(&buffer).expect("in bounds");
+
+        // Two batches split mid-stream: the second revisits chunks the
+        // first created, driving the append path's dictionary remaps
+        // (and spills, when the union crosses the cap).
+        let k = ((count as u64 * split_pct / 100) as usize).clamp(1, count - 1);
+        let mut first = CellBuffer::new(&schema);
+        let mut second = CellBuffer::new(&schema);
+        for (i, (cell, values)) in cells.iter().enumerate() {
+            scratch.extend(values.iter().cloned());
+            let dst = if i < k { &mut first } else { &mut second };
+            dst.push_row(cell, &mut scratch).expect("schema-shaped");
+        }
+        let mut merged = Array::with_encoding(ArrayId(0), schema.clone(), encoding);
+        merged.insert_batch_owned(first).expect("in bounds");
+        merged.insert_batch_owned(second).expect("in bounds");
+
+        // Absorb: rows partitioned by owning chunk, so the two halves
+        // hold disjoint chunk sets and merge wholesale.
+        let mut left = Array::with_encoding(ArrayId(0), schema.clone(), encoding);
+        let mut right = Array::with_encoding(ArrayId(0), schema.clone(), encoding);
+        for (cell, values) in &cells {
+            let coords = chunk_of(&schema, cell).expect("in bounds");
+            let dst = if (coords.index(0) + coords.index(1)) % 2 == 0 {
+                &mut left
+            } else {
+                &mut right
+            };
+            dst.insert_cell(cell.clone(), values.clone()).expect("in bounds");
+        }
+        left.absorb(right).expect("disjoint chunk sets");
+
+        for (name, built) in
+            [("insert_batch", &one_shot), ("two-batch merge", &merged), ("absorb", &left)]
+        {
+            prop_assert_eq!(built.cell_count(), per_cell.cell_count(), "{}", name);
+            prop_assert_eq!(built.byte_size(), per_cell.byte_size(), "{}", name);
+            prop_assert_eq!(built.descriptors(), per_cell.descriptors(), "{}", name);
+            for (coords, chunk) in per_cell.chunks() {
+                // Full structural equality: codes, dictionaries, spill
+                // state, counters, and in-chunk cell order.
+                prop_assert_eq!(built.chunk(coords), Some(chunk), "{} at {}", name, coords);
             }
         }
     }

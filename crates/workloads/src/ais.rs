@@ -268,7 +268,10 @@ impl Workload for AisWorkload {
         // byte-weight field), timestamped inside one of the cycle's four
         // 30-day time chunks, attributes per the §3.2 schema. Rows are
         // emitted straight into the batch's columnar buffers through one
-        // reusable scratch — no per-row containers.
+        // reusable scratch — no per-row containers — and the two string
+        // attributes (128 distinct receiver ids, one provenance
+        // constant) intern into the batch's transport dictionaries on
+        // the way in.
         let mut batch = CellBatch::new(BROADCAST, &Self::broadcast_schema());
         let mut vals: Vec<ScalarValue> = Vec::with_capacity(10);
         let mut seen = std::collections::BTreeSet::new();

@@ -12,6 +12,7 @@
 use crate::spec::{CellBatch, SuiteReport, Workload};
 use array_model::{
     Array, ArrayError, ArrayId, ArraySchema, CellBuffer, ChunkCoords, ChunkDescriptor, ChunkKey,
+    StringEncoding,
 };
 use cluster_sim::{gb, Cluster, ClusterError, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
 use elastic_core::{
@@ -142,6 +143,12 @@ pub struct RunnerConfig {
     /// OS threads for the sharded ingest fan-out (routing + placement).
     /// `1` runs the same phases inline; results are identical either way.
     pub ingest_threads: usize,
+    /// Physical representation of string columns in materialized chunks.
+    /// The default dictionary-encodes them; [`StringEncoding::Plain`]
+    /// stores one heap `String` per value. Query answers are identical
+    /// either way (pinned by `tests/materialized_queries.rs`); byte
+    /// accounting, and therefore placement, legitimately differs.
+    pub string_encoding: StringEncoding,
 }
 
 impl RunnerConfig {
@@ -157,6 +164,7 @@ impl RunnerConfig {
             cost: CostModel::default(),
             run_queries: true,
             ingest_threads: 1,
+            string_encoding: StringEncoding::default(),
         }
     }
 }
@@ -287,7 +295,22 @@ pub fn build_cell_array(
     rows: CellBuffer,
     threads: usize,
 ) -> Result<Array, ArrayError> {
-    let mut fresh = Array::new(id, schema);
+    build_cell_array_encoded(id, schema, rows, threads, StringEncoding::default())
+}
+
+/// [`build_cell_array`] with an explicit storage-side string encoding:
+/// the default dictionary-encodes chunk string columns (a batch whose
+/// transport is also dictionary-encoded scatters them as `u32` code
+/// remaps); [`StringEncoding::Plain`] reproduces the one-`String`-per-
+/// value representation for differential comparison.
+pub fn build_cell_array_encoded(
+    id: ArrayId,
+    schema: ArraySchema,
+    rows: CellBuffer,
+    threads: usize,
+    encoding: StringEncoding,
+) -> Result<Array, ArrayError> {
+    let mut fresh = Array::with_encoding(id, schema, encoding);
     let workers = threads.max(1);
     if workers == 1 || rows.len() < PARALLEL_BUILD_MIN_ROWS {
         // Inline build: one validation + route pass, values moved.
@@ -310,7 +333,7 @@ pub fn build_cell_array(
                 let routed = &routed;
                 let rows = &rows;
                 scope.spawn(move || {
-                    let mut part = Array::new(id, schema);
+                    let mut part = Array::with_encoding(id, schema, encoding);
                     part.insert_routed_rows(rows, routed, bucket)
                         .expect("batch was validated against this same schema");
                     part
@@ -503,8 +526,14 @@ impl<'w> WorkloadRunner<'w> {
                 Ok(stored) => stored.schema.clone(),
                 Err(_) => return Err(CycleError::UnknownArray { cycle, array: b.array }),
             };
-            let fresh = build_cell_array(b.array, schema, b.into_rows(), threads)
-                .map_err(|source| CycleError::Materialize { cycle, source })?;
+            let fresh = build_cell_array_encoded(
+                b.array,
+                schema,
+                b.into_rows(),
+                threads,
+                self.config.string_encoding,
+            )
+            .map_err(|source| CycleError::Materialize { cycle, source })?;
             out.push(fresh);
         }
         Ok(out)
@@ -672,6 +701,7 @@ mod tests {
             cost: CostModel::default(),
             run_queries: true,
             ingest_threads: 1,
+            string_encoding: StringEncoding::default(),
         }
     }
 

@@ -23,8 +23,8 @@ pub mod synthetic;
 
 pub use ais::AisWorkload;
 pub use cycle::{
-    build_cell_array, CycleError, CycleReport, RunReport, RunnerConfig, ScalingPolicy,
-    WorkloadRunner,
+    build_cell_array, build_cell_array_encoded, CycleError, CycleReport, RunReport, RunnerConfig,
+    ScalingPolicy, WorkloadRunner,
 };
 pub use modis::ModisWorkload;
 pub use rand_util::{lognormal, rng_for, standard_normal, zipf_weight};

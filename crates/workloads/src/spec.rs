@@ -67,7 +67,10 @@ impl SuiteReport {
 /// Rows live in a flat [`CellBuffer`] — one contiguous coordinate buffer
 /// plus per-attribute columnar value buffers — which the generators emit
 /// into directly, so a batch of `n` rows costs O(1) amortized
-/// allocations per row instead of two `Vec`s per cell.
+/// allocations per row instead of two `Vec`s per cell. String values
+/// intern through the buffer's per-column transport dictionary on the
+/// way in: the batch stores each distinct string once plus a `u32` code
+/// per row, and the chunk builder scatters the codes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellBatch {
     /// The array the cells belong to.

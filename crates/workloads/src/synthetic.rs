@@ -215,6 +215,7 @@ mod tests {
             cost: CostModel::default(),
             run_queries: true,
             ingest_threads: 1,
+            string_encoding: array_model::StringEncoding::default(),
         }
     }
 

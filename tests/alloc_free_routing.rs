@@ -230,6 +230,83 @@ fn materialized_flat_ingest_allocations_are_amortized_per_row() {
     );
 }
 
+/// The dictionary-encoded string scatter must be allocation-lean like
+/// the fixed-width path: O(1) **amortized** allocations per row, with
+/// **zero per-value `String` allocations** for under-cap columns. A
+/// buffered string row is a `u32` code; scattering it into its chunk is
+/// a code copy through a per-chunk remap table, so heap traffic scales
+/// with `chunks × distinct strings` (dictionary clones + remap tables +
+/// amortized buffer growth), never with rows. The plain-encoded build of
+/// the very same rows allocates at least one `String` per value — the
+/// contrast leg pins that the budget below is only meetable because the
+/// dictionary path really does skip per-row string work.
+#[test]
+fn dict_scatter_allocations_are_amortized_and_string_free() {
+    use elastic_array_db::array::StringEncoding;
+
+    let rows_n: i64 = 100_000;
+    // Two string attributes, 32 distinct values each (far under the
+    // cap), over a geometry that lands the batch in 64 chunks.
+    let schema =
+        ArraySchema::parse("D<recv:string, tag:string, v:int32>[t=0:*,64, x=0:255,32, y=0:255,32]")
+            .unwrap();
+    let emit = |encoding: StringEncoding| {
+        let mut batch = CellBuffer::with_encoding(&schema, encoding);
+        let mut vals: Vec<ScalarValue> = Vec::with_capacity(3);
+        for i in 0..rows_n {
+            let cell = [(i % 64), (i % 256), ((i / 256) % 256)];
+            vals.extend([
+                ScalarValue::Str(format!("r{:03}", i % 32)),
+                ScalarValue::Str(format!("tag-{}", (i / 7) % 32)),
+                ScalarValue::Int32(i as i32),
+            ]);
+            batch.push_row(&cell, &mut vals).expect("schema-shaped row");
+        }
+        batch
+    };
+
+    // Dictionary leg: transport-encoded batch into dictionary chunks.
+    let batch = emit(StringEncoding::transport());
+    let start = allocation_count();
+    let mut array = Array::new(ArrayId(0), schema.clone());
+    array.insert_batch_owned(batch).expect("in bounds");
+    let dict_allocs = allocation_count() - start;
+    let chunks = array.chunk_count() as i64;
+    assert_eq!(array.cell_count(), rows_n as u64);
+    assert!(chunks >= 64, "want a real chunk population, got {chunks}");
+    assert!(
+        (dict_allocs as i64) < rows_n / 8,
+        "dict-encoded scatter of {rows_n} rows into {chunks} chunks allocated \
+         {dict_allocs} times — not O(1) amortized per row"
+    );
+    // Per-value string allocations would cost >= 2 x rows on their own;
+    // the whole build must fit in a chunks-and-cardinality budget
+    // (2 string columns x (32 dictionary clones + map/table growth) plus
+    // per-chunk buffers), which per-row traffic would blow instantly.
+    assert!(
+        (dict_allocs as i64) < chunks * 120,
+        "{dict_allocs} allocations exceed the per-chunk dictionary budget \
+         ({chunks} chunks) — something on the scatter path allocates per row"
+    );
+
+    // Contrast leg: the plain build of the same rows pays one String
+    // move per value — its buffer alone holds 2 x rows Strings, so
+    // emitting + building allocates per value. (Emission is included
+    // here: a plain CellBuffer cannot intern, so the per-value
+    // allocations happen there and are *moved* into the chunks.)
+    let start = allocation_count();
+    let plain_batch = emit(StringEncoding::Plain);
+    let mut plain_array = Array::with_encoding(ArrayId(1), schema.clone(), StringEncoding::Plain);
+    plain_array.insert_batch_owned(plain_batch).expect("in bounds");
+    let plain_allocs = allocation_count() - start;
+    assert_eq!(plain_array.cell_count(), rows_n as u64);
+    assert!(
+        (plain_allocs as i64) >= 2 * rows_n,
+        "plain strings should allocate per value (got {plain_allocs} for {rows_n} rows); \
+         if this starts passing, the contrast leg no longer proves anything"
+    );
+}
+
 #[test]
 fn dense_placement_insert_is_allocation_free_after_warmup() {
     let mut cluster = Cluster::new(8, u64::MAX, CostModel::default()).unwrap();

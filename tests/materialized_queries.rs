@@ -22,8 +22,15 @@
 //!    validated against the payloads: descriptor `bytes`/`cells` equal
 //!    the stored chunks exactly, full-width scans account every stored
 //!    byte exactly, and the fixed-width attribute-fraction estimate lands
-//!    within a documented ±35 % of the true column bytes (strings are
-//!    estimated at 16 B/value; the AIS feed stores 8–12 B).
+//!    within a documented, encoding-specific bound of the true column
+//!    bytes (see `check_ais_model_tolerances` for the derivation);
+//! 4. **encoding invariance** — the same run executed with
+//!    dictionary-encoded string columns (the default) and with plain
+//!    per-value strings must produce **bit-identical** answers for every
+//!    operator family, for all 8 partitioners, at every cycle (so across
+//!    every scale-out + rebalance either run triggers). Byte accounting
+//!    legitimately differs between the encodings — placement may too —
+//!    but the answer space may not.
 
 use elastic_array_db::prelude::*;
 use query_engine::ops;
@@ -36,6 +43,14 @@ use std::collections::{BTreeMap, BTreeSet};
 type Row = (Vec<i64>, Vec<ScalarValue>);
 
 fn config(kind: PartitionerKind, node_capacity: u64) -> RunnerConfig {
+    config_encoded(kind, node_capacity, StringEncoding::default())
+}
+
+fn config_encoded(
+    kind: PartitionerKind,
+    node_capacity: u64,
+    string_encoding: StringEncoding,
+) -> RunnerConfig {
     RunnerConfig {
         node_capacity,
         initial_nodes: 2,
@@ -45,6 +60,7 @@ fn config(kind: PartitionerKind, node_capacity: u64) -> RunnerConfig {
         cost: CostModel::default(),
         run_queries: false,
         ingest_threads: 1,
+        string_encoding,
     }
 }
 
@@ -79,6 +95,57 @@ fn store_only_catalog(runner: &WorkloadRunner<'_>, ids: &[ArrayId]) -> Catalog {
 }
 
 // ---------------------------------------------------------------- AIS --
+
+/// Every operator family's answer over AIS cycle 0's fixed probe region,
+/// captured in bit-comparable form. Float-valued outputs are stored as
+/// `to_bits()`, so comparing two snapshots with `assert_eq!` demands
+/// **bit-identical** answers — the contract between the dictionary-
+/// encoded and plain-string builds of the same run.
+#[derive(Debug, PartialEq)]
+struct ProbeAnswers {
+    subarray: Vec<Row>,
+    filter_count: u64,
+    distinct_ids: Vec<i64>,
+    median_bits: Option<u64>,
+    groups: Vec<(Vec<i64>, u64, u64)>,
+    trajectory: (u64, u64),
+    knn: Vec<ops::KnnAnswer>,
+}
+
+/// Collect the probe answers from a run's current placement. Sorting the
+/// subarray rows removes the one legitimate order difference (chunk
+/// iteration order can differ between placements); every value inside a
+/// row — including the decoded strings — must match exactly.
+fn ais_probe_answers(w: &AisWorkload, cluster: &Cluster, catalog: &Catalog) -> ProbeAnswers {
+    let ctx = ExecutionContext::new(cluster, catalog);
+    let probe = AisWorkload::cycle_region(0);
+    let (cells, _) = ops::subarray(&ctx, BROADCAST, &probe, &[]).unwrap();
+    let mut subarray = cells.cells.clone();
+    subarray.sort_by(|a, b| a.0.cmp(&b.0));
+    let (filter_count, _) =
+        ops::filter_count(&ctx, BROADCAST, &probe, "speed", |v| v >= 10.0).unwrap();
+    let (distinct_ids, _) = ops::distinct_sorted(&ctx, BROADCAST, Some(&probe), "ship_id").unwrap();
+    let (q, _) = ops::quantile(&ctx, BROADCAST, Some(&probe), "speed", 0.5, 1.0).unwrap();
+    let spec = ops::GroupSpec::coarsened(vec![1, 2], vec![8, 8]);
+    let (rows, _) =
+        ops::grid_aggregate(&ctx, BROADCAST, Some(&probe), "speed", &spec, ops::AggFn::Sum)
+            .unwrap();
+    let mut groups: Vec<(Vec<i64>, u64, u64)> =
+        rows.iter().map(|r| (r.key.clone(), r.value.to_bits(), r.cells)).collect();
+    groups.sort();
+    let newest = Region::new(vec![3 * 43_200, -180, 0], vec![4 * 43_200 - 1, -66, 90]);
+    let (traj, _) = ops::trajectory(&ctx, BROADCAST, &newest, "speed", "course", 0.25).unwrap();
+    let (knn, _) = ops::knn(&ctx, BROADCAST, &w.knn_queries(0, 8), 5).unwrap();
+    ProbeAnswers {
+        subarray,
+        filter_count,
+        distinct_ids,
+        median_bits: q.value.map(f64::to_bits),
+        groups,
+        trajectory: (traj.projected, traj.collision_candidates),
+        knn,
+    }
+}
 
 /// Oracle + operator checks over AIS cycle 0's fixed probe region. Run
 /// after every cycle: later cycles only append later time chunks, so
@@ -174,10 +241,34 @@ fn check_ais_probe(
 /// Model-vs-exact validation at the end of a run: the metadata estimates
 /// the cost path uses must agree with (full-width scans) or bracket
 /// (fixed-width attribute fractions) the stored payloads.
+///
+/// The attribute-fraction bound is re-derived per string encoding. A
+/// broadcast row stores 24 coordinate bytes + 37 B of fixed-width
+/// attributes; its two strings are a 4 B receiver id and the 8 B
+/// `"ais-feed"` provenance constant. The model estimates every string at
+/// `fixed_width() = 4` (one dictionary code; dictionary payloads
+/// amortize toward zero), so the modeled row is 24 + 37 + 4 + 4 = 69 B:
+///
+/// * **dictionary-encoded** payloads store 69 B/row of codes plus the
+///   per-chunk dictionaries, so the speed-scan estimate
+///   `(28 / 69) × descriptor_bytes` overshoots the exact `28 B/row` by
+///   the per-row dictionary share. That share is scale-dependent: it is
+///   bounded above by the degenerate every-string-distinct case
+///   (`89/69 − 1 ≈ 29 %`) and falls toward zero as rows-per-chunk grow
+///   (the AIS columns carry ≤ 129 distinct strings per chunk however
+///   many rows land there). At this suite's deliberately tiny scale —
+///   a few rows per chunk — the measured overshoot is ≈ 13 %.
+///   Documented bound: **±20 %**.
+/// * **plain** payloads store the full 81 B/row (each string re-stores
+///   its payload + a 4 B length) at any scale, so the same estimate
+///   overshoots by `81/69 − 1 ≈ 17.4 %`. Documented bound: **±25 %**
+///   (the pre-dictionary model estimated strings at 16 B and needed
+///   ±35 %).
 fn check_ais_model_tolerances(
     runner: &WorkloadRunner<'_>,
     all_rows: &[Row],
     kind: PartitionerKind,
+    encoding: StringEncoding,
 ) {
     let catalog = runner.catalog();
     let cluster = runner.cluster();
@@ -188,31 +279,36 @@ fn check_ais_model_tolerances(
     let model_cells: u64 = broadcast.descriptors.values().map(|d| d.cells).sum();
     assert_eq!(model_cells, all_rows.len() as u64, "{kind}: descriptor cell totals");
 
-    // A full-width scan accounts every stored byte exactly.
+    // A full-width scan accounts every stored byte exactly — whatever
+    // the encoding, descriptors carry the payloads' true byte sizes.
     let everything = Region::new(vec![0, -180, 0], vec![i64::MAX / 2, -66, 90]);
     let (cells, stats) = ops::subarray(&ctx, BROADCAST, &everything, &[]).unwrap();
     assert_eq!(cells.len(), all_rows.len(), "{kind}: full scan returns every cell");
     assert_eq!(stats.bytes_scanned, broadcast.byte_size(), "{kind}: full-width scan bytes");
 
     // Single-attribute scans use the fixed-width fraction estimate; the
-    // true column bytes differ because strings are estimated at 16 B but
-    // store 8–12 B here. Documented tolerance: ±35 %.
+    // encoding-specific bounds are derived in the doc comment above.
+    let bound = match encoding {
+        StringEncoding::Dict { .. } => 0.20,
+        StringEncoding::Plain => 0.25,
+    };
     let (_, stats) =
         ops::filter_count(&ctx, BROADCAST, &everything, "speed", |v| v > 1e18).unwrap();
     let exact_bytes: u64 = all_rows.len() as u64 * (3 * 8 + 4); // coords + int32 speed
     let rel = (stats.bytes_scanned as f64 - exact_bytes as f64).abs() / exact_bytes as f64;
     assert!(
-        rel < 0.35,
-        "{kind}: attribute-fraction model off by {rel:.3} (model {} vs exact {exact_bytes})",
+        rel < bound,
+        "{kind}/{encoding:?}: attribute-fraction model off by {rel:.3} \
+         (model {} vs exact {exact_bytes}, documented bound {bound})",
         stats.bytes_scanned
     );
 }
 
 fn run_ais_differential(cells_per_cycle: u64, cycles: usize) {
     let w = AisWorkload { cycles, scale: 0.05, seed: 21, cells_per_cycle };
-    // ~98 B/row including the derived products; sized so the run crosses
+    // ~90 B/row including the derived products; sized so the run crosses
     // the 80 % trigger repeatedly and rebalances move stored chunks.
-    let node_capacity = cells_per_cycle * 98;
+    let node_capacity = cells_per_cycle * 90;
     let batches: Vec<Vec<Row>> =
         (0..cycles).map(|c| w.cell_batch(c).unwrap().remove(0).cells()).collect();
     let all_rows: Vec<Row> = batches.iter().flatten().cloned().collect();
@@ -220,15 +316,39 @@ fn run_ais_differential(cells_per_cycle: u64, cycles: usize) {
     let mut knn_reference: Option<Vec<ops::KnnAnswer>> = None;
     for kind in PartitionerKind::ALL {
         let mut runner = WorkloadRunner::new(&w, config(kind, node_capacity));
+        // The same run with plain (pre-dictionary) string storage,
+        // advanced in lockstep: the dictionary-encoded build's answers
+        // must equal the plain build's bit-for-bit at every cycle, even
+        // though the two runs' byte accounting — and therefore their
+        // placements and rebalances — legitimately diverge.
+        let mut plain_runner =
+            WorkloadRunner::new(&w, config_encoded(kind, node_capacity, StringEncoding::Plain));
         for c in 0..cycles {
             runner.run_cycle(c).unwrap();
+            plain_runner.run_cycle(c).unwrap();
             // The cycle-0 probe answers survive every scale-out +
             // rebalance later cycles trigger.
             check_ais_probe(runner.cluster(), runner.catalog(), &batches[0], kind, c);
+            assert_eq!(
+                ais_probe_answers(&w, runner.cluster(), runner.catalog()),
+                ais_probe_answers(&w, plain_runner.cluster(), plain_runner.catalog()),
+                "{kind}/cycle{c}: dict-encoded answers diverge from the plain-string build"
+            );
         }
         assert!(runner.cluster().node_count() > 2, "{kind}: the run never scaled out");
         assert_payload_integrity(&runner, BROADCAST);
-        check_ais_model_tolerances(&runner, &all_rows, kind);
+        assert_payload_integrity(&plain_runner, BROADCAST);
+        check_ais_model_tolerances(&runner, &all_rows, kind, StringEncoding::default());
+        check_ais_model_tolerances(&plain_runner, &all_rows, kind, StringEncoding::Plain);
+        // Dictionary encoding must actually shrink the stored bytes —
+        // otherwise the "encoding" under test silently fell back to
+        // plain storage.
+        let dict_bytes = runner.catalog().array(BROADCAST).unwrap().byte_size();
+        let plain_bytes = plain_runner.catalog().array(BROADCAST).unwrap().byte_size();
+        assert!(
+            dict_bytes < plain_bytes,
+            "{kind}: dict bytes {dict_bytes} not below plain bytes {plain_bytes}"
+        );
 
         // Node-store path == catalog path, answers and stats alike.
         let stripped = store_only_catalog(&runner, &[BROADCAST]);
@@ -530,4 +650,57 @@ fn materialized_smoke() {
     run_ais_differential(8_000, 4);
     run_modis_differential(5_000, 4);
     run_synthetic_differential(250, 6);
+}
+
+/// The dictionary-encoding differential at CI smoke scale, run in
+/// release by the `dict-smoke` job: the string-bearing AIS run, with
+/// enough rows that every port chunk's receiver dictionary saturates its
+/// 128 distinct ids, compared dict-vs-plain at every cycle (the
+/// comparison is built into `run_ais_differential`), plus a spill
+/// exercise: a run whose chunk columns use a tiny cardinality cap must
+/// spill to plain storage per chunk and *still* answer bit-identically.
+#[test]
+#[ignore = "heavy: run in release via the dict-smoke CI job"]
+fn dict_smoke() {
+    run_ais_differential(10_000, 4);
+
+    // Spill leg: cap far below the 128 distinct receiver ids, so every
+    // busy chunk's receiver column crosses the cap and spills while the
+    // constant provenance column stays dictionary-encoded.
+    let w = AisWorkload { cycles: 3, scale: 0.05, seed: 21, cells_per_cycle: 6_000 };
+    let batches: Vec<Vec<Row>> =
+        (0..3).map(|c| w.cell_batch(c).unwrap().remove(0).cells()).collect();
+    for kind in [PartitionerKind::HilbertCurve, PartitionerKind::ConsistentHash] {
+        let mut capped = WorkloadRunner::new(
+            &w,
+            config_encoded(kind, 6_000 * 90, StringEncoding::Dict { cap: 8 }),
+        );
+        let mut plain =
+            WorkloadRunner::new(&w, config_encoded(kind, 6_000 * 90, StringEncoding::Plain));
+        for c in 0..3 {
+            capped.run_cycle(c).unwrap();
+            plain.run_cycle(c).unwrap();
+            check_ais_probe(capped.cluster(), capped.catalog(), &batches[0], kind, c);
+            assert_eq!(
+                ais_probe_answers(&w, capped.cluster(), capped.catalog()),
+                ais_probe_answers(&w, plain.cluster(), plain.catalog()),
+                "{kind}/cycle{c}: spilled dict answers diverge from the plain build"
+            );
+        }
+        assert_payload_integrity(&capped, BROADCAST);
+        // The cap really bit: at least one chunk's receiver column must
+        // have spilled to plain storage while provenance stayed encoded.
+        let stored = capped.catalog().array(BROADCAST).unwrap();
+        let data = stored.data.as_ref().expect("materialized catalog storage");
+        let receiver_idx = 8;
+        let provenance_idx = 9;
+        assert!(
+            data.chunks().any(|(_, ch)| ch.column(receiver_idx).unwrap().as_dict().is_none()),
+            "{kind}: no receiver column spilled under cap 8"
+        );
+        assert!(
+            data.chunks().all(|(_, ch)| ch.column(provenance_idx).unwrap().as_dict().is_some()),
+            "{kind}: the single-string provenance column must never spill"
+        );
+    }
 }

@@ -244,6 +244,7 @@ fn plain_config(kind: PartitionerKind, node_capacity: u64) -> RunnerConfig {
         cost: CostModel::default(),
         run_queries: false,
         ingest_threads: 2,
+        string_encoding: StringEncoding::default(),
     }
 }
 

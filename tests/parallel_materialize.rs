@@ -28,6 +28,7 @@ fn config(kind: PartitionerKind, node_capacity: u64, threads: usize) -> RunnerCo
         cost: CostModel::default(),
         run_queries: false,
         ingest_threads: threads,
+        string_encoding: StringEncoding::default(),
     }
 }
 

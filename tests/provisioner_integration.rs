@@ -66,6 +66,7 @@ fn staircase_config(p: usize) -> RunnerConfig {
         cost: CostModel::default(),
         run_queries: false,
         ingest_threads: 1,
+        string_encoding: StringEncoding::default(),
     }
 }
 
