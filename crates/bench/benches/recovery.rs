@@ -1,0 +1,117 @@
+//! Crash → plan → repair recovery cost on a replicated cluster.
+//!
+//! A `k = 2` cluster is populated with chunk metadata, one node is
+//! crashed (promoting its primaries, dropping its replica copies), and
+//! the repair planner + executor rebuild full strength through the same
+//! half-duplex contention solver the workload runner prices repairs
+//! with. The flaky variant injects deterministic flow failures so the
+//! bounded-exponential-backoff retry path is part of the measurement.
+//! Prints the `repair_secs_median=` marker BENCH_recovery.json and the
+//! fault-smoke CI job grep for.
+//!
+//! Set `RECOVERY_CHUNKS` to override the chunk population.
+
+use array_model::{ArrayId, ChunkCoords, ChunkDescriptor, ChunkKey};
+use cluster_sim::{BackoffPolicy, Cluster, CostModel, Flakiness, NodeId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const NODES: usize = 8;
+const K: usize = 2;
+const CHUNK_BYTES: u64 = 500_000;
+
+fn chunk_count() -> usize {
+    std::env::var("RECOVERY_CHUNKS").ok().and_then(|v| v.parse().ok()).unwrap_or(4_096)
+}
+
+/// A k-replicated cluster with every chunk at full strength.
+fn populated(chunks: usize) -> Cluster {
+    let mut cluster = Cluster::with_replication(NODES, u64::MAX, CostModel::default(), K).unwrap();
+    for i in 0..chunks {
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([i as i64]));
+        let desc = ChunkDescriptor::new(key, CHUNK_BYTES, CHUNK_BYTES / 64);
+        cluster.place(desc, NodeId((i % NODES) as u32)).unwrap();
+    }
+    assert!(cluster.replica_census().is_full_strength());
+    cluster
+}
+
+fn bench(c: &mut Criterion) {
+    let chunks = chunk_count();
+    let pristine = populated(chunks);
+    let cost = CostModel::default();
+
+    // Deterministic preview outside the timing loop: the same crash +
+    // repair every iteration runs, solved once for the simulated-seconds
+    // marker. The schedule is fixed, so the median over runs IS the
+    // single solved value.
+    {
+        let mut cluster = pristine.clone();
+        let report = cluster.crash_node(NodeId(1)).unwrap();
+        let plan = cluster.plan_recovery();
+        let jobs = plan.jobs.len();
+        assert!(jobs > 0, "a crash on a populated k=2 cluster must need repairs");
+        let outcome = cluster.execute_recovery(&plan, &BackoffPolicy::default());
+        assert!(cluster.replica_census().is_full_strength());
+        eprintln!(
+            "recovery: {chunks} chunks, crash promoted {} + dropped {} copies -> {jobs} \
+             repair jobs, {} bytes, repair_secs_median={:.6}",
+            report.promoted,
+            report.dropped_replicas,
+            outcome.repair_bytes(),
+            outcome.repair_secs(&cost),
+        );
+    }
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+
+    // Planner alone: one census-shaped sweep over a degraded cluster.
+    let degraded = {
+        let mut cluster = pristine.clone();
+        cluster.crash_node(NodeId(1)).unwrap();
+        cluster
+    };
+    group.bench_function(format!("plan/{chunks}-chunks"), |b| {
+        b.iter(|| black_box(degraded.plan_recovery().jobs.len()))
+    });
+
+    // Full cycle: crash + plan + execute + price the flows — what one
+    // faulted runner cycle pays on top of its normal phases.
+    group.bench_function(format!("crash-repair/{chunks}-chunks"), |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut cluster| {
+                cluster.crash_node(NodeId(1)).unwrap();
+                let plan = cluster.plan_recovery();
+                let outcome = cluster.execute_recovery(&plan, &BackoffPolicy::default());
+                black_box(outcome.repair_secs(&cost))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Same cycle under 10 % flow flakiness: deterministic per-(key,
+    // attempt) failures force retries through the backoff ladder.
+    group.bench_function(format!("crash-repair-flaky/{chunks}-chunks"), |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut cluster| {
+                cluster.crash_node(NodeId(1)).unwrap();
+                let plan = cluster.plan_recovery();
+                let outcome = cluster.execute_recovery_with(
+                    &plan,
+                    &BackoffPolicy::default(),
+                    Some(Flakiness { p: 0.1, seed: 0xF1A2 }),
+                    None,
+                );
+                black_box(outcome.retries)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

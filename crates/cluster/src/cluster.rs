@@ -2,12 +2,19 @@
 
 use crate::cost::CostModel;
 use crate::error::{ClusterError, Result};
-use crate::node::{Node, NodeId};
-use crate::placement::{DenseMeta, PlacementIndex, PlacementShard, SHARD_COUNT};
+use crate::node::{Node, NodeId, NodeState};
+use crate::placement::{
+    key_hash, splitmix64, DenseMeta, PlacementIndex, PlacementShard, SHARD_COUNT,
+};
 use crate::rebalance::RebalancePlan;
 use crate::transfer::FlowSet;
 use array_model::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Salt mixed into the chunk-key hash so the replica ring start is
+/// decorrelated from the spill-shard and diversion hashes of the same key.
+const REPLICA_ROUTE_SALT: u64 = 0x9e37_79b9_85eb_ca77;
 
 /// Running moments of the per-node byte loads, maintained incrementally so
 /// the balance census after every insert is O(1) instead of a rescan of
@@ -17,7 +24,7 @@ use std::sync::Arc;
 /// the `u64` byte ledgers), `n·Σx² − (Σx)²` fits in `u128`, so uniform
 /// loads yield exactly zero variance — no floating-point cancellation.
 #[derive(Debug, Clone, Copy, Default)]
-struct BalanceStats {
+pub(crate) struct BalanceStats {
     /// Σ load over nodes.
     sum: u128,
     /// Σ load² over nodes.
@@ -26,7 +33,7 @@ struct BalanceStats {
 
 impl BalanceStats {
     #[inline]
-    fn on_change(&mut self, old: u64, new: u64) {
+    pub(crate) fn on_change(&mut self, old: u64, new: u64) {
         self.sum = self.sum - u128::from(old) + u128::from(new);
         self.sumsq =
             self.sumsq - u128::from(old) * u128::from(old) + u128::from(new) * u128::from(new);
@@ -129,15 +136,39 @@ fn admit_group(
 /// is O(1) thanks to incrementally maintained load moments.
 #[derive(Debug, Clone)]
 pub struct Cluster {
-    nodes: Vec<Node>,
-    placement: PlacementIndex,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) placement: PlacementIndex,
     cost: CostModel,
-    balance: BalanceStats,
+    pub(crate) balance: BalanceStats,
+    /// Replication factor `k`: total copies (primary + k−1 replicas) each
+    /// placed chunk targets. `1` (the default) is the pre-replication
+    /// behavior, bit-for-bit.
+    pub(crate) replication: usize,
+    /// Authoritative replica-holder index: which nodes carry a secondary
+    /// copy of each chunk, in replica-route order. Kept in lockstep with
+    /// the per-node replica stores ([`Cluster::verify_replica_books`]).
+    /// Empty at `k = 1`.
+    pub(crate) replicas: BTreeMap<ChunkKey, Vec<NodeId>>,
 }
 
 impl Cluster {
     /// A cluster of `node_count` empty nodes of equal `capacity_bytes`.
     pub fn new(node_count: usize, capacity_bytes: u64, cost: CostModel) -> Result<Self> {
+        Cluster::with_replication(node_count, capacity_bytes, cost, 1)
+    }
+
+    /// Like [`Cluster::new`], with a replication factor `k` (clamped to
+    /// ≥ 1): every subsequently placed chunk targets `k` copies on `k`
+    /// distinct nodes — the primary where the partitioner routed it, plus
+    /// `k−1` replicas on a deterministic secondary route derived from the
+    /// chunk key. Fewer eligible nodes than `k` means fewer copies (the
+    /// census reflects the effective target).
+    pub fn with_replication(
+        node_count: usize,
+        capacity_bytes: u64,
+        cost: CostModel,
+        replication: usize,
+    ) -> Result<Self> {
         if node_count == 0 {
             return Err(ClusterError::EmptyCluster);
         }
@@ -147,7 +178,14 @@ impl Cluster {
             placement: PlacementIndex::new(),
             cost,
             balance: BalanceStats::default(),
+            replication: replication.max(1),
+            replicas: BTreeMap::new(),
         })
+    }
+
+    /// The replication factor `k` in force.
+    pub fn replication(&self) -> usize {
+        self.replication
     }
 
     /// Register the chunk-grid extents of an array so its placements use
@@ -164,9 +202,55 @@ impl Cluster {
         &self.cost
     }
 
-    /// The coordinator node (always the first).
+    /// The coordinator node: the first node still in service (§3.4's
+    /// insert distributor). With no faults this is always node 0, the
+    /// pre-fault behavior; after node 0 crashes the next serving node in
+    /// join order deterministically takes over.
     pub fn coordinator(&self) -> NodeId {
-        self.nodes[0].id
+        self.nodes.iter().find(|n| n.state().serves_reads()).map_or(self.nodes[0].id, |n| n.id)
+    }
+
+    /// Whether any node is out of full service — the cheap guard callers
+    /// check before paying for route diversion or failover scans.
+    pub fn has_faulted_nodes(&self) -> bool {
+        self.nodes.iter().any(|n| n.state() != NodeState::Healthy)
+    }
+
+    /// Transition a `Healthy` node to `Draining`: it keeps serving reads
+    /// but stops accepting placements, replicas, and repairs — the
+    /// scale-IN preparation state.
+    pub fn start_draining(&mut self, id: NodeId) -> Result<()> {
+        let node = self.nodes.get_mut(id.0 as usize).ok_or(ClusterError::UnknownNode(id.0))?;
+        if node.state() != NodeState::Healthy {
+            return Err(ClusterError::NodeUnavailable { node: id.0, state: node.state() });
+        }
+        node.set_state(NodeState::Draining);
+        Ok(())
+    }
+
+    /// Revive a `Crashed` node into `Recovering`: it rejoins empty,
+    /// accepts data again (that is how it refills), and serves what it
+    /// holds until [`Cluster::mark_recovered`] promotes it.
+    pub fn revive_node(&mut self, id: NodeId) -> Result<()> {
+        let node = self.nodes.get_mut(id.0 as usize).ok_or(ClusterError::UnknownNode(id.0))?;
+        if node.state() != NodeState::Crashed {
+            return Err(ClusterError::NodeUnavailable { node: id.0, state: node.state() });
+        }
+        node.set_state(NodeState::Recovering);
+        Ok(())
+    }
+
+    /// Return a `Recovering` (or `Draining`, cancelling the drain) node
+    /// to full `Healthy` service.
+    pub fn mark_recovered(&mut self, id: NodeId) -> Result<()> {
+        let node = self.nodes.get_mut(id.0 as usize).ok_or(ClusterError::UnknownNode(id.0))?;
+        match node.state() {
+            NodeState::Recovering | NodeState::Draining => {
+                node.set_state(NodeState::Healthy);
+                Ok(())
+            }
+            state => Err(ClusterError::NodeUnavailable { node: id.0, state }),
+        }
     }
 
     /// Current node count.
@@ -207,9 +291,13 @@ impl Cluster {
     }
 
     /// Place a brand-new chunk on `node`. O(1) and allocation-free for
-    /// registered arrays.
+    /// registered arrays at `k = 1`; with `k ≥ 2` the chunk's replica set
+    /// is admitted on its deterministic secondary route as well.
     pub fn place(&mut self, desc: ChunkDescriptor, node: NodeId) -> Result<()> {
         let n = self.nodes.get_mut(node.0 as usize).ok_or(ClusterError::UnknownNode(node.0))?;
+        if !n.state().accepts_data() {
+            return Err(ClusterError::NodeUnavailable { node: node.0, state: n.state() });
+        }
         if self.placement.get(&desc.key).is_some() {
             return Err(ClusterError::DuplicateChunk(desc.key));
         }
@@ -218,7 +306,45 @@ impl Cluster {
         n.admit(desc);
         let new = n.used_bytes();
         self.balance.on_change(old, new);
+        if self.replication > 1 {
+            self.place_replicas(&desc);
+        }
         Ok(())
+    }
+
+    /// Admit `desc`'s replica set on the chunk's deterministic secondary
+    /// route: a ring walk from a salted hash of the key, skipping the
+    /// primary and every node not accepting data. Places up to `k−1`
+    /// copies — fewer when the roster is too small, which the census
+    /// reports as the effective target.
+    fn place_replicas(&mut self, desc: &ChunkDescriptor) {
+        let Some(primary) = self.placement.get(&desc.key) else { return };
+        let len = self.nodes.len();
+        let want = self.replication - 1;
+        let start = self.replica_ring_start(&desc.key);
+        let mut holders: Vec<NodeId> = Vec::with_capacity(want);
+        for step in 0..len {
+            if holders.len() == want {
+                break;
+            }
+            let idx = (start + step) % len;
+            let cand = self.nodes[idx].id;
+            if cand == primary || !self.nodes[idx].state().accepts_data() {
+                continue;
+            }
+            self.nodes[idx].admit_replica(*desc);
+            holders.push(cand);
+        }
+        if !holders.is_empty() {
+            self.replicas.insert(desc.key, holders);
+        }
+    }
+
+    /// Which nodes hold a secondary copy of `key`, in replica-route
+    /// order. Empty at `k = 1` or for unreplicated chunks. O(log n) and
+    /// allocation-free — safe on failover read paths.
+    pub fn replica_holders(&self, key: &ChunkKey) -> &[NodeId] {
+        self.replicas.get(key).map_or(&[], |v| v.as_slice())
     }
 
     /// Number of coordinate-range shards the placement index maintains —
@@ -264,6 +390,14 @@ impl Cluster {
         let node_count = self.nodes.len();
         if let Some(bad) = routes.iter().find(|r| r.0 as usize >= node_count) {
             return Err(ClusterError::UnknownNode(bad.0));
+        }
+        if self.has_faulted_nodes() {
+            if let Some(bad) =
+                routes.iter().find(|r| !self.nodes[r.0 as usize].state().accepts_data())
+            {
+                let state = self.nodes[bad.0 as usize].state();
+                return Err(ClusterError::NodeUnavailable { node: bad.0, state });
+            }
         }
         // Bucket batch indices by owning shard (pure in the key, so the
         // partition is identical whatever the thread count).
@@ -343,6 +477,16 @@ impl Cluster {
                 self.balance.on_change(old, node.used_bytes());
             }
         }
+
+        // Replica admission rides after the primary batch, sequentially:
+        // the secondary route is a pure function of each key, so the
+        // outcome is identical whatever the thread count, and the k=1
+        // hot path never pays for it.
+        if self.replication > 1 {
+            for desc in batch {
+                self.place_replicas(desc);
+            }
+        }
         Ok(())
     }
 
@@ -357,21 +501,85 @@ impl Cluster {
     /// Accepts either an owned `Chunk` or a shared `Arc<Chunk>` handle.
     /// The ingest pipeline passes the handle the catalog oracle also
     /// holds, so attaching is a refcount bump — never a cell copy.
+    ///
+    /// With `k ≥ 2` the validated handle additionally fans out to every
+    /// replica holder, each byte-validated against its own stored replica
+    /// descriptor. All rejections — [`ClusterError::PayloadMismatch`] on
+    /// primary or replica drift, [`ClusterError::PayloadExists`] on a
+    /// double-attach, [`ClusterError::NodeUnavailable`] when the resident
+    /// node crashed — are checked before any store mutates, so a failed
+    /// attach leaves every book unchanged.
     pub fn attach_payload(&mut self, key: ChunkKey, chunk: impl Into<Arc<Chunk>>) -> Result<()> {
         let chunk = chunk.into();
         let node = self.placement.get(&key).ok_or(ClusterError::MissingChunk(key))?;
-        let holder = &mut self.nodes[node.0 as usize];
+        let holder = &self.nodes[node.0 as usize];
+        if !holder.state().serves_reads() {
+            // k=1 orphan: the chunk's only copy sat on a node that has
+            // since crashed; its placement entry still names the wreck.
+            return Err(ClusterError::NodeUnavailable { node: node.0, state: holder.state() });
+        }
         let desc = holder.descriptor(&key).expect("placement and node stores agree");
+        Cluster::validate_payload(&key, desc, &chunk)?;
+        if holder.has_payload(&key) {
+            return Err(ClusterError::PayloadExists(key));
+        }
+        // Validate the whole replica fan-out before the first store.
+        let holders = self.replicas.get(&key).map_or(&[][..], |v| v.as_slice());
+        for &r in holders {
+            let rn = &self.nodes[r.0 as usize];
+            let rdesc = rn.replica_descriptor(&key).expect("replica index and node stores agree");
+            Cluster::validate_payload(&key, rdesc, &chunk)?;
+            if rn.replica_payload_shared(&key).is_some() {
+                return Err(ClusterError::PayloadExists(key));
+            }
+        }
+        // Field-level split borrow: `holders` borrows `self.replicas`,
+        // the stores live in `self.nodes`.
+        for &r in holders {
+            self.nodes[r.0 as usize].store_replica_payload(key, Arc::clone(&chunk));
+        }
+        self.nodes[node.0 as usize].store_payload(key, chunk);
+        Ok(())
+    }
+
+    fn validate_payload(key: &ChunkKey, desc: &ChunkDescriptor, chunk: &Chunk) -> Result<()> {
         if desc.bytes != chunk.byte_size() || desc.cells != chunk.cell_count() {
             return Err(ClusterError::PayloadMismatch(Box::new(crate::error::PayloadMismatch {
-                key,
+                key: *key,
                 descriptor_bytes: desc.bytes,
                 payload_bytes: chunk.byte_size(),
                 descriptor_cells: desc.cells,
                 payload_cells: chunk.cell_count(),
             })));
         }
-        holder.store_payload(key, chunk);
+        Ok(())
+    }
+
+    /// Attach a payload to one specific **replica** copy of `key` on
+    /// `node` — the targeted form recovery uses when it re-materializes a
+    /// single replica from a surviving source. Validates against that
+    /// node's stored replica descriptor; every rejection
+    /// ([`ClusterError::NotAReplica`], [`ClusterError::NodeUnavailable`],
+    /// [`ClusterError::PayloadMismatch`], [`ClusterError::PayloadExists`])
+    /// leaves books unchanged.
+    pub fn attach_replica_payload(
+        &mut self,
+        key: ChunkKey,
+        node: NodeId,
+        chunk: impl Into<Arc<Chunk>>,
+    ) -> Result<()> {
+        let chunk = chunk.into();
+        let n = self.nodes.get(node.0 as usize).ok_or(ClusterError::UnknownNode(node.0))?;
+        if n.state() == NodeState::Crashed {
+            return Err(ClusterError::NodeUnavailable { node: node.0, state: n.state() });
+        }
+        let desc =
+            n.replica_descriptor(&key).ok_or(ClusterError::NotAReplica { key, node: node.0 })?;
+        Cluster::validate_payload(&key, desc, &chunk)?;
+        if n.replica_payload_shared(&key).is_some() {
+            return Err(ClusterError::PayloadExists(key));
+        }
+        self.nodes[node.0 as usize].store_replica_payload(key, chunk);
         Ok(())
     }
 
@@ -394,8 +602,38 @@ impl Cluster {
         self.nodes.iter().map(Node::payload_count).sum()
     }
 
+    /// Failover-aware payload read: the primary copy when its node still
+    /// serves reads, otherwise the first surviving replica copy in route
+    /// order. `None` when no serving node holds the cells. Allocation-free
+    /// — this sits on every degraded query read.
+    pub fn read_payload(&self, key: &ChunkKey) -> Option<PayloadRead<'_>> {
+        let primary = self.placement.get(key)?;
+        let node = &self.nodes[primary.0 as usize];
+        if node.state().serves_reads() {
+            if let Some(chunk) = node.payload_shared(key) {
+                return Some(PayloadRead::Primary(chunk));
+            }
+        }
+        for &r in self.replica_holders(key) {
+            let rn = &self.nodes[r.0 as usize];
+            if rn.state().serves_reads() {
+                if let Some(chunk) = rn.replica_payload_shared(key) {
+                    return Some(PayloadRead::Failover(r, chunk));
+                }
+            }
+        }
+        None
+    }
+
     /// Execute a rebalance plan, validating each move against the actual
     /// placement, and return the flow set that timed it.
+    ///
+    /// Replica sets move with their chunks: a destination already holding
+    /// a replica of the moved chunk sheds it (the arriving primary
+    /// supersedes it), and after the moves every relocated chunk's
+    /// replica set is topped back up to `k−1` distinct copies, with the
+    /// repair transfers pushed into the **same** returned [`FlowSet`] so
+    /// reorganization time stays honest about replication upkeep.
     pub fn apply_rebalance(&mut self, plan: &RebalancePlan) -> Result<FlowSet> {
         // Validate first so a bad plan leaves the cluster untouched.
         for m in &plan.moves {
@@ -407,8 +645,16 @@ impl Cluster {
                     actual: actual.0,
                 });
             }
-            if m.to.0 as usize >= self.nodes.len() {
+            let Some(dst) = self.nodes.get(m.to.0 as usize) else {
                 return Err(ClusterError::UnknownNode(m.to.0));
+            };
+            if !dst.state().accepts_data() {
+                return Err(ClusterError::NodeUnavailable { node: m.to.0, state: dst.state() });
+            }
+            // A crashed source's chunks were wiped (its placement entries
+            // may linger as k=1 orphans); moving one is impossible.
+            if !self.nodes[m.from.0 as usize].holds(&m.key) {
+                return Err(ClusterError::MissingChunk(m.key));
             }
         }
         let mut flows = FlowSet::new();
@@ -421,6 +667,17 @@ impl Cluster {
             // actual size (identical to desc.bytes by the attach-time
             // invariant, but read from the cells to keep the flow honest).
             flows.push(m.from, m.to, payload.as_ref().map_or(desc.bytes, |c| c.byte_size()));
+            // The destination may hold a replica of this chunk; the
+            // arriving primary supersedes it.
+            if let Some(holders) = self.replicas.get_mut(&m.key) {
+                if let Some(pos) = holders.iter().position(|&h| h == m.to) {
+                    holders.remove(pos);
+                    if holders.is_empty() {
+                        self.replicas.remove(&m.key);
+                    }
+                    self.nodes[m.to.0 as usize].evict_replica(&m.key);
+                }
+            }
             self.placement.insert(m.key, m.to);
             let dst = &mut self.nodes[m.to.0 as usize];
             let dst_old = dst.used_bytes();
@@ -430,7 +687,188 @@ impl Cluster {
             }
             self.balance.on_change(dst_old, dst.used_bytes());
         }
+        if self.replication > 1 {
+            for m in &plan.moves {
+                self.top_up_replicas(&m.key, &mut flows);
+            }
+        }
         Ok(flows)
+    }
+
+    /// Restore `key`'s replica set to `k−1` distinct copies after its
+    /// primary moved: walk the chunk's deterministic replica ring for
+    /// fresh eligible holders, copying descriptor (and payload handle)
+    /// from the primary and recording one repair flow per new copy.
+    fn top_up_replicas(&mut self, key: &ChunkKey, flows: &mut FlowSet) {
+        let Some(primary) = self.placement.get(key) else { return };
+        let Some(desc) = self.nodes[primary.0 as usize].descriptor(key).copied() else {
+            return;
+        };
+        let payload = self.nodes[primary.0 as usize].payload_shared(key).cloned();
+        let want = self.replication - 1;
+        let have = self.replica_holders(key).len();
+        if have >= want {
+            return;
+        }
+        let len = self.nodes.len();
+        let start = self.replica_ring_start(key);
+        for step in 0..len {
+            if self.replica_holders(key).len() >= want {
+                break;
+            }
+            let idx = (start + step) % len;
+            let cand = self.nodes[idx].id;
+            if cand == primary
+                || !self.nodes[idx].state().accepts_data()
+                || self.replica_holders(key).contains(&cand)
+            {
+                continue;
+            }
+            self.nodes[idx].admit_replica(desc);
+            if let Some(chunk) = &payload {
+                self.nodes[idx].store_replica_payload(*key, Arc::clone(chunk));
+            }
+            flows.push(primary, cand, desc.bytes);
+            self.replicas.entry(*key).or_default().push(cand);
+        }
+    }
+
+    /// Crash `id`: wipe both of its stores (the failure model is
+    /// fail-stop with total local-storage loss), mark it `Crashed`, and
+    /// fail its lost primaries over to surviving replicas.
+    ///
+    /// For every lost primary with at least one surviving replica copy,
+    /// the first holder in replica-route order is **promoted**
+    /// deterministically: its replica descriptor/payload pair moves into
+    /// its primary store, the placement index repoints, and the byte
+    /// ledgers follow (promotion is a local bookkeeping flip — the bytes
+    /// are already on the node — so it records no flow). Chunks with no
+    /// surviving copy (`k = 1`, or deeper failures than `k−1`) are
+    /// reported as orphaned; their placement entries keep naming the
+    /// wreck so reads surface typed losses instead of silent misses.
+    ///
+    /// Refuses to crash the last serving node
+    /// ([`ClusterError::NoHealthyNodes`]) or an already-crashed one.
+    pub fn crash_node(&mut self, id: NodeId) -> Result<CrashReport> {
+        let idx = id.0 as usize;
+        let state = self.nodes.get(idx).ok_or(ClusterError::UnknownNode(id.0))?.state();
+        if state == NodeState::Crashed {
+            return Err(ClusterError::NodeUnavailable { node: id.0, state });
+        }
+        if !self.nodes.iter().any(|n| n.id != id && n.state().serves_reads()) {
+            return Err(ClusterError::NoHealthyNodes);
+        }
+        let node = &mut self.nodes[idx];
+        let primary_keys: Vec<ChunkKey> = node.descriptors().map(|d| d.key).collect();
+        let replica_keys: Vec<ChunkKey> = node.replica_descriptors().map(|d| d.key).collect();
+        let old_used = node.used_bytes();
+        node.wipe();
+        node.set_state(NodeState::Crashed);
+        self.balance.on_change(old_used, 0);
+        for key in &replica_keys {
+            if let Some(holders) = self.replicas.get_mut(key) {
+                holders.retain(|&h| h != id);
+                if holders.is_empty() {
+                    self.replicas.remove(key);
+                }
+            }
+        }
+        let mut promoted = 0usize;
+        let mut orphaned = Vec::new();
+        for key in &primary_keys {
+            let holder = self.replicas.get(key).and_then(|h| h.first().copied());
+            match holder {
+                Some(h) => {
+                    if let Some(holders) = self.replicas.get_mut(key) {
+                        holders.remove(0);
+                        if holders.is_empty() {
+                            self.replicas.remove(key);
+                        }
+                    }
+                    let hn = &mut self.nodes[h.0 as usize];
+                    let (desc, payload) =
+                        hn.evict_replica(key).expect("replica index and node stores agree");
+                    let old = hn.used_bytes();
+                    hn.admit(desc);
+                    if let Some(chunk) = payload {
+                        hn.store_payload(*key, chunk);
+                    }
+                    let new = hn.used_bytes();
+                    self.balance.on_change(old, new);
+                    self.placement.insert(*key, h);
+                    promoted += 1;
+                }
+                None => orphaned.push(*key),
+            }
+        }
+        Ok(CrashReport {
+            node: id,
+            lost_primaries: primary_keys.len(),
+            promoted,
+            dropped_replicas: replica_keys.len(),
+            orphaned,
+        })
+    }
+
+    /// Deterministic stand-in for a route that targets an out-of-service
+    /// node: ring-walk from the chunk-key hash to the first node that
+    /// accepts data. `None` only when no node accepts data at all.
+    pub fn divert_route(&self, key: &ChunkKey) -> Option<NodeId> {
+        let len = self.nodes.len();
+        let start = (key_hash(key) % len as u64) as usize;
+        (0..len)
+            .map(|step| &self.nodes[(start + step) % len])
+            .find(|n| n.state().accepts_data())
+            .map(|n| n.id)
+    }
+
+    /// Census of replica strength over every placed chunk: how many
+    /// serving copies (primary + replicas) each chunk has versus the
+    /// effective target `min(k, nodes able to host data)`.
+    pub fn replica_census(&self) -> ReplicaCensus {
+        let hosts = self.nodes.iter().filter(|n| n.state().accepts_data()).count();
+        let target = self.replication.min(hosts.max(1));
+        let mut census = ReplicaCensus { target, full: 0, under: 0, lost: 0 };
+        for (key, node) in self.placement.collect_sorted() {
+            let pn = &self.nodes[node.0 as usize];
+            let mut copies = usize::from(pn.state().serves_reads() && pn.holds(&key));
+            copies += self
+                .replica_holders(&key)
+                .iter()
+                .filter(|r| self.nodes[r.0 as usize].state().serves_reads())
+                .count();
+            if copies == 0 {
+                census.lost += 1;
+            } else if copies < target {
+                census.under += 1;
+            } else {
+                census.full += 1;
+            }
+        }
+        census
+    }
+
+    /// Cross-check the replica-holder index against the per-node replica
+    /// stores; the post-recovery consistency gate. Returns the first
+    /// disagreement as a typed error.
+    pub fn verify_replica_books(&self) -> Result<()> {
+        for (key, holders) in &self.replicas {
+            for &h in holders {
+                let node = self.nodes.get(h.0 as usize).ok_or(ClusterError::UnknownNode(h.0))?;
+                if !node.holds_replica(key) {
+                    return Err(ClusterError::NotAReplica { key: *key, node: h.0 });
+                }
+            }
+        }
+        for node in &self.nodes {
+            for desc in node.replica_descriptors() {
+                let indexed = self.replicas.get(&desc.key).is_some_and(|h| h.contains(&node.id));
+                if !indexed {
+                    return Err(ClusterError::NotAReplica { key: desc.key, node: node.id.0 });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Per-node stored bytes, in join order. The input to every balance
@@ -483,6 +921,82 @@ impl Cluster {
     /// per-chunk loops.
     pub fn placements(&self) -> impl Iterator<Item = (ChunkKey, NodeId)> {
         self.placement.collect_sorted().into_iter()
+    }
+
+    /// Start index of `key`'s deterministic replica ring — shared by
+    /// placement-time replica routing, rebalance top-up, and recovery
+    /// target selection so all three derive the same secondary route.
+    pub(crate) fn replica_ring_start(&self, key: &ChunkKey) -> usize {
+        (splitmix64(key_hash(key) ^ REPLICA_ROUTE_SALT) % self.nodes.len() as u64) as usize
+    }
+}
+
+/// Where a failover-aware payload read was served from.
+#[derive(Debug)]
+pub enum PayloadRead<'a> {
+    /// The primary copy on the chunk's placed node.
+    Primary(&'a Arc<Chunk>),
+    /// A surviving replica copy — a degraded read — and the node that
+    /// served it.
+    Failover(NodeId, &'a Arc<Chunk>),
+}
+
+impl<'a> PayloadRead<'a> {
+    /// The served payload handle, whichever copy supplied it.
+    pub fn chunk(&self) -> &'a Arc<Chunk> {
+        match self {
+            PayloadRead::Primary(c) => c,
+            PayloadRead::Failover(_, c) => c,
+        }
+    }
+
+    /// Whether the read had to fail over to a replica.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, PayloadRead::Failover(..))
+    }
+}
+
+/// What a node crash cost, as reported by [`Cluster::crash_node`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashReport {
+    /// The node that crashed.
+    pub node: NodeId,
+    /// Primary chunks resident there at the moment of the crash.
+    pub lost_primaries: usize,
+    /// Lost primaries failed over to a surviving replica copy.
+    pub promoted: usize,
+    /// Replica copies that vanished with the node.
+    pub dropped_replicas: usize,
+    /// Lost primaries with **no** surviving copy anywhere (k=1, or more
+    /// simultaneous failures than `k−1`): their placement entries still
+    /// name the crashed node so reads fail typed, never silently.
+    pub orphaned: Vec<ChunkKey>,
+}
+
+/// Replica-strength census over every placed chunk
+/// ([`Cluster::replica_census`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaCensus {
+    /// Effective per-chunk copy target: `min(k, nodes able to host data)`.
+    pub target: usize,
+    /// Chunks at or above the target number of serving copies.
+    pub full: usize,
+    /// Chunks below target but with at least one serving copy.
+    pub under: usize,
+    /// Chunks with no serving copy at all (data loss without the catalog
+    /// oracle).
+    pub lost: usize,
+}
+
+impl ReplicaCensus {
+    /// Every placed chunk is at full replica strength.
+    pub fn is_full_strength(&self) -> bool {
+        self.under == 0 && self.lost == 0
+    }
+
+    /// Chunks below the effective copy target (degraded + lost).
+    pub fn under_replicated(&self) -> usize {
+        self.under + self.lost
     }
 }
 
@@ -764,6 +1278,169 @@ mod tests {
         assert_eq!(flows.network_bytes(), chunk.byte_size());
         assert_eq!(c.node(NodeId(1)).unwrap().payload(&key), Some(&chunk));
         assert_eq!(c.loads()[1], chunk.byte_size());
+    }
+
+    fn payload_chunk() -> (array_model::ArraySchema, Chunk, ChunkKey, ChunkDescriptor) {
+        use array_model::{ArraySchema, ScalarValue};
+        let schema = ArraySchema::parse("A<v:double>[x=0:7,2]").unwrap();
+        let mut chunk = Chunk::new(&schema, ChunkCoords::new([0]));
+        chunk.push_cell(&schema, vec![1], vec![ScalarValue::Double(2.5)]).unwrap();
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([0]));
+        let desc = ChunkDescriptor::new(key, chunk.byte_size(), chunk.cell_count());
+        (schema, chunk, key, desc)
+    }
+
+    #[test]
+    fn replication_places_k_distinct_copies_deterministically() {
+        let mk = || {
+            let mut c = Cluster::with_replication(5, 1_000_000, CostModel::default(), 3).unwrap();
+            for i in 0..40 {
+                c.place(desc(i, 100), NodeId((i % 5) as u32)).unwrap();
+            }
+            c
+        };
+        let a = mk();
+        let b = mk();
+        for i in 0..40 {
+            let key = desc(i, 0).key;
+            let primary = a.locate(&key).unwrap();
+            let holders = a.replica_holders(&key);
+            assert_eq!(holders.len(), 2, "k=3 ⇒ two replicas");
+            assert!(!holders.contains(&primary), "replicas avoid the primary");
+            assert_ne!(holders[0], holders[1], "replicas land on distinct nodes");
+            assert_eq!(holders, b.replica_holders(&key), "secondary route is deterministic");
+        }
+        a.verify_replica_books().unwrap();
+        assert!(a.replica_census().is_full_strength());
+        // Replica bytes stay out of the primary census: an identical k=1
+        // cluster reports the same loads, total, and RSD bits.
+        let mut k1 = Cluster::new(5, 1_000_000, CostModel::default()).unwrap();
+        for i in 0..40 {
+            k1.place(desc(i, 100), NodeId((i % 5) as u32)).unwrap();
+        }
+        assert_eq!(a.loads(), k1.loads());
+        assert_eq!(a.total_used(), k1.total_used());
+        assert_eq!(a.balance_rsd().to_bits(), k1.balance_rsd().to_bits());
+    }
+
+    #[test]
+    fn attach_fans_out_to_every_replica() {
+        let (_, chunk, key, d) = payload_chunk();
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(d, NodeId(0)).unwrap();
+        let shared: Arc<Chunk> = Arc::new(chunk);
+        c.attach_payload(key, Arc::clone(&shared)).unwrap();
+        let holder = c.replica_holders(&key)[0];
+        let replica = c.node(holder).unwrap().replica_payload_shared(&key).unwrap();
+        assert!(Arc::ptr_eq(replica, &shared), "fan-out shares the handle, never copies cells");
+    }
+
+    #[test]
+    fn double_attach_is_rejected_and_books_unchanged() {
+        let (_, chunk, key, d) = payload_chunk();
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(d, NodeId(0)).unwrap();
+        c.attach_payload(key, chunk.clone()).unwrap();
+        let loads = c.loads();
+        assert!(
+            matches!(c.attach_payload(key, chunk), Err(ClusterError::PayloadExists(k)) if k == key)
+        );
+        assert_eq!(c.payload_count(), 1, "the original payload is untouched");
+        assert_eq!(c.loads(), loads);
+    }
+
+    #[test]
+    fn attach_to_crashed_node_is_rejected_and_books_unchanged() {
+        let (_, chunk, key, d) = payload_chunk();
+        let mut c = cluster(2);
+        c.place(d, NodeId(1)).unwrap();
+        c.crash_node(NodeId(1)).unwrap();
+        let loads = c.loads();
+        assert!(matches!(
+            c.attach_payload(key, chunk),
+            Err(ClusterError::NodeUnavailable { node: 1, .. })
+        ));
+        assert_eq!(c.payload_count(), 0);
+        assert_eq!(c.loads(), loads);
+    }
+
+    #[test]
+    fn replica_byte_mismatch_is_rejected_and_books_unchanged() {
+        use array_model::ScalarValue;
+        let (schema, chunk, key, d) = payload_chunk();
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(d, NodeId(0)).unwrap();
+        let holder = c.replica_holders(&key)[0];
+        // A drifted payload aimed straight at the replica copy: the
+        // replica's own stored descriptor catches the byte/cell mismatch.
+        let mut fat = chunk.clone();
+        fat.push_cell(&schema, vec![0], vec![ScalarValue::Double(9.0)]).unwrap();
+        assert!(matches!(
+            c.attach_replica_payload(key, holder, fat),
+            Err(ClusterError::PayloadMismatch(_))
+        ));
+        assert!(c.node(holder).unwrap().replica_payload_shared(&key).is_none());
+        // Targeting a node that holds no replica is a typed error too.
+        let non_holder =
+            c.node_ids().into_iter().find(|&n| n != holder && Some(n) != c.locate(&key)).unwrap();
+        assert!(matches!(
+            c.attach_replica_payload(key, non_holder, chunk.clone()),
+            Err(ClusterError::NotAReplica { .. })
+        ));
+        // The well-formed attach still lands, and a second one is a
+        // double-attach on the replica store.
+        c.attach_replica_payload(key, holder, chunk.clone()).unwrap();
+        assert!(matches!(
+            c.attach_replica_payload(key, holder, chunk),
+            Err(ClusterError::PayloadExists(_))
+        ));
+    }
+
+    #[test]
+    fn rebalance_repairs_replica_sets_and_costs_the_topup() {
+        let (_, chunk, key, d) = payload_chunk();
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(d, NodeId(0)).unwrap();
+        c.attach_payload(key, chunk).unwrap();
+        // Move the primary onto its replica holder: the replica there is
+        // superseded and a fresh copy must be re-created elsewhere, with
+        // the repair flow costed in the same set as the move.
+        let holder = c.replica_holders(&key)[0];
+        let mut plan = RebalancePlan::empty();
+        plan.push(key, NodeId(0), holder, d.bytes);
+        let flows = c.apply_rebalance(&plan).unwrap();
+        assert_eq!(flows.chunk_count(), 2, "one move + one replica top-up");
+        assert_eq!(flows.total_bytes(), d.bytes * 2);
+        c.verify_replica_books().unwrap();
+        assert!(c.replica_census().is_full_strength());
+        let new_holder = c.replica_holders(&key)[0];
+        assert_ne!(new_holder, holder, "replica may not co-locate with its primary");
+        assert!(
+            c.node(new_holder).unwrap().replica_payload_shared(&key).is_some(),
+            "top-up carries the payload handle"
+        );
+    }
+
+    #[test]
+    fn crash_refuses_last_serving_node() {
+        let mut c = cluster(2);
+        c.crash_node(NodeId(0)).unwrap();
+        assert!(matches!(c.crash_node(NodeId(1)), Err(ClusterError::NoHealthyNodes)));
+        // Coordinator re-elected off the wreck.
+        assert_eq!(c.coordinator(), NodeId(1));
+        // Double-crash is typed.
+        assert!(matches!(c.crash_node(NodeId(0)), Err(ClusterError::NodeUnavailable { .. })));
+    }
+
+    #[test]
+    fn divert_route_walks_to_an_accepting_node() {
+        let mut c = cluster(3);
+        let key = desc(7, 0).key;
+        let diverted = c.divert_route(&key).unwrap();
+        c.crash_node(diverted).unwrap();
+        let rerouted = c.divert_route(&key).unwrap();
+        assert_ne!(rerouted, diverted);
+        assert!(c.node(rerouted).unwrap().state().accepts_data());
     }
 
     #[test]

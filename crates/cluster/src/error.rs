@@ -1,5 +1,6 @@
 //! Error type for cluster simulation.
 
+use crate::node::NodeState;
 use array_model::ChunkKey;
 use std::fmt;
 
@@ -28,6 +29,29 @@ pub enum ClusterError {
     /// apart). Boxed: the detail is error-path-only and would otherwise
     /// fatten every `Result` on the ingest path.
     PayloadMismatch(Box<PayloadMismatch>),
+    /// An operation targeted a node whose lifecycle state cannot serve
+    /// it (e.g. attaching a payload to a `Crashed` node, or an invalid
+    /// lifecycle transition).
+    NodeUnavailable {
+        /// The node that was targeted.
+        node: u32,
+        /// Its lifecycle state at the time.
+        state: NodeState,
+    },
+    /// A payload was attached twice for the same chunk on the same node;
+    /// re-attachment would silently shadow cells already being served.
+    PayloadExists(ChunkKey),
+    /// A replica operation targeted a node that does not hold a replica
+    /// descriptor for the chunk.
+    NotAReplica {
+        /// The chunk whose replica was addressed.
+        key: ChunkKey,
+        /// The node that holds no such replica.
+        node: u32,
+    },
+    /// Every node in the cluster is out of service; the operation needs
+    /// at least one surviving node.
+    NoHealthyNodes,
 }
 
 /// How a payload drifted from its placed descriptor.
@@ -61,6 +85,18 @@ impl fmt::Display for ClusterError {
                  {} bytes / {} cells",
                 m.key, m.payload_bytes, m.payload_cells, m.descriptor_bytes, m.descriptor_cells
             ),
+            ClusterError::NodeUnavailable { node, state } => {
+                write!(f, "node {node} is {state} and cannot serve this operation")
+            }
+            ClusterError::PayloadExists(key) => {
+                write!(f, "payload of {key} is already attached on its node")
+            }
+            ClusterError::NotAReplica { key, node } => {
+                write!(f, "node {node} holds no replica of chunk {key}")
+            }
+            ClusterError::NoHealthyNodes => {
+                write!(f, "no node in the cluster is in service")
+            }
         }
     }
 }

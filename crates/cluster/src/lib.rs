@@ -26,12 +26,14 @@ mod metrics;
 mod node;
 mod placement;
 mod rebalance;
+mod recovery;
 mod transfer;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, CrashReport, PayloadRead, ReplicaCensus};
 pub use cost::{gb, CostModel, BYTES_PER_GB};
 pub use error::{ClusterError, PayloadMismatch, Result};
 pub use metrics::{relative_std_dev, NodeHoursLedger, PhaseBreakdown};
-pub use node::{Node, NodeId};
+pub use node::{Node, NodeId, NodeState};
 pub use rebalance::{ChunkMove, RebalancePlan};
+pub use recovery::{BackoffPolicy, Flakiness, MidCrash, RecoveryOutcome, RepairJob, RepairPlan};
 pub use transfer::{Flow, FlowSet};

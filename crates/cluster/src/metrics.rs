@@ -33,7 +33,10 @@ pub fn relative_std_dev(loads: &[u64]) -> f64 {
     var.sqrt() / mean
 }
 
-/// The three phases of one workload cycle (§3.4).
+/// The phases of one workload cycle (§3.4), plus crash-repair time —
+/// zero in fault-free runs, so Equation 1 is unchanged there, and costed
+/// like reorganization when faults are injected (recovery holds the
+/// provisioned nodes busy just as a rebalance does).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseBreakdown {
     /// Ingest duration `I_i` (seconds).
@@ -42,12 +45,15 @@ pub struct PhaseBreakdown {
     pub reorg_secs: f64,
     /// Query workload duration `w_i` (seconds).
     pub query_secs: f64,
+    /// Crash-repair duration (seconds): recovery flows through the
+    /// contention solver plus retry backoff.
+    pub repair_secs: f64,
 }
 
 impl PhaseBreakdown {
-    /// Total seconds across the three phases.
+    /// Total seconds across all phases (repair included).
     pub fn total_secs(&self) -> f64 {
-        self.insert_secs + self.reorg_secs + self.query_secs
+        self.insert_secs + self.reorg_secs + self.query_secs + self.repair_secs
     }
 }
 
@@ -95,6 +101,7 @@ impl NodeHoursLedger {
             out.insert_secs += p.insert_secs;
             out.reorg_secs += p.reorg_secs;
             out.query_secs += p.query_secs;
+            out.repair_secs += p.repair_secs;
         }
         out
     }
@@ -129,14 +136,46 @@ mod tests {
     fn ledger_computes_equation_one() {
         let mut ledger = NodeHoursLedger::new();
         // 2 nodes busy for 1800 s each phase sum -> 1 node-hour
-        ledger
-            .record(2, PhaseBreakdown { insert_secs: 600.0, reorg_secs: 600.0, query_secs: 600.0 });
+        ledger.record(
+            2,
+            PhaseBreakdown {
+                insert_secs: 600.0,
+                reorg_secs: 600.0,
+                query_secs: 600.0,
+                repair_secs: 0.0,
+            },
+        );
         assert!((ledger.node_hours() - 1.0).abs() < 1e-12);
-        ledger.record(4, PhaseBreakdown { insert_secs: 900.0, reorg_secs: 0.0, query_secs: 900.0 });
+        ledger.record(
+            4,
+            PhaseBreakdown {
+                insert_secs: 900.0,
+                reorg_secs: 0.0,
+                query_secs: 900.0,
+                repair_secs: 0.0,
+            },
+        );
         assert!((ledger.node_hours() - 3.0).abs() < 1e-12);
         assert_eq!(ledger.cycle_count(), 2);
         let totals = ledger.phase_totals();
         assert!((totals.insert_secs - 1500.0).abs() < 1e-12);
         assert!((ledger.elapsed_secs() - 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_time_is_costed_in_node_hours() {
+        let mut ledger = NodeHoursLedger::new();
+        ledger.record(
+            2,
+            PhaseBreakdown {
+                insert_secs: 600.0,
+                reorg_secs: 600.0,
+                query_secs: 0.0,
+                repair_secs: 600.0,
+            },
+        );
+        // Repair holds the fleet busy exactly like reorganization does.
+        assert!((ledger.node_hours() - 1.0).abs() < 1e-12);
+        assert!((ledger.phase_totals().repair_secs - 600.0).abs() < 1e-12);
     }
 }

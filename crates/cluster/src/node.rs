@@ -7,14 +7,65 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a cluster node. Nodes are numbered in join order and are
-/// never removed — the paper's clusters grow monotonically (§5.1: "the
-/// system never coalesces nodes").
+/// never removed from the roster — the paper's clusters grow
+/// monotonically (§5.1: "the system never coalesces nodes") — but a node
+/// can leave *service* through its [`NodeState`] lifecycle (crash,
+/// drain), keeping every historical id stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
+    }
+}
+
+/// Lifecycle state of one node (see `recovery` module docs for the full
+/// state machine).
+///
+/// * `Healthy` — full member: serves reads, accepts placements, replicas,
+///   and repairs.
+/// * `Crashed` — lost its stores; serves nothing and accepts nothing
+///   until revived.
+/// * `Draining` — scale-IN preparation: still serves reads but accepts no
+///   new data, so placement, replica routing, and repair all route around
+///   it.
+/// * `Recovering` — a revived node catching back up: accepts data (that
+///   is how it refills) and serves what it holds, flagged until
+///   [`crate::Cluster::mark_recovered`] promotes it back to `Healthy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Full member of the cluster.
+    #[default]
+    Healthy,
+    /// Failed; stores wiped, out of service.
+    Crashed,
+    /// Serving reads only while being emptied for scale-IN.
+    Draining,
+    /// Revived after a crash; refilling.
+    Recovering,
+}
+
+impl NodeState {
+    /// Can this node answer reads for the chunks it holds?
+    pub fn serves_reads(&self) -> bool {
+        !matches!(self, NodeState::Crashed)
+    }
+
+    /// Can this node receive new descriptors, payloads, or replicas?
+    pub fn accepts_data(&self) -> bool {
+        matches!(self, NodeState::Healthy | NodeState::Recovering)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeState::Healthy => "healthy",
+            NodeState::Crashed => "crashed",
+            NodeState::Draining => "draining",
+            NodeState::Recovering => "recovering",
+        })
     }
 }
 
@@ -26,15 +77,26 @@ impl fmt::Display for NodeId {
 /// handles — the same chunk object the catalog's whole-array oracle
 /// copy holds — so attaching one is a refcount bump and a rebalance
 /// moves the handle, never the cells.
+///
+/// With replication (`k ≥ 2`) a node additionally carries a *replica*
+/// store: secondary copies of chunks whose primary lives elsewhere.
+/// Replica bytes are ledgered separately (`replica_bytes`) and are
+/// deliberately excluded from [`Node::used_bytes`], so the paper's
+/// balance census, skew metrics, and scaling triggers stay defined over
+/// primaries and remain bit-identical at every `k`.
 #[derive(Debug, Clone)]
 pub struct Node {
     /// This node's identifier.
     pub id: NodeId,
     /// Storage capacity in bytes (`c` in the paper; 100 GB per node in §6.1).
     pub capacity_bytes: u64,
+    state: NodeState,
     used_bytes: u64,
+    replica_bytes: u64,
     chunks: BTreeMap<ChunkKey, ChunkDescriptor>,
     payloads: BTreeMap<ChunkKey, Arc<Chunk>>,
+    replicas: BTreeMap<ChunkKey, ChunkDescriptor>,
+    replica_payloads: BTreeMap<ChunkKey, Arc<Chunk>>,
 }
 
 impl Node {
@@ -43,10 +105,23 @@ impl Node {
         Node {
             id,
             capacity_bytes,
+            state: NodeState::Healthy,
             used_bytes: 0,
+            replica_bytes: 0,
             chunks: BTreeMap::new(),
             payloads: BTreeMap::new(),
+            replicas: BTreeMap::new(),
+            replica_payloads: BTreeMap::new(),
         }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: NodeState) {
+        self.state = state;
     }
 
     /// Bytes currently stored.
@@ -83,7 +158,7 @@ impl Node {
     }
 
     pub(crate) fn admit(&mut self, desc: ChunkDescriptor) {
-        self.used_bytes += desc.bytes;
+        self.used_bytes = self.used_bytes.saturating_add(desc.bytes);
         self.chunks.insert(desc.key, desc);
     }
 
@@ -97,7 +172,7 @@ impl Node {
 
     /// Apply a byte-load delta accumulated by [`Node::admit_descriptor`].
     pub(crate) fn add_load(&mut self, bytes: u64) {
-        self.used_bytes += bytes;
+        self.used_bytes = self.used_bytes.saturating_add(bytes);
     }
 
     /// Remove a chunk and whatever payload it carries, keeping the
@@ -108,7 +183,7 @@ impl Node {
         key: &ChunkKey,
     ) -> Option<(ChunkDescriptor, Option<Arc<Chunk>>)> {
         let desc = self.chunks.remove(key)?;
-        self.used_bytes -= desc.bytes;
+        self.used_bytes = self.used_bytes.saturating_sub(desc.bytes);
         Some((desc, self.payloads.remove(key)))
     }
 
@@ -131,6 +206,73 @@ impl Node {
 
     pub(crate) fn store_payload(&mut self, key: ChunkKey, chunk: Arc<Chunk>) {
         self.payloads.insert(key, chunk);
+    }
+
+    /// Whether a payload is already attached for `key` (primary store).
+    pub fn has_payload(&self, key: &ChunkKey) -> bool {
+        self.payloads.contains_key(key)
+    }
+
+    /// Bytes held as secondary replica copies (excluded from
+    /// [`Node::used_bytes`] and the balance census).
+    pub fn replica_bytes(&self) -> u64 {
+        self.replica_bytes
+    }
+
+    /// Number of secondary replica descriptors resident here.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Is a secondary copy of the chunk resident here?
+    pub fn holds_replica(&self, key: &ChunkKey) -> bool {
+        self.replicas.contains_key(key)
+    }
+
+    /// The resident replica descriptor for `key`, if any.
+    pub fn replica_descriptor(&self, key: &ChunkKey) -> Option<&ChunkDescriptor> {
+        self.replicas.get(key)
+    }
+
+    /// Iterate resident replica copies in deterministic (key) order.
+    pub fn replica_descriptors(&self) -> impl Iterator<Item = &ChunkDescriptor> {
+        self.replicas.values()
+    }
+
+    /// The shared payload handle of a resident replica copy, if attached.
+    pub fn replica_payload_shared(&self, key: &ChunkKey) -> Option<&Arc<Chunk>> {
+        self.replica_payloads.get(key)
+    }
+
+    pub(crate) fn admit_replica(&mut self, desc: ChunkDescriptor) {
+        self.replica_bytes = self.replica_bytes.saturating_add(desc.bytes);
+        self.replicas.insert(desc.key, desc);
+    }
+
+    pub(crate) fn store_replica_payload(&mut self, key: ChunkKey, chunk: Arc<Chunk>) {
+        self.replica_payloads.insert(key, chunk);
+    }
+
+    /// Remove a replica copy (descriptor + payload pair) from this node.
+    pub(crate) fn evict_replica(
+        &mut self,
+        key: &ChunkKey,
+    ) -> Option<(ChunkDescriptor, Option<Arc<Chunk>>)> {
+        let desc = self.replicas.remove(key)?;
+        self.replica_bytes = self.replica_bytes.saturating_sub(desc.bytes);
+        Some((desc, self.replica_payloads.remove(key)))
+    }
+
+    /// Drop every store on this node — primaries, replicas, payloads —
+    /// and zero both byte ledgers. Used by crash injection; the caller is
+    /// responsible for updating the cluster-level balance census.
+    pub(crate) fn wipe(&mut self) {
+        self.used_bytes = 0;
+        self.replica_bytes = 0;
+        self.chunks.clear();
+        self.payloads.clear();
+        self.replicas.clear();
+        self.replica_payloads.clear();
     }
 }
 
@@ -156,6 +298,50 @@ mod tests {
         assert!(payload.is_none(), "no payload was attached");
         assert_eq!(n.used_bytes(), 200);
         assert!(n.evict(&desc(9, 0).key).is_none());
+    }
+
+    #[test]
+    fn byte_ledgers_saturate_at_u64_max() {
+        let mut n = Node::new(NodeId(0), u64::MAX);
+        n.admit(desc(1, u64::MAX - 10));
+        n.admit(desc(2, 100));
+        assert_eq!(n.used_bytes(), u64::MAX, "admit saturates, never wraps");
+        n.add_load(u64::MAX);
+        assert_eq!(n.used_bytes(), u64::MAX);
+        // Evicting more bytes than the (saturated) ledger holds must floor
+        // at zero rather than wrapping to a huge bogus load.
+        n.evict(&desc(1, u64::MAX - 10).key);
+        n.evict(&desc(2, 100).key);
+        assert_eq!(n.used_bytes(), 0);
+
+        let mut r = Node::new(NodeId(1), u64::MAX);
+        r.admit_replica(desc(3, u64::MAX - 1));
+        r.admit_replica(desc(4, 50));
+        assert_eq!(r.replica_bytes(), u64::MAX);
+        r.evict_replica(&desc(3, u64::MAX - 1).key);
+        r.evict_replica(&desc(4, 50).key);
+        assert_eq!(r.replica_bytes(), 0);
+    }
+
+    #[test]
+    fn lifecycle_predicates() {
+        assert!(NodeState::Healthy.serves_reads() && NodeState::Healthy.accepts_data());
+        assert!(!NodeState::Crashed.serves_reads() && !NodeState::Crashed.accepts_data());
+        assert!(NodeState::Draining.serves_reads() && !NodeState::Draining.accepts_data());
+        assert!(NodeState::Recovering.serves_reads() && NodeState::Recovering.accepts_data());
+    }
+
+    #[test]
+    fn wipe_clears_every_store() {
+        let mut n = Node::new(NodeId(0), 1000);
+        n.admit(desc(1, 100));
+        n.admit_replica(desc(2, 50));
+        n.wipe();
+        assert_eq!(n.used_bytes(), 0);
+        assert_eq!(n.replica_bytes(), 0);
+        assert_eq!(n.chunk_count(), 0);
+        assert_eq!(n.replica_count(), 0);
+        assert_eq!(n.payload_count(), 0);
     }
 
     #[test]

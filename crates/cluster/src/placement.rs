@@ -38,8 +38,9 @@ const ARRAY_ID_CAP: u32 = 4096;
 pub(crate) const SHARD_COUNT: usize = 16;
 
 /// SplitMix64 finalizer, local so `cluster-sim` stays dependency-free.
+/// Shared with replica routing and deterministic fault injection.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -47,14 +48,22 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Deterministic shard hash for keys with no dense slab.
+/// Full 64-bit deterministic hash of a chunk key. Replica routing and
+/// fault injection derive their per-chunk decisions from this, so every
+/// secondary placement is a pure function of the key and the roster.
 #[inline]
-fn spill_shard(key: &ChunkKey) -> usize {
+pub(crate) fn key_hash(key: &ChunkKey) -> u64 {
     let mut h = splitmix64(u64::from(key.array.0) ^ (key.coords.ndims() as u64) << 32);
     for &c in key.coords.as_slice() {
         h = splitmix64(h ^ c as u64);
     }
-    (h as usize) & (SHARD_COUNT - 1)
+    h
+}
+
+/// Deterministic shard hash for keys with no dense slab.
+#[inline]
+fn spill_shard(key: &ChunkKey) -> usize {
+    (key_hash(key) as usize) & (SHARD_COUNT - 1)
 }
 
 /// Registered dense-grid geometry for one array. Immutable after

@@ -48,7 +48,7 @@ impl FlowSet {
     /// Add one chunk-sized flow.
     pub fn push(&mut self, src: NodeId, dst: NodeId, bytes: u64) {
         self.flows.push(Flow { src, dst, bytes });
-        self.chunk_count += 1;
+        self.chunk_count = self.chunk_count.saturating_add(1);
     }
 
     /// Number of chunk transfers recorded.
@@ -56,14 +56,20 @@ impl FlowSet {
         self.chunk_count
     }
 
-    /// Total payload bytes (local and remote).
+    /// Total payload bytes (local and remote). Saturating: a pathological
+    /// fault schedule that piles up near-`u64::MAX` flows must clamp at
+    /// the ceiling, not wrap into a bogus short repair time.
     pub fn total_bytes(&self) -> u64 {
-        self.flows.iter().map(|f| f.bytes).sum()
+        self.flows.iter().fold(0u64, |acc, f| acc.saturating_add(f.bytes))
     }
 
-    /// Bytes that actually cross the network.
+    /// Bytes that actually cross the network (saturating, see
+    /// [`FlowSet::total_bytes`]).
     pub fn network_bytes(&self) -> u64 {
-        self.flows.iter().filter(|f| f.src != f.dst).map(|f| f.bytes).sum()
+        self.flows
+            .iter()
+            .filter(|f| f.src != f.dst)
+            .fold(0u64, |acc, f| acc.saturating_add(f.bytes))
     }
 
     /// True when nothing moves.
@@ -102,10 +108,13 @@ impl FlowSet {
         for f in &self.flows {
             destinations.insert(f.dst, ());
             if f.src == f.dst {
-                *local.entry(f.src).or_default() += f.bytes;
+                let e = local.entry(f.src).or_default();
+                *e = e.saturating_add(f.bytes);
             } else {
-                *egress.entry(f.src).or_default() += f.bytes;
-                *ingress.entry(f.dst).or_default() += f.bytes;
+                let e = egress.entry(f.src).or_default();
+                *e = e.saturating_add(f.bytes);
+                let e = ingress.entry(f.dst).or_default();
+                *e = e.saturating_add(f.bytes);
             }
         }
 
@@ -272,6 +281,51 @@ mod tests {
             wide.push(NodeId(i), NodeId(10 + i), GB);
         }
         assert!((wide.elapsed_secs(&m) - 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_tallies_saturate_instead_of_wrapping() {
+        // Two flows whose byte sum exceeds u64::MAX: every accumulation
+        // path (totals, per-endpoint tallies) must clamp at the ceiling.
+        // A wrapping sum would report a tiny byte count and therefore a
+        // bogus *short* elapsed time; saturation keeps the estimate a
+        // monotone upper envelope.
+        let m = model();
+        let mut fs = FlowSet::new();
+        fs.push(NodeId(0), NodeId(1), u64::MAX - 5);
+        fs.push(NodeId(0), NodeId(1), 100);
+        assert_eq!(fs.total_bytes(), u64::MAX);
+        assert_eq!(fs.network_bytes(), u64::MAX);
+        let one = {
+            let mut one = FlowSet::new();
+            one.push(NodeId(0), NodeId(1), u64::MAX - 5);
+            one.elapsed_secs(&m)
+        };
+        // The saturated pair can never finish sooner than its larger flow
+        // alone — the signature a wrap-around would violate.
+        assert!(fs.elapsed_secs(&m) >= one);
+
+        // Local-write and ingress tallies saturate too.
+        let mut loc = FlowSet::new();
+        loc.push(NodeId(3), NodeId(3), u64::MAX - 1);
+        loc.push(NodeId(3), NodeId(3), 64);
+        assert_eq!(loc.total_bytes(), u64::MAX);
+        assert_eq!(loc.network_bytes(), 0);
+        let solo = {
+            let mut solo = FlowSet::new();
+            solo.push(NodeId(3), NodeId(3), u64::MAX - 1);
+            solo.elapsed_secs(&m)
+        };
+        assert!(loc.elapsed_secs(&m) >= solo);
+    }
+
+    #[test]
+    fn chunk_count_saturates_at_u64_max() {
+        let mut fs = FlowSet::new();
+        fs.chunk_count = u64::MAX - 1;
+        fs.push(NodeId(0), NodeId(1), 1);
+        fs.push(NodeId(0), NodeId(1), 1);
+        assert_eq!(fs.chunk_count(), u64::MAX);
     }
 
     #[test]

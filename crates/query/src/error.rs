@@ -23,6 +23,12 @@ pub enum QueryError {
     /// constructing (let alone not taking) the miss branch never
     /// allocates on the per-chunk lookup path.
     Unplaced(ChunkKey),
+    /// A chunk's only copies sat on nodes that crashed and no surviving
+    /// replica or catalog oracle can serve it — at `k = 1` this is the
+    /// typed face of data loss, returned instead of a panic or a silent
+    /// wrong answer. `Copy` key, lazily rendered, like
+    /// [`QueryError::Unplaced`].
+    NodeLost(ChunkKey),
     /// Operator-specific invalid argument.
     InvalidArgument(String),
 }
@@ -36,6 +42,9 @@ impl fmt::Display for QueryError {
                 write!(f, "region has {got} dimensions, array has {expected}")
             }
             QueryError::Unplaced(key) => write!(f, "chunk {key} is not placed on any node"),
+            QueryError::NodeLost(key) => {
+                write!(f, "chunk {key} is unreadable: every holding node is crashed")
+            }
             QueryError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

@@ -4,7 +4,8 @@
 use crate::catalog::{Catalog, StoredArray};
 use crate::error::{QueryError, Result};
 use array_model::{ArrayId, Chunk, ChunkCoords, ChunkDescriptor, Region};
-use cluster_sim::{Cluster, CostModel, NodeId};
+use cluster_sim::{Cluster, CostModel, NodeId, PayloadRead};
+use std::cell::Cell;
 
 /// Everything an operator needs to run.
 #[derive(Debug)]
@@ -13,12 +14,16 @@ pub struct ExecutionContext<'a> {
     pub cluster: &'a Cluster,
     /// The arrays.
     pub catalog: &'a Catalog,
+    /// Reads answered by something other than a serving primary: a
+    /// surviving replica or the catalog oracle standing in for a crashed
+    /// node. Interior-mutable so the read path keeps taking `&self`.
+    degraded: Cell<u64>,
 }
 
 impl<'a> ExecutionContext<'a> {
     /// Bundle a cluster and catalog.
     pub fn new(cluster: &'a Cluster, catalog: &'a Catalog) -> Self {
-        ExecutionContext { cluster, catalog }
+        ExecutionContext { cluster, catalog, degraded: Cell::new(0) }
     }
 
     /// The cost model in force.
@@ -26,8 +31,31 @@ impl<'a> ExecutionContext<'a> {
         self.cluster.cost_model()
     }
 
+    /// How many chunk reads (routing or payload) this context has served
+    /// from somewhere other than a healthy primary. Zero on a fault-free
+    /// cluster.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded.get()
+    }
+
+    fn note_degraded(&self) {
+        self.degraded.set(self.degraded.get().saturating_add(1));
+    }
+
+    /// Whether `node` is currently willing to serve reads.
+    fn serves(&self, node: NodeId) -> bool {
+        self.cluster.node(node).is_ok_and(|n| n.state().serves_reads())
+    }
+
     /// Which node holds this chunk. Replicated arrays are "held" by every
     /// node; callers pass the node that wants to read, and get it back.
+    ///
+    /// When the primary has crashed, routing fails over: first serving
+    /// replica holder, then the coordinator if the catalog's whole-array
+    /// copy can stand in. Both failovers count as degraded reads. A chunk
+    /// with no serving copy anywhere is a typed
+    /// [`QueryError::NodeLost`] — never a panic, never a silent wrong
+    /// answer.
     pub fn node_of(
         &self,
         array: &StoredArray,
@@ -40,27 +68,50 @@ impl<'a> ExecutionContext<'a> {
         let key = array.key_for(coords);
         // `ChunkKey` is `Copy`, so even the miss branch builds no string —
         // the error renders itself lazily at display time. This lookup
-        // runs once per chunk per operator; it must stay allocation-free
-        // (pinned by `tests/alloc_free_routing.rs`).
-        self.cluster.locate(&key).ok_or(QueryError::Unplaced(key))
+        // runs once per chunk per operator; the healthy path must stay
+        // allocation-free (pinned by `tests/alloc_free_routing.rs`).
+        match self.cluster.locate(&key) {
+            Some(primary) if self.serves(primary) => Ok(primary),
+            Some(_) => {
+                if let Some(&holder) =
+                    self.cluster.replica_holders(&key).iter().find(|&&r| self.serves(r))
+                {
+                    self.note_degraded();
+                    return Ok(holder);
+                }
+                if array.data.as_ref().is_some_and(|d| d.chunk(coords).is_some()) {
+                    self.note_degraded();
+                    return Ok(self.cluster.coordinator());
+                }
+                Err(QueryError::NodeLost(key))
+            }
+            None => Err(QueryError::Unplaced(key)),
+        }
     }
 
-    /// The materialized cells of one chunk, wherever they live: the
-    /// resident node's chunk store first (cell-level ingest attaches
-    /// payloads there, and rebalances move them), the catalog's
-    /// whole-array storage as the fallback (tests and examples that
-    /// materialize without a cluster store). `None` when the chunk is
-    /// metadata-only.
+    /// The materialized cells of one chunk, wherever they live: a serving
+    /// primary's chunk store first (cell-level ingest attaches payloads
+    /// there, and rebalances move them), then a surviving replica's store
+    /// (a degraded read), then the catalog's whole-array storage as the
+    /// oracle of last resort (degraded only when the primary exists but
+    /// is not serving — the metadata-only and store-free paths have
+    /// always used it). `None` when the chunk is metadata-only
+    /// everywhere.
     pub fn chunk_payload(&self, array: &'a StoredArray, coords: &ChunkCoords) -> Option<&'a Chunk> {
         let key = array.key_for(coords);
-        if let Some(node) = self.cluster.locate(&key) {
-            if let Ok(n) = self.cluster.node(node) {
-                if let Some(chunk) = n.payload(&key) {
-                    return Some(chunk);
-                }
+        match self.cluster.read_payload(&key) {
+            Some(PayloadRead::Primary(chunk)) => return Some(chunk.as_ref()),
+            Some(PayloadRead::Failover(_, chunk)) => {
+                self.note_degraded();
+                return Some(chunk.as_ref());
             }
+            None => {}
         }
-        array.data.as_ref()?.chunk(coords)
+        let chunk = array.data.as_ref()?.chunk(coords)?;
+        if self.cluster.locate(&key).is_some_and(|n| !self.serves(n)) {
+            self.note_degraded();
+        }
+        Some(chunk)
     }
 
     /// Whether cell-exact execution is possible for `array`: *every*
@@ -252,6 +303,85 @@ mod tests {
         let both = ctx.attr_fraction(array, &["v", "w"]).unwrap();
         assert!((both - 1.0).abs() < 1e-9);
         assert!(ctx.attr_fraction(array, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn failover_reads_come_from_replicas_and_count_degraded() {
+        let mut cluster = Cluster::with_replication(3, u64::MAX, CostModel::default(), 2).unwrap();
+        let schema = ArraySchema::parse("F<v:int32>[x=0:3,2]").unwrap();
+        let mut c0 = Chunk::new(&schema, ChunkCoords::new([0]));
+        c0.push_cell(&schema, vec![0], vec![ScalarValue::Int32(7)]).unwrap();
+        let d0 = c0.descriptor(ArrayId(9));
+        cluster.place(d0, NodeId(0)).unwrap();
+        // Store the payload only on the replica holder: the primary serves
+        // metadata, the replica serves the cells — a degraded read.
+        let holder = cluster.replica_holders(&d0.key)[0];
+        cluster.attach_replica_payload(d0.key, holder, c0).unwrap();
+        let mut cat = Catalog::new();
+        cat.register(StoredArray::from_descriptors(ArrayId(9), schema, [d0]));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let array = cat.array(ArrayId(9)).unwrap();
+        assert_eq!(ctx.degraded_reads(), 0);
+        assert!(ctx.chunk_payload(array, &ChunkCoords::new([0])).is_some());
+        assert_eq!(ctx.degraded_reads(), 1);
+        // Routing still names the serving primary: only the payload read
+        // was degraded.
+        assert_eq!(ctx.node_of(array, &ChunkCoords::new([0]), None).unwrap(), NodeId(0));
+        assert_eq!(ctx.degraded_reads(), 1);
+    }
+
+    #[test]
+    fn k1_crash_yields_typed_node_lost_not_wrong_answers() {
+        let mut cluster = Cluster::new(2, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("L<v:int32>[x=0:3,2]").unwrap();
+        let mk = |x: i64| {
+            let mut c = Chunk::new(&schema, ChunkCoords::new([x / 2]));
+            c.push_cell(&schema, vec![x], vec![ScalarValue::Int32(x as i32)]).unwrap();
+            c
+        };
+        let (c0, c1) = (mk(0), mk(2));
+        let (d0, d1) = (c0.descriptor(ArrayId(11)), c1.descriptor(ArrayId(11)));
+        cluster.place(d0, NodeId(0)).unwrap();
+        cluster.place(d1, NodeId(1)).unwrap();
+        cluster.attach_payload(d0.key, c0).unwrap();
+        cluster.attach_payload(d1.key, c1).unwrap();
+        cluster.crash_node(NodeId(0)).unwrap();
+        let mut cat = Catalog::new();
+        // Store-only catalog: no whole-array oracle to fall back on.
+        cat.register(StoredArray::from_descriptors(ArrayId(11), schema, [d0, d1]));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let array = cat.array(ArrayId(11)).unwrap();
+        assert!(matches!(
+            ctx.node_of(array, &ChunkCoords::new([0]), None),
+            Err(QueryError::NodeLost(k)) if k == d0.key
+        ));
+        assert!(ctx.chunk_payload(array, &ChunkCoords::new([0])).is_none());
+        // The surviving chunk is untouched and un-degraded.
+        assert_eq!(ctx.node_of(array, &ChunkCoords::new([1]), None).unwrap(), NodeId(1));
+        assert!(ctx.chunk_payload(array, &ChunkCoords::new([1])).is_some());
+        assert_eq!(ctx.degraded_reads(), 0);
+        assert!(!ctx.cells_available(array), "lost cells must close the exactness gate");
+    }
+
+    #[test]
+    fn catalog_oracle_backstops_crashed_k1_primaries_as_degraded() {
+        let (mut cluster, cat) = setup();
+        cluster.crash_node(NodeId(0)).unwrap();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let array = cat.array(ArrayId(0)).unwrap();
+        // setup() places even-indexed chunks on node 0; the whole-array
+        // catalog copy (from_array) stands in for every one of them.
+        let all = ctx.chunks_in(ArrayId(0), None).unwrap();
+        assert_eq!(all.len(), 16);
+        // Every route lands on a serving node (node 0's eight chunks fail
+        // over to the coordinator), and exactly those eight count degraded.
+        assert!(all.iter().all(|(_, n)| *n == NodeId(1)));
+        assert_eq!(ctx.degraded_reads(), 8);
+        for coords in array.descriptors.keys() {
+            assert!(ctx.chunk_payload(array, coords).is_some());
+        }
+        assert_eq!(ctx.degraded_reads(), 16);
+        assert!(ctx.cells_available(array));
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //!   capacity trigger;
 //! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
 
+use crate::faults::{ErrorPolicy, FaultKind, FaultPlan};
 use crate::spec::{CellBatch, SuiteReport, Workload};
 use array_model::{
     Array, ArrayError, ArrayId, ArraySchema, CellBuffer, ChunkCoords, ChunkDescriptor, ChunkKey,
     StringEncoding,
 };
-use cluster_sim::{gb, Cluster, ClusterError, CostModel, FlowSet, NodeHoursLedger, PhaseBreakdown};
+use cluster_sim::{
+    gb, Cluster, ClusterError, CostModel, Flakiness, FlowSet, MidCrash, NodeHoursLedger, NodeId,
+    PhaseBreakdown, RebalancePlan,
+};
 use elastic_core::{
     batch_prefix_bytes, build_partitioner, route_batch, Partitioner, PartitionerConfig,
     PartitionerKind, ProvisionDecision, RouteEpoch, StaircaseConfig, StaircaseProvisioner,
@@ -69,6 +73,24 @@ pub enum CycleError {
         /// The unregistered array id the batch named.
         array: ArrayId,
     },
+    /// A scheduled fault could not be injected (crashing the last serving
+    /// node, draining a non-healthy node, reviving a node that is not
+    /// crashed, or naming a node outside the roster).
+    Fault {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying cluster rejection.
+        source: ClusterError,
+    },
+    /// Post-recovery verification failed: the replica index and the node
+    /// stores disagree after a repair pass — the recovery subsystem left
+    /// the books inconsistent.
+    Recovery {
+        /// Cycle that failed.
+        cycle: usize,
+        /// The bookkeeping violation the audit found.
+        source: ClusterError,
+    },
 }
 
 impl fmt::Display for CycleError {
@@ -89,6 +111,12 @@ impl fmt::Display for CycleError {
             CycleError::UnknownArray { cycle, array } => {
                 write!(f, "cycle {cycle}: cell batch targets {array}, which is not in the catalog")
             }
+            CycleError::Fault { cycle, source } => {
+                write!(f, "cycle {cycle}: fault injection refused: {source}")
+            }
+            CycleError::Recovery { cycle, source } => {
+                write!(f, "cycle {cycle}: post-recovery audit failed: {source}")
+            }
         }
     }
 }
@@ -98,7 +126,9 @@ impl std::error::Error for CycleError {
         match self {
             CycleError::Ingest { source, .. }
             | CycleError::Derived { source, .. }
-            | CycleError::Reorg { source, .. } => Some(source),
+            | CycleError::Reorg { source, .. }
+            | CycleError::Fault { source, .. }
+            | CycleError::Recovery { source, .. } => Some(source),
             CycleError::Materialize { source, .. } => Some(source),
             CycleError::UnknownArray { .. } => None,
         }
@@ -149,22 +179,42 @@ pub struct RunnerConfig {
     /// either way (pinned by `tests/materialized_queries.rs`); byte
     /// accounting, and therefore placement, legitimately differs.
     pub string_encoding: StringEncoding,
+    /// Copies kept of every chunk (`k`). The default `1` is the paper's
+    /// single-copy model and is bit-identical to the pre-replication
+    /// runner (pinned by `tests/fault_recovery.rs`); `k ≥ 2` adds
+    /// deterministically routed replicas that crashes fail over to.
+    pub replication: usize,
+    /// Scheduled fault injection; `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// What [`WorkloadRunner::run_all`] does when a cycle fails.
+    pub on_error: ErrorPolicy,
 }
 
 impl RunnerConfig {
     /// The §6.2 experimental setup for a given partitioner: 2 nodes,
     /// 100 GB each, +2 nodes at 80 % demand, queries on.
     pub fn paper_section62(partitioner: PartitionerKind) -> Self {
+        RunnerConfig { partitioner, ..RunnerConfig::default() }
+    }
+}
+
+impl Default for RunnerConfig {
+    /// [`RunnerConfig::paper_section62`] with the consistent-hash
+    /// partitioner: the baseline every experiment varies from.
+    fn default() -> Self {
         RunnerConfig {
             node_capacity: 100_000_000_000,
             initial_nodes: 2,
-            partitioner,
+            partitioner: PartitionerKind::ConsistentHash,
             partitioner_config: PartitionerConfig::default(),
             scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
             cost: CostModel::default(),
             run_queries: true,
             ingest_threads: 1,
             string_encoding: StringEncoding::default(),
+            replication: 1,
+            fault_plan: None,
+            on_error: ErrorPolicy::default(),
         }
     }
 }
@@ -192,8 +242,30 @@ pub struct CycleReport {
     /// safety cap allows: demand exceeded the trigger level even after
     /// this cycle's scale-out. Previously this was dropped silently.
     pub scale_saturated: bool,
+    /// Nodes in the `Crashed` state when the cycle ended.
+    pub crashed_nodes: usize,
+    /// Chunks still below the effective copy target when the cycle ended
+    /// (zero once recovery converges; includes chunks lost outright).
+    pub under_replicated: usize,
+    /// Bytes moved by this cycle's repair flows.
+    pub repair_bytes: u64,
+    /// Failed repair attempts that were retried with backoff.
+    pub repair_retries: u64,
+    /// Query-phase chunk reads served by something other than a healthy
+    /// primary (replica failover or the catalog oracle).
+    pub degraded_reads: u64,
     /// Per-query benchmark results (when queries ran).
     pub suites: Option<SuiteReport>,
+}
+
+/// A cycle [`WorkloadRunner::run_all`] abandoned under
+/// [`ErrorPolicy::RecordAndContinue`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailedCycle {
+    /// The cycle that failed.
+    pub cycle: usize,
+    /// The rendered [`CycleError`].
+    pub error: String,
 }
 
 /// Full-run summary.
@@ -203,6 +275,9 @@ pub struct RunReport {
     pub partitioner: PartitionerKind,
     /// Per-cycle detail.
     pub cycles: Vec<CycleReport>,
+    /// Cycles that failed and were skipped — empty under
+    /// [`ErrorPolicy::Abort`] (the run errors instead) and on clean runs.
+    pub failures: Vec<FailedCycle>,
 }
 
 impl RunReport {
@@ -221,6 +296,7 @@ impl RunReport {
             out.insert_secs += c.phases.insert_secs;
             out.reorg_secs += c.phases.reorg_secs;
             out.query_secs += c.phases.query_secs;
+            out.repair_secs += c.phases.repair_secs;
         }
         out
     }
@@ -391,9 +467,13 @@ impl<'w> WorkloadRunner<'w> {
     }
 
     fn build(workload: WorkloadRef<'_>, config: RunnerConfig) -> WorkloadRunner<'_> {
-        let mut cluster =
-            Cluster::new(config.initial_nodes, config.node_capacity, config.cost.clone())
-                .expect("initial node count is positive");
+        let mut cluster = Cluster::with_replication(
+            config.initial_nodes,
+            config.node_capacity,
+            config.cost.clone(),
+            config.replication,
+        )
+        .expect("initial node count is positive");
         let mut catalog = Catalog::new();
         workload.get().register_arrays(&mut catalog);
         // Register every array's chunk-grid extents so the cluster's
@@ -575,14 +655,35 @@ impl<'w> WorkloadRunner<'w> {
         // Route the whole batch against one epoch snapshot...
         let prefix = batch_prefix_bytes(batch);
         let epoch = RouteEpoch::for_batch(&self.cluster, &prefix);
-        let routes = route_batch(self.partitioner.as_ref(), batch, &epoch, threads);
+        let mut routes = route_batch(self.partitioner.as_ref(), batch, &epoch, threads);
+        // Partitioners route against the full roster; with nodes out of
+        // service, divert each such hit to a deterministic accepting node.
+        // Fault-free runs skip this pass entirely, keeping the healthy
+        // path bit-identical to the pre-fault runner.
+        if self.cluster.has_faulted_nodes() {
+            for (desc, route) in batch.iter().zip(routes.iter_mut()) {
+                let accepts = self.cluster.node(*route).is_ok_and(|n| n.state().accepts_data());
+                if !accepts {
+                    *route =
+                        self.cluster.divert_route(&desc.key).ok_or(ClusterError::NoHealthyNodes)?;
+                }
+            }
+        }
         // ...place it shard-parallel (rolls back wholesale on duplicates)...
         self.cluster.place_batch(batch, &routes, threads)?;
-        // ...then commit the partitioner's table mutations sequentially.
+        // ...then commit the partitioner's table mutations sequentially
+        // (diverted routes included, so later lookups agree with the
+        // placement).
         self.partitioner.commit(batch, &routes);
         let mut flows = FlowSet::new();
         for (desc, &node) in batch.iter().zip(&routes) {
             flows.push(coordinator, node, desc.bytes);
+            // Replica copies cost real bytes too: the coordinator fans the
+            // same payload to every holder the placement just installed.
+            // Empty at k = 1.
+            for &holder in self.cluster.replica_holders(&desc.key) {
+                flows.push(coordinator, holder, desc.bytes);
+            }
             if let Ok(array) = self.catalog.array_mut(desc.key.array) {
                 array.descriptors.insert(desc.key.coords, *desc);
             }
@@ -590,8 +691,135 @@ impl<'w> WorkloadRunner<'w> {
         Ok(flows)
     }
 
+    /// Rewrite a scale-out rebalance plan against the faulted roster. The
+    /// partitioners are deliberately fault-blind — their ring/tree view
+    /// stays stable across crashes so fault-free runs stay bit-identical —
+    /// which means a plan can move chunks that a crash already promoted
+    /// elsewhere (or orphaned), or target a node that no longer accepts
+    /// data. Stale sources are dropped (there is nothing left to move);
+    /// unavailable destinations are diverted exactly like ingest routes.
+    /// Fault-free runs return the plan untouched.
+    fn sanitize_rebalance(&self, plan: RebalancePlan) -> RebalancePlan {
+        if !self.cluster.has_faulted_nodes() {
+            return plan;
+        }
+        let mut out = RebalancePlan::empty();
+        for m in plan.moves {
+            let source_live = self.cluster.locate(&m.key) == Some(m.from)
+                && self.cluster.node(m.from).is_ok_and(|n| n.state().serves_reads());
+            if !source_live {
+                continue;
+            }
+            let accepts = self.cluster.node(m.to).is_ok_and(|n| n.state().accepts_data());
+            let to = if accepts {
+                m.to
+            } else {
+                // A diverted move may land on a replica holder; the
+                // cluster supersedes that replica with the arriving
+                // primary, so any accepting node is a legal target.
+                match self.cluster.divert_route(&m.key) {
+                    Some(d) if d != m.from => d,
+                    _ => continue,
+                }
+            };
+            out.push(m.key, m.from, to, m.bytes);
+        }
+        out
+    }
+
+    /// Upper bound on plan → execute recovery passes per invocation. A
+    /// mid-repair crash creates deficits the in-flight plan cannot see,
+    /// so one pass is not always enough; flaky flows can starve a pass
+    /// without emptying the plan. Four passes converge every schedule the
+    /// suites drive while still bounding an adversarial one.
+    const MAX_RECOVERY_PASSES: usize = 4;
+
+    /// The faults scheduled for `cycle`, sorted into the phases that
+    /// execute them.
+    fn cycle_faults(&self, cycle: usize) -> CycleFaults {
+        let mut out = CycleFaults::default();
+        let Some(plan) = self.config.fault_plan.as_ref() else { return out };
+        for kind in plan.events_at(cycle) {
+            match kind {
+                FaultKind::Crash(_) | FaultKind::Drain(_) | FaultKind::Revive(_) => {
+                    out.start.push(kind)
+                }
+                FaultKind::CrashDuringRebalance(n) => out.rebalance_crashes.push(NodeId(n)),
+                FaultKind::CrashDuringRecovery { node, after_jobs } => {
+                    out.mid_crash = Some(MidCrash { after_jobs, node: NodeId(node) })
+                }
+                FaultKind::FlakyFlows { p } => {
+                    out.flaky = Some(Flakiness { p, seed: plan.cycle_seed(cycle) })
+                }
+            }
+        }
+        out
+    }
+
+    /// Drive recovery to convergence: plan → execute passes until the
+    /// plan comes back empty or stops making progress, then return any
+    /// refilled `Recovering` nodes to full service and audit the replica
+    /// books. Repair flows and backoff waits accumulate into `tally`.
+    fn run_recovery(
+        &mut self,
+        cycle: usize,
+        flaky: Option<Flakiness>,
+        mut mid_crash: Option<MidCrash>,
+        tally: &mut RepairTally,
+    ) -> Result<(), CycleError> {
+        let policy = self.config.fault_plan.as_ref().map(|p| p.backoff).unwrap_or_default();
+        for _ in 0..Self::MAX_RECOVERY_PASSES {
+            let plan = self.cluster.plan_recovery();
+            if plan.jobs.is_empty() {
+                break;
+            }
+            let outcome =
+                self.cluster.execute_recovery_with(&plan, &policy, flaky, mid_crash.take());
+            tally.bytes = tally.bytes.saturating_add(outcome.repair_bytes());
+            tally.secs += outcome.repair_secs(&self.config.cost);
+            tally.retries = tally.retries.saturating_add(u64::from(outcome.retries));
+            if outcome.repaired == 0 {
+                // No forward progress (retry budgets exhausted, or nothing
+                // repairable remains): stop rather than spin.
+                break;
+            }
+        }
+        if self.cluster.replica_census().is_full_strength() {
+            let refilled: Vec<NodeId> = self
+                .cluster
+                .nodes()
+                .filter(|n| n.state() == cluster_sim::NodeState::Recovering)
+                .map(|n| n.id)
+                .collect();
+            for id in refilled {
+                self.cluster
+                    .mark_recovered(id)
+                    .map_err(|source| CycleError::Fault { cycle, source })?;
+            }
+        }
+        self.cluster.verify_replica_books().map_err(|source| CycleError::Recovery { cycle, source })
+    }
+
     /// Execute one workload cycle.
     pub fn run_cycle(&mut self, cycle: usize) -> Result<CycleReport, CycleError> {
+        // Fault injection first: cycle-start crashes, drains, and
+        // revivals, then a recovery pass re-replicating whatever they
+        // exposed (a no-op sweep on an all-healthy roster).
+        let faults = self.cycle_faults(cycle);
+        for kind in &faults.start {
+            match *kind {
+                FaultKind::Crash(n) => self.cluster.crash_node(NodeId(n)).map(|_| ()),
+                FaultKind::Drain(n) => self.cluster.start_draining(NodeId(n)),
+                FaultKind::Revive(n) => self.cluster.revive_node(NodeId(n)),
+                _ => Ok(()),
+            }
+            .map_err(|source| CycleError::Fault { cycle, source })?;
+        }
+        let mut repair = RepairTally::default();
+        if self.cluster.has_faulted_nodes() {
+            self.run_recovery(cycle, faults.flaky, faults.mid_crash, &mut repair)?;
+        }
+
         // Materialized workloads stream cells through the chunk builder
         // and ingest descriptors derived from the real payloads; metadata
         // workloads place their sampled descriptors directly.
@@ -616,12 +844,23 @@ impl<'w> WorkloadRunner<'w> {
         if added > 0 {
             let new_nodes = self.cluster.add_nodes(added, self.config.node_capacity);
             let plan = self.partitioner.scale_out(&self.cluster, &new_nodes);
+            let plan = self.sanitize_rebalance(plan);
             moved_bytes = plan.moved_bytes();
             let flows = self
                 .cluster
                 .apply_rebalance(&plan)
                 .map_err(|source| CycleError::Reorg { cycle, source })?;
             reorg_secs = flows.elapsed_secs(&self.config.cost);
+        }
+        // Rebalance-window crashes land here — after any data movement,
+        // before the ingest — and get their own recovery pass.
+        if !faults.rebalance_crashes.is_empty() {
+            for &node in &faults.rebalance_crashes {
+                self.cluster
+                    .crash_node(node)
+                    .map_err(|source| CycleError::Fault { cycle, source })?;
+            }
+            self.run_recovery(cycle, faults.flaky, None, &mut repair)?;
         }
 
         // Ingest.
@@ -636,10 +875,12 @@ impl<'w> WorkloadRunner<'w> {
 
         // Query phase, plus storing derived findings.
         let mut query_secs = 0.0;
+        let mut degraded_reads = 0u64;
         let suites = if self.config.run_queries {
             let ctx = ExecutionContext::new(&self.cluster, &self.catalog);
             let report = self.workload.get().run_suites(&ctx, cycle);
             query_secs += report.total_secs();
+            degraded_reads = ctx.degraded_reads();
             Some(report)
         } else {
             None
@@ -657,28 +898,75 @@ impl<'w> WorkloadRunner<'w> {
             p.observe(gb(self.cluster.total_used()));
         }
 
+        let census = self.cluster.replica_census();
         Ok(CycleReport {
             cycle,
             nodes: self.cluster.node_count(),
             added_nodes: added,
             demand_gb: gb(self.cluster.total_used()),
-            phases: PhaseBreakdown { insert_secs, reorg_secs, query_secs },
+            phases: PhaseBreakdown {
+                insert_secs,
+                reorg_secs,
+                query_secs,
+                repair_secs: repair.secs,
+            },
             rsd_after_insert,
             moved_bytes,
             insert_bytes,
             scale_saturated,
+            crashed_nodes: self
+                .cluster
+                .nodes()
+                .filter(|n| n.state() == cluster_sim::NodeState::Crashed)
+                .count(),
+            under_replicated: census.under_replicated(),
+            repair_bytes: repair.bytes,
+            repair_retries: repair.retries,
+            degraded_reads,
             suites,
         })
     }
 
-    /// Run every cycle of the workload, stopping at the first failure.
+    /// Run every cycle of the workload. Under [`ErrorPolicy::Abort`] (the
+    /// default) the run stops at the first failure; under
+    /// [`ErrorPolicy::RecordAndContinue`] the failing cycle is recorded in
+    /// [`RunReport::failures`] and the run presses on against whatever
+    /// state survives.
     pub fn run_all(&mut self) -> Result<RunReport, CycleError> {
         let mut cycles = Vec::with_capacity(self.workload.get().cycles());
+        let mut failures = Vec::new();
         for c in 0..self.workload.get().cycles() {
-            cycles.push(self.run_cycle(c)?);
+            match self.run_cycle(c) {
+                Ok(report) => cycles.push(report),
+                Err(e) if self.config.on_error == ErrorPolicy::RecordAndContinue => {
+                    failures.push(FailedCycle { cycle: c, error: e.to_string() })
+                }
+                Err(e) => return Err(e),
+            }
         }
-        Ok(RunReport { partitioner: self.config.partitioner, cycles })
+        Ok(RunReport { partitioner: self.config.partitioner, cycles, failures })
     }
+}
+
+/// The faults one cycle executes, sorted by injection point.
+#[derive(Default)]
+struct CycleFaults {
+    /// Crash / drain / revive events applied at cycle start.
+    start: Vec<FaultKind>,
+    /// Nodes felled right after the rebalance phase.
+    rebalance_crashes: Vec<NodeId>,
+    /// Flow-drop injection threaded through every recovery pass.
+    flaky: Option<Flakiness>,
+    /// Mid-repair crash threaded through the first recovery pass.
+    mid_crash: Option<MidCrash>,
+}
+
+/// Accumulated repair cost across a cycle's recovery passes.
+#[derive(Default)]
+struct RepairTally {
+    bytes: u64,
+    secs: f64,
+    retries: u64,
 }
 
 #[cfg(test)]
@@ -702,6 +990,7 @@ mod tests {
             run_queries: true,
             ingest_threads: 1,
             string_encoding: StringEncoding::default(),
+            ..RunnerConfig::default()
         }
     }
 
@@ -806,6 +1095,123 @@ mod tests {
         // carry payloads.
         assert_eq!(cluster.payload_count(), broadcast.descriptors.len());
         assert!(cluster.total_chunks() > broadcast.descriptors.len());
+    }
+
+    /// Re-emits cycle 0's chunk keys at cycle 1 — a typed ingest
+    /// failure — then runs clean again at cycle 2.
+    struct CollidingWorkload;
+
+    impl Workload for CollidingWorkload {
+        fn name(&self) -> &'static str {
+            "colliding"
+        }
+        fn cycles(&self) -> usize {
+            3
+        }
+        fn register_arrays(&self, catalog: &mut Catalog) {
+            let schema = ArraySchema::parse("C<v:double>[x=0:63,1]").unwrap();
+            catalog.register(query_engine::StoredArray::from_descriptors(ArrayId(0), schema, []));
+        }
+        fn insert_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
+            let base = if cycle == 1 { 0 } else { cycle as i64 * 8 };
+            (0..8)
+                .map(|i| {
+                    ChunkDescriptor::new(
+                        ChunkKey::new(ArrayId(0), ChunkCoords::new([base + i])),
+                        1_000_000,
+                        100,
+                    )
+                })
+                .collect()
+        }
+        fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+            Vec::new()
+        }
+        fn grid_hint(&self) -> elastic_core::GridHint {
+            elastic_core::GridHint::new(vec![64])
+        }
+        fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+            SuiteReport::default()
+        }
+    }
+
+    #[test]
+    fn abort_policy_stops_at_first_failing_cycle() {
+        let mut runner =
+            WorkloadRunner::new_owned(CollidingWorkload, config(PartitionerKind::RoundRobin));
+        let err = runner.run_all().expect_err("cycle 1 replays cycle 0's keys");
+        assert!(matches!(err, CycleError::Ingest { cycle: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn record_and_continue_policy_survives_failing_cycles() {
+        let mut cfg = config(PartitionerKind::RoundRobin);
+        cfg.on_error = ErrorPolicy::RecordAndContinue;
+        let mut runner = WorkloadRunner::new_owned(CollidingWorkload, cfg);
+        let report = runner.run_all().expect("failures are recorded, not raised");
+        assert_eq!(report.cycles.iter().map(|c| c.cycle).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].cycle, 1);
+        assert!(report.failures[0].error.contains("cycle 1"), "{}", report.failures[0].error);
+        // The colliding batch rolled back wholesale: cycle 2's books
+        // balance exactly as if cycle 1 had never run.
+        let total: u64 = runner.cluster().loads().iter().sum();
+        assert_eq!(total, runner.cluster().total_used());
+        assert_eq!(total, 16_000_000, "cycles 0 and 2 landed, cycle 1 did not");
+    }
+
+    #[test]
+    fn crash_fault_recovers_and_reports_costs() {
+        let w = mini_modis();
+        let mut cfg = config(PartitionerKind::ConsistentHash);
+        cfg.initial_nodes = 4;
+        cfg.replication = 2;
+        cfg.fault_plan = Some(FaultPlan::new(11).at(2, FaultKind::Crash(1)));
+        let mut runner = WorkloadRunner::new(&w, cfg);
+        let report = runner.run_all().expect("faulted run completes");
+        let c2 = &report.cycles[2];
+        assert_eq!(c2.crashed_nodes, 1);
+        assert!(c2.repair_bytes > 0, "re-replication moved bytes");
+        assert!(c2.phases.repair_secs > 0.0, "repair time is costed");
+        assert_eq!(c2.under_replicated, 0, "recovery converged within the cycle");
+        assert_eq!(c2.degraded_reads, 0, "full-strength replicas leave no degraded reads");
+        assert!(report.phase_totals().repair_secs > 0.0);
+        // Fault-free cycles carry no repair costs, and later cycles hold
+        // full strength without further repair.
+        assert_eq!(report.cycles[1].phases.repair_secs, 0.0);
+        assert!(report.cycles[3..].iter().all(|c| c.under_replicated == 0));
+        assert!(report.cycles.iter().all(|c| !c.scale_saturated));
+    }
+
+    #[test]
+    fn every_cycle_error_variant_displays_and_chains() {
+        use std::error::Error as _;
+        let cluster_src = || ClusterError::UnknownNode(9);
+        let array_src = || ArrayError::Parse("bad schema".into());
+        let variants: Vec<CycleError> = vec![
+            CycleError::Ingest { cycle: 1, source: cluster_src() },
+            CycleError::Derived { cycle: 2, source: cluster_src() },
+            CycleError::Reorg { cycle: 3, source: cluster_src() },
+            CycleError::Materialize { cycle: 4, source: array_src() },
+            CycleError::UnknownArray { cycle: 5, array: ArrayId(7) },
+            CycleError::Fault { cycle: 6, source: cluster_src() },
+            CycleError::Recovery { cycle: 7, source: cluster_src() },
+        ];
+        for (i, err) in variants.iter().enumerate() {
+            let rendered = err.to_string();
+            assert!(
+                rendered.contains(&format!("cycle {}", i + 1)),
+                "variant {i} must name its cycle: {rendered}"
+            );
+            match err {
+                // The only variant with no underlying error to chain to.
+                CycleError::UnknownArray { .. } => assert!(err.source().is_none()),
+                _ => {
+                    let source = err.source().expect("variant chains to its source");
+                    assert!(!source.to_string().is_empty());
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 pub mod ais;
 mod cycle;
+mod faults;
 pub mod modis;
 mod rand_util;
 mod spec;
@@ -23,9 +24,10 @@ pub mod synthetic;
 
 pub use ais::AisWorkload;
 pub use cycle::{
-    build_cell_array, build_cell_array_encoded, CycleError, CycleReport, RunReport, RunnerConfig,
-    ScalingPolicy, WorkloadRunner,
+    build_cell_array, build_cell_array_encoded, CycleError, CycleReport, FailedCycle, RunReport,
+    RunnerConfig, ScalingPolicy, WorkloadRunner,
 };
+pub use faults::{ErrorPolicy, FaultEvent, FaultKind, FaultPlan};
 pub use modis::ModisWorkload;
 pub use rand_util::{lognormal, rng_for, standard_normal, zipf_weight};
 pub use spec::{CellBatch, QueryRecord, SuiteReport, Workload};

@@ -216,6 +216,7 @@ mod tests {
             run_queries: true,
             ingest_threads: 1,
             string_encoding: array_model::StringEncoding::default(),
+            ..RunnerConfig::default()
         }
     }
 

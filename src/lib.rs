@@ -65,7 +65,8 @@ pub mod prelude {
     };
     pub use query_engine::{ops, Catalog, ExecutionContext, QueryStats, StoredArray};
     pub use workloads::{
-        AisWorkload, CycleError, ModisWorkload, RunReport, RunnerConfig, ScalingPolicy,
-        SuiteReport, Workload, WorkloadRunner,
+        AisWorkload, CycleError, ErrorPolicy, FailedCycle, FaultEvent, FaultKind, FaultPlan,
+        ModisWorkload, RunReport, RunnerConfig, ScalingPolicy, SuiteReport, Workload,
+        WorkloadRunner,
     };
 }

@@ -138,6 +138,57 @@ fn query_node_of_lookup_never_allocates() {
     assert!(sink != u64::MAX, "keep the loop observable");
 }
 
+/// Failover reads are the degraded-mode hot path: a primary that serves
+/// metadata while only a replica holds the cells — the repair-lag window
+/// after a crash. Routing every read through the replica scan and
+/// counting it degraded must stay allocation-free, like the healthy
+/// lookup path above (the degraded counter is a `Cell` bump, the holder
+/// scan walks a borrowed slice, and `PayloadRead` moves by value).
+#[test]
+fn failover_payload_reads_never_allocate() {
+    use elastic_array_db::array::Chunk;
+
+    let mut cluster = Cluster::with_replication(4, u64::MAX, CostModel::default(), 2).unwrap();
+    assert!(cluster.register_array(ArrayId(0), &[32, 32]));
+    let schema = ArraySchema::parse("A<v:int32>[x=0:511,16, y=0:511,16]").unwrap();
+    let mut descs = Vec::new();
+    for x in 0..32i64 {
+        for y in 0..32i64 {
+            let coords = ChunkCoords::new([x, y]);
+            let mut chunk = Chunk::new(&schema, coords);
+            chunk.push_cell(&schema, vec![x * 16, y * 16], vec![ScalarValue::Int32(1)]).unwrap();
+            let desc = chunk.descriptor(ArrayId(0));
+            cluster.place(desc, NodeId(((x + y) % 4) as u32)).unwrap();
+            // The payload lives only on a replica holder, so every read
+            // below must fail over.
+            let holder = cluster.replica_holders(&desc.key)[0];
+            cluster.attach_replica_payload(desc.key, holder, chunk).unwrap();
+            descs.push(desc);
+        }
+    }
+    let mut catalog = Catalog::new();
+    // Store-only: no whole-array oracle to hide behind.
+    catalog.register(StoredArray::from_descriptors(ArrayId(0), schema, descs));
+    let ctx = ExecutionContext::new(&cluster, &catalog);
+    let array = catalog.array(ArrayId(0)).unwrap();
+
+    let mut sink = 0u64;
+    for round in 0..2 {
+        let start = allocation_count();
+        for i in 0..10_000i64 {
+            let coords = ChunkCoords::new([i % 32, (i / 32) % 32]);
+            sink ^= ctx.chunk_payload(array, &coords).map_or(0, |c| c.cell_count());
+            sink ^= ctx.node_of(array, &coords, None).map_or(0, |n| u64::from(n.0));
+        }
+        let allocs = allocation_count() - start;
+        if round == 1 {
+            assert_eq!(allocs, 0, "10k failover reads allocated {allocs} times");
+        }
+    }
+    assert_eq!(ctx.degraded_reads(), 20_000, "every payload read was a failover");
+    assert!(sink != u64::MAX, "keep the loop observable");
+}
+
 /// The materialized (cell-level) ingest path must be allocation-**lean**:
 /// O(1) amortized allocations per *row*. The old pipeline allocated two
 /// `Vec`s per cell (coordinates + values) before a row ever reached its

@@ -61,6 +61,7 @@ fn config_encoded(
         run_queries: false,
         ingest_threads: 1,
         string_encoding,
+        ..RunnerConfig::default()
     }
 }
 

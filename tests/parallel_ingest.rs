@@ -245,6 +245,7 @@ fn plain_config(kind: PartitionerKind, node_capacity: u64) -> RunnerConfig {
         run_queries: false,
         ingest_threads: 2,
         string_encoding: StringEncoding::default(),
+        ..RunnerConfig::default()
     }
 }
 

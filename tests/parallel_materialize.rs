@@ -29,6 +29,7 @@ fn config(kind: PartitionerKind, node_capacity: u64, threads: usize) -> RunnerCo
         run_queries: false,
         ingest_threads: threads,
         string_encoding: StringEncoding::default(),
+        ..RunnerConfig::default()
     }
 }
 

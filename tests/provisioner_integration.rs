@@ -67,6 +67,7 @@ fn staircase_config(p: usize) -> RunnerConfig {
         run_queries: false,
         ingest_threads: 1,
         string_encoding: StringEncoding::default(),
+        ..RunnerConfig::default()
     }
 }
 
