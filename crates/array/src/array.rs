@@ -9,6 +9,20 @@ use crate::value::{ScalarValue, StringEncoding};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// What a batch retraction ([`Array::delete_cells`]) did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetractOutcome {
+    /// Cells actually tombstoned.
+    pub retracted: u64,
+    /// Listed cells with no live match (never inserted, or already
+    /// retracted).
+    pub missing: u64,
+    /// Exact bytes the touched chunks shrank by.
+    pub freed_bytes: u64,
+    /// Positions of the chunks that lost cells, in row-major order.
+    pub touched: Vec<ChunkCoords>,
+}
+
 /// A materialized array: schema plus chunk storage.
 ///
 /// Only non-empty chunks exist; the on-disk footprint is a function of the
@@ -162,6 +176,64 @@ impl Array {
         );
         self.merge_built(built);
         Ok(())
+    }
+
+    /// Apply a flat list of retraction coordinates (stride = the
+    /// schema's dimensionality): each cell is routed to its chunk and
+    /// the most recently inserted live cell there is tombstoned (see
+    /// [`Chunk::retract_cell`]). A cell with no live match counts as
+    /// `missing` rather than failing the batch — delete scripts are
+    /// replayed against both oracle and store copies, which may already
+    /// have pruned a chunk. Emptied chunks are left in place; callers
+    /// that need them gone follow up with [`Array::prune_empty`].
+    pub fn delete_cells(&mut self, flat: &[i64]) -> Result<RetractOutcome> {
+        let nd = self.schema.ndims().max(1);
+        if !flat.len().is_multiple_of(nd) {
+            return Err(ArrayError::Arity { expected: nd, got: flat.len() % nd });
+        }
+        let mut out = RetractOutcome::default();
+        let mut touched = std::collections::BTreeSet::new();
+        for cell in flat.chunks_exact(nd) {
+            let coords = chunk_of(&self.schema, cell)?;
+            let Some(chunk) = self.chunks.get_mut(&coords) else {
+                out.missing += 1;
+                continue;
+            };
+            match Arc::make_mut(chunk).retract_cell(cell) {
+                Some(freed) => {
+                    out.retracted += 1;
+                    out.freed_bytes += freed;
+                    touched.insert(coords);
+                }
+                None => out.missing += 1,
+            }
+        }
+        out.touched = touched.into_iter().collect();
+        Ok(out)
+    }
+
+    /// Drop every empty chunk (all cells retracted), returning the
+    /// positions removed in row-major order.
+    pub fn prune_empty(&mut self) -> Vec<ChunkCoords> {
+        let empty: Vec<ChunkCoords> =
+            self.chunks.iter().filter(|(_, c)| c.is_empty()).map(|(c, _)| *c).collect();
+        for c in &empty {
+            self.chunks.remove(c);
+        }
+        empty
+    }
+
+    /// Compact every chunk that carries tombstones (see
+    /// [`Chunk::compact`]), returning the total byte-size delta
+    /// (positive = bytes reclaimed).
+    pub fn compact_chunks(&mut self) -> i64 {
+        let mut delta = 0i64;
+        for chunk in self.chunks.values_mut() {
+            if chunk.tombstone_count() > 0 {
+                delta += Arc::make_mut(chunk).compact();
+            }
+        }
+        delta
     }
 
     /// Fold freshly scattered chunks into storage: a vacant position
@@ -340,6 +412,32 @@ mod tests {
         assert!(matches!(tail.absorb(incoming), Err(ArrayError::ChunkOccupied(_))));
         assert_eq!(tail.cell_count(), before, "failed absorb must not half-merge");
         assert!(tail.chunk(&ChunkCoords::new([0, 0])).is_none());
+    }
+
+    #[test]
+    fn delete_cells_tombstones_and_prunes() {
+        let mut a = figure1_array();
+        let before_bytes = a.byte_size();
+        // (1,1) lives alone in chunk (0,0); (2,3)/(2,4) share chunk (0,1).
+        let out = a.delete_cells(&[1, 1, 2, 3, 4, 4]).unwrap();
+        assert_eq!(out.retracted, 2);
+        assert_eq!(out.missing, 1, "(4,4) was never inserted");
+        assert_eq!(a.cell_count(), 4);
+        assert_eq!(a.byte_size(), before_bytes - out.freed_bytes);
+        assert_eq!(out.touched, vec![ChunkCoords::new([0, 0]), ChunkCoords::new([0, 1])]);
+        // Chunk (0,0) is now empty but still present until pruned.
+        assert!(a.chunk(&ChunkCoords::new([0, 0])).unwrap().is_empty());
+        assert_eq!(a.prune_empty(), vec![ChunkCoords::new([0, 0])]);
+        assert!(a.chunk(&ChunkCoords::new([0, 0])).is_none());
+        // Deleting the same cells again is a no-op, not an error.
+        let again = a.delete_cells(&[1, 1, 2, 3]).unwrap();
+        assert_eq!(again.retracted, 0);
+        assert_eq!(again.missing, 2);
+        // Compaction reclaims the tombstoned rows; counters are unchanged.
+        let (cells, bytes) = (a.cell_count(), a.byte_size());
+        a.compact_chunks();
+        assert_eq!((a.cell_count(), a.byte_size()), (cells, bytes));
+        assert!(a.chunks().all(|(_, c)| c.tombstone_count() == 0));
     }
 
     #[test]

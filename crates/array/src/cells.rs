@@ -34,6 +34,11 @@ pub struct CellBuffer {
     coords: Vec<i64>,
     /// One typed column per schema attribute.
     columns: Vec<AttributeColumn>,
+    /// Coordinates of cells this batch **retracts**, flattened row-major
+    /// with stride `ndims`. Retractions carry no values — a delete is
+    /// addressed purely by position — and are applied after the batch's
+    /// inserts, in listed order.
+    retractions: Vec<i64>,
 }
 
 impl CellBuffer {
@@ -62,6 +67,7 @@ impl CellBuffer {
                 .iter()
                 .map(|a| AttributeColumn::with_encoding(a.ty, encoding))
                 .collect(),
+            retractions: Vec::new(),
         }
     }
 
@@ -115,6 +121,31 @@ impl CellBuffer {
     /// The coordinates of row `row` as a slice into the flat buffer.
     pub fn cell(&self, row: usize) -> &[i64] {
         &self.coords[row * self.ndims..(row + 1) * self.ndims]
+    }
+
+    /// Record the retraction of the cell at `cell`. Validates arity
+    /// only — whether a live cell exists there is resolved at apply
+    /// time, against whatever state the target array has then.
+    pub fn push_retraction(&mut self, cell: &[i64]) -> Result<()> {
+        if cell.len() != self.ndims {
+            return Err(ArrayError::Arity { expected: self.ndims, got: cell.len() });
+        }
+        self.retractions.extend_from_slice(cell);
+        Ok(())
+    }
+
+    /// Number of retraction rows carried by this batch.
+    pub fn retraction_count(&self) -> usize {
+        if self.ndims == 0 {
+            return 0;
+        }
+        self.retractions.len() / self.ndims
+    }
+
+    /// The flat retraction coordinate buffer (stride
+    /// [`CellBuffer::ndims`]).
+    pub fn retractions_flat(&self) -> &[i64] {
+        &self.retractions
     }
 
     /// The whole flat coordinate buffer (stride [`CellBuffer::ndims`]).

@@ -80,6 +80,15 @@ impl ChunkDescriptor {
 /// [`Chunk::descriptor`] are O(1) — the materialized ingest path derives
 /// a descriptor from every freshly built chunk, and used to pay a full
 /// rescan of the coordinate list per derivation.
+///
+/// Retractions are **tombstones**: [`Chunk::retract_cell`] marks the
+/// row dead in a bitmap and decrements `bytes`/`cells` by the row's
+/// exact cost, without moving any storage. [`Chunk::iter_cells`] — the
+/// single iteration choke point every query operator reads through —
+/// skips tombstoned rows, so deleted cells vanish from answers
+/// immediately. A dictionary entry whose last referencing row was
+/// tombstoned keeps its bytes until [`Chunk::compact`] rebuilds the
+/// columns from the surviving rows (deferred compaction).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Chunk {
     /// Chunk position within its array.
@@ -91,10 +100,21 @@ pub struct Chunk {
     cell_coords: Vec<i64>,
     /// One column per schema attribute.
     columns: Vec<AttributeColumn>,
-    /// Running stored-byte total (coordinates + columns).
+    /// Running stored-byte total (coordinates + columns) of **live**
+    /// rows, plus any not-yet-compacted dictionary entries.
     bytes: u64,
-    /// Running cell count.
+    /// Running **live** cell count (physical rows minus tombstones).
     cells: u64,
+    /// Tombstone bitmap over physical rows: bit `i` set means row `i`
+    /// was retracted. May be shorter than the row count — absent bits
+    /// are live. Empty on every freshly built or compacted chunk.
+    tombstones: Vec<u64>,
+    /// The string encoding this chunk was built with. [`Chunk::compact`]
+    /// rebuilds columns under it, so a column that spilled to plain
+    /// storage re-encodes when the surviving cardinality fits the cap —
+    /// a compacted chunk is structurally identical to one built from
+    /// only the surviving cells.
+    encoding: StringEncoding,
 }
 
 impl Chunk {
@@ -122,6 +142,8 @@ impl Chunk {
                 .collect(),
             bytes: 0,
             cells: 0,
+            tombstones: Vec::new(),
+            encoding,
         }
     }
 
@@ -213,7 +235,7 @@ impl Chunk {
             src.coords_flat(),
             rows.iter().copied(),
             &groups,
-            self.columns.iter().find_map(AttributeColumn::string_encoding).unwrap_or_default(),
+            self.encoding,
         );
         self.append(built.pop().expect("exactly one group"));
         Ok(())
@@ -323,6 +345,13 @@ impl Chunk {
     pub(crate) fn append(&mut self, other: Chunk) {
         debug_assert_eq!(self.ndims, other.ndims);
         debug_assert_eq!(self.columns.len(), other.columns.len());
+        // Freshly built chunks never carry tombstones; a tombstoned
+        // destination is fine (its bitmap covers a prefix of the rows,
+        // and the appended rows default to live).
+        debug_assert!(
+            other.tombstones.iter().all(|w| *w == 0),
+            "append source must be tombstone-free"
+        );
         self.cell_coords.extend_from_slice(&other.cell_coords);
         let mut delta = other.cell_coords.len() as i64 * 8;
         for (dst, src) in self.columns.iter_mut().zip(other.columns) {
@@ -359,9 +388,124 @@ impl Chunk {
         self.columns.get(attr)
     }
 
-    /// Iterate `(cell_coords, row_index)` pairs.
+    /// Iterate `(cell_coords, row_index)` pairs over the **live** rows.
+    /// Tombstoned rows are skipped here — this is the single iteration
+    /// choke point, so every query operator is retraction-blind.
     pub fn iter_cells(&self) -> impl Iterator<Item = (&[i64], usize)> {
-        self.cell_coords.chunks_exact((self.ndims as usize).max(1)).enumerate().map(|(i, c)| (c, i))
+        self.cell_coords
+            .chunks_exact((self.ndims as usize).max(1))
+            .enumerate()
+            .filter(|(i, _)| !self.is_tombstoned(*i))
+            .map(|(i, c)| (c, i))
+    }
+
+    /// Number of physical rows, tombstoned or not. Row indices returned
+    /// by [`Chunk::iter_cells`] and accepted by [`Chunk::cell`] /
+    /// [`AttributeColumn::get`] are physical.
+    pub fn physical_cell_count(&self) -> usize {
+        if self.ndims == 0 {
+            return 0;
+        }
+        self.cell_coords.len() / self.ndims as usize
+    }
+
+    /// Number of tombstoned (retracted, not yet compacted) rows.
+    pub fn tombstone_count(&self) -> u64 {
+        self.physical_cell_count() as u64 - self.cells
+    }
+
+    /// True when physical row `row` has been retracted.
+    pub fn is_tombstoned(&self, row: usize) -> bool {
+        self.tombstones.get(row / 64).is_some_and(|w| w & (1u64 << (row % 64)) != 0)
+    }
+
+    /// The string encoding this chunk was built with (and that
+    /// [`Chunk::compact`] rebuilds under).
+    pub fn string_encoding(&self) -> StringEncoding {
+        self.encoding
+    }
+
+    /// Retract the most recently inserted **live** cell at `cell`.
+    ///
+    /// The row is tombstoned in place: `cell_count` drops by one and
+    /// `byte_size` by the row's exact cost (coordinates plus each
+    /// column's per-row bytes — see [`AttributeColumn::row_byte_cost`]).
+    /// Returns the bytes freed, or `None` when no live cell matches
+    /// (already retracted, or never inserted). Storage is reclaimed by
+    /// [`Chunk::compact`].
+    pub fn retract_cell(&mut self, cell: &[i64]) -> Option<u64> {
+        let nd = (self.ndims as usize).max(1);
+        if cell.len() != nd {
+            return None;
+        }
+        let row = self
+            .cell_coords
+            .chunks_exact(nd)
+            .enumerate()
+            .rev()
+            .find(|(i, c)| *c == cell && !self.is_tombstoned(*i))?
+            .0;
+        Some(self.tombstone_row(row))
+    }
+
+    /// Tombstone physical row `row`, decrementing the running counters
+    /// by the row's exact byte cost. Returns the bytes freed.
+    fn tombstone_row(&mut self, row: usize) -> u64 {
+        debug_assert!(!self.is_tombstoned(row), "row is already tombstoned");
+        let word = row / 64;
+        if self.tombstones.len() <= word {
+            self.tombstones.resize(word + 1, 0);
+        }
+        self.tombstones[word] |= 1u64 << (row % 64);
+        let mut freed = (self.ndims as usize * 8) as u64;
+        for col in &self.columns {
+            freed += col.row_byte_cost(row).expect("columns cover every row");
+        }
+        self.bytes = self.bytes.checked_sub(freed).expect("byte counter underflow on retraction");
+        self.cells = self.cells.checked_sub(1).expect("cell counter underflow on retraction");
+        freed
+    }
+
+    /// Reclaim tombstoned rows: rebuild the coordinate buffer and every
+    /// column from the surviving rows, under the chunk's original string
+    /// encoding — so dictionary entries with no remaining references are
+    /// dropped, and a column that spilled to plain storage re-encodes
+    /// when the surviving cardinality fits the cap again. The result is
+    /// structurally identical to a chunk built from only the surviving
+    /// cells in their original order.
+    ///
+    /// Returns the byte-size delta (positive = bytes reclaimed; a spill
+    /// reversal can make the rebuilt column marginally larger). No-op on
+    /// a tombstone-free chunk.
+    pub fn compact(&mut self) -> i64 {
+        if self.tombstones.iter().all(|w| *w == 0) {
+            self.tombstones.clear();
+            return 0;
+        }
+        let nd = (self.ndims as usize).max(1);
+        let before = self.bytes;
+        let mut coords = Vec::with_capacity(self.cells as usize * nd);
+        let mut columns: Vec<AttributeColumn> = self
+            .columns
+            .iter()
+            .map(|c| AttributeColumn::with_encoding(c.column_type(), self.encoding))
+            .collect();
+        let mut bytes = 0u64;
+        for (cell, row) in self.iter_cells() {
+            coords.extend_from_slice(cell);
+            bytes += (nd * 8) as u64;
+            for (dst, src) in columns.iter_mut().zip(&self.columns) {
+                let delta = dst
+                    .push(src.get(row).expect("live rows have values"))
+                    .expect("rebuilt columns share the source types");
+                bytes = bytes.checked_add_signed(delta).expect("byte counter underflow");
+            }
+        }
+        self.cell_coords = coords;
+        self.columns = columns;
+        self.tombstones.clear();
+        self.bytes = bytes;
+        before as i64 - bytes as i64
     }
 
     /// Metadata descriptor for this chunk. O(1) — no rescan.
@@ -728,6 +872,104 @@ mod tests {
         let err = bulk.push_cells(&other, &buf, &[0]).unwrap_err();
         assert!(matches!(err, ArrayError::Arity { .. }));
         assert_eq!(bulk.cell_count(), 4);
+    }
+
+    #[test]
+    fn retract_decrements_counters_exactly() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
+        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.3)]).unwrap();
+        c.push_cell(&s, vec![2, 2], vec![ScalarValue::Int32(9), ScalarValue::Float(2.7)]).unwrap();
+        let before = c.byte_size();
+        // 2 coords * 8 + 4 (int32) + 4 (float)
+        assert_eq!(c.retract_cell(&[1, 1]), Some(16 + 8));
+        assert_eq!(c.cell_count(), 1);
+        assert_eq!(c.byte_size(), before - 24);
+        assert_eq!(c.tombstone_count(), 1);
+        assert_eq!(c.physical_cell_count(), 2);
+        // The tombstoned row is invisible to iteration but physically present.
+        let live: Vec<usize> = c.iter_cells().map(|(_, i)| i).collect();
+        assert_eq!(live, vec![1]);
+        assert!(c.is_tombstoned(0));
+        assert_eq!(c.cell(0), Some(&[1i64, 1][..]));
+        // A second retraction of the same cell finds nothing.
+        assert_eq!(c.retract_cell(&[1, 1]), None);
+        assert_eq!(c.retract_cell(&[3, 3]), None);
+        // Retracting everything leaves an empty chunk.
+        assert_eq!(c.retract_cell(&[2, 2]), Some(24));
+        assert!(c.is_empty());
+        assert_eq!(c.byte_size(), 0);
+    }
+
+    #[test]
+    fn retract_takes_the_most_recent_duplicate() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
+        for v in [1, 2] {
+            c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(v), ScalarValue::Float(0.0)])
+                .unwrap();
+        }
+        assert!(c.retract_cell(&[1, 1]).is_some());
+        assert!(c.is_tombstoned(1), "the most recent insertion dies first");
+        assert!(!c.is_tombstoned(0));
+        assert!(c.retract_cell(&[1, 1]).is_some());
+        assert!(c.is_tombstoned(0));
+    }
+
+    #[test]
+    fn compact_equals_building_only_survivors() {
+        let s = ArraySchema::parse("A<i:int32, s:string>[x=1:8,8, y=1:8,8]").unwrap();
+        for encoding in [
+            StringEncoding::Plain,
+            StringEncoding::Dict { cap: 2 }, // spill-forcing
+            StringEncoding::Dict { cap: 64 },
+        ] {
+            let mut c = Chunk::with_encoding(&s, ChunkCoords::new([0, 0]), encoding);
+            let vals = ["a", "b", "c", "d", "a", "b"];
+            for (k, v) in vals.iter().enumerate() {
+                let x = k as i64 + 1;
+                c.push_cell(
+                    &s,
+                    vec![x, x],
+                    vec![ScalarValue::Int32(k as i32), ScalarValue::Str((*v).to_string())],
+                )
+                .unwrap();
+            }
+            // Kill the rows carrying "c" and "d": survivors fit cap 2 again.
+            assert!(c.retract_cell(&[3, 3]).is_some());
+            assert!(c.retract_cell(&[4, 4]).is_some());
+            let live_bytes = c.byte_size();
+            c.compact();
+            let mut survivors = Chunk::with_encoding(&s, ChunkCoords::new([0, 0]), encoding);
+            for (k, v) in [(0usize, "a"), (1, "b"), (4, "a"), (5, "b")] {
+                let x = k as i64 + 1;
+                survivors
+                    .push_cell(
+                        &s,
+                        vec![x, x],
+                        vec![ScalarValue::Int32(k as i32), ScalarValue::Str(v.to_string())],
+                    )
+                    .unwrap();
+            }
+            assert_eq!(c, survivors, "compact under {encoding:?}");
+            assert_eq!(c.byte_size(), survivors.byte_size());
+            assert_eq!(c.cell_count(), 4);
+            if encoding == StringEncoding::Plain {
+                // Plain columns carry no shared state: the tombstone
+                // decrements already matched the survivors exactly.
+                assert_eq!(live_bytes, survivors.byte_size());
+            }
+        }
+    }
+
+    #[test]
+    fn compact_noop_without_tombstones() {
+        let s = schema();
+        let mut c = Chunk::new(&s, ChunkCoords::new([0, 0]));
+        c.push_cell(&s, vec![1, 1], vec![ScalarValue::Int32(1), ScalarValue::Float(1.3)]).unwrap();
+        let before = c.clone();
+        assert_eq!(c.compact(), 0);
+        assert_eq!(c, before);
     }
 
     #[test]

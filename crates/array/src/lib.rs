@@ -31,7 +31,7 @@ mod hilbert;
 mod schema;
 mod value;
 
-pub use array::Array;
+pub use array::{Array, RetractOutcome};
 pub use cells::CellBuffer;
 pub use chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
 pub use coords::{all_chunks, chunk_of, CellCoords, ChunkCoords, Region, MAX_DIMS};

@@ -738,6 +738,28 @@ impl AttributeColumn {
         delta
     }
 
+    /// Stored bytes attributable to the value at `idx` **alone** — the
+    /// exact amount a chunk's running byte counter decrements when the
+    /// row is tombstoned. Fixed-width types cost their width; plain
+    /// strings their payload plus the 4 B length prefix; dictionary
+    /// codes 4 B. A tombstoned row's dictionary *entry* is not charged
+    /// here: other rows may still reference it, so its bytes are
+    /// reclaimed only when [`compact`] rebuilds the column (deferred
+    /// compaction).
+    ///
+    /// [`compact`]: crate::Chunk::compact
+    pub fn row_byte_cost(&self, idx: usize) -> Option<u64> {
+        match self {
+            AttributeColumn::Int32(v) => v.get(idx).map(|_| 4),
+            AttributeColumn::Int64(v) => v.get(idx).map(|_| 8),
+            AttributeColumn::Float(v) => v.get(idx).map(|_| 4),
+            AttributeColumn::Double(v) => v.get(idx).map(|_| 8),
+            AttributeColumn::Char(v) => v.get(idx).map(|_| 1),
+            AttributeColumn::Str(v) => v.get(idx).map(|s| s.len() as u64 + 4),
+            AttributeColumn::Dict(d) => d.codes().get(idx).map(|_| 4),
+        }
+    }
+
     /// On-disk footprint of the column in bytes. Dictionary columns count
     /// the dictionary once plus 4 B per code.
     pub fn byte_size(&self) -> u64 {

@@ -502,6 +502,126 @@ proptest! {
         prop_assert_eq!(col.byte_size(), expected);
     }
 
+    /// An arbitrary interleaved insert/retract/compact script on a
+    /// `Chunk` — dictionary encoding under spill-forcing caps, and
+    /// plain storage — must leave `byte_size`/`cell_count`/dict state
+    /// **structurally equal** to a chunk built from only the surviving
+    /// cells in their original order. Checked at every compact point in
+    /// the script, not just the end, and the running byte counter must
+    /// equal an independent rescan of the compacted columns (counter
+    /// drift is self-consistent and invisible otherwise).
+    #[test]
+    fn interleaved_insert_retract_compact_matches_survivors_only_build(
+        script in proptest::collection::vec((0u8..8, any::<u64>()), 1..120),
+        cap in 1u32..8,
+        use_plain in any::<bool>(),
+    ) {
+        use array_model::Chunk;
+        let schema = ArraySchema::new(
+            "C",
+            vec![
+                AttributeDef::new("s", AttributeType::Str),
+                AttributeDef::new("v", AttributeType::Int32),
+                AttributeDef::new("t", AttributeType::Str),
+            ],
+            vec![
+                DimensionDef::bounded("x", 0, 15, 16),
+                DimensionDef::bounded("y", 0, 15, 16),
+            ],
+        ).unwrap();
+        let encoding =
+            if use_plain { StringEncoding::Plain } else { StringEncoding::Dict { cap } };
+        let coords = ChunkCoords::new([0i64, 0]);
+
+        // The script target and its row-level model: every inserted row
+        // in order, with a live flag retraction clears. Survivor builds
+        // replay the live rows in original order.
+        let mut chunk = Chunk::with_encoding(&schema, coords, encoding);
+        let mut model: Vec<(Vec<i64>, Vec<ScalarValue>, bool)> = Vec::new();
+        let survivors_only = |model: &[(Vec<i64>, Vec<ScalarValue>, bool)]| -> Chunk {
+            let mut c = Chunk::with_encoding(&schema, coords, encoding);
+            for (cell, values, live) in model {
+                if *live {
+                    c.push_cell(&schema, cell.clone(), values.clone()).expect("in bounds");
+                }
+            }
+            c
+        };
+
+        for &(op, s) in &script {
+            match op {
+                // Insert: duplicate positions are likely (16 slots per
+                // axis) and legal — retraction takes the LAST live one.
+                0..=4 => {
+                    let cell = vec![(s % 16) as i64, (s.rotate_left(21) % 16) as i64];
+                    let values = vec![
+                        ScalarValue::Str(string_for(s)),
+                        ScalarValue::Int32(s as i32),
+                        ScalarValue::Str(string_for(s.rotate_right(17))),
+                    ];
+                    chunk.push_cell(&schema, cell.clone(), values.clone()).expect("in bounds");
+                    model.push((cell, values, true));
+                }
+                // Retract: usually a live cell (so deletes really
+                // exercise the tombstone path), sometimes an arbitrary
+                // position that may be missing or already retracted.
+                5 | 6 => {
+                    let live: Vec<usize> = (0..model.len()).filter(|&i| model[i].2).collect();
+                    let target: Vec<i64> = if !live.is_empty() && s % 4 != 0 {
+                        model[live[(s / 4) as usize % live.len()]].0.clone()
+                    } else {
+                        vec![(s % 16) as i64, (s.rotate_left(33) % 16) as i64]
+                    };
+                    let expect = model
+                        .iter()
+                        .rposition(|(c, _, live)| *live && c == &target);
+                    let freed = chunk.retract_cell(&target);
+                    prop_assert_eq!(freed.is_some(), expect.is_some(),
+                        "retract of {:?} disagrees with the model", target);
+                    if let Some(i) = expect {
+                        model[i].2 = false;
+                        prop_assert!(freed.unwrap() > 0, "a live row frees its coordinate bytes");
+                    }
+                }
+                // Compact: the reclaimed chunk must be structurally
+                // identical to the survivors-only build, right now.
+                _ => {
+                    let before = chunk.byte_size();
+                    let delta = chunk.compact();
+                    prop_assert_eq!(before as i64 - chunk.byte_size() as i64, delta);
+                    prop_assert_eq!(&chunk, &survivors_only(&model), "mid-script compact");
+                    prop_assert_eq!(chunk.tombstone_count(), 0);
+                }
+            }
+            // The live-row counters never drift, whatever the op mix.
+            let live = model.iter().filter(|(_, _, l)| *l).count();
+            prop_assert_eq!(chunk.cell_count(), live as u64);
+            prop_assert_eq!(
+                chunk.physical_cell_count() as u64 - chunk.tombstone_count(),
+                live as u64
+            );
+            // Every live row is visible through the iteration choke
+            // point, every tombstoned row is not.
+            prop_assert_eq!(chunk.iter_cells().count(), live);
+        }
+
+        // Final reclamation: structural equality with the survivors-only
+        // build, and the running byte counter equals a column rescan.
+        chunk.compact();
+        let survivors = survivors_only(&model);
+        prop_assert_eq!(&chunk, &survivors, "end-of-script compact");
+        prop_assert_eq!(chunk.descriptor(ArrayId(0)), survivors.descriptor(ArrayId(0)));
+        let rescan: u64 = schema.ndims() as u64 * 8 * chunk.cell_count()
+            + (0..schema.attributes.len())
+                .map(|a| chunk.column(a).expect("schema-shaped").byte_size())
+                .sum::<u64>();
+        prop_assert_eq!(chunk.byte_size(), rescan);
+        // Fully-retracted chunks reclaim everything.
+        if chunk.cell_count() == 0 {
+            prop_assert_eq!(chunk.byte_size(), 0);
+        }
+    }
+
     /// Batched inserts, incremental two-batch merges (the append path
     /// that remaps codes across dictionaries), and `absorb` of disjoint
     /// chunk sets are all **structurally identical** to the per-cell

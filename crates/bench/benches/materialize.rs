@@ -31,7 +31,8 @@ fn thread_count() -> usize {
 
 fn bench(c: &mut Criterion) {
     let n = cell_count();
-    let w = AisWorkload { cycles: 1, scale: 1.0, seed: 7, cells_per_cycle: n };
+    let w =
+        AisWorkload { cycles: 1, scale: 1.0, seed: 7, cells_per_cycle: n, ..Default::default() };
     let batch = w.cell_batch(0).expect("materialized mode").remove(0);
     let rows_buf = batch.rows();
     let schema = AisWorkload::broadcast_schema();

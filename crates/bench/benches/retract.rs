@@ -1,0 +1,136 @@
+//! Retraction-path costs: delete throughput through the tombstone
+//! bitmap, compact's survivor rebuild, and the drain → retire flow a
+//! scale-IN decommission pays through the half-duplex contention
+//! solver. Prints the `drain_retire_secs=` marker BENCH_retract.json
+//! and the retraction-smoke CI job grep for.
+//!
+//! Set `RETRACT_CELLS` to override the cell population.
+
+use array_model::{
+    Array, ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, ScalarValue,
+};
+use cluster_sim::{Cluster, CostModel, NodeId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const NODES: usize = 8;
+const K: usize = 2;
+const CHUNK_BYTES: u64 = 500_000;
+
+fn cell_count() -> usize {
+    std::env::var("RETRACT_CELLS").ok().and_then(|v| v.parse().ok()).unwrap_or(65_536)
+}
+
+/// A dictionary-encoded string-bearing array: `cells` rows over
+/// 64-cell chunks, ~1/3 of the rows doomed by the fixed delete script.
+fn populated(cells: usize) -> (Array, Vec<i64>) {
+    let schema =
+        ArraySchema::parse("R<v:double, s:string>[x=0:*,64]").expect("bench schema is valid");
+    let mut array = Array::new(ArrayId(0), schema);
+    let mut doomed = Vec::new();
+    for i in 0..cells {
+        let x = i as i64;
+        array
+            .insert_cell(
+                vec![x],
+                vec![ScalarValue::Double(x as f64), ScalarValue::Str(format!("s{}", i % 100))],
+            )
+            .expect("in bounds");
+        if i % 3 == 0 {
+            doomed.push(x);
+        }
+    }
+    (array, doomed)
+}
+
+/// A k-replicated metadata cluster at full strength, ready to drain.
+fn cluster(chunks: usize) -> Cluster {
+    let mut cluster = Cluster::with_replication(NODES, u64::MAX, CostModel::default(), K).unwrap();
+    for i in 0..chunks {
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([i as i64]));
+        let desc = ChunkDescriptor::new(key, CHUNK_BYTES, CHUNK_BYTES / 64);
+        cluster.place(desc, NodeId((i % NODES) as u32)).unwrap();
+    }
+    assert!(cluster.replica_census().is_full_strength());
+    cluster
+}
+
+fn bench(c: &mut Criterion) {
+    let cells = cell_count();
+    let (pristine, doomed) = populated(cells);
+    let cost = CostModel::default();
+
+    // Deterministic preview outside the timing loop: the same drain →
+    // retire decommission every iteration runs, solved once for the
+    // simulated-seconds marker. The roster and placement are fixed, so
+    // the value is identical every run.
+    {
+        let mut cl = cluster(4_096);
+        let report = cl.decommission_node(NodeId(NODES as u32 - 1)).unwrap();
+        assert!(report.moved_chunks > 0, "a populated node must drain something");
+        assert_eq!(cl.active_node_count(), NODES - 1);
+        assert!(cl.replica_census().is_full_strength());
+        let mut arr = pristine.clone();
+        let out = arr.delete_cells(&doomed).expect("script targets live cells");
+        assert_eq!(out.retracted, doomed.len() as u64);
+        let reclaimed = arr.compact_chunks();
+        eprintln!(
+            "retract: {cells} cells, deleted {} ({} bytes freed), compact reclaimed {} \
+             dangling bytes; decommission drained {} chunks / {} bytes, \
+             drain_retire_secs={:.6}",
+            out.retracted,
+            out.freed_bytes,
+            reclaimed,
+            report.moved_chunks,
+            report.drained_bytes,
+            report.flows.elapsed_secs(&cost),
+        );
+    }
+
+    let mut group = c.benchmark_group("retract");
+    group.sample_size(10);
+
+    // Delete throughput: tombstone 1/3 of the rows through the
+    // chunk-routing delete path (dict codes freed per row, entries
+    // deferred to compact).
+    group.bench_function(format!("delete/{cells}-cells"), |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut array| black_box(array.delete_cells(&doomed).unwrap().retracted),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Compact cost: rebuild every touched chunk from its survivors
+    // (dangling dictionary entries dropped, spills re-examined).
+    let tombstoned = {
+        let mut array = pristine.clone();
+        array.delete_cells(&doomed).unwrap();
+        array
+    };
+    group.bench_function(format!("compact/{cells}-cells"), |b| {
+        b.iter_batched(
+            || tombstoned.clone(),
+            |mut array| black_box(array.compact_chunks()),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Scale-IN: drain the tail node through the flow solver and retire
+    // it — what one staircase ScaleIn step pays per released node.
+    let full = cluster(4_096);
+    group.bench_function("decommission/4096-chunks", |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut cl| {
+                let report = cl.decommission_node(NodeId(NODES as u32 - 1)).unwrap();
+                black_box(report.flows.elapsed_secs(&cost))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -146,6 +146,7 @@ fn ablate_window(ais: &AisWorkload) {
                 samples: s,
                 plan_ahead: 3,
                 trigger: 1.0,
+                shrink_margin: 0.0,
             });
         });
         let events = report.cycles.iter().filter(|c| c.added_nodes > 0).count();

@@ -145,6 +145,7 @@ pub fn fig8_trace(plan_ahead: usize) -> StaircaseTrace {
         samples: 4,
         plan_ahead,
         trigger: 1.0,
+        shrink_margin: 0.0,
     });
     config.run_queries = true;
     let report = WorkloadRunner::new(&workload, config).run_all().expect("MODIS is collision-free");

@@ -149,6 +149,11 @@ pub struct Cluster {
     /// the per-node replica stores ([`Cluster::verify_replica_books`]).
     /// Empty at `k = 1`.
     pub(crate) replicas: BTreeMap<ChunkKey, Vec<NodeId>>,
+    /// Nodes in the terminal `Retired` state. They keep their roster slot
+    /// (node ids are join-order indices and every hash route takes
+    /// `nodes.len()` as its modulus) but leave every census denominator;
+    /// tracked as a counter so [`Cluster::balance_rsd`] stays O(1).
+    retired: usize,
 }
 
 impl Cluster {
@@ -180,6 +185,7 @@ impl Cluster {
             balance: BalanceStats::default(),
             replication: replication.max(1),
             replicas: BTreeMap::new(),
+            retired: 0,
         })
     }
 
@@ -253,9 +259,18 @@ impl Cluster {
         }
     }
 
-    /// Current node count.
+    /// Current node count, retired slots included (the roster is
+    /// append-only; see [`Cluster::active_node_count`] for the census
+    /// denominator).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Nodes still part of the working set — everything not `Retired`.
+    /// O(1): the denominator of [`Cluster::balance_rsd`] and the count a
+    /// provisioner sizes the cluster by after scale-IN.
+    pub fn active_node_count(&self) -> usize {
+        self.nodes.len() - self.retired
     }
 
     /// Node ids in join order.
@@ -752,7 +767,7 @@ impl Cluster {
     pub fn crash_node(&mut self, id: NodeId) -> Result<CrashReport> {
         let idx = id.0 as usize;
         let state = self.nodes.get(idx).ok_or(ClusterError::UnknownNode(id.0))?.state();
-        if state == NodeState::Crashed {
+        if matches!(state, NodeState::Crashed | NodeState::Retired) {
             return Err(ClusterError::NodeUnavailable { node: id.0, state });
         }
         if !self.nodes.iter().any(|n| n.id != id && n.state().serves_reads()) {
@@ -808,6 +823,241 @@ impl Cluster {
             dropped_replicas: replica_keys.len(),
             orphaned,
         })
+    }
+
+    /// Retract materialized cells from a placed chunk, on every copy: the
+    /// primary payload is tombstoned through `Arc::make_mut`, the
+    /// shrunken descriptor replaces the resident one (byte ledgers and
+    /// the O(1) census moments follow the delta exactly), and every
+    /// replica holder swaps in the same post-retraction handle and
+    /// descriptor — so the attach-time invariant
+    /// (`desc.bytes == chunk.byte_size()`) keeps holding on all `k`
+    /// copies, and replicas stay a refcount bump, never a cell copy.
+    ///
+    /// `cells_flat` is row-major flattened cell coordinates at the chunk
+    /// key's arity. Cells with no live match count as `missing` —
+    /// retraction is idempotent, not an error. Requires the payload to be
+    /// attached ([`ClusterError::NoPayload`] otherwise; metadata-scale
+    /// runs shrink through [`Cluster::shrink_chunk`]) and the primary to
+    /// actually hold the chunk (a k=1 orphan on a wreck cannot retract).
+    pub fn retract_cells(&mut self, key: &ChunkKey, cells_flat: &[i64]) -> Result<ChunkRetraction> {
+        let nd = key.coords.ndims().max(1);
+        assert_eq!(cells_flat.len() % nd, 0, "flat cells must be a multiple of the arity");
+        let node = self.placement.get(key).ok_or(ClusterError::MissingChunk(*key))?;
+        let idx = node.0 as usize;
+        if !self.nodes[idx].holds(key) {
+            let state = self.nodes[idx].state();
+            return Err(ClusterError::NodeUnavailable { node: node.0, state });
+        }
+        let mut out = ChunkRetraction::default();
+        let n = &mut self.nodes[idx];
+        let old_used = n.used_bytes();
+        let Some(handle) = n.payload_mut(key) else {
+            return Err(ClusterError::NoPayload(*key));
+        };
+        {
+            let chunk = Arc::make_mut(handle);
+            for cell in cells_flat.chunks_exact(nd) {
+                match chunk.retract_cell(cell) {
+                    Some(freed) => {
+                        out.retracted += 1;
+                        out.freed_bytes += freed;
+                    }
+                    None => out.missing += 1,
+                }
+            }
+        }
+        let fresh = Arc::clone(&*handle);
+        let desc = ChunkDescriptor::new(*key, fresh.byte_size(), fresh.cell_count());
+        out.remaining_cells = desc.cells;
+        n.resize(desc).expect("holds() checked above");
+        let new_used = n.used_bytes();
+        self.balance.on_change(old_used, new_used);
+        // Field-level split borrow: `holders` borrows `self.replicas`,
+        // the stores live in `self.nodes`.
+        let holders = self.replicas.get(key).map_or(&[][..], |v| v.as_slice());
+        for &r in holders {
+            let rn = &mut self.nodes[r.0 as usize];
+            rn.resize_replica(desc).expect("replica index and node stores agree");
+            if let Some(slot) = rn.replica_payload_mut(key) {
+                *slot = Arc::clone(&fresh);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Metadata-scale retraction: shrink (or grow) a placed chunk's
+    /// descriptor to `bytes`/`cells` without touching payloads — there
+    /// are none at paper scale. The placement entry stays; the byte
+    /// ledgers and census moments follow the delta exactly, on the
+    /// primary and every replica copy. If a payload *is* attached its
+    /// actual size must agree ([`ClusterError::PayloadMismatch`]
+    /// otherwise), so the metadata door cannot break the attach
+    /// invariant.
+    pub fn shrink_chunk(&mut self, key: &ChunkKey, bytes: u64, cells: u64) -> Result<()> {
+        let node = self.placement.get(key).ok_or(ClusterError::MissingChunk(*key))?;
+        let idx = node.0 as usize;
+        if !self.nodes[idx].holds(key) {
+            let state = self.nodes[idx].state();
+            return Err(ClusterError::NodeUnavailable { node: node.0, state });
+        }
+        let desc = ChunkDescriptor::new(*key, bytes, cells);
+        if let Some(chunk) = self.nodes[idx].payload_shared(key) {
+            Cluster::validate_payload(key, &desc, chunk)?;
+        }
+        let n = &mut self.nodes[idx];
+        let old = n.used_bytes();
+        n.resize(desc).expect("holds() checked above");
+        let new = n.used_bytes();
+        self.balance.on_change(old, new);
+        let holders = self.replicas.get(key).map_or(&[][..], |v| v.as_slice());
+        for &r in holders {
+            self.nodes[r.0 as usize]
+                .resize_replica(desc)
+                .expect("replica index and node stores agree");
+        }
+        Ok(())
+    }
+
+    /// Evict a chunk from the cluster entirely — placement entry, primary
+    /// descriptor and payload, and every replica copy. The inverse of
+    /// [`Cluster::place`] and the retraction path's end state: once a
+    /// chunk's last live cell is gone, keeping it would pin a placement
+    /// slot, descriptor bytes, and replica upkeep forever. The primary
+    /// must actually hold the chunk (crashed-orphan entries fail typed).
+    pub fn evict_chunk(&mut self, key: &ChunkKey) -> Result<ChunkEviction> {
+        let node = self.placement.get(key).ok_or(ClusterError::MissingChunk(*key))?;
+        let idx = node.0 as usize;
+        if !self.nodes[idx].holds(key) {
+            let state = self.nodes[idx].state();
+            return Err(ClusterError::NodeUnavailable { node: node.0, state });
+        }
+        let n = &mut self.nodes[idx];
+        let old = n.used_bytes();
+        let (desc, _payload) = n.evict(key).expect("holds() checked above");
+        let new = n.used_bytes();
+        self.balance.on_change(old, new);
+        self.placement.remove(key);
+        let holders = self.replicas.remove(key).unwrap_or_default();
+        for &h in &holders {
+            self.nodes[h.0 as usize].evict_replica(key);
+        }
+        Ok(ChunkEviction {
+            node,
+            bytes: desc.bytes,
+            cells: desc.cells,
+            replicas_dropped: holders.len(),
+        })
+    }
+
+    /// Plan the rebalance that empties `id` of primary chunks: each chunk
+    /// (in ascending key order) goes to the least-loaded node that still
+    /// accepts data, with earlier moves in the plan counted into the
+    /// projected loads and ties broken toward the lower node id — the
+    /// plan is deterministic and keeps the post-drain census tight. The
+    /// node is typically `Draining`; the plan is only computed here,
+    /// [`Cluster::apply_rebalance`] executes it through the same flow
+    /// solver scale-OUT uses.
+    pub fn plan_drain(&self, id: NodeId) -> Result<RebalancePlan> {
+        let node = self.node(id)?;
+        let mut projected: Vec<(u64, NodeId)> = self
+            .nodes
+            .iter()
+            .filter(|n| n.id != id && n.state().accepts_data())
+            .map(|n| (n.used_bytes(), n.id))
+            .collect();
+        if projected.is_empty() && node.chunk_count() > 0 {
+            return Err(ClusterError::NoHealthyNodes);
+        }
+        let mut plan = RebalancePlan::empty();
+        for desc in node.descriptors() {
+            let dest = {
+                let best = projected
+                    .iter_mut()
+                    .min_by_key(|e| (e.0, e.1 .0))
+                    .expect("destinations checked nonempty above");
+                best.0 += desc.bytes;
+                best.1
+            };
+            plan.push(desc.key, id, dest, desc.bytes);
+        }
+        Ok(plan)
+    }
+
+    /// Retire a drained node — terminal scale-IN. The node must hold no
+    /// primary chunks ([`ClusterError::RetireNonEmpty`]; run
+    /// [`Cluster::plan_drain`] + [`Cluster::apply_rebalance`] first). Its
+    /// replica copies are dropped with their ledgers, and the affected
+    /// replica sets are topped back up on the shrunken roster; the repair
+    /// transfers come back as a flow set so release time stays honest.
+    ///
+    /// The node keeps its roster **slot** — ids are join-order indices
+    /// and every hash route takes `nodes.len()` as its modulus — but
+    /// leaves every census denominator and never serves or accepts
+    /// anything again. Refuses to retire the last serving node.
+    pub fn retire_node(&mut self, id: NodeId) -> Result<FlowSet> {
+        let idx = id.0 as usize;
+        let node = self.nodes.get(idx).ok_or(ClusterError::UnknownNode(id.0))?;
+        match node.state() {
+            NodeState::Healthy | NodeState::Draining => {}
+            state => return Err(ClusterError::NodeUnavailable { node: id.0, state }),
+        }
+        if node.chunk_count() > 0 {
+            return Err(ClusterError::RetireNonEmpty { node: id.0, chunks: node.chunk_count() });
+        }
+        if !self.nodes.iter().any(|n| n.id != id && n.state().serves_reads()) {
+            return Err(ClusterError::NoHealthyNodes);
+        }
+        let replica_keys: Vec<ChunkKey> =
+            self.nodes[idx].replica_descriptors().map(|d| d.key).collect();
+        for key in &replica_keys {
+            if let Some(holders) = self.replicas.get_mut(key) {
+                holders.retain(|&h| h != id);
+                if holders.is_empty() {
+                    self.replicas.remove(key);
+                }
+            }
+            self.nodes[idx].evict_replica(key);
+        }
+        self.nodes[idx].set_state(NodeState::Retired);
+        self.retired += 1;
+        debug_assert_eq!(self.nodes[idx].used_bytes(), 0, "an empty node carries no load");
+        let mut flows = FlowSet::new();
+        if self.replication > 1 {
+            for key in &replica_keys {
+                self.top_up_replicas(key, &mut flows);
+            }
+        }
+        Ok(flows)
+    }
+
+    /// Scale the cluster IN by one node, end to end:
+    /// [`Cluster::start_draining`] → [`Cluster::plan_drain`] →
+    /// [`Cluster::apply_rebalance`] (the same flow solver every scale-OUT
+    /// reorganization uses) → [`Cluster::retire_node`]. On any failure
+    /// along the way the drain is cancelled — the node returns to
+    /// `Healthy` — and the error propagates, so a failed decommission
+    /// always leaves a working cluster.
+    pub fn decommission_node(&mut self, id: NodeId) -> Result<DecommissionReport> {
+        self.start_draining(id)?;
+        let mut run = || -> Result<DecommissionReport> {
+            let plan = self.plan_drain(id)?;
+            let moved_chunks = plan.len();
+            let drained_bytes = plan.moved_bytes();
+            let mut flows = self.apply_rebalance(&plan)?;
+            let repair = self.retire_node(id)?;
+            flows.merge(&repair);
+            Ok(DecommissionReport { node: id, moved_chunks, drained_bytes, flows })
+        };
+        match run() {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                if self.nodes[id.0 as usize].state() == NodeState::Draining {
+                    self.mark_recovered(id).expect("draining cancels back to healthy");
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Deterministic stand-in for a route that targets an out-of-service
@@ -887,9 +1137,10 @@ impl Cluster {
         self.balance.sum as u64
     }
 
-    /// Total capacity across the cluster (N × c).
+    /// Total capacity across the active cluster (N × c). Retired nodes
+    /// contribute nothing: their hardware has been released.
     pub fn total_capacity(&self) -> u64 {
-        self.nodes.iter().map(|n| n.capacity_bytes).sum()
+        self.nodes.iter().filter(|n| !n.state().is_retired()).map(|n| n.capacity_bytes).sum()
     }
 
     /// The paper's balance census: relative standard deviation of per-node
@@ -897,8 +1148,11 @@ impl Cluster {
     /// rebalances, so probing it after every insert costs nothing.
     /// Agrees exactly with [`crate::metrics::relative_std_dev`] over
     /// [`Cluster::loads`].
+    /// Retired nodes leave the denominator: a shrunken cluster's census
+    /// ranges over the nodes that can still hold data, so scale-IN does
+    /// not deflate the RSD with permanently-zero loads.
     pub fn balance_rsd(&self) -> f64 {
-        self.balance.rsd(self.nodes.len())
+        self.balance.rsd(self.active_node_count())
     }
 
     /// The most loaded node (by bytes); ties break toward the lower id.
@@ -971,6 +1225,51 @@ pub struct CrashReport {
     /// simultaneous failures than `k−1`): their placement entries still
     /// name the crashed node so reads fail typed, never silently.
     pub orphaned: Vec<ChunkKey>,
+}
+
+/// What a cell retraction did to one placed chunk
+/// ([`Cluster::retract_cells`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkRetraction {
+    /// Cells tombstoned (each counted once, however many copies hold it).
+    pub retracted: u64,
+    /// Requested cells with no live match — already retracted or never
+    /// inserted. Retraction is idempotent, not an error.
+    pub missing: u64,
+    /// Bytes freed on the primary copy (each replica ledger shrinks by
+    /// the same amount).
+    pub freed_bytes: u64,
+    /// Live cells the chunk still holds afterwards.
+    pub remaining_cells: u64,
+}
+
+/// What evicting a chunk dropped ([`Cluster::evict_chunk`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEviction {
+    /// The node the primary copy lived on.
+    pub node: NodeId,
+    /// Bytes the descriptor carried at eviction.
+    pub bytes: u64,
+    /// Cells the descriptor carried at eviction.
+    pub cells: u64,
+    /// Replica copies dropped alongside the primary.
+    pub replicas_dropped: usize,
+}
+
+/// What one completed scale-IN decommission did
+/// ([`Cluster::decommission_node`]).
+#[derive(Debug, Clone)]
+pub struct DecommissionReport {
+    /// The node released.
+    pub node: NodeId,
+    /// Primary chunks rebalanced off it.
+    pub moved_chunks: usize,
+    /// Bytes those drain moves carried.
+    pub drained_bytes: u64,
+    /// Every transfer the decommission caused — the drain moves plus the
+    /// replica top-ups that followed retirement — as one concurrent
+    /// batch for timing.
+    pub flows: FlowSet,
 }
 
 /// Replica-strength census over every placed chunk
@@ -1451,5 +1750,181 @@ mod tests {
         }
         assert_eq!(c.balance_rsd(), 0.0);
         assert_eq!(c.total_used(), 4_000);
+    }
+
+    /// A retraction shrinks the payload, the resident descriptor, the
+    /// byte ledgers, the census moments, and every replica copy — and the
+    /// replica handle stays shared with the primary, never a cell copy.
+    #[test]
+    fn retract_cells_shrinks_every_copy() {
+        use array_model::{ArraySchema, Chunk, ScalarValue};
+        let schema = ArraySchema::parse("A<v:double>[x=0:7,8]").unwrap();
+        let mut chunk = Chunk::new(&schema, ChunkCoords::new([0]));
+        for x in 0..4i64 {
+            chunk.push_cell(&schema, vec![x], vec![ScalarValue::Double(x as f64)]).unwrap();
+        }
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([0]));
+        let d = ChunkDescriptor::new(key, chunk.byte_size(), chunk.cell_count());
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(d, NodeId(0)).unwrap();
+        c.attach_payload(key, chunk).unwrap();
+        let holder = c.replica_holders(&key)[0];
+
+        // Retract x=1 and x=3, plus one cell that was never there.
+        let out = c.retract_cells(&key, &[1, 3, 6]).unwrap();
+        assert_eq!(out.retracted, 2);
+        assert_eq!(out.missing, 1);
+        assert_eq!(out.remaining_cells, 2);
+        assert_eq!(out.freed_bytes, 2 * (8 + 8), "two coord+double rows");
+
+        let stored = c.payload_shared(&key).unwrap();
+        assert_eq!(stored.cell_count(), 2);
+        let new_desc = c.node(NodeId(0)).unwrap().descriptor(&key).copied().unwrap();
+        assert_eq!(new_desc.bytes, stored.byte_size());
+        assert_eq!(new_desc.cells, 2);
+        assert_eq!(c.loads()[0], stored.byte_size());
+        assert_eq!(c.total_used(), stored.byte_size());
+        assert!((c.balance_rsd() - relative_std_dev(&c.loads())).abs() < 1e-12);
+        // The replica copy shrank in lockstep and still shares the handle.
+        let rn = c.node(holder).unwrap();
+        assert_eq!(rn.replica_descriptor(&key).unwrap().bytes, stored.byte_size());
+        assert!(Arc::ptr_eq(rn.replica_payload_shared(&key).unwrap(), stored));
+        c.verify_replica_books().unwrap();
+
+        // Re-retracting the same cells is idempotent: all missing.
+        let again = c.retract_cells(&key, &[1, 3]).unwrap();
+        assert_eq!((again.retracted, again.missing), (0, 2));
+
+        // Metadata-only chunks refuse cell retraction, typed.
+        let d2 = desc(9, 40);
+        c.place(d2, NodeId(1)).unwrap();
+        assert!(matches!(
+            c.retract_cells(&d2.key, &[0]),
+            Err(ClusterError::NoPayload(k)) if k == d2.key
+        ));
+    }
+
+    /// The metadata door: descriptor shrink flows through ledgers, census
+    /// moments, and replica descriptors, with no payload involved.
+    #[test]
+    fn shrink_chunk_adjusts_descriptors_and_census() {
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(desc(1, 400), NodeId(0)).unwrap();
+        c.place(desc(2, 400), NodeId(1)).unwrap();
+        c.shrink_chunk(&desc(1, 0).key, 150, 1).unwrap();
+        assert_eq!(c.loads()[0], 150);
+        assert_eq!(c.total_used(), 550);
+        assert!((c.balance_rsd() - relative_std_dev(&c.loads())).abs() < 1e-12);
+        let holder = c.replica_holders(&desc(1, 0).key)[0];
+        assert_eq!(c.node(holder).unwrap().replica_descriptor(&desc(1, 0).key).unwrap().bytes, 150);
+        assert!(matches!(
+            c.shrink_chunk(&desc(7, 0).key, 1, 1),
+            Err(ClusterError::MissingChunk(_))
+        ));
+    }
+
+    /// Evicting a chunk removes the placement entry, both stores, and the
+    /// replica set; the vacated placement slot is reusable.
+    #[test]
+    fn evict_chunk_clears_placement_stores_and_replicas() {
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(desc(1, 100), NodeId(0)).unwrap();
+        c.place(desc(2, 100), NodeId(1)).unwrap();
+        let key = desc(1, 0).key;
+        let ev = c.evict_chunk(&key).unwrap();
+        assert_eq!(ev.node, NodeId(0));
+        assert_eq!(ev.bytes, 100);
+        assert_eq!(ev.replicas_dropped, 1);
+        assert_eq!(c.locate(&key), None);
+        assert_eq!(c.total_chunks(), 1);
+        assert_eq!(c.loads()[0], 0);
+        assert!(c.replica_holders(&key).is_empty());
+        c.verify_replica_books().unwrap();
+        assert!(matches!(c.evict_chunk(&key), Err(ClusterError::MissingChunk(_))));
+        // The slot is reusable after eviction.
+        c.place(desc(1, 60), NodeId(2)).unwrap();
+        assert_eq!(c.locate(&key), Some(NodeId(2)));
+    }
+
+    /// The full scale-IN arc: drain → rebalance-out → retire. The node
+    /// keeps its roster slot but leaves every census denominator, and the
+    /// freed chunks land on the least-loaded survivors deterministically.
+    #[test]
+    fn decommission_drains_and_retires_the_node() {
+        let mut c = cluster(3);
+        for i in 0..6 {
+            c.place(desc(i, 100), NodeId((i % 3) as u32)).unwrap();
+        }
+        let report = c.decommission_node(NodeId(2)).unwrap();
+        assert_eq!(report.node, NodeId(2));
+        assert_eq!(report.moved_chunks, 2);
+        assert_eq!(report.drained_bytes, 200);
+        assert_eq!(report.flows.network_bytes(), 200);
+        assert_eq!(c.node(NodeId(2)).unwrap().state(), NodeState::Retired);
+        assert_eq!(c.node_count(), 3, "the roster slot survives");
+        assert_eq!(c.active_node_count(), 2);
+        assert_eq!(c.total_capacity(), 2_000);
+        assert_eq!(c.loads(), vec![300, 300, 0]);
+        assert_eq!(c.balance_rsd(), 0.0, "census ranges over active nodes only");
+        assert_eq!(c.total_used(), 600);
+        // A retired node serves nothing and accepts nothing, typed.
+        assert!(matches!(
+            c.place(desc(9, 1), NodeId(2)),
+            Err(ClusterError::NodeUnavailable { node: 2, .. })
+        ));
+        assert!(matches!(c.crash_node(NodeId(2)), Err(ClusterError::NodeUnavailable { .. })));
+        assert!(matches!(c.start_draining(NodeId(2)), Err(ClusterError::NodeUnavailable { .. })));
+        // Subsequent placements and rebalances keep working on survivors.
+        c.place(desc(9, 50), NodeId(0)).unwrap();
+        assert_eq!(c.total_chunks(), 7);
+    }
+
+    /// Retirement drops the node's replica copies and tops the affected
+    /// replica sets back up on the shrunken roster, costing the repairs.
+    #[test]
+    fn decommission_repairs_replica_sets_on_survivors() {
+        let mut c = Cluster::with_replication(4, 1_000_000, CostModel::default(), 2).unwrap();
+        for i in 0..12 {
+            c.place(desc(i, 100), NodeId((i % 4) as u32)).unwrap();
+        }
+        assert!(c.replica_census().is_full_strength());
+        let report = c.decommission_node(NodeId(3)).unwrap();
+        assert_eq!(c.active_node_count(), 3);
+        c.verify_replica_books().unwrap();
+        assert!(
+            c.replica_census().is_full_strength(),
+            "every replica set is repaired on the survivors"
+        );
+        // No replica may live on the retired node any more.
+        assert_eq!(c.node(NodeId(3)).unwrap().replica_bytes(), 0);
+        assert!(report.flows.chunk_count() >= report.moved_chunks as u64);
+    }
+
+    #[test]
+    fn retire_refuses_nonempty_and_last_server() {
+        let mut c = cluster(2);
+        c.place(desc(1, 100), NodeId(0)).unwrap();
+        assert!(matches!(
+            c.retire_node(NodeId(0)),
+            Err(ClusterError::RetireNonEmpty { node: 0, chunks: 1 })
+        ));
+        // Retire the empty node 1, then node 0 is the last server.
+        c.retire_node(NodeId(1)).unwrap();
+        c.evict_chunk(&desc(1, 0).key).unwrap();
+        assert!(matches!(c.retire_node(NodeId(0)), Err(ClusterError::NoHealthyNodes)));
+        assert_eq!(c.node(NodeId(0)).unwrap().state(), NodeState::Healthy);
+    }
+
+    /// A decommission that cannot complete cancels its drain: the node
+    /// returns to `Healthy` and the cluster keeps working.
+    #[test]
+    fn failed_decommission_cancels_the_drain() {
+        let mut c = cluster(2);
+        c.place(desc(1, 100), NodeId(0)).unwrap();
+        c.crash_node(NodeId(1)).unwrap();
+        // Node 0 is the last server: the drain has nowhere to go.
+        assert!(c.decommission_node(NodeId(0)).is_err());
+        assert_eq!(c.node(NodeId(0)).unwrap().state(), NodeState::Healthy);
+        c.place(desc(2, 50), NodeId(0)).unwrap();
     }
 }

@@ -52,6 +52,18 @@ pub enum ClusterError {
     /// Every node in the cluster is out of service; the operation needs
     /// at least one surviving node.
     NoHealthyNodes,
+    /// Tried to retire a node that still holds primary chunks; drain it
+    /// (rebalance the chunks away) first.
+    RetireNonEmpty {
+        /// The node that was targeted.
+        node: u32,
+        /// Primary chunks still resident there.
+        chunks: usize,
+    },
+    /// A cell-level operation needs the chunk's materialized payload, but
+    /// only its metadata descriptor is resident (metadata-scale runs
+    /// retract through descriptor shrinks instead).
+    NoPayload(ChunkKey),
 }
 
 /// How a payload drifted from its placed descriptor.
@@ -96,6 +108,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::NoHealthyNodes => {
                 write!(f, "no node in the cluster is in service")
+            }
+            ClusterError::RetireNonEmpty { node, chunks } => {
+                write!(f, "node {node} still holds {chunks} primary chunks and cannot retire")
+            }
+            ClusterError::NoPayload(key) => {
+                write!(f, "chunk {key} has no materialized payload to retract cells from")
             }
         }
     }

@@ -29,7 +29,10 @@ mod rebalance;
 mod recovery;
 mod transfer;
 
-pub use cluster::{Cluster, CrashReport, PayloadRead, ReplicaCensus};
+pub use cluster::{
+    ChunkEviction, ChunkRetraction, Cluster, CrashReport, DecommissionReport, PayloadRead,
+    ReplicaCensus,
+};
 pub use cost::{gb, CostModel, BYTES_PER_GB};
 pub use error::{ClusterError, PayloadMismatch, Result};
 pub use metrics::{relative_std_dev, NodeHoursLedger, PhaseBreakdown};

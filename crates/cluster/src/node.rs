@@ -6,11 +6,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-/// Identifier of a cluster node. Nodes are numbered in join order and are
-/// never removed from the roster — the paper's clusters grow
-/// monotonically (§5.1: "the system never coalesces nodes") — but a node
-/// can leave *service* through its [`NodeState`] lifecycle (crash,
-/// drain), keeping every historical id stable.
+/// Identifier of a cluster node. Nodes are numbered in join order and
+/// keep their roster **slot** forever — a scale-IN removes a node from
+/// *service* by retiring it ([`NodeState::Retired`]), never by
+/// compacting the roster, so every historical id (and the replica
+/// ring's modular arithmetic over the roster length) stays stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
@@ -33,6 +33,11 @@ impl fmt::Display for NodeId {
 /// * `Recovering` — a revived node catching back up: accepts data (that
 ///   is how it refills) and serves what it holds, flagged until
 ///   [`crate::Cluster::mark_recovered`] promotes it back to `Healthy`.
+/// * `Retired` — scale-IN completed: the node was drained, its data
+///   rebalanced away, and it has left service permanently. It keeps its
+///   roster slot (so ids and replica-ring arithmetic stay stable) but
+///   serves nothing, accepts nothing, and no longer counts toward
+///   cluster strength.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum NodeState {
     /// Full member of the cluster.
@@ -44,17 +49,26 @@ pub enum NodeState {
     Draining,
     /// Revived after a crash; refilling.
     Recovering,
+    /// Decommissioned: drained, emptied, and released. Terminal.
+    Retired,
 }
 
 impl NodeState {
     /// Can this node answer reads for the chunks it holds?
     pub fn serves_reads(&self) -> bool {
-        !matches!(self, NodeState::Crashed)
+        !matches!(self, NodeState::Crashed | NodeState::Retired)
     }
 
     /// Can this node receive new descriptors, payloads, or replicas?
     pub fn accepts_data(&self) -> bool {
         matches!(self, NodeState::Healthy | NodeState::Recovering)
+    }
+
+    /// Has this node left the cluster for good (scale-IN)? Retired nodes
+    /// keep their roster slot but are excluded from cluster strength and
+    /// the balance census denominator.
+    pub fn is_retired(&self) -> bool {
+        matches!(self, NodeState::Retired)
     }
 }
 
@@ -65,6 +79,7 @@ impl fmt::Display for NodeState {
             NodeState::Crashed => "crashed",
             NodeState::Draining => "draining",
             NodeState::Recovering => "recovering",
+            NodeState::Retired => "retired",
         })
     }
 }
@@ -178,13 +193,82 @@ impl Node {
     /// Remove a chunk and whatever payload it carries, keeping the
     /// descriptor/payload pair structurally inseparable: no eviction path
     /// can strand an orphaned payload on the node.
+    ///
+    /// The byte ledger uses checked subtraction: an eviction larger than
+    /// the ledger is an accounting bug (a retraction decremented a
+    /// descriptor without telling the node, or vice versa), so it panics
+    /// in debug builds instead of silently clamping to zero. Release
+    /// builds clamp, keeping the simulation alive.
     pub(crate) fn evict(
         &mut self,
         key: &ChunkKey,
     ) -> Option<(ChunkDescriptor, Option<Arc<Chunk>>)> {
         let desc = self.chunks.remove(key)?;
-        self.used_bytes = self.used_bytes.saturating_sub(desc.bytes);
+        self.used_bytes = self.used_bytes.checked_sub(desc.bytes).unwrap_or_else(|| {
+            debug_assert!(
+                false,
+                "byte ledger underflow: evicting {} bytes from a {}-byte ledger on {}",
+                desc.bytes, self.used_bytes, self.id
+            );
+            0
+        });
         Some((desc, self.payloads.remove(key)))
+    }
+
+    /// Replace a resident chunk's descriptor in place (a retraction
+    /// shrank it), adjusting the byte ledger by the exact delta. Returns
+    /// the previous descriptor, or `None` when the chunk is not
+    /// resident. Shrink uses checked subtraction, as in [`Node::evict`].
+    pub(crate) fn resize(&mut self, desc: ChunkDescriptor) -> Option<ChunkDescriptor> {
+        let slot = self.chunks.get_mut(&desc.key)?;
+        let old = *slot;
+        *slot = desc;
+        if desc.bytes >= old.bytes {
+            self.used_bytes = self.used_bytes.saturating_add(desc.bytes - old.bytes);
+        } else {
+            let freed = old.bytes - desc.bytes;
+            self.used_bytes = self.used_bytes.checked_sub(freed).unwrap_or_else(|| {
+                debug_assert!(
+                    false,
+                    "byte ledger underflow: shrinking {} bytes from a {}-byte ledger on {}",
+                    freed, self.used_bytes, self.id
+                );
+                0
+            });
+        }
+        Some(old)
+    }
+
+    /// The replica-store counterpart of [`Node::resize`].
+    pub(crate) fn resize_replica(&mut self, desc: ChunkDescriptor) -> Option<ChunkDescriptor> {
+        let slot = self.replicas.get_mut(&desc.key)?;
+        let old = *slot;
+        *slot = desc;
+        if desc.bytes >= old.bytes {
+            self.replica_bytes = self.replica_bytes.saturating_add(desc.bytes - old.bytes);
+        } else {
+            let freed = old.bytes - desc.bytes;
+            self.replica_bytes = self.replica_bytes.checked_sub(freed).unwrap_or_else(|| {
+                debug_assert!(
+                    false,
+                    "replica ledger underflow: shrinking {} bytes from a {}-byte ledger on {}",
+                    freed, self.replica_bytes, self.id
+                );
+                0
+            });
+        }
+        Some(old)
+    }
+
+    /// Mutable handle to a resident primary payload (the retraction path
+    /// tombstones stored cells through `Arc::make_mut`).
+    pub(crate) fn payload_mut(&mut self, key: &ChunkKey) -> Option<&mut Arc<Chunk>> {
+        self.payloads.get_mut(key)
+    }
+
+    /// Mutable handle to a resident replica payload.
+    pub(crate) fn replica_payload_mut(&mut self, key: &ChunkKey) -> Option<&mut Arc<Chunk>> {
+        self.replica_payloads.get_mut(key)
     }
 
     /// The materialized payload of a resident chunk, when one is stored.
@@ -254,12 +338,21 @@ impl Node {
     }
 
     /// Remove a replica copy (descriptor + payload pair) from this node.
+    /// Checked subtraction, as in [`Node::evict`]: a replica-ledger
+    /// underflow panics in debug builds.
     pub(crate) fn evict_replica(
         &mut self,
         key: &ChunkKey,
     ) -> Option<(ChunkDescriptor, Option<Arc<Chunk>>)> {
         let desc = self.replicas.remove(key)?;
-        self.replica_bytes = self.replica_bytes.saturating_sub(desc.bytes);
+        self.replica_bytes = self.replica_bytes.checked_sub(desc.bytes).unwrap_or_else(|| {
+            debug_assert!(
+                false,
+                "replica ledger underflow: evicting {} bytes from a {}-byte ledger on {}",
+                desc.bytes, self.replica_bytes, self.id
+            );
+            0
+        });
         Some((desc, self.replica_payloads.remove(key)))
     }
 
@@ -301,26 +394,70 @@ mod tests {
     }
 
     #[test]
-    fn byte_ledgers_saturate_at_u64_max() {
+    fn byte_ledgers_saturate_on_admit() {
         let mut n = Node::new(NodeId(0), u64::MAX);
         n.admit(desc(1, u64::MAX - 10));
         n.admit(desc(2, 100));
         assert_eq!(n.used_bytes(), u64::MAX, "admit saturates, never wraps");
         n.add_load(u64::MAX);
         assert_eq!(n.used_bytes(), u64::MAX);
-        // Evicting more bytes than the (saturated) ledger holds must floor
-        // at zero rather than wrapping to a huge bogus load.
-        n.evict(&desc(1, u64::MAX - 10).key);
-        n.evict(&desc(2, 100).key);
-        assert_eq!(n.used_bytes(), 0);
-
         let mut r = Node::new(NodeId(1), u64::MAX);
         r.admit_replica(desc(3, u64::MAX - 1));
         r.admit_replica(desc(4, 50));
         assert_eq!(r.replica_bytes(), u64::MAX);
-        r.evict_replica(&desc(3, u64::MAX - 1).key);
-        r.evict_replica(&desc(4, 50).key);
-        assert_eq!(r.replica_bytes(), 0);
+    }
+
+    // Over-eviction is an accounting bug, not a condition to paper over:
+    // the checked subtraction panics in debug builds (tests run debug),
+    // so a retraction that double-counts bytes surfaces immediately.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "byte ledger underflow")]
+    fn over_eviction_panics_in_debug() {
+        let mut n = Node::new(NodeId(0), u64::MAX);
+        n.admit(desc(1, u64::MAX - 10));
+        n.admit(desc(2, 100)); // ledger saturates at u64::MAX
+        n.evict(&desc(1, u64::MAX - 10).key); // ledger: 10
+        n.evict(&desc(2, 100).key); // 100 > 10: underflow
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "replica ledger underflow")]
+    fn replica_over_eviction_panics_in_debug() {
+        let mut r = Node::new(NodeId(1), u64::MAX);
+        r.admit_replica(desc(3, u64::MAX - 1));
+        r.admit_replica(desc(4, 50)); // saturates
+        r.evict_replica(&desc(3, u64::MAX - 1).key); // ledger: 1
+        r.evict_replica(&desc(4, 50).key); // 50 > 1: underflow
+    }
+
+    #[test]
+    fn resize_adjusts_the_ledger_exactly() {
+        let mut n = Node::new(NodeId(0), 1000);
+        n.admit(desc(1, 300));
+        n.admit(desc(2, 200));
+        let old = n.resize(ChunkDescriptor::new(desc(1, 0).key, 120, 1)).unwrap();
+        assert_eq!(old.bytes, 300);
+        assert_eq!(n.used_bytes(), 320);
+        assert_eq!(n.descriptor(&desc(1, 0).key).unwrap().bytes, 120);
+        // Growth works too (an insert into an existing chunk).
+        n.resize(ChunkDescriptor::new(desc(1, 0).key, 150, 2)).unwrap();
+        assert_eq!(n.used_bytes(), 350);
+        assert!(n.resize(desc(9, 10)).is_none(), "non-resident chunks cannot resize");
+        let mut r = Node::new(NodeId(1), 1000);
+        r.admit_replica(desc(3, 80));
+        r.resize_replica(ChunkDescriptor::new(desc(3, 0).key, 30, 1)).unwrap();
+        assert_eq!(r.replica_bytes(), 30);
+    }
+
+    #[test]
+    fn retired_nodes_serve_and_accept_nothing() {
+        assert!(!NodeState::Retired.serves_reads());
+        assert!(!NodeState::Retired.accepts_data());
+        assert!(NodeState::Retired.is_retired());
+        assert!(!NodeState::Draining.is_retired());
+        assert_eq!(NodeState::Retired.to_string(), "retired");
     }
 
     #[test]

@@ -380,6 +380,36 @@ impl PlacementIndex {
         prev
     }
 
+    /// Remove a placement entirely (chunk eviction, the retraction path's
+    /// end state); returns the node it lived on. Dense slots go back to
+    /// [`VACANT`], sparse entries leave their spill map, and the length
+    /// decrements exactly — the inverse of [`PlacementIndex::insert`].
+    pub(crate) fn remove(&mut self, key: &ChunkKey) -> Option<NodeId> {
+        let prev = match self
+            .meta(key.array)
+            .and_then(|m| m.linearize(&key.coords).map(|l| (m.shard_of_lin(l), m.slab_offset(l))))
+        {
+            Some((shard_idx, off)) => {
+                let slab = self.shards[shard_idx].slabs[key.array.0 as usize]
+                    .as_mut()
+                    .expect("dense meta implies a slab");
+                match slab.slots[off] {
+                    VACANT => None,
+                    id => {
+                        slab.slots[off] = VACANT;
+                        slab.resident -= 1;
+                        Some(NodeId(id))
+                    }
+                }
+            }
+            None => self.shards[spill_shard(key)].spill.remove(key),
+        };
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.len
     }
@@ -511,6 +541,22 @@ mod tests {
         assert!(!idx.register_dense(ArrayId(u32::MAX - 1), &[8]));
         assert_eq!(idx.insert(k, NodeId(1)), None);
         assert_eq!(idx.get(&k), Some(NodeId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_dense_and_sparse_entries() {
+        let mut idx = PlacementIndex::new();
+        idx.register_dense(ArrayId(0), &[4, 4]);
+        idx.insert(key(0, &[1, 1]), NodeId(2));
+        idx.insert(key(0, &[9, 9]), NodeId(3)); // spill
+        assert_eq!(idx.remove(&key(0, &[1, 1])), Some(NodeId(2)));
+        assert_eq!(idx.get(&key(0, &[1, 1])), None);
+        assert_eq!(idx.remove(&key(0, &[1, 1])), None, "double remove is a no-op");
+        assert_eq!(idx.remove(&key(0, &[9, 9])), Some(NodeId(3)));
+        assert_eq!(idx.len(), 0);
+        // The vacated slot is reusable.
+        assert_eq!(idx.insert(key(0, &[1, 1]), NodeId(5)), None);
         assert_eq!(idx.len(), 1);
     }
 

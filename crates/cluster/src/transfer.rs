@@ -56,6 +56,13 @@ impl FlowSet {
         self.chunk_count
     }
 
+    /// Fold every flow of `other` into this set — drain moves and the
+    /// replica repairs that follow them cost out as one concurrent batch.
+    pub fn merge(&mut self, other: &FlowSet) {
+        self.flows.extend_from_slice(&other.flows);
+        self.chunk_count = self.chunk_count.saturating_add(other.chunk_count);
+    }
+
     /// Total payload bytes (local and remote). Saturating: a pathological
     /// fault schedule that piles up near-`u64::MAX` flows must clamp at
     /// the ceiling, not wrap into a bogus short repair time.

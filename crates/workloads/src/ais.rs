@@ -67,6 +67,14 @@ pub struct AisWorkload {
     /// ingest mode; `0` keeps the workload metadata-only. Rows congregate
     /// around the same port kernels that drive the byte skew.
     pub cells_per_cycle: u64,
+    /// Vessels going dark: when nonzero, roughly one in `rate` of the
+    /// previous cycle's ships stops transmitting each cycle, and all of
+    /// that ship's prior-cycle broadcasts are retracted (AIS receivers
+    /// deduplicate against live transponders; a dark transponder's
+    /// stale track is withdrawn). `0` (the default) disables
+    /// retractions, keeping the insert-only pinned runs bit-identical.
+    /// Only meaningful in materialized mode (`cells_per_cycle > 0`).
+    pub dark_vessel_rate: u32,
 }
 
 impl Default for AisWorkload {
@@ -75,7 +83,13 @@ impl Default for AisWorkload {
         // paper's demand shape under the in-tree generator: ~400 GB total
         // and a trending (not mean-reverting) monthly history that tunes
         // Algorithm 1 to s = 1 (Table 2).
-        AisWorkload { cycles: 10, scale: 1.0, seed: 0x5eed_000f, cells_per_cycle: 0 }
+        AisWorkload {
+            cycles: 10,
+            scale: 1.0,
+            seed: 0x5eed_000f,
+            cells_per_cycle: 0,
+            dark_vessel_rate: 0,
+        }
     }
 }
 
@@ -193,6 +207,36 @@ impl AisWorkload {
         )
     }
 
+    /// Deterministically derive row `i` of `cycle`'s broadcast batch
+    /// from its per-row rng stream: the cell position first, then the
+    /// ship id. Splitting this out of [`Workload::cell_batch`] lets the
+    /// retraction pass replay an earlier cycle's positions without
+    /// regenerating (or buffering) its attribute values — each row owns
+    /// a fresh rng, so the replay stops after the ship-id draw.
+    fn broadcast_row(rng: &mut rand::rngs::StdRng, cycle: usize) -> (i64, i64, i64) {
+        let tc = cycle as i64 * TCS_PER_CYCLE + (rng.gen::<u64>() % TCS_PER_CYCLE as u64) as i64;
+        let minute = tc * MINUTES_PER_TC + (rng.gen::<u64>() % MINUTES_PER_TC as u64) as i64;
+        // Biased port pick: u^2.5 over ranks concentrates rows on the
+        // heavy ports without excluding the tail.
+        let rank = ((rng.gen::<f64>().powf(2.5)) * PORTS.len() as f64) as usize % PORTS.len();
+        let (plon, plat) = PORTS[rank];
+        let jlon = (standard_normal(rng) * 1.5).round() as i64;
+        let jlat = (standard_normal(rng) * 1.5).round() as i64;
+        let lon = (-180 + plon * 4 + 2 + jlon).clamp(-180, -66);
+        let lat = (plat * 4 + 2 + jlat).clamp(0, 90);
+        (minute, lon, lat)
+    }
+
+    /// Whether `ship_id` goes dark at the start of `cycle` (deciding the
+    /// fate of its previous cycle's broadcasts). Deterministic in the
+    /// seed, the cycle, and the ship.
+    fn ship_goes_dark(&self, cycle: usize, ship_id: i64) -> bool {
+        self.dark_vessel_rate != 0
+            && rng_for(self.seed, &[810, cycle as i64, ship_id]).gen::<u64>()
+                % self.dark_vessel_rate as u64
+                == 0
+    }
+
     /// Query points for the kNN benchmark: ship positions sampled near the
     /// busiest ports in the newest time chunk (uniform over *ships* means
     /// concentrated at ports).
@@ -277,17 +321,7 @@ impl Workload for AisWorkload {
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..self.cells_per_cycle {
             let mut rng = rng_for(self.seed, &[800, cycle as i64, i as i64]);
-            let tc =
-                cycle as i64 * TCS_PER_CYCLE + (rng.gen::<u64>() % TCS_PER_CYCLE as u64) as i64;
-            let minute = tc * MINUTES_PER_TC + (rng.gen::<u64>() % MINUTES_PER_TC as u64) as i64;
-            // Biased port pick: u^2.5 over ranks concentrates rows on the
-            // heavy ports without excluding the tail.
-            let rank = ((rng.gen::<f64>().powf(2.5)) * PORTS.len() as f64) as usize % PORTS.len();
-            let (plon, plat) = PORTS[rank];
-            let jlon = (standard_normal(&mut rng) * 1.5).round() as i64;
-            let jlat = (standard_normal(&mut rng) * 1.5).round() as i64;
-            let lon = (-180 + plon * 4 + 2 + jlon).clamp(-180, -66);
-            let lat = (plat * 4 + 2 + jlat).clamp(0, 90);
+            let (minute, lon, lat) = Self::broadcast_row(&mut rng, cycle);
             if !seen.insert((minute, lon, lat)) {
                 continue;
             }
@@ -305,6 +339,27 @@ impl Workload for AisWorkload {
                 ScalarValue::Str("ais-feed".to_string()),
             ]);
             batch.push(&[minute, lon, lat], &mut vals);
+        }
+        // Vessels going dark: replay the previous cycle's deterministic
+        // row stream (positions and ship ids only — each row's fresh rng
+        // makes the replay cheap) and retract every broadcast belonging
+        // to a ship that went dark this cycle. Retractions ride the same
+        // batch as the inserts; the driver applies them to earlier
+        // cycles' chunks before building this cycle's.
+        if self.dark_vessel_rate != 0 && cycle > 0 {
+            let prev = cycle - 1;
+            let mut prev_seen = std::collections::BTreeSet::new();
+            for i in 0..self.cells_per_cycle {
+                let mut rng = rng_for(self.seed, &[800, prev as i64, i as i64]);
+                let (minute, lon, lat) = Self::broadcast_row(&mut rng, prev);
+                if !prev_seen.insert((minute, lon, lat)) {
+                    continue;
+                }
+                let ship_id = (rng.gen::<u64>() % (1 + self.cells_per_cycle / 8)) as i64;
+                if self.ship_goes_dark(cycle, ship_id) {
+                    batch.push_retraction(&[minute, lon, lat]);
+                }
+            }
         }
         Some(vec![batch])
     }
@@ -471,6 +526,39 @@ mod tests {
         for q in w.knn_queries(3, 48) {
             assert!(array_model::chunk_of(&schema, &q).is_ok(), "query {q:?} out of bounds");
         }
+    }
+
+    #[test]
+    fn dark_vessels_retract_prior_cycle_broadcasts() {
+        let live = AisWorkload {
+            cycles: 3,
+            scale: 0.05,
+            seed: 7,
+            cells_per_cycle: 2_000,
+            ..Default::default()
+        };
+        let dark = AisWorkload { dark_vessel_rate: 8, ..live.clone() };
+        // Cycle 0 has no prior cycle to retract from.
+        let c0 = dark.cell_batch(0).unwrap().remove(0);
+        assert_eq!(c0.retraction_count(), 0);
+        // Rate 0 never retracts; the insert rows are untouched by the
+        // dark-vessel pass (insert-only runs stay bit-identical).
+        let live1 = live.cell_batch(1).unwrap().remove(0);
+        assert_eq!(live1.retraction_count(), 0);
+        let dark1 = dark.cell_batch(1).unwrap().remove(0);
+        assert_eq!(dark1.len(), live1.len());
+        assert_eq!(dark1.cells(), live1.cells());
+        let n = dark1.retraction_count();
+        assert!(n > 0, "some ship must go dark");
+        assert!(n < dark1.len(), "not every ship goes dark");
+        // Every retraction names a cell cycle 0 actually inserted.
+        let inserted: std::collections::BTreeSet<Vec<i64>> =
+            dark.cell_batch(0).unwrap()[0].cells().iter().map(|(c, _)| c.to_vec()).collect();
+        for cell in dark1.retractions_flat().chunks_exact(3) {
+            assert!(inserted.contains(cell), "retraction {cell:?} was never inserted");
+        }
+        // Deterministic.
+        assert_eq!(dark.cell_batch(1).unwrap()[0].retractions_flat(), dark1.retractions_flat());
     }
 
     #[test]

@@ -91,6 +91,24 @@ pub enum CycleError {
         /// The bookkeeping violation the audit found.
         source: ClusterError,
     },
+    /// The cycle's retraction script could not be applied to the
+    /// cluster's stored payloads (a chunk lost its payload, or the
+    /// shrink left the books inconsistent).
+    Retract {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying cluster rejection.
+        source: ClusterError,
+    },
+    /// A scale-in decommission failed mid-drain. The cluster cancels
+    /// the drain itself (the node returns to service); the error
+    /// records why the release was abandoned.
+    ScaleIn {
+        /// Cycle that failed.
+        cycle: usize,
+        /// Underlying cluster rejection.
+        source: ClusterError,
+    },
 }
 
 impl fmt::Display for CycleError {
@@ -117,6 +135,12 @@ impl fmt::Display for CycleError {
             CycleError::Recovery { cycle, source } => {
                 write!(f, "cycle {cycle}: post-recovery audit failed: {source}")
             }
+            CycleError::Retract { cycle, source } => {
+                write!(f, "cycle {cycle}: retraction script rejected: {source}")
+            }
+            CycleError::ScaleIn { cycle, source } => {
+                write!(f, "cycle {cycle}: scale-in decommission failed: {source}")
+            }
         }
     }
 }
@@ -128,7 +152,9 @@ impl std::error::Error for CycleError {
             | CycleError::Derived { source, .. }
             | CycleError::Reorg { source, .. }
             | CycleError::Fault { source, .. }
-            | CycleError::Recovery { source, .. } => Some(source),
+            | CycleError::Recovery { source, .. }
+            | CycleError::Retract { source, .. }
+            | CycleError::ScaleIn { source, .. } => Some(source),
             CycleError::Materialize { source, .. } => Some(source),
             CycleError::UnknownArray { .. } => None,
         }
@@ -224,10 +250,13 @@ impl Default for RunnerConfig {
 pub struct CycleReport {
     /// Cycle index (0-based).
     pub cycle: usize,
-    /// Nodes provisioned after any scale-out this cycle.
+    /// Nodes in service after any scale-out or scale-in this cycle
+    /// (retired nodes keep their roster slot but are not counted).
     pub nodes: usize,
     /// Nodes added this cycle (0 when no scale-out).
     pub added_nodes: usize,
+    /// Nodes drained and retired by a scale-in this cycle.
+    pub removed_nodes: usize,
     /// Total stored demand after the cycle, in GB.
     pub demand_gb: f64,
     /// Insert / reorg / query durations.
@@ -238,6 +267,15 @@ pub struct CycleReport {
     pub moved_bytes: u64,
     /// Bytes ingested.
     pub insert_bytes: u64,
+    /// Cells tombstoned by this cycle's retraction script.
+    pub retracted_cells: u64,
+    /// Chunks the retraction script emptied outright and the driver
+    /// evicted from the placement.
+    pub evicted_chunks: usize,
+    /// Bytes still carried by those evicted chunks (dangling dictionary
+    /// entries and the like — fully-retracted plain columns evict at
+    /// zero bytes, since every cell's bytes were already freed).
+    pub evicted_bytes: u64,
     /// True when the scaling policy wanted more nodes than its per-cycle
     /// safety cap allows: demand exceeded the trigger level even after
     /// this cycle's scale-out. Previously this was dropped silently.
@@ -540,16 +578,21 @@ impl<'w> WorkloadRunner<'w> {
     /// through [`CycleReport::scale_saturated`] rather than dropped.
     const MAX_FIXED_STEP_ADD: u64 = 4096;
 
-    /// Decide how many nodes to add for a projected `demand_bytes`, and
-    /// whether the decision saturated the per-cycle cap.
+    /// Decide how the roster changes for a projected `demand_bytes`:
+    /// nodes to add, nodes to release, and whether the decision
+    /// saturated the per-cycle cap. Both counts run off the *active*
+    /// roster — retired nodes keep their slot but contribute no
+    /// capacity.
     ///
     /// FixedStep is closed-form integer arithmetic: the smallest multiple
     /// of `add` that brings `trigger × capacity` back above demand. (The
     /// old implementation looped in f64 GB and silently stopped after 64
     /// extra nodes, under-provisioning any cycle that needed more.)
-    fn scale_decision(&self, demand_bytes: u64) -> (usize, bool) {
+    /// Only the staircase controller ever asks to shrink, and only when
+    /// its `shrink_margin` hysteresis band is enabled.
+    fn scale_decision(&self, demand_bytes: u64) -> ScaleStep {
         match &self.config.scaling {
-            ScalingPolicy::Fixed => (0, false),
+            ScalingPolicy::Fixed => ScaleStep::default(),
             ScalingPolicy::FixedStep { add, trigger } => {
                 // Usable bytes per node under the trigger fraction. The one
                 // f64 rounding happens here, floor-ward, which can only
@@ -558,32 +601,36 @@ impl<'w> WorkloadRunner<'w> {
                 if usable == 0 {
                     // Degenerate policy (zero trigger or capacity): no node
                     // count can ever satisfy demand.
-                    return (0, demand_bytes > 0);
+                    return ScaleStep { saturated: demand_bytes > 0, ..ScaleStep::default() };
                 }
                 let needed = demand_bytes.div_ceil(usable);
-                let have = self.cluster.node_count() as u64;
+                let have = self.cluster.active_node_count() as u64;
                 if needed <= have {
-                    return (0, false);
+                    return ScaleStep::default();
                 }
                 let step = (*add).max(1) as u64;
                 let extra = (needed - have).div_ceil(step) * step;
                 if extra > Self::MAX_FIXED_STEP_ADD {
-                    (Self::MAX_FIXED_STEP_ADD as usize, true)
+                    ScaleStep { add: Self::MAX_FIXED_STEP_ADD as usize, saturated: true, remove: 0 }
                 } else {
-                    (extra as usize, false)
+                    ScaleStep { add: extra as usize, ..ScaleStep::default() }
                 }
             }
             ScalingPolicy::Staircase(_) => {
-                let add = match self
+                match self
                     .provisioner
                     .as_ref()
                     .expect("staircase policy keeps a provisioner")
-                    .decide(self.cluster.node_count(), gb(demand_bytes))
+                    .decide(self.cluster.active_node_count(), gb(demand_bytes))
                 {
-                    ProvisionDecision::Stay => 0,
-                    ProvisionDecision::ScaleOut { add_nodes } => add_nodes,
-                };
-                (add, false)
+                    ProvisionDecision::Stay => ScaleStep::default(),
+                    ProvisionDecision::ScaleOut { add_nodes } => {
+                        ScaleStep { add: add_nodes, ..ScaleStep::default() }
+                    }
+                    ProvisionDecision::ScaleIn { remove_nodes } => {
+                        ScaleStep { remove: remove_nodes, ..ScaleStep::default() }
+                    }
+                }
             }
         }
     }
@@ -800,6 +847,122 @@ impl<'w> WorkloadRunner<'w> {
         self.cluster.verify_replica_books().map_err(|source| CycleError::Recovery { cycle, source })
     }
 
+    /// Apply every batch's retraction script to the cluster's stored
+    /// payloads and mirror it into the catalog's whole-array oracle,
+    /// keeping both stores structurally in step (same tombstones, same
+    /// byte ledgers, same pruned chunks).
+    ///
+    /// Retractions are grouped by owning chunk and applied through
+    /// [`Cluster::retract_cells`], which shrinks the primary payload,
+    /// its descriptor, the node ledgers, and every replica copy in one
+    /// step. A chunk whose last live cell is retracted is evicted from
+    /// the placement outright (and its replica set dropped) — retired
+    /// bytes stop counting against demand immediately, which is what
+    /// lets the provisioner see the trough. Cells whose chunk was never
+    /// placed (or already evicted) count as `missing` rather than
+    /// failing the cycle: delete scripts replay against both oracle and
+    /// store copies, which may legitimately have pruned a chunk first.
+    fn apply_retractions(
+        &mut self,
+        cycle: usize,
+        batches: &[CellBatch],
+    ) -> Result<RetractTally, CycleError> {
+        let mut tally = RetractTally::default();
+        for b in batches {
+            let flat = b.retractions_flat();
+            if flat.is_empty() {
+                continue;
+            }
+            let schema = match self.catalog.array(b.array) {
+                Ok(stored) => stored.schema.clone(),
+                Err(_) => return Err(CycleError::UnknownArray { cycle, array: b.array }),
+            };
+            let nd = schema.ndims().max(1);
+            // Group the flat script by owning chunk so each placed chunk
+            // is touched once (one descriptor resize, one replica fan-out).
+            let mut by_chunk: std::collections::BTreeMap<ChunkCoords, Vec<i64>> =
+                std::collections::BTreeMap::new();
+            for cell in flat.chunks_exact(nd) {
+                let coords = array_model::chunk_of(&schema, cell)
+                    .map_err(|source| CycleError::Materialize { cycle, source })?;
+                by_chunk.entry(coords).or_default().extend_from_slice(cell);
+            }
+            for (coords, cells) in by_chunk {
+                let key = ChunkKey::new(b.array, coords);
+                if self.cluster.locate(&key).is_none() {
+                    tally.missing += (cells.len() / nd) as u64;
+                    continue;
+                }
+                let outcome = self
+                    .cluster
+                    .retract_cells(&key, &cells)
+                    .map_err(|source| CycleError::Retract { cycle, source })?;
+                tally.retracted += outcome.retracted;
+                tally.missing += outcome.missing;
+                if outcome.remaining_cells == 0 {
+                    let eviction = self
+                        .cluster
+                        .evict_chunk(&key)
+                        .map_err(|source| CycleError::Retract { cycle, source })?;
+                    tally.evicted_chunks += 1;
+                    tally.evicted_bytes += eviction.bytes;
+                }
+            }
+            // Mirror the script into the catalog oracle. The oracle's
+            // chunks were shared with the cluster until now; replaying
+            // the same deterministic script (retract-the-last-live-
+            // duplicate per coordinate) leaves both copies structurally
+            // identical, so the differential suites keep agreeing.
+            let stored = self.catalog.array_mut(b.array).expect("validated above");
+            if let Some(data) = stored.data.as_mut() {
+                let outcome = data
+                    .delete_cells(flat)
+                    .map_err(|source| CycleError::Materialize { cycle, source })?;
+                for coords in data.prune_empty() {
+                    stored.descriptors.remove(&coords);
+                }
+                for coords in outcome.touched {
+                    if let Some(chunk) = data.chunk(&coords) {
+                        stored.descriptors.insert(coords, chunk.descriptor(b.array));
+                    }
+                }
+            }
+        }
+        Ok(tally)
+    }
+
+    /// Release up to `remove` nodes: drain the highest-id healthy nodes
+    /// through the flow solver and retire them (the staircase releases
+    /// its newest steps first, matching the tail-first capacity walk the
+    /// provisioner priced). Never drops the roster below the replication
+    /// factor's worth of serving nodes — a deeper shrink request is
+    /// clamped, not failed. Returns `(nodes retired, drain seconds,
+    /// drained bytes)`.
+    fn scale_in(&mut self, cycle: usize, remove: usize) -> Result<(usize, f64, u64), CycleError> {
+        let floor = self.config.replication.max(1);
+        let mut healthy: Vec<NodeId> = self
+            .cluster
+            .nodes()
+            .filter(|n| n.state() == cluster_sim::NodeState::Healthy)
+            .map(|n| n.id)
+            .collect();
+        healthy.sort_unstable();
+        let spare = healthy.len().saturating_sub(floor);
+        let mut removed = 0usize;
+        let mut secs = 0.0;
+        let mut bytes = 0u64;
+        for &id in healthy.iter().rev().take(remove.min(spare)) {
+            let report = self
+                .cluster
+                .decommission_node(id)
+                .map_err(|source| CycleError::ScaleIn { cycle, source })?;
+            secs += report.flows.elapsed_secs(&self.config.cost);
+            bytes += report.drained_bytes;
+            removed += 1;
+        }
+        Ok((removed, secs, bytes))
+    }
+
     /// Execute one workload cycle.
     pub fn run_cycle(&mut self, cycle: usize) -> Result<CycleReport, CycleError> {
         // Fault injection first: cycle-start crashes, drains, and
@@ -822,23 +985,30 @@ impl<'w> WorkloadRunner<'w> {
 
         // Materialized workloads stream cells through the chunk builder
         // and ingest descriptors derived from the real payloads; metadata
-        // workloads place their sampled descriptors directly.
-        let (batch, cell_arrays) = match self.workload.get().cell_batch(cycle) {
+        // workloads place their sampled descriptors directly. Retraction
+        // scripts are applied first — the cycle's deletes shrink stored
+        // demand before the provisioner prices it, so a trough is
+        // visible the same cycle it opens.
+        let (batch, cell_arrays, retract) = match self.workload.get().cell_batch(cycle) {
             Some(batches) => {
+                let retract = self.apply_retractions(cycle, &batches)?;
                 let arrays = self.build_cell_arrays(cycle, batches)?;
                 let descs: Vec<ChunkDescriptor> =
                     arrays.iter().flat_map(Array::descriptors).collect();
-                (descs, Some(arrays))
+                (descs, Some(arrays), retract)
             }
-            None => (self.workload.get().insert_batch(cycle), None),
+            None => (self.workload.get().insert_batch(cycle), None, RetractTally::default()),
         };
         let insert_bytes: u64 = batch.iter().map(|d| d.bytes).sum();
         let projected_bytes = self.cluster.total_used().saturating_add(insert_bytes);
 
         // Provision + reorganize BEFORE ingesting (§3.4: the database
         // "redistributes the preexisting chunks, and finally inserts the
-        // new ones").
-        let (added, scale_saturated) = self.scale_decision(projected_bytes);
+        // new ones"). A shrink drains the released nodes through the
+        // same flow solver before the ingest lands.
+        let step = self.scale_decision(projected_bytes);
+        let added = step.add;
+        let scale_saturated = step.saturated;
         let mut reorg_secs = 0.0;
         let mut moved_bytes = 0u64;
         if added > 0 {
@@ -851,6 +1021,13 @@ impl<'w> WorkloadRunner<'w> {
                 .apply_rebalance(&plan)
                 .map_err(|source| CycleError::Reorg { cycle, source })?;
             reorg_secs = flows.elapsed_secs(&self.config.cost);
+        }
+        let mut removed_nodes = 0usize;
+        if step.remove > 0 {
+            let (removed, drain_secs, drained) = self.scale_in(cycle, step.remove)?;
+            removed_nodes = removed;
+            reorg_secs += drain_secs;
+            moved_bytes += drained;
         }
         // Rebalance-window crashes land here — after any data movement,
         // before the ingest — and get their own recovery pass.
@@ -901,8 +1078,9 @@ impl<'w> WorkloadRunner<'w> {
         let census = self.cluster.replica_census();
         Ok(CycleReport {
             cycle,
-            nodes: self.cluster.node_count(),
+            nodes: self.cluster.active_node_count(),
             added_nodes: added,
+            removed_nodes,
             demand_gb: gb(self.cluster.total_used()),
             phases: PhaseBreakdown {
                 insert_secs,
@@ -913,6 +1091,9 @@ impl<'w> WorkloadRunner<'w> {
             rsd_after_insert,
             moved_bytes,
             insert_bytes,
+            retracted_cells: retract.retracted,
+            evicted_chunks: retract.evicted_chunks,
+            evicted_bytes: retract.evicted_bytes,
             scale_saturated,
             crashed_nodes: self
                 .cluster
@@ -967,6 +1148,31 @@ struct RepairTally {
     bytes: u64,
     secs: f64,
     retries: u64,
+}
+
+/// One cycle's provisioning verdict: nodes to add, nodes to release,
+/// and whether the policy saturated its per-cycle cap. `add` and
+/// `remove` are never both nonzero — the staircase's hysteresis band
+/// guarantees a shrink can't re-trip the scale-out threshold.
+#[derive(Default)]
+struct ScaleStep {
+    add: usize,
+    remove: usize,
+    saturated: bool,
+}
+
+/// What a cycle's retraction script did, accumulated across batches.
+#[derive(Default)]
+struct RetractTally {
+    /// Cells tombstoned in placed chunks.
+    retracted: u64,
+    /// Retraction coordinates with no live cell to delete (never
+    /// inserted, already retracted, or their chunk already evicted).
+    missing: u64,
+    /// Chunks emptied outright and evicted from the placement.
+    evicted_chunks: usize,
+    /// Bytes those evicted chunks still carried.
+    evicted_bytes: u64,
 }
 
 #[cfg(test)]
@@ -1046,6 +1252,7 @@ mod tests {
             samples: 2,
             plan_ahead: 1,
             trigger: 1.0,
+            shrink_margin: 0.0,
         });
         let mut runner = WorkloadRunner::new(&w, cfg);
         let report = runner.run_all().expect("collision-free workload");
@@ -1067,7 +1274,13 @@ mod tests {
     #[test]
     fn materialized_cycles_attach_payloads_and_keep_books_consistent() {
         use crate::ais::{AisWorkload, BROADCAST};
-        let w = AisWorkload { cycles: 3, scale: 0.05, seed: 5, cells_per_cycle: 1200 };
+        let w = AisWorkload {
+            cycles: 3,
+            scale: 0.05,
+            seed: 5,
+            cells_per_cycle: 1200,
+            ..Default::default()
+        };
         let mut cfg = config(PartitionerKind::HilbertCurve);
         // Cells are ~80 B each, so a cycle lands ~100 KB; tiny nodes force
         // scale-outs (and therefore payload-carrying rebalances) mid-run.
@@ -1160,6 +1373,113 @@ mod tests {
         assert_eq!(total, 16_000_000, "cycles 0 and 2 landed, cycle 1 did not");
     }
 
+    /// Materialized insert-then-delete script: the first `grow` cycles
+    /// each insert `cells` cells; every later cycle retracts one of the
+    /// earlier cycles wholesale, opening a demand trough for the
+    /// staircase's scale-in band.
+    struct TroughWorkload {
+        cycles: usize,
+        grow: usize,
+        cells: usize,
+    }
+
+    const TROUGH: ArrayId = ArrayId(3);
+
+    impl TroughWorkload {
+        fn schema() -> ArraySchema {
+            ArraySchema::parse("T<v:double>[x=0:*,64]").unwrap()
+        }
+    }
+
+    impl Workload for TroughWorkload {
+        fn name(&self) -> &'static str {
+            "trough"
+        }
+        fn cycles(&self) -> usize {
+            self.cycles
+        }
+        fn register_arrays(&self, catalog: &mut Catalog) {
+            catalog.register(query_engine::StoredArray::from_descriptors(
+                TROUGH,
+                Self::schema(),
+                [],
+            ));
+        }
+        fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+            Vec::new()
+        }
+        fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+            use array_model::ScalarValue;
+            let mut batch = CellBatch::new(TROUGH, &Self::schema());
+            if cycle < self.grow {
+                let mut vals = Vec::with_capacity(1);
+                for i in 0..self.cells {
+                    let x = (cycle * self.cells + i) as i64;
+                    vals.push(ScalarValue::Double(x as f64));
+                    batch.push(&[x], &mut vals);
+                }
+            } else {
+                let old = cycle - self.grow;
+                for i in 0..self.cells {
+                    batch.push_retraction(&[(old * self.cells + i) as i64]);
+                }
+            }
+            Some(vec![batch])
+        }
+        fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+            Vec::new()
+        }
+        fn grid_hint(&self) -> elastic_core::GridHint {
+            elastic_core::GridHint::new(vec![1024])
+        }
+        fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+            SuiteReport::default()
+        }
+    }
+
+    #[test]
+    fn demand_trough_shrinks_the_cluster() {
+        // 16 B/cell (one i64 coordinate + one double): 2048 cells fill
+        // exactly two 16 KB nodes, so the run climbs the staircase for
+        // three cycles and then walks it back down as deletes land.
+        let w = TroughWorkload { cycles: 6, grow: 3, cells: 2048 };
+        let mut cfg = config(PartitionerKind::RoundRobin);
+        cfg.node_capacity = 16_384;
+        cfg.run_queries = false;
+        cfg.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+            node_capacity_gb: 16_384.0 / 1e9,
+            samples: 2,
+            plan_ahead: 1,
+            trigger: 1.0,
+            shrink_margin: 0.75,
+        });
+        let mut runner = WorkloadRunner::new_owned(w, cfg);
+        let report = runner.run_all().expect("trough run completes");
+        let peak = report.cycles.iter().map(|c| c.nodes).max().unwrap();
+        let last = report.cycles.last().unwrap();
+        assert!(peak > 2, "cluster must grow first (peak {peak})");
+        assert!(last.nodes < peak, "must end below the {peak}-node peak, got {}", last.nodes);
+        assert_eq!(last.nodes, 1, "an emptied store releases down to the one-node floor");
+        let removed: usize = report.cycles.iter().map(|c| c.removed_nodes).sum();
+        assert_eq!(removed, peak - 1, "every step above the floor was released");
+        let retracted: u64 = report.cycles.iter().map(|c| c.retracted_cells).sum();
+        assert_eq!(retracted, 3 * 2048, "every inserted cell was retracted");
+        let evicted: usize = report.cycles.iter().map(|c| c.evicted_chunks).sum();
+        assert_eq!(evicted, 96, "3 retracted cycles x 32 chunks each (64-cell chunks)");
+        // The books drain to zero and stay balanced: retired slots keep
+        // zero load, the placement holds no chunks, and the census is
+        // empty rather than under-replicated.
+        let cluster = runner.cluster();
+        assert_eq!(cluster.total_used(), 0);
+        assert_eq!(cluster.total_chunks(), 0);
+        assert_eq!(cluster.active_node_count(), 1);
+        assert_eq!(cluster.node_count() - cluster.active_node_count(), removed);
+        assert_eq!(cluster.balance_rsd(), 0.0);
+        // Drained bytes are accounted as reorg movement and time.
+        assert!(report.cycles.iter().any(|c| c.removed_nodes > 0 && c.moved_bytes > 0));
+        assert!(report.phase_totals().reorg_secs > 0.0);
+    }
+
     #[test]
     fn crash_fault_recovers_and_reports_costs() {
         let w = mini_modis();
@@ -1196,6 +1516,8 @@ mod tests {
             CycleError::UnknownArray { cycle: 5, array: ArrayId(7) },
             CycleError::Fault { cycle: 6, source: cluster_src() },
             CycleError::Recovery { cycle: 7, source: cluster_src() },
+            CycleError::Retract { cycle: 8, source: cluster_src() },
+            CycleError::ScaleIn { cycle: 9, source: cluster_src() },
         ];
         for (i, err) in variants.iter().enumerate() {
             let rendered = err.to_string();

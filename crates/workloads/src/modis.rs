@@ -42,11 +42,18 @@ pub struct ModisWorkload {
     /// every pixel, band 2 every other one at the same position, so the
     /// vegetation-index join has real partners.
     pub cells_per_cycle: u64,
+    /// Tile time-to-live in daily cycles: when nonzero, every pixel of
+    /// day `d - ttl_days` is retracted at cycle `d` (raw swaths age out
+    /// once their cooked products ship, a rolling-window archive). `0`
+    /// (the default) disables expiry, keeping the insert-only pinned
+    /// runs bit-identical. Only meaningful in materialized mode
+    /// (`cells_per_cycle > 0`).
+    pub ttl_days: usize,
 }
 
 impl Default for ModisWorkload {
     fn default() -> Self {
-        ModisWorkload { days: 14, scale: 1.0, seed: 0x5eed_0001, cells_per_cycle: 0 }
+        ModisWorkload { days: 14, scale: 1.0, seed: 0x5eed_0001, cells_per_cycle: 0, ttl_days: 0 }
     }
 }
 
@@ -128,6 +135,19 @@ impl ModisWorkload {
             .collect()
     }
 
+    /// Deterministically derive pixel `i` of `day`'s swath: the cell
+    /// position, with the row's rng stream positioned right after the
+    /// coordinate draws (attribute draws continue from it). Splitting
+    /// this out of [`Workload::cell_batch`] lets the TTL-expiry pass
+    /// replay an old day's positions without regenerating its values.
+    fn pixel_at(&self, day: i64, i: u64) -> (rand::rngs::StdRng, (i64, i64, i64)) {
+        let mut rng = rng_for(self.seed, &[900, day, i as i64]);
+        let minute = day * MINUTES_PER_DAY + (rng.gen::<u64>() % MINUTES_PER_DAY as u64) as i64;
+        let lon = (rng.gen::<u64>() % 361) as i64 - 180;
+        let lat = (rng.gen::<u64>() % 181) as i64 - 90;
+        (rng, (minute, lon, lat))
+    }
+
     /// Cell-coordinate region for a day span (inclusive), full lat/lon.
     pub fn day_region(first_day: i64, last_day: i64) -> Region {
         Region::new(
@@ -181,10 +201,7 @@ impl Workload for ModisWorkload {
         let mut seen = std::collections::BTreeSet::new();
         let mut vals: Vec<ScalarValue> = Vec::with_capacity(7);
         for i in 0..self.cells_per_cycle {
-            let mut rng = rng_for(self.seed, &[900, day, i as i64]);
-            let minute = day * MINUTES_PER_DAY + (rng.gen::<u64>() % MINUTES_PER_DAY as u64) as i64;
-            let lon = (rng.gen::<u64>() % 361) as i64 - 180;
-            let lat = (rng.gen::<u64>() % 181) as i64 - 90;
+            let (mut rng, (minute, lon, lat)) = self.pixel_at(day, i);
             if !seen.insert((minute, lon, lat)) {
                 continue;
             }
@@ -204,6 +221,25 @@ impl Workload for ModisWorkload {
             if i % 2 == 0 {
                 pixel(&mut rng, &mut vals);
                 band2.push(&[minute, lon, lat], &mut vals);
+            }
+        }
+        // Rolling-window expiry: replay the aged-out day's deterministic
+        // pixel stream (positions only) and retract it wholesale — band 1
+        // loses every pixel, band 2 the alternating half it stored. The
+        // driver applies these to the old day's chunks, emptying and
+        // evicting them, before this day's swath lands.
+        if self.ttl_days > 0 && cycle >= self.ttl_days {
+            let old = (cycle - self.ttl_days) as i64;
+            let mut old_seen = std::collections::BTreeSet::new();
+            for i in 0..self.cells_per_cycle {
+                let (_, (minute, lon, lat)) = self.pixel_at(old, i);
+                if !old_seen.insert((minute, lon, lat)) {
+                    continue;
+                }
+                band1.push_retraction(&[minute, lon, lat]);
+                if i % 2 == 0 {
+                    band2.push_retraction(&[minute, lon, lat]);
+                }
             }
         }
         Some(vec![band1, band2])
@@ -375,6 +411,39 @@ mod tests {
         assert_eq!(a, b);
         let c = ModisWorkload::with_seed(123).insert_batch(5);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ttl_expiry_retracts_the_aged_out_day_exactly() {
+        let keep = ModisWorkload {
+            days: 4,
+            scale: 0.02,
+            seed: 9,
+            cells_per_cycle: 3_000,
+            ..Default::default()
+        };
+        let expire = ModisWorkload { ttl_days: 2, ..keep.clone() };
+        // Before the window fills, nothing expires, and the insert rows
+        // are untouched by the expiry pass.
+        let early = expire.cell_batch(1).unwrap();
+        assert!(early.iter().all(|b| b.retraction_count() == 0));
+        let kept = keep.cell_batch(2).unwrap();
+        let aged = expire.cell_batch(2).unwrap();
+        for (k, a) in kept.iter().zip(&aged) {
+            assert_eq!(k.cells(), a.cells());
+        }
+        // At cycle 2 the whole of day 0 is withdrawn: band 1's
+        // retractions are exactly its day-0 inserts, band 2's exactly
+        // the alternating half it stored.
+        let day0 = expire.cell_batch(0).unwrap();
+        for (inserted, retracting) in day0.iter().zip(&aged) {
+            assert_eq!(inserted.len(), retracting.retraction_count());
+            let cells: std::collections::BTreeSet<Vec<i64>> =
+                inserted.cells().iter().map(|(c, _)| c.clone()).collect();
+            for cell in retracting.retractions_flat().chunks_exact(3) {
+                assert!(cells.contains(cell), "retraction {cell:?} was never inserted");
+            }
+        }
     }
 
     #[test]

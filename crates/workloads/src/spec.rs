@@ -93,6 +93,28 @@ impl CellBatch {
         self.rows.push_row(cell, values).expect("generator emits schema-shaped rows");
     }
 
+    /// Record one retraction: the coordinates of a previously inserted
+    /// cell this cycle deletes (AIS vessels going dark, MODIS tiles
+    /// aging out). Retractions ride the same batch as the cycle's
+    /// inserts but target *earlier* cycles' chunks; the driver applies
+    /// them to the cluster payloads and the catalog oracle before
+    /// building this cycle's fresh chunks. Panics on a coordinate of
+    /// the wrong arity — a generator bug, not an input condition.
+    pub fn push_retraction(&mut self, cell: &[i64]) {
+        self.rows.push_retraction(cell).expect("generator emits schema-shaped retractions");
+    }
+
+    /// Number of retraction rows carried by this batch.
+    pub fn retraction_count(&self) -> usize {
+        self.rows.retraction_count()
+    }
+
+    /// The flat retraction coordinate buffer (stride = the schema's
+    /// dimensionality).
+    pub fn retractions_flat(&self) -> &[i64] {
+        self.rows.retractions_flat()
+    }
+
     /// Number of buffered rows.
     pub fn len(&self) -> usize {
         self.rows.len()

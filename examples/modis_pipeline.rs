@@ -18,6 +18,7 @@ fn main() {
         samples: 4,
         plan_ahead: 3,
         trigger: 1.0,
+        shrink_margin: 0.0,
     });
 
     println!(

@@ -130,6 +130,7 @@ fn staircase_and_fixed_step_agree_on_final_scale() {
         samples: 2,
         plan_ahead: 2,
         trigger: 1.0,
+        shrink_margin: 0.0,
     });
     let staircase =
         WorkloadRunner::new(&modis, cfg).run_all().unwrap().cycles.last().unwrap().nodes;

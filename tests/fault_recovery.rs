@@ -28,6 +28,7 @@
 use elastic_array_db::prelude::*;
 use query_engine::{ops, QueryError};
 use workloads::ais::{AisWorkload, BROADCAST};
+use workloads::CellBatch;
 
 type Row = (Vec<i64>, Vec<ScalarValue>);
 
@@ -193,7 +194,13 @@ fn run_fault_differential(
 /// Leg 1-3 quick version: schedule x all 8 partitioners at k = 2.
 #[test]
 fn faulted_runs_answer_bit_identically_and_recover_full_strength() {
-    let w = AisWorkload { cycles: 4, scale: 0.05, seed: 21, cells_per_cycle: 1_200 };
+    let w = AisWorkload {
+        cycles: 4,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 1_200,
+        ..Default::default()
+    };
     let node_capacity = w.cells_per_cycle * 90;
     let mut retries = 0;
     for kind in PartitionerKind::ALL {
@@ -210,7 +217,13 @@ fn faulted_runs_answer_bit_identically_and_recover_full_strength() {
 /// `QueryError::NodeLost`.
 #[test]
 fn k1_crash_is_typed_loss_never_a_wrong_answer() {
-    let w = AisWorkload { cycles: 3, scale: 0.05, seed: 21, cells_per_cycle: 1_200 };
+    let w = AisWorkload {
+        cycles: 3,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 1_200,
+        ..Default::default()
+    };
     let node_capacity = w.cells_per_cycle * 90;
     // Hash and round-robin spreads guarantee node 1 holds chunks by the
     // crash cycle (space-partitioned schemes may leave a node empty at
@@ -258,7 +271,13 @@ fn k1_crash_is_typed_loss_never_a_wrong_answer() {
 /// replica fan-out rides the same priced flows.
 #[test]
 fn fault_free_replication_changes_costs_only() {
-    let w = AisWorkload { cycles: 3, scale: 0.05, seed: 21, cells_per_cycle: 1_200 };
+    let w = AisWorkload {
+        cycles: 3,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 1_200,
+        ..Default::default()
+    };
     let node_capacity = w.cells_per_cycle * 90;
     for kind in PartitionerKind::ALL {
         let mut base = WorkloadRunner::new(&w, config(kind, node_capacity, 1));
@@ -310,7 +329,13 @@ fn fault_free_replication_changes_costs_only() {
 /// `Abort` surfaces the same cycle as the run error.
 #[test]
 fn fault_refusals_respect_the_error_policy() {
-    let w = AisWorkload { cycles: 3, scale: 0.05, seed: 21, cells_per_cycle: 600 };
+    let w = AisWorkload {
+        cycles: 3,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 600,
+        ..Default::default()
+    };
     let kind = PartitionerKind::ConsistentHash;
     let plan = || Some(FaultPlan::new(3).at(1, FaultKind::Revive(0)));
 
@@ -329,6 +354,172 @@ fn fault_refusals_respect_the_error_policy() {
     assert!(report.failures[0].error.contains("fault injection"), "{}", report.failures[0].error);
 }
 
+// ----------------------------------------------------------- scale-IN --
+
+/// Materialized insert-then-delete script for the scale-IN twin: the
+/// first `grow` cycles each insert `cells` cells; every later cycle
+/// retracts one of the earlier cycles wholesale — except cycle 0, which
+/// survives as the fixed probe region — opening the demand trough that
+/// walks the staircase back down.
+struct ShrinkWorkload {
+    cycles: usize,
+    grow: usize,
+    cells: usize,
+}
+
+const SHRINK: ArrayId = ArrayId(4);
+
+impl ShrinkWorkload {
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("S<v:double>[x=0:*,64]").unwrap()
+    }
+}
+
+impl Workload for ShrinkWorkload {
+    fn name(&self) -> &'static str {
+        "shrink"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        catalog.register(StoredArray::from_descriptors(SHRINK, Self::schema(), []));
+    }
+    fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        let mut batch = CellBatch::new(SHRINK, &Self::schema());
+        if cycle < self.grow {
+            let mut vals = Vec::with_capacity(1);
+            for i in 0..self.cells {
+                let x = (cycle * self.cells + i) as i64;
+                vals.push(ScalarValue::Double((x * 3) as f64));
+                batch.push(&[x], &mut vals);
+            }
+        } else {
+            // Retract cycle `cycle - grow + 1`: cycle 0 is never doomed.
+            let old = cycle - self.grow + 1;
+            for i in 0..self.cells {
+                batch.push_retraction(&[(old * self.cells + i) as i64]);
+            }
+        }
+        Some(vec![batch])
+    }
+    fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![1024])
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
+/// Probe over the never-retracted cycle-0 cells, in bit-comparable form.
+fn shrink_probe(cluster: &Cluster, catalog: &Catalog, cells: usize) -> (Vec<Row>, u64, Vec<u64>) {
+    let ctx = ExecutionContext::new(cluster, catalog);
+    let probe = Region::new(vec![0], vec![cells as i64 - 1]);
+    let (got, _) = ops::subarray(&ctx, SHRINK, &probe, &[]).unwrap();
+    let mut rows = got.cells.clone();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let (count, _) = ops::filter_count(&ctx, SHRINK, &probe, "v", |v| v >= 96.0).unwrap();
+    let spec = ops::GroupSpec::coarsened(vec![0], vec![256]);
+    let (groups, _) =
+        ops::grid_aggregate(&ctx, SHRINK, Some(&probe), "v", &spec, ops::AggFn::Sum).unwrap();
+    let mut sums: Vec<u64> = groups.iter().map(|r| r.value.to_bits()).collect();
+    sums.sort();
+    (rows, count, sums)
+}
+
+/// Satellite leg: decommission during a crash/flaky-flow schedule must
+/// still produce answers bit-identical to the fault-free shrink twin.
+/// The demand trough decides the same scale-IN steps in both runs (a
+/// crash changes *where* copies live, never *how many bytes* exist), so
+/// the faulted run drains and retires nodes while a casualty is down
+/// and repairs are flaky — and every probe answer, on the catalog path
+/// and the store-only path, matches the clean twin bit for bit.
+#[test]
+fn decommission_under_faults_matches_the_fault_free_shrink_twin() {
+    // 16 B/cell: 2048 cells fill exactly two 16 KB nodes, so the run
+    // climbs the staircase over the grow cycles and the two retraction
+    // cycles open the trough that walks it back down.
+    let w = ShrinkWorkload { cycles: 5, grow: 3, cells: 2048 };
+    let staircase = ScalingPolicy::Staircase(StaircaseConfig {
+        node_capacity_gb: 16_384.0 / 1e9,
+        samples: 2,
+        plan_ahead: 1,
+        trigger: 1.0,
+        shrink_margin: 0.75,
+    });
+    let mk = |fault_plan: Option<FaultPlan>| RunnerConfig {
+        node_capacity: 16_384,
+        initial_nodes: 2,
+        run_queries: false,
+        replication: 2,
+        scaling: staircase.clone(),
+        fault_plan,
+        ..RunnerConfig::default()
+    };
+    for kind in [PartitionerKind::ConsistentHash, PartitionerKind::RoundRobin] {
+        // Crash one node before the trough, another right as the first
+        // decommission runs (two casualties retired around), flaky
+        // repair flows throughout the shrink, and a late revival.
+        let plan = FaultPlan::new(0x51A8)
+            .at(2, FaultKind::Crash(1))
+            .at(3, FaultKind::Crash(2))
+            .at(3, FaultKind::FlakyFlows { p: 0.1 })
+            .at(4, FaultKind::Revive(1));
+        let mut cfg = mk(Some(plan));
+        cfg.partitioner = kind;
+        let mut faulted = WorkloadRunner::new(&w, cfg);
+        let mut cfg = mk(None);
+        cfg.partitioner = kind;
+        let mut clean = WorkloadRunner::new(&w, cfg);
+
+        let mut faulted_removed = 0;
+        let mut clean_removed = 0;
+        let mut peak = 0;
+        for c in 0..w.cycles {
+            let tag = format!("{kind}/shrink-twin/cycle{c}");
+            let fr = faulted.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: faulted: {e}"));
+            let cr = clean.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: clean: {e}"));
+            peak = peak.max(cr.nodes);
+            faulted_removed += fr.removed_nodes;
+            clean_removed += cr.removed_nodes;
+
+            // The fault schedule must not perturb the scaling walk: the
+            // trough decides from bytes, and crashes preserve bytes.
+            assert_eq!(fr.nodes, cr.nodes, "{tag}: fault schedule changed the staircase");
+            assert_eq!(fr.removed_nodes, cr.removed_nodes, "{tag}: scale-IN step diverged");
+            assert_eq!(fr.retracted_cells, cr.retracted_cells, "{tag}: retraction accounting");
+            assert_eq!(fr.demand_gb.to_bits(), cr.demand_gb.to_bits(), "{tag}: demand");
+
+            // Answers: catalog path and store-only path, bit for bit.
+            let want = shrink_probe(clean.cluster(), clean.catalog(), w.cells);
+            let got = shrink_probe(faulted.cluster(), faulted.catalog(), w.cells);
+            assert_eq!(got, want, "{tag}: faulted answers differ from the fault-free twin");
+            let mut stripped = faulted.catalog().clone();
+            stripped.array_mut(SHRINK).unwrap().data = None;
+            let store_got = shrink_probe(faulted.cluster(), &stripped, w.cells);
+            assert_eq!(store_got, want, "{tag}: store-only answers differ");
+
+            // Recovery and retirement settle within the cycle.
+            let census = faulted.cluster().replica_census();
+            assert!(census.is_full_strength(), "{tag}: census under strength: {census:?}");
+        }
+
+        // Both runs walked down from the same peak, below it.
+        assert!(peak > 2, "{kind}: the cluster never grew (peak {peak})");
+        assert_eq!(clean_removed, faulted_removed, "{kind}: total scale-IN steps");
+        assert!(clean_removed > 0, "{kind}: no node was ever released");
+        let end = faulted.cluster().active_node_count();
+        assert_eq!(end, clean.cluster().active_node_count(), "{kind}: end-state rosters");
+        assert!(end < peak, "{kind}: run must end below its {peak}-node peak, got {end}");
+    }
+}
+
 /// Heavier CI smoke: longer schedules (crash + flaky + rebalance-crash +
 /// mid-recovery crash + drain + revive), all 8 partitioners, k in
 /// {2, 3}, plus the k = 1 typed-loss legs at scale. Run with
@@ -336,7 +527,13 @@ fn fault_refusals_respect_the_error_policy() {
 #[test]
 #[ignore = "heavy: run in release via the fault-smoke CI job"]
 fn fault_smoke() {
-    let w = AisWorkload { cycles: 5, scale: 0.05, seed: 5, cells_per_cycle: 6_000 };
+    let w = AisWorkload {
+        cycles: 5,
+        scale: 0.05,
+        seed: 5,
+        cells_per_cycle: 6_000,
+        ..Default::default()
+    };
     let node_capacity = w.cells_per_cycle * 90;
     let mut retries = 0;
     for k in [2usize, 3] {
@@ -349,7 +546,13 @@ fn fault_smoke() {
     // A deeper schedule: drain a survivor, crash two nodes in the same
     // cycle (one mid-recovery), then revive. Two concurrent casualties
     // need k = 3, and a 6-node roster keeps accepting survivors around.
-    let w = AisWorkload { cycles: 5, scale: 0.05, seed: 13, cells_per_cycle: 6_000 };
+    let w = AisWorkload {
+        cycles: 5,
+        scale: 0.05,
+        seed: 13,
+        cells_per_cycle: 6_000,
+        ..Default::default()
+    };
     for kind in PartitionerKind::ALL {
         let plan = FaultPlan::new(0xD6)
             .at(1, FaultKind::Crash(1))

@@ -306,7 +306,7 @@ fn check_ais_model_tolerances(
 }
 
 fn run_ais_differential(cells_per_cycle: u64, cycles: usize) {
-    let w = AisWorkload { cycles, scale: 0.05, seed: 21, cells_per_cycle };
+    let w = AisWorkload { cycles, scale: 0.05, seed: 21, cells_per_cycle, ..Default::default() };
     // ~90 B/row including the derived products; sized so the run crosses
     // the 80 % trigger repeatedly and rebalances move stored chunks.
     let node_capacity = cells_per_cycle * 90;
@@ -529,7 +529,7 @@ fn check_modis_probe(
 }
 
 fn run_modis_differential(cells_per_cycle: u64, days: usize) {
-    let w = ModisWorkload { days, scale: 0.05, seed: 33, cells_per_cycle };
+    let w = ModisWorkload { days, scale: 0.05, seed: 33, cells_per_cycle, ..Default::default() };
     let node_capacity = cells_per_cycle * 95;
     let (band1, band2) = modis_rows(&w, days);
 
@@ -668,7 +668,13 @@ fn dict_smoke() {
     // Spill leg: cap far below the 128 distinct receiver ids, so every
     // busy chunk's receiver column crosses the cap and spills while the
     // constant provenance column stays dictionary-encoded.
-    let w = AisWorkload { cycles: 3, scale: 0.05, seed: 21, cells_per_cycle: 6_000 };
+    let w = AisWorkload {
+        cycles: 3,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 6_000,
+        ..Default::default()
+    };
     let batches: Vec<Vec<Row>> =
         (0..3).map(|c| w.cell_batch(c).unwrap().remove(0).cells()).collect();
     for kind in [PartitionerKind::HilbertCurve, PartitionerKind::ConsistentHash] {

@@ -117,7 +117,13 @@ fn assert_identical(kind: PartitionerKind, threads: usize, base: &Snapshot, got:
 #[test]
 fn materialized_runs_are_bit_identical_across_thread_counts() {
     // > PARALLEL_BUILD_MIN_ROWS per cycle so the sharded build engages.
-    let w = AisWorkload { cycles: 2, scale: 0.05, seed: 11, cells_per_cycle: 6_000 };
+    let w = AisWorkload {
+        cycles: 2,
+        scale: 0.05,
+        seed: 11,
+        cells_per_cycle: 6_000,
+        ..Default::default()
+    };
     for kind in PartitionerKind::ALL {
         let base = run_snapshot(&w, &[BROADCAST], kind, 600_000, 1);
         for threads in [2usize, 4, 8] {
@@ -136,7 +142,13 @@ fn build_cell_array_matches_sequential_at_every_thread_count() {
         SyntheticWorkload { cycles: 1, grid_side: 24, cells_per_cycle: 576, ..Default::default() };
     let schema = w.schema();
     let synth = w.cell_batch(0).unwrap().remove(0);
-    let ais = AisWorkload { cycles: 1, scale: 0.05, seed: 3, cells_per_cycle: 9_000 };
+    let ais = AisWorkload {
+        cycles: 1,
+        scale: 0.05,
+        seed: 3,
+        cells_per_cycle: 9_000,
+        ..Default::default()
+    };
     let ais_batch = ais.cell_batch(0).unwrap().remove(0);
     let cases: Vec<(ArrayId, ArraySchema, CellBuffer)> = vec![
         (SYNTHETIC, schema, synth.into_rows()),
@@ -167,8 +179,20 @@ fn build_cell_array_matches_sequential_at_every_thread_count() {
 #[test]
 #[ignore = "CI smoke: heavier differential, run explicitly"]
 fn parallel_materialize_smoke() {
-    let ais = AisWorkload { cycles: 3, scale: 0.05, seed: 5, cells_per_cycle: 12_000 };
-    let modis = ModisWorkload { days: 3, scale: 0.02, seed: 9, cells_per_cycle: 10_000 };
+    let ais = AisWorkload {
+        cycles: 3,
+        scale: 0.05,
+        seed: 5,
+        cells_per_cycle: 12_000,
+        ..Default::default()
+    };
+    let modis = ModisWorkload {
+        days: 3,
+        scale: 0.02,
+        seed: 9,
+        cells_per_cycle: 10_000,
+        ..Default::default()
+    };
     let synth = SyntheticWorkload {
         cycles: 3,
         grid_side: 64,

@@ -51,6 +51,64 @@ impl Workload for LinearWorkload {
     }
 }
 
+/// A materialized insert-then-delete script: `grow` cycles of inserts,
+/// then wholesale retraction of every grow cycle except cycle 0, which
+/// survives so the shrunken cluster still holds (and balances) data.
+struct TroughWorkload {
+    cycles: usize,
+    grow: usize,
+    cells: usize,
+}
+
+const TROUGH: ArrayId = ArrayId(7);
+
+impl TroughWorkload {
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("T<v:double>[x=0:*,64]").unwrap()
+    }
+}
+
+impl Workload for TroughWorkload {
+    fn name(&self) -> &'static str {
+        "trough"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        catalog.register(StoredArray::from_descriptors(TROUGH, Self::schema(), []));
+    }
+    fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<workloads::CellBatch>> {
+        let mut batch = workloads::CellBatch::new(TROUGH, &Self::schema());
+        if cycle < self.grow {
+            let mut vals = Vec::with_capacity(1);
+            for i in 0..self.cells {
+                let x = (cycle * self.cells + i) as i64;
+                vals.push(ScalarValue::Double(x as f64));
+                batch.push(&[x], &mut vals);
+            }
+        } else {
+            let old = cycle - self.grow + 1;
+            for i in 0..self.cells {
+                batch.push_retraction(&[(old * self.cells + i) as i64]);
+            }
+        }
+        Some(vec![batch])
+    }
+    fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![1024])
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
 fn staircase_config(p: usize) -> RunnerConfig {
     RunnerConfig {
         node_capacity: 10_000_000_000,
@@ -62,6 +120,7 @@ fn staircase_config(p: usize) -> RunnerConfig {
             samples: 2,
             plan_ahead: p,
             trigger: 1.0,
+            shrink_margin: 0.0,
         }),
         cost: CostModel::default(),
         run_queries: false,
@@ -81,6 +140,7 @@ fn staircase_always_covers_demand() {
             samples: 2,
             plan_ahead: p,
             trigger: 1.0,
+            shrink_margin: 0.0,
         });
         let report = WorkloadRunner::new(&workload, cfg).run_all().unwrap();
         for c in &report.cycles {
@@ -157,6 +217,69 @@ fn estimates_scale_with_the_horizon() {
     let short = estimate_cost(2, &snap, &mk(4)).node_hours;
     let long = estimate_cost(2, &snap, &mk(12)).node_hours;
     assert!(long > short * 2.0, "horizon must accumulate cost: {short} vs {long}");
+}
+
+/// Acceptance pin for two-sided elasticity: a demand-trough run ends
+/// with strictly fewer nodes than its peak, keeps demand covered every
+/// cycle of the descent, and the drain-out rebalances well enough that
+/// the end-state `balance_rsd()` stays inside the balance band the
+/// fault-free run itself maintained while growing.
+#[test]
+fn demand_trough_releases_nodes_and_stays_balanced() {
+    let w = TroughWorkload { cycles: 5, grow: 3, cells: 2048 };
+    for kind in [PartitionerKind::ConsistentHash, PartitionerKind::RoundRobin] {
+        let cfg = RunnerConfig {
+            node_capacity: 16_384,
+            initial_nodes: 2,
+            partitioner: kind,
+            run_queries: false,
+            scaling: ScalingPolicy::Staircase(StaircaseConfig {
+                node_capacity_gb: 16_384.0 / 1e9,
+                samples: 2,
+                plan_ahead: 1,
+                trigger: 1.0,
+                shrink_margin: 0.75,
+            }),
+            ..RunnerConfig::default()
+        };
+        let mut runner = WorkloadRunner::new(&w, cfg);
+        let report = runner.run_all().unwrap();
+        assert!(report.failures.is_empty(), "{kind}: {:?}", report.failures);
+
+        // Strictly fewer nodes than the peak, via real scale-IN steps.
+        let peak = report.cycles.iter().map(|c| c.nodes).max().unwrap();
+        let end = report.cycles.last().unwrap().nodes;
+        let removed: usize = report.cycles.iter().map(|c| c.removed_nodes).sum();
+        assert!(peak > 2, "{kind}: the cluster never grew (peak {peak})");
+        assert!(end < peak, "{kind}: must end below the {peak}-node peak, got {end}");
+        assert_eq!(removed, peak - end, "{kind}: releases must account for the descent");
+        assert_eq!(runner.cluster().active_node_count(), end, "{kind}: roster census");
+
+        // Demand stays covered on the way down, shrink steps included.
+        for c in &report.cycles {
+            assert!(
+                c.demand_gb <= c.nodes as f64 * 16_384.0 / 1e9 + 1e-12,
+                "{kind} cycle {}: demand {} uncovered by {} nodes",
+                c.cycle,
+                c.demand_gb,
+                c.nodes
+            );
+        }
+
+        // The survivors were drained onto the remaining roster no worse
+        // than the growth phase ever balanced its own inserts.
+        let band = report.cycles.iter().map(|c| c.rsd_after_insert).fold(0.0f64, f64::max);
+        let rsd = runner.cluster().balance_rsd();
+        assert!(
+            rsd <= band + 1e-12,
+            "{kind}: post-shrink balance {rsd} outside the fault-free band {band}"
+        );
+        // And the surviving cells are all still there.
+        assert!(runner.cluster().total_chunks() > 0, "{kind}: survivors evicted");
+        let stored = runner.catalog().array(TROUGH).unwrap();
+        let live: u64 = stored.descriptors.values().map(|d| d.cells).sum();
+        assert_eq!(live, w.cells as u64, "{kind}: cycle-0 survivors lost in the descent");
+    }
 }
 
 #[test]
