@@ -187,6 +187,19 @@ impl Array {
     /// have pruned a chunk. Emptied chunks are left in place; callers
     /// that need them gone follow up with [`Array::prune_empty`].
     pub fn delete_cells(&mut self, flat: &[i64]) -> Result<RetractOutcome> {
+        self.delete_cells_capturing(flat, |_, _| {})
+    }
+
+    /// [`Array::delete_cells`], additionally handing each retracted
+    /// row's coordinates and attribute values to `captured` — the
+    /// negative half of a cycle's logical delta, read through the
+    /// tombstone choke point ([`Chunk::retract_cell_indexed`]) before
+    /// storage is reclaimed. Missing cells produce no capture.
+    pub fn delete_cells_capturing(
+        &mut self,
+        flat: &[i64],
+        mut captured: impl FnMut(&[i64], Vec<ScalarValue>),
+    ) -> Result<RetractOutcome> {
         let nd = self.schema.ndims().max(1);
         if !flat.len().is_multiple_of(nd) {
             return Err(ArrayError::Arity { expected: nd, got: flat.len() % nd });
@@ -199,11 +212,13 @@ impl Array {
                 out.missing += 1;
                 continue;
             };
-            match Arc::make_mut(chunk).retract_cell(cell) {
-                Some(freed) => {
+            let chunk = Arc::make_mut(chunk);
+            match chunk.retract_cell_indexed(cell) {
+                Some((row, freed)) => {
                     out.retracted += 1;
                     out.freed_bytes += freed;
                     touched.insert(coords);
+                    captured(cell, chunk.row_values(row).expect("retracted row has values"));
                 }
                 None => out.missing += 1,
             }
@@ -234,6 +249,16 @@ impl Array {
             }
         }
         delta
+    }
+
+    /// Compact one chunk (see [`Chunk::compact`]), returning the byte
+    /// delta, or `None` when the position is vacant or tombstone-free.
+    /// The per-chunk door the runner's threshold-triggered tombstone GC
+    /// walks through, mirroring the cluster-side `compact_chunk` on the
+    /// catalog's oracle copy.
+    pub fn compact_chunk(&mut self, coords: &ChunkCoords) -> Option<i64> {
+        let chunk = self.chunks.get_mut(coords)?;
+        (chunk.tombstone_count() > 0).then(|| Arc::make_mut(chunk).compact())
     }
 
     /// Fold freshly scattered chunks into storage: a vacant position

@@ -434,6 +434,15 @@ impl Chunk {
     /// (already retracted, or never inserted). Storage is reclaimed by
     /// [`Chunk::compact`].
     pub fn retract_cell(&mut self, cell: &[i64]) -> Option<u64> {
+        self.retract_cell_indexed(cell).map(|(_, freed)| freed)
+    }
+
+    /// [`Chunk::retract_cell`], additionally reporting **which** physical
+    /// row was tombstoned. This is the delta-capture choke point: the
+    /// row's attribute values stay readable (storage is only reclaimed by
+    /// [`Chunk::compact`]), so callers building retraction deltas read
+    /// them via [`Chunk::row_values`] right after the tombstone lands.
+    pub fn retract_cell_indexed(&mut self, cell: &[i64]) -> Option<(usize, u64)> {
         let nd = (self.ndims as usize).max(1);
         if cell.len() != nd {
             return None;
@@ -445,7 +454,23 @@ impl Chunk {
             .rev()
             .find(|(i, c)| *c == cell && !self.is_tombstoned(*i))?
             .0;
-        Some(self.tombstone_row(row))
+        let freed = self.tombstone_row(row);
+        Some((row, freed))
+    }
+
+    /// Every attribute value of physical row `row`, tombstoned or not —
+    /// values survive until [`Chunk::compact`] reclaims storage. `None`
+    /// when `row` is past the physical row count.
+    pub fn row_values(&self, row: usize) -> Option<Vec<ScalarValue>> {
+        if row >= self.physical_cell_count() {
+            return None;
+        }
+        Some(
+            self.columns
+                .iter()
+                .map(|c| c.get(row).expect("columns cover every physical row"))
+                .collect(),
+        )
     }
 
     /// Tombstone physical row `row`, decrementing the running counters

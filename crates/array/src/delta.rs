@@ -1,0 +1,154 @@
+//! Logical change sets: the Δ a cycle applies to one array.
+//!
+//! A [`DeltaSet`] is a Z-set over logical rows — each [`RowDelta`] is a
+//! cell's coordinates and attribute values with a signed multiplicity
+//! (`+1` insert, `-1` retraction). Inserts are extracted from the
+//! freshly built per-cycle arrays ([`DeltaSet::from_live_cells`]);
+//! retractions are captured at the tombstone choke point
+//! ([`Array::delete_cells_capturing`]) before storage is reclaimed.
+//! Downstream consumers (the query crate's incremental views) fold
+//! deltas in O(|Δ|), never rescanning the base array — so the transport
+//! here is deliberately *logical*: rebalances, failovers, and chunk
+//! compactions move bytes around without producing any delta at all.
+//!
+//! [`Array::delete_cells_capturing`]: crate::Array::delete_cells_capturing
+
+use crate::array::Array;
+use crate::value::ScalarValue;
+
+/// One logical row change: cell coordinates, attribute values, and a
+/// signed multiplicity (Z-set weight).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// The cell's dimension coordinates.
+    pub coords: Vec<i64>,
+    /// The cell's attribute values, in schema order.
+    pub values: Vec<ScalarValue>,
+    /// Signed multiplicity: `+1` per insert, `-1` per retraction.
+    pub weight: i64,
+}
+
+/// An ordered collection of [`RowDelta`]s for one array — the logical
+/// change one cycle step produced. Order is deterministic (capture
+/// order), which incremental consumers rely on for bit-identical float
+/// folds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaSet {
+    rows: Vec<RowDelta>,
+}
+
+impl DeltaSet {
+    /// An empty delta.
+    pub fn new() -> Self {
+        DeltaSet::default()
+    }
+
+    /// Append one row change.
+    pub fn push(&mut self, coords: Vec<i64>, values: Vec<ScalarValue>, weight: i64) {
+        self.rows.push(RowDelta { coords, values, weight });
+    }
+
+    /// The row changes, in capture order.
+    pub fn rows(&self) -> &[RowDelta] {
+        &self.rows
+    }
+
+    /// Number of row changes carried (counting multiplicities as 1 each).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no changes are carried.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Net weight: inserts minus retractions.
+    pub fn net_weight(&self) -> i64 {
+        self.rows.iter().map(|r| r.weight).sum()
+    }
+
+    /// Every live cell of `array` as a `+1` delta, in row-major chunk
+    /// order and insertion order within each chunk. Two uses: turning a
+    /// cycle's freshly built insert arrays into their Δ, and feeding a
+    /// from-scratch recompute of a view from the catalog's oracle copy —
+    /// both walk cells in the same deterministic order, which is what
+    /// makes incremental-vs-recompute comparisons bit-exact.
+    pub fn from_live_cells(array: &Array) -> Self {
+        let mut delta = DeltaSet::new();
+        for (_, chunk) in array.shared_chunks() {
+            for (cell, row) in chunk.iter_cells() {
+                delta.push(cell.to_vec(), chunk.row_values(row).expect("live rows have values"), 1);
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ArrayId;
+    use crate::schema::ArraySchema;
+
+    fn sample() -> Array {
+        let schema = ArraySchema::parse("D<v:double, s:string>[x=0:*,4]").unwrap();
+        let mut a = Array::new(ArrayId(7), schema);
+        for i in 0..10i64 {
+            a.insert_cell(
+                vec![i],
+                vec![ScalarValue::Double(i as f64 * 1.5), ScalarValue::Str(format!("s{}", i % 3))],
+            )
+            .unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn live_cell_extraction_is_exhaustive_and_ordered() {
+        let a = sample();
+        let d = DeltaSet::from_live_cells(&a);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.net_weight(), 10);
+        let xs: Vec<i64> = d.rows().iter().map(|r| r.coords[0]).collect();
+        assert_eq!(xs, (0..10).collect::<Vec<_>>());
+        assert_eq!(d.rows()[3].values[0], ScalarValue::Double(4.5));
+        assert_eq!(d.rows()[4].values[1], ScalarValue::Str("s1".into()));
+    }
+
+    #[test]
+    fn capturing_delete_reports_the_retracted_values() {
+        let mut a = sample();
+        let mut captured = DeltaSet::new();
+        let out = a
+            .delete_cells_capturing(&[3, 7, 99], |cell, values| {
+                captured.push(cell.to_vec(), values, -1)
+            })
+            .unwrap();
+        assert_eq!(out.retracted, 2);
+        assert_eq!(out.missing, 1);
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured.net_weight(), -2);
+        assert_eq!(captured.rows()[0].coords, vec![3]);
+        assert_eq!(captured.rows()[0].values[0], ScalarValue::Double(4.5));
+        assert_eq!(captured.rows()[1].values[1], ScalarValue::Str("s1".into()));
+        // Tombstoned cells don't reappear in a later extraction.
+        assert_eq!(DeltaSet::from_live_cells(&a).len(), 8);
+    }
+
+    #[test]
+    fn per_chunk_compaction_is_threshold_ready() {
+        let mut a = sample();
+        a.delete_cells(&[0, 1, 2]).unwrap(); // chunk [0]: 3 of 4 rows dead
+        let coords = crate::coords::chunk_of(&a.schema, &[0]).unwrap();
+        let chunk = a.chunk(&coords).unwrap();
+        assert_eq!(chunk.tombstone_count(), 3);
+        let reclaimed = a.compact_chunk(&coords).expect("tombstones present");
+        assert!(reclaimed > 0);
+        let chunk = a.chunk(&coords).unwrap();
+        assert_eq!(chunk.tombstone_count(), 0);
+        assert_eq!(chunk.cell_count(), 1);
+        // Vacant or clean positions decline.
+        assert_eq!(a.compact_chunk(&coords), None);
+    }
+}

@@ -26,6 +26,7 @@ mod array;
 mod cells;
 mod chunk;
 mod coords;
+mod delta;
 mod error;
 mod hilbert;
 mod schema;
@@ -35,6 +36,7 @@ pub use array::{Array, RetractOutcome};
 pub use cells::CellBuffer;
 pub use chunk::{ArrayId, Chunk, ChunkDescriptor, ChunkKey};
 pub use coords::{all_chunks, chunk_of, CellCoords, ChunkCoords, Region, MAX_DIMS};
+pub use delta::{DeltaSet, RowDelta};
 pub use error::{ArrayError, Result};
 pub use hilbert::{gilbert2d, hilbert_coords, hilbert_index, HilbertOrder};
 pub use schema::{ArraySchema, AttributeDef, DimensionDef};

@@ -886,6 +886,46 @@ impl Cluster {
         Ok(out)
     }
 
+    /// Compact a placed chunk's payload in place: rebuild it from its
+    /// surviving rows (see `Chunk::compact`), dropping tombstones and
+    /// dangling dictionary entries. The shrunken descriptor replaces the
+    /// resident one on the primary and every replica copy, and every
+    /// holder swaps in the same post-compaction handle — the same
+    /// invariant discipline as [`Cluster::retract_cells`], so
+    /// `desc.bytes == chunk.byte_size()` keeps holding on all `k`
+    /// copies. This is the store-side half of the runner's automatic
+    /// tombstone GC; the catalog oracle mirrors it with
+    /// `Array::compact_chunk` so both copies stay structurally
+    /// identical.
+    pub fn compact_chunk(&mut self, key: &ChunkKey) -> Result<ChunkCompaction> {
+        let node = self.placement.get(key).ok_or(ClusterError::MissingChunk(*key))?;
+        let idx = node.0 as usize;
+        if !self.nodes[idx].holds(key) {
+            let state = self.nodes[idx].state();
+            return Err(ClusterError::NodeUnavailable { node: node.0, state });
+        }
+        let n = &mut self.nodes[idx];
+        let old_used = n.used_bytes();
+        let Some(handle) = n.payload_mut(key) else {
+            return Err(ClusterError::NoPayload(*key));
+        };
+        let reclaimed_bytes = Arc::make_mut(handle).compact();
+        let fresh = Arc::clone(&*handle);
+        let desc = ChunkDescriptor::new(*key, fresh.byte_size(), fresh.cell_count());
+        n.resize(desc).expect("holds() checked above");
+        let new_used = n.used_bytes();
+        self.balance.on_change(old_used, new_used);
+        let holders = self.replicas.get(key).map_or(&[][..], |v| v.as_slice());
+        for &r in holders {
+            let rn = &mut self.nodes[r.0 as usize];
+            rn.resize_replica(desc).expect("replica index and node stores agree");
+            if let Some(slot) = rn.replica_payload_mut(key) {
+                *slot = Arc::clone(&fresh);
+            }
+        }
+        Ok(ChunkCompaction { reclaimed_bytes, bytes: desc.bytes, cells: desc.cells })
+    }
+
     /// Metadata-scale retraction: shrink (or grow) a placed chunk's
     /// descriptor to `bytes`/`cells` without touching payloads — there
     /// are none at paper scale. The placement entry stays; the byte
@@ -1241,6 +1281,18 @@ pub struct ChunkRetraction {
     pub freed_bytes: u64,
     /// Live cells the chunk still holds afterwards.
     pub remaining_cells: u64,
+}
+
+/// What compacting a placed chunk reclaimed ([`Cluster::compact_chunk`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkCompaction {
+    /// Byte-size delta (positive = bytes reclaimed; a spill reversal can
+    /// make the rebuilt column marginally larger).
+    pub reclaimed_bytes: i64,
+    /// The chunk's byte size after the rebuild.
+    pub bytes: u64,
+    /// Live cells — unchanged by compaction.
+    pub cells: u64,
 }
 
 /// What evicting a chunk dropped ([`Cluster::evict_chunk`]).
@@ -1800,6 +1852,52 @@ mod tests {
         c.place(d2, NodeId(1)).unwrap();
         assert!(matches!(
             c.retract_cells(&d2.key, &[0]),
+            Err(ClusterError::NoPayload(k)) if k == d2.key
+        ));
+    }
+
+    /// Compacting a tombstoned payload rebuilds it from survivors on the
+    /// primary and every replica copy: descriptor, ledgers, census, and
+    /// the shared handle all follow, and the attach invariant keeps
+    /// holding.
+    #[test]
+    fn compact_chunk_reclaims_on_every_copy() {
+        use array_model::{ArraySchema, Chunk, ScalarValue};
+        let schema = ArraySchema::parse("A<v:double>[x=0:7,8]").unwrap();
+        let mut chunk = Chunk::new(&schema, ChunkCoords::new([0]));
+        for x in 0..6i64 {
+            chunk.push_cell(&schema, vec![x], vec![ScalarValue::Double(x as f64)]).unwrap();
+        }
+        let key = ChunkKey::new(ArrayId(0), ChunkCoords::new([0]));
+        let d = ChunkDescriptor::new(key, chunk.byte_size(), chunk.cell_count());
+        let mut c = Cluster::with_replication(3, 1_000_000, CostModel::default(), 2).unwrap();
+        c.place(d, NodeId(0)).unwrap();
+        c.attach_payload(key, chunk).unwrap();
+        c.retract_cells(&key, &[0, 2, 4]).unwrap();
+        assert_eq!(c.payload_shared(&key).unwrap().tombstone_count(), 3);
+
+        let out = c.compact_chunk(&key).unwrap();
+        assert_eq!(out.cells, 3);
+        let stored = c.payload_shared(&key).unwrap();
+        assert_eq!(stored.tombstone_count(), 0);
+        assert_eq!(stored.cell_count(), 3);
+        assert_eq!(out.bytes, stored.byte_size());
+        let new_desc = c.node(NodeId(0)).unwrap().descriptor(&key).copied().unwrap();
+        assert_eq!((new_desc.bytes, new_desc.cells), (stored.byte_size(), 3));
+        assert_eq!(c.total_used(), stored.byte_size());
+        let holder = c.replica_holders(&key)[0];
+        let rn = c.node(holder).unwrap();
+        assert_eq!(rn.replica_descriptor(&key).unwrap().bytes, stored.byte_size());
+        assert!(Arc::ptr_eq(rn.replica_payload_shared(&key).unwrap(), stored));
+        c.verify_replica_books().unwrap();
+
+        // A tombstone-free chunk compacts to a no-op, and metadata-only
+        // chunks refuse, typed.
+        assert_eq!(c.compact_chunk(&key).unwrap().reclaimed_bytes, 0);
+        let d2 = desc(9, 40);
+        c.place(d2, NodeId(1)).unwrap();
+        assert!(matches!(
+            c.compact_chunk(&d2.key),
             Err(ClusterError::NoPayload(k)) if k == d2.key
         ));
     }

@@ -30,8 +30,8 @@ mod recovery;
 mod transfer;
 
 pub use cluster::{
-    ChunkEviction, ChunkRetraction, Cluster, CrashReport, DecommissionReport, PayloadRead,
-    ReplicaCensus,
+    ChunkCompaction, ChunkEviction, ChunkRetraction, Cluster, CrashReport, DecommissionReport,
+    PayloadRead, ReplicaCensus,
 };
 pub use cost::{gb, CostModel, BYTES_PER_GB};
 pub use error::{ClusterError, PayloadMismatch, Result};

@@ -25,8 +25,9 @@ mod error;
 mod exec;
 pub mod ops;
 mod stats;
+pub mod view;
 
 pub use catalog::{Catalog, StoredArray};
 pub use error::{QueryError, Result};
 pub use exec::ExecutionContext;
-pub use stats::{QueryStats, WorkTracker};
+pub use stats::{scaled_bytes, QueryStats, WorkTracker};

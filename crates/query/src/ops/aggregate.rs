@@ -10,7 +10,7 @@
 
 use crate::error::{QueryError, Result};
 use crate::exec::ExecutionContext;
-use crate::stats::{QueryStats, WorkTracker};
+use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, Region};
 use cluster_sim::NodeId;
 use serde::{Deserialize, Serialize};
@@ -133,7 +133,7 @@ fn grid_aggregate_impl(
         placed.iter().map(|(d, n)| (&d.key.coords, (d.bytes, *n))).collect();
     for (desc, node) in &placed {
         let (desc, node) = (desc, *node);
-        let scan_bytes = (desc.bytes as f64 * fraction) as u64;
+        let scan_bytes = scaled_bytes(desc.bytes, fraction);
         tracker.scan_chunk(node, scan_bytes);
         // Rolling windows pull the predecessor chunk along the rolling
         // dimension; co-located columns answer from local disk.
@@ -141,7 +141,7 @@ fn grid_aggregate_impl(
             let mut prev = desc.key.coords;
             prev[rd] -= 1;
             if let Some(&(pbytes, pnode)) = homes.get(&prev) {
-                tracker.remote_fetch(node, pnode, (pbytes as f64 * fraction) as u64);
+                tracker.remote_fetch(node, pnode, scaled_bytes(pbytes, fraction));
             }
         }
         let chunk_group: Vec<i64> = spec
@@ -170,7 +170,7 @@ fn grid_aggregate_impl(
             .0;
         for (&node, &bytes) in contributors {
             if node != owner {
-                tracker.shuffle(node, owner, (bytes as f64 * STATE_FRACTION) as u64);
+                tracker.shuffle(node, owner, scaled_bytes(bytes, STATE_FRACTION));
             }
         }
     }

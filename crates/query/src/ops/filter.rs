@@ -7,7 +7,7 @@
 
 use crate::error::Result;
 use crate::exec::ExecutionContext;
-use crate::stats::{QueryStats, WorkTracker};
+use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, Region, ScalarValue};
 
 /// Cells returned by a selection, with their coordinates.
@@ -43,7 +43,7 @@ pub fn subarray(
     let mut tracker = WorkTracker::new(ctx.cost());
 
     for (desc, node) in ctx.chunks_in(array_id, Some(region))? {
-        tracker.scan_chunk(node, (desc.bytes as f64 * fraction) as u64);
+        tracker.scan_chunk(node, scaled_bytes(desc.bytes, fraction));
     }
 
     // Materialized answer when cells are available (catalog- or
@@ -91,7 +91,7 @@ pub fn filter_count(
     let mut tracker = WorkTracker::new(ctx.cost());
 
     for (desc, node) in ctx.chunks_in(array_id, Some(region))? {
-        tracker.scan_chunk(node, (desc.bytes as f64 * fraction) as u64);
+        tracker.scan_chunk(node, scaled_bytes(desc.bytes, fraction));
     }
 
     let mut count = 0u64;

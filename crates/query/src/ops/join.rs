@@ -13,7 +13,7 @@
 
 use crate::error::Result;
 use crate::exec::ExecutionContext;
-use crate::stats::{QueryStats, WorkTracker};
+use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, Region};
 use std::collections::BTreeMap;
 
@@ -58,8 +58,8 @@ pub fn positional_join(
         let Some((ldesc, lnode)) = left_chunks.get(&rdesc.key.coords) else {
             continue; // no partner -> no output, and pruned by metadata
         };
-        let lbytes = (ldesc.bytes as f64 * lfrac) as u64;
-        let rbytes = (rdesc.bytes as f64 * rfrac) as u64;
+        let lbytes = scaled_bytes(ldesc.bytes, lfrac);
+        let rbytes = scaled_bytes(rdesc.bytes, rfrac);
         // Both sides are scanned where they live.
         tracker.scan_chunk(*lnode, lbytes);
         tracker.scan_chunk(rnode, rbytes);
@@ -121,7 +121,7 @@ pub fn lookup_join(
     let build_bytes = ba.byte_size();
     let mut nodes_seen = std::collections::BTreeSet::new();
     for (desc, node) in ctx.chunks_in(probe, region)? {
-        tracker.scan_chunk(node, (desc.bytes as f64 * pfrac) as u64);
+        tracker.scan_chunk(node, scaled_bytes(desc.bytes, pfrac));
         // Each participating node reads its local replica of the build
         // side once.
         if nodes_seen.insert(node) {

@@ -12,7 +12,7 @@
 
 use crate::error::{QueryError, Result};
 use crate::exec::ExecutionContext;
-use crate::stats::{QueryStats, WorkTracker};
+use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{chunk_of, ArrayId, ChunkCoords, Region};
 use cluster_sim::gb;
 use std::collections::BTreeMap;
@@ -54,7 +54,7 @@ pub fn kmeans(
     let coordinator = ctx.cluster.coordinator();
     for iter in 0..iterations.max(1) {
         for (desc, node) in &chunks {
-            let bytes = (desc.bytes as f64 * fraction) as u64;
+            let bytes = scaled_bytes(desc.bytes, fraction);
             if iter == 0 {
                 tracker.scan_chunk(*node, bytes);
             } else {
@@ -185,7 +185,7 @@ pub fn knn(
             for coords in ring {
                 if let Some(desc) = array.descriptors.get(&coords) {
                     let holder = ctx.cluster.locate(&desc.key).unwrap_or(home_node);
-                    let bytes = (desc.bytes as f64 * fraction) as u64;
+                    let bytes = scaled_bytes(desc.bytes, fraction);
                     if warm.insert((home_node, coords)) {
                         tracker.remote_fetch(home_node, holder, bytes);
                     } else {
@@ -309,7 +309,7 @@ pub fn trajectory(
     let homes: BTreeMap<&ChunkCoords, _> =
         chunks.iter().map(|(d, n)| (&d.key.coords, *n)).collect();
     for (desc, node) in &chunks {
-        tracker.scan_chunk(*node, (desc.bytes as f64 * fraction) as u64);
+        tracker.scan_chunk(*node, scaled_bytes(desc.bytes, fraction));
         // Handoff: projected objects that exit the chunk go to the planar
         // face neighbours; remote neighbours cost a latency-bearing push of
         // a small manifest.

@@ -7,7 +7,7 @@
 
 use crate::error::Result;
 use crate::exec::ExecutionContext;
-use crate::stats::{QueryStats, WorkTracker};
+use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, Region};
 use cluster_sim::gb;
 use std::collections::BTreeSet;
@@ -39,10 +39,10 @@ pub fn quantile(
 
     let mut sample_bytes_total = 0u64;
     for (desc, node) in ctx.chunks_in(array_id, region)? {
-        let col_bytes = (desc.bytes as f64 * fraction) as u64;
+        let col_bytes = scaled_bytes(desc.bytes, fraction);
         // Sampling pushes down into the scan: only the sampled pages are
         // read, then each node ships its sample to the coordinator.
-        let sample_bytes = (col_bytes as f64 * sample_fraction.clamp(0.0, 1.0)) as u64;
+        let sample_bytes = scaled_bytes(col_bytes, sample_fraction.clamp(0.0, 1.0));
         tracker.scan_chunk(node, sample_bytes);
         tracker.shuffle(node, coordinator, sample_bytes);
         sample_bytes_total += sample_bytes;
@@ -98,7 +98,7 @@ pub fn distinct_sorted(
     let coordinator = ctx.cluster.coordinator();
 
     for (desc, node) in ctx.chunks_in(array_id, region)? {
-        let col_bytes = (desc.bytes as f64 * fraction) as u64;
+        let col_bytes = scaled_bytes(desc.bytes, fraction);
         tracker.scan_chunk(node, col_bytes);
         // Local distinct compresses heavily before the exchange.
         tracker.shuffle(node, coordinator, col_bytes / 20);

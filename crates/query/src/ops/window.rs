@@ -10,7 +10,7 @@
 
 use crate::error::Result;
 use crate::exec::ExecutionContext;
-use crate::stats::{QueryStats, WorkTracker};
+use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, ChunkCoords, Region};
 
 /// Result of a windowed aggregate.
@@ -42,7 +42,7 @@ pub fn window_aggregate(
         chunks.iter().map(|(d, n)| (&d.key.coords, (d, *n))).collect();
 
     for (desc, node) in &chunks {
-        let bytes = (desc.bytes as f64 * fraction) as u64;
+        let bytes = scaled_bytes(desc.bytes, fraction);
         tracker.scan_chunk(*node, bytes);
         // Overlapping windows: each cell participates in (2r+1)^2 windows
         // on the spatial plane, so the compute pass re-touches the data
@@ -59,7 +59,7 @@ pub fn window_aggregate(
                 let mut ncoords = desc.key.coords;
                 ncoords[dim] += delta;
                 if let Some((ndesc, nnode)) = homes.get(&ncoords) {
-                    let slab = (ndesc.bytes as f64 * slab_fraction) as u64;
+                    let slab = scaled_bytes(ndesc.bytes, slab_fraction);
                     tracker.remote_fetch(*node, *nnode, slab);
                 }
             }

@@ -37,6 +37,20 @@ impl QueryStats {
     }
 }
 
+/// Scale a chunk's (or column slice's) byte size by a fractional
+/// selectivity, **rounding up** with a one-byte floor for non-empty
+/// inputs. The naive `(bytes as f64 * fraction) as u64` truncates — a
+/// small chunk or a tiny attribute fraction rounds to 0 bytes and the
+/// scanned chunk is modeled as free, which understates every per-node
+/// busy total built from many small chunks. Touching a chunk always
+/// costs at least one byte of modeled I/O.
+pub fn scaled_bytes(bytes: u64, fraction: f64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    ((bytes as f64 * fraction).ceil() as u64).max(1)
+}
+
 /// Accumulates one operator's work; converted into [`QueryStats`] at the
 /// end.
 #[derive(Debug)]
@@ -201,5 +215,17 @@ mod tests {
         a.merge_sequential(&b);
         assert!((a.elapsed_secs - 5.0).abs() < 1e-12);
         assert_eq!(a.bytes_scanned, 7);
+    }
+
+    #[test]
+    fn scaled_bytes_never_truncates_a_touched_chunk_to_free() {
+        // The bug this pins: `(1000 as f64 * 0.0004) as u64` == 0, so a
+        // scanned chunk was modeled as costing nothing.
+        assert_eq!(scaled_bytes(1_000, 0.0004), 1);
+        assert_eq!(scaled_bytes(10, 0.15), 2, "rounds up, not to nearest");
+        assert_eq!(scaled_bytes(1_000_000, 1.0), 1_000_000, "exact at unity");
+        assert_eq!(scaled_bytes(1_000, 0.5), 500);
+        assert_eq!(scaled_bytes(0, 0.5), 0, "empty inputs stay free");
+        assert_eq!(scaled_bytes(7, 0.0), 1, "touching a chunk is never free");
     }
 }

@@ -1,0 +1,600 @@
+//! Incremental materialized views: O(|Δ|) maintenance over the placed
+//! array (the delta-propagation layer ISSUE 8 builds on PR 3–7's
+//! incremental ingest and retraction paths).
+//!
+//! A [`MaterializedView`] is a small dataflow over one array's logical
+//! change stream ([`array_model::DeltaSet`]): filter/map stages run in
+//! O(|Δ|); a hash join keeps an indexed Z-set per key and side; group
+//! aggregates keep per-group accumulators (count/sum/avg exact under
+//! retraction, min/max with rescan-on-retraction of the affected group
+//! — see [`GroupState`]). The [`ViewRegistry`] routes each cycle's
+//! deltas to every registered view, so the workload runner updates
+//! views *per cycle* instead of re-running them.
+//!
+//! Determinism is load-bearing: view state depends only on the logical
+//! delta stream, never on placement — rebalances, scale-in drains,
+//! failovers, and tombstone compactions move bytes without producing a
+//! delta — and every float fold happens in a fixed sorted order. An
+//! incrementally maintained view is therefore **bit-identical** to a
+//! from-scratch recompute ([`MaterializedView::snapshot`] is the
+//! comparison form the differential suites pin).
+
+mod state;
+
+pub use state::{from_ord_bits, ord_bits, row_key, GroupState, KeyScalar, Row, RowKey, ZSet};
+
+use array_model::{ArrayId, DeltaSet, ScalarValue};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A row predicate: keep or drop.
+pub type PredFn = Arc<dyn Fn(&[i64], &[ScalarValue]) -> bool + Send + Sync>;
+/// A row transform. Must be a pure function: retractions replay through
+/// the same transform to cancel the rows it produced.
+pub type MapFn = Arc<dyn Fn(&[i64], &[ScalarValue]) -> Row + Send + Sync>;
+/// Grouping key extractor (dimension coarsening, attribute buckets, …).
+pub type GroupKeyFn = Arc<dyn Fn(&[i64], &[ScalarValue]) -> Vec<i64> + Send + Sync>;
+/// The aggregated value of a row.
+pub type ValueFn = Arc<dyn Fn(&[i64], &[ScalarValue]) -> f64 + Send + Sync>;
+/// Join-key extractor for one side of a hash join.
+pub type JoinKeyFn = Arc<dyn Fn(&[i64], &[ScalarValue]) -> Vec<KeyScalar> + Send + Sync>;
+/// Combines one left and one right row into an output row.
+pub type EmitFn = Arc<dyn Fn(&Row, &Row) -> Row + Send + Sync>;
+
+/// One linear stage of a view's dataflow.
+#[derive(Clone)]
+pub enum RowOp {
+    /// Keep rows the predicate accepts — O(|Δ|), stateless.
+    Filter(PredFn),
+    /// Transform each row — O(|Δ|), stateless.
+    Map(MapFn),
+}
+
+/// The aggregate a grouped view maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Net row count (integer-exact under retraction).
+    Count,
+    /// Sum of the value fn, re-folded sorted at finalization.
+    Sum,
+    /// Mean of the value fn (sorted-fold sum over integer count).
+    Avg,
+    /// Minimum — cached extremum, rescan-on-retraction.
+    Min,
+    /// Maximum — cached extremum, rescan-on-retraction.
+    Max,
+}
+
+/// The shape of a view's dataflow.
+#[derive(Clone)]
+pub enum ViewKind {
+    /// filter/map pipeline; output is the transformed Z-set.
+    Select {
+        /// The linear stages, applied in order.
+        ops: Vec<RowOp>,
+    },
+    /// filter/map pipeline feeding grouped accumulators.
+    Aggregate {
+        /// The linear stages, applied in order.
+        ops: Vec<RowOp>,
+        /// Grouping key per (transformed) row.
+        group_by: GroupKeyFn,
+        /// Aggregated value per (transformed) row.
+        value: ValueFn,
+        /// Which aggregate to maintain.
+        agg: AggKind,
+    },
+    /// Hash join with indexed per-key state on both sides.
+    Join {
+        /// Stages on the left (source-array) stream.
+        ops: Vec<RowOp>,
+        /// The right input array.
+        right: ArrayId,
+        /// Stages on the right stream.
+        right_ops: Vec<RowOp>,
+        /// Left join key.
+        left_key: JoinKeyFn,
+        /// Right join key.
+        right_key: JoinKeyFn,
+        /// Output-row constructor.
+        emit: EmitFn,
+    },
+}
+
+/// A view definition: a name, the source array, and the dataflow shape.
+/// Cloneable (stages are `Arc`s), so the differential suites instantiate
+/// a second, fresh copy for from-scratch recompute.
+#[derive(Clone)]
+pub struct ViewDef {
+    /// Registry-unique name.
+    pub name: String,
+    /// The array whose delta stream drives the view (the *left* input
+    /// of a join view).
+    pub source: ArrayId,
+    /// The dataflow shape.
+    pub kind: ViewKind,
+}
+
+impl std::fmt::Debug for ViewDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            ViewKind::Select { .. } => "select",
+            ViewKind::Aggregate { .. } => "aggregate",
+            ViewKind::Join { .. } => "join",
+        };
+        write!(f, "ViewDef({} over {} [{kind}])", self.name, self.source)
+    }
+}
+
+impl ViewDef {
+    /// A filter/map view.
+    pub fn select(name: impl Into<String>, source: ArrayId, ops: Vec<RowOp>) -> Self {
+        ViewDef { name: name.into(), source, kind: ViewKind::Select { ops } }
+    }
+
+    /// A grouped-aggregate view.
+    pub fn aggregate(
+        name: impl Into<String>,
+        source: ArrayId,
+        ops: Vec<RowOp>,
+        group_by: GroupKeyFn,
+        value: ValueFn,
+        agg: AggKind,
+    ) -> Self {
+        ViewDef {
+            name: name.into(),
+            source,
+            kind: ViewKind::Aggregate { ops, group_by, value, agg },
+        }
+    }
+
+    /// A hash-join view between `source` (left) and `right`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn join(
+        name: impl Into<String>,
+        source: ArrayId,
+        right: ArrayId,
+        ops: Vec<RowOp>,
+        right_ops: Vec<RowOp>,
+        left_key: JoinKeyFn,
+        right_key: JoinKeyFn,
+        emit: EmitFn,
+    ) -> Self {
+        ViewDef {
+            name: name.into(),
+            source,
+            kind: ViewKind::Join { ops, right, right_ops, left_key, right_key, emit },
+        }
+    }
+
+    /// A fresh, empty view over this definition.
+    pub fn instantiate(&self) -> MaterializedView {
+        MaterializedView::new(self.clone())
+    }
+
+    /// The arrays whose deltas this view consumes.
+    pub fn inputs(&self) -> Vec<ArrayId> {
+        match &self.kind {
+            ViewKind::Join { right, .. } if *right != self.source => vec![self.source, *right],
+            _ => vec![self.source],
+        }
+    }
+}
+
+/// One finalized group row of an aggregate view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggRow {
+    /// The finalized aggregate value.
+    pub value: f64,
+    /// Net rows in the group.
+    pub cells: u64,
+}
+
+/// Cumulative maintenance counters for one view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Delta rows consumed (inserts + retractions).
+    pub delta_rows: u64,
+    /// Output rows/groups written or removed.
+    pub rows_changed: u64,
+    /// `apply` invocations.
+    pub applies: u64,
+}
+
+/// What one `apply` call did, summed across views by the registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewApplyStats {
+    /// Delta rows consumed.
+    pub delta_rows: u64,
+    /// Output rows/groups changed.
+    pub rows_changed: u64,
+}
+
+impl ViewApplyStats {
+    fn absorb(&mut self, other: ViewApplyStats) {
+        self.delta_rows += other.delta_rows;
+        self.rows_changed += other.rows_changed;
+    }
+}
+
+/// The bit-exact comparison form of a view's output: floats as raw
+/// bits, rows in key order. Two views with equal snapshots hold
+/// identical state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewSnapshot {
+    /// Select/join output rows: (coords, value key image, weight).
+    pub rows: Vec<(Vec<i64>, Vec<KeyScalar>, i64)>,
+    /// Aggregate output: (group key, value bits, net cells).
+    pub groups: Vec<(Vec<i64>, u64, i64)>,
+}
+
+enum ViewState {
+    Select { out: ZSet },
+    Aggregate { groups: BTreeMap<Vec<i64>, GroupState>, out: BTreeMap<Vec<i64>, AggRow> },
+    Join { left: BTreeMap<Vec<KeyScalar>, ZSet>, right: BTreeMap<Vec<KeyScalar>, ZSet>, out: ZSet },
+}
+
+/// A registered incremental view: definition, per-node state, and the
+/// materialized output. Updated in O(|Δ|) per [`MaterializedView::apply`].
+pub struct MaterializedView {
+    def: ViewDef,
+    state: ViewState,
+    stats: ViewStats,
+}
+
+/// Run a row through the linear stages; `None` when a filter drops it.
+fn apply_ops(ops: &[RowOp], coords: &[i64], values: &[ScalarValue]) -> Option<Row> {
+    let mut row: Option<Row> = None;
+    for op in ops {
+        let (c, v) = match &row {
+            Some((c, v)) => (c.as_slice(), v.as_slice()),
+            None => (coords, values),
+        };
+        match op {
+            RowOp::Filter(p) => {
+                if !p(c, v) {
+                    return None;
+                }
+            }
+            RowOp::Map(m) => row = Some(m(c, v)),
+        }
+    }
+    Some(row.unwrap_or_else(|| (coords.to_vec(), values.to_vec())))
+}
+
+impl MaterializedView {
+    /// A fresh, empty view.
+    pub fn new(def: ViewDef) -> Self {
+        let state = match &def.kind {
+            ViewKind::Select { .. } => ViewState::Select { out: ZSet::default() },
+            ViewKind::Aggregate { .. } => {
+                ViewState::Aggregate { groups: BTreeMap::new(), out: BTreeMap::new() }
+            }
+            ViewKind::Join { .. } => ViewState::Join {
+                left: BTreeMap::new(),
+                right: BTreeMap::new(),
+                out: ZSet::default(),
+            },
+        };
+        MaterializedView { def, state, stats: ViewStats::default() }
+    }
+
+    /// The definition this view maintains.
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    /// Fold one array's delta into the view. Work is O(|Δ|) for
+    /// filter/map, O(|Δ| · matches) for joins, and O(|Δ| log g) plus a
+    /// sorted re-fold of each *touched* group for aggregates — never a
+    /// function of the base array's size.
+    pub fn apply(&mut self, array: ArrayId, delta: &DeltaSet) -> ViewApplyStats {
+        let mut stats = ViewApplyStats::default();
+        let is_left = array == self.def.source;
+        let is_right = matches!(&self.def.kind, ViewKind::Join { right, .. } if *right == array);
+        if !is_left && !is_right {
+            return stats;
+        }
+        match (&self.def.kind, &mut self.state) {
+            (ViewKind::Select { ops }, ViewState::Select { out }) => {
+                for rd in delta.rows() {
+                    stats.delta_rows += 1;
+                    if let Some((c, v)) = apply_ops(ops, &rd.coords, &rd.values) {
+                        out.add(&c, &v, rd.weight);
+                        stats.rows_changed += 1;
+                    }
+                }
+            }
+            (
+                ViewKind::Aggregate { ops, group_by, value, agg },
+                ViewState::Aggregate { groups, out },
+            ) => {
+                let mut touched: BTreeSet<Vec<i64>> = BTreeSet::new();
+                for rd in delta.rows() {
+                    stats.delta_rows += 1;
+                    if let Some((c, v)) = apply_ops(ops, &rd.coords, &rd.values) {
+                        let gk = group_by(&c, &v);
+                        groups.entry(gk.clone()).or_default().update(value(&c, &v), rd.weight);
+                        touched.insert(gk);
+                    }
+                }
+                for gk in touched {
+                    stats.rows_changed += 1;
+                    let finalized = groups.get(&gk).and_then(|g| {
+                        if g.is_empty() {
+                            return None;
+                        }
+                        let value = match agg {
+                            AggKind::Count => g.count as f64,
+                            AggKind::Sum => g.fold_sum(),
+                            AggKind::Avg => g.fold_sum() / g.count as f64,
+                            AggKind::Min => g.min()?,
+                            AggKind::Max => g.max()?,
+                        };
+                        Some(AggRow { value, cells: g.count as u64 })
+                    });
+                    match finalized {
+                        Some(row) => {
+                            out.insert(gk, row);
+                        }
+                        None => {
+                            groups.remove(&gk);
+                            out.remove(&gk);
+                        }
+                    }
+                }
+            }
+            (
+                ViewKind::Join { ops, right_ops, left_key, right_key, emit, .. },
+                ViewState::Join { left, right, out },
+            ) => {
+                // Bilinear update: ΔL ⋈ R, fold ΔL into L, then
+                // (L+ΔL) ⋈ ΔR, fold ΔR into R. When the same array
+                // feeds both sides this ordering computes
+                // ΔL⋈R + L'⋈ΔR exactly — no double counting.
+                if is_left {
+                    stats.rows_changed +=
+                        join_side(delta, ops, left_key, left, right, emit, false, out);
+                    stats.delta_rows += delta.len() as u64;
+                }
+                if is_right {
+                    stats.rows_changed +=
+                        join_side(delta, right_ops, right_key, right, left, emit, true, out);
+                    stats.delta_rows += delta.len() as u64;
+                }
+            }
+            _ => unreachable!("state matches the definition by construction"),
+        }
+        self.stats.delta_rows += stats.delta_rows;
+        self.stats.rows_changed += stats.rows_changed;
+        self.stats.applies += 1;
+        stats
+    }
+
+    /// The bit-exact comparison form of the current output.
+    pub fn snapshot(&self) -> ViewSnapshot {
+        match &self.state {
+            ViewState::Select { out } | ViewState::Join { out, .. } => {
+                ViewSnapshot { rows: out.keyed_entries(), groups: Vec::new() }
+            }
+            ViewState::Aggregate { out, .. } => ViewSnapshot {
+                rows: Vec::new(),
+                groups: out
+                    .iter()
+                    .map(|(k, r)| (k.clone(), r.value.to_bits(), r.cells as i64))
+                    .collect(),
+            },
+        }
+    }
+
+    /// The materialized output of a select/join view (empty for
+    /// aggregates — see [`MaterializedView::group_rows`]).
+    pub fn output_rows(&self) -> Vec<(Row, i64)> {
+        match &self.state {
+            ViewState::Select { out } | ViewState::Join { out, .. } => {
+                out.entries().map(|(r, w)| (r.clone(), w)).collect()
+            }
+            ViewState::Aggregate { .. } => Vec::new(),
+        }
+    }
+
+    /// The finalized group table of an aggregate view.
+    pub fn group_rows(&self) -> Vec<(Vec<i64>, AggRow)> {
+        match &self.state {
+            ViewState::Aggregate { out, .. } => out.iter().map(|(k, r)| (k.clone(), *r)).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Process one side's delta against the other side's index, then fold
+/// the delta into this side's index. Returns output rows changed.
+#[allow(clippy::too_many_arguments)]
+fn join_side(
+    delta: &DeltaSet,
+    ops: &[RowOp],
+    key_fn: &JoinKeyFn,
+    my_index: &mut BTreeMap<Vec<KeyScalar>, ZSet>,
+    other_index: &BTreeMap<Vec<KeyScalar>, ZSet>,
+    emit: &EmitFn,
+    swapped: bool,
+    out: &mut ZSet,
+) -> u64 {
+    let mut changed = 0;
+    for rd in delta.rows() {
+        let Some((c, v)) = apply_ops(ops, &rd.coords, &rd.values) else { continue };
+        let key = key_fn(&c, &v);
+        let row = (c, v);
+        if let Some(partners) = other_index.get(&key) {
+            for (other, w_other) in partners.entries() {
+                let (l, r) = if swapped { (other, &row) } else { (&row, other) };
+                let (oc, ov) = emit(l, r);
+                out.add(&oc, &ov, rd.weight * w_other);
+                changed += 1;
+            }
+        }
+        let slot = my_index.entry(key.clone()).or_default();
+        slot.add(&row.0, &row.1, rd.weight);
+        if slot.is_empty() {
+            my_index.remove(&key);
+        }
+    }
+    changed
+}
+
+/// The set of views the workload runner maintains: routes each cycle's
+/// per-array deltas to every view that reads that array.
+#[derive(Default)]
+pub struct ViewRegistry {
+    views: Vec<MaterializedView>,
+}
+
+impl ViewRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ViewRegistry::default()
+    }
+
+    /// Register a view; replaces any existing view with the same name.
+    pub fn register(&mut self, def: ViewDef) {
+        self.views.retain(|v| v.name() != def.name);
+        self.views.push(MaterializedView::new(def));
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Registered views, in registration order.
+    pub fn views(&self) -> &[MaterializedView] {
+        &self.views
+    }
+
+    /// Look a view up by name.
+    pub fn view(&self, name: &str) -> Option<&MaterializedView> {
+        self.views.iter().find(|v| v.name() == name)
+    }
+
+    /// True when some view consumes `array`'s deltas — lets the runner
+    /// skip delta extraction entirely for unwatched arrays.
+    pub fn reads(&self, array: ArrayId) -> bool {
+        self.views.iter().any(|v| v.def().inputs().contains(&array))
+    }
+
+    /// Fold one array's delta into every view that reads it.
+    pub fn apply(&mut self, array: ArrayId, delta: &DeltaSet) -> ViewApplyStats {
+        let mut stats = ViewApplyStats::default();
+        for v in &mut self.views {
+            stats.absorb(v.apply(array, delta));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ArrayId = ArrayId(1);
+    const B: ArrayId = ArrayId(2);
+
+    fn delta(rows: &[(i64, f64, i64)]) -> DeltaSet {
+        let mut d = DeltaSet::new();
+        for &(x, v, w) in rows {
+            d.push(vec![x], vec![ScalarValue::Double(v)], w);
+        }
+        d
+    }
+
+    fn speed_filter() -> ViewDef {
+        let pred: PredFn = Arc::new(|_, v| matches!(v[0], ScalarValue::Double(d) if d >= 10.0));
+        ViewDef::select("fast", A, vec![RowOp::Filter(pred)])
+    }
+
+    #[test]
+    fn filter_view_tracks_inserts_and_retractions() {
+        let mut view = speed_filter().instantiate();
+        view.apply(A, &delta(&[(1, 5.0, 1), (2, 12.0, 1), (3, 30.0, 1)]));
+        assert_eq!(view.output_rows().len(), 2);
+        view.apply(A, &delta(&[(2, 12.0, -1)]));
+        assert_eq!(view.output_rows().len(), 1);
+        // A delta for some other array is ignored.
+        let s = view.apply(B, &delta(&[(9, 99.0, 1)]));
+        assert_eq!(s, ViewApplyStats::default());
+    }
+
+    #[test]
+    fn aggregate_views_are_exact_under_retraction() {
+        let group: GroupKeyFn = Arc::new(|c, _| vec![c[0].div_euclid(10)]);
+        let value: ValueFn =
+            Arc::new(|_, v| if let ScalarValue::Double(d) = v[0] { d } else { 0.0 });
+        for agg in [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max] {
+            let def = ViewDef::aggregate("g", A, Vec::new(), group.clone(), value.clone(), agg);
+            let mut inc = def.instantiate();
+            inc.apply(A, &delta(&[(1, 4.0, 1), (2, -1.0, 1), (11, 7.0, 1), (3, 9.0, 1)]));
+            inc.apply(A, &delta(&[(2, -1.0, -1), (11, 7.0, -1)]));
+            inc.apply(A, &delta(&[(12, 2.0, 1), (4, 9.0, 1)]));
+            // From-scratch over the surviving rows, single batch.
+            let mut scratch = def.instantiate();
+            scratch.apply(A, &delta(&[(1, 4.0, 1), (3, 9.0, 1), (12, 2.0, 1), (4, 9.0, 1)]));
+            assert_eq!(inc.snapshot(), scratch.snapshot(), "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn min_rescan_survives_extremum_retraction() {
+        let group: GroupKeyFn = Arc::new(|_, _| vec![0]);
+        let value: ValueFn =
+            Arc::new(|_, v| if let ScalarValue::Double(d) = v[0] { d } else { 0.0 });
+        let def = ViewDef::aggregate("m", A, Vec::new(), group, value, AggKind::Min);
+        let mut view = def.instantiate();
+        view.apply(A, &delta(&[(1, 3.0, 1), (2, -5.0, 1), (3, 8.0, 1)]));
+        assert_eq!(view.group_rows()[0].1.value, -5.0);
+        view.apply(A, &delta(&[(2, -5.0, -1)]));
+        assert_eq!(view.group_rows()[0].1.value, 3.0);
+    }
+
+    #[test]
+    fn join_views_multiply_weights_and_cancel() {
+        let key: JoinKeyFn = Arc::new(|c, _| vec![KeyScalar::Int(c[0])]);
+        let emit: EmitFn = Arc::new(|l, r| (l.0.clone(), vec![l.1[0].clone(), r.1[0].clone()]));
+        let def = ViewDef::join("j", A, B, Vec::new(), Vec::new(), key.clone(), key.clone(), emit);
+        let mut view = def.instantiate();
+        view.apply(A, &delta(&[(1, 1.5, 1), (2, 2.5, 1)]));
+        assert!(view.output_rows().is_empty(), "no right side yet");
+        view.apply(B, &delta(&[(1, 10.0, 1)]));
+        assert_eq!(view.output_rows().len(), 1);
+        // Retract the left partner: the joined row cancels.
+        view.apply(A, &delta(&[(1, 1.5, -1)]));
+        assert!(view.output_rows().is_empty());
+        // Late left arrival joins the indexed right state.
+        view.apply(A, &delta(&[(1, 9.0, 1)]));
+        assert_eq!(view.output_rows().len(), 1);
+    }
+
+    #[test]
+    fn registry_routes_by_array_and_replaces_by_name() {
+        let mut reg = ViewRegistry::new();
+        reg.register(speed_filter());
+        assert!(reg.reads(A));
+        assert!(!reg.reads(B));
+        let s = reg.apply(A, &delta(&[(1, 11.0, 1)]));
+        assert_eq!(s.delta_rows, 1);
+        assert_eq!(reg.view("fast").unwrap().output_rows().len(), 1);
+        // Re-registering under the same name resets state.
+        reg.register(speed_filter());
+        assert!(reg.view("fast").unwrap().output_rows().is_empty());
+        assert_eq!(reg.views().len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-view state: Z-sets, deterministic row keys, and per-group
+//! accumulators. Everything here is keyed and folded in a fixed total
+//! order so that an incrementally maintained view and a from-scratch
+//! recompute build *bit-identical* state — integer weights are exact,
+//! and float aggregates are finalized by the same sorted fold over the
+//! same multiset on both paths.
+
+use array_model::ScalarValue;
+use std::collections::BTreeMap;
+
+/// A deterministic, totally ordered image of a [`ScalarValue`]: integers
+/// widen to `i64`, floats become their raw bit patterns, strings stay
+/// themselves. Two values map to the same `KeyScalar` iff they are
+/// bit-identical — which is exactly the equivalence incremental
+/// retraction needs (a retracted row must cancel the inserted row, bit
+/// for bit).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KeyScalar {
+    /// `int32` / `int64` / `char`, widened.
+    Int(i64),
+    /// An `f32`'s raw bits.
+    F32(u32),
+    /// An `f64`'s raw bits.
+    F64(u64),
+    /// A string, verbatim.
+    Str(String),
+}
+
+impl KeyScalar {
+    /// The deterministic key image of `v`.
+    pub fn of(v: &ScalarValue) -> KeyScalar {
+        match v {
+            ScalarValue::Int32(i) => KeyScalar::Int(*i as i64),
+            ScalarValue::Int64(i) => KeyScalar::Int(*i),
+            ScalarValue::Char(c) => KeyScalar::Int(*c as i64),
+            ScalarValue::Float(f) => KeyScalar::F32(f.to_bits()),
+            ScalarValue::Double(d) => KeyScalar::F64(d.to_bits()),
+            ScalarValue::Str(s) => KeyScalar::Str(s.clone()),
+        }
+    }
+}
+
+/// Map an `f64` to a `u64` whose unsigned order equals the float's
+/// numeric total order (negatives before positives, `-0.0 < +0.0`,
+/// NaNs at the extremes) — the standard sign-flip trick. Lossless.
+pub fn ord_bits(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1u64 << 63)
+    }
+}
+
+/// Inverse of [`ord_bits`].
+pub fn from_ord_bits(o: u64) -> f64 {
+    let b = if o >> 63 == 1 { o ^ (1u64 << 63) } else { !o };
+    f64::from_bits(b)
+}
+
+/// A logical row flowing through a view: cell coordinates plus attribute
+/// values (possibly transformed by map stages).
+pub type Row = (Vec<i64>, Vec<ScalarValue>);
+
+/// The deterministic identity of a [`Row`].
+pub type RowKey = (Vec<i64>, Vec<KeyScalar>);
+
+/// The key image of a row.
+pub fn row_key(coords: &[i64], values: &[ScalarValue]) -> RowKey {
+    (coords.to_vec(), values.iter().map(KeyScalar::of).collect())
+}
+
+/// A Z-set: rows with signed integer multiplicities. Weights sum on
+/// insertion; a row whose weight reaches zero vanishes (so a view over
+/// a consistent insert/retract stream converges to exactly the
+/// surviving rows). Iteration order is the total order of [`RowKey`].
+#[derive(Debug, Clone, Default)]
+pub struct ZSet {
+    rows: BTreeMap<RowKey, (Row, i64)>,
+}
+
+impl ZSet {
+    /// Add `weight` copies of the row; returns the row's new net weight.
+    pub fn add(&mut self, coords: &[i64], values: &[ScalarValue], weight: i64) -> i64 {
+        if weight == 0 {
+            return self.weight_of(coords, values);
+        }
+        let key = row_key(coords, values);
+        let entry = self.rows.entry(key).or_insert_with(|| ((coords.to_vec(), values.to_vec()), 0));
+        entry.1 += weight;
+        let w = entry.1;
+        if w == 0 {
+            self.rows.remove(&row_key(coords, values));
+        }
+        w
+    }
+
+    /// The net weight of a row (0 when absent).
+    pub fn weight_of(&self, coords: &[i64], values: &[ScalarValue]) -> i64 {
+        self.rows.get(&row_key(coords, values)).map_or(0, |(_, w)| *w)
+    }
+
+    /// Distinct rows carried.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are carried.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows and their weights, in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Row, i64)> {
+        self.rows.values().map(|(row, w)| (row, *w))
+    }
+
+    /// The deterministic identity of every row with its weight, in key
+    /// order — the bit-exact comparison form.
+    pub fn keyed_entries(&self) -> Vec<(Vec<i64>, Vec<KeyScalar>, i64)> {
+        self.rows.iter().map(|((c, v), (_, w))| (c.clone(), v.clone(), *w)).collect()
+    }
+}
+
+/// One group's accumulator: an exact row count plus a sorted multiset of
+/// the aggregated value (keyed by [`ord_bits`], so iteration order is
+/// numeric order) and cached extrema.
+///
+/// * `count`/`sum`/`avg` are exact under retraction: the count is integer
+///   arithmetic, and sums are **re-folded from the multiset** in
+///   ascending numeric order at finalization — never maintained as a
+///   running float — so the incremental path and a from-scratch
+///   recompute produce bit-identical doubles.
+/// * `min`/`max` are served from cached extrema; retracting the last
+///   copy of the extremum triggers a rescan of the affected group's
+///   multiset (O(log n) here, since the multiset is sorted — the rescan
+///   cost the paper-adjacent IVM literature pays per affected group).
+#[derive(Debug, Clone, Default)]
+pub struct GroupState {
+    /// Net row count (Z-set weight sum) — exact.
+    pub count: i64,
+    /// Sorted multiset: [`ord_bits`] of each value → net multiplicity.
+    values: BTreeMap<u64, i64>,
+    min_bits: Option<u64>,
+    max_bits: Option<u64>,
+}
+
+impl GroupState {
+    /// Fold `weight` copies of `value` into the group.
+    pub fn update(&mut self, value: f64, weight: i64) {
+        self.count += weight;
+        let bits = ord_bits(value);
+        let slot = self.values.entry(bits).or_insert(0);
+        *slot += weight;
+        let emptied = *slot == 0;
+        if emptied {
+            self.values.remove(&bits);
+        }
+        if weight > 0 && !emptied {
+            // Cheap cached-extremum maintenance on insert.
+            self.min_bits = Some(self.min_bits.map_or(bits, |m| m.min(bits)));
+            self.max_bits = Some(self.max_bits.map_or(bits, |m| m.max(bits)));
+        } else if emptied && (self.min_bits == Some(bits) || self.max_bits == Some(bits)) {
+            // The retraction killed the cached extremum: rescan the
+            // affected group. The multiset is sorted by numeric order,
+            // so the rescan is its first/last key.
+            self.min_bits = self.values.keys().next().copied();
+            self.max_bits = self.values.keys().next_back().copied();
+        }
+    }
+
+    /// True when the group carries no rows and can be dropped.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.values.is_empty()
+    }
+
+    /// Deterministic sum: ascending-numeric-order fold over the multiset.
+    /// Shared verbatim by the incremental and recompute paths, which is
+    /// what makes them bit-identical.
+    pub fn fold_sum(&self) -> f64 {
+        let mut sum = 0.0;
+        for (&bits, &mult) in &self.values {
+            sum += from_ord_bits(bits) * mult as f64;
+        }
+        sum
+    }
+
+    /// Cached minimum (numeric), if the group is non-empty.
+    pub fn min(&self) -> Option<f64> {
+        self.min_bits.map(from_ord_bits)
+    }
+
+    /// Cached maximum (numeric), if the group is non-empty.
+    pub fn max(&self) -> Option<f64> {
+        self.max_bits.map(from_ord_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ord_bits_is_a_numeric_total_order() {
+        let xs = [-f64::INFINITY, -3.5, -0.0, 0.0, 1.0e-300, 2.5, f64::INFINITY];
+        let mapped: Vec<u64> = xs.iter().map(|&v| ord_bits(v)).collect();
+        let mut sorted = mapped.clone();
+        sorted.sort_unstable();
+        assert_eq!(mapped, sorted, "order preserved");
+        for &v in &xs {
+            assert_eq!(from_ord_bits(ord_bits(v)).to_bits(), v.to_bits(), "lossless");
+        }
+    }
+
+    #[test]
+    fn zset_weights_cancel() {
+        let mut z = ZSet::default();
+        let v = [ScalarValue::Double(1.5)];
+        assert_eq!(z.add(&[3], &v, 1), 1);
+        assert_eq!(z.add(&[3], &v, 1), 2);
+        assert_eq!(z.add(&[3], &v, -1), 1);
+        assert_eq!(z.add(&[3], &v, -1), 0);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn group_extrema_rescan_on_retraction() {
+        let mut g = GroupState::default();
+        for v in [4.0, -1.0, 9.0, 9.0] {
+            g.update(v, 1);
+        }
+        assert_eq!((g.min(), g.max()), (Some(-1.0), Some(9.0)));
+        g.update(9.0, -1); // one copy left: extremum survives
+        assert_eq!(g.max(), Some(9.0));
+        g.update(9.0, -1); // last copy: rescan finds 4.0
+        assert_eq!(g.max(), Some(4.0));
+        g.update(-1.0, -1);
+        assert_eq!((g.min(), g.max()), (Some(4.0), Some(4.0)));
+        assert_eq!(g.count, 1);
+        g.update(4.0, -1);
+        assert!(g.is_empty());
+        assert_eq!((g.min(), g.max()), (None, None));
+    }
+
+    #[test]
+    fn fold_sum_is_order_independent_of_arrival() {
+        let mut a = GroupState::default();
+        let mut b = GroupState::default();
+        let vals = [0.1, 0.7, 1.0e16, -0.3, 2.5e-7];
+        for &v in &vals {
+            a.update(v, 1);
+        }
+        for &v in vals.iter().rev() {
+            b.update(v, 1);
+        }
+        assert_eq!(a.fold_sum().to_bits(), b.fold_sum().to_bits());
+    }
+}

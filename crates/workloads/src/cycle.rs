@@ -13,7 +13,7 @@ use crate::faults::{ErrorPolicy, FaultKind, FaultPlan};
 use crate::spec::{CellBatch, SuiteReport, Workload};
 use array_model::{
     Array, ArrayError, ArrayId, ArraySchema, CellBuffer, ChunkCoords, ChunkDescriptor, ChunkKey,
-    StringEncoding,
+    DeltaSet, StringEncoding,
 };
 use cluster_sim::{
     gb, Cluster, ClusterError, CostModel, Flakiness, FlowSet, MidCrash, NodeHoursLedger, NodeId,
@@ -23,6 +23,7 @@ use elastic_core::{
     batch_prefix_bytes, build_partitioner, route_batch, Partitioner, PartitionerConfig,
     PartitionerKind, ProvisionDecision, RouteEpoch, StaircaseConfig, StaircaseProvisioner,
 };
+use query_engine::view::{ViewDef, ViewRegistry};
 use query_engine::{Catalog, ExecutionContext};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -214,6 +215,13 @@ pub struct RunnerConfig {
     pub fault_plan: Option<FaultPlan>,
     /// What [`WorkloadRunner::run_all`] does when a cycle fails.
     pub on_error: ErrorPolicy,
+    /// Automatic tombstone GC: a placed chunk whose tombstone count
+    /// reaches this fraction of its physical rows is compacted in the
+    /// retraction step (store and oracle copies in lockstep), bounding
+    /// the space amplification on-demand compaction left unbounded.
+    /// `f64::INFINITY` disables the sweep. The default `0.5` keeps a
+    /// chunk's dead rows below half its storage.
+    pub gc_tombstone_ratio: f64,
 }
 
 impl RunnerConfig {
@@ -241,6 +249,7 @@ impl Default for RunnerConfig {
             replication: 1,
             fault_plan: None,
             on_error: ErrorPolicy::default(),
+            gc_tombstone_ratio: 0.5,
         }
     }
 }
@@ -292,6 +301,17 @@ pub struct CycleReport {
     /// Query-phase chunk reads served by something other than a healthy
     /// primary (replica failover or the catalog oracle).
     pub degraded_reads: u64,
+    /// Chunks the automatic tombstone GC compacted this cycle (store
+    /// and oracle copies counted once).
+    pub gc_compacted_chunks: usize,
+    /// Net bytes the GC compactions reclaimed (negative if a spill
+    /// reversal grew a rebuilt column).
+    pub gc_reclaimed_bytes: i64,
+    /// Delta rows (inserts + retractions) consumed by registered
+    /// incremental views this cycle.
+    pub view_delta_rows: u64,
+    /// Output rows/groups those view updates changed.
+    pub view_rows_changed: u64,
     /// Per-query benchmark results (when queries ran).
     pub suites: Option<SuiteReport>,
 }
@@ -486,6 +506,7 @@ pub struct WorkloadRunner<'w> {
     catalog: Catalog,
     partitioner: Box<dyn Partitioner>,
     provisioner: Option<StaircaseProvisioner>,
+    views: ViewRegistry,
 }
 
 impl<'w> WorkloadRunner<'w> {
@@ -546,7 +567,31 @@ impl<'w> WorkloadRunner<'w> {
             ScalingPolicy::Staircase(cfg) => Some(StaircaseProvisioner::new(*cfg)),
             _ => None,
         };
-        WorkloadRunner { workload, config, cluster, catalog, partitioner, provisioner }
+        WorkloadRunner {
+            workload,
+            config,
+            cluster,
+            catalog,
+            partitioner,
+            provisioner,
+            views: ViewRegistry::new(),
+        }
+    }
+
+    /// Register an incremental materialized view. From now on each
+    /// cycle's logical deltas — retractions first, then the cycle's
+    /// inserts — are folded into the view in O(|Δ|) instead of the view
+    /// being recomputed. Registering mid-run starts the view empty: it
+    /// reflects changes from the *next* cycle on (seed it from the
+    /// catalog oracle via [`array_model::DeltaSet::from_live_cells`] to
+    /// backfill).
+    pub fn register_view(&mut self, def: ViewDef) {
+        self.views.register(def);
+    }
+
+    /// The registered incremental views and their current state.
+    pub fn views(&self) -> &ViewRegistry {
+        &self.views
     }
 
     /// Run just the §3.3 benchmark suites for `cycle` against the current
@@ -858,10 +903,18 @@ impl<'w> WorkloadRunner<'w> {
     /// step. A chunk whose last live cell is retracted is evicted from
     /// the placement outright (and its replica set dropped) — retired
     /// bytes stop counting against demand immediately, which is what
-    /// lets the provisioner see the trough. Cells whose chunk was never
-    /// placed (or already evicted) count as `missing` rather than
-    /// failing the cycle: delete scripts replay against both oracle and
-    /// store copies, which may legitimately have pruned a chunk first.
+    /// lets the provisioner see the trough. A surviving chunk whose
+    /// tombstones now reach [`RunnerConfig::gc_tombstone_ratio`] of its
+    /// physical rows is compacted in place ([`Cluster::compact_chunk`]),
+    /// and the catalog oracle compacts the same chunks so both copies
+    /// stay structurally identical. Cells whose chunk was never placed
+    /// (or already evicted) count as `missing` rather than failing the
+    /// cycle: delete scripts replay against both oracle and store
+    /// copies, which may legitimately have pruned a chunk first.
+    ///
+    /// When incremental views watch the array, each retracted row's
+    /// values are captured through the tombstone choke point as a `-1`
+    /// delta and folded into the views before the cycle's inserts land.
     fn apply_retractions(
         &mut self,
         cycle: usize,
@@ -887,6 +940,7 @@ impl<'w> WorkloadRunner<'w> {
                     .map_err(|source| CycleError::Materialize { cycle, source })?;
                 by_chunk.entry(coords).or_default().extend_from_slice(cell);
             }
+            let mut gc_coords: Vec<ChunkCoords> = Vec::new();
             for (coords, cells) in by_chunk {
                 let key = ChunkKey::new(b.array, coords);
                 if self.cluster.locate(&key).is_none() {
@@ -906,6 +960,22 @@ impl<'w> WorkloadRunner<'w> {
                         .map_err(|source| CycleError::Retract { cycle, source })?;
                     tally.evicted_chunks += 1;
                     tally.evicted_bytes += eviction.bytes;
+                } else if self.config.gc_tombstone_ratio.is_finite() {
+                    // Threshold-triggered tombstone GC. The payload is
+                    // present — retract_cells just touched it.
+                    let payload =
+                        self.cluster.payload(&key).expect("retract_cells required a payload");
+                    let dead = payload.tombstone_count() as f64;
+                    let physical = payload.physical_cell_count() as f64;
+                    if physical > 0.0 && dead >= self.config.gc_tombstone_ratio * physical {
+                        let compaction = self
+                            .cluster
+                            .compact_chunk(&key)
+                            .map_err(|source| CycleError::Retract { cycle, source })?;
+                        tally.gc_compacted_chunks += 1;
+                        tally.gc_reclaimed_bytes += compaction.reclaimed_bytes;
+                        gc_coords.push(coords);
+                    }
                 }
             }
             // Mirror the script into the catalog oracle. The oracle's
@@ -913,19 +983,37 @@ impl<'w> WorkloadRunner<'w> {
             // the same deterministic script (retract-the-last-live-
             // duplicate per coordinate) leaves both copies structurally
             // identical, so the differential suites keep agreeing.
+            // Retracted values are captured here — the oracle holds the
+            // same rows — as the views' negative deltas.
+            let watched = self.views.reads(b.array);
+            let mut delta = DeltaSet::new();
             let stored = self.catalog.array_mut(b.array).expect("validated above");
             if let Some(data) = stored.data.as_mut() {
                 let outcome = data
-                    .delete_cells(flat)
+                    .delete_cells_capturing(flat, |cell, values| {
+                        if watched {
+                            delta.push(cell.to_vec(), values, -1);
+                        }
+                    })
                     .map_err(|source| CycleError::Materialize { cycle, source })?;
                 for coords in data.prune_empty() {
                     stored.descriptors.remove(&coords);
+                }
+                // GC'd chunks compact on the oracle too, before the
+                // descriptor refresh reads their rebuilt sizes.
+                for coords in &gc_coords {
+                    data.compact_chunk(coords);
                 }
                 for coords in outcome.touched {
                     if let Some(chunk) = data.chunk(&coords) {
                         stored.descriptors.insert(coords, chunk.descriptor(b.array));
                     }
                 }
+            }
+            if watched && !delta.is_empty() {
+                let stats = self.views.apply(b.array, &delta);
+                tally.view_delta_rows += stats.delta_rows;
+                tally.view_rows_changed += stats.rows_changed;
             }
         }
         Ok(tally)
@@ -1043,8 +1131,25 @@ impl<'w> WorkloadRunner<'w> {
         // Ingest.
         let insert_flows =
             self.place_batch(&batch).map_err(|source| CycleError::Ingest { cycle, source })?;
+        let mut view_delta_rows = retract.view_delta_rows;
+        let mut view_rows_changed = retract.view_rows_changed;
         if let Some(arrays) = cell_arrays {
+            // The freshly built arrays hold exactly this cycle's inserted
+            // cells: extract them as +1 deltas for the registered views
+            // before the handles are absorbed into the stores. Applied
+            // after the retraction deltas (runner order), so views see
+            // the cycle's changes in the same order the stores do.
+            let insert_deltas: Vec<(ArrayId, DeltaSet)> = arrays
+                .iter()
+                .filter(|a| self.views.reads(a.id))
+                .map(|a| (a.id, DeltaSet::from_live_cells(a)))
+                .collect();
             self.store_cell_arrays(cycle, arrays)?;
+            for (id, delta) in insert_deltas {
+                let stats = self.views.apply(id, &delta);
+                view_delta_rows += stats.delta_rows;
+                view_rows_changed += stats.rows_changed;
+            }
         }
         let insert_secs = insert_flows.elapsed_secs(&self.config.cost);
         // O(1): the cluster maintains its load moments incrementally.
@@ -1094,6 +1199,10 @@ impl<'w> WorkloadRunner<'w> {
             retracted_cells: retract.retracted,
             evicted_chunks: retract.evicted_chunks,
             evicted_bytes: retract.evicted_bytes,
+            gc_compacted_chunks: retract.gc_compacted_chunks,
+            gc_reclaimed_bytes: retract.gc_reclaimed_bytes,
+            view_delta_rows,
+            view_rows_changed,
             scale_saturated,
             crashed_nodes: self
                 .cluster
@@ -1173,6 +1282,14 @@ struct RetractTally {
     evicted_chunks: usize,
     /// Bytes those evicted chunks still carried.
     evicted_bytes: u64,
+    /// Chunks the tombstone-ratio GC compacted.
+    gc_compacted_chunks: usize,
+    /// Net bytes those compactions reclaimed (store side).
+    gc_reclaimed_bytes: i64,
+    /// Retraction delta rows folded into registered views.
+    view_delta_rows: u64,
+    /// View output rows/groups changed by those retractions.
+    view_rows_changed: u64,
 }
 
 #[cfg(test)]
@@ -1478,6 +1595,150 @@ mod tests {
         // Drained bytes are accounted as reorg movement and time.
         assert!(report.cycles.iter().any(|c| c.removed_nodes > 0 && c.moved_bytes > 0));
         assert!(report.phase_totals().reorg_secs > 0.0);
+    }
+
+    /// Sustained churn: every cycle inserts a fresh coordinate range and
+    /// retracts half of the previous cycle's — chunks accumulate
+    /// tombstones without ever emptying, the case on-demand compaction
+    /// left unbounded.
+    struct ChurnWorkload {
+        cycles: usize,
+        cells: usize,
+    }
+
+    const CHURN: ArrayId = ArrayId(4);
+
+    impl ChurnWorkload {
+        fn schema() -> ArraySchema {
+            ArraySchema::parse("C<v:double, s:string>[x=0:*,64]").unwrap()
+        }
+    }
+
+    impl Workload for ChurnWorkload {
+        fn name(&self) -> &'static str {
+            "churn"
+        }
+        fn cycles(&self) -> usize {
+            self.cycles
+        }
+        fn register_arrays(&self, catalog: &mut Catalog) {
+            catalog.register(query_engine::StoredArray::from_descriptors(
+                CHURN,
+                Self::schema(),
+                [],
+            ));
+        }
+        fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+            Vec::new()
+        }
+        fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+            use array_model::ScalarValue;
+            let mut batch = CellBatch::new(CHURN, &Self::schema());
+            let mut vals = Vec::with_capacity(2);
+            for i in 0..self.cells {
+                let x = (cycle * self.cells + i) as i64;
+                vals.push(ScalarValue::Double(x as f64));
+                vals.push(ScalarValue::Str(format!("tag{}", i % 50)));
+                batch.push(&[x], &mut vals);
+            }
+            if cycle > 0 {
+                // Every even coordinate of the previous cycle: each
+                // 64-cell chunk ends the cycle exactly half dead.
+                let prev = (cycle - 1) * self.cells;
+                for i in (0..self.cells).step_by(2) {
+                    batch.push_retraction(&[(prev + i) as i64]);
+                }
+            }
+            Some(vec![batch])
+        }
+        fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+            Vec::new()
+        }
+        fn grid_hint(&self) -> elastic_core::GridHint {
+            elastic_core::GridHint::new(vec![1024])
+        }
+        fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+            SuiteReport::default()
+        }
+    }
+
+    /// Physical rows and tombstones resident in placed payloads,
+    /// enumerated through the catalog's descriptor index.
+    fn resident_rows(runner: &WorkloadRunner<'_>) -> (u64, u64) {
+        let (mut physical, mut dead) = (0u64, 0u64);
+        for stored in runner.catalog().arrays() {
+            for coords in stored.descriptors.keys() {
+                let key = ChunkKey::new(stored.id, *coords);
+                let payload = runner.cluster().payload(&key).expect("materialized run");
+                physical += payload.physical_cell_count() as u64;
+                dead += payload.tombstone_count();
+            }
+        }
+        (physical, dead)
+    }
+
+    /// The automatic tombstone GC bounds resident rows under sustained
+    /// insert+retract churn; without it tombstones accumulate without
+    /// bound. Store and oracle compact in lockstep, so the attach
+    /// invariant and the oracle mirror both keep holding.
+    #[test]
+    fn tombstone_gc_bounds_resident_bytes_under_churn() {
+        let cycles = 4usize;
+        let cells = 2048usize;
+        let run = |ratio: f64| {
+            let mut cfg = config(PartitionerKind::RoundRobin);
+            cfg.run_queries = false;
+            cfg.gc_tombstone_ratio = ratio;
+            let mut runner = WorkloadRunner::new_owned(ChurnWorkload { cycles, cells }, cfg);
+            let report = runner.run_all().expect("churn run completes");
+            (report, runner)
+        };
+        let (gc_report, gc_runner) = run(0.5);
+        let (off_report, off_runner) = run(f64::INFINITY);
+
+        // GC on: every previous-cycle chunk crosses the 50 % threshold
+        // the cycle after its rows are inserted, so no tombstone
+        // survives the run and physical rows equal live rows.
+        let compacted: usize = gc_report.cycles.iter().map(|c| c.gc_compacted_chunks).sum();
+        assert_eq!(compacted, (cycles - 1) * cells / 64, "every churned chunk compacts once");
+        assert!(gc_report.cycles.iter().map(|c| c.gc_reclaimed_bytes).sum::<i64>() > 0);
+        let live = (cycles * cells - (cycles - 1) * cells / 2) as u64;
+        assert_eq!(resident_rows(&gc_runner), (live, 0), "resident == live, no tombstones");
+
+        // GC off: same logical state, but every tombstone stays resident.
+        assert_eq!(off_report.cycles.iter().map(|c| c.gc_compacted_chunks).sum::<usize>(), 0);
+        let dead = ((cycles - 1) * cells / 2) as u64;
+        assert_eq!(resident_rows(&off_runner), (live + dead, dead));
+
+        // Both runs carry identical live books, and the attach-time
+        // invariant (desc.bytes == payload.byte_size()) holds per chunk
+        // after GC's descriptor rewrites.
+        for runner in [&gc_runner, &off_runner] {
+            for stored in runner.catalog().arrays() {
+                for (coords, desc) in &stored.descriptors {
+                    let key = ChunkKey::new(stored.id, *coords);
+                    let payload = runner.cluster().payload(&key).expect("materialized run");
+                    assert_eq!(payload.byte_size(), desc.bytes);
+                    assert_eq!(payload.cell_count(), desc.cells);
+                    let oracle = stored
+                        .data
+                        .as_ref()
+                        .and_then(|d| d.chunk(coords))
+                        .expect("oracle mirrors the store");
+                    assert_eq!(oracle.byte_size(), payload.byte_size());
+                    assert_eq!(oracle.cell_count(), payload.cell_count());
+                }
+            }
+        }
+        // Compaction also dropped dangling dictionary entries, which
+        // tombstoning alone leaves on the books: the GC'd store ends
+        // strictly smaller even in *accounted* bytes.
+        assert!(
+            gc_runner.cluster().total_used() < off_runner.cluster().total_used(),
+            "GC books {} must undercut tombstoned books {}",
+            gc_runner.cluster().total_used(),
+            off_runner.cluster().total_used()
+        );
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! The incremental-view differential suite.
+//!
+//! Contract under test: a [`MaterializedView`] maintained in O(|Δ|) per
+//! cycle holds **bit-identical** state to a from-scratch recompute over
+//! the surviving cells — after every scale-out and rebalance, across
+//! all 8 partitioners, for dictionary-encoded and plain string storage,
+//! at replication k ∈ {1, 2}, through retraction cycles (with the
+//! automatic tombstone GC on, at its default threshold), through a
+//! scale-in trough that drains the array to nothing, and on a
+//! fault-injected twin whose crashes and failovers move bytes around
+//! underneath the view.
+//!
+//! The recompute oracle is mechanical: instantiate a *fresh* copy of
+//! the same [`ViewDef`] and feed it one bulk delta per input array,
+//! extracted from the catalog's whole-array oracle copy
+//! ([`DeltaSet::from_live_cells`]). Because view state depends only on
+//! the logical delta stream — never on placement — every leg's
+//! snapshots must also agree *across* partitioners, encodings, and
+//! replication factors, and the maintained identity view must equal
+//! the independent raw-cell oracle computed from the generator's
+//! batches alone.
+
+use array_model::DeltaSet;
+use elastic_array_db::prelude::*;
+use query_engine::view::{
+    AggKind, EmitFn, GroupKeyFn, JoinKeyFn, KeyScalar, MapFn, PredFn, RowOp, ValueFn, ViewDef,
+    ViewSnapshot,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use workloads::ais::{AisWorkload, BROADCAST};
+use workloads::modis::{ModisWorkload, BAND1, BAND2};
+use workloads::CellBatch;
+
+type Row = (Vec<i64>, Vec<ScalarValue>);
+
+fn config(
+    kind: PartitionerKind,
+    node_capacity: u64,
+    encoding: StringEncoding,
+    k: usize,
+) -> RunnerConfig {
+    RunnerConfig {
+        node_capacity,
+        initial_nodes: 2,
+        partitioner: kind,
+        scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
+        run_queries: false,
+        string_encoding: encoding,
+        replication: k,
+        ..RunnerConfig::default()
+    }
+}
+
+// -------------------------------------------------------------- oracle --
+
+/// From-scratch recompute: a fresh view over the same definition, fed
+/// one bulk insert-delta per input array from the catalog's whole-array
+/// oracle copy. Shares every finalization path with the incremental
+/// form, so agreement must be bit-exact, not approximate.
+fn recompute(def: &ViewDef, catalog: &Catalog) -> ViewSnapshot {
+    let mut fresh = def.instantiate();
+    for id in def.inputs() {
+        let stored = catalog.array(id).expect("view input is a registered array");
+        if let Some(data) = stored.data.as_ref() {
+            fresh.apply(id, &DeltaSet::from_live_cells(data));
+        }
+    }
+    fresh.snapshot()
+}
+
+/// Check every registered view against its recompute oracle.
+fn assert_views_match_recompute(runner: &WorkloadRunner<'_>, tag: &str) {
+    for v in runner.views().views() {
+        let want = recompute(v.def(), runner.catalog());
+        assert_eq!(
+            v.snapshot(),
+            want,
+            "{tag}: view '{}' diverged from from-scratch recompute",
+            v.name()
+        );
+    }
+}
+
+/// The independent raw-cell oracle: surviving rows of a retracting
+/// generator computed from the batches alone, without touching runner,
+/// cluster, catalog, or the view machinery.
+fn surviving_rows(w: &impl Workload, array: ArrayId) -> Vec<Row> {
+    let mut catalog = Catalog::new();
+    w.register_arrays(&mut catalog);
+    let dims = catalog.array(array).expect("registered").schema.dimensions.len();
+    let mut rows: BTreeMap<Vec<i64>, Vec<ScalarValue>> = BTreeMap::new();
+    for c in 0..w.cycles() {
+        for batch in w.cell_batch(c).unwrap_or_default() {
+            if batch.array != array {
+                continue;
+            }
+            for coords in batch.retractions_flat().chunks(dims) {
+                assert!(rows.remove(coords).is_some(), "retraction of a never-inserted cell");
+            }
+            for (coords, values) in batch.cells() {
+                assert!(rows.insert(coords, values).is_none(), "duplicate insert");
+            }
+        }
+    }
+    rows.into_iter().collect()
+}
+
+// --------------------------------------------------------------- views --
+
+fn numeric(v: &ScalarValue) -> f64 {
+    match v {
+        ScalarValue::Int32(i) => *i as f64,
+        ScalarValue::Int64(i) => *i as f64,
+        ScalarValue::Float(f) => *f as f64,
+        ScalarValue::Double(d) => *d,
+        ScalarValue::Char(c) => *c as f64,
+        ScalarValue::Str(_) => 0.0,
+    }
+}
+
+/// The AIS view set: an identity select (pinned against the raw-cell
+/// oracle), a filter+project pipeline, and one grouped aggregate per
+/// [`AggKind`] over an 8×8-coarsened lon/lat grid of vessel speeds.
+fn ais_views() -> Vec<ViewDef> {
+    let mut defs = Vec::new();
+    defs.push(ViewDef::select("all-rows", BROADCAST, Vec::new()));
+
+    let fast: PredFn = Arc::new(|_, v| numeric(&v[0]) >= 10.0);
+    let project: MapFn =
+        Arc::new(|c, v| (c.to_vec(), vec![v[6].clone(), v[0].clone(), v[8].clone()]));
+    defs.push(ViewDef::select(
+        "fast-vessels",
+        BROADCAST,
+        vec![RowOp::Filter(fast), RowOp::Map(project)],
+    ));
+
+    let grid: GroupKeyFn = Arc::new(|c, _| vec![c[1].div_euclid(8), c[2].div_euclid(8)]);
+    let speed: ValueFn = Arc::new(|_, v| numeric(&v[0]));
+    for agg in [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max] {
+        defs.push(ViewDef::aggregate(
+            format!("grid-speed-{agg:?}"),
+            BROADCAST,
+            Vec::new(),
+            grid.clone(),
+            speed.clone(),
+            agg,
+        ));
+    }
+    defs
+}
+
+// ----------------------------------------------------------- AIS legs --
+
+/// One retracting AIS run with the full view set registered: every view
+/// must match its recompute oracle *after every cycle*, and the
+/// identity view must equal the independent raw-cell oracle at the end.
+/// Returns the end-of-run snapshots for cross-leg comparison.
+fn run_ais_views(
+    w: &AisWorkload,
+    kind: PartitionerKind,
+    node_capacity: u64,
+    encoding: StringEncoding,
+    k: usize,
+) -> Vec<(String, ViewSnapshot)> {
+    let tag = format!("{kind}/{encoding:?}/k{k}");
+    let mut runner = WorkloadRunner::new(w, config(kind, node_capacity, encoding, k));
+    for def in ais_views() {
+        runner.register_view(def);
+    }
+    let mut delta_rows = 0u64;
+    let mut retracted = 0u64;
+    for c in 0..w.cycles {
+        let report = runner.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: cycle {c}: {e}"));
+        delta_rows += report.view_delta_rows;
+        retracted += report.retracted_cells;
+        assert_views_match_recompute(&runner, &format!("{tag}/cycle{c}"));
+    }
+    assert!(delta_rows > 0, "{tag}: no deltas reached the views");
+    assert!(retracted > 0, "{tag}: no vessel went dark — vacuous differential");
+
+    // The identity view equals the independent raw-cell oracle, with
+    // every weight exactly 1.
+    let oracle = surviving_rows(w, BROADCAST);
+    let got: Vec<Row> = runner
+        .views()
+        .view("all-rows")
+        .expect("registered")
+        .output_rows()
+        .into_iter()
+        .map(|(row, weight)| {
+            assert_eq!(weight, 1, "{tag}: duplicate or phantom row in the identity view");
+            row
+        })
+        .collect();
+    assert_eq!(got, oracle, "{tag}: identity view differs from the survivor oracle");
+    assert!(
+        !runner.views().view("fast-vessels").unwrap().output_rows().is_empty(),
+        "{tag}: filter view empty — vacuous"
+    );
+
+    runner.views().views().iter().map(|v| (v.name().to_string(), v.snapshot())).collect()
+}
+
+fn run_ais_matrix(cells_per_cycle: u64, cycles: usize, kinds: &[PartitionerKind], ks: &[usize]) {
+    let w = AisWorkload { cycles, scale: 0.05, seed: 21, cells_per_cycle, dark_vessel_rate: 4 };
+    let node_capacity = cells_per_cycle * 90;
+    let mut reference: Option<Vec<(String, ViewSnapshot)>> = None;
+    for &kind in kinds {
+        for &k in ks {
+            for encoding in [StringEncoding::default(), StringEncoding::Plain] {
+                let got = run_ais_views(&w, kind, node_capacity, encoding, k);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(
+                        &got, want,
+                        "{kind}/{encoding:?}/k{k}: view state depends on placement"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- MODIS leg --
+
+/// The MODIS view set: an NDVI hash-join of band 1 against band 2 on
+/// full cell coordinates, and a per-day mean radiance over band 1.
+fn modis_views() -> Vec<ViewDef> {
+    let key: JoinKeyFn = Arc::new(|c, _| c.iter().map(|&x| KeyScalar::Int(x)).collect());
+    let emit: EmitFn = Arc::new(|l, r| {
+        let (b1, b2) = (numeric(&l.1[1]), numeric(&r.1[1]));
+        (l.0.clone(), vec![ScalarValue::Double((b2 - b1) / (b2 + b1 + 1e-9))])
+    });
+    let ndvi = ViewDef::join("ndvi", BAND1, BAND2, Vec::new(), Vec::new(), key.clone(), key, emit);
+    let day: GroupKeyFn = Arc::new(|c, _| vec![c[0].div_euclid(1440)]);
+    let radiance: ValueFn = Arc::new(|_, v| numeric(&v[1]));
+    let daily =
+        ViewDef::aggregate("daily-radiance", BAND1, Vec::new(), day, radiance, AggKind::Avg);
+    vec![ndvi, daily]
+}
+
+/// MODIS tile-TTL expiry: the join view's indexed per-key state takes
+/// retractions on *both* sides (each expired day drops its band-1 and
+/// band-2 rows), and must still match recompute every cycle.
+fn run_modis_views(cells_per_cycle: u64, days: usize, kind: PartitionerKind, k: usize) {
+    let tag = format!("{kind}/modis-ttl/k{k}");
+    let w = ModisWorkload { days, scale: 0.05, seed: 33, cells_per_cycle, ttl_days: 1 };
+    let mut runner =
+        WorkloadRunner::new(&w, config(kind, cells_per_cycle * 95, StringEncoding::default(), k));
+    for def in modis_views() {
+        runner.register_view(def);
+    }
+    let mut retracted = 0u64;
+    for c in 0..days {
+        let report = runner.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: cycle {c}: {e}"));
+        retracted += report.retracted_cells;
+        assert_views_match_recompute(&runner, &format!("{tag}/cycle{c}"));
+    }
+    assert!(retracted > 0, "{tag}: TTL never expired a tile — vacuous");
+    let ndvi = runner.views().view("ndvi").expect("registered");
+    assert!(!ndvi.output_rows().is_empty(), "{tag}: join view found no partners — vacuous");
+}
+
+// -------------------------------------------------------- scale-in leg --
+
+/// Grows for `grow` cycles, then retracts one old cycle per cycle until
+/// the array is empty — the staircase walks the cluster back down, and
+/// the views must drain to empty through scale-in drains and GC
+/// compactions.
+#[derive(Clone)]
+struct GrowShrinkWorkload {
+    cycles: usize,
+    grow: usize,
+    cells: usize,
+}
+
+const TROUGH: ArrayId = ArrayId(7);
+
+impl GrowShrinkWorkload {
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("T<v:double>[x=0:*,64]").unwrap()
+    }
+}
+
+impl Workload for GrowShrinkWorkload {
+    fn name(&self) -> &'static str {
+        "grow-shrink"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        catalog.register(StoredArray::from_descriptors(TROUGH, Self::schema(), []));
+    }
+    fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        let mut batch = CellBatch::new(TROUGH, &Self::schema());
+        if cycle < self.grow {
+            let mut vals = Vec::with_capacity(1);
+            for i in 0..self.cells {
+                let x = (cycle * self.cells + i) as i64;
+                vals.push(ScalarValue::Double((x % 97) as f64 - 48.0));
+                batch.push(&[x], &mut vals);
+            }
+        }
+        let old = cycle.wrapping_sub(self.grow);
+        if cycle >= self.grow && old < self.grow {
+            for i in 0..self.cells {
+                batch.push_retraction(&[(old * self.cells + i) as i64]);
+            }
+        }
+        Some(vec![batch])
+    }
+    fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![1024])
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
+#[test]
+fn scale_in_trough_drains_views_to_empty() {
+    // 16 B/cell: 2048 cells fill exactly two 16 KB nodes, so the run
+    // climbs the staircase and then walks it back down as deletes land.
+    let w = GrowShrinkWorkload { cycles: 6, grow: 3, cells: 2048 };
+    let mut cfg = config(PartitionerKind::RoundRobin, 16_384, StringEncoding::default(), 1);
+    cfg.scaling = ScalingPolicy::Staircase(StaircaseConfig {
+        node_capacity_gb: 16_384.0 / 1e9,
+        samples: 2,
+        plan_ahead: 1,
+        trigger: 1.0,
+        shrink_margin: 0.75,
+    });
+    let mut runner = WorkloadRunner::new(&w, cfg);
+    runner.register_view(ViewDef::select("all-rows", TROUGH, Vec::new()));
+    let bucket: GroupKeyFn = Arc::new(|c, _| vec![c[0].div_euclid(256)]);
+    let value: ValueFn = Arc::new(|_, v| numeric(&v[0]));
+    for agg in [AggKind::Sum, AggKind::Min, AggKind::Max] {
+        runner.register_view(ViewDef::aggregate(
+            format!("bucket-{agg:?}"),
+            TROUGH,
+            Vec::new(),
+            bucket.clone(),
+            value.clone(),
+            agg,
+        ));
+    }
+    let mut removed = 0usize;
+    let mut peak_groups = 0usize;
+    for c in 0..w.cycles {
+        let report = runner.run_cycle(c).unwrap_or_else(|e| panic!("trough cycle {c}: {e}"));
+        removed += report.removed_nodes;
+        assert_views_match_recompute(&runner, &format!("trough/cycle{c}"));
+        peak_groups =
+            peak_groups.max(runner.views().view("bucket-Sum").unwrap().group_rows().len());
+    }
+    assert!(removed > 0, "the trough never scaled in — the leg is vacuous");
+    assert!(peak_groups > 0, "the aggregate views never held a group");
+    // Every insert was retracted: every view drained to exactly empty —
+    // no leftover group, no weight-zero residue.
+    for v in runner.views().views() {
+        let snap = v.snapshot();
+        assert!(
+            snap.rows.is_empty() && snap.groups.is_empty(),
+            "view '{}' holds residue after a full drain",
+            v.name()
+        );
+    }
+}
+
+// ------------------------------------------------------ faulted twin --
+
+/// The scripted fault schedule the retraction and recovery suites use:
+/// a crash with flaky repair flows, a crash right after a rebalance,
+/// and a revival of the first casualty.
+fn fault_schedule(k: usize) -> FaultPlan {
+    FaultPlan::new(0xE1A5 + k as u64)
+        .at(1, FaultKind::Crash(1))
+        .at(1, FaultKind::FlakyFlows { p: 0.1 })
+        .at(2, FaultKind::CrashDuringRebalance(2))
+        .at(3, FaultKind::Revive(1))
+}
+
+/// Crashes, failovers, and repairs move bytes, never logical cells: the
+/// faulted run's views must stay bit-identical to the fault-free twin's
+/// (and to recompute) every cycle.
+fn run_faulted_twin(w: &AisWorkload, kind: PartitionerKind, k: usize) {
+    let tag = format!("{kind}/faulted/k{k}");
+    let node_capacity = w.cells_per_cycle * 90;
+    let mk = |plan: Option<FaultPlan>| {
+        let mut cfg = config(kind, node_capacity, StringEncoding::default(), k);
+        cfg.initial_nodes = k + 2;
+        cfg.fault_plan = plan;
+        cfg
+    };
+    let mut faulted = WorkloadRunner::new(w, mk(Some(fault_schedule(k))));
+    let mut clean = WorkloadRunner::new(w, mk(None));
+    for def in ais_views() {
+        faulted.register_view(def.clone());
+        clean.register_view(def);
+    }
+    let mut crashed = 0usize;
+    for c in 0..w.cycles {
+        let fr = faulted.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: faulted cycle {c}: {e}"));
+        clean.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: clean cycle {c}: {e}"));
+        crashed += fr.crashed_nodes;
+        for (fv, cv) in faulted.views().views().iter().zip(clean.views().views()) {
+            assert_eq!(
+                fv.snapshot(),
+                cv.snapshot(),
+                "{tag}/cycle{c}: view '{}' saw a fault",
+                fv.name()
+            );
+        }
+        assert_views_match_recompute(&faulted, &format!("{tag}/cycle{c}"));
+    }
+    assert!(crashed > 0, "{tag}: the schedule never crashed a node — vacuous");
+}
+
+// -------------------------------------------------------------- tests --
+
+/// All 8 partitioners at dict/k=1: per-cycle recompute agreement plus
+/// placement independence (every partitioner ends with the same bits).
+#[test]
+fn ais_views_match_recompute_across_all_partitioners() {
+    run_ais_matrix(1_200, 3, &PartitionerKind::ALL, &[1]);
+}
+
+/// The encoding × replication matrix on a space partitioner and a hash
+/// spread; the full 8-way matrix runs in release via `delta_smoke`.
+#[test]
+fn ais_views_encoding_replication_matrix() {
+    run_ais_matrix(
+        900,
+        3,
+        &[PartitionerKind::HilbertCurve, PartitionerKind::ConsistentHash],
+        &[1, 2],
+    );
+}
+
+#[test]
+fn modis_join_view_matches_recompute_under_ttl_expiry() {
+    for kind in [PartitionerKind::UniformRange, PartitionerKind::RoundRobin] {
+        run_modis_views(900, 3, kind, 1);
+    }
+    run_modis_views(900, 3, PartitionerKind::ConsistentHash, 2);
+}
+
+#[test]
+fn faulted_twin_views_match_fault_free() {
+    let w = AisWorkload {
+        cycles: 4,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 1_200,
+        dark_vessel_rate: 4,
+    };
+    for kind in [PartitionerKind::HilbertCurve, PartitionerKind::ConsistentHash] {
+        run_faulted_twin(&w, kind, 2);
+    }
+}
+
+/// Heavier CI smoke: the full partitioner matrix at scale for the AIS
+/// view set, MODIS TTL joins, and faulted twins. Run with
+/// `cargo test --release --test incremental_views -- --ignored delta_smoke`.
+#[test]
+#[ignore = "heavy: run in release via the delta-smoke CI job"]
+fn delta_smoke() {
+    run_ais_matrix(4_000, 4, &PartitionerKind::ALL, &[1, 2]);
+    for kind in PartitionerKind::ALL {
+        run_modis_views(2_000, 4, kind, 2);
+    }
+    let w = AisWorkload {
+        cycles: 4,
+        scale: 0.05,
+        seed: 21,
+        cells_per_cycle: 4_000,
+        dark_vessel_rate: 4,
+    };
+    for kind in PartitionerKind::ALL {
+        run_faulted_twin(&w, kind, 2);
+    }
+}
