@@ -340,6 +340,13 @@ impl Array {
         self.chunks.iter()
     }
 
+    /// The shared handle of the chunk at `coords`, if one exists. O(log
+    /// chunks) — checkpoint recovery re-aliases node payload stores
+    /// through this without scanning the whole array.
+    pub fn shared_chunk(&self, coords: &ChunkCoords) -> Option<&Arc<Chunk>> {
+        self.chunks.get(coords)
+    }
+
     /// Metadata descriptors for every chunk, in deterministic order.
     pub fn descriptors(&self) -> Vec<ChunkDescriptor> {
         self.chunks.values().map(|c| c.descriptor(self.id)).collect()
@@ -348,6 +355,53 @@ impl Array {
     /// The key a chunk at `coords` would have.
     pub fn key_for(&self, coords: &ChunkCoords) -> ChunkKey {
         ChunkKey::new(self.id, *coords)
+    }
+
+    /// Serialize the whole array — id, schema, build encoding, and every
+    /// chunk verbatim — for checkpoints.
+    pub fn encode_into(&self, w: &mut durability::ByteWriter) {
+        self.id.encode_into(w);
+        self.schema.encode_into(w);
+        self.encoding.encode_into(w);
+        w.put_usize(self.chunks.len());
+        for chunk in self.chunks.values() {
+            chunk.encode_into(w);
+        }
+    }
+
+    /// Decode an array written by [`Array::encode_into`]. Chunks reattach
+    /// at their own coordinates; a payload whose chunk coordinates
+    /// collide or whose stride disagrees with the schema is rejected.
+    pub fn decode_from(
+        r: &mut durability::ByteReader<'_>,
+    ) -> std::result::Result<Self, durability::CodecError> {
+        use durability::CodecError;
+        let id = ArrayId::decode_from(r)?;
+        let schema = ArraySchema::decode_from(r)?;
+        let encoding = StringEncoding::decode_from(r)?;
+        let n = r.usize("array chunk count")?;
+        let mut chunks = BTreeMap::new();
+        for _ in 0..n {
+            let chunk = Chunk::decode_from(r)?;
+            if chunk.coords.ndims() != schema.ndims() {
+                return Err(CodecError::Invalid {
+                    context: "array chunk",
+                    detail: format!(
+                        "chunk at {} has {} dims, schema has {}",
+                        chunk.coords,
+                        chunk.coords.ndims(),
+                        schema.ndims()
+                    ),
+                });
+            }
+            if chunks.insert(chunk.coords, Arc::new(chunk)).is_some() {
+                return Err(CodecError::Invalid {
+                    context: "array chunk",
+                    detail: "duplicate chunk coordinates".to_string(),
+                });
+            }
+        }
+        Ok(Array { id, schema, chunks, encoding })
     }
 }
 

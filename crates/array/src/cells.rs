@@ -228,6 +228,75 @@ impl CellBuffer {
         Ok(out)
     }
 
+    /// Serialize the batch verbatim — stride, flat coordinates, typed
+    /// columns (transport dictionaries included), and retractions — for
+    /// the write-ahead log. Replaying a decoded batch through the same
+    /// insert path is bit-identical to replaying the original.
+    pub fn encode_into(&self, w: &mut durability::ByteWriter) {
+        w.put_usize(self.ndims);
+        w.put_usize(self.coords.len());
+        for &c in &self.coords {
+            w.put_i64(c);
+        }
+        w.put_usize(self.columns.len());
+        for col in &self.columns {
+            col.encode_into(w);
+        }
+        w.put_usize(self.retractions.len());
+        for &c in &self.retractions {
+            w.put_i64(c);
+        }
+    }
+
+    /// Decode a batch written by [`CellBuffer::encode_into`].
+    pub fn decode_from(
+        r: &mut durability::ByteReader<'_>,
+    ) -> std::result::Result<Self, durability::CodecError> {
+        use durability::CodecError;
+        let ndims = r.usize("batch ndims")?;
+        if ndims > crate::coords::MAX_DIMS {
+            return Err(CodecError::Invalid {
+                context: "batch ndims",
+                detail: format!("{ndims} exceeds MAX_DIMS {}", crate::coords::MAX_DIMS),
+            });
+        }
+        let n_coords = r.usize("batch coord count")?;
+        let mut coords = Vec::with_capacity(n_coords.min(1 << 20));
+        for _ in 0..n_coords {
+            coords.push(r.i64("batch coord")?);
+        }
+        if ndims > 0 && coords.len() % ndims != 0 {
+            return Err(CodecError::Invalid {
+                context: "batch coord count",
+                detail: format!("{} not a multiple of ndims {ndims}", coords.len()),
+            });
+        }
+        let ncols = r.usize("batch column count")?;
+        let mut columns = Vec::with_capacity(ncols.min(256));
+        for _ in 0..ncols {
+            columns.push(AttributeColumn::decode_from(r)?);
+        }
+        let rows = coords.len().checked_div(ndims).unwrap_or(0);
+        if let Some(bad) = columns.iter().find(|c| c.len() != rows) {
+            return Err(CodecError::Invalid {
+                context: "batch column",
+                detail: format!("column holds {} values, batch has {rows} rows", bad.len()),
+            });
+        }
+        let n_retr = r.usize("batch retraction count")?;
+        let mut retractions = Vec::with_capacity(n_retr.min(1 << 20));
+        for _ in 0..n_retr {
+            retractions.push(r.i64("batch retraction coord")?);
+        }
+        if ndims > 0 && retractions.len() % ndims != 0 {
+            return Err(CodecError::Invalid {
+                context: "batch retraction count",
+                detail: format!("{} not a multiple of ndims {ndims}", retractions.len()),
+            });
+        }
+        Ok(CellBuffer { ndims, coords, columns, retractions })
+    }
+
     /// Materialize the rows back into `(coords, values)` form — the shape
     /// differential oracles and tests consume. O(rows × attrs) with one
     /// allocation per row per side; not for hot paths.

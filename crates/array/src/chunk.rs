@@ -491,6 +491,34 @@ impl Chunk {
         freed
     }
 
+    /// Bytes held by dictionary entries that no **live** row references:
+    /// the storage retractions strand inside dict-encoded string columns.
+    /// Tombstoning a row frees only its 4-byte code — the interned string
+    /// it pointed at stays resident until [`Chunk::compact`] rebuilds the
+    /// column — so under churny workloads these dangling entries grow
+    /// without ever moving `tombstone_count` relative to fresh inserts.
+    /// The byte accounting matches the build-side dictionary charge
+    /// (`len + 4` per entry). O(physical rows × dict columns); zero for
+    /// plain-encoded chunks.
+    pub fn dangling_dict_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for col in &self.columns {
+            let Some(dc) = col.as_dict() else { continue };
+            let mut live = vec![false; dc.dict().len()];
+            for (_, row) in self.iter_cells() {
+                if let Some(&code) = dc.codes().get(row) {
+                    live[code as usize] = true;
+                }
+            }
+            for (code, s) in dc.dict().strings().iter().enumerate() {
+                if !live[code] {
+                    total += s.len() as u64 + 4;
+                }
+            }
+        }
+        total
+    }
+
     /// Reclaim tombstoned rows: rebuild the coordinate buffer and every
     /// column from the surviving rows, under the chunk's original string
     /// encoding — so dictionary entries with no remaining references are
@@ -540,6 +568,136 @@ impl Chunk {
             bytes: self.bytes,
             cells: self.cells,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Durable codecs: a chunk round-trips field-for-field (including the
+// tombstone bitmap's trailing zero words and the running byte/cell
+// counters), so a decoded chunk is `==` to the one that was encoded —
+// not merely logically equivalent.
+// ---------------------------------------------------------------------
+
+use durability::{ByteReader, ByteWriter, CodecError};
+
+impl ArrayId {
+    /// Serialize the raw id.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.0);
+    }
+
+    /// Decode an id written by [`ArrayId::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        Ok(ArrayId(r.u32("array id")?))
+    }
+}
+
+impl ChunkKey {
+    /// Serialize array id + chunk coordinates.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.array.encode_into(w);
+        self.coords.encode_into(w);
+    }
+
+    /// Decode a key written by [`ChunkKey::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        Ok(ChunkKey { array: ArrayId::decode_from(r)?, coords: ChunkCoords::decode_from(r)? })
+    }
+}
+
+impl ChunkDescriptor {
+    /// Serialize key + byte/cell totals.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.key.encode_into(w);
+        w.put_u64(self.bytes);
+        w.put_u64(self.cells);
+    }
+
+    /// Decode a descriptor written by [`ChunkDescriptor::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        Ok(ChunkDescriptor {
+            key: ChunkKey::decode_from(r)?,
+            bytes: r.u64("descriptor bytes")?,
+            cells: r.u64("descriptor cells")?,
+        })
+    }
+}
+
+impl Chunk {
+    /// Serialize every field verbatim: coordinates, the flat SoA cell
+    /// coordinate buffer, each attribute column in its current physical
+    /// representation, the running counters, the tombstone bitmap, and
+    /// the build encoding.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.coords.encode_into(w);
+        w.put_u8(self.ndims);
+        w.put_usize(self.cell_coords.len());
+        for &v in &self.cell_coords {
+            w.put_i64(v);
+        }
+        w.put_usize(self.columns.len());
+        for col in &self.columns {
+            col.encode_into(w);
+        }
+        w.put_u64(self.bytes);
+        w.put_u64(self.cells);
+        w.put_usize(self.tombstones.len());
+        for &word in &self.tombstones {
+            w.put_u64(word);
+        }
+        self.encoding.encode_into(w);
+    }
+
+    /// Decode a chunk written by [`Chunk::encode_into`]. Cross-field
+    /// shape invariants (coordinate stride, column row counts) are
+    /// re-validated so a damaged payload yields an error, not a chunk
+    /// that panics later.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        let coords = ChunkCoords::decode_from(r)?;
+        let ndims = r.u8("chunk ndims")?;
+        let n_coords = r.usize("cell coord count")?;
+        let mut cell_coords = Vec::with_capacity(n_coords.min(1 << 20));
+        for _ in 0..n_coords {
+            cell_coords.push(r.i64("cell coord")?);
+        }
+        if ndims > 0 && cell_coords.len() % ndims as usize != 0 {
+            return Err(CodecError::Invalid {
+                context: "cell coord count",
+                detail: format!("{} not a multiple of ndims {ndims}", cell_coords.len()),
+            });
+        }
+        let ncols = r.usize("chunk column count")?;
+        let mut columns = Vec::with_capacity(ncols.min(256));
+        for _ in 0..ncols {
+            columns.push(AttributeColumn::decode_from(r)?);
+        }
+        let rows = if ndims == 0 { 0 } else { cell_coords.len() / ndims as usize };
+        if let Some(bad) = columns.iter().find(|c| c.len() != rows) {
+            return Err(CodecError::Invalid {
+                context: "chunk column",
+                detail: format!("column holds {} values, chunk has {rows} rows", bad.len()),
+            });
+        }
+        let bytes = r.u64("chunk bytes")?;
+        let cells = r.u64("chunk cells")?;
+        let n_words = r.usize("tombstone word count")?;
+        let mut tombstones = Vec::with_capacity(n_words.min(1 << 16));
+        for _ in 0..n_words {
+            tombstones.push(r.u64("tombstone word")?);
+        }
+        let dead: u64 = tombstones.iter().map(|w| u64::from(w.count_ones())).sum();
+        let live = (rows as u64).checked_sub(dead).ok_or_else(|| CodecError::Invalid {
+            context: "tombstone bitmap",
+            detail: format!("{dead} tombstones exceed {rows} physical rows"),
+        })?;
+        if live != cells {
+            return Err(CodecError::Invalid {
+                context: "chunk cells",
+                detail: format!("counter says {cells} live cells, bitmap leaves {live}"),
+            });
+        }
+        let encoding = StringEncoding::decode_from(r)?;
+        Ok(Chunk { coords, ndims, cell_coords, columns, bytes, cells, tombstones, encoding })
     }
 }
 

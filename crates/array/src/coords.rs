@@ -174,6 +174,36 @@ impl ChunkCoords {
     }
 }
 
+impl ChunkCoords {
+    /// Serialize as the live index sequence (the same shape the serde
+    /// contract above promises): a length byte plus `ndims` raw `i64`s.
+    pub fn encode_into(&self, w: &mut durability::ByteWriter) {
+        w.put_u8(self.len);
+        for &v in self.as_slice() {
+            w.put_i64(v);
+        }
+    }
+
+    /// Decode coordinates written by [`ChunkCoords::encode_into`],
+    /// rejecting lengths above [`MAX_DIMS`].
+    pub fn decode_from(
+        r: &mut durability::ByteReader<'_>,
+    ) -> std::result::Result<Self, durability::CodecError> {
+        let len = r.u8("chunk coord arity")?;
+        if usize::from(len) > MAX_DIMS {
+            return Err(durability::CodecError::Invalid {
+                context: "chunk coord arity",
+                detail: format!("{len} exceeds MAX_DIMS {MAX_DIMS}"),
+            });
+        }
+        let mut out = ChunkCoords::zeros(usize::from(len));
+        for slot in out.as_mut_slice() {
+            *slot = r.i64("chunk coord index")?;
+        }
+        Ok(out)
+    }
+}
+
 impl PartialEq for ChunkCoords {
     #[inline]
     fn eq(&self, other: &Self) -> bool {

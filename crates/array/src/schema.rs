@@ -273,6 +273,68 @@ fn parse_err(msg: &str) -> ArrayError {
     ArrayError::Parse(msg.to_string())
 }
 
+impl ArraySchema {
+    /// Serialize structurally (not via the display text) into a durable
+    /// payload.
+    pub fn encode_into(&self, w: &mut durability::ByteWriter) {
+        w.put_str(&self.name);
+        w.put_usize(self.attributes.len());
+        for a in &self.attributes {
+            w.put_str(&a.name);
+            w.put_str(a.ty.name());
+        }
+        w.put_usize(self.dimensions.len());
+        for d in &self.dimensions {
+            w.put_str(&d.name);
+            w.put_i64(d.start);
+            match d.end {
+                Some(end) => {
+                    w.put_bool(true);
+                    w.put_i64(end);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_i64(d.chunk_interval);
+        }
+    }
+
+    /// Decode a schema written by [`ArraySchema::encode_into`]. The
+    /// decoded schema re-runs construction validation, so a corrupted
+    /// payload cannot smuggle in an invalid shape.
+    pub fn decode_from(
+        r: &mut durability::ByteReader<'_>,
+    ) -> std::result::Result<Self, durability::CodecError> {
+        use durability::CodecError;
+        let name = r.str("schema name")?;
+        let nattrs = r.usize("schema attribute count")?;
+        let mut attributes = Vec::with_capacity(nattrs.min(1024));
+        for _ in 0..nattrs {
+            let aname = r.str("attribute name")?;
+            let ty_name = r.str("attribute type")?;
+            let ty = AttributeType::parse(&ty_name).ok_or_else(|| CodecError::Invalid {
+                context: "attribute type",
+                detail: format!("unknown type `{ty_name}`"),
+            })?;
+            attributes.push(AttributeDef::new(aname, ty));
+        }
+        let ndims = r.usize("schema dimension count")?;
+        let mut dimensions = Vec::with_capacity(ndims.min(crate::coords::MAX_DIMS));
+        for _ in 0..ndims {
+            let dname = r.str("dimension name")?;
+            let start = r.i64("dimension start")?;
+            let end = if r.bool("dimension bounded flag")? {
+                Some(r.i64("dimension end")?)
+            } else {
+                None
+            };
+            let chunk_interval = r.i64("dimension chunk interval")?;
+            dimensions.push(DimensionDef { name: dname, start, end, chunk_interval });
+        }
+        ArraySchema::new(name, attributes, dimensions)
+            .map_err(|e| CodecError::Invalid { context: "array schema", detail: e.to_string() })
+    }
+}
+
 impl fmt::Display for ArraySchema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}<", self.name)?;

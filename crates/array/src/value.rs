@@ -775,6 +775,255 @@ impl AttributeColumn {
     }
 }
 
+// ---------------------------------------------------------------------
+// Durable codecs. Encodings are structural and bit-exact: floats travel
+// as raw bit patterns, dictionaries as their strings in code order (the
+// hash index and collision list are deterministic functions of that
+// order, so re-interning reproduces them exactly).
+// ---------------------------------------------------------------------
+
+use durability::{ByteReader, ByteWriter, CodecError};
+
+impl ScalarValue {
+    /// Serialize as a one-byte type tag plus the payload.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            ScalarValue::Int32(v) => {
+                w.put_u8(0);
+                w.put_u32(*v as u32);
+            }
+            ScalarValue::Int64(v) => {
+                w.put_u8(1);
+                w.put_i64(*v);
+            }
+            ScalarValue::Float(v) => {
+                w.put_u8(2);
+                w.put_u32(v.to_bits());
+            }
+            ScalarValue::Double(v) => {
+                w.put_u8(3);
+                w.put_f64(*v);
+            }
+            ScalarValue::Char(v) => {
+                w.put_u8(4);
+                w.put_u8(*v);
+            }
+            ScalarValue::Str(v) => {
+                w.put_u8(5);
+                w.put_str(v);
+            }
+        }
+    }
+
+    /// Decode a value written by [`ScalarValue::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8("scalar tag")? {
+            0 => ScalarValue::Int32(r.u32("int32 value")? as i32),
+            1 => ScalarValue::Int64(r.i64("int64 value")?),
+            2 => ScalarValue::Float(f32::from_bits(r.u32("float bits")?)),
+            3 => ScalarValue::Double(r.f64("double value")?),
+            4 => ScalarValue::Char(r.u8("char value")?),
+            5 => ScalarValue::Str(r.str("string value")?),
+            t => {
+                return Err(CodecError::Invalid {
+                    context: "scalar tag",
+                    detail: format!("unknown tag {t}"),
+                })
+            }
+        })
+    }
+}
+
+impl StringEncoding {
+    /// Serialize as a tag byte (0 = plain, 1 = dict + cap).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            StringEncoding::Plain => w.put_u8(0),
+            StringEncoding::Dict { cap } => {
+                w.put_u8(1);
+                w.put_u32(*cap);
+            }
+        }
+    }
+
+    /// Decode an encoding written by [`StringEncoding::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.u8("string encoding tag")? {
+            0 => Ok(StringEncoding::Plain),
+            1 => Ok(StringEncoding::Dict { cap: r.u32("dict cap")? }),
+            t => Err(CodecError::Invalid {
+                context: "string encoding tag",
+                detail: format!("unknown tag {t}"),
+            }),
+        }
+    }
+}
+
+impl StringDict {
+    fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_usize(self.strings.len());
+        for s in &self.strings {
+            w.put_str(s);
+        }
+    }
+
+    /// Rebuild by re-interning in code order. The original dictionary was
+    /// built first-appearance order too, so the hash index and collision
+    /// list come out identical, not merely equivalent.
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n = r.usize("dict entry count")?;
+        let mut dict = StringDict::new();
+        for _ in 0..n {
+            let s = r.str("dict entry")?;
+            if dict.code_of(&s).is_some() {
+                return Err(CodecError::Invalid {
+                    context: "dict entry",
+                    detail: format!("duplicate interned string {s:?}"),
+                });
+            }
+            dict.intern_new(s);
+        }
+        Ok(dict)
+    }
+}
+
+impl DictColumn {
+    fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.cap);
+        self.dict.encode_into(w);
+        w.put_usize(self.codes.len());
+        for &c in &self.codes {
+            w.put_u32(c);
+        }
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let cap = r.u32("dict cap")?;
+        let dict = StringDict::decode_from(r)?;
+        let n = r.usize("dict code count")?;
+        let mut codes = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let c = r.u32("dict code")?;
+            if c as usize >= dict.len() {
+                return Err(CodecError::Invalid {
+                    context: "dict code",
+                    detail: format!("code {c} out of range for {} entries", dict.len()),
+                });
+            }
+            codes.push(c);
+        }
+        Ok(DictColumn { codes, dict, cap })
+    }
+}
+
+impl AttributeColumn {
+    /// Serialize as a one-byte representation tag plus the packed values.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            AttributeColumn::Int32(v) => {
+                w.put_u8(0);
+                w.put_usize(v.len());
+                for &x in v {
+                    w.put_u32(x as u32);
+                }
+            }
+            AttributeColumn::Int64(v) => {
+                w.put_u8(1);
+                w.put_usize(v.len());
+                for &x in v {
+                    w.put_i64(x);
+                }
+            }
+            AttributeColumn::Float(v) => {
+                w.put_u8(2);
+                w.put_usize(v.len());
+                for &x in v {
+                    w.put_u32(x.to_bits());
+                }
+            }
+            AttributeColumn::Double(v) => {
+                w.put_u8(3);
+                w.put_usize(v.len());
+                for &x in v {
+                    w.put_f64(x);
+                }
+            }
+            AttributeColumn::Char(v) => {
+                w.put_u8(4);
+                w.put_bytes(v);
+            }
+            AttributeColumn::Str(v) => {
+                w.put_u8(5);
+                w.put_usize(v.len());
+                for x in v {
+                    w.put_str(x);
+                }
+            }
+            AttributeColumn::Dict(d) => {
+                w.put_u8(6);
+                d.encode_into(w);
+            }
+        }
+    }
+
+    /// Decode a column written by [`AttributeColumn::encode_into`]. The
+    /// physical representation (plain vs dict, spilled or not) round-trips
+    /// exactly — recovery must not re-encode columns differently than the
+    /// crashed process stored them.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8("column tag")? {
+            0 => {
+                let n = r.usize("int32 column len")?;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.u32("int32 cell")? as i32);
+                }
+                AttributeColumn::Int32(v)
+            }
+            1 => {
+                let n = r.usize("int64 column len")?;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.i64("int64 cell")?);
+                }
+                AttributeColumn::Int64(v)
+            }
+            2 => {
+                let n = r.usize("float column len")?;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(f32::from_bits(r.u32("float cell")?));
+                }
+                AttributeColumn::Float(v)
+            }
+            3 => {
+                let n = r.usize("double column len")?;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.f64("double cell")?);
+                }
+                AttributeColumn::Double(v)
+            }
+            4 => AttributeColumn::Char(r.bytes("char column")?.to_vec()),
+            5 => {
+                let n = r.usize("string column len")?;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.str("string cell")?);
+                }
+                AttributeColumn::Str(v)
+            }
+            6 => AttributeColumn::Dict(DictColumn::decode_from(r)?),
+            t => {
+                return Err(CodecError::Invalid {
+                    context: "column tag",
+                    detail: format!("unknown tag {t}"),
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,221 @@
+//! Write-ahead log costs: what durability charges the ingest loop.
+//!
+//! Three measurements pin it. **Append** times the hot-path tax per
+//! logged insert event — encode the cell batch, frame it with the
+//! magic/len/crc32 header, append to the store. **Recover/replay**
+//! times a cold
+//! start that re-executes the whole run from the log alone
+//! (checkpoints disabled). **Recover/checkpoint** times the same cold
+//! start against a checkpointed log — restore the newest snapshot,
+//! replay only the suffix — the gap between the two is what
+//! checkpoints buy.
+//!
+//! Prints the deterministic `wal_append_rows=` marker BENCH_wal.json
+//! and the durability-smoke CI job grep for. Set `WAL_ROWS` to
+//! override the per-cycle row count.
+
+use array_model::{ArrayId, ArraySchema, ChunkDescriptor, ScalarValue};
+use criterion::{criterion_group, criterion_main, Criterion};
+use durability::{frame_record, shared, FsyncPolicy, LogStore, MemLog, RecordReader};
+use elastic_core::{GridHint, PartitionerKind};
+use query_engine::{Catalog, ExecutionContext, StoredArray};
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{
+    CellBatch, DurabilityConfig, RunnerConfig, SuiteReport, WalEvent, Workload, WorkloadRunner,
+};
+
+const ARR: ArrayId = ArrayId(0);
+
+fn rows_per_cycle() -> usize {
+    std::env::var("WAL_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(4_096)
+}
+
+fn schema() -> ArraySchema {
+    ArraySchema::parse("B<v:double, s:string>[x=0:*,64]").unwrap()
+}
+
+/// Churn over a 1-D grid: every cycle inserts `cells` fresh rows
+/// (double + dictionary-friendly string) and retracts half of the
+/// previous cycle's — the same shape the durability differentials use.
+struct WalWorkload {
+    cycles: usize,
+    cells: usize,
+}
+
+impl WalWorkload {
+    fn batch(&self, cycle: usize) -> CellBatch {
+        let schema = schema();
+        let mut batch = CellBatch::new(ARR, &schema);
+        let mut vals = Vec::with_capacity(2);
+        for i in 0..self.cells {
+            let g = (cycle * self.cells + i) as i64;
+            vals.push(ScalarValue::Double(g as f64 * 0.25));
+            vals.push(ScalarValue::Str(format!("tag{}", g % 47)));
+            batch.push(&[g], &mut vals);
+        }
+        if cycle > 0 {
+            for i in (0..self.cells).step_by(2) {
+                batch.push_retraction(&[((cycle - 1) * self.cells + i) as i64]);
+            }
+        }
+        batch
+    }
+}
+
+impl Workload for WalWorkload {
+    fn name(&self) -> &'static str {
+        "wal-bench"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        catalog.register(StoredArray::from_descriptors(ARR, schema(), []));
+    }
+    fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        Some(vec![self.batch(cycle)])
+    }
+    fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![64])
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
+fn config(log: durability::SharedLog, checkpoint_every: usize) -> RunnerConfig {
+    RunnerConfig {
+        partitioner: PartitionerKind::RoundRobin,
+        node_capacity: 256 * 1024,
+        initial_nodes: 2,
+        run_queries: false,
+        durability: Some(DurabilityConfig {
+            log,
+            checkpoint_every,
+            fsync_policy: FsyncPolicy::PerCycle,
+        }),
+        ..RunnerConfig::default()
+    }
+}
+
+/// Run the workload durably and hand back the finished log image.
+fn build_log(w: &WalWorkload, checkpoint_every: usize) -> (RunnerConfig, MemLog) {
+    let log = shared(MemLog::new());
+    let mut runner = WorkloadRunner::new(w, config(std::sync::Arc::clone(&log), checkpoint_every));
+    runner.run_all().expect("durable bench run");
+    drop(runner);
+    // MemLog clones don't share storage, so read the image back out
+    // through the shared handle into a standalone copy.
+    let mut capture = MemLog::new();
+    let mut store = log.lock().expect("log mutex");
+    capture.append(&store.read_log().expect("read log image")).expect("capture image");
+    capture.flush().expect("capture flush");
+    for seq in store.checkpoint_seqs().expect("checkpoint seqs") {
+        let blob = store.read_checkpoint(seq).expect("read checkpoint");
+        capture.write_checkpoint(seq, &blob).expect("capture checkpoint");
+    }
+    drop(store);
+    (config(shared(capture.clone()), checkpoint_every), capture)
+}
+
+fn bench(c: &mut Criterion) {
+    let cells = rows_per_cycle();
+    let cycles = 6usize;
+    let w = WalWorkload { cycles, cells };
+
+    // Deterministic preview outside the timing loop: exact row and byte
+    // counters for the CI marker, plus one-shot recovery wall times for
+    // the replay-vs-checkpoint gap (timings vary; counters never do).
+    let (replay_cfg, replay_log) = build_log(&w, 0);
+    let (ckpt_cfg, ckpt_log) = build_log(&w, 2);
+    {
+        let total_rows: usize =
+            (0..cycles).map(|c| cells + if c > 0 { cells / 2 } else { 0 }).sum();
+        let mut records = 0usize;
+        let image = replay_log.bytes().to_vec();
+        let mut reader = RecordReader::new(&image);
+        while reader.next_record().expect("clean bench log").is_some() {
+            records += 1;
+        }
+        eprintln!(
+            "wal: {cycles} cycles x {cells} cells: wal_append_rows={total_rows} \
+             records={records} log_bytes={} checkpoints={}",
+            replay_log.len(),
+            {
+                let mut l = ckpt_log.clone();
+                l.checkpoint_seqs().expect("seqs").len()
+            },
+        );
+        let t = Instant::now();
+        let rec =
+            WorkloadRunner::recover(&w, replay_cfg.clone(), Vec::new()).expect("replay recovery");
+        let replay_secs = t.elapsed().as_secs_f64();
+        assert_eq!(rec.start_cycle(), cycles);
+        let t = Instant::now();
+        let rec = WorkloadRunner::recover(&w, ckpt_cfg.clone(), Vec::new()).expect("ckpt recovery");
+        let ckpt_secs = t.elapsed().as_secs_f64();
+        assert_eq!(rec.start_cycle(), cycles);
+        eprintln!(
+            "wal: recover_replay_secs={replay_secs:.4} recover_checkpoint_secs={ckpt_secs:.4}"
+        );
+    }
+
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(10);
+
+    // Hot-path tax: encode + frame + append one insert event.
+    let event = WalEvent::InsertCells { batches: vec![w.batch(1)] };
+    let mut sink = MemLog::new();
+    group.bench_function(format!("append/rows-{}", cells + cells / 2), |b| {
+        b.iter(|| {
+            let framed = frame_record(&black_box(&event).encode());
+            sink.append(&framed).expect("append");
+            sink.flush().expect("flush");
+        })
+    });
+
+    // Scan: walk every framed record in the finished image (the CRC +
+    // grammar pass recovery always pays, without the re-execution).
+    let image = replay_log.bytes().to_vec();
+    group.bench_function(format!("scan/bytes-{}", image.len()), |b| {
+        b.iter(|| {
+            let mut reader = RecordReader::new(black_box(&image));
+            let mut n = 0usize;
+            while reader.next_record().expect("scan").is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // Cold starts: full replay vs checkpoint + suffix.
+    group.bench_function(format!("recover/replay/cycles-{cycles}"), |b| {
+        b.iter(|| {
+            black_box(
+                WorkloadRunner::recover(&w, replay_cfg.clone(), Vec::new())
+                    .expect("replay recovery"),
+            )
+            .start_cycle()
+        })
+    });
+    group.bench_function(format!("recover/checkpoint-every-2/cycles-{cycles}"), |b| {
+        b.iter(|| {
+            black_box(
+                WorkloadRunner::recover(&w, ckpt_cfg.clone(), Vec::new())
+                    .expect("checkpoint recovery"),
+            )
+            .start_cycle()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -138,7 +138,7 @@ fn admit_group(
 pub struct Cluster {
     pub(crate) nodes: Vec<Node>,
     pub(crate) placement: PlacementIndex,
-    cost: CostModel,
+    pub(crate) cost: CostModel,
     pub(crate) balance: BalanceStats,
     /// Replication factor `k`: total copies (primary + k−1 replicas) each
     /// placed chunk targets. `1` (the default) is the pre-replication
@@ -153,7 +153,7 @@ pub struct Cluster {
     /// (node ids are join-order indices and every hash route takes
     /// `nodes.len()` as its modulus) but leave every census denominator;
     /// tracked as a counter so [`Cluster::balance_rsd`] stays O(1).
-    retired: usize,
+    pub(crate) retired: usize,
 }
 
 impl Cluster {

@@ -21,6 +21,7 @@
 
 mod cluster;
 mod cost;
+mod durable;
 mod error;
 mod metrics;
 mod node;

@@ -356,6 +356,117 @@ impl Node {
         Some((desc, self.replica_payloads.remove(key)))
     }
 
+    /// Serialize this node for a checkpoint: identity, budget, lifecycle
+    /// state, both descriptor stores, both byte ledgers (as cross-check
+    /// values), and *which* chunks carry payloads. The payload cells
+    /// themselves are not written here — the catalog section of the
+    /// checkpoint owns them, and restore re-wires the shared handles.
+    pub(crate) fn snapshot_into(&self, w: &mut durability::ByteWriter) {
+        w.put_u32(self.id.0);
+        w.put_u64(self.capacity_bytes);
+        w.put_u8(match self.state {
+            NodeState::Healthy => 0,
+            NodeState::Crashed => 1,
+            NodeState::Draining => 2,
+            NodeState::Recovering => 3,
+            NodeState::Retired => 4,
+        });
+        w.put_u64(self.used_bytes);
+        w.put_u64(self.replica_bytes);
+        w.put_usize(self.chunks.len());
+        for desc in self.chunks.values() {
+            desc.encode_into(w);
+        }
+        w.put_usize(self.payloads.len());
+        for key in self.payloads.keys() {
+            key.encode_into(w);
+        }
+        w.put_usize(self.replicas.len());
+        for desc in self.replicas.values() {
+            desc.encode_into(w);
+        }
+        w.put_usize(self.replica_payloads.len());
+        for key in self.replica_payloads.keys() {
+            key.encode_into(w);
+        }
+    }
+
+    /// Rebuild a node from [`Node::snapshot_into`], re-attaching payload
+    /// handles through `payload_of` (the restored catalog). The byte
+    /// ledgers are recomputed from the descriptors and cross-checked
+    /// against the serialized values — drift is surfaced as a typed
+    /// [`durability::DurabilityError::Mismatch`], never absorbed.
+    pub(crate) fn restore_from(
+        r: &mut durability::ByteReader<'_>,
+        payload_of: &dyn Fn(&ChunkKey) -> Option<Arc<Chunk>>,
+    ) -> Result<Node, durability::DurabilityError> {
+        let codec = |context: &str, source| durability::DurabilityError::Codec {
+            context: context.to_string(),
+            source,
+        };
+        let id = NodeId(r.u32("node id").map_err(|e| codec("node id", e))?);
+        let capacity_bytes = r.u64("node capacity").map_err(|e| codec("node capacity", e))?;
+        let state = match r.u8("node state").map_err(|e| codec("node state", e))? {
+            0 => NodeState::Healthy,
+            1 => NodeState::Crashed,
+            2 => NodeState::Draining,
+            3 => NodeState::Recovering,
+            4 => NodeState::Retired,
+            tag => {
+                return Err(codec(
+                    "node state",
+                    durability::CodecError::Invalid {
+                        context: "node state",
+                        detail: format!("unknown state tag {tag}"),
+                    },
+                ))
+            }
+        };
+        let want_used = r.u64("node used bytes").map_err(|e| codec("node used bytes", e))?;
+        let want_replica =
+            r.u64("node replica bytes").map_err(|e| codec("node replica bytes", e))?;
+        let mut node = Node::new(id, capacity_bytes);
+        node.state = state;
+        let attach = |key: &ChunkKey| {
+            payload_of(key).ok_or_else(|| durability::DurabilityError::Mismatch {
+                what: format!("payload for {key}"),
+                expected: "present in restored catalog".to_string(),
+                actual: "missing".to_string(),
+            })
+        };
+        let n = r.usize("node chunk count").map_err(|e| codec("node chunk count", e))?;
+        for _ in 0..n {
+            let desc = ChunkDescriptor::decode_from(r).map_err(|e| codec("chunk descriptor", e))?;
+            node.admit(desc);
+        }
+        let n = r.usize("node payload count").map_err(|e| codec("node payload count", e))?;
+        for _ in 0..n {
+            let key = ChunkKey::decode_from(r).map_err(|e| codec("payload key", e))?;
+            node.store_payload(key, attach(&key)?);
+        }
+        let n = r.usize("node replica count").map_err(|e| codec("node replica count", e))?;
+        for _ in 0..n {
+            let desc =
+                ChunkDescriptor::decode_from(r).map_err(|e| codec("replica descriptor", e))?;
+            node.admit_replica(desc);
+        }
+        let n = r
+            .usize("node replica payload count")
+            .map_err(|e| codec("node replica payload count", e))?;
+        for _ in 0..n {
+            let key = ChunkKey::decode_from(r).map_err(|e| codec("replica payload key", e))?;
+            node.store_replica_payload(key, attach(&key)?);
+        }
+        if node.used_bytes != want_used || node.replica_bytes != want_replica {
+            return Err(durability::DurabilityError::Mismatch {
+                what: format!("byte ledgers of {id}"),
+                expected: format!("{want_used} used / {want_replica} replica"),
+                actual: format!("{} used / {} replica", node.used_bytes, node.replica_bytes),
+            });
+        }
+        Ok(node)
+    }
+
     /// Drop every store on this node — primaries, replicas, payloads —
     /// and zero both byte ledgers. Used by crash injection; the caller is
     /// responsible for updating the cluster-level balance census.

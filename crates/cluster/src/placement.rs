@@ -414,6 +414,21 @@ impl PlacementIndex {
         self.len
     }
 
+    /// Registered dense grids as `(array, extents)` pairs, in array-id
+    /// order. Checkpointing serializes these so recovery can re-run
+    /// [`PlacementIndex::register_dense`] before replaying placements —
+    /// the slab geometry itself is derived, not stored.
+    pub(crate) fn dense_registrations(&self) -> Vec<(ArrayId, Vec<i64>)> {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, meta)| {
+                let meta = meta.as_ref()?;
+                Some((ArrayId(idx as u32), meta.extents[..meta.ndims as usize].to_vec()))
+            })
+            .collect()
+    }
+
     /// Every `(key, node)` pair in ascending key order — the same
     /// deterministic order the original `BTreeMap` iteration produced.
     /// O(n) over dense slabs plus O(s log s) over sparse entries; intended

@@ -69,6 +69,36 @@ impl Partitioner for Append {
         PartitionerKind::Append
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        let mut w = durability::ByteWriter::new();
+        super::put_nodes(&mut w, &self.nodes);
+        w.put_usize(self.cursor);
+        w.put_u64(self.next_seq);
+        w.put_usize(self.ranges.len());
+        for &(seq, node) in &self.ranges {
+            w.put_u64(seq);
+            w.put_u32(node.0);
+        }
+        self.seq_of.snapshot_into(&mut w);
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        self.nodes = super::read_nodes(&mut r, "append nodes")?;
+        self.cursor = r.usize("append cursor")?;
+        self.next_seq = r.u64("append next seq")?;
+        let n = r.usize("append range count")?;
+        self.ranges = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let seq = r.u64("append range seq")?;
+            let node = NodeId(r.u32("append range node")?);
+            self.ranges.push((seq, node));
+        }
+        self.seq_of.restore_from(&mut r)?;
+        r.finish("append snapshot tail")
+    }
+
     fn route(&self, desc: &ChunkDescriptor, ordinal: usize, epoch: &RouteEpoch<'_>) -> NodeId {
         let _ = desc;
         let cluster = epoch.cluster();

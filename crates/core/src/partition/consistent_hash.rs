@@ -58,6 +58,31 @@ impl Partitioner for ConsistentHash {
         PartitionerKind::ConsistentHash
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        // The ring verbatim: scale-out inserts points incrementally, so
+        // the ring is history-dependent, not derivable from config alone.
+        let mut w = durability::ByteWriter::new();
+        w.put_usize(self.ring.len());
+        for (&point, &node) in &self.ring {
+            w.put_u64(point);
+            w.put_u32(node.0);
+        }
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        let n = r.usize("ring point count")?;
+        let mut ring = BTreeMap::new();
+        for _ in 0..n {
+            let point = r.u64("ring point")?;
+            let node = NodeId(r.u32("ring owner")?);
+            ring.insert(point, node);
+        }
+        self.ring = ring;
+        r.finish("ring snapshot tail")
+    }
+
     fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner(hash_chunk_key(&desc.key))
     }

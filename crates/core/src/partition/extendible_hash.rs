@@ -97,6 +97,33 @@ impl Partitioner for ExtendibleHash {
         PartitionerKind::ExtendibleHash
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        // The bucket cover mutates on every split, so it is written
+        // verbatim as (depth, pattern, owner) triples.
+        let mut w = durability::ByteWriter::new();
+        w.put_usize(self.buckets.len());
+        for (bucket, &node) in &self.buckets {
+            w.put_u32(bucket.depth);
+            w.put_u64(bucket.pattern);
+            w.put_u32(node.0);
+        }
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        let n = r.usize("bucket count")?;
+        let mut buckets = BTreeMap::new();
+        for _ in 0..n {
+            let depth = r.u32("bucket depth")?;
+            let pattern = r.u64("bucket pattern")?;
+            let node = NodeId(r.u32("bucket owner")?);
+            buckets.insert(Bucket { depth, pattern }, node);
+        }
+        self.buckets = buckets;
+        r.finish("bucket snapshot tail")
+    }
+
     fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner(hash_chunk_key(&desc.key))
     }

@@ -87,6 +87,41 @@ impl Partitioner for HilbertCurve {
         PartitionerKind::HilbertCurve
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        // Order and curve dims are config-derived; the range table
+        // (boundaries + owners) mutates at every split.
+        let mut w = durability::ByteWriter::new();
+        w.put_usize(self.boundaries.len());
+        for &b in &self.boundaries {
+            w.put_u128(b);
+        }
+        super::put_nodes(&mut w, &self.owners);
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        let n = r.usize("hilbert boundary count")?;
+        let mut boundaries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            boundaries.push(r.u128("hilbert boundary")?);
+        }
+        let owners = super::read_nodes(&mut r, "hilbert owners")?;
+        if owners.len() != boundaries.len() + 1 {
+            return Err(durability::CodecError::Invalid {
+                context: "hilbert owners",
+                detail: format!(
+                    "{} owners for {} boundaries (want boundaries + 1)",
+                    owners.len(),
+                    boundaries.len()
+                ),
+            });
+        }
+        self.boundaries = boundaries;
+        self.owners = owners;
+        r.finish("hilbert snapshot tail")
+    }
+
     fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner_of_index(self.index_of(&desc.key))
     }

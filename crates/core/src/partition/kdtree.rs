@@ -162,6 +162,69 @@ impl KdTree {
     }
 }
 
+fn put_tree(w: &mut durability::ByteWriter, t: &Tree) {
+    match t {
+        Tree::Leaf { host, depth, lo, hi } => {
+            w.put_u8(0);
+            w.put_u32(host.0);
+            w.put_u32(*depth);
+            w.put_usize(lo.len());
+            for &v in lo {
+                w.put_i64(v);
+            }
+            w.put_usize(hi.len());
+            for &v in hi {
+                w.put_i64(v);
+            }
+        }
+        Tree::Internal { dim, split, left, right } => {
+            w.put_u8(1);
+            w.put_usize(*dim);
+            w.put_i64(*split);
+            put_tree(w, left);
+            put_tree(w, right);
+        }
+    }
+}
+
+fn read_tree(r: &mut durability::ByteReader<'_>) -> Result<Tree, durability::CodecError> {
+    fn read_box(
+        r: &mut durability::ByteReader<'_>,
+        context: &'static str,
+    ) -> Result<Vec<i64>, durability::CodecError> {
+        let n = r.usize(context)?;
+        if n > array_model::MAX_DIMS {
+            return Err(durability::CodecError::Invalid {
+                context,
+                detail: format!("{n} dims exceed MAX_DIMS {}", array_model::MAX_DIMS),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.i64(context)?);
+        }
+        Ok(out)
+    }
+    match r.u8("kd tree node tag")? {
+        0 => Ok(Tree::Leaf {
+            host: NodeId(r.u32("kd leaf host")?),
+            depth: r.u32("kd leaf depth")?,
+            lo: read_box(r, "kd leaf lo")?,
+            hi: read_box(r, "kd leaf hi")?,
+        }),
+        1 => Ok(Tree::Internal {
+            dim: r.usize("kd split dim")?,
+            split: r.i64("kd split plane")?,
+            left: Box::new(read_tree(r)?),
+            right: Box::new(read_tree(r)?),
+        }),
+        tag => Err(durability::CodecError::Invalid {
+            context: "kd tree node tag",
+            detail: format!("unknown tag {tag}"),
+        }),
+    }
+}
+
 fn replace_with_split(t: &mut Tree, dim: usize, split: i64, fresh: NodeId) {
     if let Tree::Leaf { host, depth, lo, hi } = t {
         let mut left_hi = hi.clone();
@@ -179,6 +242,20 @@ fn replace_with_split(t: &mut Tree, dim: usize, split: i64, fresh: NodeId) {
 impl Partitioner for KdTree {
     fn kind(&self) -> PartitionerKind {
         PartitionerKind::KdTree
+    }
+
+    fn table_snapshot(&self) -> Vec<u8> {
+        // The split priority is config-derived; the tree itself (every
+        // split plane chosen from data medians) is written recursively.
+        let mut w = durability::ByteWriter::new();
+        put_tree(&mut w, &self.root);
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        self.root = read_tree(&mut r)?;
+        r.finish("kd tree snapshot tail")
     }
 
     fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {

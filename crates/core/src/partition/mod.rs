@@ -360,6 +360,27 @@ pub fn route_batch(
     out
 }
 
+/// Snapshot helper: a length-prefixed `NodeId` list.
+pub(super) fn put_nodes(w: &mut durability::ByteWriter, nodes: &[NodeId]) {
+    w.put_usize(nodes.len());
+    for n in nodes {
+        w.put_u32(n.0);
+    }
+}
+
+/// Restore helper: decode a list written by [`put_nodes`].
+pub(super) fn read_nodes(
+    r: &mut durability::ByteReader<'_>,
+    context: &'static str,
+) -> Result<Vec<NodeId>, durability::CodecError> {
+    let n = r.usize(context)?;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(NodeId(r.u32(context)?));
+    }
+    Ok(out)
+}
+
 /// The elastic partitioner interface (see module docs for the protocol).
 pub trait Partitioner: Send + Sync {
     /// Which scheme this is.
@@ -399,6 +420,20 @@ pub trait Partitioner: Send + Sync {
     /// React to freshly added nodes with a rebalance plan. Called after
     /// `cluster.add_nodes`; the caller applies the returned plan.
     fn scale_out(&mut self, cluster: &Cluster, new_nodes: &[NodeId]) -> RebalancePlan;
+
+    /// Serialize the **data-dependent** partitioning table (sequence
+    /// maps, split trees, range boundaries — everything the workload's
+    /// history shaped). Config-derived structure (grid hints, virtual
+    /// node counts, planes) is *not* included: recovery rebuilds the
+    /// partitioner from the same config via [`build_partitioner`] and
+    /// then lays this snapshot over it with
+    /// [`Partitioner::table_restore`], after which routing decisions are
+    /// bit-identical to the crashed process's.
+    fn table_snapshot(&self) -> Vec<u8>;
+
+    /// Restore the table from a [`Partitioner::table_snapshot`] payload
+    /// taken from a partitioner of the same kind and config.
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError>;
 }
 
 /// Construct a partitioner of `kind` for a cluster's current nodes.

@@ -258,6 +258,47 @@ impl Partitioner for IncrementalQuadtree {
         PartitionerKind::IncrementalQuadtree
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        // Plane, max_bits, and extent are config-derived; the region
+        // cover mutates on every refine/reassign.
+        let mut w = durability::ByteWriter::new();
+        w.put_usize(self.regions.len());
+        for &(r, node) in &self.regions {
+            w.put_u32(r.level);
+            w.put_u64(r.x);
+            w.put_u64(r.y);
+            w.put_u32(node.0);
+        }
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        let n = r.usize("quad region count")?;
+        let mut regions = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let level = r.u32("quad region level")?;
+            if level > self.max_bits {
+                return Err(durability::CodecError::Invalid {
+                    context: "quad region level",
+                    detail: format!("level {level} exceeds max_bits {}", self.max_bits),
+                });
+            }
+            let x = r.u64("quad region x")?;
+            let y = r.u64("quad region y")?;
+            let node = NodeId(r.u32("quad region owner")?);
+            regions.push((QuadRegion { level, x, y }, node));
+        }
+        if regions.is_empty() {
+            return Err(durability::CodecError::Invalid {
+                context: "quad region count",
+                detail: "empty region cover".to_string(),
+            });
+        }
+        self.regions = regions;
+        r.finish("quad snapshot tail")
+    }
+
     fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.owner_of(&desc.key)
     }

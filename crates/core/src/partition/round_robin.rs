@@ -44,6 +44,22 @@ impl Partitioner for RoundRobin {
         PartitionerKind::RoundRobin
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        let mut w = durability::ByteWriter::new();
+        super::put_nodes(&mut w, &self.nodes);
+        w.put_u64(self.next_seq);
+        self.seq_of.snapshot_into(&mut w);
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        self.nodes = super::read_nodes(&mut r, "round robin nodes")?;
+        self.next_seq = r.u64("round robin next seq")?;
+        self.seq_of.restore_from(&mut r)?;
+        r.finish("round robin snapshot tail")
+    }
+
     fn route(&self, _desc: &ChunkDescriptor, ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.home(self.next_seq + ordinal as u64)
     }

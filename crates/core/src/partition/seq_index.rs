@@ -88,6 +88,83 @@ impl SeqIndex {
         self.spill.insert(key, seq);
     }
 
+    /// Serialize the **occupied** entries (dense grids are written
+    /// sparsely — slot index + sequence — so an almost-empty 16M-slot
+    /// grid costs bytes proportional to what it holds). The grid shape
+    /// itself is config-derived and not written; restore targets a fresh
+    /// index built from the same chunk counts.
+    pub(super) fn snapshot_into(&self, w: &mut durability::ByteWriter) {
+        let occupied: Vec<(usize, &Vec<u64>)> =
+            self.grids.iter().enumerate().filter_map(|(i, g)| g.as_ref().map(|g| (i, g))).collect();
+        w.put_usize(occupied.len());
+        for (idx, grid) in occupied {
+            w.put_usize(idx);
+            let live = grid.iter().filter(|&&s| s != VACANT).count();
+            w.put_usize(live);
+            for (lin, &seq) in grid.iter().enumerate().filter(|(_, &s)| s != VACANT) {
+                w.put_usize(lin);
+                w.put_u64(seq);
+            }
+        }
+        // Deterministic spill order: sort by key.
+        let mut spill: Vec<(&ChunkKey, &u64)> = self.spill.iter().collect();
+        spill.sort_by_key(|(k, _)| **k);
+        w.put_usize(spill.len());
+        for (key, &seq) in spill {
+            key.encode_into(w);
+            w.put_u64(seq);
+        }
+    }
+
+    /// Restore entries from [`SeqIndex::snapshot_into`] onto this index,
+    /// which must have been built with the same chunk counts (so grid
+    /// volumes agree).
+    pub(super) fn restore_from(
+        &mut self,
+        r: &mut durability::ByteReader<'_>,
+    ) -> Result<(), durability::CodecError> {
+        use durability::CodecError;
+        let n_grids = r.usize("seq index grid count")?;
+        for _ in 0..n_grids {
+            let idx = r.usize("seq index array slot")?;
+            let Some(volume) = self.volume else {
+                return Err(CodecError::Invalid {
+                    context: "seq index array slot",
+                    detail: "snapshot has dense grids, this hint backs none".to_string(),
+                });
+            };
+            if idx >= ARRAY_ID_CAP as usize {
+                return Err(CodecError::Invalid {
+                    context: "seq index array slot",
+                    detail: format!("slot {idx} exceeds the array id cap"),
+                });
+            }
+            if idx >= self.grids.len() {
+                self.grids.resize(idx + 1, None);
+            }
+            let grid = self.grids[idx].get_or_insert_with(|| vec![VACANT; volume]);
+            let live = r.usize("seq index entry count")?;
+            for _ in 0..live {
+                let lin = r.usize("seq index slot")?;
+                let seq = r.u64("seq index seq")?;
+                if lin >= grid.len() {
+                    return Err(CodecError::Invalid {
+                        context: "seq index slot",
+                        detail: format!("slot {lin} outside grid volume {}", grid.len()),
+                    });
+                }
+                grid[lin] = seq;
+            }
+        }
+        let n_spill = r.usize("seq index spill count")?;
+        for _ in 0..n_spill {
+            let key = ChunkKey::decode_from(r)?;
+            let seq = r.u64("seq index spill seq")?;
+            self.spill.insert(key, seq);
+        }
+        Ok(())
+    }
+
     /// The sequence recorded for `key`, if any. O(1).
     pub(super) fn get(&self, key: &ChunkKey) -> Option<u64> {
         if key.array.0 < ARRAY_ID_CAP {

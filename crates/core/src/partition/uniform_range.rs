@@ -88,6 +88,26 @@ impl Partitioner for UniformRange {
         PartitionerKind::UniformRange
     }
 
+    fn table_snapshot(&self) -> Vec<u8> {
+        // Grid and height come from config; only the roster (which grows
+        // at every scale-out) is data-dependent.
+        let mut w = durability::ByteWriter::new();
+        super::put_nodes(&mut w, &self.nodes);
+        w.into_bytes()
+    }
+
+    fn table_restore(&mut self, bytes: &[u8]) -> Result<(), durability::CodecError> {
+        let mut r = durability::ByteReader::new(bytes);
+        self.nodes = super::read_nodes(&mut r, "uniform range nodes")?;
+        if self.nodes.is_empty() {
+            return Err(durability::CodecError::Invalid {
+                context: "uniform range nodes",
+                detail: "empty node roster".to_string(),
+            });
+        }
+        r.finish("uniform range snapshot tail")
+    }
+
     fn route(&self, desc: &ChunkDescriptor, _ordinal: usize, _epoch: &RouteEpoch<'_>) -> NodeId {
         self.home(&desc.key)
     }

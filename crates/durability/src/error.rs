@@ -1,0 +1,148 @@
+//! The typed error surface of the durability layer. Every failure mode
+//! a damaged log or checkpoint can produce maps to exactly one variant
+//! — recovery never guesses and never fabricates state.
+
+use crate::codec::CodecError;
+use std::fmt;
+
+/// What went wrong while logging, checkpointing, or recovering.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An I/O failure in a storage backend.
+    Io {
+        /// The operation that failed.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The log ends mid-record: a torn append. `offset` is the last
+    /// valid record boundary — everything before it is intact, and
+    /// recovery truncates there.
+    Torn {
+        /// Byte offset of the last valid record boundary.
+        offset: u64,
+    },
+    /// A fully-present record failed validation (bad magic, insane
+    /// length, or checksum mismatch). Unlike a torn tail this is not
+    /// safely truncatable — it is surfaced, never silently skipped.
+    Corruption {
+        /// Byte offset of the damaged record.
+        offset: u64,
+        /// Which check failed.
+        detail: String,
+    },
+    /// A record or checkpoint payload failed to decode.
+    Codec {
+        /// What was being decoded.
+        context: String,
+        /// The underlying codec failure.
+        source: CodecError,
+    },
+    /// Recovered state disagrees with a logged cross-check (ledger
+    /// totals, config fingerprints, replayed fault schedules).
+    Mismatch {
+        /// What disagreed.
+        what: String,
+        /// The value the log promised.
+        expected: String,
+        /// The value recovery produced.
+        actual: String,
+    },
+    /// A checkpoint the log referenced is missing from the store.
+    MissingCheckpoint {
+        /// The checkpoint sequence number.
+        seq: u64,
+    },
+}
+
+impl Clone for DurabilityError {
+    /// `std::io::Error` is not `Clone`; the clone preserves its kind and
+    /// rendered message, which is everything the typed surface promises.
+    fn clone(&self) -> Self {
+        match self {
+            DurabilityError::Io { context, source } => DurabilityError::Io {
+                context: context.clone(),
+                source: std::io::Error::new(source.kind(), source.to_string()),
+            },
+            DurabilityError::Torn { offset } => DurabilityError::Torn { offset: *offset },
+            DurabilityError::Corruption { offset, detail } => {
+                DurabilityError::Corruption { offset: *offset, detail: detail.clone() }
+            }
+            DurabilityError::Codec { context, source } => {
+                DurabilityError::Codec { context: context.clone(), source: source.clone() }
+            }
+            DurabilityError::Mismatch { what, expected, actual } => DurabilityError::Mismatch {
+                what: what.clone(),
+                expected: expected.clone(),
+                actual: actual.clone(),
+            },
+            DurabilityError::MissingCheckpoint { seq } => {
+                DurabilityError::MissingCheckpoint { seq: *seq }
+            }
+        }
+    }
+}
+
+impl PartialEq for DurabilityError {
+    /// Structural equality; I/O errors compare by operation and kind
+    /// (the payload message is platform wording, not identity).
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                DurabilityError::Io { context: a, source: sa },
+                DurabilityError::Io { context: b, source: sb },
+            ) => a == b && sa.kind() == sb.kind(),
+            (DurabilityError::Torn { offset: a }, DurabilityError::Torn { offset: b }) => a == b,
+            (
+                DurabilityError::Corruption { offset: a, detail: da },
+                DurabilityError::Corruption { offset: b, detail: db },
+            ) => a == b && da == db,
+            (
+                DurabilityError::Codec { context: a, source: sa },
+                DurabilityError::Codec { context: b, source: sb },
+            ) => a == b && sa == sb,
+            (
+                DurabilityError::Mismatch { what: a, expected: ea, actual: aa },
+                DurabilityError::Mismatch { what: b, expected: eb, actual: ab },
+            ) => a == b && ea == eb && aa == ab,
+            (
+                DurabilityError::MissingCheckpoint { seq: a },
+                DurabilityError::MissingCheckpoint { seq: b },
+            ) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io { context, source } => write!(f, "io during {context}: {source}"),
+            DurabilityError::Torn { offset } => {
+                write!(f, "torn log tail after valid record boundary at byte {offset}")
+            }
+            DurabilityError::Corruption { offset, detail } => {
+                write!(f, "corrupt record at byte {offset}: {detail}")
+            }
+            DurabilityError::Codec { context, source } => {
+                write!(f, "undecodable {context}: {source}")
+            }
+            DurabilityError::Mismatch { what, expected, actual } => {
+                write!(f, "recovery mismatch on {what}: log says {expected}, rebuilt {actual}")
+            }
+            DurabilityError::MissingCheckpoint { seq } => {
+                write!(f, "checkpoint {seq} missing from store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io { source, .. } => Some(source),
+            DurabilityError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -107,6 +107,100 @@ impl Catalog {
     }
 }
 
+// ---------------------------------------------------------------------
+// Durable codecs: checkpoints carry the whole catalog — schemas, chunk
+// metadata, and (when materialized) the cell payloads — so recovery can
+// rebuild the oracle and re-alias node payload stores from one source.
+// ---------------------------------------------------------------------
+
+use durability::{ByteReader, ByteWriter, CodecError};
+
+impl StoredArray {
+    /// Serialize the array registration. Descriptors are written
+    /// explicitly even when `data` is present: the descriptor map also
+    /// tracks metadata-only chunks (derived products) that carry no
+    /// payload.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.id.encode_into(w);
+        self.schema.encode_into(w);
+        w.put_bool(self.replicated);
+        w.put_usize(self.descriptors.len());
+        for d in self.descriptors.values() {
+            d.encode_into(w);
+        }
+        match &self.data {
+            Some(array) => {
+                w.put_bool(true);
+                array.encode_into(w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Decode a registration written by [`StoredArray::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        let id = ArrayId::decode_from(r)?;
+        let schema = ArraySchema::decode_from(r)?;
+        let replicated = r.bool("stored array replicated flag")?;
+        let n = r.usize("stored array descriptor count")?;
+        let mut descriptors = BTreeMap::new();
+        for _ in 0..n {
+            let d = ChunkDescriptor::decode_from(r)?;
+            if d.key.array != id {
+                return Err(CodecError::Invalid {
+                    context: "stored array descriptor",
+                    detail: format!("descriptor for {} filed under {id:?}", d.key),
+                });
+            }
+            if descriptors.insert(d.key.coords, d).is_some() {
+                return Err(CodecError::Invalid {
+                    context: "stored array descriptor",
+                    detail: format!("duplicate descriptor at {}", d.key),
+                });
+            }
+        }
+        let data = if r.bool("stored array data flag")? {
+            let array = Array::decode_from(r)?;
+            if array.id != id {
+                return Err(CodecError::Invalid {
+                    context: "stored array data",
+                    detail: format!("payload array {:?} filed under {id:?}", array.id),
+                });
+            }
+            Some(array)
+        } else {
+            None
+        };
+        Ok(StoredArray { id, schema, descriptors, data, replicated })
+    }
+}
+
+impl Catalog {
+    /// Serialize every registration, in `ArrayId` order.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_usize(self.arrays.len());
+        for a in self.arrays.values() {
+            a.encode_into(w);
+        }
+    }
+
+    /// Decode a catalog written by [`Catalog::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        let n = r.usize("catalog array count")?;
+        let mut arrays = BTreeMap::new();
+        for _ in 0..n {
+            let a = StoredArray::decode_from(r)?;
+            if arrays.insert(a.id, a).is_some() {
+                return Err(CodecError::Invalid {
+                    context: "catalog array",
+                    detail: "duplicate array id".to_string(),
+                });
+            }
+        }
+        Ok(Catalog { arrays })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +232,42 @@ mod tests {
         assert!(cat.array(ArrayId(3)).is_ok());
         assert!(matches!(cat.array(ArrayId(9)), Err(QueryError::UnknownArray(_))));
         assert_eq!(cat.arrays().count(), 1);
+    }
+
+    #[test]
+    fn catalog_codec_round_trips_and_rejects_prefixes() {
+        let mut cat = Catalog::new();
+        cat.register(StoredArray::from_array(small_array()).replicated());
+        let schema = ArraySchema::parse("M<v:double>[x=0:*,4]").unwrap();
+        cat.register(StoredArray::from_descriptors(
+            ArrayId(7),
+            schema,
+            (0..3).map(|i| {
+                array_model::ChunkDescriptor::new(
+                    array_model::ChunkKey::new(ArrayId(7), ChunkCoords::new([i])),
+                    1000 + i as u64,
+                    10,
+                )
+            }),
+        ));
+        let mut w = ByteWriter::new();
+        cat.encode_into(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        let back = Catalog::decode_from(&mut r).expect("round trip");
+        r.finish("catalog").expect("fully consumed");
+        let mut w2 = ByteWriter::new();
+        back.encode_into(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "codec not idempotent");
+        assert!(back.array(ArrayId(3)).unwrap().replicated);
+        assert_eq!(back.array(ArrayId(3)).unwrap().data.as_ref().unwrap().cell_count(), 64);
+        assert_eq!(back.array(ArrayId(7)).unwrap().descriptors.len(), 3);
+
+        for cut in (0..bytes.len()).step_by(5) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(Catalog::decode_from(&mut r).is_err(), "prefix {cut} accepted");
+        }
     }
 
     #[test]

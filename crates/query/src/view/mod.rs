@@ -502,6 +502,181 @@ impl ViewRegistry {
     }
 }
 
+// ---------------------------------------------------------------------
+// Durable codecs. View *state* serializes; view *definitions* do not
+// (stages are closures) — recovery re-supplies the same `ViewDef`s from
+// configuration and lays the exported state over them, keyed by name.
+// ---------------------------------------------------------------------
+
+use durability::{ByteReader, ByteWriter, CodecError};
+
+fn put_group_key(w: &mut ByteWriter, key: &[i64]) {
+    w.put_usize(key.len());
+    for &k in key {
+        w.put_i64(k);
+    }
+}
+
+fn read_group_key(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
+    let n = r.usize("group key len")?;
+    let mut out = Vec::with_capacity(n.min(1 << 8));
+    for _ in 0..n {
+        out.push(r.i64("group key part")?);
+    }
+    Ok(out)
+}
+
+fn put_join_index(w: &mut ByteWriter, index: &BTreeMap<Vec<KeyScalar>, ZSet>) {
+    w.put_usize(index.len());
+    for (key, rows) in index {
+        w.put_usize(key.len());
+        for k in key {
+            k.encode_into(w);
+        }
+        rows.encode_into(w);
+    }
+}
+
+fn read_join_index(r: &mut ByteReader<'_>) -> Result<BTreeMap<Vec<KeyScalar>, ZSet>, CodecError> {
+    let n = r.usize("join index len")?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let parts = r.usize("join key len")?;
+        let mut key = Vec::with_capacity(parts.min(1 << 8));
+        for _ in 0..parts {
+            key.push(KeyScalar::decode_from(r)?);
+        }
+        out.insert(key, ZSet::decode_from(r)?);
+    }
+    Ok(out)
+}
+
+impl MaterializedView {
+    /// Serialize this view's state and counters (not its definition).
+    pub fn export_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.stats.delta_rows);
+        w.put_u64(self.stats.rows_changed);
+        w.put_u64(self.stats.applies);
+        match &self.state {
+            ViewState::Select { out } => {
+                w.put_u8(0);
+                out.encode_into(w);
+            }
+            ViewState::Aggregate { groups, out } => {
+                w.put_u8(1);
+                w.put_usize(groups.len());
+                for (key, state) in groups {
+                    put_group_key(w, key);
+                    state.encode_into(w);
+                }
+                w.put_usize(out.len());
+                for (key, row) in out {
+                    put_group_key(w, key);
+                    w.put_f64(row.value);
+                    w.put_u64(row.cells);
+                }
+            }
+            ViewState::Join { left, right, out } => {
+                w.put_u8(2);
+                put_join_index(w, left);
+                put_join_index(w, right);
+                out.encode_into(w);
+            }
+        }
+    }
+
+    /// Rebuild a view from `def` plus state exported by
+    /// [`MaterializedView::export_state`]. The state tag must match the
+    /// definition's shape — a mismatch is a typed error, not a guess.
+    pub fn import_state(def: ViewDef, r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let stats = ViewStats {
+            delta_rows: r.u64("view delta rows")?,
+            rows_changed: r.u64("view rows changed")?,
+            applies: r.u64("view applies")?,
+        };
+        let tag = r.u8("view state tag")?;
+        let state = match (tag, &def.kind) {
+            (0, ViewKind::Select { .. }) => ViewState::Select { out: ZSet::decode_from(r)? },
+            (1, ViewKind::Aggregate { .. }) => {
+                let n = r.usize("view group count")?;
+                let mut groups = BTreeMap::new();
+                for _ in 0..n {
+                    let key = read_group_key(r)?;
+                    groups.insert(key, GroupState::decode_from(r)?);
+                }
+                let n = r.usize("view agg row count")?;
+                let mut out = BTreeMap::new();
+                for _ in 0..n {
+                    let key = read_group_key(r)?;
+                    let value = r.f64("agg row value")?;
+                    let cells = r.u64("agg row cells")?;
+                    out.insert(key, AggRow { value, cells });
+                }
+                ViewState::Aggregate { groups, out }
+            }
+            (2, ViewKind::Join { .. }) => ViewState::Join {
+                left: read_join_index(r)?,
+                right: read_join_index(r)?,
+                out: ZSet::decode_from(r)?,
+            },
+            (tag @ 0..=2, _) => {
+                return Err(CodecError::Invalid {
+                    context: "view state tag",
+                    detail: format!("state tag {tag} does not match the shape of {def:?}"),
+                })
+            }
+            (tag, _) => {
+                return Err(CodecError::Invalid {
+                    context: "view state tag",
+                    detail: format!("unknown tag {tag}"),
+                })
+            }
+        };
+        Ok(MaterializedView { def, state, stats })
+    }
+}
+
+impl ViewRegistry {
+    /// Serialize every view's name and state, in registration order.
+    pub fn export_states(&self, w: &mut ByteWriter) {
+        w.put_usize(self.views.len());
+        for view in &self.views {
+            w.put_str(view.name());
+            view.export_state(w);
+        }
+    }
+
+    /// Rebuild a registry from re-supplied definitions plus states
+    /// exported by [`ViewRegistry::export_states`]. Every serialized
+    /// state must find its definition by name and vice versa — a missing
+    /// or extra definition is a typed error (the recovered run would
+    /// silently diverge otherwise).
+    pub fn import_states(defs: Vec<ViewDef>, r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n = r.usize("registry view count")?;
+        if n != defs.len() {
+            return Err(CodecError::Invalid {
+                context: "registry view count",
+                detail: format!("snapshot holds {n} views, caller supplied {} defs", defs.len()),
+            });
+        }
+        let mut defs: Vec<Option<ViewDef>> = defs.into_iter().map(Some).collect();
+        let mut views = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str("registry view name")?;
+            let def = defs
+                .iter_mut()
+                .find(|d| d.as_ref().is_some_and(|d| d.name == name))
+                .and_then(Option::take)
+                .ok_or_else(|| CodecError::Invalid {
+                    context: "registry view name",
+                    detail: format!("no definition supplied for snapshotted view {name:?}"),
+                })?;
+            views.push(MaterializedView::import_state(def, r)?);
+        }
+        Ok(ViewRegistry { views })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +756,96 @@ mod tests {
         // Late left arrival joins the indexed right state.
         view.apply(A, &delta(&[(1, 9.0, 1)]));
         assert_eq!(view.output_rows().len(), 1);
+    }
+
+    /// One of each view shape, with history that exercises cancelled
+    /// rows, retracted extrema, and indexed join state.
+    fn eventful_registry() -> (ViewRegistry, Vec<ViewDef>) {
+        let group: GroupKeyFn = Arc::new(|c, _| vec![c[0].div_euclid(10)]);
+        let value: ValueFn =
+            Arc::new(|_, v| if let ScalarValue::Double(d) = v[0] { d } else { 0.0 });
+        let key: JoinKeyFn = Arc::new(|c, _| vec![KeyScalar::Int(c[0])]);
+        let emit: EmitFn = Arc::new(|l, r| (l.0.clone(), vec![l.1[0].clone(), r.1[0].clone()]));
+        let defs = vec![
+            speed_filter(),
+            ViewDef::aggregate("sums", A, Vec::new(), group, value, AggKind::Min),
+            ViewDef::join("j", A, B, Vec::new(), Vec::new(), key.clone(), key, emit),
+        ];
+        let mut reg = ViewRegistry::new();
+        for def in &defs {
+            reg.register(def.clone());
+        }
+        reg.apply(A, &delta(&[(1, 4.0, 1), (2, -1.0, 1), (11, 7.0, 1), (3, 30.0, 1)]));
+        reg.apply(B, &delta(&[(1, 10.0, 1), (3, 20.0, 1)]));
+        reg.apply(A, &delta(&[(2, -1.0, -1), (11, 7.0, -1)]));
+        (reg, defs)
+    }
+
+    #[test]
+    fn registry_state_round_trips_and_continues_bit_identically() {
+        let (mut reg, defs) = eventful_registry();
+        let mut w = durability::ByteWriter::new();
+        reg.export_states(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = durability::ByteReader::new(&bytes);
+        let mut restored = ViewRegistry::import_states(defs, &mut r).expect("import");
+        assert!(r.is_empty(), "state fully consumed");
+        for (a, b) in reg.views().iter().zip(restored.views()) {
+            assert_eq!(a.snapshot(), b.snapshot(), "{}: snapshot diverged", a.name());
+            assert_eq!(a.stats(), b.stats(), "{}: stats diverged", a.name());
+        }
+        // The restored registry keeps evolving identically — including
+        // join-index hits and a min-extremum retraction.
+        for (array, rows) in
+            [(A, vec![(3, 30.0, -1), (12, 2.0, 1)]), (B, vec![(1, 10.0, -1), (12, 5.0, 1)])]
+        {
+            let d = delta(&rows);
+            reg.apply(array, &d);
+            restored.apply(array, &d);
+        }
+        for (a, b) in reg.views().iter().zip(restored.views()) {
+            assert_eq!(a.snapshot(), b.snapshot(), "{}: diverged after resume", a.name());
+        }
+        // Re-export of the restored registry is byte-identical... only
+        // before the extra deltas; assert on a fresh export pair instead.
+        let (mut w1, mut w2) = (durability::ByteWriter::new(), durability::ByteWriter::new());
+        reg.export_states(&mut w1);
+        restored.export_states(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes(), "exports diverged after resume");
+    }
+
+    #[test]
+    fn registry_import_rejects_corruption_and_def_mismatch_typed() {
+        let (reg, defs) = eventful_registry();
+        let mut w = durability::ByteWriter::new();
+        reg.export_states(&mut w);
+        let bytes = w.into_bytes();
+
+        // Every strict prefix fails typed, never panics.
+        for cut in 0..bytes.len() {
+            let mut r = durability::ByteReader::new(&bytes[..cut]);
+            assert!(
+                ViewRegistry::import_states(defs.clone(), &mut r).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // A def-set that does not match the snapshot is rejected.
+        let mut r = durability::ByteReader::new(&bytes);
+        assert!(ViewRegistry::import_states(defs[..2].to_vec(), &mut r).is_err());
+        let mut renamed = defs.clone();
+        renamed[0].name = "somebody-else".to_string();
+        let mut r = durability::ByteReader::new(&bytes);
+        assert!(ViewRegistry::import_states(renamed, &mut r).is_err());
+        // A state tag laid over the wrong shape is rejected: feed the
+        // aggregate view's state to the select definition by swapping
+        // names in the def set.
+        let mut swapped = defs.clone();
+        let (a, b) = (swapped[0].name.clone(), swapped[1].name.clone());
+        swapped[0].name = b;
+        swapped[1].name = a;
+        let mut r = durability::ByteReader::new(&bytes);
+        assert!(ViewRegistry::import_states(swapped, &mut r).is_err());
     }
 
     #[test]

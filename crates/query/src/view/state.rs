@@ -196,6 +196,145 @@ impl GroupState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Durable codecs. A Z-set is serialized as its rows-with-weights and
+// rebuilt through `add`, so the decoded set re-derives every RowKey from
+// the same bytes — bit-identical by the same argument that makes
+// incremental maintenance equal recompute. Group accumulators serialize
+// all four fields verbatim (the cached extrema are part of the state the
+// crash interrupted, not something to re-guess).
+// ---------------------------------------------------------------------
+
+use durability::{ByteReader, ByteWriter, CodecError};
+
+impl KeyScalar {
+    /// Serialize as a one-byte tag plus the payload.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            KeyScalar::Int(v) => {
+                w.put_u8(0);
+                w.put_i64(*v);
+            }
+            KeyScalar::F32(b) => {
+                w.put_u8(1);
+                w.put_u32(*b);
+            }
+            KeyScalar::F64(b) => {
+                w.put_u8(2);
+                w.put_u64(*b);
+            }
+            KeyScalar::Str(s) => {
+                w.put_u8(3);
+                w.put_str(s);
+            }
+        }
+    }
+
+    /// Decode a key scalar written by [`KeyScalar::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8("key scalar tag")? {
+            0 => KeyScalar::Int(r.i64("key int")?),
+            1 => KeyScalar::F32(r.u32("key f32 bits")?),
+            2 => KeyScalar::F64(r.u64("key f64 bits")?),
+            3 => KeyScalar::Str(r.str("key string")?),
+            t => {
+                return Err(CodecError::Invalid {
+                    context: "key scalar tag",
+                    detail: format!("unknown tag {t}"),
+                })
+            }
+        })
+    }
+}
+
+impl ZSet {
+    /// Serialize every row with its net weight, in key order.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_usize(self.rows.len());
+        for ((coords, values), weight) in self.rows.values() {
+            w.put_usize(coords.len());
+            for &c in coords {
+                w.put_i64(c);
+            }
+            w.put_usize(values.len());
+            for v in values {
+                v.encode_into(w);
+            }
+            w.put_i64(*weight);
+        }
+    }
+
+    /// Decode a Z-set written by [`ZSet::encode_into`], rebuilding each
+    /// row key through [`ZSet::add`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n = r.usize("zset row count")?;
+        let mut out = ZSet::default();
+        for _ in 0..n {
+            let nc = r.usize("zset coord count")?;
+            let mut coords = Vec::with_capacity(nc.min(1 << 8));
+            for _ in 0..nc {
+                coords.push(r.i64("zset coord")?);
+            }
+            let nv = r.usize("zset value count")?;
+            let mut values = Vec::with_capacity(nv.min(1 << 8));
+            for _ in 0..nv {
+                values.push(ScalarValue::decode_from(r)?);
+            }
+            let weight = r.i64("zset weight")?;
+            if weight == 0 {
+                return Err(CodecError::Invalid {
+                    context: "zset weight",
+                    detail: "zero-weight row in snapshot (cancelled rows are never stored)"
+                        .to_string(),
+                });
+            }
+            out.add(&coords, &values, weight);
+        }
+        Ok(out)
+    }
+}
+
+impl GroupState {
+    /// Serialize the accumulator verbatim: count, the sorted multiset,
+    /// and the cached extrema.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_i64(self.count);
+        w.put_usize(self.values.len());
+        for (&bits, &mult) in &self.values {
+            w.put_u64(bits);
+            w.put_i64(mult);
+        }
+        for opt in [self.min_bits, self.max_bits] {
+            match opt {
+                Some(bits) => {
+                    w.put_bool(true);
+                    w.put_u64(bits);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Decode an accumulator written by [`GroupState::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let count = r.i64("group count")?;
+        let n = r.usize("group multiset len")?;
+        let mut values = BTreeMap::new();
+        for _ in 0..n {
+            let bits = r.u64("group value bits")?;
+            let mult = r.i64("group multiplicity")?;
+            values.insert(bits, mult);
+        }
+        let mut extrema = [None, None];
+        for slot in &mut extrema {
+            if r.bool("group extremum flag")? {
+                *slot = Some(r.u64("group extremum bits")?);
+            }
+        }
+        Ok(GroupState { count, values, min_bits: extrema[0], max_bits: extrema[1] })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 //!   capacity trigger;
 //! * [`ScalingPolicy::Staircase`] — the §6.3 leading-staircase controller.
 
+use crate::durable::{self, DurabilityConfig};
 use crate::faults::{ErrorPolicy, FaultKind, FaultPlan};
 use crate::spec::{CellBatch, SuiteReport, Workload};
 use array_model::{
@@ -19,6 +20,9 @@ use cluster_sim::{
     gb, Cluster, ClusterError, CostModel, Flakiness, FlowSet, MidCrash, NodeHoursLedger, NodeId,
     PhaseBreakdown, RebalancePlan,
 };
+use durability::{
+    frame_record, ByteReader, ByteWriter, DurabilityError, FsyncPolicy, RecordReader, SharedLog,
+};
 use elastic_core::{
     batch_prefix_bytes, build_partitioner, route_batch, Partitioner, PartitionerConfig,
     PartitionerKind, ProvisionDecision, RouteEpoch, StaircaseConfig, StaircaseProvisioner,
@@ -26,6 +30,7 @@ use elastic_core::{
 use query_engine::view::{ViewDef, ViewRegistry};
 use query_engine::{Catalog, ExecutionContext};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -110,6 +115,17 @@ pub enum CycleError {
         /// Underlying cluster rejection.
         source: ClusterError,
     },
+    /// The durability subsystem failed: a write-ahead append or
+    /// checkpoint could not be stored, a recovered log was torn or
+    /// corrupt beyond repair, or a replayed cycle diverged byte-for-byte
+    /// from what the log recorded. Divergence is always surfaced here —
+    /// recovery never returns a state it could not prove.
+    Durability {
+        /// Cycle that failed (the cycle being logged or replayed).
+        cycle: usize,
+        /// Underlying durability failure.
+        source: DurabilityError,
+    },
 }
 
 impl fmt::Display for CycleError {
@@ -142,6 +158,9 @@ impl fmt::Display for CycleError {
             CycleError::ScaleIn { cycle, source } => {
                 write!(f, "cycle {cycle}: scale-in decommission failed: {source}")
             }
+            CycleError::Durability { cycle, source } => {
+                write!(f, "cycle {cycle}: durability: {source}")
+            }
         }
     }
 }
@@ -157,6 +176,7 @@ impl std::error::Error for CycleError {
             | CycleError::Retract { source, .. }
             | CycleError::ScaleIn { source, .. } => Some(source),
             CycleError::Materialize { source, .. } => Some(source),
+            CycleError::Durability { source, .. } => Some(source),
             CycleError::UnknownArray { .. } => None,
         }
     }
@@ -222,6 +242,22 @@ pub struct RunnerConfig {
     /// `f64::INFINITY` disables the sweep. The default `0.5` keeps a
     /// chunk's dead rows below half its storage.
     pub gc_tombstone_ratio: f64,
+    /// Second, byte-denominated GC trigger: a placed chunk whose
+    /// dangling dictionary bytes (interned strings no live row
+    /// references — tombstoning frees only the 4-byte code, the string
+    /// stays until compaction) reach this count is compacted in the
+    /// retraction step, even when its *row* ratio is still below
+    /// [`RunnerConfig::gc_tombstone_ratio`]. Catches the churn shape
+    /// where a few huge strings die early in a chunk that keeps
+    /// accumulating live rows. `u64::MAX` (the default) disables it.
+    pub gc_dangling_dict_bytes: u64,
+    /// Crash-consistent durability: when set, every cycle's logical
+    /// events are written ahead to the configured log and the full
+    /// runner state checkpoints periodically, so
+    /// [`WorkloadRunner::recover`] can rebuild the exact pre-crash
+    /// state. `None` (the default) runs purely in memory with zero
+    /// logging overhead.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl RunnerConfig {
@@ -250,6 +286,8 @@ impl Default for RunnerConfig {
             fault_plan: None,
             on_error: ErrorPolicy::default(),
             gc_tombstone_ratio: 0.5,
+            gc_dangling_dict_bytes: u64::MAX,
+            durability: None,
         }
     }
 }
@@ -498,6 +536,20 @@ impl WorkloadRef<'_> {
     }
 }
 
+/// The runner's live durability wiring (present when
+/// [`RunnerConfig::durability`] is set).
+struct DurableState {
+    log: SharedLog,
+    checkpoint_every: usize,
+    fsync: FsyncPolicy,
+    /// [`durable::config_fingerprint`] of this run, written as the log's
+    /// genesis record and cross-checked on recovery.
+    fingerprint: u64,
+    /// Whether the genesis record has been appended (lazily, at the
+    /// first cycle — construction stays infallible).
+    genesis_written: bool,
+}
+
 /// Drives one workload against one partitioner and scaling policy.
 pub struct WorkloadRunner<'w> {
     workload: WorkloadRef<'w>,
@@ -507,6 +559,14 @@ pub struct WorkloadRunner<'w> {
     partitioner: Box<dyn Partitioner>,
     provisioner: Option<StaircaseProvisioner>,
     views: ViewRegistry,
+    durable: Option<DurableState>,
+    /// Replay mode: the logged record payloads of the cycle being
+    /// re-executed. Each recomputed record is byte-compared against the
+    /// front of this queue instead of being appended.
+    replay: Option<VecDeque<Vec<u8>>>,
+    /// First cycle [`WorkloadRunner::run_all`] executes — `0` for a
+    /// fresh runner, the first un-logged cycle after a recovery.
+    start_cycle: usize,
 }
 
 impl<'w> WorkloadRunner<'w> {
@@ -567,6 +627,17 @@ impl<'w> WorkloadRunner<'w> {
             ScalingPolicy::Staircase(cfg) => Some(StaircaseProvisioner::new(*cfg)),
             _ => None,
         };
+        let durable = config.durability.as_ref().map(|d| DurableState {
+            log: d.log.clone(),
+            checkpoint_every: d.checkpoint_every,
+            fsync: d.fsync_policy,
+            fingerprint: durable::config_fingerprint(
+                &config,
+                workload.get().name(),
+                workload.get().cycles(),
+            ),
+            genesis_written: false,
+        });
         WorkloadRunner {
             workload,
             config,
@@ -575,6 +646,9 @@ impl<'w> WorkloadRunner<'w> {
             partitioner,
             provisioner,
             views: ViewRegistry::new(),
+            durable,
+            replay: None,
+            start_cycle: 0,
         }
     }
 
@@ -615,6 +689,164 @@ impl<'w> WorkloadRunner<'w> {
     /// The provisioner, when the staircase policy is active.
     pub fn provisioner(&self) -> Option<&StaircaseProvisioner> {
         self.provisioner.as_ref()
+    }
+
+    /// The live partitioner (for inspection — the recovery differential
+    /// suites probe its routing table for bit-identity).
+    pub fn partitioner(&self) -> &dyn Partitioner {
+        self.partitioner.as_ref()
+    }
+
+    /// First cycle [`WorkloadRunner::run_all`] will execute: `0` for a
+    /// fresh runner, the first cycle *after* the recovered prefix for a
+    /// runner built by [`WorkloadRunner::recover`].
+    pub fn start_cycle(&self) -> usize {
+        self.start_cycle
+    }
+
+    fn durability_err(cycle: usize, source: DurabilityError) -> CycleError {
+        CycleError::Durability { cycle, source }
+    }
+
+    /// Append the genesis record if this is a durable runner touching an
+    /// empty log for the first time. Replayed runners already consumed
+    /// genesis during [`WorkloadRunner::recover`]'s scan.
+    fn wal_genesis(&mut self, cycle: usize) -> Result<(), CycleError> {
+        if self.replay.is_some() {
+            return Ok(());
+        }
+        let Some(d) = self.durable.as_mut() else { return Ok(()) };
+        if d.genesis_written {
+            return Ok(());
+        }
+        let framed = frame_record(&durable::genesis_payload(d.fingerprint));
+        let mut log = d.log.lock().expect("log mutex poisoned");
+        log.append(&framed).map_err(|e| Self::durability_err(cycle, e))?;
+        if d.fsync == FsyncPolicy::Always {
+            log.flush().map_err(|e| Self::durability_err(cycle, e))?;
+        }
+        drop(log);
+        d.genesis_written = true;
+        Ok(())
+    }
+
+    /// The write-ahead choke point: every logical record the cycle
+    /// produces flows through here *before* the transition it describes
+    /// is applied. Live mode appends (and under
+    /// [`FsyncPolicy::Always`], flushes); replay mode recomputes the
+    /// payload via `make` and byte-compares it against the logged
+    /// record — any divergence is a typed
+    /// [`DurabilityError::Mismatch`]. With durability off, `make` is
+    /// never called: the hot path pays one branch.
+    fn wal_record(
+        &mut self,
+        cycle: usize,
+        make: impl FnOnce() -> Vec<u8>,
+    ) -> Result<(), CycleError> {
+        if let Some(queue) = self.replay.as_mut() {
+            let Some(logged) = queue.pop_front() else {
+                return Err(Self::durability_err(
+                    cycle,
+                    DurabilityError::Mismatch {
+                        what: format!("cycle {cycle} record stream"),
+                        expected: "another logged record".to_string(),
+                        actual: "log exhausted mid-cycle".to_string(),
+                    },
+                ));
+            };
+            let recomputed = make();
+            if recomputed != logged {
+                return Err(Self::durability_err(
+                    cycle,
+                    DurabilityError::Mismatch {
+                        what: format!("cycle {cycle} {} record", durable::tag_name(&logged)),
+                        expected: format!(
+                            "{} bytes logged ({})",
+                            logged.len(),
+                            durable::tag_name(&logged)
+                        ),
+                        actual: format!(
+                            "{} bytes recomputed ({})",
+                            recomputed.len(),
+                            durable::tag_name(&recomputed)
+                        ),
+                    },
+                ));
+            }
+            return Ok(());
+        }
+        let Some(d) = self.durable.as_mut() else { return Ok(()) };
+        let framed = frame_record(&make());
+        let mut log = d.log.lock().expect("log mutex poisoned");
+        log.append(&framed).map_err(|e| Self::durability_err(cycle, e))?;
+        if d.fsync == FsyncPolicy::Always {
+            log.flush().map_err(|e| Self::durability_err(cycle, e))?;
+        }
+        Ok(())
+    }
+
+    /// Commit the cycle: append (or replay-verify) the `CycleEnd`
+    /// record, flush per the fsync policy, and checkpoint if the cycle
+    /// count says so. In replay mode also demands the logged cycle's
+    /// record queue is fully consumed — extra logged records the rerun
+    /// did not produce are divergence too.
+    fn wal_commit(&mut self, cycle: usize) -> Result<(), CycleError> {
+        self.wal_record(cycle, || durable::cycle_end_payload(cycle as u64))?;
+        if let Some(queue) = self.replay.as_ref() {
+            if !queue.is_empty() {
+                return Err(Self::durability_err(
+                    cycle,
+                    DurabilityError::Mismatch {
+                        what: format!("cycle {cycle} record stream"),
+                        expected: "CycleEnd as the last logged record".to_string(),
+                        actual: format!("{} logged records left unconsumed", queue.len()),
+                    },
+                ));
+            }
+            return Ok(());
+        }
+        let Some(d) = self.durable.as_ref() else { return Ok(()) };
+        if d.fsync == FsyncPolicy::PerCycle {
+            let mut log = d.log.lock().expect("log mutex poisoned");
+            log.flush().map_err(|e| Self::durability_err(cycle, e))?;
+        }
+        let next_cycle = cycle + 1;
+        if d.checkpoint_every > 0 && next_cycle.is_multiple_of(d.checkpoint_every) {
+            let blob = self.checkpoint_blob(next_cycle as u64);
+            let d = self.durable.as_ref().expect("checked above");
+            let mut log = d.log.lock().expect("log mutex poisoned");
+            log.write_checkpoint(next_cycle as u64, &blob)
+                .map_err(|e| Self::durability_err(cycle, e))?;
+        }
+        Ok(())
+    }
+
+    /// Serialize the runner's whole state — catalog (schemas,
+    /// descriptors, materialized payloads), cluster (roster, placement,
+    /// loads, replicas, tombstone ledgers), partitioner table,
+    /// provisioner history, and view states — as one framed checkpoint
+    /// record. `next_cycle` is the first cycle *not* reflected in the
+    /// state.
+    fn checkpoint_blob(&self, next_cycle: u64) -> Vec<u8> {
+        let d = self.durable.as_ref().expect("checkpoints require durability");
+        let mut w = ByteWriter::new();
+        w.put_u64(d.fingerprint);
+        w.put_u64(next_cycle);
+        self.catalog.encode_into(&mut w);
+        self.cluster.snapshot_into(&mut w);
+        w.put_bytes(&self.partitioner.table_snapshot());
+        match self.provisioner.as_ref() {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_usize(p.history().len());
+                for &v in p.history() {
+                    w.put_f64(v);
+                }
+            }
+            None => w.put_bool(false),
+        }
+        self.views.export_states(&mut w);
+        frame_record(&w.into_bytes())
     }
 
     /// Most nodes a FixedStep policy will add in one cycle. Generous — the
@@ -960,14 +1192,26 @@ impl<'w> WorkloadRunner<'w> {
                         .map_err(|source| CycleError::Retract { cycle, source })?;
                     tally.evicted_chunks += 1;
                     tally.evicted_bytes += eviction.bytes;
-                } else if self.config.gc_tombstone_ratio.is_finite() {
-                    // Threshold-triggered tombstone GC. The payload is
-                    // present — retract_cells just touched it.
+                } else if self.config.gc_tombstone_ratio.is_finite()
+                    || self.config.gc_dangling_dict_bytes != u64::MAX
+                {
+                    // Threshold-triggered tombstone GC: row-ratio
+                    // pressure, or dangling-dictionary byte pressure
+                    // (checked lazily — the dictionary scan is
+                    // per-entry work the ratio check avoids). The
+                    // payload is present — retract_cells just touched
+                    // it.
                     let payload =
                         self.cluster.payload(&key).expect("retract_cells required a payload");
                     let dead = payload.tombstone_count() as f64;
                     let physical = payload.physical_cell_count() as f64;
-                    if physical > 0.0 && dead >= self.config.gc_tombstone_ratio * physical {
+                    let ratio_trip = self.config.gc_tombstone_ratio.is_finite()
+                        && physical > 0.0
+                        && dead >= self.config.gc_tombstone_ratio * physical;
+                    let byte_trip = !ratio_trip
+                        && self.config.gc_dangling_dict_bytes != u64::MAX
+                        && payload.dangling_dict_bytes() >= self.config.gc_dangling_dict_bytes;
+                    if ratio_trip || byte_trip {
                         let compaction = self
                             .cluster
                             .compact_chunk(&key)
@@ -1053,6 +1297,16 @@ impl<'w> WorkloadRunner<'w> {
 
     /// Execute one workload cycle.
     pub fn run_cycle(&mut self, cycle: usize) -> Result<CycleReport, CycleError> {
+        // Write-ahead: open the cycle's log frame before anything
+        // mutates. `replay.is_some()` implies a durable runner, so one
+        // `durable` check covers both modes; with durability off this
+        // whole block is a single branch.
+        if self.durable.is_some() {
+            self.wal_genesis(cycle)?;
+            self.wal_record(cycle, || durable::cycle_start_payload(cycle as u64))?;
+            let digest = durable::fault_digest(self.config.fault_plan.as_ref(), cycle);
+            self.wal_record(cycle, || durable::faults_payload(cycle as u64, digest))?;
+        }
         // Fault injection first: cycle-start crashes, drains, and
         // revivals, then a recovery pass re-replicating whatever they
         // exposed (a no-op sweep on an all-healthy roster).
@@ -1079,13 +1333,20 @@ impl<'w> WorkloadRunner<'w> {
         // visible the same cycle it opens.
         let (batch, cell_arrays, retract) = match self.workload.get().cell_batch(cycle) {
             Some(batches) => {
+                // Logged verbatim (cells, transport dictionaries, and
+                // retraction script) before any of it is applied.
+                self.wal_record(cycle, || durable::insert_cells_payload(&batches))?;
                 let retract = self.apply_retractions(cycle, &batches)?;
                 let arrays = self.build_cell_arrays(cycle, batches)?;
                 let descs: Vec<ChunkDescriptor> =
                     arrays.iter().flat_map(Array::descriptors).collect();
                 (descs, Some(arrays), retract)
             }
-            None => (self.workload.get().insert_batch(cycle), None, RetractTally::default()),
+            None => {
+                let descs = self.workload.get().insert_batch(cycle);
+                self.wal_record(cycle, || durable::insert_meta_payload(&descs))?;
+                (descs, None, RetractTally::default())
+            }
         };
         let insert_bytes: u64 = batch.iter().map(|d| d.bytes).sum();
         let projected_bytes = self.cluster.total_used().saturating_add(insert_bytes);
@@ -1095,6 +1356,9 @@ impl<'w> WorkloadRunner<'w> {
         // new ones"). A shrink drains the released nodes through the
         // same flow solver before the ingest lands.
         let step = self.scale_decision(projected_bytes);
+        self.wal_record(cycle, || {
+            durable::scale_payload(step.add as u64, step.remove as u64, step.saturated)
+        })?;
         let added = step.add;
         let scale_saturated = step.saturated;
         let mut reorg_secs = 0.0;
@@ -1158,7 +1422,9 @@ impl<'w> WorkloadRunner<'w> {
         // Query phase, plus storing derived findings.
         let mut query_secs = 0.0;
         let mut degraded_reads = 0u64;
-        let suites = if self.config.run_queries {
+        // Queries are read-only and their report is discarded during
+        // replay, so a recovering runner skips them outright.
+        let suites = if self.config.run_queries && self.replay.is_none() {
             let ctx = ExecutionContext::new(&self.cluster, &self.catalog);
             let report = self.workload.get().run_suites(&ctx, cycle);
             query_secs += report.total_secs();
@@ -1168,6 +1434,7 @@ impl<'w> WorkloadRunner<'w> {
             None
         };
         let derived = self.workload.get().derived_batch(cycle);
+        self.wal_record(cycle, || durable::derived_payload(&derived))?;
         if !derived.is_empty() {
             let derived_flows = self
                 .place_batch(&derived)
@@ -1179,6 +1446,12 @@ impl<'w> WorkloadRunner<'w> {
         if let Some(p) = self.provisioner.as_mut() {
             p.observe(gb(self.cluster.total_used()));
         }
+
+        // Commit point: everything this cycle did is now logged (and,
+        // per the fsync policy, durable). A crash before this line rolls
+        // the whole cycle back at recovery; after it, the cycle is
+        // replayable.
+        self.wal_commit(cycle)?;
 
         let census = self.cluster.replica_census();
         Ok(CycleReport {
@@ -1222,10 +1495,12 @@ impl<'w> WorkloadRunner<'w> {
     /// [`ErrorPolicy::RecordAndContinue`] the failing cycle is recorded in
     /// [`RunReport::failures`] and the run presses on against whatever
     /// state survives.
+    /// A recovered runner resumes at [`WorkloadRunner::start_cycle`]
+    /// (the recovered prefix is not re-run).
     pub fn run_all(&mut self) -> Result<RunReport, CycleError> {
         let mut cycles = Vec::with_capacity(self.workload.get().cycles());
         let mut failures = Vec::new();
-        for c in 0..self.workload.get().cycles() {
+        for c in self.start_cycle..self.workload.get().cycles() {
             match self.run_cycle(c) {
                 Ok(report) => cycles.push(report),
                 Err(e) if self.config.on_error == ErrorPolicy::RecordAndContinue => {
@@ -1235,6 +1510,248 @@ impl<'w> WorkloadRunner<'w> {
             }
         }
         Ok(RunReport { partitioner: self.config.partitioner, cycles, failures })
+    }
+
+    /// Rebuild a runner from its durable log, borrowing the workload.
+    ///
+    /// The recipe: scan the log for its committed prefix (a torn tail —
+    /// a crash mid-append — is truncated at the last cycle commit
+    /// marker), cross-check the genesis fingerprint against this
+    /// config, load the newest checkpoint that validates (corrupt or
+    /// missing checkpoints fall back to older ones, and with none left
+    /// the log replays from genesis), then **re-execute** every
+    /// committed cycle after the checkpoint with each recomputed record
+    /// byte-compared against the log. The result is bit-identical to
+    /// the pre-crash runner — placements, loads, census, tombstones,
+    /// dictionaries, view states — or a typed
+    /// [`CycleError::Durability`]; never a silently divergent state.
+    ///
+    /// `views` must list the same view definitions (same names, same
+    /// order of registration) the original run registered before cycle
+    /// 0; their recovered states come from the checkpoint/replay, not
+    /// from the definitions.
+    pub fn recover(
+        workload: &'w dyn Workload,
+        config: RunnerConfig,
+        views: Vec<ViewDef>,
+    ) -> Result<WorkloadRunner<'w>, CycleError> {
+        Self::recover_build(WorkloadRef::Borrowed(workload), config, views)
+    }
+
+    /// [`WorkloadRunner::recover`] taking ownership of the workload.
+    pub fn recover_owned(
+        workload: impl Workload + 'static,
+        config: RunnerConfig,
+        views: Vec<ViewDef>,
+    ) -> Result<WorkloadRunner<'static>, CycleError> {
+        WorkloadRunner::recover_build(WorkloadRef::Owned(Box::new(workload)), config, views)
+    }
+
+    fn recover_build(
+        workload: WorkloadRef<'_>,
+        config: RunnerConfig,
+        defs: Vec<ViewDef>,
+    ) -> Result<WorkloadRunner<'_>, CycleError> {
+        if config.durability.is_none() {
+            return Err(Self::durability_err(
+                0,
+                DurabilityError::Mismatch {
+                    what: "recover() configuration".to_string(),
+                    expected: "RunnerConfig::durability = Some(..)".to_string(),
+                    actual: "None".to_string(),
+                },
+            ));
+        }
+        let mut runner = Self::build(workload, config);
+        let image = {
+            let d = runner.durable.as_ref().expect("durability checked above");
+            let mut log = d.log.lock().expect("log mutex poisoned");
+            log.read_log().map_err(|e| Self::durability_err(0, e))?
+        };
+        let scan = durable::scan_log(&image).map_err(|e| Self::durability_err(0, e))?;
+        let fingerprint = runner.durable.as_ref().expect("durable runner").fingerprint;
+        let Some(logged_fp) = scan.fingerprint else {
+            // Nothing was ever committed — a fresh start. The image may
+            // still hold a torn half-written genesis; clear it so
+            // future appends extend a valid log.
+            if !image.is_empty() {
+                let d = runner.durable.as_ref().expect("durable runner");
+                let mut log = d.log.lock().expect("log mutex poisoned");
+                log.truncate_log(0).map_err(|e| Self::durability_err(0, e))?;
+            }
+            for def in defs {
+                runner.views.register(def);
+            }
+            return Ok(runner);
+        };
+        if logged_fp != fingerprint {
+            return Err(Self::durability_err(
+                0,
+                DurabilityError::Mismatch {
+                    what: "genesis fingerprint".to_string(),
+                    expected: format!("{fingerprint:#018x} (this workload + config)"),
+                    actual: format!("{logged_fp:#018x} (logged)"),
+                },
+            ));
+        }
+        runner.durable.as_mut().expect("durable runner").genesis_written = true;
+        if scan.committed_len < image.len() as u64 {
+            // Torn tail: a crash tore the append after the last commit
+            // marker. Truncate so future appends extend a valid log.
+            let d = runner.durable.as_ref().expect("durable runner");
+            let mut log = d.log.lock().expect("log mutex poisoned");
+            log.truncate_log(scan.committed_len).map_err(|e| Self::durability_err(0, e))?;
+        }
+
+        // Newest checkpoint that validates end-to-end wins; anything
+        // invalid — torn, bit-flipped, missing — falls back to an older
+        // survivor, and with none left the log replays from genesis.
+        // The log is never compacted, so that fallback is always sound.
+        let seqs = {
+            let d = runner.durable.as_ref().expect("durable runner");
+            let mut log = d.log.lock().expect("log mutex poisoned");
+            log.checkpoint_seqs().map_err(|e| Self::durability_err(0, e))?
+        };
+        let mut next_cycle = 0u64;
+        let mut restored = false;
+        for &seq in seqs.iter().rev() {
+            let blob = {
+                let d = runner.durable.as_ref().expect("durable runner");
+                let mut log = d.log.lock().expect("log mutex poisoned");
+                match log.read_checkpoint(seq) {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                }
+            };
+            if runner.restore_checkpoint(&blob, defs.clone()).is_ok() {
+                next_cycle = seq;
+                restored = true;
+                break;
+            }
+        }
+        if !restored {
+            for def in defs {
+                runner.views.register(def);
+            }
+        }
+
+        // Re-execute the committed suffix, byte-checking every record.
+        let mut expected = next_cycle;
+        for (idx, records) in scan.cycles {
+            if idx < next_cycle {
+                continue;
+            }
+            if idx != expected {
+                return Err(Self::durability_err(
+                    expected as usize,
+                    DurabilityError::Mismatch {
+                        what: "committed cycle sequence".to_string(),
+                        expected: format!("cycle {expected}"),
+                        actual: format!("cycle {idx}"),
+                    },
+                ));
+            }
+            runner.replay = Some(records);
+            let result = runner.run_cycle(idx as usize);
+            runner.replay = None;
+            result?;
+            expected += 1;
+        }
+        runner.start_cycle = expected as usize;
+        Ok(runner)
+    }
+
+    /// Restore the runner's state from one checkpoint blob. Everything
+    /// decodes into locals first and is assigned only after the whole
+    /// blob validates, so a failed attempt leaves the runner untouched
+    /// and the caller free to try an older checkpoint. Returns the
+    /// checkpoint's `next_cycle`.
+    fn restore_checkpoint(
+        &mut self,
+        blob: &[u8],
+        defs: Vec<ViewDef>,
+    ) -> Result<u64, DurabilityError> {
+        let codec = |e: durability::CodecError| DurabilityError::Codec {
+            context: "checkpoint blob".to_string(),
+            source: e,
+        };
+        let mut frames = RecordReader::new(blob);
+        let payload = frames.next_record()?.ok_or(DurabilityError::Torn { offset: 0 })?;
+        let mut r = ByteReader::new(payload);
+        let fp = r.u64("checkpoint fingerprint").map_err(codec)?;
+        let d = self.durable.as_ref().expect("checkpoints require durability");
+        if fp != d.fingerprint {
+            return Err(DurabilityError::Mismatch {
+                what: "checkpoint fingerprint".to_string(),
+                expected: format!("{:#018x}", d.fingerprint),
+                actual: format!("{fp:#018x}"),
+            });
+        }
+        let next_cycle = r.u64("checkpoint next cycle").map_err(codec)?;
+        let catalog = Catalog::decode_from(&mut r).map_err(codec)?;
+        // Node payload stores re-alias the catalog oracle's chunks: the
+        // original run shared one `Arc<Chunk>` per chunk between both
+        // stores, and recovery reconstructs exactly that sharing.
+        let payload_of = |key: &ChunkKey| -> Option<Arc<array_model::Chunk>> {
+            catalog.array(key.array).ok()?.data.as_ref()?.shared_chunk(&key.coords).cloned()
+        };
+        let cluster = Cluster::restore_from(&mut r, self.config.cost.clone(), &payload_of)?;
+        let table = r.bytes("partitioner table").map_err(codec)?;
+        let provisioner = if r.bool("provisioner presence").map_err(codec)? {
+            if self.provisioner.is_none() {
+                return Err(DurabilityError::Mismatch {
+                    what: "provisioner presence".to_string(),
+                    expected: "no provisioner (policy is not staircase)".to_string(),
+                    actual: "checkpoint carries provisioner history".to_string(),
+                });
+            }
+            let ScalingPolicy::Staircase(cfg) = &self.config.scaling else {
+                unreachable!("provisioner implies staircase policy");
+            };
+            let mut p = StaircaseProvisioner::new(*cfg);
+            let n = r.usize("provisioner history length").map_err(codec)?;
+            for _ in 0..n {
+                p.observe(r.f64("provisioner history sample").map_err(codec)?);
+            }
+            Some(p)
+        } else {
+            if self.provisioner.is_some() {
+                return Err(DurabilityError::Mismatch {
+                    what: "provisioner presence".to_string(),
+                    expected: "provisioner history (staircase policy)".to_string(),
+                    actual: "checkpoint carries none".to_string(),
+                });
+            }
+            None
+        };
+        let views = ViewRegistry::import_states(defs, &mut r).map_err(codec)?;
+        r.finish("checkpoint blob").map_err(codec)?;
+        if frames.next_record()?.is_some() {
+            return Err(DurabilityError::Corruption {
+                offset: frames.offset(),
+                detail: "checkpoint blob carries more than one record".to_string(),
+            });
+        }
+        // Same recipe the partitioner snapshot tests pin: rebuild from
+        // kind + config against the restored roster, lay the table on
+        // top. Only after it validates does any assignment happen.
+        let mut pconfig = self.config.partitioner_config.clone();
+        if pconfig.quad_plane.is_none() {
+            pconfig.quad_plane = Some(self.workload.get().quad_plane());
+        }
+        let mut partitioner = build_partitioner(
+            self.config.partitioner,
+            &cluster,
+            &self.workload.get().grid_hint(),
+            &pconfig,
+        );
+        partitioner.table_restore(table).map_err(codec)?;
+        self.catalog = catalog;
+        self.cluster = cluster;
+        self.partitioner = partitioner;
+        self.provisioner = provisioner;
+        self.views = views;
+        Ok(next_cycle)
     }
 }
 
@@ -1741,6 +2258,69 @@ mod tests {
         );
     }
 
+    /// The byte-denominated GC trigger: with the row-ratio sweep
+    /// disabled outright, dangling dictionary bytes alone — interned
+    /// strings whose every referencing row was tombstoned, bytes the
+    /// 4-byte-code accounting of retraction can never free — trip
+    /// compaction. ChurnWorkload's `tag{i % 50}` strings guarantee every
+    /// half-retracted chunk strands some entries: a tag referenced only
+    /// by even rows dangles once the even rows die.
+    #[test]
+    fn dangling_dict_bytes_trigger_gc_without_ratio_pressure() {
+        let cycles = 3usize;
+        let cells = 1024usize;
+        let run = |threshold: u64| {
+            let mut cfg = config(PartitionerKind::RoundRobin);
+            cfg.run_queries = false;
+            cfg.gc_tombstone_ratio = f64::INFINITY;
+            cfg.gc_dangling_dict_bytes = threshold;
+            let mut runner = WorkloadRunner::new_owned(ChurnWorkload { cycles, cells }, cfg);
+            let report = runner.run_all().expect("churn run completes");
+            (report, runner)
+        };
+        let (on_report, on_runner) = run(1);
+        let (off_report, off_runner) = run(u64::MAX);
+
+        // Every previous-cycle chunk strands dictionary bytes when its
+        // even rows retract, so each compacts exactly once.
+        let compacted: usize = on_report.cycles.iter().map(|c| c.gc_compacted_chunks).sum();
+        assert_eq!(compacted, (cycles - 1) * cells / 64, "every churned chunk compacts once");
+        assert!(on_report.cycles.iter().map(|c| c.gc_reclaimed_bytes).sum::<i64>() > 0);
+        assert_eq!(
+            off_report.cycles.iter().map(|c| c.gc_compacted_chunks).sum::<usize>(),
+            0,
+            "u64::MAX disables the byte trigger"
+        );
+
+        let dangling = |runner: &WorkloadRunner<'_>| -> u64 {
+            let mut total = 0;
+            for stored in runner.catalog().arrays() {
+                for coords in stored.descriptors.keys() {
+                    let key = ChunkKey::new(stored.id, *coords);
+                    let payload = runner.cluster().payload(&key).expect("materialized run");
+                    total += payload.dangling_dict_bytes();
+                }
+            }
+            total
+        };
+        assert_eq!(dangling(&on_runner), 0, "byte-triggered GC clears every stranded entry");
+        assert!(dangling(&off_runner) > 0, "without the trigger stranded entries accumulate");
+
+        // The GC'd store ends strictly smaller in accounted bytes, and
+        // its books stay exact (descriptor == payload, store == oracle).
+        assert!(on_runner.cluster().total_used() < off_runner.cluster().total_used());
+        for stored in on_runner.catalog().arrays() {
+            for (coords, desc) in &stored.descriptors {
+                let key = ChunkKey::new(stored.id, *coords);
+                let payload = on_runner.cluster().payload(&key).expect("materialized run");
+                assert_eq!(payload.byte_size(), desc.bytes);
+                let oracle =
+                    stored.data.as_ref().and_then(|d| d.chunk(coords)).expect("oracle mirror");
+                assert_eq!(oracle.byte_size(), payload.byte_size());
+            }
+        }
+    }
+
     #[test]
     fn crash_fault_recovers_and_reports_costs() {
         let w = mini_modis();
@@ -1779,6 +2359,7 @@ mod tests {
             CycleError::Recovery { cycle: 7, source: cluster_src() },
             CycleError::Retract { cycle: 8, source: cluster_src() },
             CycleError::ScaleIn { cycle: 9, source: cluster_src() },
+            CycleError::Durability { cycle: 10, source: DurabilityError::Torn { offset: 12 } },
         ];
         for (i, err) in variants.iter().enumerate() {
             let rendered = err.to_string();

@@ -1,0 +1,478 @@
+//! Crash-consistent durability for the cycle driver: the write-ahead
+//! log's event vocabulary, the config fingerprint that pins a log to the
+//! run that wrote it, and the recovery-time log scan.
+//!
+//! # Record vocabulary
+//!
+//! The runner appends one [`WalEvent::Genesis`] when it first touches an
+//! empty log, then per cycle, in order: `CycleStart`, `Faults`, exactly
+//! one of `InsertCells` (materialized path, the whole cell payload) or
+//! `InsertMeta` (metadata path, the sampled descriptors), `Scale`,
+//! `Derived`, `CycleEnd`. Every record is framed by
+//! [`durability::frame_record`] (magic + length + CRC-32), and
+//! **`CycleEnd` is the commit point**: recovery discards any records
+//! after the last `CycleEnd` — a crash mid-cycle rolls the whole cycle
+//! back, never replays half of one.
+//!
+//! # Append-then-apply, recompute-and-cross-check
+//!
+//! Records are appended *before* the state transition they describe.
+//! Because the whole driver is deterministic in `(workload, config)`,
+//! replay re-executes each cycle from the generators and recomputes
+//! every logged value; the log's role at replay is to **cross-check**
+//! bit-for-bit (payload bytes compared verbatim) that the rebuilt run is
+//! the run that was logged. Any drift — a different workload seed, an
+//! edited config, a tampered record that still passes CRC — surfaces as
+//! a typed [`DurabilityError::Mismatch`], never as a silently divergent
+//! answer.
+//!
+//! # Checkpoints
+//!
+//! Every [`DurabilityConfig::checkpoint_every`] committed cycles the
+//! runner serializes its whole state — catalog (schemas, descriptors,
+//! materialized cells), cluster (roster, placement, replicas),
+//! partitioner table, provisioner history, and view states — as one
+//! framed record stored under `seq = next_cycle`. Recovery loads the
+//! newest checkpoint that validates (corrupt ones are skipped to an
+//! older survivor; with none left it replays from genesis) and replays
+//! only the committed log suffix.
+
+use crate::cycle::{RunnerConfig, ScalingPolicy};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::spec::CellBatch;
+use array_model::{ChunkDescriptor, StringEncoding};
+use durability::{
+    ByteReader, ByteWriter, CodecError, DurabilityError, FsyncPolicy, RecordReader, SharedLog,
+};
+use elastic_core::hashing::splitmix64;
+use elastic_core::PartitionerKind;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Durability wiring for a [`WorkloadRunner`](crate::WorkloadRunner):
+/// where the log lives, how often to checkpoint, and when appends reach
+/// stable storage.
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// The shared log/checkpoint backend the runner appends through.
+    pub log: SharedLog,
+    /// Committed cycles between checkpoints. `0` disables checkpoints
+    /// (recovery replays the whole log from genesis).
+    pub checkpoint_every: usize,
+    /// When appended records are forced to stable storage.
+    pub fsync_policy: FsyncPolicy,
+}
+
+impl fmt::Debug for DurabilityConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurabilityConfig")
+            .field("log", &"<shared log>")
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("fsync_policy", &self.fsync_policy)
+            .finish()
+    }
+}
+
+const TAG_GENESIS: u8 = 0;
+const TAG_CYCLE_START: u8 = 1;
+const TAG_FAULTS: u8 = 2;
+const TAG_INSERT_CELLS: u8 = 3;
+const TAG_INSERT_META: u8 = 4;
+const TAG_SCALE: u8 = 5;
+const TAG_DERIVED: u8 = 6;
+const TAG_CYCLE_END: u8 = 7;
+
+/// One logical event in the write-ahead log. The runner's hot path
+/// encodes straight from borrowed data (see the `*_payload` helpers);
+/// this owned form exists for decoding, inspection, and the codec
+/// property tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEvent {
+    /// Written once, first, on an empty log: pins the log to one
+    /// `(workload, config)` via [`config_fingerprint`].
+    Genesis {
+        /// The writing run's config fingerprint.
+        fingerprint: u64,
+    },
+    /// A cycle began.
+    CycleStart {
+        /// The 0-based cycle index.
+        cycle: u64,
+    },
+    /// Digest of the fault schedule injected this cycle, cross-checked
+    /// against the recovering config's recomputed schedule.
+    Faults {
+        /// The cycle the faults belong to.
+        cycle: u64,
+        /// [`fault_digest`] over the cycle's events.
+        digest: u64,
+    },
+    /// The cycle's materialized insert payload, verbatim.
+    InsertCells {
+        /// Every array's cell batch for the cycle.
+        batches: Vec<CellBatch>,
+    },
+    /// The cycle's metadata-only insert batch.
+    InsertMeta {
+        /// The sampled descriptors the driver placed.
+        descs: Vec<ChunkDescriptor>,
+    },
+    /// The cycle's provisioning verdict.
+    Scale {
+        /// Nodes added.
+        add: u64,
+        /// Nodes the policy asked to release.
+        remove: u64,
+        /// Whether the per-cycle cap saturated.
+        saturated: bool,
+    },
+    /// The derived (query-product) chunks stored at cycle end.
+    Derived {
+        /// Their descriptors.
+        descs: Vec<ChunkDescriptor>,
+    },
+    /// The commit point: the cycle's records are final.
+    CycleEnd {
+        /// The cycle that committed.
+        cycle: u64,
+    },
+}
+
+pub(crate) fn genesis_payload(fingerprint: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_GENESIS);
+    w.put_u64(fingerprint);
+    w.into_bytes()
+}
+
+pub(crate) fn cycle_start_payload(cycle: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_CYCLE_START);
+    w.put_u64(cycle);
+    w.into_bytes()
+}
+
+pub(crate) fn faults_payload(cycle: u64, digest: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_FAULTS);
+    w.put_u64(cycle);
+    w.put_u64(digest);
+    w.into_bytes()
+}
+
+pub(crate) fn insert_cells_payload(batches: &[CellBatch]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_INSERT_CELLS);
+    w.put_usize(batches.len());
+    for b in batches {
+        b.encode_into(&mut w);
+    }
+    w.into_bytes()
+}
+
+fn descs_payload(tag: u8, descs: &[ChunkDescriptor]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(tag);
+    w.put_usize(descs.len());
+    for d in descs {
+        d.encode_into(&mut w);
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn insert_meta_payload(descs: &[ChunkDescriptor]) -> Vec<u8> {
+    descs_payload(TAG_INSERT_META, descs)
+}
+
+pub(crate) fn derived_payload(descs: &[ChunkDescriptor]) -> Vec<u8> {
+    descs_payload(TAG_DERIVED, descs)
+}
+
+pub(crate) fn scale_payload(add: u64, remove: u64, saturated: bool) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_SCALE);
+    w.put_u64(add);
+    w.put_u64(remove);
+    w.put_bool(saturated);
+    w.into_bytes()
+}
+
+pub(crate) fn cycle_end_payload(cycle: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(TAG_CYCLE_END);
+    w.put_u64(cycle);
+    w.into_bytes()
+}
+
+impl WalEvent {
+    /// Encode the event as a record payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WalEvent::Genesis { fingerprint } => genesis_payload(*fingerprint),
+            WalEvent::CycleStart { cycle } => cycle_start_payload(*cycle),
+            WalEvent::Faults { cycle, digest } => faults_payload(*cycle, *digest),
+            WalEvent::InsertCells { batches } => insert_cells_payload(batches),
+            WalEvent::InsertMeta { descs } => insert_meta_payload(descs),
+            WalEvent::Scale { add, remove, saturated } => scale_payload(*add, *remove, *saturated),
+            WalEvent::Derived { descs } => derived_payload(descs),
+            WalEvent::CycleEnd { cycle } => cycle_end_payload(*cycle),
+        }
+    }
+
+    /// Decode a record payload. Total: every malformed input yields a
+    /// typed [`CodecError`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<WalEvent, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let tag = r.u8("wal event tag")?;
+        let event = match tag {
+            TAG_GENESIS => WalEvent::Genesis { fingerprint: r.u64("genesis fingerprint")? },
+            TAG_CYCLE_START => WalEvent::CycleStart { cycle: r.u64("cycle start index")? },
+            TAG_FAULTS => WalEvent::Faults {
+                cycle: r.u64("faults cycle index")?,
+                digest: r.u64("faults digest")?,
+            },
+            TAG_INSERT_CELLS => {
+                let n = r.usize("insert batch count")?;
+                let mut batches = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    batches.push(CellBatch::decode_from(&mut r)?);
+                }
+                WalEvent::InsertCells { batches }
+            }
+            TAG_INSERT_META | TAG_DERIVED => {
+                let n = r.usize("descriptor count")?;
+                let mut descs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    descs.push(ChunkDescriptor::decode_from(&mut r)?);
+                }
+                if tag == TAG_INSERT_META {
+                    WalEvent::InsertMeta { descs }
+                } else {
+                    WalEvent::Derived { descs }
+                }
+            }
+            TAG_SCALE => WalEvent::Scale {
+                add: r.u64("scale add")?,
+                remove: r.u64("scale remove")?,
+                saturated: r.bool("scale saturated")?,
+            },
+            TAG_CYCLE_END => WalEvent::CycleEnd { cycle: r.u64("cycle end index")? },
+            other => {
+                return Err(CodecError::Invalid {
+                    context: "wal event tag",
+                    detail: format!("unknown tag {other}"),
+                })
+            }
+        };
+        r.finish("wal event")?;
+        Ok(event)
+    }
+}
+
+/// Human-readable name of a record's tag byte, for mismatch messages.
+pub(crate) fn tag_name(payload: &[u8]) -> &'static str {
+    match payload.first() {
+        Some(&TAG_GENESIS) => "Genesis",
+        Some(&TAG_CYCLE_START) => "CycleStart",
+        Some(&TAG_FAULTS) => "Faults",
+        Some(&TAG_INSERT_CELLS) => "InsertCells",
+        Some(&TAG_INSERT_META) => "InsertMeta",
+        Some(&TAG_SCALE) => "Scale",
+        Some(&TAG_DERIVED) => "Derived",
+        Some(&TAG_CYCLE_END) => "CycleEnd",
+        _ => "empty record",
+    }
+}
+
+fn fold(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+fn fold_f64(h: u64, v: f64) -> u64 {
+    fold(h, v.to_bits())
+}
+
+/// Fingerprint of everything that shapes a run's *state* evolution:
+/// workload identity, roster/capacity, partitioner and its tunables,
+/// scaling policy, encoding, replication, fault schedule, and GC
+/// thresholds. Deliberately excludes `ingest_threads` (the driver is
+/// thread-count invariant), `run_queries` (queries are read-only),
+/// `cost` (costing shapes reports, not placement), `on_error`, and the
+/// durability wiring itself. A recovering config whose fingerprint
+/// disagrees with the log's genesis record is a different run, and
+/// recovery refuses it.
+pub(crate) fn config_fingerprint(
+    config: &RunnerConfig,
+    workload_name: &str,
+    workload_cycles: usize,
+) -> u64 {
+    let mut h = fold(0x57414c5f46503031, 1); // "WAL_FP01", format version
+    for b in workload_name.bytes() {
+        h = fold(h, u64::from(b));
+    }
+    h = fold(h, workload_cycles as u64);
+    h = fold(h, config.node_capacity);
+    h = fold(h, config.initial_nodes as u64);
+    let kind = PartitionerKind::ALL
+        .iter()
+        .position(|k| *k == config.partitioner)
+        .expect("ALL lists every partitioner kind");
+    h = fold(h, kind as u64);
+    h = fold(h, u64::from(config.partitioner_config.virtual_nodes));
+    h = fold(h, u64::from(config.partitioner_config.uniform_height));
+    match config.partitioner_config.quad_plane {
+        Some((a, b)) => {
+            h = fold(h, 1);
+            h = fold(h, a as u64);
+            h = fold(h, b as u64);
+        }
+        None => h = fold(h, 0),
+    }
+    h = fold_f64(h, config.partitioner_config.append_fill);
+    match &config.scaling {
+        ScalingPolicy::Fixed => h = fold(h, 1),
+        ScalingPolicy::FixedStep { add, trigger } => {
+            h = fold(h, 2);
+            h = fold(h, *add as u64);
+            h = fold_f64(h, *trigger);
+        }
+        ScalingPolicy::Staircase(cfg) => {
+            h = fold(h, 3);
+            h = fold_f64(h, cfg.node_capacity_gb);
+            h = fold(h, cfg.samples as u64);
+            h = fold(h, cfg.plan_ahead as u64);
+            h = fold_f64(h, cfg.trigger);
+            h = fold_f64(h, cfg.shrink_margin);
+        }
+    }
+    match config.string_encoding {
+        StringEncoding::Plain => h = fold(h, 1),
+        StringEncoding::Dict { cap } => {
+            h = fold(h, 2);
+            h = fold(h, u64::from(cap));
+        }
+    }
+    h = fold(h, config.replication as u64);
+    match &config.fault_plan {
+        None => h = fold(h, 0),
+        Some(plan) => {
+            h = fold(h, 1);
+            h = fold(h, plan.seed);
+            h = fold_f64(h, plan.backoff.base_secs);
+            h = fold_f64(h, plan.backoff.factor);
+            h = fold(h, u64::from(plan.backoff.max_retries));
+            h = fold(h, plan.events.len() as u64);
+            for e in &plan.events {
+                h = fold(h, e.cycle as u64);
+                h = fold_kind(h, e.kind);
+            }
+        }
+    }
+    h = fold_f64(h, config.gc_tombstone_ratio);
+    h = fold(h, config.gc_dangling_dict_bytes);
+    h
+}
+
+fn fold_kind(h: u64, kind: FaultKind) -> u64 {
+    match kind {
+        FaultKind::Crash(n) => fold(fold(h, 1), u64::from(n)),
+        FaultKind::CrashDuringRebalance(n) => fold(fold(h, 2), u64::from(n)),
+        FaultKind::CrashDuringRecovery { node, after_jobs } => {
+            fold(fold(fold(h, 3), u64::from(node)), after_jobs as u64)
+        }
+        FaultKind::FlakyFlows { p } => fold_f64(fold(h, 4), p),
+        FaultKind::Drain(n) => fold(fold(h, 5), u64::from(n)),
+        FaultKind::Revive(n) => fold(fold(h, 6), u64::from(n)),
+    }
+}
+
+/// Digest of the fault schedule one cycle injects, folding the per-cycle
+/// flaky-flow sub-seed so replay also cross-checks the plan seed.
+pub(crate) fn fault_digest(plan: Option<&FaultPlan>, cycle: usize) -> u64 {
+    let mut h = fold(0xFA_17, cycle as u64);
+    let Some(plan) = plan else { return h };
+    h = fold(h, plan.cycle_seed(cycle));
+    for kind in plan.events_at(cycle) {
+        h = fold_kind(h, kind);
+    }
+    h
+}
+
+/// The committed content of a scanned log image.
+pub(crate) struct LogScan {
+    /// The genesis fingerprint; `None` when the log is empty (a fresh
+    /// run that never wrote genesis).
+    pub fingerprint: Option<u64>,
+    /// Every **complete** cycle, in log order: its index and its record
+    /// payloads (`CycleStart` through `CycleEnd` inclusive).
+    pub cycles: Vec<(u64, VecDeque<Vec<u8>>)>,
+    /// Byte offset after the last commit point — everything beyond it
+    /// (a partial cycle, or a torn append) is discardable.
+    pub committed_len: u64,
+}
+
+/// Scan a log image into committed cycles. A torn tail is tolerated and
+/// truncated at the last commit point; corruption — bad magic, bad CRC,
+/// a record outside the genesis/cycle grammar — is a typed error, never
+/// a guess.
+pub(crate) fn scan_log(image: &[u8]) -> Result<LogScan, DurabilityError> {
+    let mut reader = RecordReader::new(image);
+    let mut scan = LogScan { fingerprint: None, cycles: Vec::new(), committed_len: 0 };
+    // In-flight cycle: (index, payloads accumulated since CycleStart).
+    let mut pending: Option<(u64, VecDeque<Vec<u8>>)> = None;
+    loop {
+        let offset = reader.offset();
+        let payload = match reader.next_record() {
+            Ok(Some(p)) => p,
+            // Clean end, or a torn append: the committed prefix stands.
+            Ok(None) | Err(DurabilityError::Torn { .. }) => return Ok(scan),
+            Err(e) => return Err(e),
+        };
+        let corrupt = |detail: String| DurabilityError::Corruption { offset, detail };
+        let mut r = ByteReader::new(payload);
+        let tag = r.u8("wal record tag").map_err(|e| corrupt(e.to_string()))?;
+        match tag {
+            TAG_GENESIS => {
+                if scan.fingerprint.is_some() {
+                    return Err(corrupt("second genesis record".to_string()));
+                }
+                let fp = r.u64("genesis fingerprint").map_err(|e| corrupt(e.to_string()))?;
+                scan.fingerprint = Some(fp);
+                scan.committed_len = reader.offset();
+            }
+            _ if scan.fingerprint.is_none() => {
+                return Err(corrupt(format!("first record is {}, not Genesis", tag_name(payload))));
+            }
+            TAG_CYCLE_START => {
+                if pending.is_some() {
+                    return Err(corrupt("CycleStart inside an open cycle".to_string()));
+                }
+                let cycle = r.u64("cycle start index").map_err(|e| corrupt(e.to_string()))?;
+                let mut records = VecDeque::new();
+                records.push_back(payload.to_vec());
+                pending = Some((cycle, records));
+            }
+            TAG_CYCLE_END => {
+                let Some((cycle, mut records)) = pending.take() else {
+                    return Err(corrupt("CycleEnd outside an open cycle".to_string()));
+                };
+                let end = r.u64("cycle end index").map_err(|e| corrupt(e.to_string()))?;
+                if end != cycle {
+                    return Err(corrupt(format!("CycleEnd for {end} closes cycle {cycle}")));
+                }
+                records.push_back(payload.to_vec());
+                scan.cycles.push((cycle, records));
+                scan.committed_len = reader.offset();
+            }
+            _ => {
+                let Some((_, records)) = pending.as_mut() else {
+                    return Err(corrupt(format!(
+                        "{} record outside an open cycle",
+                        tag_name(payload)
+                    )));
+                };
+                records.push_back(payload.to_vec());
+            }
+        }
+    }
+}

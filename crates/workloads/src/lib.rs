@@ -16,6 +16,7 @@
 
 pub mod ais;
 mod cycle;
+mod durable;
 mod faults;
 pub mod modis;
 mod rand_util;
@@ -27,6 +28,7 @@ pub use cycle::{
     build_cell_array, build_cell_array_encoded, CycleError, CycleReport, FailedCycle, RunReport,
     RunnerConfig, ScalingPolicy, WorkloadRunner,
 };
+pub use durable::{DurabilityConfig, WalEvent};
 pub use faults::{ErrorPolicy, FaultEvent, FaultKind, FaultPlan};
 pub use modis::ModisWorkload;
 pub use rand_util::{lognormal, rng_for, standard_normal, zipf_weight};

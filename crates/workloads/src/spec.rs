@@ -141,6 +141,22 @@ impl CellBatch {
     pub fn cells(&self) -> Vec<(CellCoords, Vec<ScalarValue>)> {
         self.rows.rows()
     }
+
+    /// Serialize the batch for the write-ahead log: the target array plus
+    /// the flat row buffer verbatim ([`CellBuffer::encode_into`] carries
+    /// transport dictionaries and retractions). A decoded batch replays
+    /// bit-identically to the original through the same insert path.
+    pub fn encode_into(&self, w: &mut durability::ByteWriter) {
+        self.array.encode_into(w);
+        self.rows.encode_into(w);
+    }
+
+    /// Decode a batch written by [`CellBatch::encode_into`].
+    pub fn decode_from(r: &mut durability::ByteReader<'_>) -> Result<Self, durability::CodecError> {
+        let array = ArrayId::decode_from(r)?;
+        let rows = CellBuffer::decode_from(r)?;
+        Ok(CellBatch { array, rows })
+    }
 }
 
 /// A reproducible, cyclic workload (§3.4): per-cycle insert batches,

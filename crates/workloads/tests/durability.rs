@@ -1,0 +1,559 @@
+//! Crash-consistent recovery differentials: a workload run is crashed
+//! at **every record boundary** its write-ahead log ever reached, and
+//! recovery must rebuild the exact oracle state — catalog, cluster
+//! books, partitioner table, provisioner history, view states, all
+//! byte-compared through their codecs — then finish the run to the
+//! same end state. Torn and corrupted images must land on a valid
+//! prefix state or a typed error; never a divergent answer.
+
+use array_model::{
+    ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, ScalarValue, StringEncoding,
+};
+use durability::{shared, ByteWriter, DurabilityError, FsyncPolicy, LogStore, MemLog};
+use elastic_core::{GridHint, PartitionerKind};
+use query_engine::view::{AggKind, GroupKeyFn, ValueFn, ViewDef};
+use query_engine::{Catalog, ExecutionContext, StoredArray};
+use std::sync::{Arc, Mutex};
+use workloads::{
+    CellBatch, CycleError, DurabilityConfig, FaultKind, FaultPlan, RunnerConfig, SuiteReport,
+    Workload, WorkloadRunner,
+};
+
+// ---------------------------------------------------------------------
+// Harness: a log that snapshots itself at every record boundary.
+// ---------------------------------------------------------------------
+
+/// Wraps a [`MemLog`], cloning the whole store after every append and
+/// checkpoint write. Each clone is the *time-consistent* durable image
+/// at that boundary — log bytes and checkpoint set as they jointly
+/// stood — which is exactly what a crash at that instant would leave.
+/// (Truncating the final image instead would pair an early log with
+/// late checkpoints: a physically unrealizable state.)
+struct SnapshottingLog {
+    inner: MemLog,
+    snaps: Arc<Mutex<Vec<MemLog>>>,
+}
+
+impl SnapshottingLog {
+    fn new(snaps: Arc<Mutex<Vec<MemLog>>>) -> Self {
+        SnapshottingLog { inner: MemLog::new(), snaps }
+    }
+
+    fn snap(&self) {
+        self.snaps.lock().expect("snaps mutex").push(self.inner.clone());
+    }
+}
+
+impl LogStore for SnapshottingLog {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), DurabilityError> {
+        self.inner.append(bytes)?;
+        self.snap();
+        Ok(())
+    }
+    fn flush(&mut self) -> Result<(), DurabilityError> {
+        self.inner.flush()
+    }
+    fn read_log(&mut self) -> Result<Vec<u8>, DurabilityError> {
+        self.inner.read_log()
+    }
+    fn truncate_log(&mut self, len: u64) -> Result<(), DurabilityError> {
+        self.inner.truncate_log(len)
+    }
+    fn write_checkpoint(&mut self, seq: u64, bytes: &[u8]) -> Result<(), DurabilityError> {
+        self.inner.write_checkpoint(seq, bytes)?;
+        self.snap();
+        Ok(())
+    }
+    fn checkpoint_seqs(&mut self) -> Result<Vec<u64>, DurabilityError> {
+        self.inner.checkpoint_seqs()
+    }
+    fn read_checkpoint(&mut self, seq: u64) -> Result<Vec<u8>, DurabilityError> {
+        self.inner.read_checkpoint(seq)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity probe: the whole world, serialized.
+// ---------------------------------------------------------------------
+
+/// Every state surface a recovery must rebuild, as codec bytes —
+/// equality here is bit-identity of placements, loads, census,
+/// tombstones, dictionaries, routing tables, and view states at once.
+struct Probe {
+    catalog: Vec<u8>,
+    cluster: Vec<u8>,
+    table: Vec<u8>,
+    views: Vec<u8>,
+    history: Vec<f64>,
+}
+
+fn probe(r: &WorkloadRunner<'_>) -> Probe {
+    let mut catalog = ByteWriter::new();
+    r.catalog().encode_into(&mut catalog);
+    let mut cluster = ByteWriter::new();
+    r.cluster().snapshot_into(&mut cluster);
+    let mut views = ByteWriter::new();
+    r.views().export_states(&mut views);
+    Probe {
+        catalog: catalog.into_bytes(),
+        cluster: cluster.into_bytes(),
+        table: r.partitioner().table_snapshot(),
+        views: views.into_bytes(),
+        history: r.provisioner().map(|p| p.history().to_vec()).unwrap_or_default(),
+    }
+}
+
+fn assert_probes_match(got: &Probe, want: &Probe, ctx: &str) {
+    assert!(got.catalog == want.catalog, "{ctx}: catalog bytes diverged");
+    assert!(got.cluster == want.cluster, "{ctx}: cluster snapshot diverged");
+    assert!(got.table == want.table, "{ctx}: partitioner table diverged");
+    assert!(got.views == want.views, "{ctx}: view states diverged");
+    assert!(got.history == want.history, "{ctx}: provisioner history diverged");
+}
+
+// ---------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------
+
+const ARR: ArrayId = ArrayId(0);
+const DERIVED: ArrayId = ArrayId(1);
+
+/// Materialized churn: every cycle inserts dictionary-interned strings
+/// and doubles over a 2-D grid, retracts half of the previous cycle's
+/// rows, stores a derived metadata chunk, and (at the chosen capacity)
+/// forces scale-outs — touching every record type the log knows.
+struct ChurnyWorkload {
+    cycles: usize,
+    cells: usize,
+}
+
+impl ChurnyWorkload {
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("C<v:double, s:string>[x=0:*,64, y=0:3,2]").unwrap()
+    }
+
+    fn derived_schema() -> ArraySchema {
+        // Same dimensionality as the base array: the spatial
+        // partitioners route derived chunks through the quad plane too.
+        ArraySchema::parse("D<v:double>[x=0:*,1, y=0:0,1]").unwrap()
+    }
+}
+
+impl Workload for ChurnyWorkload {
+    fn name(&self) -> &'static str {
+        "churny"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        catalog.register(StoredArray::from_descriptors(ARR, Self::schema(), []));
+        catalog.register(StoredArray::from_descriptors(DERIVED, Self::derived_schema(), []));
+    }
+    fn insert_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn cell_batch(&self, cycle: usize) -> Option<Vec<CellBatch>> {
+        let mut batch = CellBatch::new(ARR, &Self::schema());
+        let mut vals = Vec::with_capacity(2);
+        for i in 0..self.cells {
+            let g = (cycle * self.cells + i) as i64;
+            vals.push(ScalarValue::Double(g as f64 * 0.25));
+            vals.push(ScalarValue::Str(format!("tag{}", g % 37)));
+            batch.push(&[g / 4, g % 4], &mut vals);
+        }
+        if cycle > 0 {
+            for i in (0..self.cells).step_by(2) {
+                let g = ((cycle - 1) * self.cells + i) as i64;
+                batch.push_retraction(&[g / 4, g % 4]);
+            }
+        }
+        Some(vec![batch])
+    }
+    fn derived_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
+        vec![ChunkDescriptor::new(
+            ChunkKey::new(DERIVED, ChunkCoords::new([cycle as i64, 0])),
+            4096 + cycle as u64 * 17,
+            10,
+        )]
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![32, 2])
+    }
+    fn quad_plane(&self) -> (usize, usize) {
+        (0, 1)
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
+/// Tiny metadata-only workload — a log small enough to truncate at
+/// every single byte offset.
+struct MetaWorkload {
+    cycles: usize,
+}
+
+impl Workload for MetaWorkload {
+    fn name(&self) -> &'static str {
+        "meta"
+    }
+    fn cycles(&self) -> usize {
+        self.cycles
+    }
+    fn register_arrays(&self, catalog: &mut Catalog) {
+        let schema = ArraySchema::parse("M<v:double>[x=0:*,1]").unwrap();
+        catalog.register(StoredArray::from_descriptors(ARR, schema, []));
+    }
+    fn insert_batch(&self, cycle: usize) -> Vec<ChunkDescriptor> {
+        (0..2u64)
+            .map(|i| {
+                ChunkDescriptor::new(
+                    ChunkKey::new(ARR, ChunkCoords::new([(cycle as i64) * 2 + i as i64])),
+                    1000 + cycle as u64 * 100 + i,
+                    5,
+                )
+            })
+            .collect()
+    }
+    fn derived_batch(&self, _cycle: usize) -> Vec<ChunkDescriptor> {
+        Vec::new()
+    }
+    fn grid_hint(&self) -> GridHint {
+        GridHint::new(vec![16])
+    }
+    fn run_suites(&self, _ctx: &ExecutionContext<'_>, _cycle: usize) -> SuiteReport {
+        SuiteReport::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config + oracle plumbing.
+// ---------------------------------------------------------------------
+
+fn view_defs() -> Vec<ViewDef> {
+    let group: GroupKeyFn = Arc::new(|c, _| vec![c[0].div_euclid(64)]);
+    let value: ValueFn = Arc::new(|_, v| if let ScalarValue::Double(d) = v[0] { d } else { 0.0 });
+    vec![ViewDef::aggregate("sum-by-chunk", ARR, Vec::new(), group, value, AggKind::Sum)]
+}
+
+fn base_config(kind: PartitionerKind, encoding: StringEncoding, k: usize) -> RunnerConfig {
+    // Fault coverage at k > 1: a crash with failover, then a revival —
+    // both logged as the cycle's fault digest and replayed on recovery.
+    let fault_plan =
+        (k > 1).then(|| FaultPlan::new(7).at(1, FaultKind::Crash(1)).at(2, FaultKind::Revive(1)));
+    RunnerConfig {
+        partitioner: kind,
+        node_capacity: 8 * 1024,
+        initial_nodes: if k > 1 { 3 } else { 2 },
+        run_queries: false,
+        string_encoding: encoding,
+        replication: k,
+        fault_plan,
+        ..RunnerConfig::default()
+    }
+}
+
+fn durable(cfg: &RunnerConfig, log: durability::SharedLog) -> RunnerConfig {
+    let mut out = cfg.clone();
+    out.durability =
+        Some(DurabilityConfig { log, checkpoint_every: 2, fsync_policy: FsyncPolicy::Always });
+    out
+}
+
+/// Run the workload WITHOUT durability, capturing the serialized world
+/// after every cycle. `probes[c]` is the state with `c` complete
+/// cycles — what a recovery landing at `start_cycle() == c` must equal.
+fn oracle_probes(w: &dyn Workload, cfg: &RunnerConfig, defs: &[ViewDef]) -> Vec<Probe> {
+    let mut cfg = cfg.clone();
+    cfg.durability = None;
+    let mut runner = WorkloadRunner::new(w, cfg);
+    for def in defs {
+        runner.register_view(def.clone());
+    }
+    let mut probes = vec![probe(&runner)];
+    for c in 0..w.cycles() {
+        runner.run_cycle(c).expect("oracle cycle");
+        probes.push(probe(&runner));
+    }
+    probes
+}
+
+/// The headline differential: run durably, then crash at every record
+/// boundary the log ever reached and demand recovery lands on the
+/// oracle state for its cycle count — then finishes the workload to
+/// the oracle's end state.
+fn crash_at_every_boundary(kind: PartitionerKind, encoding: StringEncoding, k: usize) {
+    let w = ChurnyWorkload { cycles: 4, cells: 512 };
+    let cfg = base_config(kind, encoding, k);
+    let defs = view_defs();
+    let probes = oracle_probes(&w, &cfg, &defs);
+
+    let snaps: Arc<Mutex<Vec<MemLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut live =
+        WorkloadRunner::new(&w, durable(&cfg, shared(SnapshottingLog::new(Arc::clone(&snaps)))));
+    for def in &defs {
+        live.register_view(def.clone());
+    }
+    live.run_all().expect("durable run completes");
+    let ctx = format!("{kind} {encoding:?} k={k}");
+    assert_probes_match(&probe(&live), probes.last().unwrap(), &format!("{ctx}: live end"));
+
+    let snaps = snaps.lock().expect("snaps mutex");
+    assert!(snaps.len() > w.cycles() * 6, "one snapshot per record: got {}", snaps.len());
+    for (i, snap) in snaps.iter().enumerate() {
+        let rec = WorkloadRunner::recover(&w, durable(&cfg, shared(snap.clone())), defs.clone())
+            .unwrap_or_else(|e| panic!("{ctx}: boundary {i}: recovery failed: {e}"));
+        let c = rec.start_cycle();
+        assert!(c <= w.cycles(), "{ctx}: boundary {i}: start cycle {c} out of range");
+        assert_probes_match(&probe(&rec), &probes[c], &format!("{ctx}: boundary {i} cycle {c}"));
+        let mut rec = rec;
+        rec.run_all().unwrap_or_else(|e| panic!("{ctx}: boundary {i}: continuation failed: {e}"));
+        assert_probes_match(
+            &probe(&rec),
+            probes.last().unwrap(),
+            &format!("{ctx}: boundary {i} continuation"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------
+
+/// The always-on slice of the matrix: the default partitioner,
+/// dictionary strings, replicas, and a fault schedule.
+#[test]
+fn crash_at_every_record_boundary_recovers_bit_identically() {
+    crash_at_every_boundary(PartitionerKind::ConsistentHash, StringEncoding::default(), 2);
+}
+
+/// The full matrix — every partitioner × dict/plain × k ∈ {1, 2}.
+/// Release-mode CI runs this (`durability-smoke`); too slow for the
+/// default debug test pass.
+#[test]
+#[ignore = "full matrix: run in release via cargo test --release -- --ignored"]
+fn full_crash_matrix_all_partitioners() {
+    for kind in PartitionerKind::ALL {
+        for encoding in [StringEncoding::default(), StringEncoding::Plain] {
+            for k in [1usize, 2] {
+                crash_at_every_boundary(kind, encoding, k);
+            }
+        }
+    }
+}
+
+/// A staircase run carries provisioner history through checkpoint and
+/// replay; the probe pins it bit-for-bit.
+#[test]
+fn staircase_provisioner_history_survives_recovery() {
+    use workloads::ScalingPolicy;
+    let w = ChurnyWorkload { cycles: 3, cells: 256 };
+    let mut cfg = base_config(PartitionerKind::RoundRobin, StringEncoding::default(), 1);
+    cfg.scaling = ScalingPolicy::Staircase(elastic_core::StaircaseConfig {
+        node_capacity_gb: 8.0 * 1024.0 / 1e9,
+        ..elastic_core::StaircaseConfig::paper_defaults()
+    });
+    let defs = view_defs();
+    let probes = oracle_probes(&w, &cfg, &defs);
+
+    let snaps: Arc<Mutex<Vec<MemLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut live =
+        WorkloadRunner::new(&w, durable(&cfg, shared(SnapshottingLog::new(Arc::clone(&snaps)))));
+    for def in &defs {
+        live.register_view(def.clone());
+    }
+    live.run_all().expect("staircase run completes");
+    let last = snaps.lock().expect("snaps mutex").last().cloned().expect("snapshots taken");
+    let rec = WorkloadRunner::recover(&w, durable(&cfg, shared(last)), defs.clone())
+        .expect("staircase recovery");
+    assert_eq!(rec.start_cycle(), w.cycles());
+    assert!(rec.provisioner().expect("staircase provisioner").history().len() == w.cycles());
+    assert_probes_match(&probe(&rec), probes.last().unwrap(), "staircase");
+}
+
+/// Torn-tail fuzz: the final log image truncated at EVERY byte offset.
+/// Recovery must land on the valid committed prefix (probe-equal to the
+/// oracle at that cycle count) or a typed error — and never panic.
+#[test]
+fn torn_tail_at_every_byte_offset_lands_on_valid_prefix() {
+    let w = MetaWorkload { cycles: 3 };
+    let mut cfg = base_config(PartitionerKind::ConsistentHash, StringEncoding::default(), 1);
+    cfg.node_capacity = 100_000; // metadata bytes are sampled, keep roster stable
+    let probes = oracle_probes(&w, &cfg, &[]);
+
+    let snaps: Arc<Mutex<Vec<MemLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut live =
+        WorkloadRunner::new(&w, durable(&cfg, shared(SnapshottingLog::new(Arc::clone(&snaps)))));
+    live.run_all().expect("meta run completes");
+    let full = snaps.lock().expect("snaps mutex").last().cloned().expect("snapshots taken");
+
+    for cut in 0..=full.len() {
+        let mut torn = full.clone();
+        torn.crash_truncate(cut);
+        match WorkloadRunner::recover(&w, durable(&cfg, shared(torn)), Vec::new()) {
+            Ok(rec) => {
+                let c = rec.start_cycle();
+                assert!(c <= w.cycles(), "cut {cut}: start cycle {c} out of range");
+                assert_probes_match(&probe(&rec), &probes[c], &format!("cut {cut} cycle {c}"));
+            }
+            Err(e) => panic!("cut {cut}: pure truncation must always recover, got: {e}"),
+        }
+    }
+}
+
+/// Bit-flip fuzz: corrupting any committed byte must yield either a
+/// typed durability error or a recovery onto a valid prefix state
+/// (when the flip turns the record into a torn tail) — never a
+/// divergent answer, never a panic.
+#[test]
+fn corrupted_bytes_yield_typed_errors_or_valid_prefixes() {
+    let w = MetaWorkload { cycles: 3 };
+    let mut cfg = base_config(PartitionerKind::ConsistentHash, StringEncoding::default(), 1);
+    cfg.node_capacity = 100_000;
+    let probes = oracle_probes(&w, &cfg, &[]);
+
+    let snaps: Arc<Mutex<Vec<MemLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut live =
+        WorkloadRunner::new(&w, durable(&cfg, shared(SnapshottingLog::new(Arc::clone(&snaps)))));
+    live.run_all().expect("meta run completes");
+    let full = snaps.lock().expect("snaps mutex").last().cloned().expect("snapshots taken");
+
+    let mut typed_errors = 0usize;
+    for offset in (0..full.len()).step_by(3) {
+        for mask in [0x01u8, 0x80] {
+            let mut bad = full.clone();
+            bad.corrupt_byte(offset, mask);
+            match WorkloadRunner::recover(&w, durable(&cfg, shared(bad)), Vec::new()) {
+                Ok(rec) => {
+                    let c = rec.start_cycle();
+                    assert_probes_match(
+                        &probe(&rec),
+                        &probes[c],
+                        &format!("corrupt {offset}^{mask:#x} cycle {c}"),
+                    );
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, CycleError::Durability { .. }),
+                        "corrupt {offset}^{mask:#x}: wrong error type: {e}"
+                    );
+                    typed_errors += 1;
+                }
+            }
+        }
+    }
+    assert!(typed_errors > 0, "some corruption must surface as typed errors");
+}
+
+/// Checkpoint faults: a lost newest checkpoint falls back to an older
+/// one, a corrupted one is skipped, and with none usable the log
+/// replays from genesis — all landing on the exact end state.
+#[test]
+fn damaged_checkpoints_fall_back_without_divergence() {
+    let w = MetaWorkload { cycles: 4 };
+    let mut cfg = base_config(PartitionerKind::ConsistentHash, StringEncoding::default(), 1);
+    cfg.node_capacity = 100_000;
+    let probes = oracle_probes(&w, &cfg, &[]);
+
+    let snaps: Arc<Mutex<Vec<MemLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut live =
+        WorkloadRunner::new(&w, durable(&cfg, shared(SnapshottingLog::new(Arc::clone(&snaps)))));
+    live.run_all().expect("meta run completes");
+    let full = snaps.lock().expect("snaps mutex").last().cloned().expect("snapshots taken");
+
+    // checkpoint_every = 2 over 4 cycles → checkpoints at seq 2 and 4.
+    let final_probe = probes.last().unwrap();
+    let recover_from = |log: MemLog, ctx: &str| {
+        let rec = WorkloadRunner::recover(&w, durable(&cfg, shared(log)), Vec::new())
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+        assert_eq!(rec.start_cycle(), w.cycles(), "{ctx}");
+        assert_probes_match(&probe(&rec), final_probe, ctx);
+    };
+
+    let mut lost_newest = full.clone();
+    lost_newest.drop_checkpoint(4);
+    recover_from(lost_newest, "newest checkpoint lost");
+
+    let mut corrupt_newest = full.clone();
+    corrupt_newest.corrupt_checkpoint(4, 20, 0xff);
+    recover_from(corrupt_newest, "newest checkpoint corrupted");
+
+    let mut all_gone = full.clone();
+    all_gone.drop_checkpoint(4);
+    all_gone.corrupt_checkpoint(2, 9, 0x10);
+    recover_from(all_gone, "every checkpoint unusable: replay from genesis");
+}
+
+/// The real `std::fs` backend end to end: run durably into a log
+/// directory, drop every handle (the process "restarts"), reopen the
+/// same directory, and recover to the exact oracle end state — WAL
+/// bytes and the atomically-renamed checkpoints both read back through
+/// actual files.
+#[test]
+fn file_backend_survives_a_process_restart() {
+    let dir = std::env::temp_dir().join(format!("wal-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let w = MetaWorkload { cycles: 4 };
+    let mut cfg = base_config(PartitionerKind::ConsistentHash, StringEncoding::default(), 1);
+    cfg.node_capacity = 100_000;
+    let probes = oracle_probes(&w, &cfg, &[]);
+
+    {
+        let log = durability::FileLog::open(&dir).expect("open file log");
+        let mut live = WorkloadRunner::new(&w, durable(&cfg, shared(log)));
+        live.run_all().expect("file-backed run");
+    }
+
+    let log = durability::FileLog::open(&dir).expect("reopen file log");
+    assert_eq!(
+        {
+            let mut l = durability::FileLog::open(&dir).expect("probe handle");
+            l.checkpoint_seqs().expect("file checkpoint seqs")
+        },
+        vec![2, 4],
+        "checkpoints renamed into place"
+    );
+    let rec = WorkloadRunner::recover(&w, durable(&cfg, shared(log)), Vec::new())
+        .expect("file-backed recovery");
+    assert_eq!(rec.start_cycle(), w.cycles());
+    assert_probes_match(&probe(&rec), probes.last().unwrap(), "file backend");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovering with a *different* configuration than the one that wrote
+/// the log is refused with a typed fingerprint mismatch — a recovered
+/// run can never silently diverge from its log.
+#[test]
+fn mismatched_config_is_refused() {
+    let w = MetaWorkload { cycles: 2 };
+    let cfg = base_config(PartitionerKind::ConsistentHash, StringEncoding::default(), 1);
+
+    let snaps: Arc<Mutex<Vec<MemLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut live =
+        WorkloadRunner::new(&w, durable(&cfg, shared(SnapshottingLog::new(Arc::clone(&snaps)))));
+    live.run_all().expect("meta run completes");
+    let full = snaps.lock().expect("snaps mutex").last().cloned().expect("snapshots taken");
+
+    let mut other = base_config(PartitionerKind::RoundRobin, StringEncoding::default(), 1);
+    other.durability = durable(&cfg, shared(full)).durability;
+    let err = WorkloadRunner::recover(&w, other, Vec::new())
+        .err()
+        .expect("mismatched config must be refused");
+    assert!(
+        matches!(
+            &err,
+            CycleError::Durability { source: DurabilityError::Mismatch { what, .. }, .. }
+                if what.contains("fingerprint")
+        ),
+        "wrong error: {err}"
+    );
+
+    // And recovery without a durability config is a typed error too.
+    let mut none = cfg.clone();
+    none.durability = None;
+    assert!(matches!(
+        WorkloadRunner::recover(&w, none, Vec::new()),
+        Err(CycleError::Durability { .. })
+    ));
+}

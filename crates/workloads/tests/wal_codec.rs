@@ -1,0 +1,162 @@
+//! Property tests for the write-ahead log codec: arbitrary event
+//! sequences encode → frame → decode bit-identically, and every strict
+//! prefix of a framed stream decodes to a clean record prefix or a
+//! typed torn-tail error — never a panic, never a wrong record.
+
+use array_model::{ArrayId, ArraySchema, ChunkCoords, ChunkDescriptor, ChunkKey, ScalarValue};
+use durability::{frame_record, DurabilityError, RecordReader};
+use proptest::prelude::*;
+use workloads::{CellBatch, WalEvent};
+
+fn schema() -> ArraySchema {
+    ArraySchema::parse("W<v:double, s:string>[x=0:*,8]").unwrap()
+}
+
+/// Deterministic strings covering the nasty shapes: empty, multi-byte
+/// unicode, long, and a numbered tail with dictionary-sized cardinality.
+fn string_for(seed: u64) -> String {
+    match seed % 6 {
+        0 => String::new(),
+        1 => "λ-端口-🚢".to_string(),
+        2 => "a-deliberately-long-provenance-string-that-outweighs-its-code".to_string(),
+        _ => format!("s{}", seed % 97),
+    }
+}
+
+/// A cell batch built from seeds: inserts (double + dictionary-interned
+/// string) interleaved with retraction rows, exactly the mix the runner
+/// logs verbatim.
+fn batch_for(seeds: &[u64]) -> CellBatch {
+    let schema = schema();
+    let mut batch = CellBatch::new(ArrayId(0), &schema);
+    let mut vals = Vec::with_capacity(2);
+    for (i, &seed) in seeds.iter().enumerate() {
+        if seed % 5 == 0 {
+            batch.push_retraction(&[(seed % 1024) as i64]);
+        } else {
+            vals.push(ScalarValue::Double(seed as f64 * 0.5));
+            vals.push(ScalarValue::Str(string_for(seed)));
+            batch.push(&[(i as u64 * 131 % 8192) as i64], &mut vals);
+        }
+    }
+    batch
+}
+
+fn descs_for(seeds: &[u64]) -> Vec<ChunkDescriptor> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            ChunkDescriptor::new(
+                ChunkKey::new(
+                    ArrayId((s % 3) as u32),
+                    ChunkCoords::new([i as i64, (s % 100) as i64]),
+                ),
+                s % 1_000_000,
+                s % 10_000,
+            )
+        })
+        .collect()
+}
+
+fn arb_event() -> impl Strategy<Value = WalEvent> {
+    fn seeds() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(any::<u64>(), 0..12)
+    }
+    prop_oneof![
+        any::<u64>().prop_map(|fingerprint| WalEvent::Genesis { fingerprint }),
+        any::<u64>().prop_map(|cycle| WalEvent::CycleStart { cycle }),
+        (any::<u64>(), any::<u64>()).prop_map(|(cycle, digest)| WalEvent::Faults { cycle, digest }),
+        seeds().prop_map(|s| WalEvent::InsertCells {
+            batches: if s.is_empty() { Vec::new() } else { vec![batch_for(&s)] },
+        }),
+        seeds().prop_map(|s| WalEvent::InsertMeta { descs: descs_for(&s) }),
+        (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(add, remove, saturated)| {
+            WalEvent::Scale { add: add % 4096, remove: remove % 4096, saturated }
+        }),
+        seeds().prop_map(|s| WalEvent::Derived { descs: descs_for(&s) }),
+        any::<u64>().prop_map(|cycle| WalEvent::CycleEnd { cycle }),
+    ]
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<WalEvent>> {
+    proptest::collection::vec(arb_event(), 0..8)
+}
+
+/// Frame a sequence the way the runner's log does, recording each
+/// record's end offset.
+fn frame_events(events: &[WalEvent]) -> (Vec<u8>, Vec<usize>) {
+    let mut stream = Vec::new();
+    let mut ends = Vec::new();
+    for e in events {
+        stream.extend_from_slice(&frame_record(&e.encode()));
+        ends.push(stream.len());
+    }
+    (stream, ends)
+}
+
+proptest! {
+    /// encode → decode is the identity, and re-encoding the decoded
+    /// event reproduces the exact payload bytes.
+    #[test]
+    fn events_round_trip_bit_identically(events in arb_events()) {
+        let (stream, _) = frame_events(&events);
+        let mut reader = RecordReader::new(&stream);
+        for (i, original) in events.iter().enumerate() {
+            let payload = reader
+                .next_record()
+                .unwrap_or_else(|e| panic!("record {i} unreadable: {e}"))
+                .unwrap_or_else(|| panic!("stream ended before record {i}"));
+            prop_assert_eq!(payload, original.encode().as_slice());
+            let decoded = WalEvent::decode(payload)
+                .unwrap_or_else(|e| panic!("record {i} undecodable: {e}"));
+            prop_assert_eq!(&decoded, original);
+            prop_assert_eq!(decoded.encode(), original.encode());
+        }
+        prop_assert!(reader.next_record().expect("clean tail").is_none());
+    }
+
+    /// Every strict prefix of the framed stream yields exactly the
+    /// records that fit, then either a clean end (cut on a record
+    /// boundary) or a typed torn-tail error — and the torn offset is
+    /// the boundary recovery should truncate to.
+    #[test]
+    fn every_stream_prefix_is_a_clean_prefix_or_typed_torn(events in arb_events()) {
+        let (stream, ends) = frame_events(&events);
+        for cut in 0..stream.len() {
+            let whole = ends.iter().take_while(|&&e| e <= cut).count();
+            let boundary = ends.get(whole.wrapping_sub(1)).copied().unwrap_or(0);
+            let mut reader = RecordReader::new(&stream[..cut]);
+            for (i, event) in events.iter().enumerate().take(whole) {
+                let payload = reader
+                    .next_record()
+                    .unwrap_or_else(|e| panic!("cut {cut}: record {i} unreadable: {e}"))
+                    .unwrap_or_else(|| panic!("cut {cut}: record {i} missing"));
+                prop_assert_eq!(payload, event.encode().as_slice());
+            }
+            match reader.next_record() {
+                Ok(None) => prop_assert_eq!(cut, boundary, "clean end off a record boundary"),
+                Err(DurabilityError::Torn { offset }) => {
+                    prop_assert_eq!(offset as usize, boundary, "torn offset must be the boundary")
+                }
+                Ok(Some(_)) => panic!("cut {cut}: produced a record past the prefix count"),
+                Err(e) => panic!("cut {cut}: truncation must read as torn, got: {e}"),
+            }
+        }
+    }
+
+    /// A strict prefix of an *unframed* record payload never decodes:
+    /// the event codec is length-exact, so truncation inside a payload
+    /// is always a typed codec error.
+    #[test]
+    fn truncated_payloads_fail_typed(event in arb_event()) {
+        let payload = event.encode();
+        for cut in 0..payload.len() {
+            prop_assert!(
+                WalEvent::decode(&payload[..cut]).is_err(),
+                "strict prefix of {} bytes decoded",
+                cut
+            );
+        }
+    }
+}
