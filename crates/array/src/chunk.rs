@@ -12,6 +12,7 @@ use crate::coords::ChunkCoords;
 use crate::error::{ArrayError, Result};
 use crate::schema::ArraySchema;
 use crate::value::{AttributeColumn, DictColumn, ScalarValue, StringEncoding};
+use crate::zone::ZoneMap;
 use serde::{Deserialize, Serialize};
 
 /// Identifier for an array within a catalog/cluster.
@@ -115,6 +116,12 @@ pub struct Chunk {
     /// a compacted chunk is structurally identical to one built from
     /// only the surviving cells.
     encoding: StringEncoding,
+    /// Pruning metadata: live-cell bounding box + per-attribute stats.
+    /// Maintained on every mutation (see [`crate::zone`] for the
+    /// conservatism/path-independence invariants); participates in the
+    /// derived `PartialEq`, so the structural-equality differentials
+    /// also pin zone-map maintenance.
+    zone: ZoneMap,
 }
 
 impl Chunk {
@@ -131,19 +138,22 @@ impl Chunk {
         coords: ChunkCoords,
         encoding: StringEncoding,
     ) -> Self {
+        let columns: Vec<AttributeColumn> = schema
+            .attributes
+            .iter()
+            .map(|a| AttributeColumn::with_encoding(a.ty, encoding))
+            .collect();
+        let zone = ZoneMap::empty_for(schema.ndims(), &columns);
         Chunk {
             coords,
             ndims: schema.ndims() as u8,
             cell_coords: Vec::new(),
-            columns: schema
-                .attributes
-                .iter()
-                .map(|a| AttributeColumn::with_encoding(a.ty, encoding))
-                .collect(),
+            columns,
             bytes: 0,
             cells: 0,
             tombstones: Vec::new(),
             encoding,
+            zone,
         }
     }
 
@@ -172,6 +182,7 @@ impl Chunk {
                 });
             }
         }
+        self.zone.observe_cell(&cell, &values);
         for (col, value) in self.columns.iter_mut().zip(values) {
             // The delta accounts dictionary bytes once per distinct
             // string plus 4 B per code (and any spill conversion);
@@ -182,6 +193,9 @@ impl Chunk {
         self.bytes += (cell.len() * 8) as u64;
         self.cell_coords.extend_from_slice(&cell);
         self.cells += 1;
+        // After the values land: the push may have grown or spilled a
+        // dictionary, which the zone's string summaries track.
+        self.zone.sync_strings(&self.columns);
         Ok(())
     }
 
@@ -332,6 +346,11 @@ impl Chunk {
                 }
             }
         }
+        // Freshly scattered chunks are tombstone-free, so the canonical
+        // fold over the built buffers yields a tight zone map.
+        for chunk in &mut out {
+            chunk.zone = ZoneMap::compute(nd, &chunk.cell_coords, &chunk.columns);
+        }
         out
     }
 
@@ -359,6 +378,11 @@ impl Chunk {
         }
         self.bytes = self.bytes.checked_add_signed(delta).expect("byte counter underflow");
         self.cells += other.cells;
+        // Merging canonical zone maps equals the canonical map of the
+        // union, so grown chunks stay `==` to batch-built ones. String
+        // summaries re-read the merged columns (appends can spill).
+        self.zone.merge(&other.zone);
+        self.zone.sync_strings(&self.columns);
     }
 
     /// Number of stored (non-empty) cells. O(1).
@@ -558,6 +582,9 @@ impl Chunk {
         self.columns = columns;
         self.tombstones.clear();
         self.bytes = bytes;
+        // Retractions left the zone map stale-but-conservative; the
+        // rebuild has exactly the surviving rows, so recompute a tight one.
+        self.zone = ZoneMap::compute(self.ndims as usize, &self.cell_coords, &self.columns);
         before as i64 - bytes as i64
     }
 
@@ -568,6 +595,31 @@ impl Chunk {
             bytes: self.bytes,
             cells: self.cells,
         }
+    }
+
+    /// The chunk's pruning metadata (see [`crate::zone`]).
+    pub fn zone(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// Coordinate stride: the owning schema's dimensionality.
+    pub fn ndims(&self) -> usize {
+        self.ndims as usize
+    }
+
+    /// The flat row-major coordinate buffer (stride = [`Chunk::ndims`]),
+    /// including tombstoned rows — the vectorized scan kernels read
+    /// coordinates column-at-a-time through this and mask out dead rows
+    /// via [`Chunk::tombstone_words`].
+    pub fn coords_flat(&self) -> &[i64] {
+        &self.cell_coords
+    }
+
+    /// The raw tombstone bitmap words (bit `i` of word `i/64` set = row
+    /// retracted). May cover fewer rows than exist — absent bits are
+    /// live.
+    pub fn tombstone_words(&self) -> &[u64] {
+        &self.tombstones
     }
 }
 
@@ -646,6 +698,7 @@ impl Chunk {
             w.put_u64(word);
         }
         self.encoding.encode_into(w);
+        self.zone.encode_into(w);
     }
 
     /// Decode a chunk written by [`Chunk::encode_into`]. Cross-field
@@ -697,7 +750,10 @@ impl Chunk {
             });
         }
         let encoding = StringEncoding::decode_from(r)?;
-        Ok(Chunk { coords, ndims, cell_coords, columns, bytes, cells, tombstones, encoding })
+        let zone = ZoneMap::decode_from(r)?;
+        zone.validate_shape(ndims as usize, &columns)
+            .map_err(|detail| CodecError::Invalid { context: "chunk zone map", detail })?;
+        Ok(Chunk { coords, ndims, cell_coords, columns, bytes, cells, tombstones, encoding, zone })
     }
 }
 

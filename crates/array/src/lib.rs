@@ -31,6 +31,7 @@ mod error;
 mod hilbert;
 mod schema;
 mod value;
+pub mod zone;
 
 pub use array::{Array, RetractOutcome};
 pub use cells::CellBuffer;
@@ -44,3 +45,4 @@ pub use value::{
     AttributeColumn, AttributeType, DictColumn, ScalarValue, StringDict, StringEncoding,
     DEFAULT_DICT_CAP,
 };
+pub use zone::{AttrZone, DimZone, ZoneMap};

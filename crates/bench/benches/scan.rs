@@ -1,0 +1,133 @@
+//! Vectorized-scan and zone-map pruning costs: the same selective
+//! queries answered with chunk pruning on and off, over an array built
+//! so the zones are decisive — `v` is monotone along `x` (numeric
+//! zones partition by chunk column) and the `tag` string names the
+//! chunk's block (dictionary probes refute foreign blocks). Prints the
+//! deterministic `chunks_pruned=` marker BENCH_scan.json and the
+//! scan-smoke CI job grep for.
+//!
+//! Set `SCAN_SIDE` to override the grid side length (default 256).
+
+use array_model::{Array, ArrayId, ArraySchema, ScalarValue};
+use cluster_sim::{Cluster, CostModel, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use query_engine::{ops, Catalog, ExecutionContext, Predicate, StoredArray};
+use std::hint::black_box;
+
+const CHUNK: i64 = 16;
+/// Columns per tag block: 4 blocks over the default 256-wide grid.
+const BLOCK: i64 = 64;
+
+fn side() -> i64 {
+    std::env::var("SCAN_SIDE").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// `side x side` cells in `CHUNK x CHUNK` chunks: `v = x` (monotone, so
+/// each chunk column owns a disjoint value band) and `tag = "blk{x /
+/// BLOCK}"` (each chunk's dictionary holds exactly one tag).
+fn populated(side: i64) -> Array {
+    let schema = ArraySchema::parse(&format!(
+        "S<v:double, tag:string>[x=0:{},{CHUNK}, y=0:{},{CHUNK}]",
+        side - 1,
+        side - 1
+    ))
+    .expect("bench schema is valid");
+    let mut array = Array::new(ArrayId(0), schema);
+    for x in 0..side {
+        for y in 0..side {
+            array
+                .insert_cell(
+                    vec![x, y],
+                    vec![
+                        ScalarValue::Double(x as f64),
+                        ScalarValue::Str(format!("blk{}", x / BLOCK)),
+                    ],
+                )
+                .expect("in bounds");
+        }
+    }
+    array
+}
+
+/// The populated array registered in a catalog and spread over 4 nodes.
+fn catalog_cluster(array: Array) -> (Cluster, Catalog) {
+    let mut cluster = Cluster::new(4, u64::MAX, CostModel::default()).unwrap();
+    let stored = StoredArray::from_array(array);
+    for (i, d) in stored.descriptors.values().enumerate() {
+        cluster.place(*d, NodeId((i % 4) as u32)).unwrap();
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(stored);
+    (cluster, catalog)
+}
+
+fn bench(c: &mut Criterion) {
+    let side = side();
+    let (cluster, catalog) = catalog_cluster(populated(side));
+    let pruned_ctx = ExecutionContext::new(&cluster, &catalog);
+    let full_ctx = ExecutionContext::new(&cluster, &catalog).with_pruning(false);
+    let all = array_model::Region::new(vec![0, 0], vec![side - 1, side - 1]);
+
+    // Selective numeric predicate: the last chunk column's value band.
+    let num = Predicate::ge((side - CHUNK) as f64);
+    // Selective dictionary predicate: the last tag block.
+    let tag = Predicate::str_eq(format!("blk{}", (side - 1) / BLOCK));
+
+    // Deterministic marker outside the timing loop: same answers, and
+    // the pruned plan classifies every chunk the full plan visits.
+    {
+        let (n_on, s_on) = ops::filter_count(&pruned_ctx, ArrayId(0), &all, "v", &num).unwrap();
+        let (n_off, s_off) = ops::filter_count(&full_ctx, ArrayId(0), &all, "v", &num).unwrap();
+        assert_eq!(n_on, n_off, "pruning changed the numeric answer");
+        assert_eq!(n_on, (CHUNK * side) as u64);
+        assert_eq!(s_off.chunks_pruned, 0);
+        assert_eq!(s_on.chunks_visited + s_on.chunks_pruned, s_off.chunks_visited);
+        assert!(s_on.chunks_visited < s_off.chunks_visited, "zones refuted nothing");
+        let (t_on, d_on) = ops::filter_count(&pruned_ctx, ArrayId(0), &all, "tag", &tag).unwrap();
+        let (t_off, _) = ops::filter_count(&full_ctx, ArrayId(0), &all, "tag", &tag).unwrap();
+        assert_eq!(t_on, t_off, "pruning changed the dictionary answer");
+        eprintln!(
+            "scan: {side}x{side} cells, numeric probe chunks_pruned={} chunks_total={} \
+             (visited {}), dict probe chunks_pruned={} (visited {})",
+            s_on.chunks_pruned,
+            s_off.chunks_visited,
+            s_on.chunks_visited,
+            d_on.chunks_pruned,
+            d_on.chunks_visited,
+        );
+    }
+
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(20);
+
+    // The selective numeric scan, pruned vs full: the speedup is the
+    // zone maps refuting all but one chunk column before payloads.
+    group.bench_function(format!("filter-pruned/{side}"), |b| {
+        b.iter(|| black_box(ops::filter_count(&pruned_ctx, ArrayId(0), &all, "v", &num).unwrap().0))
+    });
+    group.bench_function(format!("filter-full/{side}"), |b| {
+        b.iter(|| black_box(ops::filter_count(&full_ctx, ArrayId(0), &all, "v", &num).unwrap().0))
+    });
+
+    // The dictionary probe: code-space compares, no decoding; pruning
+    // refutes every chunk whose dictionary lacks the tag.
+    group.bench_function(format!("dict-pruned/{side}"), |b| {
+        b.iter(|| {
+            black_box(ops::filter_count(&pruned_ctx, ArrayId(0), &all, "tag", &tag).unwrap().0)
+        })
+    });
+    group.bench_function(format!("dict-full/{side}"), |b| {
+        b.iter(|| black_box(ops::filter_count(&full_ctx, ArrayId(0), &all, "tag", &tag).unwrap().0))
+    });
+
+    // An unselective full-width scan: pruning can refute nothing here,
+    // so this pins the plan overhead of computing refutations at all.
+    let any = Predicate::ge(0.0);
+    group.bench_function(format!("full-scan/{side}"), |b| {
+        b.iter(|| black_box(ops::filter_count(&pruned_ctx, ArrayId(0), &all, "v", &any).unwrap().0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

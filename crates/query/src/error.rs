@@ -31,6 +31,19 @@ pub enum QueryError {
     NodeLost(ChunkKey),
     /// Operator-specific invalid argument.
     InvalidArgument(String),
+    /// An operator was pointed at an attribute whose declared type cannot
+    /// support it — aggregating a string column, a numeric predicate over
+    /// strings, `distinct` over floats. Returned **instead of** silently
+    /// coercing the column (the historical behavior answered `0.0`),
+    /// which this repo's differential philosophy forbids.
+    AttributeType {
+        /// The attribute that was named.
+        attribute: String,
+        /// What the operator required ("numeric", "integer", "string").
+        expected: &'static str,
+        /// The attribute's declared type name.
+        got: &'static str,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -46,6 +59,9 @@ impl fmt::Display for QueryError {
                 write!(f, "chunk {key} is unreadable: every holding node is crashed")
             }
             QueryError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            QueryError::AttributeType { attribute, expected, got } => {
+                write!(f, "attribute `{attribute}` is {got}, but the operator requires {expected}")
+            }
         }
     }
 }

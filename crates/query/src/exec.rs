@@ -3,6 +3,7 @@
 
 use crate::catalog::{Catalog, StoredArray};
 use crate::error::{QueryError, Result};
+use crate::predicate::Predicate;
 use array_model::{ArrayId, Chunk, ChunkCoords, ChunkDescriptor, Region};
 use cluster_sim::{Cluster, CostModel, NodeId, PayloadRead};
 use std::cell::Cell;
@@ -18,12 +19,45 @@ pub struct ExecutionContext<'a> {
     /// surviving replica or the catalog oracle standing in for a crashed
     /// node. Interior-mutable so the read path keeps taking `&self`.
     degraded: Cell<u64>,
+    /// Whether [`ExecutionContext::plan_scan`] may skip chunks whose zone
+    /// map refutes the query. On by default; the pruning differentials
+    /// turn it off to prove pruned answers are bit-identical.
+    pruning: bool,
+}
+
+/// One operator's scan, planned chunk-by-chunk by
+/// [`ExecutionContext::plan_scan`]: the chunks to visit (with payloads
+/// pre-fetched when the array is cell-exact) plus the count of chunks the
+/// zone maps refuted. Routing (`node_of`) and payload fetching run for
+/// **every** intersecting chunk before the prune decision, so failure
+/// modes (`NodeLost`, `Unplaced`) and degraded-read accounting are
+/// identical whether pruning is on or off — pruning can only remove
+/// work, never change an answer or mask an error.
+pub struct ScanPlan<'a> {
+    /// Chunks the operator must touch: descriptor, resident node, and the
+    /// materialized payload (`None` on the metadata-only path).
+    pub visit: Vec<(ChunkDescriptor, NodeId, Option<&'a Chunk>)>,
+    /// Chunks skipped because their zone map refuted the region or
+    /// predicate (or they held no live cells). Zero when pruning is off.
+    pub pruned: u64,
+    /// Whether every placed chunk's cells are readable
+    /// ([`ExecutionContext::cells_available`]) — i.e. whether the
+    /// operator may produce a cell-exact answer.
+    pub exact: bool,
 }
 
 impl<'a> ExecutionContext<'a> {
     /// Bundle a cluster and catalog.
     pub fn new(cluster: &'a Cluster, catalog: &'a Catalog) -> Self {
-        ExecutionContext { cluster, catalog, degraded: Cell::new(0) }
+        ExecutionContext { cluster, catalog, degraded: Cell::new(0), pruning: true }
+    }
+
+    /// Enable or disable zone-map chunk pruning (on by default). The
+    /// differential suites run every query both ways and require
+    /// bit-identical answers.
+    pub fn with_pruning(mut self, on: bool) -> Self {
+        self.pruning = on;
+        self
     }
 
     /// The cost model in force.
@@ -186,6 +220,60 @@ impl<'a> ExecutionContext<'a> {
             }
         }
         Ok(out)
+    }
+
+    /// Plan a scan of `array_id` over `region` (all chunks when `None`),
+    /// optionally pushing down a predicate on attribute `pred.0`. This is
+    /// the single planning choke point for the vectorized operators:
+    ///
+    /// 1. every intersecting chunk is **routed** (`node_of`), so
+    ///    placement errors surface exactly as they would unpruned;
+    /// 2. when the array is cell-exact, every intersecting chunk's
+    ///    payload is fetched once here and shared by the cost and answer
+    ///    loops (degraded-read accounting is pruning-invariant);
+    /// 3. with pruning enabled, a fetched chunk is dropped from the visit
+    ///    list when it has no live cells, its zone map refutes `region`,
+    ///    or the pushed-down predicate refutes its value summary /
+    ///    dictionary. A pruned chunk contributes zero rows by
+    ///    construction, so answers are bit-identical either way.
+    pub fn plan_scan(
+        &self,
+        array_id: ArrayId,
+        region: Option<&Region>,
+        pred: Option<(usize, &Predicate)>,
+    ) -> Result<ScanPlan<'a>> {
+        let array = self.catalog.array(array_id)?;
+        if let Some(r) = region {
+            if r.ndims() != array.schema.ndims() {
+                return Err(QueryError::RegionArity {
+                    expected: array.schema.ndims(),
+                    got: r.ndims(),
+                });
+            }
+        }
+        let exact = self.cells_available(array);
+        let mut visit = Vec::new();
+        let mut pruned = 0u64;
+        for (coords, desc) in &array.descriptors {
+            if !region.is_none_or(|r| r.intersects_chunk(&array.schema, coords)) {
+                continue;
+            }
+            let node = self.node_of(array, coords, None)?;
+            let payload = if exact { self.chunk_payload(array, coords) } else { None };
+            if self.pruning {
+                if let Some(chunk) = payload {
+                    let dead = chunk.cell_count() == 0
+                        || region.is_some_and(|r| chunk.zone().refutes_region(r))
+                        || pred.is_some_and(|(attr, p)| p.refutes_chunk(chunk, attr));
+                    if dead {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            visit.push((*desc, node, payload));
+        }
+        Ok(ScanPlan { visit, pruned, exact })
     }
 
     /// The byte fraction of a chunk occupied by the named attributes —

@@ -24,10 +24,12 @@ mod catalog;
 mod error;
 mod exec;
 pub mod ops;
+mod predicate;
 mod stats;
 pub mod view;
 
 pub use catalog::{Catalog, StoredArray};
 pub use error::{QueryError, Result};
-pub use exec::ExecutionContext;
+pub use exec::{ExecutionContext, ScanPlan};
+pub use predicate::{NumPred, Predicate, StrPred};
 pub use stats::{scaled_bytes, QueryStats, WorkTracker};

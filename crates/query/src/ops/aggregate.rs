@@ -8,6 +8,7 @@
 //! single contributor and the exchange disappears — the clustered
 //! partitioners' advantage on the Science benchmarks.
 
+use super::scan::{require_numeric, NumericSlice, SelectionMask};
 use crate::error::{QueryError, Result};
 use crate::exec::ExecutionContext;
 use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
@@ -119,8 +120,20 @@ fn grid_aggregate_impl(
             return Err(QueryError::InvalidArgument(format!("group dimension {d} out of range")));
         }
     }
+    // The rolling dimension indexes the fixed-size chunk coordinate repr,
+    // which is in-bounds for any dim < MAX_DIMS — an unvalidated value
+    // used to silently corrupt the predecessor lookup (and with it the
+    // cost model) instead of erroring like `spec.dims` above.
+    if let Some(rd) = rolling_dim {
+        if rd >= array.schema.ndims() {
+            return Err(QueryError::InvalidArgument(format!(
+                "rolling dimension {rd} out of range"
+            )));
+        }
+    }
     let fraction = ctx.attr_fraction(array, &[attr])?;
     let attr_idx = array.attribute_index(attr)?;
+    require_numeric(attr, array.schema.attributes[attr_idx].ty, "numeric")?;
     let mut tracker = WorkTracker::new(ctx.cost());
 
     // --- cost: local partial aggregation, then exchange per group ---
@@ -128,10 +141,11 @@ fn grid_aggregate_impl(
     // chunk's low corner, coarsened in chunk units) to find how many nodes
     // contribute to each group region.
     let mut group_nodes: BTreeMap<Vec<i64>, BTreeMap<NodeId, u64>> = BTreeMap::new();
-    let placed = ctx.chunks_in(array_id, region)?;
+    let plan = ctx.plan_scan(array_id, region, None)?;
+    tracker.prune_chunks(plan.pruned);
     let homes: BTreeMap<&array_model::ChunkCoords, (u64, NodeId)> =
-        placed.iter().map(|(d, n)| (&d.key.coords, (d.bytes, *n))).collect();
-    for (desc, node) in &placed {
+        plan.visit.iter().map(|(d, n, _)| (&d.key.coords, (d.bytes, *n))).collect();
+    for (desc, node, _) in &plan.visit {
         let (desc, node) = (desc, *node);
         let scan_bytes = scaled_bytes(desc.bytes, fraction);
         tracker.scan_chunk(node, scan_bytes);
@@ -177,18 +191,26 @@ fn grid_aggregate_impl(
 
     // --- materialized answer ---
     let mut groups: BTreeMap<Vec<i64>, (f64, u64, f64)> = BTreeMap::new(); // (sum, count, max)
-    if ctx.cells_available(array) {
-        for (_, chunk) in ctx.payload_chunks(array, region) {
-            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
-            for (cell, row) in chunk.iter_cells() {
-                if region.is_none_or(|r| r.contains_cell(cell)) {
-                    let v = col.get_f64(row).unwrap_or(0.0);
-                    let entry = groups.entry(spec.key_of_cell(cell)).or_insert((0.0, 0, f64::MIN));
-                    entry.0 += v;
-                    entry.1 += 1;
-                    entry.2 = entry.2.max(v);
-                }
+    if plan.exact {
+        let nd = array.schema.ndims();
+        for (_, _, payload) in &plan.visit {
+            let Some(chunk) = payload else { continue };
+            let mut mask = SelectionMask::live(chunk);
+            if let Some(r) = region {
+                mask.retain_region(chunk, r);
             }
+            // The attribute was type-checked up front, so every row folds
+            // a real measurement — never the historical `unwrap_or(0.0)`.
+            let col = NumericSlice::of(chunk, attr_idx).expect("type-checked numeric column");
+            let flat = chunk.coords_flat();
+            mask.for_each(|row| {
+                let v = col.get(row);
+                let cell = &flat[row * nd..(row + 1) * nd];
+                let entry = groups.entry(spec.key_of_cell(cell)).or_insert((0.0, 0, f64::MIN));
+                entry.0 += v;
+                entry.1 += 1;
+                entry.2 = entry.2.max(v);
+            });
         }
     }
     let rows = groups
@@ -325,5 +347,37 @@ mod tests {
             grid_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Avg),
             Err(QueryError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn bad_rolling_dimension_is_rejected() {
+        // Used to index the fixed-size coord repr in-bounds and silently
+        // skew the cost model; now it errors like a bad group dimension.
+        let (cluster, cat) = setup(|i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let spec = GroupSpec::by_dims(vec![1, 2]);
+        assert!(matches!(
+            rolling_aggregate(&ctx, ArrayId(0), None, "v", &spec, AggFn::Avg, 7),
+            Err(QueryError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn aggregating_a_string_attribute_is_a_typed_error() {
+        // Used to fold `unwrap_or(0.0)` and answer 0 for every group.
+        let mut cluster = Cluster::new(1, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("T<name:string>[x=0:3,2]").unwrap();
+        let mut a = Array::new(ArrayId(3), schema);
+        a.insert_cell(vec![0], vec![ScalarValue::Str("a".into())]).unwrap();
+        let stored = StoredArray::from_array(a);
+        for d in stored.descriptors.values() {
+            cluster.place(*d, NodeId(0)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let spec = GroupSpec::by_dims(vec![0]);
+        let err = grid_aggregate(&ctx, ArrayId(3), None, "name", &spec, AggFn::Sum).unwrap_err();
+        assert!(matches!(err, QueryError::AttributeType { .. }), "{err}");
     }
 }

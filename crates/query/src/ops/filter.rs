@@ -4,9 +4,18 @@
 //! every node scans its share of the relevant chunks independently, so
 //! elapsed time is bounded by the most loaded node — storage skew shows up
 //! here directly (the AIS Houston-region selection).
+//!
+//! Both operators run through [`ExecutionContext::plan_scan`]: chunks
+//! whose zone map refutes the region or the pushed-down predicate are
+//! skipped before any payload byte is read, and the survivors are
+//! filtered column-at-a-time through a
+//! [`SelectionMask`](super::scan::SelectionMask) instead of per-row
+//! `iter_cells` dispatch.
 
+use super::scan::SelectionMask;
 use crate::error::Result;
 use crate::exec::ExecutionContext;
+use crate::predicate::Predicate;
 use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, Region, ScalarValue};
 
@@ -42,35 +51,37 @@ pub fn subarray(
     let fraction = if attrs.is_empty() { 1.0 } else { ctx.attr_fraction(array, attrs)? };
     let mut tracker = WorkTracker::new(ctx.cost());
 
-    for (desc, node) in ctx.chunks_in(array_id, Some(region))? {
-        tracker.scan_chunk(node, scaled_bytes(desc.bytes, fraction));
+    let plan = ctx.plan_scan(array_id, Some(region), None)?;
+    for (desc, node, _) in &plan.visit {
+        tracker.scan_chunk(*node, scaled_bytes(desc.bytes, fraction));
     }
+    tracker.prune_chunks(plan.pruned);
 
     // Materialized answer when cells are available (catalog- or
-    // cluster-stored; `payload_chunks` reads whichever holds them).
+    // cluster-stored; the plan pre-fetched whichever holds them).
     let mut out = CellSet::default();
-    if ctx.cells_available(array) {
+    if plan.exact {
         let attr_idx: Vec<usize> = if attrs.is_empty() {
             (0..array.schema.attributes.len()).collect()
         } else {
             attrs.iter().map(|a| array.attribute_index(a)).collect::<Result<Vec<_>>>()?
         };
-        for (_, chunk) in ctx.payload_chunks(array, Some(region)) {
-            for (cell, row) in chunk.iter_cells() {
-                if region.contains_cell(cell) {
-                    let values = attr_idx
-                        .iter()
-                        .map(|&i| {
-                            chunk
-                                .column(i)
-                                .expect("schema-shaped chunk")
-                                .get(row)
-                                .expect("row exists")
-                        })
-                        .collect();
-                    out.cells.push((cell.to_vec(), values));
-                }
-            }
+        let nd = array.schema.ndims();
+        for (_, _, payload) in &plan.visit {
+            let Some(chunk) = payload else { continue };
+            let mut mask = SelectionMask::live(chunk);
+            mask.retain_region(chunk, region);
+            let flat = chunk.coords_flat();
+            mask.for_each(|row| {
+                let cell = &flat[row * nd..(row + 1) * nd];
+                let values = attr_idx
+                    .iter()
+                    .map(|&i| {
+                        chunk.column(i).expect("schema-shaped chunk").get(row).expect("row exists")
+                    })
+                    .collect();
+                out.cells.push((cell.to_vec(), values));
+            });
         }
     }
     Ok((out, tracker.finish()))
@@ -78,35 +89,40 @@ pub fn subarray(
 
 /// Count the cells of `array` in `region` whose attribute `attr` satisfies
 /// `predicate`. Costing matches [`subarray`] restricted to one column.
+///
+/// The predicate is *data* (see [`Predicate`]), so it is type-checked
+/// against the attribute up front — a numeric comparison over a string
+/// column is a typed [`crate::QueryError::AttributeType`], never a
+/// silently skipped row — and pushed down into the scan plan, where zone
+/// maps and dictionary probes refute whole chunks and dictionary columns
+/// are filtered as `u32` codes without decoding.
 pub fn filter_count(
     ctx: &ExecutionContext<'_>,
     array_id: ArrayId,
     region: &Region,
     attr: &str,
-    predicate: impl Fn(f64) -> bool,
+    predicate: &Predicate,
 ) -> Result<(u64, QueryStats)> {
     let array = ctx.catalog.array(array_id)?;
     let fraction = ctx.attr_fraction(array, &[attr])?;
     let attr_idx = array.attribute_index(attr)?;
+    predicate.check_type(attr, array.schema.attributes[attr_idx].ty)?;
     let mut tracker = WorkTracker::new(ctx.cost());
 
-    for (desc, node) in ctx.chunks_in(array_id, Some(region))? {
-        tracker.scan_chunk(node, scaled_bytes(desc.bytes, fraction));
+    let plan = ctx.plan_scan(array_id, Some(region), Some((attr_idx, predicate)))?;
+    for (desc, node, _) in &plan.visit {
+        tracker.scan_chunk(*node, scaled_bytes(desc.bytes, fraction));
     }
+    tracker.prune_chunks(plan.pruned);
 
     let mut count = 0u64;
-    if ctx.cells_available(array) {
-        for (_, chunk) in ctx.payload_chunks(array, Some(region)) {
-            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
-            for (cell, row) in chunk.iter_cells() {
-                if region.contains_cell(cell) {
-                    if let Some(v) = col.get_f64(row) {
-                        if predicate(v) {
-                            count += 1;
-                        }
-                    }
-                }
-            }
+    if plan.exact {
+        for (_, _, payload) in &plan.visit {
+            let Some(chunk) = payload else { continue };
+            let mut mask = SelectionMask::live(chunk);
+            mask.retain_region(chunk, region);
+            mask.retain_predicate(chunk, attr_idx, predicate)?;
+            count += mask.count();
         }
     }
     Ok((count, tracker.finish()))
@@ -145,8 +161,10 @@ mod tests {
         let region = Region::new(vec![0, 0], vec![2, 2]);
         let (cells, stats) = subarray(&ctx, ArrayId(0), &region, &[]).unwrap();
         assert_eq!(cells.len(), 9);
-        // Region spans chunks (0,0),(0,1),(1,0),(1,1): 4 chunks scanned.
+        // Region spans chunks (0,0),(0,1),(1,0),(1,1): 4 chunks scanned
+        // (the array is dense, so no zone map can refute them).
         assert_eq!(stats.chunks_visited, 4);
+        assert_eq!(stats.chunks_pruned, 0);
         assert!(stats.elapsed_secs > 0.0);
         // Every returned cell is inside the region.
         for (cell, _) in &cells.cells {
@@ -176,8 +194,52 @@ mod tests {
         let (cluster, cat) = setup(true);
         let ctx = ExecutionContext::new(&cluster, &cat);
         let region = Region::new(vec![0, 0], vec![7, 7]);
-        let (count, _) = filter_count(&ctx, ArrayId(0), &region, "v", |v| v >= 32.0).unwrap();
+        let (count, _) =
+            filter_count(&ctx, ArrayId(0), &region, "v", &Predicate::ge(32.0)).unwrap();
         assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn selective_predicate_prunes_chunks_without_changing_the_answer() {
+        let (cluster, cat) = setup(true);
+        let region = Region::new(vec![0, 0], vec![7, 7]);
+        // v = x*8+y, so only the bottom row band (x >= 6) holds v >= 48:
+        // the zone maps of the other chunk rows refute the predicate.
+        let pruned_ctx = ExecutionContext::new(&cluster, &cat);
+        let (count, stats) =
+            filter_count(&pruned_ctx, ArrayId(0), &region, "v", &Predicate::ge(48.0)).unwrap();
+        let unpruned_ctx = ExecutionContext::new(&cluster, &cat).with_pruning(false);
+        let (base, base_stats) =
+            filter_count(&unpruned_ctx, ArrayId(0), &region, "v", &Predicate::ge(48.0)).unwrap();
+        assert_eq!(count, base, "pruning changed the answer");
+        assert_eq!(count, 16);
+        assert_eq!(base_stats.chunks_visited, 16);
+        assert_eq!(base_stats.chunks_pruned, 0);
+        assert_eq!(stats.chunks_visited, 4, "only the x>=6 chunk row survives");
+        assert_eq!(stats.chunks_pruned, 12);
+        assert!(stats.elapsed_secs < base_stats.elapsed_secs);
+    }
+
+    #[test]
+    fn numeric_predicate_over_string_column_is_a_typed_error() {
+        let mut cluster = Cluster::new(1, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("S<name:string>[x=0:3,4]").unwrap();
+        let mut a = Array::new(ArrayId(2), schema);
+        a.insert_cell(vec![0], vec![ScalarValue::Str("a".into())]).unwrap();
+        let stored = StoredArray::from_array(a);
+        for d in stored.descriptors.values() {
+            cluster.place(*d, NodeId(0)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let region = Region::new(vec![0], vec![3]);
+        let err = filter_count(&ctx, ArrayId(2), &region, "name", &Predicate::ge(1.0)).unwrap_err();
+        assert!(matches!(err, crate::QueryError::AttributeType { .. }), "{err}");
+        // And the matching string predicate works, counting for real.
+        let (n, _) =
+            filter_count(&ctx, ArrayId(2), &region, "name", &Predicate::str_eq("a")).unwrap();
+        assert_eq!(n, 1);
     }
 
     #[test]

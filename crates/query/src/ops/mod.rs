@@ -9,6 +9,7 @@ mod aggregate;
 mod filter;
 mod join;
 mod model;
+mod scan;
 mod sort;
 mod window;
 

@@ -5,10 +5,11 @@
 //! coordinator, and finish with a serial merge — "non-trivial aggregation"
 //! whose cost follows the balance of the scan plus a small serial tail.
 
-use crate::error::Result;
+use super::scan::{require_numeric, NumericSlice, SelectionMask};
+use crate::error::{QueryError, Result};
 use crate::exec::ExecutionContext;
 use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
-use array_model::{ArrayId, Region};
+use array_model::{ArrayId, AttributeColumn, AttributeType, Region};
 use cluster_sim::gb;
 use std::collections::BTreeSet;
 
@@ -23,6 +24,13 @@ pub struct QuantileResult {
 
 /// Estimate quantile `q` (0..=1) of `attr` over `region` from a uniform
 /// sample of `sample_fraction` of the cells.
+///
+/// `attr` must be numeric (a typed [`QueryError::AttributeType`]
+/// otherwise). The sample is ordered with [`f64::total_cmp`], so NaN
+/// cells rank at the extremes instead of panicking the sort: negative
+/// NaNs below `-inf`, positive NaNs above `+inf` (IEEE 754 total order).
+/// A NaN can therefore only be *the answer* when `q` lands on a NaN rank
+/// — it never perturbs the order of the finite values around it.
 pub fn quantile(
     ctx: &ExecutionContext<'_>,
     array_id: ArrayId,
@@ -34,19 +42,22 @@ pub fn quantile(
     let array = ctx.catalog.array(array_id)?;
     let fraction = ctx.attr_fraction(array, &[attr])?;
     let attr_idx = array.attribute_index(attr)?;
+    require_numeric(attr, array.schema.attributes[attr_idx].ty, "numeric")?;
     let mut tracker = WorkTracker::new(ctx.cost());
     let coordinator = ctx.cluster.coordinator();
 
+    let plan = ctx.plan_scan(array_id, region, None)?;
     let mut sample_bytes_total = 0u64;
-    for (desc, node) in ctx.chunks_in(array_id, region)? {
+    for (desc, node, _) in &plan.visit {
         let col_bytes = scaled_bytes(desc.bytes, fraction);
         // Sampling pushes down into the scan: only the sampled pages are
         // read, then each node ships its sample to the coordinator.
         let sample_bytes = scaled_bytes(col_bytes, sample_fraction.clamp(0.0, 1.0));
-        tracker.scan_chunk(node, sample_bytes);
-        tracker.shuffle(node, coordinator, sample_bytes);
+        tracker.scan_chunk(*node, sample_bytes);
+        tracker.shuffle(*node, coordinator, sample_bytes);
         sample_bytes_total += sample_bytes;
     }
+    tracker.prune_chunks(plan.pruned);
     // Serial sort of the sample at the coordinator: n log n over the
     // sampled bytes, priced as CPU work.
     let n = (sample_bytes_total / 8).max(1) as f64;
@@ -54,28 +65,32 @@ pub fn quantile(
         .coordinator(gb(sample_bytes_total) * ctx.cost().cpu_secs_per_gb * n.log2().max(1.0) / 8.0);
 
     // Materialized answer: deterministic "sample" = every ceil(1/f)-th cell.
+    // The stride counter advances only on region-selected live rows, so a
+    // pruned chunk (zero such rows) never shifts which cells later chunks
+    // contribute — sampling is pruning-invariant by construction.
     let mut value = None;
     let mut sampled_cells = 0u64;
-    if ctx.cells_available(array) {
+    if plan.exact {
         let stride = (1.0 / sample_fraction.clamp(1e-6, 1.0)).round().max(1.0) as usize;
         let mut sample: Vec<f64> = Vec::new();
         let mut i = 0usize;
-        for (_, chunk) in ctx.payload_chunks(array, region) {
-            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
-            for (cell, row) in chunk.iter_cells() {
-                if region.is_none_or(|r| r.contains_cell(cell)) {
-                    if i.is_multiple_of(stride) {
-                        if let Some(v) = col.get_f64(row) {
-                            sample.push(v);
-                        }
-                    }
-                    i += 1;
-                }
+        for (_, _, payload) in &plan.visit {
+            let Some(chunk) = payload else { continue };
+            let mut mask = SelectionMask::live(chunk);
+            if let Some(r) = region {
+                mask.retain_region(chunk, r);
             }
+            let col = NumericSlice::of(chunk, attr_idx).expect("type-checked numeric column");
+            mask.for_each(|row| {
+                if i.is_multiple_of(stride) {
+                    sample.push(col.get(row));
+                }
+                i += 1;
+            });
         }
         sampled_cells = sample.len() as u64;
         if !sample.is_empty() {
-            sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+            sample.sort_by(f64::total_cmp);
             let idx = ((sample.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
             value = Some(sample[idx]);
         }
@@ -84,7 +99,10 @@ pub fn quantile(
 }
 
 /// Sorted distinct integer values of `attr` over `region` (the AIS
-/// "sorted log of distinct ship identifiers").
+/// "sorted log of distinct ship identifiers"). `attr` must be an
+/// integer-valued attribute (`int32`/`int64`/`char`); floats and strings
+/// are a typed [`QueryError::AttributeType`] — historically they were
+/// silently skipped, answering `[]`.
 pub fn distinct_sorted(
     ctx: &ExecutionContext<'_>,
     array_id: ArrayId,
@@ -94,27 +112,46 @@ pub fn distinct_sorted(
     let array = ctx.catalog.array(array_id)?;
     let fraction = ctx.attr_fraction(array, &[attr])?;
     let attr_idx = array.attribute_index(attr)?;
+    let ty = array.schema.attributes[attr_idx].ty;
+    if !matches!(ty, AttributeType::Int32 | AttributeType::Int64 | AttributeType::Char) {
+        return Err(QueryError::AttributeType {
+            attribute: attr.to_string(),
+            expected: "integer",
+            got: ty.name(),
+        });
+    }
     let mut tracker = WorkTracker::new(ctx.cost());
     let coordinator = ctx.cluster.coordinator();
 
-    for (desc, node) in ctx.chunks_in(array_id, region)? {
+    let plan = ctx.plan_scan(array_id, region, None)?;
+    for (desc, node, _) in &plan.visit {
         let col_bytes = scaled_bytes(desc.bytes, fraction);
-        tracker.scan_chunk(node, col_bytes);
+        tracker.scan_chunk(*node, col_bytes);
         // Local distinct compresses heavily before the exchange.
-        tracker.shuffle(node, coordinator, col_bytes / 20);
+        tracker.shuffle(*node, coordinator, col_bytes / 20);
     }
+    tracker.prune_chunks(plan.pruned);
     tracker.coordinator(0.5); // final merge of per-node distinct sets
 
     let mut out: BTreeSet<i64> = BTreeSet::new();
-    if ctx.cells_available(array) {
-        for (_, chunk) in ctx.payload_chunks(array, region) {
-            let col = chunk.column(attr_idx).expect("schema-shaped chunk");
-            for (cell, row) in chunk.iter_cells() {
-                if region.is_none_or(|r| r.contains_cell(cell)) {
-                    if let Some(v) = col.get(row).and_then(|v| v.as_i64()) {
-                        out.insert(v);
-                    }
-                }
+    if plan.exact {
+        for (_, _, payload) in &plan.visit {
+            let Some(chunk) = payload else { continue };
+            let mut mask = SelectionMask::live(chunk);
+            if let Some(r) = region {
+                mask.retain_region(chunk, r);
+            }
+            match chunk.column(attr_idx).expect("schema-shaped chunk") {
+                AttributeColumn::Int32(v) => mask.for_each(|row| {
+                    out.insert(i64::from(v[row]));
+                }),
+                AttributeColumn::Int64(v) => mask.for_each(|row| {
+                    out.insert(v[row]);
+                }),
+                AttributeColumn::Char(v) => mask.for_each(|row| {
+                    out.insert(i64::from(v[row]));
+                }),
+                _ => unreachable!("integer-typed attribute has an integer column"),
             }
         }
     }
@@ -183,12 +220,51 @@ mod tests {
     }
 
     #[test]
+    fn nan_cells_no_longer_panic_the_sort() {
+        let mut cluster = Cluster::new(1, u64::MAX, CostModel::default()).unwrap();
+        let schema = ArraySchema::parse("N<v:double>[x=0:9,10]").unwrap();
+        let mut a = Array::new(ArrayId(4), schema);
+        for x in 0..8 {
+            a.insert_cell(vec![x], vec![ScalarValue::Double(x as f64)]).unwrap();
+        }
+        a.insert_cell(vec![8], vec![ScalarValue::Double(f64::NAN)]).unwrap();
+        let stored = StoredArray::from_array(a);
+        for d in stored.descriptors.values() {
+            cluster.place(*d, NodeId(0)).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(stored);
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        // The historical code panicked here ("no NaN measurements").
+        let (median, _) = quantile(&ctx, ArrayId(4), None, "v", 0.5, 1.0).unwrap();
+        assert_eq!(median.sampled_cells, 9);
+        // Positive NaN ranks above +inf in total order, so mid-quantiles
+        // still answer from the finite values...
+        assert_eq!(median.value, Some(4.0));
+        // ...and only the extreme rank lands on the NaN itself.
+        let (top, _) = quantile(&ctx, ArrayId(4), None, "v", 1.0, 1.0).unwrap();
+        assert!(top.value.unwrap().is_nan());
+    }
+
+    #[test]
     fn distinct_matches_naive() {
         let (cluster, cat) = setup();
         let ctx = ExecutionContext::new(&cluster, &cat);
         let (values, stats) = distinct_sorted(&ctx, ArrayId(0), None, "id").unwrap();
         assert_eq!(values, vec![0, 1, 2]);
         assert!(stats.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn non_numeric_inputs_are_typed_errors() {
+        let (cluster, cat) = setup();
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        // distinct over a double column used to silently answer [].
+        let err = distinct_sorted(&ctx, ArrayId(0), None, "v").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::AttributeType { attribute: "v".into(), expected: "integer", got: "double" }
+        );
     }
 
     #[test]

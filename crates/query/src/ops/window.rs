@@ -8,7 +8,8 @@
 //! the purest expression of why n-dimensional clustering wins spatial
 //! queries.
 
-use crate::error::Result;
+use super::scan::require_numeric;
+use crate::error::{QueryError, Result};
 use crate::exec::ExecutionContext;
 use crate::stats::{scaled_bytes, QueryStats, WorkTracker};
 use array_model::{ArrayId, ChunkCoords, Region};
@@ -32,8 +33,15 @@ pub fn window_aggregate(
     radius: i64,
 ) -> Result<(WindowResult, QueryStats)> {
     let array = ctx.catalog.array(array_id)?;
+    // A negative radius would silently shrink the halo region inside out
+    // (grown.low > grown.high) and flip the cost model's slab fraction
+    // negative — reject it like any other malformed argument.
+    if radius < 0 {
+        return Err(QueryError::InvalidArgument(format!("window radius {radius} is negative")));
+    }
     let fraction = ctx.attr_fraction(array, &[attr])?;
     let attr_idx = array.attribute_index(attr)?;
+    require_numeric(attr, array.schema.attributes[attr_idx].ty, "numeric")?;
     let mut tracker = WorkTracker::new(ctx.cost());
 
     let chunks = ctx.chunks_in(array_id, Some(region))?;
@@ -201,6 +209,15 @@ mod tests {
             s_sca.remote_fetches
         );
         assert!(s_clu.elapsed_secs < s_sca.elapsed_secs);
+    }
+
+    #[test]
+    fn negative_radius_is_rejected() {
+        let (cluster, cat) = setup(|i| NodeId((i % 4) as u32));
+        let ctx = ExecutionContext::new(&cluster, &cat);
+        let region = Region::new(vec![2, 2], vec![5, 5]);
+        let err = window_aggregate(&ctx, ArrayId(0), &region, "v", -1).unwrap_err();
+        assert!(matches!(err, crate::QueryError::InvalidArgument(_)), "{err}");
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct QueryStats {
     pub bytes_shuffled: u64,
     /// Chunks touched.
     pub chunks_visited: u64,
+    /// Chunks whose zone map refuted the query's region or predicate, so
+    /// they were skipped before any payload byte was read. Disjoint from
+    /// `chunks_visited`: a chunk counts in exactly one of the two.
+    pub chunks_pruned: u64,
     /// Individual cross-node requests (halo fetches, kNN hops).
     pub remote_fetches: u64,
 }
@@ -33,6 +37,7 @@ impl QueryStats {
         self.bytes_scanned += other.bytes_scanned;
         self.bytes_shuffled += other.bytes_shuffled;
         self.chunks_visited += other.chunks_visited;
+        self.chunks_pruned += other.chunks_pruned;
         self.remote_fetches += other.remote_fetches;
     }
 }
@@ -87,6 +92,13 @@ impl<'a> WorkTracker<'a> {
     /// Pure CPU work on a node (e.g. k-means iterations over cached data).
     pub fn compute(&mut self, node: NodeId, secs: f64) {
         *self.busy.entry(node).or_default() += secs;
+    }
+
+    /// Record `n` chunks skipped by zone-map pruning. Pruned chunks cost
+    /// nothing — no scan seconds, no bytes — they are only counted, so
+    /// the stats expose how much work the zone maps saved.
+    pub fn prune_chunks(&mut self, n: u64) {
+        self.stats.chunks_pruned += n;
     }
 
     /// Bulk-move `bytes` from `src` to `dst` (join partner shipping,

@@ -407,6 +407,12 @@ impl RunReport {
         self.cycles.iter().filter_map(|c| c.suites.as_ref()).map(SuiteReport::science_secs).sum()
     }
 
+    /// Total chunks skipped by zone-map pruning across every suite run —
+    /// how much scan work the vectorized layer refuted before payloads.
+    pub fn chunks_pruned(&self) -> u64 {
+        self.cycles.iter().filter_map(|c| c.suites.as_ref()).map(SuiteReport::chunks_pruned).sum()
+    }
+
     /// Per-cycle elapsed seconds of one named query (Figures 6 and 7).
     pub fn query_series(&self, name: &str) -> Vec<f64> {
         self.cycles

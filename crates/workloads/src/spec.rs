@@ -57,6 +57,18 @@ impl SuiteReport {
     pub fn query(&self, name: &str) -> Option<&QueryStats> {
         self.queries.iter().find(|q| q.name == name).map(|q| &q.stats)
     }
+
+    /// Total chunks skipped by zone-map pruning across the suite — the
+    /// probes' visibility into how much scan work the vectorized layer
+    /// refuted before touching payloads.
+    pub fn chunks_pruned(&self) -> u64 {
+        self.queries.iter().map(|q| q.stats.chunks_pruned).sum()
+    }
+
+    /// Total chunks actually visited across the suite.
+    pub fn chunks_visited(&self) -> u64 {
+        self.queries.iter().map(|q| q.stats.chunks_visited).sum()
+    }
 }
 
 /// One cycle's worth of materialized cells for one array: the payload the

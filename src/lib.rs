@@ -63,7 +63,7 @@ pub mod prelude {
         PartitionerConfig, PartitionerKind, ProvisionDecision, RouteEpoch, StaircaseConfig,
         StaircaseProvisioner,
     };
-    pub use query_engine::{ops, Catalog, ExecutionContext, QueryStats, StoredArray};
+    pub use query_engine::{ops, Catalog, ExecutionContext, Predicate, QueryStats, StoredArray};
     pub use workloads::{
         AisWorkload, CycleError, ErrorPolicy, FailedCycle, FaultEvent, FaultKind, FaultPlan,
         ModisWorkload, RunReport, RunnerConfig, ScalingPolicy, SuiteReport, Workload,

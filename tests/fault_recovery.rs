@@ -70,7 +70,7 @@ fn probe_answers(cluster: &Cluster, catalog: &Catalog) -> (ProbeAnswers, u64) {
     let mut subarray = cells.cells.clone();
     subarray.sort_by(|a, b| a.0.cmp(&b.0));
     let (filter_count, _) =
-        ops::filter_count(&ctx, BROADCAST, &probe, "speed", |v| v >= 10.0).unwrap();
+        ops::filter_count(&ctx, BROADCAST, &probe, "speed", &Predicate::ge(10.0)).unwrap();
     let (distinct_ids, _) = ops::distinct_sorted(&ctx, BROADCAST, Some(&probe), "ship_id").unwrap();
     let (q, _) = ops::quantile(&ctx, BROADCAST, Some(&probe), "speed", 0.5, 1.0).unwrap();
     let spec = ops::GroupSpec::coarsened(vec![1, 2], vec![8, 8]);
@@ -424,7 +424,7 @@ fn shrink_probe(cluster: &Cluster, catalog: &Catalog, cells: usize) -> (Vec<Row>
     let (got, _) = ops::subarray(&ctx, SHRINK, &probe, &[]).unwrap();
     let mut rows = got.cells.clone();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
-    let (count, _) = ops::filter_count(&ctx, SHRINK, &probe, "v", |v| v >= 96.0).unwrap();
+    let (count, _) = ops::filter_count(&ctx, SHRINK, &probe, "v", &Predicate::ge(96.0)).unwrap();
     let spec = ops::GroupSpec::coarsened(vec![0], vec![256]);
     let (groups, _) =
         ops::grid_aggregate(&ctx, SHRINK, Some(&probe), "v", &spec, ops::AggFn::Sum).unwrap();

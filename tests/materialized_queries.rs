@@ -124,7 +124,7 @@ fn ais_probe_answers(w: &AisWorkload, cluster: &Cluster, catalog: &Catalog) -> P
     let mut subarray = cells.cells.clone();
     subarray.sort_by(|a, b| a.0.cmp(&b.0));
     let (filter_count, _) =
-        ops::filter_count(&ctx, BROADCAST, &probe, "speed", |v| v >= 10.0).unwrap();
+        ops::filter_count(&ctx, BROADCAST, &probe, "speed", &Predicate::ge(10.0)).unwrap();
     let (distinct_ids, _) = ops::distinct_sorted(&ctx, BROADCAST, Some(&probe), "ship_id").unwrap();
     let (q, _) = ops::quantile(&ctx, BROADCAST, Some(&probe), "speed", 0.5, 1.0).unwrap();
     let spec = ops::GroupSpec::coarsened(vec![1, 2], vec![8, 8]);
@@ -170,7 +170,8 @@ fn check_ais_probe(
     want.sort_by(|a, b| a.0.cmp(&b.0));
     assert_eq!(got, want, "{tag}: subarray disagrees with the raw-cell oracle");
 
-    let (count, _) = ops::filter_count(&ctx, BROADCAST, &probe, "speed", |v| v >= 10.0).unwrap();
+    let (count, _) =
+        ops::filter_count(&ctx, BROADCAST, &probe, "speed", &Predicate::ge(10.0)).unwrap();
     let naive = rows0.iter().filter(|(_, v)| num(&v[0]) >= 10.0).count() as u64;
     assert_eq!(count, naive, "{tag}: filter_count");
 
@@ -293,8 +294,12 @@ fn check_ais_model_tolerances(
         StringEncoding::Dict { .. } => 0.20,
         StringEncoding::Plain => 0.25,
     };
+    // The deliberately unsatisfiable predicate would be zone-map-refuted
+    // in every chunk; disable pruning so the probe measures a full scan.
+    let unpruned = ExecutionContext::new(cluster, catalog).with_pruning(false);
     let (_, stats) =
-        ops::filter_count(&ctx, BROADCAST, &everything, "speed", |v| v > 1e18).unwrap();
+        ops::filter_count(&unpruned, BROADCAST, &everything, "speed", &Predicate::gt(1e18))
+            .unwrap();
     let exact_bytes: u64 = all_rows.len() as u64 * (3 * 8 + 4); // coords + int32 speed
     let rel = (stats.bytes_scanned as f64 - exact_bytes as f64).abs() / exact_bytes as f64;
     assert!(

@@ -1,0 +1,253 @@
+//! The zone-map pruning differential suite.
+//!
+//! Contract under test: chunk pruning is a pure *work* optimization —
+//! a plan that skips zone-map-refuted chunks must answer every operator
+//! family bit-identically to the same plan with pruning disabled, while
+//! visiting strictly fewer chunks on selective probes. The differential
+//! runs the materialized AIS workload (inserts, dark-vessel
+//! retractions, tombstone-GC compactions, capacity-triggered
+//! scale-outs and rebalances) across all 8 partitioners and both
+//! string encodings, probes the catalog path and the store-only path,
+//! and replays a WAL crash/recover cycle to prove zone maps survive
+//! the durability codecs still able to prune.
+//!
+//! Guaranteed-selective probes:
+//!
+//! * `voyage_id` is generated as `cycle * 1000 + 0..999`, so its
+//!   per-chunk `Int` zones partition by cycle and a `>= last_cycle *
+//!   1000` predicate refutes every earlier cycle's chunks — numeric
+//!   zone pruning must fire on any run with ≥ 2 cycles.
+//! * `receiver_id` draws 128 distinct strings; chunks with fewer rows
+//!   miss most codes, so an equality probe exercises the dictionary
+//!   `code_of` refutation.
+
+use durability::{shared, FsyncPolicy, MemLog};
+use elastic_array_db::prelude::*;
+use query_engine::ops;
+use workloads::ais::{AisWorkload, BROADCAST};
+use workloads::DurabilityConfig;
+
+type Row = (Vec<i64>, Vec<ScalarValue>);
+
+fn config(kind: PartitionerKind, node_capacity: u64, encoding: StringEncoding) -> RunnerConfig {
+    RunnerConfig {
+        node_capacity,
+        initial_nodes: 2,
+        partitioner: kind,
+        scaling: ScalingPolicy::FixedStep { add: 2, trigger: 0.8 },
+        run_queries: false,
+        string_encoding: encoding,
+        ..RunnerConfig::default()
+    }
+}
+
+/// Every operator family's answer in bit-comparable form, plus the scan
+/// accounting that proves whether pruning fired.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    everything: Vec<Row>,
+    voyage_matches: u64,
+    receiver_eq: u64,
+    receiver_in: u64,
+    distinct_ids: Vec<i64>,
+    median_bits: Option<u64>,
+    groups: Vec<(Vec<i64>, u64, u64)>,
+}
+
+/// Scan accounting summed over the probes above.
+#[derive(Debug, Default)]
+struct ScanWork {
+    visited: u64,
+    pruned: u64,
+    /// Pruned count of the guaranteed-selective voyage probe alone.
+    voyage_pruned: u64,
+}
+
+fn probe(
+    cluster: &Cluster,
+    catalog: &Catalog,
+    cycles: usize,
+    pruning: bool,
+) -> (Answers, ScanWork) {
+    let ctx = ExecutionContext::new(cluster, catalog).with_pruning(pruning);
+    let mut work = ScanWork::default();
+    let mut track = |stats: &QueryStats| {
+        work.visited += stats.chunks_visited;
+        work.pruned += stats.chunks_pruned;
+    };
+
+    let all = Region::new(vec![0, -180, 0], vec![i64::MAX / 2, -66, 90]);
+    let (cells, stats) = ops::subarray(&ctx, BROADCAST, &all, &[]).unwrap();
+    track(&stats);
+    let mut everything = cells.cells.clone();
+    everything.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Numeric zone pruning: voyage ids partition by cycle.
+    let newest_voyages = Predicate::ge(((cycles - 1) * 1000) as f64);
+    let (voyage_matches, stats) =
+        ops::filter_count(&ctx, BROADCAST, &all, "voyage_id", &newest_voyages).unwrap();
+    track(&stats);
+    work.voyage_pruned = stats.chunks_pruned;
+
+    // Dictionary pushdown: equality and IN probes over the 128-receiver
+    // string column.
+    let (receiver_eq, stats) =
+        ops::filter_count(&ctx, BROADCAST, &all, "receiver_id", &Predicate::str_eq("r042"))
+            .unwrap();
+    track(&stats);
+    let (receiver_in, stats) = ops::filter_count(
+        &ctx,
+        BROADCAST,
+        &all,
+        "receiver_id",
+        &Predicate::str_in(["r007", "r101"]),
+    )
+    .unwrap();
+    track(&stats);
+
+    let region = AisWorkload::cycle_region(0);
+    let (distinct_ids, stats) =
+        ops::distinct_sorted(&ctx, BROADCAST, Some(&region), "ship_id").unwrap();
+    track(&stats);
+    let (q, stats) = ops::quantile(&ctx, BROADCAST, Some(&region), "speed", 0.5, 1.0).unwrap();
+    track(&stats);
+    let spec = ops::GroupSpec::coarsened(vec![1, 2], vec![8, 8]);
+    let (rows, stats) =
+        ops::grid_aggregate(&ctx, BROADCAST, Some(&region), "speed", &spec, ops::AggFn::Sum)
+            .unwrap();
+    track(&stats);
+    let mut groups: Vec<(Vec<i64>, u64, u64)> =
+        rows.iter().map(|r| (r.key.clone(), r.value.to_bits(), r.cells)).collect();
+    groups.sort();
+
+    let answers = Answers {
+        everything,
+        voyage_matches,
+        receiver_eq,
+        receiver_in,
+        distinct_ids,
+        median_bits: q.value.map(f64::to_bits),
+        groups,
+    };
+    (answers, work)
+}
+
+/// Pruned and unpruned probes over one `(cluster, catalog)` pair must
+/// agree bit for bit; the pruned pass must do strictly less scan work.
+fn assert_pruning_neutral(cluster: &Cluster, catalog: &Catalog, cycles: usize, tag: &str) {
+    let (on, on_work) = probe(cluster, catalog, cycles, true);
+    let (off, off_work) = probe(cluster, catalog, cycles, false);
+    assert_eq!(on, off, "{tag}: pruning changed an answer");
+    assert!(!on.everything.is_empty(), "{tag}: vacuous differential — no cells stored");
+    assert!(on.voyage_matches > 0, "{tag}: newest-cycle voyage probe found nothing");
+    assert_eq!(off_work.pruned, 0, "{tag}: disabled pruning still pruned");
+    assert!(
+        on_work.voyage_pruned > 0,
+        "{tag}: cycle-partitioned voyage zones refuted nothing (visited {})",
+        on_work.visited
+    );
+    assert!(
+        on_work.visited + on_work.pruned == off_work.visited,
+        "{tag}: pruned plans must classify exactly the unpruned chunk set \
+         (on: {} + {}, off: {})",
+        on_work.visited,
+        on_work.pruned,
+        off_work.visited
+    );
+    assert!(on_work.visited < off_work.visited, "{tag}: pruning visited as much as a full scan");
+}
+
+/// A catalog clone whose whole-array oracle copy is stripped, so every
+/// operator answers from the chunks stored on the cluster's nodes —
+/// zone maps on the *placed* payloads must prune too.
+fn store_only_catalog(runner: &WorkloadRunner<'_>) -> Catalog {
+    let mut cat = runner.catalog().clone();
+    cat.array_mut(BROADCAST).unwrap().data = None;
+    cat
+}
+
+/// One full run: inserts + retractions + GC compactions + scale-outs,
+/// probed on the catalog path and the store-only path.
+fn run_pruning_pair(w: &AisWorkload, kind: PartitionerKind, encoding: StringEncoding) {
+    let tag = format!("{kind}/{encoding:?}");
+    let node_capacity = w.cells_per_cycle * 90;
+    let mut runner = WorkloadRunner::new(w, config(kind, node_capacity, encoding));
+    for c in 0..w.cycles {
+        runner.run_cycle(c).unwrap_or_else(|e| panic!("{tag}: cycle {c}: {e}"));
+    }
+    assert!(
+        runner.cluster().node_count() > 2,
+        "{tag}: run never scaled out — rebalance not covered"
+    );
+
+    assert_pruning_neutral(runner.cluster(), runner.catalog(), w.cycles, &tag);
+    let stripped = store_only_catalog(&runner);
+    assert_pruning_neutral(runner.cluster(), &stripped, w.cycles, &format!("{tag}/store-only"));
+}
+
+fn ais(cycles: usize, cells_per_cycle: u64) -> AisWorkload {
+    AisWorkload { cycles, scale: 0.05, seed: 21, cells_per_cycle, dark_vessel_rate: 4 }
+}
+
+// --------------------------------------------------------------- tests --
+
+/// All 8 partitioners at the default (dictionary) encoding, after a run
+/// with retractions, compactions, and rebalances.
+#[test]
+fn ais_pruning_differential_all_partitioners() {
+    let w = ais(3, 1_200);
+    for kind in PartitionerKind::ALL {
+        run_pruning_pair(&w, kind, StringEncoding::default());
+    }
+}
+
+/// Dictionary vs plain string storage on two contrasting partitioners;
+/// the full matrix runs in release via `scan_smoke`.
+#[test]
+fn ais_pruning_differential_dict_and_plain() {
+    let w = ais(3, 900);
+    for kind in [PartitionerKind::HilbertCurve, PartitionerKind::ConsistentHash] {
+        for encoding in [StringEncoding::default(), StringEncoding::Plain] {
+            run_pruning_pair(&w, kind, encoding);
+        }
+    }
+}
+
+/// Zone maps ride the chunk codec through the WAL checkpoint: crash the
+/// durable run at its final record boundary, recover, and demand the
+/// recovered state still answers pruned == unpruned with pruning
+/// actually firing.
+#[test]
+fn pruning_survives_a_wal_crash_and_recovery() {
+    let w = ais(3, 900);
+    let kind = PartitionerKind::ConsistentHash;
+    let mut cfg = config(kind, w.cells_per_cycle * 90, StringEncoding::default());
+    cfg.durability = Some(DurabilityConfig {
+        log: shared(MemLog::new()),
+        checkpoint_every: 2,
+        fsync_policy: FsyncPolicy::Always,
+    });
+    let mut live = WorkloadRunner::new(&w, cfg.clone());
+    live.run_all().expect("durable run completes");
+    let (want, _) = probe(live.cluster(), live.catalog(), w.cycles, false);
+    drop(live);
+
+    let rec = WorkloadRunner::recover(&w, cfg, Vec::new()).expect("recovery succeeds");
+    assert_eq!(rec.start_cycle(), w.cycles, "recovered mid-run — probes would be vacuous");
+    assert_pruning_neutral(rec.cluster(), rec.catalog(), w.cycles, "recovered");
+    let (got, _) = probe(rec.cluster(), rec.catalog(), w.cycles, true);
+    assert_eq!(got, want, "recovered pruned answers differ from the pre-crash run");
+}
+
+/// Heavier CI smoke: the full partitioner × encoding matrix at scale.
+/// Run with `cargo test --release --test pruning_differential -- --ignored scan_smoke`.
+#[test]
+#[ignore = "heavy: run in release via the scan-smoke CI job"]
+fn scan_smoke() {
+    let w = ais(4, 6_000);
+    for kind in PartitionerKind::ALL {
+        for encoding in [StringEncoding::default(), StringEncoding::Plain] {
+            run_pruning_pair(&w, kind, encoding);
+        }
+    }
+}

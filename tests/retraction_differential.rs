@@ -160,7 +160,7 @@ fn ais_probe_answers(w: &AisWorkload, cluster: &Cluster, catalog: &Catalog) -> P
     let mut probe_rows = cells.cells.clone();
     probe_rows.sort_by(|a, b| a.0.cmp(&b.0));
     let (filter_count, _) =
-        ops::filter_count(&ctx, BROADCAST, &probe, "speed", |v| v >= 10.0).unwrap();
+        ops::filter_count(&ctx, BROADCAST, &probe, "speed", &Predicate::ge(10.0)).unwrap();
     let (distinct_ids, _) = ops::distinct_sorted(&ctx, BROADCAST, Some(&probe), "ship_id").unwrap();
     let (q, _) = ops::quantile(&ctx, BROADCAST, Some(&probe), "speed", 0.5, 1.0).unwrap();
     let spec = ops::GroupSpec::coarsened(vec![1, 2], vec![8, 8]);
